@@ -1,0 +1,58 @@
+//! Criterion bench behind **F1**: wall-clock of join-order enumeration per
+//! strategy and topology. Complements `report f1` (which prints the sweep)
+//! with statistically robust timings at a few representative points.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evopt_engine::{Database, Strategy};
+use evopt_workload::{JoinWorkload, Topology};
+
+fn setup(topology: Topology, n: usize) -> (Database, String) {
+    let db = Database::with_defaults();
+    let mut w = JoinWorkload::new(topology, n, 30, 2);
+    w.growth = 1.2;
+    w.load(&db, false).expect("load");
+    let sql = w.count_query();
+    (db, sql)
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enumeration");
+    for (topo, n) in [
+        (Topology::Chain, 6),
+        (Topology::Chain, 9),
+        (Topology::Star, 6),
+        (Topology::Clique, 6),
+    ] {
+        let (db, sql) = setup(topo, n);
+        for strategy in [
+            Strategy::SystemR,
+            Strategy::BushyDp,
+            Strategy::DpCcp,
+            Strategy::Greedy,
+            Strategy::Goo,
+            Strategy::QuickPick { samples: 50, seed: 1 },
+        ] {
+            // Bushy DP on the 9-chain is slow enough to dominate the run.
+            if matches!(strategy, Strategy::BushyDp) && n > 8 {
+                continue;
+            }
+            db.set_strategy(strategy);
+            group.bench_with_input(
+                BenchmarkId::new(
+                    format!("{}-{}", topo.name(), n),
+                    strategy.name(),
+                ),
+                &sql,
+                |b, sql| b.iter(|| db.plan_sql(sql).expect("plan")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_enumeration
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion bench behind **T1/T4**: end-to-end execution wall-clock of the
+//! optimized plan vs the syntactic baseline, and of the individual join
+//! methods (the time-domain complement to the page-I/O tables).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evopt_engine::{Database, Strategy};
+use evopt_workload::{load_tpch_lite, load_wisconsin};
+
+fn setup() -> Database {
+    let db = Database::with_defaults();
+    load_tpch_lite(&db, 0.3, 42).expect("tpch");
+    load_wisconsin(&db, "wisc_a", 3_000, 42).expect("wa");
+    load_wisconsin(&db, "wisc_b", 3_000, 43).expect("wb");
+    db.execute("CREATE INDEX wa_u1 ON wisc_a (unique1)").unwrap();
+    db.execute("CREATE INDEX wb_u1 ON wisc_b (unique1)").unwrap();
+    db.execute("ANALYZE").unwrap();
+    db
+}
+
+fn bench_optimized_vs_baseline(c: &mut Criterion) {
+    let db = setup();
+    let queries = [
+        (
+            "wisc-join",
+            "SELECT COUNT(*) FROM wisc_a a JOIN wisc_b b ON a.unique1 = b.unique1 \
+             WHERE a.one_pct = 3",
+        ),
+        (
+            "tpch-3way",
+            "SELECT COUNT(*) FROM lineitem l JOIN orders o ON l.l_order = o.o_key \
+             JOIN customer c ON o.o_customer = c.c_key WHERE c.c_balance > 8000",
+        ),
+    ];
+    let mut group = c.benchmark_group("optimized-vs-baseline");
+    for (label, sql) in queries {
+        for strategy in [Strategy::SystemR, Strategy::Syntactic] {
+            db.set_strategy(strategy);
+            let (_, plan) = db.plan_sql(sql).expect("plan");
+            group.bench_with_input(
+                BenchmarkId::new(label, strategy.name()),
+                &plan,
+                |b, plan| {
+                    b.iter(|| {
+                        db.pool().evict_all().expect("evict");
+                        db.run_plan(plan).expect("run")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_optimized_vs_baseline
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Substrate micro-benchmarks: B+-tree probes, heap scans, and buffer-pool
+//! replacement policies — the constants beneath every cost formula.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evopt_common::{Tuple, Value};
+use evopt_storage::{BTreeIndex, BufferPool, DiskManager, HeapFile, PolicyKind};
+
+fn bench_btree_probe(c: &mut Criterion) {
+    let pool = BufferPool::new(Arc::new(DiskManager::new()), 256, PolicyKind::Lru);
+    let tree = BTreeIndex::create(pool).unwrap();
+    let n: i64 = 50_000;
+    for i in 0..n {
+        tree.insert(&Value::Int(i), evopt_storage::Rid::new(i as u64, 0))
+            .unwrap();
+    }
+    let mut group = c.benchmark_group("btree");
+    group.bench_function("point-probe-50k", |b| {
+        let mut k = 0i64;
+        b.iter(|| {
+            k = (k + 7919) % n;
+            tree.search_eq(&Value::Int(k)).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_heap_scan(c: &mut Criterion) {
+    let pool = BufferPool::new(Arc::new(DiskManager::new()), 64, PolicyKind::Lru);
+    let heap = HeapFile::create(Arc::clone(&pool)).unwrap();
+    for i in 0..20_000i64 {
+        heap.insert(&Tuple::new(vec![
+            Value::Int(i),
+            Value::Str(format!("row-{i:06}")),
+        ]))
+        .unwrap();
+    }
+    let mut group = c.benchmark_group("heap");
+    group.bench_function("full-scan-20k", |b| {
+        b.iter(|| heap.scan().count())
+    });
+    group.finish();
+}
+
+fn bench_pool_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bufferpool");
+    for policy in [PolicyKind::Lru, PolicyKind::Clock] {
+        group.bench_with_input(
+            BenchmarkId::new("cyclic-80-pages-in-64-frames", format!("{policy:?}")),
+            &policy,
+            |b, &policy| {
+                let disk = Arc::new(DiskManager::new());
+                let pool = BufferPool::new(Arc::clone(&disk), 64, policy);
+                let ids: Vec<_> = (0..80).map(|_| pool.new_page().unwrap().id()).collect();
+                b.iter(|| {
+                    for &id in &ids {
+                        drop(pool.fetch(id).unwrap());
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_btree_probe, bench_heap_scan, bench_pool_policies
+}
+criterion_main!(benches);

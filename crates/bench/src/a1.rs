@@ -1,0 +1,183 @@
+//! **A1 (ablation) — What the algebraic rewrites buy.**
+//!
+//! DESIGN.md §3 runs constant folding and predicate pushdown before
+//! enumeration because they are "always wins". This ablation checks that
+//! claim: plan the same queries with rewrites on and off, compare
+//! estimated cost and measured I/O. (Correctness under both settings is
+//! pinned by `tests/optimizer_properties.rs`.)
+//!
+//! Note the engine is *partially* robust to the ablation: join-graph
+//! extraction routes filter conjuncts to relations on its own, so the
+//! pushdown mostly pays off on single-table access paths (sargable
+//! predicates reaching the index) and via tighter cardinalities at the
+//! leaves.
+
+use evopt_engine::{Database, DatabaseConfig};
+use evopt_workload::load_wisconsin;
+
+use crate::util::{fmt, Table};
+
+#[derive(Debug, Clone)]
+pub struct Params {
+    pub rows: usize,
+    pub buffer_pages: usize,
+    pub seed: u64,
+}
+
+impl Params {
+    pub fn quick() -> Params {
+        Params {
+            rows: 4_000,
+            buffer_pages: 32,
+            seed: 3,
+        }
+    }
+
+    pub fn full() -> Params {
+        Params {
+            rows: 30_000,
+            buffer_pages: 64,
+            seed: 3,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct Row {
+    pub query: String,
+    pub est_on: f64,
+    pub est_off: f64,
+    pub io_on: u64,
+    pub io_off: u64,
+}
+
+#[derive(Debug, Clone)]
+pub struct Report {
+    pub rows: Vec<Row>,
+}
+
+impl Report {
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            "A1 (ablation): algebraic rewrites on vs off",
+            &["query", "est cost on", "est cost off", "io on", "io off"],
+        );
+        for r in &self.rows {
+            t.row(vec![
+                r.query.clone(),
+                fmt(r.est_on),
+                fmt(r.est_off),
+                r.io_on.to_string(),
+                r.io_off.to_string(),
+            ]);
+        }
+        t.render()
+    }
+}
+
+pub fn run(p: &Params) -> Report {
+    let db = Database::new(DatabaseConfig {
+        buffer_pages: p.buffer_pages,
+        ..Default::default()
+    });
+    load_wisconsin(&db, "wa", p.rows, p.seed).unwrap();
+    load_wisconsin(&db, "wb", p.rows, p.seed + 1).unwrap();
+    db.execute("CREATE INDEX wa_u1 ON wa (unique1)").unwrap();
+    db.execute("CREATE INDEX wb_u1 ON wb (unique1)").unwrap();
+    db.execute("ANALYZE").unwrap();
+    let n = p.rows as i64;
+    let queries: Vec<(String, String)> = vec![
+        (
+            // HAVING on a group column: the pushdown rewrite moves it below
+            // the aggregate, where it becomes a sargable index range —
+            // without it the whole table is scanned and aggregated first.
+            "having-to-where".into(),
+            format!(
+                "SELECT unique1, COUNT(*) AS n FROM wa GROUP BY unique1 \
+                 HAVING unique1 < {}",
+                n / 100
+            ),
+        ),
+        (
+            // Constant-folding: a tautology plus a real predicate.
+            "constant-folding".into(),
+            format!(
+                "SELECT COUNT(*) FROM wa WHERE 1 + 1 = 2 AND unique1 < {}",
+                n / 100
+            ),
+        ),
+        (
+            // Join with filters spelled above the join.
+            "join-filters-above".into(),
+            format!(
+                "SELECT COUNT(*) FROM wa a, wb b WHERE a.unique1 = b.unique1 \
+                 AND a.unique2 < {} AND b.one_pct = 3",
+                n / 20
+            ),
+        ),
+    ];
+    let model = db.optimizer_config().cost_model;
+    let mut rows = Vec::new();
+    for (label, sql) in queries {
+        let mut est = [0f64; 2];
+        let mut io = [0u64; 2];
+        for (i, on) in [true, false].into_iter().enumerate() {
+            db.set_rewrites(on);
+            let (_, plan) = db.plan_sql(&sql).unwrap();
+            est[i] = model.total(plan.est_cost);
+            db.pool().evict_all().unwrap();
+            let before = db.disk().snapshot();
+            db.run_plan(&plan).unwrap();
+            io[i] = db.disk().snapshot().since(&before).total();
+        }
+        db.set_rewrites(true);
+        rows.push(Row {
+            query: label,
+            est_on: est[0],
+            est_off: est[1],
+            io_on: io[0],
+            io_off: io[1],
+        });
+    }
+    Report { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rewrites_never_hurt_and_having_pushdown_wins() {
+        let report = run(&Params::quick());
+        for r in &report.rows {
+            assert!(
+                r.est_on <= r.est_off * 1.001,
+                "{}: rewrites made it worse ({} vs {})",
+                r.query,
+                r.est_on,
+                r.est_off
+            );
+            assert!(
+                r.io_on <= r.io_off + r.io_off / 10 + 2,
+                "{}: rewrites cost I/O ({} vs {})",
+                r.query,
+                r.io_on,
+                r.io_off
+            );
+        }
+        // The HAVING→WHERE move has a measurable payoff.
+        let having = report
+            .rows
+            .iter()
+            .find(|r| r.query == "having-to-where")
+            .unwrap();
+        assert!(
+            having.est_on < having.est_off * 0.8,
+            "having pushdown gained nothing: {} vs {}",
+            having.est_on,
+            having.est_off
+        );
+        let text = report.render();
+        assert!(text.contains("ablation"));
+    }
+}

@@ -1,0 +1,62 @@
+//! Regenerate the paper-style tables and figures.
+//!
+//! ```text
+//! cargo run -p evopt-bench --release --bin report -- all
+//! cargo run -p evopt-bench --release --bin report -- t1 f2
+//! cargo run -p evopt-bench --release --bin report -- --quick all
+//! ```
+
+use evopt_bench::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let wanted: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.to_lowercase())
+        .collect();
+    let all = wanted.is_empty() || wanted.iter().any(|w| w == "all");
+    let want = |id: &str| all || wanted.iter().any(|w| w == id);
+
+    let mut ran = 0;
+    macro_rules! experiment {
+        ($id:literal, $module:ident) => {
+            if want($id) {
+                let params = if quick {
+                    $module::Params::quick()
+                } else {
+                    $module::Params::full()
+                };
+                let started = std::time::Instant::now();
+                let report = $module::run(&params);
+                println!("{}", report.render());
+                println!(
+                    "({} finished in {:.1}s)\n",
+                    $id,
+                    started.elapsed().as_secs_f64()
+                );
+                ran += 1;
+            }
+        };
+    }
+
+    experiment!("t1", t1);
+    experiment!("t2", t2);
+    experiment!("t3", t3);
+    experiment!("t4", t4);
+    experiment!("t5", t5);
+    experiment!("f1", f1);
+    experiment!("f2", f2);
+    experiment!("f3", f3);
+    experiment!("f4", f4);
+    experiment!("f5", f5);
+    experiment!("a1", a1);
+
+    if ran == 0 {
+        eprintln!(
+            "unknown experiment id(s) {wanted:?}; expected t1..t5, f1..f5, a1, or all"
+        );
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,184 @@
+//! **F1 — Optimization time vs. number of relations.**
+//!
+//! Left-deep DP is exponential in the relation count but practical into the
+//! double digits; bushy DP blows up sooner (especially on cliques); the
+//! greedy heuristics stay polynomial. We time `plan_sql` per strategy over
+//! chain / star / clique topologies.
+
+use std::time::Instant;
+
+use evopt_engine::{Database, Strategy};
+use evopt_workload::{JoinWorkload, Topology};
+
+use crate::util::Table;
+
+#[derive(Debug, Clone)]
+pub struct Params {
+    pub topologies: Vec<Topology>,
+    pub max_n: usize,
+    /// Bushy DP is skipped above this n (3^n partitions).
+    pub bushy_max_n: usize,
+    pub base_rows: usize,
+    pub seed: u64,
+}
+
+impl Params {
+    pub fn quick() -> Params {
+        Params {
+            topologies: vec![Topology::Chain, Topology::Clique],
+            max_n: 6,
+            bushy_max_n: 6,
+            base_rows: 30,
+            seed: 2,
+        }
+    }
+
+    pub fn full() -> Params {
+        Params {
+            topologies: vec![Topology::Chain, Topology::Star, Topology::Clique],
+            max_n: 10,
+            bushy_max_n: 8,
+            base_rows: 40,
+            seed: 2,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct Row {
+    pub topology: String,
+    pub n: usize,
+    /// (strategy name, planning micros) — None if skipped.
+    pub timings: Vec<(String, Option<u128>)>,
+}
+
+impl Row {
+    pub fn micros(&self, strategy: &str) -> Option<u128> {
+        self.timings
+            .iter()
+            .find(|(s, _)| s == strategy)
+            .and_then(|(_, t)| *t)
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct Report {
+    pub rows: Vec<Row>,
+}
+
+impl Report {
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            "F1: optimization time (µs) vs relation count",
+            &["topology", "n", "system-r", "bushy-dp", "dpccp", "greedy", "goo", "quickpick"],
+        );
+        for r in &self.rows {
+            let get = |s: &str| {
+                r.micros(s)
+                    .map(|v| v.to_string())
+                    .unwrap_or_else(|| "-".into())
+            };
+            t.row(vec![
+                r.topology.clone(),
+                r.n.to_string(),
+                get("system-r"),
+                get("bushy-dp"),
+                get("dpccp"),
+                get("greedy"),
+                get("goo"),
+                get("quickpick"),
+            ]);
+        }
+        t.render()
+    }
+}
+
+pub fn run(p: &Params) -> Report {
+    let mut rows = Vec::new();
+    for &topo in &p.topologies {
+        for n in 2..=p.max_n {
+            let db = Database::with_defaults();
+            // Keep data tiny (growth 1.2): F1 measures planning, not runtime.
+            let mut w = JoinWorkload::new(topo, n, p.base_rows, p.seed);
+            w.growth = 1.2;
+            w.load(&db, false).expect("load");
+            let sql = w.count_query();
+            let mut timings = Vec::new();
+            for strategy in [
+                Strategy::SystemR,
+                Strategy::BushyDp,
+                Strategy::DpCcp,
+                Strategy::Greedy,
+                Strategy::Goo,
+                Strategy::QuickPick { samples: 100, seed: 1 },
+            ] {
+                // Both exhaustive bushy enumerators are O(3ⁿ) on cliques;
+                // cap them there (DPccp stays uncapped on sparse graphs —
+                // that's its whole point).
+                let capped = match strategy {
+                    Strategy::BushyDp => n > p.bushy_max_n,
+                    Strategy::DpCcp => {
+                        matches!(topo, Topology::Clique) && n > p.bushy_max_n
+                    }
+                    _ => false,
+                };
+                if capped {
+                    timings.push((strategy.name().to_string(), None));
+                    continue;
+                }
+                db.set_strategy(strategy);
+                // Warm once (binding caches nothing, but fair timing).
+                db.plan_sql(&sql).expect("plan");
+                let start = Instant::now();
+                db.plan_sql(&sql).expect("plan");
+                timings.push((
+                    strategy.name().to_string(),
+                    Some(start.elapsed().as_micros()),
+                ));
+            }
+            rows.push(Row {
+                topology: topo.name().to_string(),
+                n,
+                timings,
+            });
+        }
+    }
+    Report { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dp_grows_superlinearly_but_stays_practical() {
+        let report = run(&Params::quick());
+        // Clique at the max n: DP costs clearly more than greedy.
+        let big_clique = report
+            .rows
+            .iter()
+            .filter(|r| r.topology == "clique")
+            .max_by_key(|r| r.n)
+            .unwrap();
+        let dp = big_clique.micros("system-r").unwrap();
+        let greedy = big_clique.micros("greedy").unwrap();
+        assert!(
+            dp >= greedy,
+            "clique n={}: DP {}µs < greedy {}µs?",
+            big_clique.n,
+            dp,
+            greedy
+        );
+        // Still practical: a 6-relation clique plans in well under a second.
+        assert!(dp < 2_000_000, "DP took {dp}µs");
+        // Growth: DP on clique-6 costs more than clique-3.
+        let small_clique = report
+            .rows
+            .iter()
+            .find(|r| r.topology == "clique" && r.n == 3)
+            .unwrap();
+        assert!(dp > small_clique.micros("system-r").unwrap());
+        let text = report.render();
+        assert!(text.contains("bushy-dp"));
+    }
+}

@@ -1,0 +1,169 @@
+//! **F2 — Plan quality vs. enumeration strategy.**
+//!
+//! DP finds the optimum of the shared plan space; the question is how much
+//! the cheap heuristics give up. For each topology × size we plan with
+//! every strategy and report its estimated cost relative to the best DP
+//! plan (ratio 1.0 = optimal).
+
+use evopt_engine::{Database, Strategy};
+use evopt_workload::{JoinWorkload, Topology};
+
+use crate::util::Table;
+
+#[derive(Debug, Clone)]
+pub struct Params {
+    pub topologies: Vec<Topology>,
+    pub sizes: Vec<usize>,
+    pub base_rows: usize,
+    pub seed: u64,
+}
+
+impl Params {
+    pub fn quick() -> Params {
+        Params {
+            topologies: vec![Topology::Chain, Topology::Star],
+            sizes: vec![4, 5],
+            base_rows: 60,
+            seed: 4,
+        }
+    }
+
+    pub fn full() -> Params {
+        Params {
+            topologies: vec![Topology::Chain, Topology::Star, Topology::Cycle, Topology::Clique],
+            sizes: vec![4, 6, 8],
+            base_rows: 80,
+            seed: 4,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct Row {
+    pub topology: String,
+    pub n: usize,
+    /// (strategy, cost ratio to best DP plan).
+    pub ratios: Vec<(String, f64)>,
+}
+
+impl Row {
+    pub fn ratio(&self, strategy: &str) -> f64 {
+        self.ratios
+            .iter()
+            .find(|(s, _)| s == strategy)
+            .map(|(_, r)| *r)
+            .expect("strategy measured")
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct Report {
+    pub rows: Vec<Row>,
+}
+
+impl Report {
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            "F2: plan cost ratio to optimal (bushy DP = 1.0)",
+            &["topology", "n", "system-r", "greedy", "goo", "quickpick-8", "syntactic"],
+        );
+        for r in &self.rows {
+            t.row(vec![
+                r.topology.clone(),
+                r.n.to_string(),
+                format!("{:.2}", r.ratio("system-r")),
+                format!("{:.2}", r.ratio("greedy")),
+                format!("{:.2}", r.ratio("goo")),
+                format!("{:.2}", r.ratio("quickpick")),
+                format!("{:.2}", r.ratio("syntactic")),
+            ]);
+        }
+        t.render()
+    }
+}
+
+pub fn run(p: &Params) -> Report {
+    let mut rows = Vec::new();
+    for &topo in &p.topologies {
+        for &n in &p.sizes {
+            let db = Database::with_defaults();
+            let mut w = JoinWorkload::new(topo, n, p.base_rows, p.seed);
+            w.growth = 1.8;
+            w.load(&db, true).expect("load");
+            // A selective filter on the biggest relation makes order matter.
+            let sql = w.filtered_query(100);
+            let model = db.optimizer_config().cost_model;
+            let mut costs = Vec::new();
+            for strategy in [
+                Strategy::BushyDp,
+                Strategy::SystemR,
+                Strategy::Greedy,
+                Strategy::Goo,
+                Strategy::QuickPick { samples: 8, seed: 1 },
+                Strategy::Syntactic,
+            ] {
+                db.set_strategy(strategy);
+                let (_, physical) = db.plan_sql(&sql).expect("plan");
+                costs.push((strategy.name().to_string(), model.total(physical.est_cost)));
+            }
+            let best = costs
+                .iter()
+                .map(|(_, c)| *c)
+                .fold(f64::INFINITY, f64::min)
+                .max(1e-9);
+            rows.push(Row {
+                topology: topo.name().to_string(),
+                n,
+                ratios: costs
+                    .into_iter()
+                    .filter(|(s, _)| s != "bushy-dp")
+                    .map(|(s, c)| (s, c / best))
+                    .collect(),
+            });
+        }
+    }
+    Report { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dp_is_optimal_and_baseline_is_far_off() {
+        let report = run(&Params::quick());
+        for r in &report.rows {
+            // System R (left-deep DP) is at or very near the bushy optimum.
+            assert!(
+                r.ratio("system-r") <= 1.5,
+                "{} n={}: system-r ratio {:.2}",
+                r.topology,
+                r.n,
+                r.ratio("system-r")
+            );
+            // Greedy never beats DP (ratio >= 1).
+            assert!(r.ratio("greedy") >= 0.999);
+            // Syntactic is the worst or tied-worst in every row.
+            let max = r
+                .ratios
+                .iter()
+                .map(|(_, v)| *v)
+                .fold(0.0f64, f64::max);
+            assert!(
+                r.ratio("syntactic") >= max * 0.999,
+                "{} n={}: syntactic {:.2} not worst ({:.2})",
+                r.topology,
+                r.n,
+                r.ratio("syntactic"),
+                max
+            );
+        }
+        // Somewhere, the baseline is ≥ 5x off the optimum.
+        let worst = report
+            .rows
+            .iter()
+            .map(|r| r.ratio("syntactic"))
+            .fold(0.0f64, f64::max);
+        assert!(worst >= 5.0, "baseline worst-case only {worst:.1}x");
+    }
+}

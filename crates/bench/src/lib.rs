@@ -1,0 +1,26 @@
+//! # evopt-bench
+//!
+//! The experiment harness: one module per table/figure of the evaluation
+//! (see DESIGN.md §4 for the experiment index and EXPERIMENTS.md for the
+//! recorded results). Each module exposes
+//!
+//! * a `Params` struct with `quick()` (seconds, used by the test suite to
+//!   pin the experiment's *shape*) and `full()` (the report configuration),
+//! * `run(&Params) -> …Report` returning structured numbers, and
+//! * `render` on the report producing the paper-style text table.
+//!
+//! `cargo run -p evopt-bench --release --bin report -- all` regenerates
+//! everything.
+
+pub mod a1;
+pub mod f1;
+pub mod f2;
+pub mod f3;
+pub mod f4;
+pub mod f5;
+pub mod t1;
+pub mod t2;
+pub mod t3;
+pub mod t4;
+pub mod t5;
+pub mod util;

@@ -1,0 +1,180 @@
+//! **T5 — Cost-model calibration.**
+//!
+//! The optimizer is only as good as its cost model's *ordering* of plans:
+//! absolute costs don't need to be right, but cheaper-estimated plans must
+//! actually do less I/O. We collect a diverse set of (estimated cost,
+//! measured page I/O) pairs — different queries × different enumeration
+//! strategies — and report the Spearman rank correlation.
+
+use evopt_engine::{Database, DatabaseConfig, Strategy};
+use evopt_workload::{load_tpch_lite, load_wisconsin, JoinWorkload, Topology};
+
+use crate::util::{fmt, spearman, Table};
+
+#[derive(Debug, Clone)]
+pub struct Params {
+    pub tpch_scale: f64,
+    pub wisconsin_rows: usize,
+    pub buffer_pages: usize,
+    pub seed: u64,
+}
+
+impl Params {
+    pub fn quick() -> Params {
+        Params {
+            tpch_scale: 0.2,
+            wisconsin_rows: 2_000,
+            buffer_pages: 32,
+            seed: 5,
+        }
+    }
+
+    pub fn full() -> Params {
+        Params {
+            tpch_scale: 1.0,
+            wisconsin_rows: 20_000,
+            buffer_pages: 64,
+            seed: 5,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct Point {
+    pub query: String,
+    pub strategy: String,
+    pub est_cost: f64,
+    pub est_io: f64,
+    pub measured_io: u64,
+}
+
+#[derive(Debug, Clone)]
+pub struct Report {
+    pub points: Vec<Point>,
+    /// Rank correlation of the *total* cost (io + weighted cpu) with
+    /// measured I/O — what the optimizer actually ranks by.
+    pub rho: f64,
+    /// Rank correlation of the cost model's I/O component with measured
+    /// I/O — the apples-to-apples calibration number.
+    pub rho_io: f64,
+}
+
+impl Report {
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            format!(
+                "T5: estimated cost vs measured I/O over {} plans \
+                 (rho_total = {:.3}, rho_io = {:.3})",
+                self.points.len(),
+                self.rho,
+                self.rho_io
+            ),
+            &["query", "strategy", "est cost", "est io", "measured io"],
+        );
+        for p in &self.points {
+            t.row(vec![
+                p.query.clone(),
+                p.strategy.clone(),
+                fmt(p.est_cost),
+                fmt(p.est_io),
+                p.measured_io.to_string(),
+            ]);
+        }
+        t.render()
+    }
+}
+
+pub fn run(p: &Params) -> Report {
+    let db = Database::new(DatabaseConfig {
+        buffer_pages: p.buffer_pages,
+        ..Default::default()
+    });
+    load_tpch_lite(&db, p.tpch_scale, p.seed).unwrap();
+    load_wisconsin(&db, "wisc", p.wisconsin_rows, p.seed).unwrap();
+    db.execute("CREATE INDEX wisc_u1 ON wisc (unique1)").unwrap();
+    let chain = JoinWorkload::new(Topology::Chain, 3, 200, p.seed);
+    chain.load(&db, true).unwrap();
+    db.execute("ANALYZE").unwrap();
+
+    let wn = p.wisconsin_rows as i64;
+    let queries: Vec<(String, String)> = vec![
+        ("wisc-scan".into(), "SELECT COUNT(*) FROM wisc".into()),
+        (
+            "wisc-point".into(),
+            format!("SELECT * FROM wisc WHERE unique1 = {}", wn / 3),
+        ),
+        (
+            "wisc-range".into(),
+            format!("SELECT COUNT(*) FROM wisc WHERE unique2 < {}", wn / 4),
+        ),
+        (
+            "tpch-2way".into(),
+            "SELECT COUNT(*) FROM orders o JOIN customer c ON o.o_customer = c.c_key".into(),
+        ),
+        (
+            "tpch-3way".into(),
+            "SELECT COUNT(*) FROM lineitem l JOIN orders o ON l.l_order = o.o_key \
+             JOIN customer c ON o.o_customer = c.c_key"
+                .into(),
+        ),
+        ("chain-3".into(), chain.count_query()),
+    ];
+    let strategies = [
+        Strategy::SystemR,
+        Strategy::Greedy,
+        Strategy::Syntactic,
+        Strategy::QuickPick { samples: 1, seed: 1 },
+        Strategy::QuickPick { samples: 1, seed: 2 },
+    ];
+
+    let model = db.optimizer_config().cost_model;
+    let mut points = Vec::new();
+    for (label, sql) in &queries {
+        for strategy in strategies {
+            db.set_strategy(strategy);
+            let (_, physical) = db.plan_sql(sql).unwrap();
+            let est = model.total(physical.est_cost);
+            db.pool().evict_all().unwrap();
+            let before = db.disk().snapshot();
+            db.run_plan(&physical).unwrap();
+            let io = db.disk().snapshot().since(&before).total();
+            points.push(Point {
+                query: label.clone(),
+                strategy: strategy.name().to_string(),
+                est_cost: est,
+                est_io: physical.est_cost.io,
+                measured_io: io,
+            });
+        }
+    }
+    db.set_strategy(Strategy::SystemR);
+    let est: Vec<f64> = points.iter().map(|p| p.est_cost).collect();
+    let est_io: Vec<f64> = points.iter().map(|p| p.est_io).collect();
+    let io: Vec<f64> = points.iter().map(|p| p.measured_io as f64).collect();
+    let rho = spearman(&est, &io);
+    let rho_io = spearman(&est_io, &io);
+    Report { points, rho, rho_io }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimated_cost_rank_correlates_with_measured_io() {
+        let report = run(&Params::quick());
+        assert!(report.points.len() >= 25);
+        assert!(
+            report.rho >= 0.5,
+            "total-cost Spearman rho {:.3} below the bar",
+            report.rho
+        );
+        assert!(
+            report.rho_io >= 0.7,
+            "io-vs-io Spearman rho {:.3} below the calibration bar",
+            report.rho_io
+        );
+        let text = report.render();
+        assert!(text.contains("rho_io"));
+    }
+}

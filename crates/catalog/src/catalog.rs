@@ -1,0 +1,341 @@
+//! The catalog: tables, their storage, their indexes, their statistics.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use evopt_common::{EvoptError, Result, Schema};
+use evopt_storage::{BTreeIndex, BufferPool, HeapFile};
+use parking_lot::Mutex;
+
+use crate::stats::TableStats;
+
+/// A registered B+-tree index on one column of a table.
+pub struct IndexInfo {
+    /// Index name (unique per catalog).
+    pub name: String,
+    /// Owning table name.
+    pub table: String,
+    /// Column ordinal in the table schema the index keys on.
+    pub column: usize,
+    /// Whether the heap is physically ordered by this key (set by the
+    /// engine when the load was sorted). A clustered range scan touches
+    /// `sel × P(R)` heap pages; an unclustered one up to one page per match.
+    pub clustered: bool,
+    /// Whether keys are unique (the optimizer caps equality matches at 1).
+    pub unique: bool,
+    /// The tree itself.
+    pub btree: Arc<BTreeIndex>,
+}
+
+/// A registered table: schema + heap + indexes + statistics.
+pub struct TableInfo {
+    pub id: u64,
+    pub name: String,
+    pub schema: Schema,
+    pub heap: Arc<HeapFile>,
+    indexes: Mutex<Vec<Arc<IndexInfo>>>,
+    stats: Mutex<Option<Arc<TableStats>>>,
+}
+
+impl std::fmt::Debug for TableInfo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TableInfo")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("schema", &self.schema)
+            .finish()
+    }
+}
+
+impl TableInfo {
+    /// All indexes on this table.
+    pub fn indexes(&self) -> Vec<Arc<IndexInfo>> {
+        self.indexes.lock().clone()
+    }
+
+    /// Indexes keyed on `column`.
+    pub fn indexes_on(&self, column: usize) -> Vec<Arc<IndexInfo>> {
+        self.indexes
+            .lock()
+            .iter()
+            .filter(|i| i.column == column)
+            .cloned()
+            .collect()
+    }
+
+    /// Statistics from the last ANALYZE, if any.
+    pub fn stats(&self) -> Option<Arc<TableStats>> {
+        self.stats.lock().clone()
+    }
+
+    /// Install fresh statistics (called by ANALYZE).
+    pub fn set_stats(&self, stats: TableStats) {
+        *self.stats.lock() = Some(Arc::new(stats));
+    }
+
+    fn add_index(&self, index: Arc<IndexInfo>) {
+        self.indexes.lock().push(index);
+    }
+}
+
+/// The namespace of tables and indexes. Thread-safe; shared via `Arc`.
+pub struct Catalog {
+    pool: Arc<BufferPool>,
+    tables: Mutex<HashMap<String, Arc<TableInfo>>>,
+    index_names: Mutex<HashMap<String, String>>, // index -> table
+    next_id: AtomicU64,
+}
+
+impl Catalog {
+    pub fn new(pool: Arc<BufferPool>) -> Catalog {
+        Catalog {
+            pool,
+            tables: Mutex::new(HashMap::new()),
+            index_names: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// The buffer pool tables in this catalog allocate from.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Create an empty table. Names are case-insensitive.
+    pub fn create_table(&self, name: &str, schema: Schema) -> Result<Arc<TableInfo>> {
+        let key = name.to_ascii_lowercase();
+        let mut tables = self.tables.lock();
+        if tables.contains_key(&key) {
+            return Err(EvoptError::Catalog(format!(
+                "table '{name}' already exists"
+            )));
+        }
+        let heap = Arc::new(HeapFile::create(Arc::clone(&self.pool))?);
+        let schema = schema.with_qualifier(&key);
+        let info = Arc::new(TableInfo {
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            name: key.clone(),
+            schema,
+            heap,
+            indexes: Mutex::new(Vec::new()),
+            stats: Mutex::new(None),
+        });
+        tables.insert(key, Arc::clone(&info));
+        Ok(info)
+    }
+
+    /// Drop a table and its indexes from the namespace. (Pages are not
+    /// reclaimed — the simulated disk is monotonic; see evopt-storage.)
+    pub fn drop_table(&self, name: &str) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        let removed = self.tables.lock().remove(&key);
+        match removed {
+            Some(_) => {
+                self.index_names.lock().retain(|_, t| t != &key);
+                Ok(())
+            }
+            None => Err(EvoptError::Catalog(format!("unknown table '{name}'"))),
+        }
+    }
+
+    /// Look up a table by name.
+    pub fn table(&self, name: &str) -> Result<Arc<TableInfo>> {
+        self.tables
+            .lock()
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| EvoptError::Catalog(format!("unknown table '{name}'")))
+    }
+
+    /// All tables, sorted by name (deterministic iteration for EXPLAIN etc).
+    pub fn tables(&self) -> Vec<Arc<TableInfo>> {
+        let mut v: Vec<_> = self.tables.lock().values().cloned().collect();
+        v.sort_by(|a, b| a.name.cmp(&b.name));
+        v
+    }
+
+    /// Create a B+-tree index on `table_name.column_name` and bulk-build it
+    /// from the current heap contents.
+    pub fn create_index(
+        &self,
+        index_name: &str,
+        table_name: &str,
+        column_name: &str,
+        unique: bool,
+        clustered: bool,
+    ) -> Result<Arc<IndexInfo>> {
+        let ikey = index_name.to_ascii_lowercase();
+        {
+            let names = self.index_names.lock();
+            if names.contains_key(&ikey) {
+                return Err(EvoptError::Catalog(format!(
+                    "index '{index_name}' already exists"
+                )));
+            }
+        }
+        let table = self.table(table_name)?;
+        let column = table.schema.resolve(None, column_name).map_err(|_| {
+            EvoptError::Catalog(format!(
+                "unknown column '{column_name}' on table '{table_name}'"
+            ))
+        })?;
+        let btree = Arc::new(BTreeIndex::create(Arc::clone(&self.pool))?);
+        for item in table.heap.scan() {
+            let (rid, tuple) = item?;
+            let key = tuple.value(column)?;
+            if !key.is_null() {
+                btree.insert(key, rid)?;
+            }
+        }
+        let info = Arc::new(IndexInfo {
+            name: ikey.clone(),
+            table: table.name.clone(),
+            column,
+            clustered,
+            unique,
+            btree,
+        });
+        table.add_index(Arc::clone(&info));
+        self.index_names.lock().insert(ikey, table.name.clone());
+        Ok(info)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evopt_common::{Column, DataType, Tuple, Value};
+    use evopt_storage::{DiskManager, PolicyKind};
+
+    fn mkcatalog() -> Catalog {
+        let pool = BufferPool::new(Arc::new(DiskManager::new()), 64, PolicyKind::Lru);
+        Catalog::new(pool)
+    }
+
+    fn two_col_schema() -> Schema {
+        Schema::new(vec![
+            Column::new("id", DataType::Int).not_null(),
+            Column::new("name", DataType::Str),
+        ])
+    }
+
+    #[test]
+    fn create_and_lookup_table() {
+        let cat = mkcatalog();
+        let t = cat.create_table("Users", two_col_schema()).unwrap();
+        assert_eq!(t.name, "users");
+        // Case-insensitive lookup, schema qualified with table name.
+        let got = cat.table("USERS").unwrap();
+        assert_eq!(got.id, t.id);
+        assert_eq!(got.schema.resolve(Some("users"), "id").unwrap(), 0);
+    }
+
+    #[test]
+    fn duplicate_table_is_error() {
+        let cat = mkcatalog();
+        cat.create_table("t", two_col_schema()).unwrap();
+        let e = cat.create_table("T", two_col_schema()).unwrap_err();
+        assert_eq!(e.kind(), "catalog");
+    }
+
+    #[test]
+    fn unknown_table_is_error() {
+        let cat = mkcatalog();
+        assert!(cat.table("nope").is_err());
+        assert!(cat.drop_table("nope").is_err());
+    }
+
+    #[test]
+    fn drop_table_removes_indexes_from_namespace() {
+        let cat = mkcatalog();
+        let t = cat.create_table("t", two_col_schema()).unwrap();
+        t.heap
+            .insert(&Tuple::new(vec![Value::Int(1), Value::Str("a".into())]))
+            .unwrap();
+        cat.create_index("idx_t_id", "t", "id", true, false).unwrap();
+        cat.drop_table("t").unwrap();
+        // Index name is reusable after the drop.
+        cat.create_table("t", two_col_schema()).unwrap();
+        cat.create_index("idx_t_id", "t", "id", true, false).unwrap();
+    }
+
+    #[test]
+    fn index_build_covers_existing_rows() {
+        let cat = mkcatalog();
+        let t = cat.create_table("t", two_col_schema()).unwrap();
+        for i in 0..100 {
+            t.heap
+                .insert(&Tuple::new(vec![
+                    Value::Int(i),
+                    Value::Str(format!("n{i}")),
+                ]))
+                .unwrap();
+        }
+        let idx = cat.create_index("idx", "t", "id", true, false).unwrap();
+        assert_eq!(idx.btree.entry_count().unwrap(), 100);
+        let hits = idx.btree.search_eq(&Value::Int(42)).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(
+            t.heap.get(hits[0]).unwrap().unwrap().value(0).unwrap(),
+            &Value::Int(42)
+        );
+    }
+
+    #[test]
+    fn index_skips_nulls() {
+        let cat = mkcatalog();
+        let t = cat.create_table("t", two_col_schema()).unwrap();
+        t.heap
+            .insert(&Tuple::new(vec![Value::Null, Value::Str("x".into())]))
+            .unwrap();
+        t.heap
+            .insert(&Tuple::new(vec![Value::Int(1), Value::Str("y".into())]))
+            .unwrap();
+        let idx = cat.create_index("idx", "t", "id", false, false).unwrap();
+        assert_eq!(idx.btree.entry_count().unwrap(), 1);
+    }
+
+    #[test]
+    fn duplicate_index_name_and_bad_column_error() {
+        let cat = mkcatalog();
+        cat.create_table("t", two_col_schema()).unwrap();
+        cat.create_index("i", "t", "id", false, false).unwrap();
+        assert!(cat.create_index("I", "t", "name", false, false).is_err());
+        assert!(cat.create_index("j", "t", "nope", false, false).is_err());
+        assert!(cat.create_index("k", "missing", "id", false, false).is_err());
+    }
+
+    #[test]
+    fn indexes_on_filters_by_column() {
+        let cat = mkcatalog();
+        let t = cat.create_table("t", two_col_schema()).unwrap();
+        cat.create_index("i_id", "t", "id", false, false).unwrap();
+        cat.create_index("i_name", "t", "name", false, false).unwrap();
+        assert_eq!(t.indexes().len(), 2);
+        assert_eq!(t.indexes_on(0).len(), 1);
+        assert_eq!(t.indexes_on(0)[0].name, "i_id");
+        assert_eq!(t.indexes_on(1)[0].name, "i_name");
+    }
+
+    #[test]
+    fn stats_roundtrip() {
+        let cat = mkcatalog();
+        let t = cat.create_table("t", two_col_schema()).unwrap();
+        assert!(t.stats().is_none());
+        t.set_stats(TableStats {
+            row_count: 5,
+            ..Default::default()
+        });
+        assert_eq!(t.stats().unwrap().row_count, 5);
+    }
+
+    #[test]
+    fn tables_listing_sorted() {
+        let cat = mkcatalog();
+        cat.create_table("zeta", two_col_schema()).unwrap();
+        cat.create_table("alpha", two_col_schema()).unwrap();
+        let names: Vec<_> = cat.tables().iter().map(|t| t.name.clone()).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+}

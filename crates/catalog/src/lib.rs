@@ -1,0 +1,27 @@
+//! # evopt-catalog
+//!
+//! Metadata and statistics: what the optimizer *knows* about the data.
+//!
+//! * [`catalog::Catalog`] — the namespace of tables and indexes, each table
+//!   owning its heap file and any B+-tree indexes.
+//! * [`stats`] — per-table and per-column statistics: row/page counts, null
+//!   counts, exact NDV, min/max, most-common values, and value-distribution
+//!   [`histogram`]s (equi-width and equi-depth).
+//! * [`analyze`] — the `ANALYZE` pass that scans a table and builds those
+//!   statistics.
+//!
+//! The statistics subsystem is half of the paper's story: cost-based
+//! optimization is only as good as its cardinality estimates, and experiment
+//! T3 measures exactly how estimate quality (q-error) depends on the
+//! statistics kept here (no histogram vs. equi-width vs. equi-depth, under
+//! uniform vs. skewed data).
+
+pub mod analyze;
+pub mod catalog;
+pub mod histogram;
+pub mod stats;
+
+pub use analyze::{analyze_table, AnalyzeConfig, HistogramKind};
+pub use catalog::{Catalog, IndexInfo, TableInfo};
+pub use histogram::Histogram;
+pub use stats::{ColumnStats, TableStats};

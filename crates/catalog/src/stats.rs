@@ -1,0 +1,123 @@
+//! Table- and column-level statistics.
+//!
+//! These are the inputs to every selectivity and cost formula in
+//! `evopt-core`. They are built by [`crate::analyze`] and are immutable
+//! snapshots — re-ANALYZE after loading to refresh.
+
+use evopt_common::Value;
+
+use crate::histogram::Histogram;
+
+/// Statistics for one column.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ColumnStats {
+    /// Rows where this column is NULL.
+    pub null_count: u64,
+    /// Exact number of distinct non-null values.
+    pub ndv: u64,
+    /// Smallest non-null value.
+    pub min: Option<Value>,
+    /// Largest non-null value.
+    pub max: Option<Value>,
+    /// Most common values with their fraction of all rows, most frequent
+    /// first. Empty when the column has no notable heavy hitters.
+    pub mcvs: Vec<(Value, f64)>,
+    /// Value-distribution histogram (numeric columns only).
+    pub histogram: Option<Histogram>,
+}
+
+impl ColumnStats {
+    /// Fraction of rows that are NULL, given the table row count.
+    pub fn null_fraction(&self, row_count: u64) -> f64 {
+        if row_count == 0 {
+            0.0
+        } else {
+            self.null_count as f64 / row_count as f64
+        }
+    }
+
+    /// The MCV entry for `v`, if tracked.
+    pub fn mcv_fraction(&self, v: &Value) -> Option<f64> {
+        self.mcvs
+            .iter()
+            .find(|(mv, _)| mv == v)
+            .map(|(_, frac)| *frac)
+    }
+
+    /// Fraction of all rows covered by the MCV list.
+    pub fn mcv_total_fraction(&self) -> f64 {
+        self.mcvs.iter().map(|(_, f)| f).sum()
+    }
+}
+
+/// Statistics for one table.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TableStats {
+    /// Live rows at ANALYZE time.
+    pub row_count: u64,
+    /// Heap pages at ANALYZE time — `P(R)` in the cost formulas.
+    pub page_count: u64,
+    /// Mean encoded tuple size in bytes (sizes intermediate results).
+    pub avg_tuple_bytes: f64,
+    /// Per-column statistics, index-aligned with the table schema.
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Column stats by ordinal (None when ANALYZE hasn't run or the ordinal
+    /// is foreign).
+    pub fn column(&self, idx: usize) -> Option<&ColumnStats> {
+        self.columns.get(idx)
+    }
+
+    /// Estimated tuples per page (≥ 1).
+    pub fn tuples_per_page(&self) -> f64 {
+        if self.page_count == 0 {
+            1.0
+        } else {
+            (self.row_count as f64 / self.page_count as f64).max(1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_fraction_handles_zero_rows() {
+        let c = ColumnStats {
+            null_count: 10,
+            ..Default::default()
+        };
+        assert_eq!(c.null_fraction(0), 0.0);
+        assert_eq!(c.null_fraction(100), 0.1);
+    }
+
+    #[test]
+    fn mcv_lookup() {
+        let c = ColumnStats {
+            mcvs: vec![(Value::Int(1), 0.5), (Value::Int(2), 0.25)],
+            ..Default::default()
+        };
+        assert_eq!(c.mcv_fraction(&Value::Int(1)), Some(0.5));
+        assert_eq!(c.mcv_fraction(&Value::Int(3)), None);
+        assert!((c.mcv_total_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tuples_per_page_floor() {
+        let t = TableStats {
+            row_count: 10,
+            page_count: 100,
+            ..Default::default()
+        };
+        assert_eq!(t.tuples_per_page(), 1.0);
+        let t = TableStats {
+            row_count: 1000,
+            page_count: 10,
+            ..Default::default()
+        };
+        assert_eq!(t.tuples_per_page(), 100.0);
+    }
+}

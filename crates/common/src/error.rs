@@ -1,0 +1,109 @@
+//! Workspace-wide error type.
+//!
+//! A single error enum keeps the crate graph simple (no `anyhow`-style
+//! dependencies) while still carrying enough structure for callers to branch
+//! on the failure class.
+
+use std::fmt;
+
+/// Convenient alias used across all `evopt` crates.
+pub type Result<T> = std::result::Result<T, EvoptError>;
+
+/// Every failure the engine can surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvoptError {
+    /// Malformed SQL text (lexing or parsing).
+    Parse(String),
+    /// Name resolution / typing failure while binding a query.
+    Bind(String),
+    /// A planner or optimizer invariant was violated.
+    Plan(String),
+    /// Storage layer failure (page full, invalid rid, pool exhausted, ...).
+    Storage(String),
+    /// Catalog failure (unknown table/index, duplicate name, ...).
+    Catalog(String),
+    /// Runtime execution failure (type mismatch at eval time, overflow, ...).
+    Execution(String),
+    /// An internal invariant that should be unreachable; indicates a bug.
+    Internal(String),
+}
+
+impl EvoptError {
+    /// Short machine-readable class name, useful in logs and tests.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            EvoptError::Parse(_) => "parse",
+            EvoptError::Bind(_) => "bind",
+            EvoptError::Plan(_) => "plan",
+            EvoptError::Storage(_) => "storage",
+            EvoptError::Catalog(_) => "catalog",
+            EvoptError::Execution(_) => "execution",
+            EvoptError::Internal(_) => "internal",
+        }
+    }
+
+    /// The human-readable message carried by the error.
+    pub fn message(&self) -> &str {
+        match self {
+            EvoptError::Parse(m)
+            | EvoptError::Bind(m)
+            | EvoptError::Plan(m)
+            | EvoptError::Storage(m)
+            | EvoptError::Catalog(m)
+            | EvoptError::Execution(m)
+            | EvoptError::Internal(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for EvoptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error: {}", self.kind(), self.message())
+    }
+}
+
+impl std::error::Error for EvoptError {}
+
+/// Build an [`EvoptError::Internal`] with `format!` semantics.
+#[macro_export]
+macro_rules! internal_err {
+    ($($arg:tt)*) => {
+        $crate::error::EvoptError::Internal(format!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_and_message() {
+        let e = EvoptError::Parse("unexpected token".into());
+        assert_eq!(e.to_string(), "parse error: unexpected token");
+        assert_eq!(e.kind(), "parse");
+        assert_eq!(e.message(), "unexpected token");
+    }
+
+    #[test]
+    fn internal_err_macro_formats() {
+        let e = internal_err!("bad page {}", 7);
+        assert_eq!(e, EvoptError::Internal("bad page 7".into()));
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let all = [
+            EvoptError::Parse(String::new()),
+            EvoptError::Bind(String::new()),
+            EvoptError::Plan(String::new()),
+            EvoptError::Storage(String::new()),
+            EvoptError::Catalog(String::new()),
+            EvoptError::Execution(String::new()),
+            EvoptError::Internal(String::new()),
+        ];
+        let mut kinds: Vec<_> = all.iter().map(|e| e.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), all.len());
+    }
+}

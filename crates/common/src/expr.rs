@@ -1,0 +1,1039 @@
+//! Bound scalar expressions.
+//!
+//! An [`Expr`] refers to its input row by **column ordinal** — the SQL
+//! binder resolves names to ordinals, and everything downstream (rewrites,
+//! selectivity estimation, execution) works on ordinals. Three-valued SQL
+//! logic is implemented throughout: comparisons with NULL yield NULL, and
+//! `AND`/`OR` use Kleene semantics.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::error::{EvoptError, Result};
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::{DataType, Value};
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    And,
+    Or,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+}
+
+impl BinOp {
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq
+        )
+    }
+
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+
+    pub fn is_arithmetic(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod
+        )
+    }
+
+    /// The mirrored comparison (`a < b` ⇔ `b > a`); identity for symmetric
+    /// operators. Used to normalise predicates to `col OP const` form.
+    pub fn flip(self) -> BinOp {
+        match self {
+            BinOp::Lt => BinOp::Gt,
+            BinOp::LtEq => BinOp::GtEq,
+            BinOp::Gt => BinOp::Lt,
+            BinOp::GtEq => BinOp::LtEq,
+            other => other,
+        }
+    }
+
+    /// SQL spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Eq => "=",
+            BinOp::NotEq => "<>",
+            BinOp::Lt => "<",
+            BinOp::LtEq => "<=",
+            BinOp::Gt => ">",
+            BinOp::GtEq => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    Not,
+    Neg,
+    IsNull,
+    IsNotNull,
+}
+
+/// Aggregate functions supported by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    Count,
+    /// `COUNT(*)` — counts rows, ignores the argument entirely.
+    CountStar,
+    Sum,
+    Min,
+    Max,
+    Avg,
+}
+
+impl AggFunc {
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::CountStar => "COUNT(*)",
+            AggFunc::Sum => "SUM",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+            AggFunc::Avg => "AVG",
+        }
+    }
+
+    /// Result type given the argument type.
+    pub fn result_type(self, arg: DataType) -> Result<DataType> {
+        match self {
+            AggFunc::Count | AggFunc::CountStar => Ok(DataType::Int),
+            AggFunc::Sum => {
+                if arg.is_numeric() {
+                    Ok(arg)
+                } else {
+                    Err(EvoptError::Bind(format!("SUM requires a numeric argument, got {arg}")))
+                }
+            }
+            AggFunc::Avg => {
+                if arg.is_numeric() {
+                    Ok(DataType::Float)
+                } else {
+                    Err(EvoptError::Bind(format!("AVG requires a numeric argument, got {arg}")))
+                }
+            }
+            AggFunc::Min | AggFunc::Max => Ok(arg),
+        }
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A bound scalar expression tree.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// Ordinal reference into the input row.
+    Column(usize),
+    /// Constant.
+    Literal(Value),
+    Binary {
+        op: BinOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    Unary {
+        op: UnOp,
+        input: Box<Expr>,
+    },
+    /// `input [NOT] LIKE pattern` with `%` and `_` wildcards.
+    Like {
+        input: Box<Expr>,
+        pattern: String,
+        negated: bool,
+    },
+    /// `input [NOT] IN (v1, v2, ...)` — list elements are constants.
+    InList {
+        input: Box<Expr>,
+        list: Vec<Value>,
+        negated: bool,
+    },
+    /// `input [NOT] BETWEEN low AND high` (inclusive).
+    Between {
+        input: Box<Expr>,
+        low: Box<Expr>,
+        high: Box<Expr>,
+        negated: bool,
+    },
+}
+
+// ---- constructors ---------------------------------------------------------
+
+/// `Expr::Column(i)` shorthand.
+pub fn col(i: usize) -> Expr {
+    Expr::Column(i)
+}
+
+/// `Expr::Literal` shorthand.
+pub fn lit(v: impl Into<Value>) -> Expr {
+    Expr::Literal(v.into())
+}
+
+impl Expr {
+    pub fn binary(op: BinOp, left: Expr, right: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    pub fn eq(left: Expr, right: Expr) -> Expr {
+        Expr::binary(BinOp::Eq, left, right)
+    }
+
+    pub fn and(left: Expr, right: Expr) -> Expr {
+        Expr::binary(BinOp::And, left, right)
+    }
+
+    pub fn or(left: Expr, right: Expr) -> Expr {
+        Expr::binary(BinOp::Or, left, right)
+    }
+
+    #[allow(clippy::should_implement_trait)] // deliberate DSL constructor
+    pub fn not(input: Expr) -> Expr {
+        Expr::Unary {
+            op: UnOp::Not,
+            input: Box::new(input),
+        }
+    }
+
+    /// AND together a list of conjuncts; `TRUE` for an empty list.
+    pub fn conjunction(mut conjuncts: Vec<Expr>) -> Expr {
+        match conjuncts.len() {
+            0 => lit(true),
+            1 => conjuncts.pop().expect("len checked"),
+            _ => {
+                let mut it = conjuncts.into_iter();
+                let first = it.next().expect("len checked");
+                it.fold(first, Expr::and)
+            }
+        }
+    }
+
+    /// Split a predicate into its top-level AND conjuncts.
+    pub fn split_conjuncts(&self) -> Vec<Expr> {
+        let mut out = Vec::new();
+        fn walk(e: &Expr, out: &mut Vec<Expr>) {
+            if let Expr::Binary {
+                op: BinOp::And,
+                left,
+                right,
+            } = e
+            {
+                walk(left, out);
+                walk(right, out);
+            } else {
+                out.push(e.clone());
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// The set of column ordinals this expression reads.
+    pub fn referenced_columns(&self) -> BTreeSet<usize> {
+        let mut set = BTreeSet::new();
+        self.visit_columns(&mut |i| {
+            set.insert(i);
+        });
+        set
+    }
+
+    /// Visit every column ordinal in the tree.
+    pub fn visit_columns(&self, f: &mut impl FnMut(usize)) {
+        match self {
+            Expr::Column(i) => f(*i),
+            Expr::Literal(_) => {}
+            Expr::Binary { left, right, .. } => {
+                left.visit_columns(f);
+                right.visit_columns(f);
+            }
+            Expr::Unary { input, .. } => input.visit_columns(f),
+            Expr::Like { input, .. } => input.visit_columns(f),
+            Expr::InList { input, .. } => input.visit_columns(f),
+            Expr::Between {
+                input, low, high, ..
+            } => {
+                input.visit_columns(f);
+                low.visit_columns(f);
+                high.visit_columns(f);
+            }
+        }
+    }
+
+    /// Rewrite every column ordinal through `map` (e.g. when predicates move
+    /// across a projection or from a join schema to one side's schema).
+    pub fn remap_columns(&self, map: &impl Fn(usize) -> usize) -> Expr {
+        match self {
+            Expr::Column(i) => Expr::Column(map(*i)),
+            Expr::Literal(v) => Expr::Literal(v.clone()),
+            Expr::Binary { op, left, right } => Expr::Binary {
+                op: *op,
+                left: Box::new(left.remap_columns(map)),
+                right: Box::new(right.remap_columns(map)),
+            },
+            Expr::Unary { op, input } => Expr::Unary {
+                op: *op,
+                input: Box::new(input.remap_columns(map)),
+            },
+            Expr::Like {
+                input,
+                pattern,
+                negated,
+            } => Expr::Like {
+                input: Box::new(input.remap_columns(map)),
+                pattern: pattern.clone(),
+                negated: *negated,
+            },
+            Expr::InList {
+                input,
+                list,
+                negated,
+            } => Expr::InList {
+                input: Box::new(input.remap_columns(map)),
+                list: list.clone(),
+                negated: *negated,
+            },
+            Expr::Between {
+                input,
+                low,
+                high,
+                negated,
+            } => Expr::Between {
+                input: Box::new(input.remap_columns(map)),
+                low: Box::new(low.remap_columns(map)),
+                high: Box::new(high.remap_columns(map)),
+                negated: *negated,
+            },
+        }
+    }
+
+    /// True when the expression reads no columns (a constant expression).
+    pub fn is_constant(&self) -> bool {
+        let mut any = false;
+        self.visit_columns(&mut |_| any = true);
+        !any
+    }
+
+    /// Infer the result type against `schema`, validating operand types.
+    pub fn data_type(&self, schema: &Schema) -> Result<DataType> {
+        match self {
+            Expr::Column(i) => schema
+                .column(*i)
+                .map(|c| c.dtype)
+                .ok_or_else(|| EvoptError::Plan(format!("column ordinal {i} out of range"))),
+            Expr::Literal(v) => Ok(v.data_type().unwrap_or(DataType::Int)),
+            Expr::Binary { op, left, right } => {
+                let lt = left.data_type(schema)?;
+                let rt = right.data_type(schema)?;
+                if op.is_logical() {
+                    for (side, t) in [("left", lt), ("right", rt)] {
+                        if t != DataType::Bool {
+                            return Err(EvoptError::Bind(format!(
+                                "{} operand of {} must be BOOL, got {t}",
+                                side,
+                                op.symbol()
+                            )));
+                        }
+                    }
+                    Ok(DataType::Bool)
+                } else if op.is_comparison() {
+                    lt.unify(rt).ok_or_else(|| {
+                        EvoptError::Bind(format!("cannot compare {lt} with {rt}"))
+                    })?;
+                    Ok(DataType::Bool)
+                } else {
+                    let t = lt.unify(rt).filter(|t| t.is_numeric()).ok_or_else(|| {
+                        EvoptError::Bind(format!(
+                            "cannot apply {} to {lt} and {rt}",
+                            op.symbol()
+                        ))
+                    })?;
+                    if *op == BinOp::Div && t == DataType::Int {
+                        Ok(DataType::Int)
+                    } else {
+                        Ok(t)
+                    }
+                }
+            }
+            Expr::Unary { op, input } => {
+                let t = input.data_type(schema)?;
+                match op {
+                    UnOp::Not => {
+                        if t != DataType::Bool {
+                            return Err(EvoptError::Bind(format!(
+                                "NOT requires BOOL, got {t}"
+                            )));
+                        }
+                        Ok(DataType::Bool)
+                    }
+                    UnOp::Neg => {
+                        if !t.is_numeric() {
+                            return Err(EvoptError::Bind(format!(
+                                "unary minus requires numeric, got {t}"
+                            )));
+                        }
+                        Ok(t)
+                    }
+                    UnOp::IsNull | UnOp::IsNotNull => Ok(DataType::Bool),
+                }
+            }
+            Expr::Like { input, .. } => {
+                let t = input.data_type(schema)?;
+                if t != DataType::Str {
+                    return Err(EvoptError::Bind(format!("LIKE requires STRING, got {t}")));
+                }
+                Ok(DataType::Bool)
+            }
+            Expr::InList { input, list, .. } => {
+                let t = input.data_type(schema)?;
+                for v in list {
+                    if let Some(vt) = v.data_type() {
+                        if t.unify(vt).is_none() {
+                            return Err(EvoptError::Bind(format!(
+                                "IN list element {v} is not comparable with {t}"
+                            )));
+                        }
+                    }
+                }
+                Ok(DataType::Bool)
+            }
+            Expr::Between {
+                input, low, high, ..
+            } => {
+                let t = input.data_type(schema)?;
+                for bound in [low, high] {
+                    let bt = bound.data_type(schema)?;
+                    if t.unify(bt).is_none() {
+                        return Err(EvoptError::Bind(format!(
+                            "BETWEEN bound type {bt} not comparable with {t}"
+                        )));
+                    }
+                }
+                Ok(DataType::Bool)
+            }
+        }
+    }
+
+    /// Evaluate against a tuple. Comparisons and logic follow SQL
+    /// three-valued semantics, with "unknown" represented as `Value::Null`.
+    pub fn eval(&self, tuple: &Tuple) -> Result<Value> {
+        match self {
+            Expr::Column(i) => tuple.value(*i).cloned(),
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Binary { op, left, right } => match op {
+                BinOp::And => {
+                    // Kleene AND with short-circuit: FALSE AND x = FALSE.
+                    let l = left.eval(tuple)?;
+                    if l == Value::Bool(false) {
+                        return Ok(Value::Bool(false));
+                    }
+                    let r = right.eval(tuple)?;
+                    match (to_tristate(&l)?, to_tristate(&r)?) {
+                        (Some(false), _) | (_, Some(false)) => Ok(Value::Bool(false)),
+                        (Some(true), Some(true)) => Ok(Value::Bool(true)),
+                        _ => Ok(Value::Null),
+                    }
+                }
+                BinOp::Or => {
+                    let l = left.eval(tuple)?;
+                    if l == Value::Bool(true) {
+                        return Ok(Value::Bool(true));
+                    }
+                    let r = right.eval(tuple)?;
+                    match (to_tristate(&l)?, to_tristate(&r)?) {
+                        (Some(true), _) | (_, Some(true)) => Ok(Value::Bool(true)),
+                        (Some(false), Some(false)) => Ok(Value::Bool(false)),
+                        _ => Ok(Value::Null),
+                    }
+                }
+                _ => {
+                    let l = left.eval(tuple)?;
+                    let r = right.eval(tuple)?;
+                    eval_binary_scalar(*op, &l, &r)
+                }
+            },
+            Expr::Unary { op, input } => {
+                let v = input.eval(tuple)?;
+                match op {
+                    UnOp::Not => match to_tristate(&v)? {
+                        Some(b) => Ok(Value::Bool(!b)),
+                        None => Ok(Value::Null),
+                    },
+                    UnOp::Neg => v.neg(),
+                    UnOp::IsNull => Ok(Value::Bool(v.is_null())),
+                    UnOp::IsNotNull => Ok(Value::Bool(!v.is_null())),
+                }
+            }
+            Expr::Like {
+                input,
+                pattern,
+                negated,
+            } => {
+                let v = input.eval(tuple)?;
+                match v {
+                    Value::Null => Ok(Value::Null),
+                    Value::Str(s) => {
+                        let m = like_match(&s, pattern);
+                        Ok(Value::Bool(m != *negated))
+                    }
+                    other => Err(EvoptError::Execution(format!(
+                        "LIKE applied to non-string {other:?}"
+                    ))),
+                }
+            }
+            Expr::InList {
+                input,
+                list,
+                negated,
+            } => {
+                let v = input.eval(tuple)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                let mut saw_null = false;
+                for item in list {
+                    match v.sql_eq(item) {
+                        Some(true) => return Ok(Value::Bool(!*negated)),
+                        Some(false) => {}
+                        None => saw_null = true,
+                    }
+                }
+                if saw_null {
+                    Ok(Value::Null)
+                } else {
+                    Ok(Value::Bool(*negated))
+                }
+            }
+            Expr::Between {
+                input,
+                low,
+                high,
+                negated,
+            } => {
+                let v = input.eval(tuple)?;
+                let lo = low.eval(tuple)?;
+                let hi = high.eval(tuple)?;
+                let ge = v.sql_cmp(&lo).map(|o| o != std::cmp::Ordering::Less);
+                let le = v.sql_cmp(&hi).map(|o| o != std::cmp::Ordering::Greater);
+                let within = match (ge, le) {
+                    (Some(false), _) | (_, Some(false)) => Some(false),
+                    (Some(true), Some(true)) => Some(true),
+                    _ => None,
+                };
+                Ok(match within {
+                    Some(b) => Value::Bool(b != *negated),
+                    None => Value::Null,
+                })
+            }
+        }
+    }
+
+    /// Evaluate as a filter predicate: NULL (unknown) rejects the row.
+    pub fn eval_predicate(&self, tuple: &Tuple) -> Result<bool> {
+        match self.eval(tuple)? {
+            Value::Bool(b) => Ok(b),
+            Value::Null => Ok(false),
+            other => Err(EvoptError::Execution(format!(
+                "predicate evaluated to non-boolean {other:?}"
+            ))),
+        }
+    }
+
+    /// Fold constant sub-expressions bottom-up. Expressions whose evaluation
+    /// would error at runtime (e.g. `1/0`) are left unfolded so the error
+    /// surfaces only if the row is actually evaluated.
+    pub fn fold_constants(&self) -> Expr {
+        let folded = match self {
+            Expr::Column(_) | Expr::Literal(_) => self.clone(),
+            Expr::Binary { op, left, right } => Expr::Binary {
+                op: *op,
+                left: Box::new(left.fold_constants()),
+                right: Box::new(right.fold_constants()),
+            },
+            Expr::Unary { op, input } => Expr::Unary {
+                op: *op,
+                input: Box::new(input.fold_constants()),
+            },
+            Expr::Like {
+                input,
+                pattern,
+                negated,
+            } => Expr::Like {
+                input: Box::new(input.fold_constants()),
+                pattern: pattern.clone(),
+                negated: *negated,
+            },
+            Expr::InList {
+                input,
+                list,
+                negated,
+            } => Expr::InList {
+                input: Box::new(input.fold_constants()),
+                list: list.clone(),
+                negated: *negated,
+            },
+            Expr::Between {
+                input,
+                low,
+                high,
+                negated,
+            } => Expr::Between {
+                input: Box::new(input.fold_constants()),
+                low: Box::new(low.fold_constants()),
+                high: Box::new(high.fold_constants()),
+                negated: *negated,
+            },
+        };
+        // Identity simplifications on boolean connectives.
+        if let Expr::Binary { op, left, right } = &folded {
+            match op {
+                BinOp::And => {
+                    if **left == lit(true) {
+                        return (**right).clone();
+                    }
+                    if **right == lit(true) {
+                        return (**left).clone();
+                    }
+                    if **left == lit(false) || **right == lit(false) {
+                        return lit(false);
+                    }
+                }
+                BinOp::Or => {
+                    if **left == lit(false) {
+                        return (**right).clone();
+                    }
+                    if **right == lit(false) {
+                        return (**left).clone();
+                    }
+                    if **left == lit(true) || **right == lit(true) {
+                        return lit(true);
+                    }
+                }
+                _ => {}
+            }
+        }
+        if folded.is_constant() {
+            if let Ok(v) = folded.eval(&Tuple::new(vec![])) {
+                return Expr::Literal(v);
+            }
+        }
+        folded
+    }
+}
+
+/// Evaluate a non-logical binary operator on two scalar values.
+fn eval_binary_scalar(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
+    if op.is_comparison() {
+        return Ok(match l.sql_cmp(r) {
+            None => Value::Null,
+            Some(ord) => {
+                let b = match op {
+                    BinOp::Eq => ord == std::cmp::Ordering::Equal,
+                    BinOp::NotEq => ord != std::cmp::Ordering::Equal,
+                    BinOp::Lt => ord == std::cmp::Ordering::Less,
+                    BinOp::LtEq => ord != std::cmp::Ordering::Greater,
+                    BinOp::Gt => ord == std::cmp::Ordering::Greater,
+                    BinOp::GtEq => ord != std::cmp::Ordering::Less,
+                    _ => unreachable!("checked is_comparison"),
+                };
+                Value::Bool(b)
+            }
+        });
+    }
+    match op {
+        BinOp::Add => l.add(r),
+        BinOp::Sub => l.sub(r),
+        BinOp::Mul => l.mul(r),
+        BinOp::Div => l.div(r),
+        BinOp::Mod => l.rem(r),
+        _ => Err(EvoptError::Internal(format!(
+            "eval_binary_scalar got logical op {op:?}"
+        ))),
+    }
+}
+
+fn to_tristate(v: &Value) -> Result<Option<bool>> {
+    match v {
+        Value::Null => Ok(None),
+        Value::Bool(b) => Ok(Some(*b)),
+        other => Err(EvoptError::Execution(format!(
+            "boolean operator applied to non-boolean {other:?}"
+        ))),
+    }
+}
+
+/// SQL `LIKE` matcher: `%` matches any run (incl. empty), `_` any single
+/// character. Iterative two-pointer algorithm with backtracking to the last
+/// `%` — linear in practice, no recursion.
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    let (mut si, mut pi) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None; // (pattern idx after %, matched s idx)
+    while si < s.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == s[si]) {
+            si += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star = Some((pi + 1, si));
+            pi += 1;
+        } else if let Some((sp, ss)) = star {
+            pi = sp;
+            si = ss + 1;
+            star = Some((sp, si));
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(i) => write!(f, "#{i}"),
+            Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Binary { op, left, right } => {
+                write!(f, "({left} {} {right})", op.symbol())
+            }
+            Expr::Unary { op, input } => match op {
+                UnOp::Not => write!(f, "NOT ({input})"),
+                UnOp::Neg => write!(f, "-({input})"),
+                UnOp::IsNull => write!(f, "({input}) IS NULL"),
+                UnOp::IsNotNull => write!(f, "({input}) IS NOT NULL"),
+            },
+            Expr::Like {
+                input,
+                pattern,
+                negated,
+            } => write!(
+                f,
+                "({input} {}LIKE '{pattern}')",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::InList {
+                input,
+                list,
+                negated,
+            } => {
+                write!(f, "({input} {}IN (", if *negated { "NOT " } else { "" })?;
+                for (i, v) in list.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("))")
+            }
+            Expr::Between {
+                input,
+                low,
+                high,
+                negated,
+            } => write!(
+                f,
+                "({input} {}BETWEEN {low} AND {high})",
+                if *negated { "NOT " } else { "" }
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+
+    fn row(vals: Vec<Value>) -> Tuple {
+        Tuple::new(vals)
+    }
+
+    #[test]
+    fn eval_column_and_literal() {
+        let t = row(vec![Value::Int(7)]);
+        assert_eq!(col(0).eval(&t).unwrap(), Value::Int(7));
+        assert_eq!(lit(3i64).eval(&t).unwrap(), Value::Int(3));
+        assert!(col(3).eval(&t).is_err());
+    }
+
+    #[test]
+    fn comparisons_three_valued() {
+        let t = row(vec![Value::Int(5), Value::Null]);
+        let e = Expr::binary(BinOp::Lt, col(0), lit(10i64));
+        assert_eq!(e.eval(&t).unwrap(), Value::Bool(true));
+        let e = Expr::binary(BinOp::Lt, col(1), lit(10i64));
+        assert_eq!(e.eval(&t).unwrap(), Value::Null);
+        assert!(!e.eval_predicate(&t).unwrap());
+    }
+
+    #[test]
+    fn kleene_and_or() {
+        let t = row(vec![Value::Null]);
+        // FALSE AND NULL = FALSE
+        let e = Expr::and(lit(false), col(0));
+        assert_eq!(e.eval(&t).unwrap(), Value::Bool(false));
+        // TRUE AND NULL = NULL
+        let e = Expr::and(lit(true), col(0));
+        assert_eq!(e.eval(&t).unwrap(), Value::Null);
+        // TRUE OR NULL = TRUE
+        let e = Expr::or(lit(true), col(0));
+        assert_eq!(e.eval(&t).unwrap(), Value::Bool(true));
+        // FALSE OR NULL = NULL
+        let e = Expr::or(lit(false), col(0));
+        assert_eq!(e.eval(&t).unwrap(), Value::Null);
+        // NOT NULL = NULL
+        let e = Expr::not(col(0));
+        assert_eq!(e.eval(&t).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn and_short_circuits_errors_on_right() {
+        // FALSE AND (1/0 = 1) must not error.
+        let bad = Expr::eq(
+            Expr::binary(BinOp::Div, lit(1i64), lit(0i64)),
+            lit(1i64),
+        );
+        let e = Expr::and(lit(false), bad);
+        assert_eq!(e.eval(&row(vec![])).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn like_semantics() {
+        assert!(like_match("hello", "hello"));
+        assert!(like_match("hello", "h%"));
+        assert!(like_match("hello", "%llo"));
+        assert!(like_match("hello", "h_llo"));
+        assert!(like_match("hello", "%"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+        assert!(!like_match("hello", "h_list"));
+        assert!(like_match("abcabc", "%abc"));
+        assert!(like_match("a%b", "a%b")); // literal chars still match
+        assert!(!like_match("hello", "HELLO")); // case-sensitive
+    }
+
+    #[test]
+    fn like_null_and_negation() {
+        let t = row(vec![Value::Null, Value::Str("abc".into())]);
+        let e = Expr::Like {
+            input: Box::new(col(0)),
+            pattern: "a%".into(),
+            negated: false,
+        };
+        assert_eq!(e.eval(&t).unwrap(), Value::Null);
+        let e = Expr::Like {
+            input: Box::new(col(1)),
+            pattern: "b%".into(),
+            negated: true,
+        };
+        assert_eq!(e.eval(&t).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn in_list_three_valued() {
+        let t = row(vec![Value::Int(2)]);
+        let e = Expr::InList {
+            input: Box::new(col(0)),
+            list: vec![Value::Int(1), Value::Int(2)],
+            negated: false,
+        };
+        assert_eq!(e.eval(&t).unwrap(), Value::Bool(true));
+        // 3 NOT IN (1, NULL): unknown because NULL might equal 3.
+        let e = Expr::InList {
+            input: Box::new(lit(3i64)),
+            list: vec![Value::Int(1), Value::Null],
+            negated: true,
+        };
+        assert_eq!(e.eval(&t).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn between_inclusive_and_null() {
+        let t = row(vec![Value::Int(5)]);
+        let between = |lo: i64, hi: i64, neg: bool| Expr::Between {
+            input: Box::new(col(0)),
+            low: Box::new(lit(lo)),
+            high: Box::new(lit(hi)),
+            negated: neg,
+        };
+        assert_eq!(between(5, 10, false).eval(&t).unwrap(), Value::Bool(true));
+        assert_eq!(between(1, 5, false).eval(&t).unwrap(), Value::Bool(true));
+        assert_eq!(between(6, 10, false).eval(&t).unwrap(), Value::Bool(false));
+        assert_eq!(between(6, 10, true).eval(&t).unwrap(), Value::Bool(true));
+        // 5 BETWEEN NULL AND 3 = FALSE (5 > 3 decides regardless of NULL).
+        let e = Expr::Between {
+            input: Box::new(col(0)),
+            low: Box::new(lit(Value::Null)),
+            high: Box::new(lit(3i64)),
+            negated: false,
+        };
+        assert_eq!(e.eval(&t).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn split_and_rebuild_conjuncts() {
+        let e = Expr::and(
+            Expr::and(Expr::eq(col(0), lit(1i64)), Expr::eq(col(1), lit(2i64))),
+            Expr::eq(col(2), lit(3i64)),
+        );
+        let parts = e.split_conjuncts();
+        assert_eq!(parts.len(), 3);
+        let rebuilt = Expr::conjunction(parts);
+        assert_eq!(rebuilt.split_conjuncts().len(), 3);
+        assert_eq!(Expr::conjunction(vec![]), lit(true));
+    }
+
+    #[test]
+    fn referenced_and_remapped_columns() {
+        let e = Expr::and(Expr::eq(col(3), lit(1i64)), Expr::eq(col(5), col(3)));
+        assert_eq!(
+            e.referenced_columns().into_iter().collect::<Vec<_>>(),
+            vec![3, 5]
+        );
+        let r = e.remap_columns(&|i| i - 3);
+        assert_eq!(
+            r.referenced_columns().into_iter().collect::<Vec<_>>(),
+            vec![0, 2]
+        );
+    }
+
+    #[test]
+    fn type_inference() {
+        let schema = Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::new("s", DataType::Str),
+            Column::new("b", DataType::Bool),
+        ]);
+        assert_eq!(
+            Expr::eq(col(0), lit(1i64)).data_type(&schema).unwrap(),
+            DataType::Bool
+        );
+        assert_eq!(
+            Expr::binary(BinOp::Add, col(0), lit(1.5)).data_type(&schema).unwrap(),
+            DataType::Float
+        );
+        assert!(Expr::eq(col(0), col(1)).data_type(&schema).is_err());
+        assert!(Expr::and(col(0), col(2)).data_type(&schema).is_err());
+        assert!(Expr::not(col(2)).data_type(&schema).is_ok());
+        assert!(Expr::binary(BinOp::Add, col(1), col(1)).data_type(&schema).is_err());
+    }
+
+    #[test]
+    fn constant_folding() {
+        // (1 + 2) < 5 folds to TRUE
+        let e = Expr::binary(BinOp::Lt, Expr::binary(BinOp::Add, lit(1i64), lit(2i64)), lit(5i64));
+        assert_eq!(e.fold_constants(), lit(true));
+        // col0 = (2*3) folds the right side only
+        let e = Expr::eq(col(0), Expr::binary(BinOp::Mul, lit(2i64), lit(3i64)));
+        assert_eq!(e.fold_constants(), Expr::eq(col(0), lit(6i64)));
+        // TRUE AND p folds to p
+        let p = Expr::eq(col(0), lit(1i64));
+        assert_eq!(Expr::and(lit(true), p.clone()).fold_constants(), p);
+        // p AND FALSE folds to FALSE
+        assert_eq!(Expr::and(p.clone(), lit(false)).fold_constants(), lit(false));
+        // 1/0 stays unfolded (errors only at runtime)
+        let e = Expr::binary(BinOp::Div, lit(1i64), lit(0i64));
+        assert_eq!(e.fold_constants(), e);
+    }
+
+    mod fold_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Random expression trees over a 3-column INT row.
+        fn arb_expr() -> impl Strategy<Value = Expr> {
+            let leaf = prop_oneof![
+                (0usize..3).prop_map(Expr::Column),
+                (-20i64..20).prop_map(|v| lit(v)),
+                any::<bool>().prop_map(|b| lit(b)),
+            ];
+            leaf.prop_recursive(4, 64, 3, |inner| {
+                prop_oneof![
+                    (
+                        prop_oneof![
+                            Just(BinOp::Add),
+                            Just(BinOp::Sub),
+                            Just(BinOp::Mul),
+                            Just(BinOp::Eq),
+                            Just(BinOp::Lt),
+                            Just(BinOp::And),
+                            Just(BinOp::Or),
+                        ],
+                        inner.clone(),
+                        inner.clone()
+                    )
+                        .prop_map(|(op, l, r)| Expr::binary(op, l, r)),
+                    inner.clone().prop_map(|e| Expr::Unary {
+                        op: UnOp::IsNull,
+                        input: Box::new(e)
+                    }),
+                    inner.prop_map(Expr::not),
+                ]
+            })
+        }
+
+        proptest! {
+            /// Folding never changes evaluation results (including which
+            /// inputs error — modulo the fold's right to *remove* errors by
+            /// short-circuiting, so we only compare Ok results).
+            #[test]
+            fn prop_fold_preserves_semantics(
+                e in arb_expr(),
+                a in -20i64..20, b in -20i64..20, c in -20i64..20) {
+                let t = Tuple::new(vec![Value::Int(a), Value::Int(b), Value::Int(c)]);
+                let folded = e.fold_constants();
+                match (e.eval(&t), folded.eval(&t)) {
+                    (Ok(x), Ok(y)) => prop_assert_eq!(x, y, "expr {} vs {}", e, folded),
+                    (Err(_), _) => {} // original errors: fold may or may not
+                    (Ok(x), Err(err)) => {
+                        prop_assert!(false, "fold introduced error {err} for {} -> {} (value {x})", e, folded)
+                    }
+                }
+            }
+
+            /// Folding is idempotent.
+            #[test]
+            fn prop_fold_idempotent(e in arb_expr()) {
+                let once = e.fold_constants();
+                let twice = once.fold_constants();
+                prop_assert_eq!(once, twice);
+            }
+        }
+    }
+
+    #[test]
+    fn display_is_parsable_looking() {
+        let e = Expr::and(Expr::eq(col(0), lit(1i64)), Expr::not(col(2)));
+        assert_eq!(e.to_string(), "((#0 = 1) AND NOT (#2))");
+    }
+}

@@ -1,0 +1,257 @@
+//! Relation schemas.
+//!
+//! A [`Schema`] is an ordered list of [`Column`]s. Columns carry an optional
+//! table qualifier so the binder can resolve `t.col` references and so join
+//! output schemas stay unambiguous.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{EvoptError, Result};
+use crate::value::DataType;
+
+/// One column of a relation schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name (lower-cased by the binder).
+    pub name: String,
+    /// Static type.
+    pub dtype: DataType,
+    /// Table (or alias) this column belongs to, when known.
+    pub table: Option<String>,
+    /// Whether NULLs may appear. The optimizer uses this to skip null-aware
+    /// logic for NOT NULL columns.
+    pub nullable: bool,
+}
+
+impl Column {
+    /// A nullable column with no table qualifier.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Column {
+            name: name.into(),
+            dtype,
+            table: None,
+            nullable: true,
+        }
+    }
+
+    /// Attach a table qualifier.
+    pub fn with_table(mut self, table: impl Into<String>) -> Self {
+        self.table = Some(table.into());
+        self
+    }
+
+    /// Mark NOT NULL.
+    pub fn not_null(mut self) -> Self {
+        self.nullable = false;
+        self
+    }
+
+    /// `table.name` when qualified, else `name`.
+    pub fn qualified_name(&self) -> String {
+        match &self.table {
+            Some(t) => format!("{t}.{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Column {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.qualified_name(), self.dtype)
+    }
+}
+
+/// An ordered list of columns. Cheap to clone (used pervasively in plans).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    columns: Arc<Vec<Column>>,
+}
+
+impl Schema {
+    pub fn new(columns: Vec<Column>) -> Self {
+        Schema {
+            columns: Arc::new(columns),
+        }
+    }
+
+    /// Empty schema (zero columns), used by constant relations.
+    pub fn empty() -> Self {
+        Schema::default()
+    }
+
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    pub fn column(&self, idx: usize) -> Option<&Column> {
+        self.columns.get(idx)
+    }
+
+    /// Resolve a possibly-qualified column reference to an ordinal.
+    ///
+    /// * With a qualifier, both qualifier and name must match.
+    /// * Without, the bare name must match exactly one column — an ambiguous
+    ///   match is a bind error.
+    pub fn resolve(&self, table: Option<&str>, name: &str) -> Result<usize> {
+        let mut hit = None;
+        for (i, c) in self.columns.iter().enumerate() {
+            let name_matches = c.name.eq_ignore_ascii_case(name);
+            let table_matches = match (table, &c.table) {
+                (Some(q), Some(t)) => t.eq_ignore_ascii_case(q),
+                (Some(_), None) => false,
+                (None, _) => true,
+            };
+            if name_matches && table_matches {
+                if hit.is_some() {
+                    return Err(EvoptError::Bind(format!(
+                        "ambiguous column reference '{}'",
+                        qualified(table, name)
+                    )));
+                }
+                hit = Some(i);
+            }
+        }
+        hit.ok_or_else(|| {
+            EvoptError::Bind(format!("unknown column '{}'", qualified(table, name)))
+        })
+    }
+
+    /// Concatenate two schemas (join output).
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut cols = Vec::with_capacity(self.len() + other.len());
+        cols.extend_from_slice(self.columns());
+        cols.extend_from_slice(other.columns());
+        Schema::new(cols)
+    }
+
+    /// A new schema containing the columns at `indices`, in that order.
+    pub fn project(&self, indices: &[usize]) -> Result<Schema> {
+        let mut cols = Vec::with_capacity(indices.len());
+        for &i in indices {
+            let c = self
+                .column(i)
+                .ok_or_else(|| EvoptError::Plan(format!("projection index {i} out of range")))?;
+            cols.push(c.clone());
+        }
+        Ok(Schema::new(cols))
+    }
+
+    /// Re-qualify every column with `alias` (used for `FROM t AS a`).
+    pub fn with_qualifier(&self, alias: &str) -> Schema {
+        Schema::new(
+            self.columns
+                .iter()
+                .map(|c| {
+                    let mut c = c.clone();
+                    c.table = Some(alias.to_owned());
+                    c
+                })
+                .collect(),
+        )
+    }
+
+    /// Data types of all columns, in order.
+    pub fn types(&self) -> Vec<DataType> {
+        self.columns.iter().map(|c| c.dtype).collect()
+    }
+}
+
+fn qualified(table: Option<&str>, name: &str) -> String {
+    match table {
+        Some(t) => format!("{t}.{name}"),
+        None => name.to_owned(),
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            Column::new("id", DataType::Int).with_table("t"),
+            Column::new("name", DataType::Str).with_table("t"),
+            Column::new("id", DataType::Int).with_table("u"),
+        ])
+    }
+
+    #[test]
+    fn resolve_qualified() {
+        let s = sample();
+        assert_eq!(s.resolve(Some("t"), "id").unwrap(), 0);
+        assert_eq!(s.resolve(Some("u"), "id").unwrap(), 2);
+        assert_eq!(s.resolve(Some("T"), "ID").unwrap(), 0); // case-insensitive
+    }
+
+    #[test]
+    fn resolve_unqualified_unique() {
+        let s = sample();
+        assert_eq!(s.resolve(None, "name").unwrap(), 1);
+    }
+
+    #[test]
+    fn resolve_ambiguous_is_error() {
+        let s = sample();
+        let e = s.resolve(None, "id").unwrap_err();
+        assert_eq!(e.kind(), "bind");
+        assert!(e.message().contains("ambiguous"));
+    }
+
+    #[test]
+    fn resolve_unknown_is_error() {
+        let s = sample();
+        assert!(s.resolve(None, "nope").is_err());
+        assert!(s.resolve(Some("v"), "id").is_err());
+    }
+
+    #[test]
+    fn join_concatenates() {
+        let a = Schema::new(vec![Column::new("x", DataType::Int)]);
+        let b = Schema::new(vec![Column::new("y", DataType::Str)]);
+        let j = a.join(&b);
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.column(1).unwrap().name, "y");
+    }
+
+    #[test]
+    fn project_selects_and_errors_out_of_range() {
+        let s = sample();
+        let p = s.project(&[2, 0]).unwrap();
+        assert_eq!(p.column(0).unwrap().table.as_deref(), Some("u"));
+        assert!(s.project(&[9]).is_err());
+    }
+
+    #[test]
+    fn with_qualifier_rewrites_tables() {
+        let s = sample().with_qualifier("a");
+        assert!(s.columns().iter().all(|c| c.table.as_deref() == Some("a")));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = Schema::new(vec![Column::new("x", DataType::Int).with_table("t")]);
+        assert_eq!(s.to_string(), "(t.x: INT)");
+    }
+}

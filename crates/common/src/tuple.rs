@@ -1,0 +1,293 @@
+//! Tuples and their binary encoding.
+//!
+//! The storage layer stores tuples as opaque byte strings inside slotted
+//! pages; [`Tuple::encode`] / [`Tuple::decode`] define that format:
+//!
+//! ```text
+//! [u16 value-count] then per value:
+//!   tag 0 = Null
+//!   tag 1 = Bool  + 1 byte
+//!   tag 2 = Int   + 8 bytes LE
+//!   tag 3 = Float + 8 bytes LE (f64 bits)
+//!   tag 4 = Str   + u32 LE length + UTF-8 bytes
+//! ```
+//!
+//! The format is self-describing (no schema needed to decode), which keeps
+//! heap-file scans and B+-tree payloads simple and makes corruption loudly
+//! detectable.
+
+use std::fmt;
+
+use crate::error::{EvoptError, Result};
+use crate::value::Value;
+
+/// A row: an ordered list of values.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Tuple {
+    values: Vec<Value>,
+}
+
+impl Tuple {
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple { values }
+    }
+
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    pub fn value(&self, idx: usize) -> Result<&Value> {
+        self.values
+            .get(idx)
+            .ok_or_else(|| EvoptError::Execution(format!("tuple index {idx} out of range")))
+    }
+
+    /// Concatenate two tuples (join output).
+    pub fn join(&self, other: &Tuple) -> Tuple {
+        let mut values = Vec::with_capacity(self.len() + other.len());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&other.values);
+        Tuple::new(values)
+    }
+
+    /// Keep only the values at `indices`, in that order.
+    pub fn project(&self, indices: &[usize]) -> Result<Tuple> {
+        let mut values = Vec::with_capacity(indices.len());
+        for &i in indices {
+            values.push(self.value(i)?.clone());
+        }
+        Ok(Tuple::new(values))
+    }
+
+    /// Serialised size in bytes (what `encode` will produce).
+    pub fn encoded_len(&self) -> usize {
+        let mut n = 2;
+        for v in &self.values {
+            n += 1 + match v {
+                Value::Null => 0,
+                Value::Bool(_) => 1,
+                Value::Int(_) | Value::Float(_) => 8,
+                Value::Str(s) => 4 + s.len(),
+            };
+        }
+        n
+    }
+
+    /// Serialise to the storage format described in the module docs.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.encoded_len());
+        buf.extend_from_slice(&(self.values.len() as u16).to_le_bytes());
+        for v in &self.values {
+            match v {
+                Value::Null => buf.push(0),
+                Value::Bool(b) => {
+                    buf.push(1);
+                    buf.push(*b as u8);
+                }
+                Value::Int(i) => {
+                    buf.push(2);
+                    buf.extend_from_slice(&i.to_le_bytes());
+                }
+                Value::Float(f) => {
+                    buf.push(3);
+                    buf.extend_from_slice(&f.to_bits().to_le_bytes());
+                }
+                Value::Str(s) => {
+                    buf.push(4);
+                    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                    buf.extend_from_slice(s.as_bytes());
+                }
+            }
+        }
+        buf
+    }
+
+    /// Deserialise from the storage format; errors on truncation or bad tags.
+    pub fn decode(bytes: &[u8]) -> Result<Tuple> {
+        let mut r = Reader::new(bytes);
+        let count = r.u16()? as usize;
+        let mut values = Vec::with_capacity(count);
+        for _ in 0..count {
+            let tag = r.u8()?;
+            let v = match tag {
+                0 => Value::Null,
+                1 => Value::Bool(r.u8()? != 0),
+                2 => Value::Int(i64::from_le_bytes(r.array::<8>()?)),
+                3 => Value::Float(f64::from_bits(u64::from_le_bytes(r.array::<8>()?))),
+                4 => {
+                    let len = u32::from_le_bytes(r.array::<4>()?) as usize;
+                    let raw = r.bytes(len)?;
+                    let s = std::str::from_utf8(raw).map_err(|_| {
+                        EvoptError::Storage("invalid UTF-8 in stored string".into())
+                    })?;
+                    Value::Str(s.to_owned())
+                }
+                t => {
+                    return Err(EvoptError::Storage(format!(
+                        "invalid value tag {t} in stored tuple"
+                    )))
+                }
+            };
+            values.push(v);
+        }
+        Ok(Tuple::new(values))
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple::new(values)
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// Bounds-checked little-endian reader over a byte slice.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| EvoptError::Storage("truncated tuple".into()))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.array::<2>()?))
+    }
+
+    fn array<const N: usize>(&mut self) -> Result<[u8; N]> {
+        let s = self.bytes(N)?;
+        let mut a = [0u8; N];
+        a.copy_from_slice(s);
+        Ok(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(t: &Tuple) {
+        let bytes = t.encode();
+        assert_eq!(bytes.len(), t.encoded_len());
+        let back = Tuple::decode(&bytes).unwrap();
+        assert_eq!(&back, t);
+    }
+
+    #[test]
+    fn roundtrip_all_types() {
+        roundtrip(&Tuple::new(vec![
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(-42),
+            Value::Float(3.25),
+            Value::Str("hello world".into()),
+        ]));
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        roundtrip(&Tuple::new(vec![]));
+    }
+
+    #[test]
+    fn decode_truncated_errors() {
+        let bytes = Tuple::new(vec![Value::Int(5)]).encode();
+        for cut in 0..bytes.len() {
+            assert!(Tuple::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn decode_bad_tag_errors() {
+        let mut bytes = Tuple::new(vec![Value::Int(5)]).encode();
+        bytes[2] = 99;
+        let e = Tuple::decode(&bytes).unwrap_err();
+        assert_eq!(e.kind(), "storage");
+    }
+
+    #[test]
+    fn join_and_project() {
+        let a = Tuple::new(vec![Value::Int(1), Value::Int(2)]);
+        let b = Tuple::new(vec![Value::Str("x".into())]);
+        let j = a.join(&b);
+        assert_eq!(j.len(), 3);
+        let p = j.project(&[2, 0]).unwrap();
+        assert_eq!(p.values(), &[Value::Str("x".into()), Value::Int(1)]);
+        assert!(j.project(&[7]).is_err());
+    }
+
+    #[test]
+    fn display() {
+        let t = Tuple::new(vec![Value::Int(1), Value::Null]);
+        assert_eq!(t.to_string(), "(1, NULL)");
+    }
+
+    fn arb_value() -> impl Strategy<Value = Value> {
+        prop_oneof![
+            Just(Value::Null),
+            any::<bool>().prop_map(Value::Bool),
+            any::<i64>().prop_map(Value::Int),
+            any::<f64>().prop_map(Value::Float),
+            ".{0,64}".prop_map(Value::Str),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn prop_encode_decode_roundtrip(values in prop::collection::vec(arb_value(), 0..20)) {
+            let t = Tuple::new(values);
+            let bytes = t.encode();
+            prop_assert_eq!(bytes.len(), t.encoded_len());
+            let back = Tuple::decode(&bytes).unwrap();
+            // NaN payloads survive bit-exactly, so Eq (total order) holds.
+            prop_assert_eq!(back, t);
+        }
+
+        #[test]
+        fn prop_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+            let _ = Tuple::decode(&bytes); // must not panic, may error
+        }
+    }
+}

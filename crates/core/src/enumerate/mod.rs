@@ -1,0 +1,932 @@
+//! Join-order enumeration.
+//!
+//! All strategies share one plan space, defined here:
+//!
+//! * a [`SubPlan`] is a costed physical plan covering a subset of the join
+//!   graph's relations (a [`RelMask`]), carrying the map from *global*
+//!   column ordinals to its output positions and the order it produces;
+//! * [`JoinContext::base_subplans`] turns access-path choices into leaf
+//!   subplans;
+//! * [`JoinContext::join_candidates`] combines two subplans with every
+//!   applicable join method (NL, block-NL, index-NL, sort-merge, hash),
+//!   applying exactly the predicates that first become evaluable at that
+//!   join.
+//!
+//! The strategies ([`Strategy`]) then differ only in *which* combinations
+//! they explore: exhaustive left-deep DP with interesting orders (System R),
+//! exhaustive bushy DP, greedy left-deep, greedy operator ordering, random
+//! sampling, or the unoptimized syntactic baseline.
+
+pub mod dp_bushy;
+pub mod dp_ccp;
+pub mod dp_sysr;
+pub mod goo;
+pub mod greedy;
+pub mod quickpick;
+pub mod syntactic;
+
+use std::collections::BTreeMap;
+
+use evopt_common::{EvoptError, Expr, Result};
+use evopt_plan::join_graph::{JoinGraph, RelMask};
+
+use crate::access_path::{IndexMeta, PathChoice, PathKind};
+use crate::cost::{Cost, CostModel};
+use crate::physical::{PhysOp, PhysicalPlan};
+use crate::selectivity::EstimationContext;
+
+/// Usable bytes per page when estimating materialised sizes.
+const USABLE_PAGE_BYTES: f64 = 4084.0;
+
+/// Which enumeration algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// System R: dynamic programming over left-deep trees with interesting
+    /// orders and deferred cross products. The default.
+    SystemR,
+    /// Dynamic programming over all bushy trees (naive partition
+    /// enumeration, O(3ⁿ)).
+    BushyDp,
+    /// Bushy DP via connected-subgraph/complement-pair enumeration
+    /// (DPccp): identical plan space and optimum, enumeration effort
+    /// proportional to the number of *connected* pairs.
+    DpCcp,
+    /// Left-deep greedy: repeatedly join in the neighbour producing the
+    /// smallest intermediate result.
+    Greedy,
+    /// Greedy operator ordering: repeatedly merge the *pair* of subplans
+    /// with the smallest join result (produces bushy trees).
+    Goo,
+    /// Sample `samples` random join orders, keep the cheapest.
+    QuickPick { samples: usize, seed: u64 },
+    /// No optimization: syntactic order, sequential scans, block nested
+    /// loops. The 1977 "unoptimized" baseline.
+    Syntactic,
+}
+
+impl Strategy {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::SystemR => "system-r",
+            Strategy::BushyDp => "bushy-dp",
+            Strategy::DpCcp => "dpccp",
+            Strategy::Greedy => "greedy",
+            Strategy::Goo => "goo",
+            Strategy::QuickPick { .. } => "quickpick",
+            Strategy::Syntactic => "syntactic",
+        }
+    }
+}
+
+/// One relation of the join graph, with everything the enumerator needs.
+#[derive(Debug, Clone)]
+pub struct BaseRel {
+    /// Base-table name (`None` for opaque leaves like aggregates-in-FROM).
+    pub table: Option<String>,
+    /// Rows before local predicates.
+    pub rows_raw: f64,
+    /// Heap pages.
+    pub pages_raw: f64,
+    /// Mean tuple bytes.
+    pub width: f64,
+    /// Combined selectivity of the relation's local predicates.
+    pub local_sel: f64,
+    /// Local predicates in **global** ordinals (for index-NL residuals).
+    pub local_preds_global: Vec<Expr>,
+    /// Access-path candidates (table-local ordinals).
+    pub paths: Vec<PathChoice>,
+    /// Indexes (table-local column ordinals), for index nested loops.
+    pub indexes: Vec<IndexMeta>,
+    /// Pre-built physical plan for opaque leaves.
+    pub opaque_plan: Option<PhysicalPlan>,
+}
+
+/// Shared state for one enumeration run.
+pub struct JoinContext<'a> {
+    pub graph: &'a JoinGraph,
+    /// Global-ordinal statistics.
+    pub est: &'a EstimationContext,
+    pub model: &'a CostModel,
+    pub rels: Vec<BaseRel>,
+    /// Global ordinal the final output should be ordered by, if any.
+    pub required_order: Option<usize>,
+    /// When false, produced orders are discarded (ablation for F3).
+    pub track_orders: bool,
+}
+
+/// A costed plan covering `mask`'s relations.
+#[derive(Debug, Clone)]
+pub struct SubPlan {
+    pub mask: RelMask,
+    pub plan: PhysicalPlan,
+    pub rows: f64,
+    pub width: f64,
+    pub cost: Cost,
+    /// Global ordinal → position in this plan's output (None if absent —
+    /// never happens today since leaves keep full schemas).
+    pub col_map: Vec<Option<usize>>,
+    /// Global ordinal whose ascending order the output satisfies.
+    pub order: Option<usize>,
+}
+
+impl SubPlan {
+    /// Estimated materialised size in pages.
+    pub fn pages(&self) -> f64 {
+        ((self.rows * self.width) / USABLE_PAGE_BYTES).ceil().max(1.0)
+    }
+}
+
+impl<'a> JoinContext<'a> {
+    /// Total number of global columns.
+    pub fn total_cols(&self) -> usize {
+        self.graph.offsets.last().map_or(0, |&o| o)
+            + self.graph.schemas.last().map_or(0, |s| s.len())
+    }
+
+    fn bit(r: usize) -> RelMask {
+        1u64 << r
+    }
+
+    /// Leaf subplans for relation `r`, one per surviving access path.
+    pub fn base_subplans(&self, r: usize) -> Vec<SubPlan> {
+        let rel = &self.rels[r];
+        let offset = self.graph.offsets[r];
+        let schema = self.graph.schemas[r].clone();
+        let ncols = schema.len();
+        let total = self.total_cols();
+        let mut col_map = vec![None; total];
+        for i in 0..ncols {
+            col_map[offset + i] = Some(i);
+        }
+        if let Some(plan) = &rel.opaque_plan {
+            return vec![SubPlan {
+                mask: Self::bit(r),
+                rows: plan.est_rows,
+                width: rel.width,
+                cost: plan.est_cost,
+                plan: plan.clone(),
+                col_map,
+                order: None,
+            }];
+        }
+        let table = rel.table.clone().expect("non-opaque leaf has a table");
+        rel.paths
+            .iter()
+            .map(|p| {
+                let op = match &p.kind {
+                    PathKind::SeqScan { filter } => PhysOp::SeqScan {
+                        table: table.clone(),
+                        filter: filter.clone(),
+                    },
+                    PathKind::IndexScan {
+                        index,
+                        range,
+                        residual,
+                        clustered,
+                    } => PhysOp::IndexScan {
+                        table: table.clone(),
+                        index: index.clone(),
+                        range: range.clone(),
+                        residual: residual.clone(),
+                        clustered: *clustered,
+                    },
+                };
+                let order = if self.track_orders {
+                    p.order.map(|c| c + offset)
+                } else {
+                    None
+                };
+                SubPlan {
+                    mask: Self::bit(r),
+                    plan: PhysicalPlan {
+                        op,
+                        schema: schema.clone(),
+                        est_rows: p.rows,
+                        est_cost: p.cost,
+                        output_order: order,
+                    },
+                    rows: p.rows,
+                    width: rel.width,
+                    cost: p.cost,
+                    col_map: col_map.clone(),
+                    order,
+                }
+            })
+            .collect()
+    }
+
+    /// The cheapest leaf subplan for `r` (by total cost).
+    pub fn cheapest_base(&self, r: usize) -> SubPlan {
+        self.base_subplans(r)
+            .into_iter()
+            .min_by(|a, b| {
+                self.model
+                    .total(a.cost)
+                    .total_cmp(&self.model.total(b.cost))
+            })
+            .expect("relation always has at least the seq-scan path")
+    }
+
+    /// The sequential-scan leaf for `r` (the baseline's only choice).
+    pub fn seq_base(&self, r: usize) -> SubPlan {
+        self.base_subplans(r)
+            .into_iter()
+            .find(|sp| matches!(sp.plan.op, PhysOp::SeqScan { .. }) || self.rels[r].opaque_plan.is_some())
+            .expect("seq scan path always exists")
+    }
+
+    /// Remap a global-ordinal expression into `col_map`-local ordinals.
+    fn remap(&self, e: &Expr, col_map: &[Option<usize>]) -> Result<Expr> {
+        for c in e.referenced_columns() {
+            if col_map.get(c).copied().flatten().is_none() {
+                return Err(EvoptError::Plan(format!(
+                    "predicate references column {c} outside the joined subset"
+                )));
+            }
+        }
+        Ok(e.remap_columns(&|g| col_map[g].expect("validated")))
+    }
+
+    /// All join methods applicable to `left ⋈ right`. Empty when the pair is
+    /// unconnected and `allow_cross` is false.
+    pub fn join_candidates(
+        &self,
+        left: &SubPlan,
+        right: &SubPlan,
+        allow_cross: bool,
+    ) -> Result<Vec<SubPlan>> {
+        debug_assert_eq!(left.mask & right.mask, 0, "overlapping subplans");
+        let preds = self.graph.join_predicates(left.mask, right.mask);
+        if preds.is_empty() && !allow_cross {
+            return Ok(vec![]);
+        }
+        let sel: f64 = preds
+            .iter()
+            .map(|p| self.est.selectivity(&p.expr))
+            .product();
+        let out_rows = (left.rows * right.rows * sel).max(1e-6);
+        let out_width = left.width + right.width;
+        let mask = left.mask | right.mask;
+        let left_cols = left.plan.schema.len();
+        // Combined global→local map.
+        let mut col_map = vec![None; self.total_cols()];
+        for (g, pos) in left.col_map.iter().enumerate() {
+            col_map[g] = *pos;
+        }
+        for (g, pos) in right.col_map.iter().enumerate() {
+            if let Some(p) = pos {
+                col_map[g] = Some(left_cols + p);
+            }
+        }
+        let schema = left.plan.schema.join(&right.plan.schema);
+
+        // Pick the first usable equi-join predicate as the physical key.
+        let mut key: Option<(usize, usize)> = None; // (global left col, global right col)
+        for p in &preds {
+            if let Some((a, b)) = p.as_equi_join() {
+                if left.col_map[a].is_some() && right.col_map[b].is_some() {
+                    key = Some((a, b));
+                    break;
+                }
+                if left.col_map[b].is_some() && right.col_map[a].is_some() {
+                    key = Some((b, a));
+                    break;
+                }
+            }
+        }
+
+        let all_pred: Option<Expr> = if preds.is_empty() {
+            None
+        } else {
+            Some(self.remap(
+                &Expr::conjunction(preds.iter().map(|p| p.expr.clone()).collect()),
+                &col_map,
+            )?)
+        };
+        // Residual = every predicate except the keyed equi-join.
+        let residual: Option<Expr> = {
+            let rest: Vec<Expr> = preds
+                .iter()
+                .filter(|p| match (key, p.as_equi_join()) {
+                    (Some((a, b)), Some((x, y))) => !(x == a.min(b) && y == a.max(b)),
+                    _ => true,
+                })
+                .map(|p| p.expr.clone())
+                .collect();
+            if rest.is_empty() {
+                None
+            } else {
+                Some(self.remap(&Expr::conjunction(rest), &col_map)?)
+            }
+        };
+
+        let mut out = Vec::new();
+        let mk = |op: PhysOp, cost: Cost, order: Option<usize>| SubPlan {
+            mask,
+            plan: PhysicalPlan {
+                op,
+                schema: schema.clone(),
+                est_rows: out_rows,
+                est_cost: cost,
+                output_order: if self.track_orders { order } else { None },
+            },
+            rows: out_rows,
+            width: out_width,
+            cost,
+            col_map: col_map.clone(),
+            order: if self.track_orders { order } else { None },
+        };
+
+        // Block nested loops: always applicable. Does NOT preserve the
+        // outer order (the executor loops inner-tuple-over-block).
+        let bnl_cost = left.cost
+            + right.cost
+            + self
+                .model
+                .bnl_join(left.rows, left.pages(), right.rows, right.pages());
+        out.push(mk(
+            PhysOp::BlockNestedLoopJoin {
+                left: Box::new(left.plan.clone()),
+                right: Box::new(right.plan.clone()),
+                predicate: all_pred.clone(),
+                block_pages: self.model.buffer_pages,
+            },
+            bnl_cost,
+            None,
+        ));
+
+        // Tuple nested loops: right side re-run per outer row; only offered
+        // when the right side is a single relation (re-running a deep tree
+        // is never competitive and bloats the search).
+        if right.mask.count_ones() == 1 {
+            let nl_cost =
+                left.cost + self.model.nl_join(left.rows, right.cost, right.rows);
+            out.push(mk(
+                PhysOp::NestedLoopJoin {
+                    left: Box::new(left.plan.clone()),
+                    right: Box::new(right.plan.clone()),
+                    predicate: all_pred.clone(),
+                },
+                nl_cost,
+                left.order,
+            ));
+        }
+
+        if let Some((ga, gb)) = key {
+            let lk = left.col_map[ga].expect("key on left");
+            let rk = right.col_map[gb].expect("key on right");
+
+            // Hash join (build right, probe left; probe order preserved).
+            let hj_cost = left.cost
+                + right.cost
+                + self
+                    .model
+                    .hash_join(left.rows, left.pages(), right.rows, right.pages());
+            out.push(mk(
+                PhysOp::HashJoin {
+                    left: Box::new(left.plan.clone()),
+                    right: Box::new(right.plan.clone()),
+                    left_key: lk,
+                    right_key: rk,
+                    residual: residual.clone(),
+                },
+                hj_cost,
+                left.order,
+            ));
+
+            // Sort-merge join: sort whichever inputs aren't already ordered.
+            let (lplan, lsort) = self.sorted_input(left, ga);
+            let (rplan, rsort) = self.sorted_input(right, gb);
+            let smj_cost = left.cost
+                + right.cost
+                + lsort
+                + rsort
+                + self.model.merge_join(left.rows, right.rows);
+            out.push(mk(
+                PhysOp::SortMergeJoin {
+                    left: Box::new(lplan),
+                    right: Box::new(rplan),
+                    left_key: lk,
+                    right_key: rk,
+                    residual: residual.clone(),
+                },
+                smj_cost,
+                Some(ga),
+            ));
+
+            // Index nested loops: right must be one base relation with an
+            // index on the join column.
+            if right.mask.count_ones() == 1 {
+                let r_idx = right.mask.trailing_zeros() as usize;
+                let rel = &self.rels[r_idx];
+                if let Some(table) = &rel.table {
+                    let local_col = gb - self.graph.offsets[r_idx];
+                    for idx in rel.indexes.iter().filter(|i| i.column == local_col) {
+                        let probe_sel = self.est.join_eq_selectivity(ga, gb);
+                        let matches_per_probe = rel.rows_raw * probe_sel;
+                        let inl_cost = left.cost
+                            + self.model.inl_join(
+                                left.rows,
+                                idx.height,
+                                matches_per_probe,
+                                idx.clustered,
+                                rel.pages_raw,
+                                rel.rows_raw,
+                            );
+                        // Residual: non-key join predicates + the inner's
+                        // local predicates (the probe bypasses access paths).
+                        let mut resid = preds
+                            .iter()
+                            .filter(|p| {
+                                p.as_equi_join() != Some((ga.min(gb), ga.max(gb)))
+                            })
+                            .map(|p| p.expr.clone())
+                            .collect::<Vec<_>>();
+                        resid.extend(rel.local_preds_global.iter().cloned());
+                        let resid = if resid.is_empty() {
+                            None
+                        } else {
+                            Some(self.remap(&Expr::conjunction(resid), &col_map)?)
+                        };
+                        out.push(mk(
+                            PhysOp::IndexNestedLoopJoin {
+                                outer: Box::new(left.plan.clone()),
+                                inner_table: table.clone(),
+                                index: idx.name.clone(),
+                                outer_key: lk,
+                                residual: resid,
+                            },
+                            inl_cost,
+                            left.order,
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// `(plan, extra sort cost)` for using `sp` as a merge-join input keyed
+    /// on global column `g`.
+    fn sorted_input(&self, sp: &SubPlan, g: usize) -> (PhysicalPlan, Cost) {
+        if self.track_orders && sp.order == Some(g) {
+            return (sp.plan.clone(), Cost::ZERO);
+        }
+        let local = sp.col_map[g].expect("key column present");
+        let sort_cost = self.model.sort(sp.rows, sp.pages());
+        let plan = PhysicalPlan {
+            schema: sp.plan.schema.clone(),
+            est_rows: sp.rows,
+            est_cost: sp.cost + sort_cost,
+            output_order: Some(g),
+            op: PhysOp::Sort {
+                input: Box::new(sp.plan.clone()),
+                keys: vec![(local, true)],
+            },
+        };
+        (plan, sort_cost)
+    }
+
+    /// Wrap `sp` in an explicit sort on global column `g`.
+    pub fn enforce_order(&self, sp: &SubPlan, g: usize) -> SubPlan {
+        let (plan, extra) = {
+            let local = sp.col_map[g].expect("order column present");
+            let sort_cost = self.model.sort(sp.rows, sp.pages());
+            (
+                PhysicalPlan {
+                    schema: sp.plan.schema.clone(),
+                    est_rows: sp.rows,
+                    est_cost: sp.cost + sort_cost,
+                    output_order: Some(g),
+                    op: PhysOp::Sort {
+                        input: Box::new(sp.plan.clone()),
+                        keys: vec![(local, true)],
+                    },
+                },
+                sort_cost,
+            )
+        };
+        SubPlan {
+            mask: sp.mask,
+            plan,
+            rows: sp.rows,
+            width: sp.width,
+            cost: sp.cost + extra,
+            col_map: sp.col_map.clone(),
+            order: Some(g),
+        }
+    }
+
+    /// From complete candidates, pick the best given the required order:
+    /// an already-ordered plan competes against cheapest-plus-sort. The
+    /// comparison also charges the column-order-restoring projection that
+    /// `finalize` will add for non-identity outputs, so the enumeration
+    /// objective matches the cost of the plan actually returned.
+    pub fn pick_final(&self, candidates: Vec<SubPlan>) -> Result<SubPlan> {
+        if candidates.is_empty() {
+            return Err(EvoptError::Plan("enumeration produced no plan".into()));
+        }
+        let total = self.total_cols();
+        let effective = |sp: &SubPlan| {
+            let identity = (0..total).all(|g| sp.col_map[g] == Some(g));
+            let restore = if identity {
+                Cost::ZERO
+            } else {
+                self.model.per_tuple(sp.rows)
+            };
+            self.model.total(sp.cost + restore)
+        };
+        let best = candidates
+            .into_iter()
+            .map(|sp| match self.required_order {
+                Some(g) if sp.order != Some(g) => self.enforce_order(&sp, g),
+                _ => sp,
+            })
+            .min_by(|a, b| effective(a).total_cmp(&effective(b)))
+            .expect("non-empty");
+        Ok(best)
+    }
+
+    /// Whether joining `left` to `right` is connected (has a predicate).
+    pub fn is_connected(&self, left: RelMask, right: RelMask) -> bool {
+        self.graph.connected(left, right)
+    }
+}
+
+/// Dominance table keyed by `(mask, order)`; admits a plan only if it beats
+/// the incumbent. BTreeMap (not HashMap) so iteration — and therefore tie
+/// resolution between equal-cost plans — is deterministic run to run.
+#[derive(Default)]
+pub struct PlanTable {
+    plans: BTreeMap<(RelMask, Option<usize>), SubPlan>,
+}
+
+impl PlanTable {
+    pub fn new() -> Self {
+        PlanTable::default()
+    }
+
+    /// Insert if cheaper than the incumbent for the same (mask, order).
+    /// Exact cost ties go to the plan whose column map is closer to the
+    /// identity — mirror-image join trees often tie, and the identity-closer
+    /// one avoids the final column-restoring projection.
+    pub fn admit(&mut self, sp: SubPlan, model: &CostModel) {
+        let fixed_points = |p: &SubPlan| {
+            p.col_map
+                .iter()
+                .enumerate()
+                .filter(|(g, m)| **m == Some(*g))
+                .count()
+        };
+        let key = (sp.mask, sp.order);
+        match self.plans.get(&key) {
+            Some(cur) => {
+                let (a, b) = (model.total(sp.cost), model.total(cur.cost));
+                if a < b || (a == b && fixed_points(&sp) > fixed_points(cur)) {
+                    self.plans.insert(key, sp);
+                }
+            }
+            None => {
+                self.plans.insert(key, sp);
+            }
+        }
+    }
+
+    /// All retained plans for `mask`.
+    pub fn plans_for(&self, mask: RelMask) -> Vec<&SubPlan> {
+        self.plans
+            .iter()
+            .filter(|((m, _), _)| *m == mask)
+            .map(|(_, p)| p)
+            .collect()
+    }
+
+    /// All retained plans for `mask`, cloned (for mutation-during-iteration
+    /// call sites).
+    pub fn plans_for_cloned(&self, mask: RelMask) -> Vec<SubPlan> {
+        self.plans_for(mask).into_iter().cloned().collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+}
+
+/// Run the chosen strategy.
+pub fn enumerate(ctx: &JoinContext, strategy: Strategy) -> Result<SubPlan> {
+    match strategy {
+        Strategy::SystemR => dp_sysr::run(ctx),
+        Strategy::BushyDp => dp_bushy::run(ctx),
+        Strategy::DpCcp => dp_ccp::run(ctx),
+        Strategy::Greedy => greedy::run(ctx),
+        Strategy::Goo => goo::run(ctx),
+        Strategy::QuickPick { samples, seed } => quickpick::run(ctx, samples, seed),
+        Strategy::Syntactic => syntactic::run(ctx),
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod fixtures {
+    //! Synthetic join graphs + contexts for strategy tests, built without a
+    //! real catalog.
+
+    use super::*;
+    use evopt_catalog::ColumnStats;
+    use evopt_common::expr::col;
+    use evopt_common::{Column, DataType, Schema, Value};
+    use evopt_plan::LogicalPlan;
+    use crate::selectivity::ColumnInfo;
+
+    /// Specification of one synthetic relation.
+    pub struct RelSpec {
+        pub name: &'static str,
+        pub rows: f64,
+        /// NDV of each of the relation's 2 int columns (c0 = key, c1 = fk).
+        pub ndv: [u64; 2],
+        pub indexed: bool,
+    }
+
+    pub struct Fixture {
+        pub graph: JoinGraph,
+        pub est: EstimationContext,
+        pub model: CostModel,
+        pub rels: Vec<BaseRel>,
+    }
+
+    impl Fixture {
+        pub fn ctx(&self) -> JoinContext<'_> {
+            JoinContext {
+                graph: &self.graph,
+                est: &self.est,
+                model: &self.model,
+                rels: self.rels.clone(),
+                required_order: None,
+                track_orders: true,
+            }
+        }
+    }
+
+    /// Build a fixture: relations with 2 int columns each, joined by the
+    /// given edges `(rel_a, col_a, rel_b, col_b)` (column 0 or 1, local).
+    pub fn build(specs: &[RelSpec], edges: &[(usize, usize, usize, usize)]) -> Fixture {
+        let model = CostModel::default();
+        // Logical scans.
+        let scans: Vec<LogicalPlan> = specs
+            .iter()
+            .map(|s| LogicalPlan::Scan {
+                table: s.name.to_string(),
+                schema: Schema::new(vec![
+                    Column::new("c0", DataType::Int).with_table(s.name),
+                    Column::new("c1", DataType::Int).with_table(s.name),
+                ]),
+            })
+            .collect();
+        // Fold into a left-deep cross join, then a filter with the edges.
+        let mut plan = scans[0].clone();
+        for s in &scans[1..] {
+            plan = LogicalPlan::Join {
+                left: Box::new(plan),
+                right: Box::new(s.clone()),
+                predicate: None,
+            };
+        }
+        let mut conjuncts = Vec::new();
+        for &(ra, ca, rb, cb) in edges {
+            conjuncts.push(Expr::eq(col(ra * 2 + ca), col(rb * 2 + cb)));
+        }
+        if !conjuncts.is_empty() {
+            plan = LogicalPlan::Filter {
+                input: Box::new(plan),
+                predicate: Expr::conjunction(conjuncts),
+            };
+        }
+        let graph = JoinGraph::extract(&plan).expect("fixture is a join");
+
+        // Stats: uniform ints, no histograms (NDV-only estimation).
+        let mut cols = Vec::new();
+        for s in specs {
+            for c in 0..2 {
+                cols.push(ColumnInfo {
+                    stats: Some(ColumnStats {
+                        null_count: 0,
+                        ndv: s.ndv[c],
+                        min: Some(Value::Int(0)),
+                        max: Some(Value::Int(s.ndv[c] as i64 - 1)),
+                        mcvs: vec![],
+                        histogram: None,
+                    }),
+                    table_rows: s.rows as u64,
+                });
+            }
+        }
+        let est = EstimationContext::new(cols);
+
+        // Base relations: 40-byte tuples, ~100/page.
+        let mut rels = Vec::new();
+        for (i, s) in specs.iter().enumerate() {
+            let pages = (s.rows / 100.0).ceil().max(1.0);
+            let indexes = if s.indexed {
+                vec![IndexMeta {
+                    name: format!("{}_c0", s.name),
+                    column: 0,
+                    height: 2.0,
+                    pages: (s.rows / 300.0).ceil().max(1.0),
+                    clustered: false,
+                    unique: false,
+                }]
+            } else {
+                vec![]
+            };
+            // Local estimation context (table-local ordinals).
+            let local_est = EstimationContext::new(
+                (0..2)
+                    .map(|c| est.columns[i * 2 + c].clone())
+                    .collect(),
+            );
+            let rel_meta = crate::access_path::RelMeta {
+                table: s.name.to_string(),
+                rows: s.rows,
+                pages,
+                indexes: indexes.clone(),
+            };
+            let paths =
+                crate::access_path::access_paths(&rel_meta, &[], &local_est, &model);
+            rels.push(BaseRel {
+                table: Some(s.name.to_string()),
+                rows_raw: s.rows,
+                pages_raw: pages,
+                width: 40.0,
+                local_sel: 1.0,
+                local_preds_global: vec![],
+                paths,
+                indexes,
+                opaque_plan: None,
+            });
+        }
+        Fixture {
+            graph,
+            est,
+            model,
+            rels,
+        }
+    }
+
+    /// A 3-relation chain: t(1k) — u(10k) — v(100k), keys indexed on v.
+    pub fn chain3() -> Fixture {
+        build(
+            &[
+                RelSpec { name: "t", rows: 1_000.0, ndv: [1_000, 100], indexed: false },
+                RelSpec { name: "u", rows: 10_000.0, ndv: [10_000, 1_000], indexed: false },
+                RelSpec { name: "v", rows: 100_000.0, ndv: [100_000, 10_000], indexed: true },
+            ],
+            // t.c0 = u.c1, u.c0 = v.c1
+            &[(0, 0, 1, 1), (1, 0, 2, 1)],
+        )
+    }
+
+    /// A star: fact f(100k) joined to 3 dimensions (100, 1k, 10k rows).
+    pub fn star4() -> Fixture {
+        build(
+            &[
+                RelSpec { name: "f", rows: 100_000.0, ndv: [100_000, 100], indexed: false },
+                RelSpec { name: "d1", rows: 100.0, ndv: [100, 10], indexed: false },
+                RelSpec { name: "d2", rows: 1_000.0, ndv: [1_000, 10], indexed: false },
+                RelSpec { name: "d3", rows: 10_000.0, ndv: [10_000, 10], indexed: true },
+            ],
+            // f.c1 = d1.c0; f.c0 = d2.c0 (abusing c0 as another fk); f.c0 = d3.c0
+            &[(0, 1, 1, 0), (0, 0, 2, 0), (0, 0, 3, 0)],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::fixtures::*;
+    use super::*;
+
+    #[test]
+    fn base_subplans_have_global_col_maps() {
+        let f = chain3();
+        let ctx = f.ctx();
+        assert_eq!(ctx.total_cols(), 6);
+        let t = ctx.base_subplans(1);
+        assert!(!t.is_empty());
+        let sp = &t[0];
+        assert_eq!(sp.mask, 0b010);
+        assert_eq!(sp.col_map[2], Some(0));
+        assert_eq!(sp.col_map[3], Some(1));
+        assert_eq!(sp.col_map[0], None);
+    }
+
+    #[test]
+    fn join_candidates_produce_all_methods_with_key() {
+        let f = chain3();
+        let ctx = f.ctx();
+        let t = ctx.cheapest_base(0);
+        let u = ctx.cheapest_base(1);
+        let cands = ctx.join_candidates(&t, &u, false).unwrap();
+        let names: Vec<_> = cands.iter().map(|c| c.plan.op_name()).collect();
+        assert!(names.contains(&"BlockNestedLoopJoin"));
+        assert!(names.contains(&"NestedLoopJoin"));
+        assert!(names.contains(&"HashJoin"));
+        assert!(names.contains(&"SortMergeJoin"));
+        // No index on u → no INL.
+        assert!(!names.contains(&"IndexNestedLoopJoin"));
+        // Rows: |t| × |u| / max(ndv) = 1k × 10k / 10^3... edge t.c0=u.c1
+        // (ndv 1000 both) → 10k rows.
+        for c in &cands {
+            assert!((c.rows - 10_000.0).abs() / 10_000.0 < 0.01, "rows {}", c.rows);
+        }
+    }
+
+    #[test]
+    fn inl_offered_against_indexed_inner() {
+        let f = chain3();
+        let ctx = f.ctx();
+        // u joined to v (v has index on c0; edge is u.c0 = v.c1 → the index
+        // is NOT on the join column, so still no INL).
+        let u = ctx.cheapest_base(1);
+        let v = ctx.cheapest_base(2);
+        let cands = ctx.join_candidates(&u, &v, false).unwrap();
+        assert!(!cands.iter().any(|c| c.plan.op_name() == "IndexNestedLoopJoin"));
+        // Star fixture: f.c0 = d3.c0 and d3 has an index on c0 → INL exists.
+        let s = star4();
+        let sctx = s.ctx();
+        let fact = sctx.cheapest_base(0);
+        let d3 = sctx.cheapest_base(3);
+        let cands = sctx.join_candidates(&fact, &d3, false).unwrap();
+        assert!(
+            cands.iter().any(|c| c.plan.op_name() == "IndexNestedLoopJoin"),
+            "methods: {:?}",
+            cands.iter().map(|c| c.plan.op_name()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn unconnected_pair_requires_allow_cross() {
+        let f = chain3();
+        let ctx = f.ctx();
+        let t = ctx.cheapest_base(0);
+        let v = ctx.cheapest_base(2);
+        assert!(ctx.join_candidates(&t, &v, false).unwrap().is_empty());
+        let crossed = ctx.join_candidates(&t, &v, true).unwrap();
+        assert!(!crossed.is_empty());
+        // Cross product cardinality.
+        assert!((crossed[0].rows - 1_000.0 * 100_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn smj_output_is_ordered_and_reuses_sorted_inputs() {
+        let f = chain3();
+        let ctx = f.ctx();
+        let t = ctx.cheapest_base(0);
+        let u = ctx.cheapest_base(1);
+        let cands = ctx.join_candidates(&t, &u, false).unwrap();
+        let smj = cands
+            .iter()
+            .find(|c| c.plan.op_name() == "SortMergeJoin")
+            .unwrap();
+        // Key is t.c0 (global 0).
+        assert_eq!(smj.order, Some(0));
+        // Both inputs unsorted → two Sort children.
+        match &smj.plan.op {
+            PhysOp::SortMergeJoin { left, right, .. } => {
+                assert_eq!(left.op_name(), "Sort");
+                assert_eq!(right.op_name(), "Sort");
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn plan_table_dominance() {
+        let f = chain3();
+        let ctx = f.ctx();
+        let model = ctx.model;
+        let mut table = PlanTable::new();
+        let cheap = ctx.cheapest_base(0);
+        let mut pricey = cheap.clone();
+        pricey.cost = Cost::new(cheap.cost.io + 1000.0, cheap.cost.cpu);
+        table.admit(pricey.clone(), model);
+        table.admit(cheap.clone(), model);
+        table.admit(pricey, model);
+        let kept = table.plans_for(cheap.mask);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(model.total(kept[0].cost), model.total(cheap.cost));
+    }
+
+    #[test]
+    fn enforce_order_adds_sort_once() {
+        let f = chain3();
+        let ctx = f.ctx();
+        let t = ctx.cheapest_base(0);
+        let sorted = ctx.enforce_order(&t, 1);
+        assert_eq!(sorted.order, Some(1));
+        assert_eq!(sorted.plan.op_name(), "Sort");
+        assert!(ctx.model.total(sorted.cost) >= ctx.model.total(t.cost));
+    }
+}

@@ -1,0 +1,430 @@
+//! Physical plans: the optimizer's output, the executor's input.
+//!
+//! A [`PhysicalPlan`] is an operator ([`PhysOp`]) plus the annotations the
+//! optimizer computed for it: output schema, estimated rows, estimated
+//! [`Cost`], and (when known) the sort order its output satisfies. The
+//! executor ignores the estimates; the experiment harness compares them
+//! against measured truth.
+
+use std::fmt;
+use std::ops::Bound;
+
+use evopt_common::{AggFunc, Expr, Schema, Value};
+
+use crate::cost::Cost;
+
+/// Key range for an index scan (bounds on the indexed column).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyRange {
+    pub low: Bound<Value>,
+    pub high: Bound<Value>,
+}
+
+impl KeyRange {
+    pub fn all() -> KeyRange {
+        KeyRange {
+            low: Bound::Unbounded,
+            high: Bound::Unbounded,
+        }
+    }
+
+    pub fn eq(v: Value) -> KeyRange {
+        KeyRange {
+            low: Bound::Included(v.clone()),
+            high: Bound::Included(v),
+        }
+    }
+}
+
+impl fmt::Display for KeyRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.low {
+            Bound::Unbounded => write!(f, "(-inf")?,
+            Bound::Included(v) => write!(f, "[{v}")?,
+            Bound::Excluded(v) => write!(f, "({v}")?,
+        }
+        f.write_str(", ")?;
+        match &self.high {
+            Bound::Unbounded => write!(f, "+inf)"),
+            Bound::Included(v) => write!(f, "{v}]"),
+            Bound::Excluded(v) => write!(f, "{v})"),
+        }
+    }
+}
+
+/// One aggregate computation in a physical aggregate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhysAgg {
+    pub func: AggFunc,
+    pub arg: Option<Expr>,
+}
+
+/// Physical operators. All expressions use the operator's **input** ordinal
+/// space (joins: left ++ right).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysOp {
+    /// Full heap scan with an optional pushed-down filter.
+    SeqScan {
+        table: String,
+        filter: Option<Expr>,
+    },
+    /// B+-tree driven scan: fetch rids in `range`, then heap lookups, then
+    /// the residual filter.
+    IndexScan {
+        table: String,
+        index: String,
+        range: KeyRange,
+        residual: Option<Expr>,
+        clustered: bool,
+    },
+    Filter {
+        input: Box<PhysicalPlan>,
+        predicate: Expr,
+    },
+    Project {
+        input: Box<PhysicalPlan>,
+        exprs: Vec<Expr>,
+    },
+    /// Tuple-at-a-time nested loops; the right side is re-opened per outer
+    /// row (only used over cheap inners; the optimizer prefers BNL).
+    NestedLoopJoin {
+        left: Box<PhysicalPlan>,
+        right: Box<PhysicalPlan>,
+        predicate: Option<Expr>,
+    },
+    /// Block nested loops: materialise the right side once, stream the left
+    /// in blocks of `block_pages` buffer pages.
+    BlockNestedLoopJoin {
+        left: Box<PhysicalPlan>,
+        right: Box<PhysicalPlan>,
+        predicate: Option<Expr>,
+        block_pages: usize,
+    },
+    /// For each outer row, probe `index` on the inner base table.
+    IndexNestedLoopJoin {
+        outer: Box<PhysicalPlan>,
+        inner_table: String,
+        index: String,
+        /// Ordinal in the outer output whose value keys the probe.
+        outer_key: usize,
+        /// Residual predicate over outer ++ inner.
+        residual: Option<Expr>,
+    },
+    /// Merge join on single equality keys; inputs must arrive sorted.
+    SortMergeJoin {
+        left: Box<PhysicalPlan>,
+        right: Box<PhysicalPlan>,
+        left_key: usize,
+        right_key: usize,
+        residual: Option<Expr>,
+    },
+    /// Hash join: build on the right input, probe with the left.
+    HashJoin {
+        left: Box<PhysicalPlan>,
+        right: Box<PhysicalPlan>,
+        left_key: usize,
+        right_key: usize,
+        residual: Option<Expr>,
+    },
+    /// External merge sort.
+    Sort {
+        input: Box<PhysicalPlan>,
+        keys: Vec<(usize, bool)>,
+    },
+    /// Hash aggregation (no input order required).
+    HashAggregate {
+        input: Box<PhysicalPlan>,
+        group_by: Vec<usize>,
+        aggs: Vec<PhysAgg>,
+    },
+    /// Streaming aggregation over an input already sorted by the group
+    /// columns: O(1) state, emits each group as it closes, preserves the
+    /// group order. The interesting-orders payoff for GROUP BY.
+    SortAggregate {
+        input: Box<PhysicalPlan>,
+        group_by: Vec<usize>,
+        aggs: Vec<PhysAgg>,
+    },
+    Limit {
+        input: Box<PhysicalPlan>,
+        limit: usize,
+    },
+}
+
+/// An annotated physical operator tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhysicalPlan {
+    pub op: PhysOp,
+    pub schema: Schema,
+    /// Optimizer's row estimate.
+    pub est_rows: f64,
+    /// Optimizer's cumulative cost estimate (this operator and below).
+    pub est_cost: Cost,
+    /// Global-ordinal column (see `enumerate`) whose ascending order the
+    /// output satisfies, when known. Used for interesting-order reasoning;
+    /// `None` after ordinal spaces change (e.g. projections).
+    pub output_order: Option<usize>,
+}
+
+impl PhysicalPlan {
+    pub fn children(&self) -> Vec<&PhysicalPlan> {
+        match &self.op {
+            PhysOp::SeqScan { .. } | PhysOp::IndexScan { .. } => vec![],
+            PhysOp::Filter { input, .. }
+            | PhysOp::Project { input, .. }
+            | PhysOp::Sort { input, .. }
+            | PhysOp::HashAggregate { input, .. }
+            | PhysOp::SortAggregate { input, .. }
+            | PhysOp::Limit { input, .. } => vec![input],
+            PhysOp::IndexNestedLoopJoin { outer, .. } => vec![outer],
+            PhysOp::NestedLoopJoin { left, right, .. }
+            | PhysOp::BlockNestedLoopJoin { left, right, .. }
+            | PhysOp::SortMergeJoin { left, right, .. }
+            | PhysOp::HashJoin { left, right, .. } => vec![left, right],
+        }
+    }
+
+    /// Operator name for EXPLAIN output.
+    pub fn op_name(&self) -> &'static str {
+        match &self.op {
+            PhysOp::SeqScan { .. } => "SeqScan",
+            PhysOp::IndexScan { .. } => "IndexScan",
+            PhysOp::Filter { .. } => "Filter",
+            PhysOp::Project { .. } => "Project",
+            PhysOp::NestedLoopJoin { .. } => "NestedLoopJoin",
+            PhysOp::BlockNestedLoopJoin { .. } => "BlockNestedLoopJoin",
+            PhysOp::IndexNestedLoopJoin { .. } => "IndexNestedLoopJoin",
+            PhysOp::SortMergeJoin { .. } => "SortMergeJoin",
+            PhysOp::HashJoin { .. } => "HashJoin",
+            PhysOp::Sort { .. } => "Sort",
+            PhysOp::HashAggregate { .. } => "HashAggregate",
+            PhysOp::SortAggregate { .. } => "SortAggregate",
+            PhysOp::Limit { .. } => "Limit",
+        }
+    }
+
+    /// Number of operators in the tree.
+    pub fn node_count(&self) -> usize {
+        1 + self.children().iter().map(|c| c.node_count()).sum::<usize>()
+    }
+
+    /// All join operators in the tree, pre-order.
+    pub fn join_methods(&self) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        fn walk(p: &PhysicalPlan, out: &mut Vec<&'static str>) {
+            match &p.op {
+                PhysOp::NestedLoopJoin { .. }
+                | PhysOp::BlockNestedLoopJoin { .. }
+                | PhysOp::IndexNestedLoopJoin { .. }
+                | PhysOp::SortMergeJoin { .. }
+                | PhysOp::HashJoin { .. } => out.push(p.op_name()),
+                _ => {}
+            }
+            for c in p.children() {
+                walk(c, out);
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// Base tables scanned, left-to-right (the join order for left-deep
+    /// trees).
+    pub fn scan_order(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        fn walk(p: &PhysicalPlan, out: &mut Vec<String>) {
+            match &p.op {
+                PhysOp::SeqScan { table, .. } | PhysOp::IndexScan { table, .. } => {
+                    out.push(table.clone());
+                }
+                PhysOp::IndexNestedLoopJoin {
+                    outer, inner_table, ..
+                } => {
+                    walk(outer, out);
+                    out.push(inner_table.clone());
+                }
+                _ => {
+                    for c in p.children() {
+                        walk(c, out);
+                    }
+                }
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// EXPLAIN-style indented rendering with estimates.
+    pub fn display_indent(&self) -> String {
+        let mut s = String::new();
+        fn walk(p: &PhysicalPlan, depth: usize, s: &mut String) {
+            for _ in 0..depth {
+                s.push_str("  ");
+            }
+            let detail = match &p.op {
+                PhysOp::SeqScan { table, filter } => match filter {
+                    Some(f) => format!("SeqScan: {table} filter={f}"),
+                    None => format!("SeqScan: {table}"),
+                },
+                PhysOp::IndexScan {
+                    table,
+                    index,
+                    range,
+                    residual,
+                    clustered,
+                } => {
+                    let c = if *clustered { " clustered" } else { "" };
+                    let r = residual
+                        .as_ref()
+                        .map(|e| format!(" residual={e}"))
+                        .unwrap_or_default();
+                    format!("IndexScan: {table} via {index}{c} range={range}{r}")
+                }
+                PhysOp::Filter { predicate, .. } => format!("Filter: {predicate}"),
+                PhysOp::Project { exprs, .. } => {
+                    let list: Vec<String> = exprs.iter().map(|e| e.to_string()).collect();
+                    format!("Project: {}", list.join(", "))
+                }
+                PhysOp::NestedLoopJoin { predicate, .. } => match predicate {
+                    Some(e) => format!("NestedLoopJoin: {e}"),
+                    None => "NestedLoopJoin: cross".to_string(),
+                },
+                PhysOp::BlockNestedLoopJoin {
+                    predicate,
+                    block_pages,
+                    ..
+                } => match predicate {
+                    Some(e) => format!("BlockNestedLoopJoin(B={block_pages}): {e}"),
+                    None => format!("BlockNestedLoopJoin(B={block_pages}): cross"),
+                },
+                PhysOp::IndexNestedLoopJoin {
+                    inner_table,
+                    index,
+                    outer_key,
+                    ..
+                } => format!("IndexNestedLoopJoin: probe {inner_table}.{index} with #{outer_key}"),
+                PhysOp::SortMergeJoin {
+                    left_key,
+                    right_key,
+                    ..
+                } => format!("SortMergeJoin: #{left_key} = #{right_key}"),
+                PhysOp::HashJoin {
+                    left_key,
+                    right_key,
+                    ..
+                } => format!("HashJoin: #{left_key} = #{right_key}"),
+                PhysOp::Sort { keys, .. } => {
+                    let list: Vec<String> = keys
+                        .iter()
+                        .map(|(c, asc)| format!("#{c}{}", if *asc { "" } else { " DESC" }))
+                        .collect();
+                    format!("Sort: {}", list.join(", "))
+                }
+                PhysOp::HashAggregate { group_by, aggs, .. }
+                | PhysOp::SortAggregate { group_by, aggs, .. } => {
+                    let alist: Vec<String> = aggs
+                        .iter()
+                        .map(|a| match &a.arg {
+                            Some(e) => format!("{}({e})", a.func),
+                            None => a.func.to_string(),
+                        })
+                        .collect();
+                    format!(
+                        "{}: group_by={group_by:?} aggs=[{}]",
+                        p.op_name(),
+                        alist.join(", ")
+                    )
+                }
+                PhysOp::Limit { limit, .. } => format!("Limit: {limit}"),
+            };
+            s.push_str(&format!(
+                "{detail}  (rows={:.0}, cost={:.1})\n",
+                p.est_rows,
+                p.est_cost.io + p.est_cost.cpu
+            ));
+            for c in p.children() {
+                walk(c, depth + 1, s);
+            }
+        }
+        walk(self, 0, &mut s);
+        s
+    }
+}
+
+impl fmt::Display for PhysicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.display_indent())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evopt_common::{Column, DataType};
+
+    fn leaf(table: &str) -> PhysicalPlan {
+        PhysicalPlan {
+            op: PhysOp::SeqScan {
+                table: table.into(),
+                filter: None,
+            },
+            schema: Schema::new(vec![Column::new("a", DataType::Int).with_table(table)]),
+            est_rows: 100.0,
+            est_cost: Cost { io: 10.0, cpu: 100.0 },
+            output_order: None,
+        }
+    }
+
+    #[test]
+    fn tree_introspection() {
+        let join = PhysicalPlan {
+            schema: leaf("t").schema.join(&leaf("u").schema),
+            op: PhysOp::HashJoin {
+                left: Box::new(leaf("t")),
+                right: Box::new(leaf("u")),
+                left_key: 0,
+                right_key: 0,
+                residual: None,
+            },
+            est_rows: 100.0,
+            est_cost: Cost { io: 20.0, cpu: 400.0 },
+            output_order: None,
+        };
+        assert_eq!(join.node_count(), 3);
+        assert_eq!(join.join_methods(), vec!["HashJoin"]);
+        assert_eq!(join.scan_order(), vec!["t", "u"]);
+        let text = join.display_indent();
+        assert!(text.contains("HashJoin: #0 = #0"));
+        assert!(text.contains("  SeqScan: t"));
+    }
+
+    #[test]
+    fn inl_scan_order_includes_inner_table() {
+        let inl = PhysicalPlan {
+            schema: leaf("t").schema.clone(),
+            op: PhysOp::IndexNestedLoopJoin {
+                outer: Box::new(leaf("t")),
+                inner_table: "u".into(),
+                index: "u_idx".into(),
+                outer_key: 0,
+                residual: None,
+            },
+            est_rows: 50.0,
+            est_cost: Cost::ZERO,
+            output_order: None,
+        };
+        assert_eq!(inl.scan_order(), vec!["t", "u"]);
+        assert_eq!(inl.join_methods(), vec!["IndexNestedLoopJoin"]);
+    }
+
+    #[test]
+    fn key_range_display() {
+        assert_eq!(KeyRange::all().to_string(), "(-inf, +inf)");
+        assert_eq!(KeyRange::eq(Value::Int(5)).to_string(), "[5, 5]");
+        let r = KeyRange {
+            low: Bound::Excluded(Value::Int(1)),
+            high: Bound::Included(Value::Int(9)),
+        };
+        assert_eq!(r.to_string(), "(1, 9]");
+    }
+}

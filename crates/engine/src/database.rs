@@ -1,0 +1,806 @@
+//! The `Database` facade.
+
+use std::sync::Arc;
+
+use evopt_catalog::{analyze_table, AnalyzeConfig, Catalog, TableInfo};
+use evopt_common::{
+    Column, EvoptError, Expr, Result, Schema, Tuple, Value,
+};
+use evopt_core::physical::PhysicalPlan;
+use evopt_core::{CostModel, Optimizer, OptimizerConfig, Strategy};
+use evopt_exec::{run_collect, ExecEnv};
+use evopt_plan::LogicalPlan;
+use evopt_sql::ast::{AstExpr, Statement};
+use evopt_sql::{bind_select, parse};
+use evopt_storage::{BufferPool, DiskManager, IoSnapshot, PolicyKind};
+use parking_lot_shim::Mutex;
+
+/// Tiny shim so this crate doesn't depend on parking_lot directly: the
+/// standard mutex is fine at this layer (no poisoning paths matter here —
+/// panics abort the query anyway).
+mod parking_lot_shim {
+    pub struct Mutex<T>(std::sync::Mutex<T>);
+    impl<T> Mutex<T> {
+        pub fn new(v: T) -> Self {
+            Mutex(std::sync::Mutex::new(v))
+        }
+        pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+            self.0.lock().unwrap_or_else(|p| p.into_inner())
+        }
+    }
+}
+
+/// Construction-time knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct DatabaseConfig {
+    pub buffer_pages: usize,
+    pub policy: PolicyKind,
+    pub optimizer: OptimizerConfig,
+    pub analyze: AnalyzeConfig,
+}
+
+impl Default for DatabaseConfig {
+    fn default() -> Self {
+        DatabaseConfig {
+            buffer_pages: 256,
+            policy: PolicyKind::Lru,
+            optimizer: OptimizerConfig::default(),
+            analyze: AnalyzeConfig::default(),
+        }
+    }
+}
+
+/// The result of [`Database::execute`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResult {
+    /// A SELECT's output.
+    Rows { schema: Schema, rows: Vec<Tuple> },
+    /// Rows affected by DML.
+    Affected(usize),
+    /// EXPLAIN text.
+    Explained(String),
+    /// DDL success.
+    Ok,
+}
+
+impl QueryResult {
+    /// The rows of a `Rows` result (empty otherwise).
+    pub fn rows(self) -> Vec<Tuple> {
+        match self {
+            QueryResult::Rows { rows, .. } => rows,
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// A complete single-node database instance.
+pub struct Database {
+    disk: Arc<DiskManager>,
+    pool: Arc<BufferPool>,
+    catalog: Arc<Catalog>,
+    config: Mutex<DatabaseConfig>,
+}
+
+impl Database {
+    /// The shared buffer pool (pool-level hit/miss stats for experiments).
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+}
+
+impl Database {
+    pub fn new(config: DatabaseConfig) -> Database {
+        let disk = Arc::new(DiskManager::new());
+        let pool = BufferPool::new(Arc::clone(&disk), config.buffer_pages, config.policy);
+        let catalog = Arc::new(Catalog::new(Arc::clone(&pool)));
+        Database {
+            disk,
+            pool,
+            catalog,
+            config: Mutex::new(config),
+        }
+    }
+
+    /// 256-page LRU pool, System R optimizer, equi-depth ANALYZE.
+    pub fn with_defaults() -> Database {
+        Database::new(DatabaseConfig::default())
+    }
+
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    pub fn disk(&self) -> &Arc<DiskManager> {
+        &self.disk
+    }
+
+    /// Current optimizer config (copy).
+    pub fn optimizer_config(&self) -> OptimizerConfig {
+        self.config.lock().optimizer
+    }
+
+    /// Swap the join-enumeration strategy (T1/F1/F2 sweeps).
+    pub fn set_strategy(&self, strategy: Strategy) {
+        self.config.lock().optimizer.strategy = strategy;
+    }
+
+    /// Swap the cost model (ablations, F4 buffer sweeps).
+    pub fn set_cost_model(&self, model: CostModel) {
+        self.config.lock().optimizer.cost_model = model;
+    }
+
+    /// Toggle interesting-order tracking (F3 ablation).
+    pub fn set_track_orders(&self, on: bool) {
+        self.config.lock().optimizer.track_interesting_orders = on;
+    }
+
+    /// Toggle the algebraic rewrites (pushdown/folding ablation).
+    pub fn set_rewrites(&self, on: bool) {
+        self.config.lock().optimizer.enable_rewrites = on;
+    }
+
+    /// Swap the ANALYZE configuration (T3 sweeps).
+    pub fn set_analyze_config(&self, cfg: AnalyzeConfig) {
+        self.config.lock().analyze = cfg;
+    }
+
+    /// Execute any statement.
+    pub fn execute(&self, sql: &str) -> Result<QueryResult> {
+        let stmt = parse(sql)?;
+        self.execute_statement(&stmt)
+    }
+
+    /// Run a SELECT and return its rows.
+    pub fn query(&self, sql: &str) -> Result<Vec<Tuple>> {
+        match self.execute(sql)? {
+            QueryResult::Rows { rows, .. } => Ok(rows),
+            other => Err(EvoptError::Execution(format!(
+                "expected a SELECT, statement returned {other:?}"
+            ))),
+        }
+    }
+
+    /// EXPLAIN text for a SELECT (logical and physical plans).
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        let (logical, physical) = self.plan_sql(sql)?;
+        Ok(format!(
+            "== logical ==\n{}== physical ({}) ==\n{}",
+            logical.display_indent(),
+            self.optimizer_config().strategy.name(),
+            physical.display_indent()
+        ))
+    }
+
+    /// Parse + bind + optimize a SELECT, returning both plans.
+    pub fn plan_sql(&self, sql: &str) -> Result<(LogicalPlan, PhysicalPlan)> {
+        match parse(sql)? {
+            Statement::Select(sel) => {
+                let logical = bind_select(&sel, &self.schema_provider())?;
+                let physical = self.optimize(&logical)?;
+                Ok((logical, physical))
+            }
+            other => Err(EvoptError::Plan(format!(
+                "plan_sql expects a SELECT, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Optimize a bound logical plan with the current configuration.
+    pub fn optimize(&self, logical: &LogicalPlan) -> Result<PhysicalPlan> {
+        let cfg = self.config.lock().optimizer;
+        Optimizer::new(cfg).optimize(logical, &self.catalog)
+    }
+
+    /// Execute a physical plan.
+    pub fn run_plan(&self, plan: &PhysicalPlan) -> Result<Vec<Tuple>> {
+        let buffer_pages = self.config.lock().optimizer.cost_model.buffer_pages;
+        let env = ExecEnv::new(Arc::clone(&self.catalog), buffer_pages);
+        run_collect(plan, &env)
+    }
+
+    /// Run a statement and report the physical I/O it performed.
+    pub fn measured(&self, sql: &str) -> Result<(QueryResult, IoSnapshot)> {
+        let before = self.disk.snapshot();
+        let result = self.execute(sql)?;
+        let after = self.disk.snapshot();
+        Ok((result, after.since(&before)))
+    }
+
+    /// Bulk-insert pre-built tuples (index-maintaining).
+    pub fn insert_tuples(&self, table: &str, tuples: &[Tuple]) -> Result<usize> {
+        let info = self.catalog.table(table)?;
+        for t in tuples {
+            self.insert_one(&info, t)?;
+        }
+        Ok(tuples.len())
+    }
+
+    fn insert_one(&self, info: &Arc<TableInfo>, tuple: &Tuple) -> Result<()> {
+        if tuple.len() != info.schema.len() {
+            return Err(EvoptError::Execution(format!(
+                "insert arity {} does not match table '{}' ({} columns)",
+                tuple.len(),
+                info.name,
+                info.schema.len()
+            )));
+        }
+        for (i, v) in tuple.values().iter().enumerate() {
+            let col = info.schema.column(i).expect("arity checked");
+            match v.data_type() {
+                None => {
+                    if !col.nullable {
+                        return Err(EvoptError::Execution(format!(
+                            "NULL in NOT NULL column '{}'",
+                            col.name
+                        )));
+                    }
+                }
+                Some(dt) => {
+                    if dt.unify(col.dtype) != Some(col.dtype) {
+                        return Err(EvoptError::Execution(format!(
+                            "type mismatch for column '{}': expected {}, got {}",
+                            col.name, col.dtype, dt
+                        )));
+                    }
+                }
+            }
+        }
+        let rid = info.heap.insert(tuple)?;
+        for idx in info.indexes() {
+            let key = tuple.value(idx.column)?;
+            if !key.is_null() {
+                idx.btree.insert(key, rid)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn schema_provider(&self) -> impl evopt_sql::SchemaProvider + '_ {
+        move |table: &str| -> Result<Schema> {
+            Ok(self.catalog.table(table)?.schema.clone())
+        }
+    }
+
+    fn execute_statement(&self, stmt: &Statement) -> Result<QueryResult> {
+        match stmt {
+            Statement::Select(sel) => {
+                let logical = bind_select(sel, &self.schema_provider())?;
+                let physical = self.optimize(&logical)?;
+                let rows = self.run_plan(&physical)?;
+                Ok(QueryResult::Rows {
+                    schema: physical.schema.clone(),
+                    rows,
+                })
+            }
+            Statement::CreateTable { name, columns } => {
+                let cols: Vec<Column> = columns
+                    .iter()
+                    .map(|c| {
+                        let col = Column::new(c.name.clone(), c.dtype);
+                        if c.nullable {
+                            col
+                        } else {
+                            col.not_null()
+                        }
+                    })
+                    .collect();
+                self.catalog.create_table(name, Schema::new(cols))?;
+                Ok(QueryResult::Ok)
+            }
+            Statement::CreateIndex {
+                name,
+                table,
+                column,
+                unique,
+                clustered,
+            } => {
+                if *clustered {
+                    self.verify_heap_sorted(table, column)?;
+                }
+                self.catalog
+                    .create_index(name, table, column, *unique, *clustered)?;
+                Ok(QueryResult::Ok)
+            }
+            Statement::Insert { table, rows } => {
+                let info = self.catalog.table(table)?;
+                let empty = Schema::empty();
+                let blank = Tuple::new(vec![]);
+                let mut n = 0;
+                for row in rows {
+                    let mut values = Vec::with_capacity(row.len());
+                    for e in row {
+                        let bound = bind_const(e, &empty)?;
+                        values.push(bound.eval(&blank)?);
+                    }
+                    self.insert_one(&info, &Tuple::new(values))?;
+                    n += 1;
+                }
+                Ok(QueryResult::Affected(n))
+            }
+            Statement::Delete { table, predicate } => {
+                let info = self.catalog.table(table)?;
+                let predicate = match predicate {
+                    Some(p) => Some(bind_row_expr(p, &info.schema)?),
+                    None => None,
+                };
+                let mut victims = Vec::new();
+                for item in info.heap.scan() {
+                    let (rid, tuple) = item?;
+                    let keep = match &predicate {
+                        Some(p) => !p.eval_predicate(&tuple)?,
+                        None => false,
+                    };
+                    if !keep {
+                        victims.push((rid, tuple));
+                    }
+                }
+                for (rid, tuple) in &victims {
+                    info.heap.delete(*rid)?;
+                    for idx in info.indexes() {
+                        let key = tuple.value(idx.column)?;
+                        if !key.is_null() {
+                            idx.btree.delete(key, *rid)?;
+                        }
+                    }
+                }
+                Ok(QueryResult::Affected(victims.len()))
+            }
+            Statement::Update {
+                table,
+                sets,
+                predicate,
+            } => {
+                let info = self.catalog.table(table)?;
+                let predicate = match predicate {
+                    Some(p) => Some(bind_row_expr(p, &info.schema)?),
+                    None => None,
+                };
+                let mut assignments = Vec::with_capacity(sets.len());
+                for (col, value) in sets {
+                    let ordinal = info.schema.resolve(None, col)?;
+                    assignments.push((ordinal, bind_row_expr(value, &info.schema)?));
+                }
+                // Two phases: collect matches first, then rewrite — so the
+                // new rows are never re-visited by the same scan.
+                let mut matches = Vec::new();
+                for item in info.heap.scan() {
+                    let (rid, tuple) = item?;
+                    let hit = match &predicate {
+                        Some(p) => p.eval_predicate(&tuple)?,
+                        None => true,
+                    };
+                    if hit {
+                        matches.push((rid, tuple));
+                    }
+                }
+                for (rid, old) in &matches {
+                    let mut values = old.values().to_vec();
+                    for (ordinal, expr) in &assignments {
+                        values[*ordinal] = expr.eval(old)?;
+                    }
+                    let new = Tuple::new(values);
+                    // Delete + reinsert keeps heap and indexes consistent
+                    // without in-place size games.
+                    info.heap.delete(*rid)?;
+                    for idx in info.indexes() {
+                        let key = old.value(idx.column)?;
+                        if !key.is_null() {
+                            idx.btree.delete(key, *rid)?;
+                        }
+                    }
+                    self.insert_one(&info, &new)?;
+                }
+                Ok(QueryResult::Affected(matches.len()))
+            }
+            Statement::Analyze { table } => {
+                let cfg = self.config.lock().analyze;
+                match table {
+                    Some(t) => {
+                        analyze_table(self.catalog.table(t)?.as_ref(), &cfg)?;
+                    }
+                    None => {
+                        for t in self.catalog.tables() {
+                            analyze_table(&t, &cfg)?;
+                        }
+                    }
+                }
+                Ok(QueryResult::Ok)
+            }
+            Statement::DropTable { name } => {
+                self.catalog.drop_table(name)?;
+                Ok(QueryResult::Ok)
+            }
+            Statement::Explain { analyze, inner } => match &**inner {
+                Statement::Select(sel) => {
+                    let logical = bind_select(sel, &self.schema_provider())?;
+                    let physical = self.optimize(&logical)?;
+                    let mut text = format!(
+                        "== logical ==\n{}== physical ({}) ==\n{}",
+                        logical.display_indent(),
+                        self.optimizer_config().strategy.name(),
+                        physical.display_indent()
+                    );
+                    if *analyze {
+                        let before = self.disk.snapshot();
+                        let rows = self.run_plan(&physical)?;
+                        let io = self.disk.snapshot().since(&before);
+                        text.push_str(&format!(
+                            "== measured ==\nrows: {}\npage reads: {}\npage writes: {}\n",
+                            rows.len(),
+                            io.reads,
+                            io.writes
+                        ));
+                    }
+                    Ok(QueryResult::Explained(text))
+                }
+                other => Err(EvoptError::Plan(format!(
+                    "EXPLAIN supports SELECT only, got {other:?}"
+                ))),
+            },
+        }
+    }
+
+    /// CLUSTERED index invariant: the heap must already be physically
+    /// sorted on the key column (load sorted, then create the index).
+    fn verify_heap_sorted(&self, table: &str, column: &str) -> Result<()> {
+        let info = self.catalog.table(table)?;
+        let col = info.schema.resolve(None, column).map_err(|_| {
+            EvoptError::Catalog(format!("unknown column '{column}' on '{table}'"))
+        })?;
+        let mut last: Option<Value> = None;
+        for item in info.heap.scan() {
+            let (_, t) = item?;
+            let v = t.value(col)?.clone();
+            if let Some(prev) = &last {
+                if v < *prev {
+                    return Err(EvoptError::Catalog(format!(
+                        "cannot create CLUSTERED index: heap of '{table}' is not \
+                         sorted on '{column}' (load the data in key order first)"
+                    )));
+                }
+            }
+            last = Some(v);
+        }
+        Ok(())
+    }
+}
+
+/// Bind an expression over one table's row schema (DELETE predicates and
+/// UPDATE assignments — no aggregates, no other tables).
+fn bind_row_expr(e: &AstExpr, schema: &Schema) -> Result<Expr> {
+    match e {
+        AstExpr::Ident { table, name } => {
+            Ok(Expr::Column(schema.resolve(table.as_deref(), name)?))
+        }
+        AstExpr::Literal(v) => Ok(Expr::Literal(v.clone())),
+        AstExpr::Binary { op, left, right } => Ok(Expr::Binary {
+            op: *op,
+            left: Box::new(bind_row_expr(left, schema)?),
+            right: Box::new(bind_row_expr(right, schema)?),
+        }),
+        AstExpr::Unary { op, input } => Ok(Expr::Unary {
+            op: *op,
+            input: Box::new(bind_row_expr(input, schema)?),
+        }),
+        AstExpr::Like {
+            input,
+            pattern,
+            negated,
+        } => Ok(Expr::Like {
+            input: Box::new(bind_row_expr(input, schema)?),
+            pattern: pattern.clone(),
+            negated: *negated,
+        }),
+        AstExpr::InList {
+            input,
+            list,
+            negated,
+        } => Ok(Expr::InList {
+            input: Box::new(bind_row_expr(input, schema)?),
+            list: list.clone(),
+            negated: *negated,
+        }),
+        AstExpr::Between {
+            input,
+            low,
+            high,
+            negated,
+        } => Ok(Expr::Between {
+            input: Box::new(bind_row_expr(input, schema)?),
+            low: Box::new(bind_row_expr(low, schema)?),
+            high: Box::new(bind_row_expr(high, schema)?),
+            negated: *negated,
+        }),
+        AstExpr::AggCall { func, .. } => Err(EvoptError::Bind(format!(
+            "aggregate {func} is not allowed in DML"
+        ))),
+    }
+}
+
+/// Bind an INSERT value expression (constants and arithmetic only).
+#[allow(clippy::only_used_in_recursion)]
+fn bind_const(e: &AstExpr, empty: &Schema) -> Result<Expr> {
+    match e {
+        AstExpr::Ident { name, .. } => Err(EvoptError::Bind(format!(
+            "INSERT values must be constants, found identifier '{name}'"
+        ))),
+        AstExpr::Literal(v) => Ok(Expr::Literal(v.clone())),
+        AstExpr::Unary { op, input } => Ok(Expr::Unary {
+            op: *op,
+            input: Box::new(bind_const(input, empty)?),
+        }),
+        AstExpr::Binary { op, left, right } => Ok(Expr::Binary {
+            op: *op,
+            left: Box::new(bind_const(left, empty)?),
+            right: Box::new(bind_const(right, empty)?),
+        }),
+        other => Err(EvoptError::Bind(format!(
+            "unsupported INSERT value expression: {other:?}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded() -> Database {
+        let db = Database::with_defaults();
+        db.execute("CREATE TABLE dept (id INT NOT NULL, name STRING)")
+            .unwrap();
+        db.execute("CREATE TABLE emp (id INT NOT NULL, dept_id INT, salary INT)")
+            .unwrap();
+        db.execute(
+            "INSERT INTO dept VALUES (1, 'eng'), (2, 'sales'), (3, 'hr')",
+        )
+        .unwrap();
+        let rows: Vec<Tuple> = (0..300)
+            .map(|i| {
+                Tuple::new(vec![
+                    Value::Int(i),
+                    Value::Int(i % 3 + 1),
+                    Value::Int(1000 + i * 10),
+                ])
+            })
+            .collect();
+        db.insert_tuples("emp", &rows).unwrap();
+        db.execute("CREATE INDEX emp_id ON emp (id)").unwrap();
+        db.execute("ANALYZE").unwrap();
+        db
+    }
+
+    #[test]
+    fn end_to_end_select() {
+        let db = seeded();
+        let rows = db
+            .query("SELECT name FROM dept WHERE id = 2")
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].value(0).unwrap(), &Value::Str("sales".into()));
+    }
+
+    #[test]
+    fn join_query_counts() {
+        let db = seeded();
+        let rows = db
+            .query(
+                "SELECT d.name, COUNT(*) AS n FROM emp e JOIN dept d \
+                 ON e.dept_id = d.id GROUP BY d.name ORDER BY n DESC, d.name",
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].value(1).unwrap(), &Value::Int(100));
+    }
+
+    #[test]
+    fn index_is_maintained_by_inserts() {
+        let db = seeded();
+        db.execute("INSERT INTO emp VALUES (999, 1, 5)").unwrap();
+        // Point query should find the new row via the index.
+        let (_, physical) = db.plan_sql("SELECT salary FROM emp WHERE id = 999").unwrap();
+        fn has_index_scan(p: &PhysicalPlan) -> bool {
+            p.op_name() == "IndexScan" || p.children().iter().any(|c| has_index_scan(c))
+        }
+        assert!(has_index_scan(&physical), "{physical}");
+        let rows = db.query("SELECT salary FROM emp WHERE id = 999").unwrap();
+        assert_eq!(rows, vec![Tuple::new(vec![Value::Int(5)])]);
+    }
+
+    #[test]
+    fn insert_type_and_null_enforcement() {
+        let db = seeded();
+        let e = db
+            .execute("INSERT INTO dept VALUES (NULL, 'x')")
+            .unwrap_err();
+        assert!(e.message().contains("NOT NULL"));
+        let e = db.execute("INSERT INTO dept VALUES ('str', 'x')").unwrap_err();
+        assert!(e.message().contains("type mismatch"));
+        let e = db.execute("INSERT INTO dept VALUES (1)").unwrap_err();
+        assert!(e.message().contains("arity"));
+    }
+
+    #[test]
+    fn explain_outputs_both_plans() {
+        let db = seeded();
+        let text = db
+            .explain("SELECT * FROM emp WHERE id < 10")
+            .unwrap();
+        assert!(text.contains("== logical =="));
+        assert!(text.contains("== physical"));
+        assert!(text.contains("system-r"));
+    }
+
+    #[test]
+    fn explain_analyze_reports_io() {
+        let db = seeded();
+        match db
+            .execute("EXPLAIN ANALYZE SELECT * FROM emp WHERE id = 5")
+            .unwrap()
+        {
+            QueryResult::Explained(text) => {
+                assert!(text.contains("rows: 1"), "{text}");
+                assert!(text.contains("page reads:"), "{text}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn strategies_agree_on_results() {
+        let db = seeded();
+        let sql = "SELECT e.id, d.name FROM emp e JOIN dept d ON e.dept_id = d.id \
+                   WHERE e.salary > 2500 ORDER BY e.id";
+        let baseline = db.query(sql).unwrap();
+        assert!(!baseline.is_empty());
+        for strategy in [
+            Strategy::BushyDp,
+            Strategy::Greedy,
+            Strategy::Goo,
+            Strategy::QuickPick { samples: 4, seed: 9 },
+            Strategy::Syntactic,
+        ] {
+            db.set_strategy(strategy);
+            assert_eq!(
+                db.query(sql).unwrap(),
+                baseline,
+                "strategy {} changed results",
+                strategy.name()
+            );
+        }
+    }
+
+    #[test]
+    fn clustered_index_requires_sorted_heap() {
+        let db = Database::with_defaults();
+        db.execute("CREATE TABLE s (k INT)").unwrap();
+        db.execute("INSERT INTO s VALUES (3), (1), (2)").unwrap();
+        let e = db
+            .execute("CREATE CLUSTERED INDEX s_k ON s (k)")
+            .unwrap_err();
+        assert!(e.message().contains("not"), "{e}");
+        // Sorted data is accepted.
+        db.execute("CREATE TABLE s2 (k INT)").unwrap();
+        db.execute("INSERT INTO s2 VALUES (1), (2), (3)").unwrap();
+        db.execute("CREATE CLUSTERED INDEX s2_k ON s2 (k)").unwrap();
+    }
+
+    #[test]
+    fn measured_io_nonzero_for_cold_scan() {
+        let db = Database::new(DatabaseConfig {
+            buffer_pages: 8,
+            ..Default::default()
+        });
+        db.execute("CREATE TABLE big (x INT, pad STRING)").unwrap();
+        let rows: Vec<Tuple> = (0..5000)
+            .map(|i| {
+                Tuple::new(vec![
+                    Value::Int(i),
+                    Value::Str(format!("pad-{i:06}")),
+                ])
+            })
+            .collect();
+        db.insert_tuples("big", &rows).unwrap();
+        db.execute("ANALYZE").unwrap();
+        let (result, io) = db.measured("SELECT COUNT(*) FROM big").unwrap();
+        assert_eq!(
+            result.rows()[0].value(0).unwrap(),
+            &Value::Int(5000)
+        );
+        let pages = db.catalog().table("big").unwrap().heap.page_count();
+        assert!(
+            io.reads >= pages,
+            "scan read {} pages, table has {pages}",
+            io.reads
+        );
+    }
+
+    #[test]
+    fn drop_table_then_queries_fail() {
+        let db = seeded();
+        db.execute("DROP TABLE dept").unwrap();
+        assert!(db.query("SELECT * FROM dept").is_err());
+    }
+
+    #[test]
+    fn delete_with_predicate_updates_heap_and_indexes() {
+        let db = seeded();
+        match db.execute("DELETE FROM emp WHERE salary < 1500").unwrap() {
+            QueryResult::Affected(n) => assert_eq!(n, 50),
+            other => panic!("{other:?}"),
+        }
+        let n = db.query("SELECT COUNT(*) FROM emp").unwrap()[0]
+            .value(0)
+            .unwrap()
+            .as_i64()
+            .unwrap();
+        assert_eq!(n, 250);
+        // Index no longer returns deleted rows.
+        assert!(db.query("SELECT * FROM emp WHERE id = 10").unwrap().is_empty());
+        assert_eq!(db.query("SELECT * FROM emp WHERE id = 100").unwrap().len(), 1);
+        // DELETE without predicate empties the table.
+        db.execute("DELETE FROM emp").unwrap();
+        assert!(db.query("SELECT * FROM emp").unwrap().is_empty());
+    }
+
+    #[test]
+    fn update_rewrites_rows_and_indexes() {
+        let db = seeded();
+        match db
+            .execute("UPDATE emp SET salary = salary + 10000, id = id + 1000 WHERE id < 3")
+            .unwrap()
+        {
+            QueryResult::Affected(n) => assert_eq!(n, 3),
+            other => panic!("{other:?}"),
+        }
+        // Old ids are gone from the index path; new ids are findable.
+        assert!(db.query("SELECT * FROM emp WHERE id = 1").unwrap().is_empty());
+        let rows = db.query("SELECT salary FROM emp WHERE id = 1001").unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].value(0).unwrap(), &Value::Int(1000 + 10 + 10000));
+        // Row count unchanged.
+        let n = db.query("SELECT COUNT(*) FROM emp").unwrap()[0]
+            .value(0)
+            .unwrap()
+            .as_i64()
+            .unwrap();
+        assert_eq!(n, 300);
+        // Constraint enforcement still applies through UPDATE.
+        assert!(db.execute("UPDATE emp SET id = NULL WHERE id = 1001").is_err());
+    }
+
+    #[test]
+    fn select_distinct_end_to_end() {
+        let db = seeded();
+        let rows = db
+            .query("SELECT DISTINCT dept_id FROM emp ORDER BY dept_id")
+            .unwrap();
+        let got: Vec<i64> = rows
+            .iter()
+            .map(|t| t.value(0).unwrap().as_i64().unwrap())
+            .collect();
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn arithmetic_in_insert_values() {
+        let db = Database::with_defaults();
+        db.execute("CREATE TABLE c (x INT, y FLOAT)").unwrap();
+        db.execute("INSERT INTO c VALUES (2 + 3 * 4, -1.5)").unwrap();
+        let rows = db.query("SELECT x, y FROM c").unwrap();
+        assert_eq!(rows[0].value(0).unwrap(), &Value::Int(14));
+        assert_eq!(rows[0].value(1).unwrap(), &Value::Float(-1.5));
+    }
+
+    #[test]
+    fn select_constant_expressions_over_table() {
+        let db = seeded();
+        let rows = db
+            .query("SELECT id * 2 AS twice FROM emp WHERE id BETWEEN 1 AND 3 ORDER BY twice")
+            .unwrap();
+        let vals: Vec<i64> = rows
+            .iter()
+            .map(|t| t.value(0).unwrap().as_i64().unwrap())
+            .collect();
+        assert_eq!(vals, vec![2, 4, 6]);
+    }
+}

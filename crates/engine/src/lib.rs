@@ -1,0 +1,29 @@
+//! # evopt-engine
+//!
+//! The top of the stack: [`Database`] wires the SQL front end, the catalog,
+//! the cost-based optimizer and the executor over one buffer pool and
+//! simulated disk.
+//!
+//! ```no_run
+//! use evopt_engine::Database;
+//!
+//! let db = Database::with_defaults();
+//! db.execute("CREATE TABLE t (id INT NOT NULL, name STRING)").unwrap();
+//! db.execute("INSERT INTO t VALUES (1, 'a'), (2, 'b')").unwrap();
+//! db.execute("CREATE INDEX t_id ON t (id)").unwrap();
+//! db.execute("ANALYZE").unwrap();
+//! let rows = db.query("SELECT name FROM t WHERE id = 2").unwrap();
+//! println!("{}", db.explain("SELECT * FROM t WHERE id < 2").unwrap());
+//! ```
+//!
+//! The engine exposes the knobs the experiments sweep: the enumeration
+//! [`Strategy`], the [`CostModel`], the ANALYZE configuration, and
+//! [`Database::measured`] which runs a statement and reports the *physical*
+//! page I/O it caused.
+
+pub mod database;
+
+pub use database::{Database, DatabaseConfig, QueryResult};
+pub use evopt_catalog::{AnalyzeConfig, HistogramKind};
+pub use evopt_core::{CostModel, Strategy};
+pub use evopt_storage::{IoSnapshot, PolicyKind};

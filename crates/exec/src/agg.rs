@@ -1,0 +1,306 @@
+//! Hash aggregation.
+//!
+//! Groups by the configured columns into an in-memory table of
+//! accumulators. SQL semantics: aggregates ignore NULL arguments
+//! (`COUNT(*)` counts rows); an ungrouped aggregate over an empty input
+//! emits one row (COUNT = 0, others NULL); a grouped one emits nothing.
+
+use std::collections::HashMap;
+
+use evopt_common::{AggFunc, EvoptError, Result, Schema, Tuple, Value};
+use evopt_core::physical::PhysAgg;
+
+use crate::executor::Executor;
+
+/// One running aggregate.
+#[derive(Debug, Clone)]
+enum Accumulator {
+    Count(i64),
+    Sum { total: Value, seen: bool },
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Avg { total: f64, count: i64 },
+}
+
+impl Accumulator {
+    fn new(func: AggFunc) -> Accumulator {
+        match func {
+            AggFunc::Count | AggFunc::CountStar => Accumulator::Count(0),
+            AggFunc::Sum => Accumulator::Sum {
+                total: Value::Int(0),
+                seen: false,
+            },
+            AggFunc::Min => Accumulator::Min(None),
+            AggFunc::Max => Accumulator::Max(None),
+            AggFunc::Avg => Accumulator::Avg {
+                total: 0.0,
+                count: 0,
+            },
+        }
+    }
+
+    /// Feed one argument value (already `Value::Null` for COUNT(*) rows —
+    /// the caller passes a marker; see `update`).
+    fn update(&mut self, v: &Value) -> Result<()> {
+        match self {
+            Accumulator::Count(n) => {
+                if !v.is_null() {
+                    *n += 1;
+                }
+            }
+            Accumulator::Sum { total, seen } => {
+                if !v.is_null() {
+                    *total = total.add(v)?;
+                    *seen = true;
+                }
+            }
+            Accumulator::Min(cur) => {
+                if !v.is_null() && cur.as_ref().is_none_or(|c| v < c) {
+                    *cur = Some(v.clone());
+                }
+            }
+            Accumulator::Max(cur) => {
+                if !v.is_null() && cur.as_ref().is_none_or(|c| v > c) {
+                    *cur = Some(v.clone());
+                }
+            }
+            Accumulator::Avg { total, count } => {
+                if let Some(x) = v.as_f64() {
+                    *total += x;
+                    *count += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn count_row(&mut self) {
+        if let Accumulator::Count(n) = self {
+            *n += 1;
+        }
+    }
+
+    fn finish(&self) -> Value {
+        match self {
+            Accumulator::Count(n) => Value::Int(*n),
+            Accumulator::Sum { total, seen } => {
+                if *seen {
+                    total.clone()
+                } else {
+                    Value::Null
+                }
+            }
+            Accumulator::Min(v) | Accumulator::Max(v) => {
+                v.clone().unwrap_or(Value::Null)
+            }
+            Accumulator::Avg { total, count } => {
+                if *count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(*total / *count as f64)
+                }
+            }
+        }
+    }
+}
+
+/// Hash-based grouped aggregation.
+pub struct HashAggregateExec {
+    input: Option<Box<dyn Executor>>,
+    group_by: Vec<usize>,
+    aggs: Vec<PhysAgg>,
+    schema: Schema,
+    results: Option<std::vec::IntoIter<Tuple>>,
+}
+
+impl HashAggregateExec {
+    pub fn new(
+        input: Box<dyn Executor>,
+        group_by: Vec<usize>,
+        aggs: Vec<PhysAgg>,
+        schema: Schema,
+    ) -> Self {
+        HashAggregateExec {
+            input: Some(input),
+            group_by,
+            aggs,
+            schema,
+            results: None,
+        }
+    }
+
+    fn compute(&mut self) -> Result<()> {
+        let mut input = self.input.take().expect("computed once");
+        let mut groups: HashMap<Vec<Value>, Vec<Accumulator>> = HashMap::new();
+        // Keep first-seen order for deterministic output.
+        let mut order: Vec<Vec<Value>> = Vec::new();
+        while let Some(t) = input.next()? {
+            let key: Vec<Value> = self
+                .group_by
+                .iter()
+                .map(|&g| t.value(g).cloned())
+                .collect::<Result<_>>()?;
+            let accs = groups.entry(key.clone()).or_insert_with(|| {
+                order.push(key);
+                self.aggs.iter().map(|a| Accumulator::new(a.func)).collect()
+            });
+            for (acc, spec) in accs.iter_mut().zip(&self.aggs) {
+                match (&spec.func, &spec.arg) {
+                    (AggFunc::CountStar, _) => acc.count_row(),
+                    (_, Some(arg)) => acc.update(&arg.eval(&t)?)?,
+                    (f, None) => {
+                        return Err(EvoptError::Execution(format!(
+                            "{f} requires an argument"
+                        )))
+                    }
+                }
+            }
+        }
+        let mut rows = Vec::with_capacity(groups.len().max(1));
+        if groups.is_empty() && self.group_by.is_empty() {
+            // Ungrouped aggregate over empty input: one default row.
+            let values: Vec<Value> = self
+                .aggs
+                .iter()
+                .map(|a| Accumulator::new(a.func).finish())
+                .collect();
+            rows.push(Tuple::new(values));
+        } else {
+            for key in order {
+                let accs = &groups[&key];
+                let mut values = key.clone();
+                values.extend(accs.iter().map(|a| a.finish()));
+                rows.push(Tuple::new(values));
+            }
+        }
+        self.results = Some(rows.into_iter());
+        Ok(())
+    }
+}
+
+impl Executor for HashAggregateExec {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        if self.results.is_none() {
+            self.compute()?;
+        }
+        Ok(self.results.as_mut().expect("computed").next())
+    }
+}
+
+/// Streaming aggregation over an input sorted by the group columns:
+/// accumulate while the key repeats, emit the finished group on change.
+/// O(1) state; output arrives in group-key order.
+pub struct SortAggregateExec {
+    input: Box<dyn Executor>,
+    group_by: Vec<usize>,
+    aggs: Vec<PhysAgg>,
+    schema: Schema,
+    current_key: Option<Vec<Value>>,
+    accs: Vec<Accumulator>,
+    done: bool,
+}
+
+impl SortAggregateExec {
+    pub fn new(
+        input: Box<dyn Executor>,
+        group_by: Vec<usize>,
+        aggs: Vec<PhysAgg>,
+        schema: Schema,
+    ) -> Self {
+        SortAggregateExec {
+            input,
+            group_by,
+            aggs,
+            schema,
+            current_key: None,
+            accs: Vec::new(),
+            done: false,
+        }
+    }
+
+    fn fresh_accs(&self) -> Vec<Accumulator> {
+        self.aggs.iter().map(|a| Accumulator::new(a.func)).collect()
+    }
+
+    fn feed(&mut self, t: &Tuple) -> Result<()> {
+        for (i, spec) in self.aggs.iter().enumerate() {
+            match (&spec.func, &spec.arg) {
+                (AggFunc::CountStar, _) => self.accs[i].count_row(),
+                (_, Some(arg)) => self.accs[i].update(&arg.eval(t)?)?,
+                (f, None) => {
+                    return Err(EvoptError::Execution(format!(
+                        "{f} requires an argument"
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn emit(&mut self) -> Tuple {
+        let key = self.current_key.take().expect("group open");
+        let mut values = key;
+        values.extend(self.accs.iter().map(|a| a.finish()));
+        Tuple::new(values)
+    }
+}
+
+impl Executor for SortAggregateExec {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        if self.done {
+            return Ok(None);
+        }
+        loop {
+            match self.input.next()? {
+                None => {
+                    self.done = true;
+                    if self.current_key.is_some() {
+                        return Ok(Some(self.emit()));
+                    }
+                    // Ungrouped aggregate over empty input: one default row.
+                    if self.group_by.is_empty() {
+                        let values: Vec<Value> = self
+                            .aggs
+                            .iter()
+                            .map(|a| Accumulator::new(a.func).finish())
+                            .collect();
+                        return Ok(Some(Tuple::new(values)));
+                    }
+                    return Ok(None);
+                }
+                Some(t) => {
+                    let key: Vec<Value> = self
+                        .group_by
+                        .iter()
+                        .map(|&g| t.value(g).cloned())
+                        .collect::<Result<_>>()?;
+                    match &self.current_key {
+                        Some(cur) if *cur == key => {
+                            self.feed(&t)?;
+                        }
+                        Some(_) => {
+                            let finished = self.emit();
+                            self.current_key = Some(key);
+                            self.accs = self.fresh_accs();
+                            self.feed(&t)?;
+                            return Ok(Some(finished));
+                        }
+                        None => {
+                            self.current_key = Some(key);
+                            self.accs = self.fresh_accs();
+                            self.feed(&t)?;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

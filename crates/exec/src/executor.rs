@@ -1,0 +1,175 @@
+//! The [`Executor`] trait and the plan→executor builder.
+
+use std::sync::Arc;
+
+use evopt_catalog::Catalog;
+use evopt_common::{Result, Schema, Tuple};
+use evopt_core::physical::{PhysOp, PhysicalPlan};
+
+/// Execution environment shared by all operators of one query.
+#[derive(Clone)]
+pub struct ExecEnv {
+    pub catalog: Arc<Catalog>,
+    /// Buffer pages operators may assume for blocking/spilling decisions
+    /// (mirrors the cost model's `buffer_pages`).
+    pub buffer_pages: usize,
+}
+
+impl ExecEnv {
+    pub fn new(catalog: Arc<Catalog>, buffer_pages: usize) -> Self {
+        ExecEnv {
+            catalog,
+            buffer_pages,
+        }
+    }
+}
+
+/// A Volcano iterator: produces tuples one at a time.
+pub trait Executor {
+    /// Output schema.
+    fn schema(&self) -> &Schema;
+    /// The next tuple, or `None` when exhausted.
+    fn next(&mut self) -> Result<Option<Tuple>>;
+}
+
+/// Instantiate the operator tree for `plan`.
+pub fn build_executor(plan: &PhysicalPlan, env: &ExecEnv) -> Result<Box<dyn Executor>> {
+    Ok(match &plan.op {
+        PhysOp::SeqScan { table, filter } => Box::new(crate::scan::SeqScanExec::new(
+            env,
+            table,
+            filter.clone(),
+            plan.schema.clone(),
+        )?),
+        PhysOp::IndexScan {
+            table,
+            index,
+            range,
+            residual,
+            ..
+        } => Box::new(crate::scan::IndexScanExec::new(
+            env,
+            table,
+            index,
+            range.clone(),
+            residual.clone(),
+            plan.schema.clone(),
+        )?),
+        PhysOp::Filter { input, predicate } => Box::new(crate::simple::FilterExec::new(
+            build_executor(input, env)?,
+            predicate.clone(),
+        )),
+        PhysOp::Project { input, exprs } => Box::new(crate::simple::ProjectExec::new(
+            build_executor(input, env)?,
+            exprs.clone(),
+            plan.schema.clone(),
+        )),
+        PhysOp::Limit { input, limit } => Box::new(crate::simple::LimitExec::new(
+            build_executor(input, env)?,
+            *limit,
+        )),
+        PhysOp::NestedLoopJoin {
+            left,
+            right,
+            predicate,
+        } => Box::new(crate::join::NestedLoopJoinExec::new(
+            build_executor(left, env)?,
+            (**right).clone(),
+            env.clone(),
+            predicate.clone(),
+            plan.schema.clone(),
+        )),
+        PhysOp::BlockNestedLoopJoin {
+            left,
+            right,
+            predicate,
+            block_pages,
+        } => Box::new(crate::join::BlockNestedLoopJoinExec::new(
+            build_executor(left, env)?,
+            build_executor(right, env)?,
+            env.clone(),
+            predicate.clone(),
+            *block_pages,
+            plan.schema.clone(),
+        )),
+        PhysOp::IndexNestedLoopJoin {
+            outer,
+            inner_table,
+            index,
+            outer_key,
+            residual,
+        } => Box::new(crate::join::IndexNestedLoopJoinExec::new(
+            build_executor(outer, env)?,
+            env,
+            inner_table,
+            index,
+            *outer_key,
+            residual.clone(),
+            plan.schema.clone(),
+        )?),
+        PhysOp::SortMergeJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+            residual,
+        } => Box::new(crate::join::SortMergeJoinExec::new(
+            build_executor(left, env)?,
+            build_executor(right, env)?,
+            *left_key,
+            *right_key,
+            residual.clone(),
+            plan.schema.clone(),
+        )),
+        PhysOp::HashJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+            residual,
+        } => Box::new(crate::join::HashJoinExec::new(
+            build_executor(left, env)?,
+            build_executor(right, env)?,
+            env.clone(),
+            *left_key,
+            *right_key,
+            residual.clone(),
+            plan.schema.clone(),
+        )),
+        PhysOp::Sort { input, keys } => Box::new(crate::sort::SortExec::new(
+            build_executor(input, env)?,
+            env.clone(),
+            keys.clone(),
+        )),
+        PhysOp::HashAggregate {
+            input,
+            group_by,
+            aggs,
+        } => Box::new(crate::agg::HashAggregateExec::new(
+            build_executor(input, env)?,
+            group_by.clone(),
+            aggs.clone(),
+            plan.schema.clone(),
+        )),
+        PhysOp::SortAggregate {
+            input,
+            group_by,
+            aggs,
+        } => Box::new(crate::agg::SortAggregateExec::new(
+            build_executor(input, env)?,
+            group_by.clone(),
+            aggs.clone(),
+            plan.schema.clone(),
+        )),
+    })
+}
+
+/// Build and drain a plan into a vector.
+pub fn run_collect(plan: &PhysicalPlan, env: &ExecEnv) -> Result<Vec<Tuple>> {
+    let mut exec = build_executor(plan, env)?;
+    let mut out = Vec::new();
+    while let Some(t) = exec.next()? {
+        out.push(t);
+    }
+    Ok(out)
+}

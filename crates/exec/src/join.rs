@@ -1,0 +1,660 @@
+//! Join operators.
+//!
+//! Five physical joins, each with the I/O behaviour its cost formula
+//! assumes:
+//!
+//! * [`NestedLoopJoinExec`] — re-opens the inner plan per outer row.
+//! * [`BlockNestedLoopJoinExec`] — materialises the inner to a temporary
+//!   heap once, then re-reads it once per outer *block*.
+//! * [`IndexNestedLoopJoinExec`] — probes a B+-tree per outer row.
+//! * [`SortMergeJoinExec`] — linear merge of two key-sorted inputs
+//!   (duplicate groups handled; the optimizer inserts any needed sorts).
+//! * [`HashJoinExec`] — in-memory build when the build side fits the
+//!   configured buffer budget, Grace partitioning to temporary heaps when
+//!   it doesn't.
+//!
+//! SQL join semantics: NULL keys never match.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use evopt_catalog::TableInfo;
+use evopt_common::{EvoptError, Expr, Result, Schema, Tuple, Value};
+use evopt_core::physical::PhysicalPlan;
+use evopt_storage::heap::HeapScan;
+use evopt_storage::HeapFile;
+
+use crate::executor::{build_executor, ExecEnv, Executor};
+
+/// Usable bytes per page for blocking decisions.
+const USABLE_PAGE_BYTES: usize = 4084;
+
+fn passes(residual: &Option<Expr>, t: &Tuple) -> Result<bool> {
+    match residual {
+        Some(p) => p.eval_predicate(t),
+        None => Ok(true),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuple nested loops
+// ---------------------------------------------------------------------------
+
+/// For each outer tuple, re-open and drain the inner plan.
+pub struct NestedLoopJoinExec {
+    left: Box<dyn Executor>,
+    right_plan: PhysicalPlan,
+    env: ExecEnv,
+    predicate: Option<Expr>,
+    schema: Schema,
+    current_left: Option<Tuple>,
+    right: Option<Box<dyn Executor>>,
+}
+
+impl NestedLoopJoinExec {
+    pub fn new(
+        left: Box<dyn Executor>,
+        right_plan: PhysicalPlan,
+        env: ExecEnv,
+        predicate: Option<Expr>,
+        schema: Schema,
+    ) -> Self {
+        NestedLoopJoinExec {
+            left,
+            right_plan,
+            env,
+            predicate,
+            schema,
+            current_left: None,
+            right: None,
+        }
+    }
+}
+
+impl Executor for NestedLoopJoinExec {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        loop {
+            if self.current_left.is_none() {
+                self.current_left = self.left.next()?;
+                if self.current_left.is_none() {
+                    return Ok(None);
+                }
+                self.right = Some(build_executor(&self.right_plan, &self.env)?);
+            }
+            let lt = self.current_left.as_ref().expect("set above");
+            let right = self.right.as_mut().expect("opened with left");
+            while let Some(rt) = right.next()? {
+                let combined = lt.join(&rt);
+                if passes(&self.predicate, &combined)? {
+                    return Ok(Some(combined));
+                }
+            }
+            self.current_left = None;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Block nested loops
+// ---------------------------------------------------------------------------
+
+/// Materialise the inner once; stream the outer in blocks of
+/// `(block_pages - 2)` pages; scan the inner once per block.
+pub struct BlockNestedLoopJoinExec {
+    left: Box<dyn Executor>,
+    right: Option<Box<dyn Executor>>,
+    env: ExecEnv,
+    predicate: Option<Expr>,
+    block_bytes: usize,
+    schema: Schema,
+    temp: Option<Arc<HeapFile>>,
+    block: Vec<Tuple>,
+    left_done: bool,
+    inner_scan: Option<HeapScan>,
+    current_inner: Option<Tuple>,
+    block_pos: usize,
+}
+
+impl BlockNestedLoopJoinExec {
+    pub fn new(
+        left: Box<dyn Executor>,
+        right: Box<dyn Executor>,
+        env: ExecEnv,
+        predicate: Option<Expr>,
+        block_pages: usize,
+        schema: Schema,
+    ) -> Self {
+        let block_bytes = block_pages.saturating_sub(2).max(1) * USABLE_PAGE_BYTES;
+        BlockNestedLoopJoinExec {
+            left,
+            right: Some(right),
+            env,
+            predicate,
+            block_bytes,
+            schema,
+            temp: None,
+            block: Vec::new(),
+            left_done: false,
+            inner_scan: None,
+            current_inner: None,
+            block_pos: 0,
+        }
+    }
+
+    fn materialise_inner(&mut self) -> Result<()> {
+        let heap = Arc::new(HeapFile::create(Arc::clone(self.env.catalog.pool()))?);
+        let mut right = self.right.take().expect("inner taken once");
+        while let Some(t) = right.next()? {
+            heap.insert(&t)?;
+        }
+        self.temp = Some(heap);
+        Ok(())
+    }
+
+    fn load_block(&mut self) -> Result<bool> {
+        self.block.clear();
+        self.block_pos = 0;
+        if self.left_done {
+            return Ok(false);
+        }
+        let mut bytes = 0usize;
+        while bytes < self.block_bytes {
+            match self.left.next()? {
+                Some(t) => {
+                    bytes += t.encoded_len();
+                    self.block.push(t);
+                }
+                None => {
+                    self.left_done = true;
+                    break;
+                }
+            }
+        }
+        Ok(!self.block.is_empty())
+    }
+}
+
+impl Executor for BlockNestedLoopJoinExec {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        if self.temp.is_none() {
+            self.materialise_inner()?;
+            if !self.load_block()? {
+                return Ok(None);
+            }
+            self.inner_scan = Some(self.temp.as_ref().expect("built").scan());
+        }
+        loop {
+            if self.current_inner.is_none() {
+                let scan = self.inner_scan.as_mut().expect("scan open");
+                match scan.next().transpose()? {
+                    Some((_, t)) => {
+                        self.current_inner = Some(t);
+                        self.block_pos = 0;
+                    }
+                    None => {
+                        // Inner exhausted for this block: next block.
+                        if !self.load_block()? {
+                            return Ok(None);
+                        }
+                        self.inner_scan = Some(self.temp.as_ref().expect("built").scan());
+                        continue;
+                    }
+                }
+            }
+            let rt = self.current_inner.as_ref().expect("set above");
+            while self.block_pos < self.block.len() {
+                let lt = &self.block[self.block_pos];
+                self.block_pos += 1;
+                let combined = lt.join(rt);
+                if passes(&self.predicate, &combined)? {
+                    return Ok(Some(combined));
+                }
+            }
+            self.current_inner = None;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Index nested loops
+// ---------------------------------------------------------------------------
+
+/// Probe a B+-tree on the inner base table per outer row.
+pub struct IndexNestedLoopJoinExec {
+    outer: Box<dyn Executor>,
+    inner: Arc<TableInfo>,
+    index: Arc<evopt_catalog::IndexInfo>,
+    outer_key: usize,
+    residual: Option<Expr>,
+    schema: Schema,
+    pending: VecDeque<Tuple>,
+}
+
+impl IndexNestedLoopJoinExec {
+    pub fn new(
+        outer: Box<dyn Executor>,
+        env: &ExecEnv,
+        inner_table: &str,
+        index: &str,
+        outer_key: usize,
+        residual: Option<Expr>,
+        schema: Schema,
+    ) -> Result<Self> {
+        let inner = env.catalog.table(inner_table)?;
+        let index = inner
+            .indexes()
+            .into_iter()
+            .find(|i| i.name == index)
+            .ok_or_else(|| {
+                EvoptError::Execution(format!("unknown index '{index}' on '{inner_table}'"))
+            })?;
+        Ok(IndexNestedLoopJoinExec {
+            outer,
+            inner,
+            index,
+            outer_key,
+            residual,
+            schema,
+            pending: VecDeque::new(),
+        })
+    }
+}
+
+impl Executor for IndexNestedLoopJoinExec {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        loop {
+            if let Some(t) = self.pending.pop_front() {
+                return Ok(Some(t));
+            }
+            let Some(lt) = self.outer.next()? else {
+                return Ok(None);
+            };
+            let key = lt.value(self.outer_key)?;
+            if key.is_null() {
+                continue;
+            }
+            for rid in self.index.btree.search_eq(key)? {
+                let rt = self.inner.heap.get(rid)?.ok_or_else(|| {
+                    EvoptError::Execution(format!("index points at deleted rid {rid}"))
+                })?;
+                let combined = lt.join(&rt);
+                if passes(&self.residual, &combined)? {
+                    self.pending.push_back(combined);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sort-merge join
+// ---------------------------------------------------------------------------
+
+/// Linear merge of two inputs sorted ascending on their keys.
+pub struct SortMergeJoinExec {
+    left: Box<dyn Executor>,
+    right: Box<dyn Executor>,
+    left_key: usize,
+    right_key: usize,
+    residual: Option<Expr>,
+    schema: Schema,
+    current_left: Option<Tuple>,
+    group: Vec<Tuple>,
+    group_key: Option<Value>,
+    group_pos: usize,
+    lookahead: Option<Tuple>,
+    right_done: bool,
+}
+
+impl SortMergeJoinExec {
+    pub fn new(
+        left: Box<dyn Executor>,
+        right: Box<dyn Executor>,
+        left_key: usize,
+        right_key: usize,
+        residual: Option<Expr>,
+        schema: Schema,
+    ) -> Self {
+        SortMergeJoinExec {
+            left,
+            right,
+            left_key,
+            right_key,
+            residual,
+            schema,
+            current_left: None,
+            group: Vec::new(),
+            group_key: None,
+            group_pos: 0,
+            lookahead: None,
+            right_done: false,
+        }
+    }
+
+    /// Load the next duplicate group from the right input. Returns false
+    /// when the right side is exhausted.
+    fn advance_group(&mut self) -> Result<bool> {
+        self.group.clear();
+        self.group_key = None;
+        self.group_pos = 0;
+        // First tuple of the group (skipping NULL keys).
+        let first = loop {
+            let t = match self.lookahead.take() {
+                Some(t) => Some(t),
+                None => self.right.next()?,
+            };
+            match t {
+                None => {
+                    self.right_done = true;
+                    return Ok(false);
+                }
+                Some(t) => {
+                    if t.value(self.right_key)?.is_null() {
+                        continue;
+                    }
+                    break t;
+                }
+            }
+        };
+        let key = first.value(self.right_key)?.clone();
+        self.group.push(first);
+        // Absorb duplicates.
+        loop {
+            match self.right.next()? {
+                None => {
+                    self.right_done = true;
+                    break;
+                }
+                Some(t) => {
+                    let k = t.value(self.right_key)?;
+                    if k.is_null() {
+                        continue;
+                    }
+                    if *k == key {
+                        self.group.push(t);
+                    } else {
+                        self.lookahead = Some(t);
+                        break;
+                    }
+                }
+            }
+        }
+        self.group_key = Some(key);
+        Ok(true)
+    }
+}
+
+impl Executor for SortMergeJoinExec {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        loop {
+            if self.current_left.is_none() {
+                self.current_left = self.left.next()?;
+                self.group_pos = 0;
+                if self.current_left.is_none() {
+                    return Ok(None);
+                }
+            }
+            let lkey = {
+                let lt = self.current_left.as_ref().expect("set above");
+                lt.value(self.left_key)?.clone()
+            };
+            if lkey.is_null() {
+                self.current_left = None;
+                continue;
+            }
+            // Advance the right group until its key >= left key.
+            while self
+                .group_key
+                .as_ref()
+                .map_or(!self.right_done, |k| *k < lkey)
+            {
+                if !self.advance_group()? {
+                    break;
+                }
+            }
+            match &self.group_key {
+                Some(k) if *k == lkey => {
+                    let lt = self.current_left.as_ref().expect("set above").clone();
+                    while self.group_pos < self.group.len() {
+                        let rt = &self.group[self.group_pos];
+                        self.group_pos += 1;
+                        let combined = lt.join(rt);
+                        if passes(&self.residual, &combined)? {
+                            return Ok(Some(combined));
+                        }
+                    }
+                    self.current_left = None;
+                }
+                _ => {
+                    // Group key beyond the left key, or right exhausted.
+                    self.current_left = None;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hash join (in-memory or Grace)
+// ---------------------------------------------------------------------------
+
+enum HashJoinState {
+    /// Not started.
+    Init,
+    /// Build side fit in memory.
+    InMemory { map: HashMap<Value, Vec<Tuple>> },
+    /// Grace: both sides partitioned to temp heaps; joined per partition.
+    Grace {
+        left_parts: Vec<Arc<HeapFile>>,
+        right_parts: Vec<Arc<HeapFile>>,
+        part: usize,
+        map: HashMap<Value, Vec<Tuple>>,
+        probe: Option<HeapScan>,
+    },
+}
+
+/// Hash join: builds on the right input, probes with the left (probe order
+/// — and therefore any left sort order — is preserved).
+pub struct HashJoinExec {
+    left: Option<Box<dyn Executor>>,
+    right: Option<Box<dyn Executor>>,
+    env: ExecEnv,
+    left_key: usize,
+    right_key: usize,
+    residual: Option<Expr>,
+    schema: Schema,
+    state: HashJoinState,
+    pending: VecDeque<Tuple>,
+}
+
+impl HashJoinExec {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        left: Box<dyn Executor>,
+        right: Box<dyn Executor>,
+        env: ExecEnv,
+        left_key: usize,
+        right_key: usize,
+        residual: Option<Expr>,
+        schema: Schema,
+    ) -> Self {
+        HashJoinExec {
+            left: Some(left),
+            right: Some(right),
+            env,
+            left_key,
+            right_key,
+            residual,
+            schema,
+            state: HashJoinState::Init,
+            pending: VecDeque::new(),
+        }
+    }
+
+    fn build(&mut self) -> Result<()> {
+        let mut right = self.right.take().expect("build once");
+        let mut build_rows: Vec<Tuple> = Vec::new();
+        let mut bytes = 0usize;
+        while let Some(t) = right.next()? {
+            if t.value(self.right_key)?.is_null() {
+                continue;
+            }
+            bytes += t.encoded_len();
+            build_rows.push(t);
+        }
+        let budget = self.env.buffer_pages.max(3) * USABLE_PAGE_BYTES;
+        if bytes <= budget {
+            let mut map: HashMap<Value, Vec<Tuple>> = HashMap::new();
+            for t in build_rows {
+                let k = t.value(self.right_key)?.clone();
+                map.entry(k).or_default().push(t);
+            }
+            self.state = HashJoinState::InMemory { map };
+            return Ok(());
+        }
+        // Grace: partition both sides so each build partition fits.
+        let parts = (bytes / budget + 2).max(2);
+        let pool = self.env.catalog.pool();
+        let mk_parts = || -> Result<Vec<Arc<HeapFile>>> {
+            (0..parts)
+                .map(|_| Ok(Arc::new(HeapFile::create(Arc::clone(pool))?)))
+                .collect()
+        };
+        let right_parts = mk_parts()?;
+        for t in build_rows {
+            let k = t.value(self.right_key)?;
+            right_parts[partition_of(k, parts)].insert(&t)?;
+        }
+        let left_parts = mk_parts()?;
+        let mut left = self.left.take().expect("probe side present");
+        while let Some(t) = left.next()? {
+            let k = t.value(self.left_key)?;
+            if k.is_null() {
+                continue;
+            }
+            left_parts[partition_of(k, parts)].insert(&t)?;
+        }
+        self.state = HashJoinState::Grace {
+            left_parts,
+            right_parts,
+            part: 0,
+            map: HashMap::new(),
+            probe: None,
+        };
+        Ok(())
+    }
+
+    fn probe_matches(
+        map: &HashMap<Value, Vec<Tuple>>,
+        lt: &Tuple,
+        left_key: usize,
+        residual: &Option<Expr>,
+        pending: &mut VecDeque<Tuple>,
+    ) -> Result<()> {
+        let k = lt.value(left_key)?;
+        if k.is_null() {
+            return Ok(());
+        }
+        if let Some(matches) = map.get(k) {
+            for rt in matches {
+                let combined = lt.join(rt);
+                if passes(residual, &combined)? {
+                    pending.push_back(combined);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn partition_of(v: &Value, parts: usize) -> usize {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    v.hash(&mut h);
+    (h.finish() as usize) % parts
+}
+
+impl Executor for HashJoinExec {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        if matches!(self.state, HashJoinState::Init) {
+            self.build()?;
+        }
+        loop {
+            if let Some(t) = self.pending.pop_front() {
+                return Ok(Some(t));
+            }
+            match &mut self.state {
+                HashJoinState::Init => unreachable!("built above"),
+                HashJoinState::InMemory { map } => {
+                    let left = self.left.as_mut().expect("in-memory keeps probe");
+                    let Some(lt) = left.next()? else {
+                        return Ok(None);
+                    };
+                    Self::probe_matches(
+                        map,
+                        &lt,
+                        self.left_key,
+                        &self.residual,
+                        &mut self.pending,
+                    )?;
+                }
+                HashJoinState::Grace {
+                    left_parts,
+                    right_parts,
+                    part,
+                    map,
+                    probe,
+                } => {
+                    if probe.is_none() {
+                        if *part >= left_parts.len() {
+                            return Ok(None);
+                        }
+                        // Build this partition's map.
+                        map.clear();
+                        for item in right_parts[*part].scan() {
+                            let (_, t) = item?;
+                            let k = t.value(self.right_key)?.clone();
+                            map.entry(k).or_default().push(t);
+                        }
+                        *probe = Some(left_parts[*part].scan());
+                        *part += 1;
+                    }
+                    let scan = probe.as_mut().expect("set above");
+                    match scan.next().transpose()? {
+                        Some((_, lt)) => {
+                            Self::probe_matches(
+                                map,
+                                &lt,
+                                self.left_key,
+                                &self.residual,
+                                &mut self.pending,
+                            )?;
+                        }
+                        None => *probe = None,
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! # evopt-exec
+//!
+//! The Volcano-style execution engine: interprets the optimizer's
+//! [`evopt_core::PhysicalPlan`]s against the storage engine.
+//!
+//! Every operator implements [`Executor`] (`open`-by-construction /
+//! `next()`); all page access goes through the shared buffer pool, so the
+//! **measured physical I/O of a plan is real** — block nested loops
+//! materialises and re-reads its inner, external sort spills runs, the
+//! Grace hash join partitions to temporary heaps. That is the point: the
+//! experiments compare these measured page counts against the optimizer's
+//! predictions (T5, F4).
+//!
+//! Entry points: [`build_executor`] to instantiate a plan, [`run_collect`]
+//! to drain it into a vector.
+
+pub mod agg;
+pub mod executor;
+pub mod join;
+pub mod scan;
+pub mod simple;
+pub mod sort;
+
+pub use executor::{build_executor, run_collect, ExecEnv, Executor};
+
+#[cfg(test)]
+mod op_tests;

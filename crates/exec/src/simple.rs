@@ -1,0 +1,172 @@
+//! Filter, projection and limit.
+
+use evopt_common::{Expr, Result, Schema, Tuple};
+
+use crate::executor::Executor;
+
+/// Row filter.
+pub struct FilterExec {
+    input: Box<dyn Executor>,
+    predicate: Expr,
+}
+
+impl FilterExec {
+    pub fn new(input: Box<dyn Executor>, predicate: Expr) -> Self {
+        FilterExec { input, predicate }
+    }
+}
+
+impl Executor for FilterExec {
+    fn schema(&self) -> &Schema {
+        self.input.schema()
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        while let Some(t) = self.input.next()? {
+            if self.predicate.eval_predicate(&t)? {
+                return Ok(Some(t));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Expression projection.
+pub struct ProjectExec {
+    input: Box<dyn Executor>,
+    exprs: Vec<Expr>,
+    schema: Schema,
+}
+
+impl ProjectExec {
+    pub fn new(input: Box<dyn Executor>, exprs: Vec<Expr>, schema: Schema) -> Self {
+        ProjectExec {
+            input,
+            exprs,
+            schema,
+        }
+    }
+}
+
+impl Executor for ProjectExec {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        match self.input.next()? {
+            None => Ok(None),
+            Some(t) => {
+                let mut values = Vec::with_capacity(self.exprs.len());
+                for e in &self.exprs {
+                    values.push(e.eval(&t)?);
+                }
+                Ok(Some(Tuple::new(values)))
+            }
+        }
+    }
+}
+
+/// First-k.
+pub struct LimitExec {
+    input: Box<dyn Executor>,
+    remaining: usize,
+}
+
+impl LimitExec {
+    pub fn new(input: Box<dyn Executor>, limit: usize) -> Self {
+        LimitExec {
+            input,
+            remaining: limit,
+        }
+    }
+}
+
+impl Executor for LimitExec {
+    fn schema(&self) -> &Schema {
+        self.input.schema()
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        match self.input.next()? {
+            Some(t) => {
+                self.remaining -= 1;
+                Ok(Some(t))
+            }
+            None => {
+                self.remaining = 0;
+                Ok(None)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::executor::run_collect;
+    use crate::scan::test_support::{seq_plan, setup};
+    use evopt_common::expr::{col, lit};
+    use evopt_common::{BinOp, Expr, Value};
+    use evopt_core::cost::Cost;
+    use evopt_core::physical::{PhysOp, PhysicalPlan};
+
+    #[test]
+    fn filter_project_limit_pipeline() {
+        let env = setup(100, 16);
+        let scan = seq_plan(&env, "nums", None);
+        let filtered = PhysicalPlan {
+            schema: scan.schema.clone(),
+            est_rows: 0.0,
+            est_cost: Cost::ZERO,
+            output_order: None,
+            op: PhysOp::Filter {
+                input: Box::new(scan),
+                predicate: Expr::binary(BinOp::GtEq, col(0), lit(90i64)),
+            },
+        };
+        let projected = PhysicalPlan {
+            schema: filtered.schema.project(&[0]).unwrap(),
+            est_rows: 0.0,
+            est_cost: Cost::ZERO,
+            output_order: None,
+            op: PhysOp::Project {
+                input: Box::new(filtered),
+                exprs: vec![Expr::binary(BinOp::Mul, col(0), lit(2i64))],
+            },
+        };
+        let limited = PhysicalPlan {
+            schema: projected.schema.clone(),
+            est_rows: 0.0,
+            est_cost: Cost::ZERO,
+            output_order: None,
+            op: PhysOp::Limit {
+                input: Box::new(projected),
+                limit: 3,
+            },
+        };
+        let rows = run_collect(&limited, &env).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].value(0).unwrap(), &Value::Int(180));
+        assert_eq!(rows[2].value(0).unwrap(), &Value::Int(184));
+    }
+
+    #[test]
+    fn limit_zero_and_overlong() {
+        let env = setup(5, 16);
+        let mk = |limit| PhysicalPlan {
+            schema: seq_plan(&env, "nums", None).schema.clone(),
+            est_rows: 0.0,
+            est_cost: Cost::ZERO,
+            output_order: None,
+            op: PhysOp::Limit {
+                input: Box::new(seq_plan(&env, "nums", None)),
+                limit,
+            },
+        };
+        assert_eq!(run_collect(&mk(0), &env).unwrap().len(), 0);
+        assert_eq!(run_collect(&mk(100), &env).unwrap().len(), 5);
+    }
+}

@@ -1,0 +1,22 @@
+//! # evopt-plan
+//!
+//! The logical query algebra and its rewrites.
+//!
+//! * [`logical::LogicalPlan`] — scan / filter / project / join / aggregate /
+//!   sort / limit nodes with derived schemas and an EXPLAIN-style display.
+//! * [`rules`] — the algebraic rewrites every optimizer runs before join
+//!   enumeration: constant folding, predicate pushdown (through projections
+//!   and to the correct side of joins), and column pruning.
+//! * [`join_graph`] — flattens a join tree into relations + predicates with
+//!   relation-set masks, the input the cost-based enumerator works on.
+//!
+//! Everything here is *logical*: no costs, no access paths. Those live in
+//! `evopt-core`.
+
+pub mod join_graph;
+pub mod logical;
+pub mod rules;
+
+pub use join_graph::{GraphPredicate, JoinGraph, RelMask};
+pub use logical::{AggExpr, LogicalPlan, SortKey};
+pub use rules::{fold_constants, prune_columns, push_down_filters, rewrite_all};

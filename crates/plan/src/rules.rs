@@ -1,0 +1,864 @@
+//! Algebraic rewrite rules.
+//!
+//! Three rules every cost-based optimizer runs *before* join enumeration,
+//! because they are always-wins (no costing needed):
+//!
+//! 1. [`fold_constants`] — evaluate constant sub-expressions; drop
+//!    `WHERE TRUE` filters.
+//! 2. [`push_down_filters`] — move each predicate conjunct as close to the
+//!    data as possible: through projections (by substitution), sorts, and
+//!    into the correct side of joins. Mixed-relation conjuncts become join
+//!    predicates.
+//! 3. [`prune_columns`] — drop columns nobody upstream reads, shrinking
+//!    intermediate tuples (and therefore join/sort footprints).
+//!
+//! [`rewrite_all`] runs them in that order.
+
+use std::collections::BTreeSet;
+
+use evopt_common::expr::lit;
+use evopt_common::{EvoptError, Expr, Result};
+
+use crate::logical::LogicalPlan;
+
+/// Run all rewrites in canonical order.
+pub fn rewrite_all(plan: LogicalPlan) -> Result<LogicalPlan> {
+    let plan = fold_constants(plan)?;
+    let plan = push_down_filters(plan)?;
+    prune_columns(plan)
+}
+
+// ---------------------------------------------------------------------------
+// Constant folding
+// ---------------------------------------------------------------------------
+
+/// Fold constant sub-expressions in every node; remove filters that fold to
+/// `TRUE`.
+pub fn fold_constants(plan: LogicalPlan) -> Result<LogicalPlan> {
+    Ok(match plan {
+        LogicalPlan::Scan { .. } => plan,
+        LogicalPlan::Filter { input, predicate } => {
+            let input = fold_constants(*input)?;
+            let predicate = predicate.fold_constants();
+            if predicate == lit(true) {
+                input
+            } else {
+                LogicalPlan::Filter {
+                    input: Box::new(input),
+                    predicate,
+                }
+            }
+        }
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => LogicalPlan::Project {
+            input: Box::new(fold_constants(*input)?),
+            exprs: exprs.into_iter().map(|e| e.fold_constants()).collect(),
+            schema,
+        },
+        LogicalPlan::Join {
+            left,
+            right,
+            predicate,
+        } => {
+            let predicate = match predicate.map(|p| p.fold_constants()) {
+                Some(p) if p == lit(true) => None,
+                other => other,
+            };
+            LogicalPlan::Join {
+                left: Box::new(fold_constants(*left)?),
+                right: Box::new(fold_constants(*right)?),
+                predicate,
+            }
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            schema,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(fold_constants(*input)?),
+            group_by,
+            aggs: aggs
+                .into_iter()
+                .map(|mut a| {
+                    a.arg = a.arg.map(|e| e.fold_constants());
+                    a
+                })
+                .collect(),
+            schema,
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(fold_constants(*input)?),
+            keys,
+        },
+        LogicalPlan::Limit { input, limit } => LogicalPlan::Limit {
+            input: Box::new(fold_constants(*input)?),
+            limit,
+        },
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Predicate pushdown
+// ---------------------------------------------------------------------------
+
+/// Push filter conjuncts down towards the scans.
+pub fn push_down_filters(plan: LogicalPlan) -> Result<LogicalPlan> {
+    push(plan, Vec::new())
+}
+
+/// Replace every `Column(i)` in `e` with `exprs[i]` (pushing a predicate
+/// through the projection that computes those exprs).
+fn substitute(e: &Expr, exprs: &[Expr]) -> Result<Expr> {
+    Ok(match e {
+        Expr::Column(i) => exprs
+            .get(*i)
+            .cloned()
+            .ok_or_else(|| EvoptError::Plan(format!("substitute: ordinal {i} out of range")))?,
+        Expr::Literal(v) => Expr::Literal(v.clone()),
+        Expr::Binary { op, left, right } => Expr::Binary {
+            op: *op,
+            left: Box::new(substitute(left, exprs)?),
+            right: Box::new(substitute(right, exprs)?),
+        },
+        Expr::Unary { op, input } => Expr::Unary {
+            op: *op,
+            input: Box::new(substitute(input, exprs)?),
+        },
+        Expr::Like {
+            input,
+            pattern,
+            negated,
+        } => Expr::Like {
+            input: Box::new(substitute(input, exprs)?),
+            pattern: pattern.clone(),
+            negated: *negated,
+        },
+        Expr::InList {
+            input,
+            list,
+            negated,
+        } => Expr::InList {
+            input: Box::new(substitute(input, exprs)?),
+            list: list.clone(),
+            negated: *negated,
+        },
+        Expr::Between {
+            input,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
+            input: Box::new(substitute(input, exprs)?),
+            low: Box::new(substitute(low, exprs)?),
+            high: Box::new(substitute(high, exprs)?),
+            negated: *negated,
+        },
+    })
+}
+
+fn maybe_filter(conjuncts: Vec<Expr>, plan: LogicalPlan) -> LogicalPlan {
+    let conjuncts: Vec<Expr> = conjuncts.into_iter().filter(|c| *c != lit(true)).collect();
+    if conjuncts.is_empty() {
+        plan
+    } else {
+        LogicalPlan::Filter {
+            input: Box::new(plan),
+            predicate: Expr::conjunction(conjuncts),
+        }
+    }
+}
+
+/// Core recursion: `pending` are conjuncts over `plan`'s output schema that
+/// must hold; the function buries them as deep as legally possible.
+fn push(plan: LogicalPlan, mut pending: Vec<Expr>) -> Result<LogicalPlan> {
+    match plan {
+        LogicalPlan::Scan { .. } => Ok(maybe_filter(pending, plan)),
+        LogicalPlan::Filter { input, predicate } => {
+            pending.extend(predicate.split_conjuncts());
+            push(*input, pending)
+        }
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => {
+            // Rewrite each conjunct in terms of the projection's inputs.
+            let mut below = Vec::with_capacity(pending.len());
+            for c in pending {
+                below.push(substitute(&c, &exprs)?);
+            }
+            Ok(LogicalPlan::Project {
+                input: Box::new(push(*input, below)?),
+                exprs,
+                schema,
+            })
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            predicate,
+        } => {
+            if let Some(p) = predicate {
+                pending.extend(p.split_conjuncts());
+            }
+            let left_width = left.schema().len();
+            let mut to_left = Vec::new();
+            let mut to_right = Vec::new();
+            let mut stay = Vec::new();
+            for c in pending {
+                let cols = c.referenced_columns();
+                let on_left = cols.iter().all(|&i| i < left_width);
+                let on_right = cols.iter().all(|&i| i >= left_width);
+                if on_left && on_right {
+                    // References no columns at all: keep at the join (it is
+                    // a constant; folding should have removed TRUE already).
+                    stay.push(c);
+                } else if on_left {
+                    to_left.push(c);
+                } else if on_right {
+                    to_right.push(c.remap_columns(&|i| i - left_width));
+                } else {
+                    stay.push(c);
+                }
+            }
+            Ok(LogicalPlan::Join {
+                left: Box::new(push(*left, to_left)?),
+                right: Box::new(push(*right, to_right)?),
+                predicate: if stay.is_empty() {
+                    None
+                } else {
+                    Some(Expr::conjunction(stay))
+                },
+            })
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            schema,
+        } => {
+            // Conjuncts that only touch group columns commute with the
+            // aggregation (classic HAVING-to-WHERE move).
+            let ngroups = group_by.len();
+            let mut below = Vec::new();
+            let mut above = Vec::new();
+            for c in pending {
+                if c.referenced_columns().iter().all(|&i| i < ngroups) {
+                    below.push(c.remap_columns(&|i| group_by[i]));
+                } else {
+                    above.push(c);
+                }
+            }
+            let agg = LogicalPlan::Aggregate {
+                input: Box::new(push(*input, below)?),
+                group_by,
+                aggs,
+                schema,
+            };
+            Ok(maybe_filter(above, agg))
+        }
+        LogicalPlan::Sort { input, keys } => Ok(LogicalPlan::Sort {
+            input: Box::new(push(*input, pending)?),
+            keys,
+        }),
+        LogicalPlan::Limit { input, limit } => {
+            // Filters do NOT commute with LIMIT: keep pending above.
+            let inner = LogicalPlan::Limit {
+                input: Box::new(push(*input, Vec::new())?),
+                limit,
+            };
+            Ok(maybe_filter(pending, inner))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Column pruning
+// ---------------------------------------------------------------------------
+
+/// Drop columns nobody reads. The root's output schema is preserved exactly;
+/// pruning happens beneath projections and aggregates inside the tree.
+pub fn prune_columns(plan: LogicalPlan) -> Result<LogicalPlan> {
+    let all: BTreeSet<usize> = (0..plan.schema().len()).collect();
+    let (pruned, map) = prune_into(plan, &all)?;
+    debug_assert!(
+        map.iter().enumerate().all(|(i, m)| *m == Some(i)),
+        "root pruning must be identity"
+    );
+    Ok(pruned)
+}
+
+/// Returns a plan producing exactly the `required` columns of the original
+/// output (ascending original-ordinal order) and the old→new ordinal map.
+fn prune_into(
+    plan: LogicalPlan,
+    required: &BTreeSet<usize>,
+) -> Result<(LogicalPlan, Vec<Option<usize>>)> {
+    let width = plan.schema().len();
+    let identity_map = |keep: &BTreeSet<usize>| -> Vec<Option<usize>> {
+        let mut map = vec![None; width];
+        for (new, &old) in keep.iter().enumerate() {
+            map[old] = Some(new);
+        }
+        map
+    };
+    match plan {
+        LogicalPlan::Scan { table, schema } => {
+            if required.len() == schema.len() {
+                let map = (0..schema.len()).map(Some).collect();
+                return Ok((LogicalPlan::Scan { table, schema }, map));
+            }
+            let keep: Vec<usize> = required.iter().copied().collect();
+            let map = identity_map(required);
+            let scan = LogicalPlan::Scan {
+                table,
+                schema: schema.clone(),
+            };
+            let project = LogicalPlan::Project {
+                exprs: keep.iter().map(|&i| Expr::Column(i)).collect(),
+                schema: schema.project(&keep)?,
+                input: Box::new(scan),
+            };
+            Ok((project, map))
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let mut need = required.clone();
+            need.extend(predicate.referenced_columns());
+            let (child, cmap) = prune_into(*input, &need)?;
+            let predicate = remap_expr(&predicate, &cmap)?;
+            let filtered = LogicalPlan::Filter {
+                input: Box::new(child),
+                predicate,
+            };
+            // Child produced `need`; shrink to `required` if they differ.
+            shrink(filtered, &need, required)
+        }
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => {
+            let keep: Vec<usize> = required.iter().copied().collect();
+            let mut child_need = BTreeSet::new();
+            for &i in &keep {
+                child_need.extend(exprs[i].referenced_columns());
+            }
+            // A projection must read at least one column to know... actually
+            // constant-only projections need no inputs, but our leaves always
+            // produce rows; empty requirement is fine (scan keeps 1 col).
+            if child_need.is_empty() {
+                if let Some(first) = (0..(*input).schema().len()).next() {
+                    child_need.insert(first);
+                }
+            }
+            let (child, cmap) = prune_into(*input, &child_need)?;
+            let new_exprs: Result<Vec<Expr>> =
+                keep.iter().map(|&i| remap_expr(&exprs[i], &cmap)).collect();
+            let new_schema = schema.project(&keep)?;
+            let map = identity_map(required);
+            Ok((
+                LogicalPlan::Project {
+                    input: Box::new(child),
+                    exprs: new_exprs?,
+                    schema: new_schema,
+                },
+                map,
+            ))
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            predicate,
+        } => {
+            let lwidth = left.schema().len();
+            let mut lneed = BTreeSet::new();
+            let mut rneed = BTreeSet::new();
+            for &i in required {
+                if i < lwidth {
+                    lneed.insert(i);
+                } else {
+                    rneed.insert(i - lwidth);
+                }
+            }
+            if let Some(p) = &predicate {
+                for i in p.referenced_columns() {
+                    if i < lwidth {
+                        lneed.insert(i);
+                    } else {
+                        rneed.insert(i - lwidth);
+                    }
+                }
+            }
+            // Keep at least one column per side so the join produces rows.
+            if lneed.is_empty() {
+                lneed.insert(0);
+            }
+            if rneed.is_empty() {
+                rneed.insert(0);
+            }
+            let (lchild, lmap) = prune_into(*left, &lneed)?;
+            let lnew_width = lchild.schema().len();
+            let (rchild, rmap) = prune_into(*right, &rneed)?;
+            // Combined old→new map over the join output.
+            let mut cmap = vec![None; width];
+            for (old, new) in lmap.iter().enumerate() {
+                cmap[old] = *new;
+            }
+            for (old, new) in rmap.iter().enumerate() {
+                cmap[lwidth + old] = new.map(|n| lnew_width + n);
+            }
+            let predicate = match predicate {
+                Some(p) => Some(remap_expr(&p, &cmap)?),
+                None => None,
+            };
+            let joined = LogicalPlan::Join {
+                left: Box::new(lchild),
+                right: Box::new(rchild),
+                predicate,
+            };
+            // The join now produces lneed ++ rneed; shrink to `required`.
+            let produced: BTreeSet<usize> = lneed
+                .iter()
+                .copied()
+                .chain(rneed.iter().map(|&i| i + lwidth))
+                .collect();
+            shrink(joined, &produced, required)
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            schema,
+        } => {
+            // Keep full aggregate output (groups + aggs); prune beneath.
+            let mut child_need: BTreeSet<usize> = group_by.iter().copied().collect();
+            for a in &aggs {
+                if let Some(arg) = &a.arg {
+                    child_need.extend(arg.referenced_columns());
+                }
+            }
+            if child_need.is_empty() {
+                child_need.insert(0);
+            }
+            let (child, cmap) = prune_into(*input, &child_need)?;
+            let new_groups: Result<Vec<usize>> = group_by
+                .iter()
+                .map(|&g| {
+                    cmap[g].ok_or_else(|| EvoptError::Internal("group col pruned".into()))
+                })
+                .collect();
+            let mut new_aggs = Vec::with_capacity(aggs.len());
+            for a in aggs {
+                let arg = match a.arg {
+                    Some(e) => Some(remap_expr(&e, &cmap)?),
+                    None => None,
+                };
+                new_aggs.push(crate::logical::AggExpr { arg, ..a });
+            }
+            let agg = LogicalPlan::Aggregate {
+                input: Box::new(child),
+                group_by: new_groups?,
+                aggs: new_aggs,
+                schema,
+            };
+            let produced: BTreeSet<usize> = (0..width).collect();
+            shrink(agg, &produced, required)
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let mut need = required.clone();
+            need.extend(keys.iter().map(|k| k.column));
+            let (child, cmap) = prune_into(*input, &need)?;
+            let keys = keys
+                .iter()
+                .map(|k| {
+                    Ok(crate::logical::SortKey {
+                        column: cmap[k.column]
+                            .ok_or_else(|| EvoptError::Internal("sort col pruned".into()))?,
+                        ascending: k.ascending,
+                    })
+                })
+                .collect::<Result<Vec<_>>>()?;
+            let sorted = LogicalPlan::Sort {
+                input: Box::new(child),
+                keys,
+            };
+            shrink(sorted, &need, required)
+        }
+        LogicalPlan::Limit { input, limit } => {
+            let (child, map) = prune_into(*input, required)?;
+            Ok((
+                LogicalPlan::Limit {
+                    input: Box::new(child),
+                    limit,
+                },
+                map,
+            ))
+        }
+    }
+}
+
+/// `plan` currently outputs the `produced` original columns (ascending);
+/// add a projection shrinking it to `required` if they differ. Returns the
+/// final old→new map.
+fn shrink(
+    plan: LogicalPlan,
+    produced: &BTreeSet<usize>,
+    required: &BTreeSet<usize>,
+) -> Result<(LogicalPlan, Vec<Option<usize>>)> {
+    let max_old = produced.iter().max().map_or(0, |m| m + 1);
+    if produced == required {
+        let mut map = vec![None; max_old];
+        for (new, &old) in produced.iter().enumerate() {
+            map[old] = Some(new);
+        }
+        return Ok((plan, map));
+    }
+    // Position of each produced column in the current output.
+    let pos_of = |old: usize| produced.iter().position(|&p| p == old);
+    let schema = plan.schema();
+    let mut exprs = Vec::with_capacity(required.len());
+    let mut keep_positions = Vec::with_capacity(required.len());
+    for &old in required {
+        let p = pos_of(old)
+            .ok_or_else(|| EvoptError::Internal(format!("required col {old} not produced")))?;
+        exprs.push(Expr::Column(p));
+        keep_positions.push(p);
+    }
+    let projected = LogicalPlan::Project {
+        schema: schema.project(&keep_positions)?,
+        exprs,
+        input: Box::new(plan),
+    };
+    let mut map = vec![None; max_old];
+    for (new, &old) in required.iter().enumerate() {
+        map[old] = Some(new);
+    }
+    Ok((projected, map))
+}
+
+/// Rewrite `e`'s column ordinals through the (possibly-dropping) map.
+fn remap_expr(e: &Expr, map: &[Option<usize>]) -> Result<Expr> {
+    // `remap_columns` can't fail, so validate first.
+    for i in e.referenced_columns() {
+        if map.get(i).copied().flatten().is_none() {
+            return Err(EvoptError::Internal(format!(
+                "expression references pruned column {i}"
+            )));
+        }
+    }
+    Ok(e.remap_columns(&|i| map[i].expect("validated above")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical::test_helpers::scan;
+    use crate::logical::{AggExpr, SortKey};
+    use evopt_common::expr::{col, lit};
+    use evopt_common::{AggFunc, BinOp};
+
+    fn join(l: LogicalPlan, r: LogicalPlan, p: Option<Expr>) -> LogicalPlan {
+        LogicalPlan::Join {
+            left: Box::new(l),
+            right: Box::new(r),
+            predicate: p,
+        }
+    }
+
+    fn filter(input: LogicalPlan, p: Expr) -> LogicalPlan {
+        LogicalPlan::Filter {
+            input: Box::new(input),
+            predicate: p,
+        }
+    }
+
+    #[test]
+    fn fold_removes_true_filters() {
+        let p = filter(scan("t"), Expr::binary(BinOp::Lt, lit(1i64), lit(2i64)));
+        let folded = fold_constants(p).unwrap();
+        assert_eq!(folded, scan("t"));
+    }
+
+    #[test]
+    fn fold_inside_projection() {
+        let p = LogicalPlan::project(
+            scan("t"),
+            vec![Expr::binary(BinOp::Add, lit(1i64), lit(2i64))],
+            vec![Some("three".into())],
+        )
+        .unwrap();
+        let folded = fold_constants(p).unwrap();
+        match folded {
+            LogicalPlan::Project { exprs, .. } => assert_eq!(exprs[0], lit(3i64)),
+            other => panic!("expected project, got {other}"),
+        }
+    }
+
+    #[test]
+    fn pushdown_splits_filter_over_join() {
+        // WHERE t.a = 1 AND u.b = 2 AND t.b = u.a over t JOIN u (cross).
+        let pred = Expr::conjunction(vec![
+            Expr::eq(col(0), lit(1i64)),      // t.a (left)
+            Expr::eq(col(4), lit(2i64)),      // u.b (right)
+            Expr::eq(col(1), col(3)),         // t.b = u.a (join)
+        ]);
+        let p = filter(join(scan("t"), scan("u"), None), pred);
+        let out = push_down_filters(p).unwrap();
+        match &out {
+            LogicalPlan::Join {
+                left,
+                right,
+                predicate,
+            } => {
+                assert_eq!(predicate, &Some(Expr::eq(col(1), col(3))));
+                match (&**left, &**right) {
+                    (
+                        LogicalPlan::Filter { predicate: lp, .. },
+                        LogicalPlan::Filter { predicate: rp, .. },
+                    ) => {
+                        assert_eq!(lp, &Expr::eq(col(0), lit(1i64)));
+                        // u.b was global #4 → local #1 on the right side.
+                        assert_eq!(rp, &Expr::eq(col(1), lit(2i64)));
+                    }
+                    other => panic!("expected filters on both sides, got {other:?}"),
+                }
+            }
+            other => panic!("expected join at root, got {other}"),
+        }
+    }
+
+    #[test]
+    fn pushdown_through_projection_substitutes() {
+        // SELECT a+b AS x FROM t  ... WHERE x = 5  → filter (a+b)=5 under π.
+        let proj = LogicalPlan::project(
+            scan("t"),
+            vec![Expr::binary(BinOp::Add, col(0), col(1))],
+            vec![Some("x".into())],
+        )
+        .unwrap();
+        let p = filter(proj, Expr::eq(col(0), lit(5i64)));
+        let out = push_down_filters(p).unwrap();
+        match &out {
+            LogicalPlan::Project { input, .. } => match &**input {
+                LogicalPlan::Filter { predicate, .. } => {
+                    assert_eq!(
+                        predicate,
+                        &Expr::eq(Expr::binary(BinOp::Add, col(0), col(1)), lit(5i64))
+                    );
+                }
+                other => panic!("expected filter under project, got {other}"),
+            },
+            other => panic!("expected project at root, got {other}"),
+        }
+    }
+
+    #[test]
+    fn pushdown_stops_at_limit() {
+        let p = filter(
+            LogicalPlan::Limit {
+                input: Box::new(scan("t")),
+                limit: 10,
+            },
+            Expr::eq(col(0), lit(1i64)),
+        );
+        let out = push_down_filters(p.clone()).unwrap();
+        // Filter must remain above the limit.
+        match &out {
+            LogicalPlan::Filter { input, .. } => {
+                assert!(matches!(&**input, LogicalPlan::Limit { .. }));
+            }
+            other => panic!("expected filter above limit, got {other}"),
+        }
+    }
+
+    #[test]
+    fn pushdown_through_sort() {
+        let p = filter(
+            LogicalPlan::Sort {
+                input: Box::new(scan("t")),
+                keys: vec![SortKey {
+                    column: 0,
+                    ascending: true,
+                }],
+            },
+            Expr::eq(col(0), lit(1i64)),
+        );
+        let out = push_down_filters(p).unwrap();
+        match &out {
+            LogicalPlan::Sort { input, .. } => {
+                assert!(matches!(&**input, LogicalPlan::Filter { .. }));
+            }
+            other => panic!("expected sort above filter, got {other}"),
+        }
+    }
+
+    #[test]
+    fn pushdown_having_on_group_cols() {
+        // GROUP BY s with filter on group col s pushes below aggregate;
+        // filter on the aggregate value stays above.
+        let agg = LogicalPlan::aggregate(
+            scan("t"),
+            vec![2],
+            vec![AggExpr {
+                func: AggFunc::CountStar,
+                arg: None,
+                name: "n".into(),
+            }],
+        )
+        .unwrap();
+        let p = filter(
+            agg,
+            Expr::conjunction(vec![
+                Expr::eq(col(0), lit("x")),            // group col
+                Expr::binary(BinOp::Gt, col(1), lit(5i64)), // agg result
+            ]),
+        );
+        let out = push_down_filters(p).unwrap();
+        match &out {
+            LogicalPlan::Filter { input, predicate } => {
+                assert_eq!(predicate, &Expr::binary(BinOp::Gt, col(1), lit(5i64)));
+                match &**input {
+                    LogicalPlan::Aggregate { input, .. } => match &**input {
+                        LogicalPlan::Filter { predicate, .. } => {
+                            // group ordinal 0 → input ordinal 2 (column s)
+                            assert_eq!(predicate, &Expr::eq(col(2), lit("x")));
+                        }
+                        other => panic!("expected filter under agg, got {other}"),
+                    },
+                    other => panic!("expected aggregate, got {other}"),
+                }
+            }
+            other => panic!("expected having-filter at root, got {other}"),
+        }
+    }
+
+    #[test]
+    fn merge_adjacent_filters() {
+        let p = filter(
+            filter(scan("t"), Expr::eq(col(0), lit(1i64))),
+            Expr::eq(col(1), lit(2i64)),
+        );
+        let out = push_down_filters(p).unwrap();
+        match &out {
+            LogicalPlan::Filter { predicate, input } => {
+                assert!(matches!(&**input, LogicalPlan::Scan { .. }));
+                assert_eq!(predicate.split_conjuncts().len(), 2);
+            }
+            other => panic!("expected single merged filter, got {other}"),
+        }
+    }
+
+    #[test]
+    fn prune_narrows_scan_under_projection() {
+        // SELECT a FROM t JOIN u ON t.a = u.a — u.b/u.s and t.b/t.s unused.
+        let j = join(scan("t"), scan("u"), Some(Expr::eq(col(0), col(3))));
+        let p = LogicalPlan::project(j, vec![col(0)], vec![None]).unwrap();
+        let before_schema = p.schema();
+        let out = prune_columns(p).unwrap();
+        assert_eq!(out.schema(), before_schema, "root schema preserved");
+        // The join's inputs should now be 1-column projections over scans.
+        fn find_join(p: &LogicalPlan) -> &LogicalPlan {
+            match p {
+                LogicalPlan::Join { .. } => p,
+                _ => find_join(p.children()[0]),
+            }
+        }
+        let j = find_join(&out);
+        match j {
+            LogicalPlan::Join {
+                left,
+                right,
+                predicate,
+            } => {
+                assert_eq!(left.schema().len(), 1, "left pruned to join+output col");
+                assert_eq!(right.schema().len(), 1, "right pruned to join col");
+                assert_eq!(predicate, &Some(Expr::eq(col(0), col(1))));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn prune_preserves_filter_columns() {
+        // SELECT a FROM t WHERE b = 3 — b needed by filter, dropped after.
+        let f = filter(scan("t"), Expr::eq(col(1), lit(3i64)));
+        let p = LogicalPlan::project(f, vec![col(0)], vec![None]).unwrap();
+        let out = prune_columns(p.clone()).unwrap();
+        assert_eq!(out.schema(), p.schema());
+        // Execution sanity: the filter predicate inside must reference the
+        // remapped `b`.
+        fn has_valid_ordinals(p: &LogicalPlan) -> bool {
+            let ok = match p {
+                LogicalPlan::Filter { input, predicate } => predicate
+                    .referenced_columns()
+                    .iter()
+                    .all(|&i| i < input.schema().len()),
+                LogicalPlan::Project { input, exprs, .. } => exprs.iter().all(|e| {
+                    e.referenced_columns().iter().all(|&i| i < input.schema().len())
+                }),
+                _ => true,
+            };
+            ok && p.children().iter().all(|c| has_valid_ordinals(c))
+        }
+        assert!(has_valid_ordinals(&out), "plan:\n{out}");
+    }
+
+    #[test]
+    fn prune_keeps_aggregate_semantics() {
+        let agg = LogicalPlan::aggregate(
+            scan("t"),
+            vec![2],
+            vec![AggExpr {
+                func: AggFunc::Sum,
+                arg: Some(col(0)),
+                name: "sum_a".into(),
+            }],
+        )
+        .unwrap();
+        let p = LogicalPlan::project(agg, vec![col(1)], vec![None]).unwrap();
+        let out = prune_columns(p.clone()).unwrap();
+        assert_eq!(out.schema(), p.schema());
+        // Column b (ordinal 1 of t) should be gone underneath.
+        fn min_scan_width(p: &LogicalPlan) -> usize {
+            match p {
+                LogicalPlan::Project { input, exprs, .. }
+                    if matches!(&**input, LogicalPlan::Scan { .. }) =>
+                {
+                    exprs.len()
+                }
+                _ => p
+                    .children()
+                    .iter()
+                    .map(|c| min_scan_width(c))
+                    .min()
+                    .unwrap_or(usize::MAX),
+            }
+        }
+        assert_eq!(min_scan_width(&out), 2, "scan pruned to {{a, s}}:\n{out}");
+    }
+
+    #[test]
+    fn rewrite_all_composes() {
+        // WHERE TRUE AND t.a = u.a over cross join, project one column.
+        let j = join(scan("t"), scan("u"), None);
+        let f = filter(
+            j,
+            Expr::and(lit(true), Expr::eq(col(0), col(3))),
+        );
+        let p = LogicalPlan::project(f, vec![col(1)], vec![None]).unwrap();
+        let out = rewrite_all(p.clone()).unwrap();
+        assert_eq!(out.schema(), p.schema());
+        // Equi-join predicate landed on the join node.
+        fn join_pred(p: &LogicalPlan) -> Option<&Expr> {
+            match p {
+                LogicalPlan::Join { predicate, .. } => predicate.as_ref(),
+                _ => p.children().first().and_then(|c| join_pred(c)),
+            }
+        }
+        assert!(join_pred(&out).is_some(), "plan:\n{out}");
+    }
+}

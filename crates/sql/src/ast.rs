@@ -1,0 +1,151 @@
+//! The abstract syntax tree produced by the parser (names unresolved).
+
+use evopt_common::{AggFunc, BinOp, DataType, UnOp, Value};
+
+/// A parsed (unbound) expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstExpr {
+    /// `name` or `table.name`.
+    Ident {
+        table: Option<String>,
+        name: String,
+    },
+    Literal(Value),
+    Binary {
+        op: BinOp,
+        left: Box<AstExpr>,
+        right: Box<AstExpr>,
+    },
+    Unary {
+        op: UnOp,
+        input: Box<AstExpr>,
+    },
+    Like {
+        input: Box<AstExpr>,
+        pattern: String,
+        negated: bool,
+    },
+    InList {
+        input: Box<AstExpr>,
+        list: Vec<Value>,
+        negated: bool,
+    },
+    Between {
+        input: Box<AstExpr>,
+        low: Box<AstExpr>,
+        high: Box<AstExpr>,
+        negated: bool,
+    },
+    /// `COUNT(*)`, `SUM(expr)`, ...
+    AggCall {
+        func: AggFunc,
+        /// `None` only for `COUNT(*)`.
+        arg: Option<Box<AstExpr>>,
+    },
+}
+
+/// One item of the select list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `expr [AS alias]`
+    Expr {
+        expr: AstExpr,
+        alias: Option<String>,
+    },
+}
+
+/// A FROM-clause table reference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    pub name: String,
+    pub alias: Option<String>,
+}
+
+/// One extra FROM item: comma-joined (`on = None`) or `JOIN ... ON` .
+#[derive(Debug, Clone, PartialEq)]
+pub struct FromItem {
+    pub table: TableRef,
+    pub on: Option<AstExpr>,
+}
+
+/// ORDER BY key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    /// A name or 1-based output position.
+    pub target: OrderTarget,
+    pub ascending: bool,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum OrderTarget {
+    Name {
+        table: Option<String>,
+        name: String,
+    },
+    Position(usize),
+}
+
+/// A SELECT statement.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SelectStmt {
+    pub distinct: bool,
+    pub items: Vec<SelectItem>,
+    pub from_first: Option<TableRef>,
+    pub from_rest: Vec<FromItem>,
+    pub where_clause: Option<AstExpr>,
+    pub group_by: Vec<AstExpr>,
+    pub having: Option<AstExpr>,
+    pub order_by: Vec<OrderKey>,
+    pub limit: Option<usize>,
+}
+
+/// Column definition in CREATE TABLE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    pub name: String,
+    pub dtype: DataType,
+    pub nullable: bool,
+}
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    Select(SelectStmt),
+    CreateTable {
+        name: String,
+        columns: Vec<ColumnDef>,
+    },
+    CreateIndex {
+        name: String,
+        table: String,
+        column: String,
+        unique: bool,
+        clustered: bool,
+    },
+    Insert {
+        table: String,
+        rows: Vec<Vec<AstExpr>>,
+    },
+    Delete {
+        table: String,
+        predicate: Option<AstExpr>,
+    },
+    Update {
+        table: String,
+        /// (column name, new-value expression) pairs.
+        sets: Vec<(String, AstExpr)>,
+        predicate: Option<AstExpr>,
+    },
+    Analyze {
+        table: Option<String>,
+    },
+    DropTable {
+        name: String,
+    },
+    Explain {
+        analyze: bool,
+        inner: Box<Statement>,
+    },
+}

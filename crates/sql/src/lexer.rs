@@ -1,0 +1,255 @@
+//! SQL lexer.
+//!
+//! Case-insensitive keywords, single-quoted strings with `''` escaping,
+//! integer and float literals, `--` line comments.
+
+use evopt_common::{EvoptError, Result};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (lower-cased; keywords are matched by text).
+    Word(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    // Punctuation / operators.
+    Comma,
+    LParen,
+    RParen,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Dot,
+    Semicolon,
+}
+
+impl Token {
+    /// Is this the given keyword (case-insensitive)?
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Word(w) if w.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenise `input`.
+pub fn lex(input: &str) -> Result<Vec<Token>> {
+    let chars: Vec<char> = input.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '-' if chars.get(i + 1) == Some(&'-') => {
+                // Line comment.
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            '%' => {
+                tokens.push(Token::Percent);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semicolon);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '!' if chars.get(i + 1) == Some(&'=') => {
+                tokens.push(Token::NotEq);
+                i += 2;
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::LtEq);
+                    i += 2;
+                } else if chars.get(i + 1) == Some(&'>') {
+                    tokens.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::GtEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // String literal with '' escape.
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match chars.get(i) {
+                        None => {
+                            return Err(EvoptError::Parse(
+                                "unterminated string literal".into(),
+                            ))
+                        }
+                        Some('\'') if chars.get(i + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let is_float = chars.get(i) == Some(&'.')
+                    && chars.get(i + 1).is_some_and(|c| c.is_ascii_digit());
+                if is_float {
+                    i += 1;
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text: String = chars[start..i].iter().collect();
+                if is_float {
+                    let f: f64 = text
+                        .parse()
+                        .map_err(|_| EvoptError::Parse(format!("bad float '{text}'")))?;
+                    tokens.push(Token::Float(f));
+                } else {
+                    let n: i64 = text
+                        .parse()
+                        .map_err(|_| EvoptError::Parse(format!("integer overflow '{text}'")))?;
+                    tokens.push(Token::Int(n));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_ascii_alphanumeric() || chars[i] == '_')
+                {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect::<String>().to_lowercase();
+                tokens.push(Token::Word(word));
+            }
+            other => {
+                return Err(EvoptError::Parse(format!(
+                    "unexpected character '{other}'"
+                )))
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_select_tokens() {
+        let toks = lex("SELECT a, b FROM t WHERE a >= 10;").unwrap();
+        assert_eq!(toks[0], Token::Word("select".into()));
+        assert_eq!(toks[1], Token::Word("a".into()));
+        assert_eq!(toks[2], Token::Comma);
+        assert!(toks.contains(&Token::GtEq));
+        assert_eq!(*toks.last().unwrap(), Token::Semicolon);
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        let toks = lex("'it''s fine'").unwrap();
+        assert_eq!(toks, vec![Token::Str("it's fine".into())]);
+        assert!(lex("'unterminated").is_err());
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(lex("42").unwrap(), vec![Token::Int(42)]);
+        assert_eq!(lex("3.5").unwrap(), vec![Token::Float(3.5)]);
+        // `1.` is Int then Dot (qualified-name style), not a float.
+        assert_eq!(lex("1.x").unwrap()[0], Token::Int(1));
+        assert!(lex("99999999999999999999").is_err());
+    }
+
+    #[test]
+    fn operators_and_comments() {
+        let toks = lex("a <> b -- comment\n <= >=").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Word("a".into()),
+                Token::NotEq,
+                Token::Word("b".into()),
+                Token::LtEq,
+                Token::GtEq,
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let toks = lex("SeLeCt FROM").unwrap();
+        assert!(toks[0].is_kw("select"));
+        assert!(toks[1].is_kw("FROM"));
+    }
+
+    #[test]
+    fn bad_char_is_error() {
+        assert!(lex("select @").is_err());
+    }
+}

@@ -1,0 +1,843 @@
+//! Recursive-descent parser.
+//!
+//! Expression precedence, loosest first:
+//! `OR` → `AND` → `NOT` → comparisons / `LIKE` / `IN` / `BETWEEN` /
+//! `IS NULL` → `+ -` → `* / %` → unary minus → primary.
+
+use evopt_common::{AggFunc, BinOp, DataType, EvoptError, Result, UnOp, Value};
+
+use crate::ast::*;
+use crate::lexer::{lex, Token};
+
+/// Parse one statement (optionally `;`-terminated).
+pub fn parse(sql: &str) -> Result<Statement> {
+    let tokens = lex(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.eat_if(&Token::Semicolon);
+    if p.pos != p.tokens.len() {
+        return Err(EvoptError::Parse(format!(
+            "trailing tokens after statement: {:?}",
+            &p.tokens[p.pos..]
+        )));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_if(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_some_and(|t| t.is_kw(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<()> {
+        if self.eat_if(t) {
+            Ok(())
+        } else {
+            Err(EvoptError::Parse(format!(
+                "expected {t:?}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(EvoptError::Parse(format!(
+                "expected {kw}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Token::Word(w)) => Ok(w),
+            other => Err(EvoptError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
+        }
+    }
+
+    // -- statements ---------------------------------------------------------
+
+    fn statement(&mut self) -> Result<Statement> {
+        if self.eat_kw("explain") {
+            let analyze = self.eat_kw("analyze");
+            let inner = self.statement()?;
+            return Ok(Statement::Explain {
+                analyze,
+                inner: Box::new(inner),
+            });
+        }
+        if self.eat_kw("select") {
+            return Ok(Statement::Select(self.select()?));
+        }
+        if self.eat_kw("create") {
+            let unique = self.eat_kw("unique");
+            let clustered = self.eat_kw("clustered");
+            if self.eat_kw("table") {
+                if unique || clustered {
+                    return Err(EvoptError::Parse(
+                        "UNIQUE/CLUSTERED apply to indexes, not tables".into(),
+                    ));
+                }
+                return self.create_table();
+            }
+            if self.eat_kw("index") {
+                return self.create_index(unique, clustered);
+            }
+            return Err(EvoptError::Parse(format!(
+                "expected TABLE or INDEX after CREATE, found {:?}",
+                self.peek()
+            )));
+        }
+        if self.eat_kw("insert") {
+            return self.insert();
+        }
+        if self.eat_kw("delete") {
+            self.expect_kw("from")?;
+            let table = self.ident()?;
+            let predicate = if self.eat_kw("where") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            return Ok(Statement::Delete { table, predicate });
+        }
+        if self.eat_kw("update") {
+            let table = self.ident()?;
+            self.expect_kw("set")?;
+            let mut sets = Vec::new();
+            loop {
+                let column = self.ident()?;
+                self.expect(&Token::Eq)?;
+                let value = self.expr()?;
+                sets.push((column, value));
+                if !self.eat_if(&Token::Comma) {
+                    break;
+                }
+            }
+            let predicate = if self.eat_kw("where") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            return Ok(Statement::Update {
+                table,
+                sets,
+                predicate,
+            });
+        }
+        if self.eat_kw("analyze") {
+            let table = match self.peek() {
+                Some(Token::Word(_)) => Some(self.ident()?),
+                _ => None,
+            };
+            return Ok(Statement::Analyze { table });
+        }
+        if self.eat_kw("drop") {
+            self.expect_kw("table")?;
+            let name = self.ident()?;
+            return Ok(Statement::DropTable { name });
+        }
+        Err(EvoptError::Parse(format!(
+            "expected a statement, found {:?}",
+            self.peek()
+        )))
+    }
+
+    fn create_table(&mut self) -> Result<Statement> {
+        let name = self.ident()?;
+        self.expect(&Token::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.ident()?;
+            let dtype = match self.ident()?.as_str() {
+                "int" | "integer" | "bigint" => DataType::Int,
+                "float" | "double" | "real" => DataType::Float,
+                "string" | "text" | "varchar" => DataType::Str,
+                "bool" | "boolean" => DataType::Bool,
+                other => {
+                    return Err(EvoptError::Parse(format!("unknown type '{other}'")))
+                }
+            };
+            let mut nullable = true;
+            if self.eat_kw("not") {
+                self.expect_kw("null")?;
+                nullable = false;
+            }
+            columns.push(ColumnDef {
+                name: col,
+                dtype,
+                nullable,
+            });
+            if !self.eat_if(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::RParen)?;
+        Ok(Statement::CreateTable { name, columns })
+    }
+
+    fn create_index(&mut self, unique: bool, clustered: bool) -> Result<Statement> {
+        let name = self.ident()?;
+        self.expect_kw("on")?;
+        let table = self.ident()?;
+        self.expect(&Token::LParen)?;
+        let column = self.ident()?;
+        self.expect(&Token::RParen)?;
+        Ok(Statement::CreateIndex {
+            name,
+            table,
+            column,
+            unique,
+            clustered,
+        })
+    }
+
+    fn insert(&mut self) -> Result<Statement> {
+        self.expect_kw("into")?;
+        let table = self.ident()?;
+        self.expect_kw("values")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect(&Token::LParen)?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.expr()?);
+                if !self.eat_if(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+            rows.push(row);
+            if !self.eat_if(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(Statement::Insert { table, rows })
+    }
+
+    fn select(&mut self) -> Result<SelectStmt> {
+        let mut stmt = SelectStmt {
+            distinct: self.eat_kw("distinct"),
+            ..Default::default()
+        };
+        // Select list.
+        loop {
+            if self.eat_if(&Token::Star) {
+                stmt.items.push(SelectItem::Wildcard);
+            } else {
+                let expr = self.expr()?;
+                let alias = if self.eat_kw("as") {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
+                stmt.items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat_if(&Token::Comma) {
+                break;
+            }
+        }
+        // FROM.
+        if self.eat_kw("from") {
+            stmt.from_first = Some(self.table_ref()?);
+            loop {
+                if self.eat_if(&Token::Comma) {
+                    let table = self.table_ref()?;
+                    stmt.from_rest.push(FromItem { table, on: None });
+                } else if self.eat_kw("inner") {
+                    self.expect_kw("join")?;
+                    let table = self.table_ref()?;
+                    self.expect_kw("on")?;
+                    let on = self.expr()?;
+                    stmt.from_rest.push(FromItem {
+                        table,
+                        on: Some(on),
+                    });
+                } else if self.eat_kw("join") {
+                    let table = self.table_ref()?;
+                    self.expect_kw("on")?;
+                    let on = self.expr()?;
+                    stmt.from_rest.push(FromItem {
+                        table,
+                        on: Some(on),
+                    });
+                } else {
+                    break;
+                }
+            }
+        }
+        if self.eat_kw("where") {
+            stmt.where_clause = Some(self.expr()?);
+        }
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                stmt.group_by.push(self.expr()?);
+                if !self.eat_if(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        if self.eat_kw("having") {
+            stmt.having = Some(self.expr()?);
+        }
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let target = match self.peek() {
+                    Some(Token::Int(n)) => {
+                        let n = *n;
+                        self.next();
+                        if n < 1 {
+                            return Err(EvoptError::Parse(
+                                "ORDER BY position must be >= 1".into(),
+                            ));
+                        }
+                        OrderTarget::Position(n as usize)
+                    }
+                    _ => {
+                        let first = self.ident()?;
+                        if self.eat_if(&Token::Dot) {
+                            let name = self.ident()?;
+                            OrderTarget::Name {
+                                table: Some(first),
+                                name,
+                            }
+                        } else {
+                            OrderTarget::Name {
+                                table: None,
+                                name: first,
+                            }
+                        }
+                    }
+                };
+                let ascending = if self.eat_kw("desc") {
+                    false
+                } else {
+                    self.eat_kw("asc");
+                    true
+                };
+                stmt.order_by.push(OrderKey { target, ascending });
+                if !self.eat_if(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        if self.eat_kw("limit") {
+            match self.next() {
+                Some(Token::Int(n)) if n >= 0 => stmt.limit = Some(n as usize),
+                other => {
+                    return Err(EvoptError::Parse(format!(
+                        "expected LIMIT count, found {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(stmt)
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        let name = self.ident()?;
+        let alias = if self.eat_kw("as") {
+            Some(self.ident()?)
+        } else {
+            match self.peek() {
+                // Bare alias, but not a following keyword.
+                Some(Token::Word(w))
+                    if ![
+                        "where", "group", "having", "order", "limit", "join", "inner",
+                        "on", "as",
+                    ]
+                    .contains(&w.as_str()) =>
+                {
+                    Some(self.ident()?)
+                }
+                _ => None,
+            }
+        };
+        Ok(TableRef { name, alias })
+    }
+
+    // -- expressions --------------------------------------------------------
+
+    pub(crate) fn expr(&mut self) -> Result<AstExpr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<AstExpr> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("or") {
+            let right = self.and_expr()?;
+            left = AstExpr::Binary {
+                op: BinOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<AstExpr> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("and") {
+            let right = self.not_expr()?;
+            left = AstExpr::Binary {
+                op: BinOp::And,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<AstExpr> {
+        if self.eat_kw("not") {
+            let input = self.not_expr()?;
+            return Ok(AstExpr::Unary {
+                op: UnOp::Not,
+                input: Box::new(input),
+            });
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<AstExpr> {
+        let left = self.additive()?;
+        // IS [NOT] NULL
+        if self.eat_kw("is") {
+            let negated = self.eat_kw("not");
+            self.expect_kw("null")?;
+            return Ok(AstExpr::Unary {
+                op: if negated {
+                    UnOp::IsNotNull
+                } else {
+                    UnOp::IsNull
+                },
+                input: Box::new(left),
+            });
+        }
+        // [NOT] LIKE / IN / BETWEEN
+        let negated = self.eat_kw("not");
+        if self.eat_kw("like") {
+            let pattern = match self.next() {
+                Some(Token::Str(s)) => s,
+                other => {
+                    return Err(EvoptError::Parse(format!(
+                        "expected string pattern after LIKE, found {other:?}"
+                    )))
+                }
+            };
+            return Ok(AstExpr::Like {
+                input: Box::new(left),
+                pattern,
+                negated,
+            });
+        }
+        if self.eat_kw("in") {
+            self.expect(&Token::LParen)?;
+            let mut list = Vec::new();
+            loop {
+                list.push(self.literal_value()?);
+                if !self.eat_if(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+            return Ok(AstExpr::InList {
+                input: Box::new(left),
+                list,
+                negated,
+            });
+        }
+        if self.eat_kw("between") {
+            let low = self.additive()?;
+            self.expect_kw("and")?;
+            let high = self.additive()?;
+            return Ok(AstExpr::Between {
+                input: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if negated {
+            return Err(EvoptError::Parse(
+                "expected LIKE, IN or BETWEEN after NOT".into(),
+            ));
+        }
+        // Plain comparisons.
+        let op = match self.peek() {
+            Some(Token::Eq) => Some(BinOp::Eq),
+            Some(Token::NotEq) => Some(BinOp::NotEq),
+            Some(Token::Lt) => Some(BinOp::Lt),
+            Some(Token::LtEq) => Some(BinOp::LtEq),
+            Some(Token::Gt) => Some(BinOp::Gt),
+            Some(Token::GtEq) => Some(BinOp::GtEq),
+            _ => None,
+        };
+        match op {
+            Some(op) => {
+                self.next();
+                let right = self.additive()?;
+                Ok(AstExpr::Binary {
+                    op,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                })
+            }
+            None => Ok(left),
+        }
+    }
+
+    fn additive(&mut self) -> Result<AstExpr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.next();
+            let right = self.multiplicative()?;
+            left = AstExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<AstExpr> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                Some(Token::Percent) => BinOp::Mod,
+                _ => break,
+            };
+            self.next();
+            let right = self.unary()?;
+            left = AstExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<AstExpr> {
+        if self.eat_if(&Token::Minus) {
+            let input = self.unary()?;
+            return Ok(AstExpr::Unary {
+                op: UnOp::Neg,
+                input: Box::new(input),
+            });
+        }
+        self.primary()
+    }
+
+    fn literal_value(&mut self) -> Result<Value> {
+        match self.next() {
+            Some(Token::Int(n)) => Ok(Value::Int(n)),
+            Some(Token::Float(f)) => Ok(Value::Float(f)),
+            Some(Token::Str(s)) => Ok(Value::Str(s)),
+            Some(Token::Minus) => match self.next() {
+                Some(Token::Int(n)) => Ok(Value::Int(-n)),
+                Some(Token::Float(f)) => Ok(Value::Float(-f)),
+                other => Err(EvoptError::Parse(format!(
+                    "expected number after '-', found {other:?}"
+                ))),
+            },
+            Some(Token::Word(w)) if w == "null" => Ok(Value::Null),
+            Some(Token::Word(w)) if w == "true" => Ok(Value::Bool(true)),
+            Some(Token::Word(w)) if w == "false" => Ok(Value::Bool(false)),
+            other => Err(EvoptError::Parse(format!(
+                "expected literal, found {other:?}"
+            ))),
+        }
+    }
+
+    fn primary(&mut self) -> Result<AstExpr> {
+        match self.next() {
+            Some(Token::Int(n)) => Ok(AstExpr::Literal(Value::Int(n))),
+            Some(Token::Float(f)) => Ok(AstExpr::Literal(Value::Float(f))),
+            Some(Token::Str(s)) => Ok(AstExpr::Literal(Value::Str(s))),
+            Some(Token::LParen) => {
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Word(w)) => match w.as_str() {
+                "null" => Ok(AstExpr::Literal(Value::Null)),
+                "true" => Ok(AstExpr::Literal(Value::Bool(true))),
+                "false" => Ok(AstExpr::Literal(Value::Bool(false))),
+                "count" | "sum" | "min" | "max" | "avg" => {
+                    if self.eat_if(&Token::LParen) {
+                        if w == "count" && self.eat_if(&Token::Star) {
+                            self.expect(&Token::RParen)?;
+                            return Ok(AstExpr::AggCall {
+                                func: AggFunc::CountStar,
+                                arg: None,
+                            });
+                        }
+                        let arg = self.expr()?;
+                        self.expect(&Token::RParen)?;
+                        let func = match w.as_str() {
+                            "count" => AggFunc::Count,
+                            "sum" => AggFunc::Sum,
+                            "min" => AggFunc::Min,
+                            "max" => AggFunc::Max,
+                            "avg" => AggFunc::Avg,
+                            _ => unreachable!(),
+                        };
+                        return Ok(AstExpr::AggCall {
+                            func,
+                            arg: Some(Box::new(arg)),
+                        });
+                    }
+                    // Not a call: treat as identifier.
+                    self.finish_ident(w)
+                }
+                _ => self.finish_ident(w),
+            },
+            other => Err(EvoptError::Parse(format!(
+                "expected expression, found {other:?}"
+            ))),
+        }
+    }
+
+    fn finish_ident(&mut self, first: String) -> Result<AstExpr> {
+        if self.eat_if(&Token::Dot) {
+            let name = self.ident()?;
+            Ok(AstExpr::Ident {
+                table: Some(first),
+                name,
+            })
+        } else {
+            Ok(AstExpr::Ident {
+                table: None,
+                name: first,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sel(sql: &str) -> SelectStmt {
+        match parse(sql).unwrap() {
+            Statement::Select(s) => s,
+            other => panic!("expected select, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_select() {
+        let s = sel("SELECT a, t.b AS bee FROM t WHERE a = 1 LIMIT 10;");
+        assert_eq!(s.items.len(), 2);
+        assert!(matches!(
+            &s.items[1],
+            SelectItem::Expr { alias: Some(a), .. } if a == "bee"
+        ));
+        assert_eq!(s.from_first.as_ref().unwrap().name, "t");
+        assert!(s.where_clause.is_some());
+        assert_eq!(s.limit, Some(10));
+    }
+
+    #[test]
+    fn joins_and_commas() {
+        let s = sel("SELECT * FROM t JOIN u ON t.a = u.a, v INNER JOIN w ON w.x = v.x");
+        assert_eq!(s.from_rest.len(), 3);
+        assert!(s.from_rest[0].on.is_some());
+        assert!(s.from_rest[1].on.is_none());
+        assert!(s.from_rest[2].on.is_some());
+    }
+
+    #[test]
+    fn table_aliases() {
+        let s = sel("SELECT * FROM orders o JOIN customers AS c ON o.cid = c.id");
+        assert_eq!(s.from_first.as_ref().unwrap().alias.as_deref(), Some("o"));
+        assert_eq!(s.from_rest[0].table.alias.as_deref(), Some("c"));
+    }
+
+    #[test]
+    fn operator_precedence() {
+        // a + b * 2 = 7 AND NOT c OR d
+        let s = sel("SELECT 1 FROM t WHERE a + b * 2 = 7 AND NOT c OR d");
+        let w = s.where_clause.unwrap();
+        // Root must be OR.
+        match w {
+            AstExpr::Binary { op: BinOp::Or, left, .. } => match *left {
+                AstExpr::Binary { op: BinOp::And, left, .. } => match *left {
+                    AstExpr::Binary { op: BinOp::Eq, left, .. } => match *left {
+                        AstExpr::Binary { op: BinOp::Add, right, .. } => {
+                            assert!(matches!(*right, AstExpr::Binary { op: BinOp::Mul, .. }));
+                        }
+                        other => panic!("expected Add under Eq, got {other:?}"),
+                    },
+                    other => panic!("expected Eq under And, got {other:?}"),
+                },
+                other => panic!("expected And under Or, got {other:?}"),
+            },
+            other => panic!("expected Or at root, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregates_group_having_order() {
+        let s = sel(
+            "SELECT region, COUNT(*), SUM(amount) AS total FROM sales \
+             GROUP BY region HAVING COUNT(*) > 5 ORDER BY total DESC, 1 ASC",
+        );
+        assert_eq!(s.group_by.len(), 1);
+        assert!(s.having.is_some());
+        assert_eq!(s.order_by.len(), 2);
+        assert!(!s.order_by[0].ascending);
+        assert_eq!(s.order_by[1].target, OrderTarget::Position(1));
+        assert!(matches!(
+            &s.items[1],
+            SelectItem::Expr { expr: AstExpr::AggCall { func: AggFunc::CountStar, .. }, .. }
+        ));
+    }
+
+    #[test]
+    fn special_predicates() {
+        let s = sel(
+            "SELECT 1 FROM t WHERE name LIKE 'a%' AND x NOT IN (1, 2) \
+             AND y BETWEEN 5 AND 10 AND z IS NOT NULL",
+        );
+        let conj = format!("{:?}", s.where_clause.unwrap());
+        assert!(conj.contains("Like"));
+        assert!(conj.contains("InList"));
+        assert!(conj.contains("Between"));
+        assert!(conj.contains("IsNotNull"));
+    }
+
+    #[test]
+    fn ddl_statements() {
+        match parse("CREATE TABLE t (id INT NOT NULL, name STRING, score FLOAT)").unwrap() {
+            Statement::CreateTable { name, columns } => {
+                assert_eq!(name, "t");
+                assert_eq!(columns.len(), 3);
+                assert!(!columns[0].nullable);
+                assert!(columns[1].nullable);
+                assert_eq!(columns[2].dtype, DataType::Float);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse("CREATE UNIQUE INDEX i ON t (id)").unwrap() {
+            Statement::CreateIndex { unique, clustered, .. } => {
+                assert!(unique);
+                assert!(!clustered);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse("CREATE CLUSTERED INDEX i ON t (id)").unwrap() {
+            Statement::CreateIndex { clustered, .. } => assert!(clustered),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn insert_and_misc() {
+        match parse("INSERT INTO t VALUES (1, 'a', NULL), (2, 'b', 3.5)").unwrap() {
+            Statement::Insert { table, rows } => {
+                assert_eq!(table, "t");
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[0].len(), 3);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            parse("ANALYZE t").unwrap(),
+            Statement::Analyze {
+                table: Some("t".into())
+            }
+        );
+        assert_eq!(parse("ANALYZE").unwrap(), Statement::Analyze { table: None });
+        assert_eq!(
+            parse("DROP TABLE t").unwrap(),
+            Statement::DropTable { name: "t".into() }
+        );
+        match parse("EXPLAIN SELECT 1").unwrap() {
+            Statement::Explain { analyze: false, .. } => {}
+            other => panic!("{other:?}"),
+        }
+        match parse("EXPLAIN ANALYZE SELECT 1").unwrap() {
+            Statement::Explain { analyze: true, .. } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_numbers_in_lists() {
+        let s = sel("SELECT 1 FROM t WHERE x IN (-1, 2)");
+        match s.where_clause.unwrap() {
+            AstExpr::InList { list, .. } => {
+                assert_eq!(list[0], Value::Int(-1));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse("SELECT FROM t").is_err());
+        assert!(parse("SELECT 1 FROM t WHERE").is_err());
+        assert!(parse("SELECT 1 extra junk ???").is_err());
+        assert!(parse("CREATE TABLE t (x BLOB)").is_err());
+        assert!(parse("SELECT 1 FROM t LIMIT -5").is_err());
+        assert!(parse("SELECT 1 FROM t WHERE a NOT 5").is_err());
+    }
+
+    #[test]
+    fn count_as_identifier_when_not_called() {
+        // A column actually named count still parses.
+        let s = sel("SELECT count FROM t");
+        assert!(matches!(
+            &s.items[0],
+            SelectItem::Expr { expr: AstExpr::Ident { name, .. }, .. } if name == "count"
+        ));
+    }
+}

@@ -1,0 +1,205 @@
+//! Simulated disk with physical-I/O accounting.
+//!
+//! [`DiskManager`] stores pages in memory but behaves like a disk from the
+//! buffer pool's point of view: every `read_page`/`write_page` is a
+//! "physical" I/O and is counted. The counters are the measured side of the
+//! cost-model validation experiments (T5, F4): the optimizer *predicts* page
+//! fetches, the disk *counts* them.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use evopt_common::{EvoptError, Result};
+use parking_lot::Mutex;
+
+use crate::page::{PageData, PageId, PAGE_SIZE};
+
+/// Point-in-time copy of the I/O counters; subtract two to get the I/O a
+/// region of code performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoSnapshot {
+    pub reads: u64,
+    pub writes: u64,
+    pub allocations: u64,
+}
+
+impl IoSnapshot {
+    /// Physical I/Os since `earlier`.
+    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            allocations: self.allocations - earlier.allocations,
+        }
+    }
+
+    /// Total page transfers (reads + writes).
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+/// In-memory simulated disk.
+///
+/// Thread-safe; the page store sits behind a mutex (coarse, but the engine
+/// issues single page ops, never holds the lock across work).
+pub struct DiskManager {
+    pages: Mutex<Vec<Option<Box<PageData>>>>,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    allocations: AtomicU64,
+}
+
+impl DiskManager {
+    pub fn new() -> Self {
+        DiskManager {
+            pages: Mutex::new(Vec::new()),
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            allocations: AtomicU64::new(0),
+        }
+    }
+
+    /// Allocate a fresh zeroed page and return its id.
+    pub fn allocate_page(&self) -> PageId {
+        let mut pages = self.pages.lock();
+        let id = pages.len() as PageId;
+        pages.push(Some(Box::new([0u8; PAGE_SIZE])));
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        id
+    }
+
+    /// Release a page. Its id is never reused (monotonic allocation keeps
+    /// dangling-rid bugs loud instead of silently aliasing).
+    pub fn deallocate_page(&self, id: PageId) -> Result<()> {
+        let mut pages = self.pages.lock();
+        match pages.get_mut(id as usize) {
+            Some(slot @ Some(_)) => {
+                *slot = None;
+                Ok(())
+            }
+            _ => Err(EvoptError::Storage(format!(
+                "deallocate of invalid page {id}"
+            ))),
+        }
+    }
+
+    /// Physically read a page into `buf`.
+    pub fn read_page(&self, id: PageId, buf: &mut PageData) -> Result<()> {
+        let pages = self.pages.lock();
+        match pages.get(id as usize) {
+            Some(Some(data)) => {
+                buf.copy_from_slice(&data[..]);
+                self.reads.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            _ => Err(EvoptError::Storage(format!("read of invalid page {id}"))),
+        }
+    }
+
+    /// Physically write a page from `buf`.
+    pub fn write_page(&self, id: PageId, buf: &PageData) -> Result<()> {
+        let mut pages = self.pages.lock();
+        match pages.get_mut(id as usize) {
+            Some(Some(data)) => {
+                data.copy_from_slice(buf);
+                self.writes.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            _ => Err(EvoptError::Storage(format!("write of invalid page {id}"))),
+        }
+    }
+
+    /// Number of pages ever allocated (live + dead).
+    pub fn page_count(&self) -> u64 {
+        self.pages.lock().len() as u64
+    }
+
+    /// Current I/O counters.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            allocations: self.allocations.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset the I/O counters to zero (experiment harness convenience).
+    pub fn reset_stats(&self) {
+        self.reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+        self.allocations.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for DiskManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_read_write_roundtrip() {
+        let disk = DiskManager::new();
+        let id = disk.allocate_page();
+        let mut buf = [0u8; PAGE_SIZE];
+        buf[0] = 0xAB;
+        buf[PAGE_SIZE - 1] = 0xCD;
+        disk.write_page(id, &buf).unwrap();
+        let mut out = [0u8; PAGE_SIZE];
+        disk.read_page(id, &mut out).unwrap();
+        assert_eq!(out[0], 0xAB);
+        assert_eq!(out[PAGE_SIZE - 1], 0xCD);
+    }
+
+    #[test]
+    fn counters_track_physical_io() {
+        let disk = DiskManager::new();
+        let id = disk.allocate_page();
+        let buf = [0u8; PAGE_SIZE];
+        let mut out = [0u8; PAGE_SIZE];
+        let before = disk.snapshot();
+        disk.write_page(id, &buf).unwrap();
+        disk.read_page(id, &mut out).unwrap();
+        disk.read_page(id, &mut out).unwrap();
+        let delta = disk.snapshot().since(&before);
+        assert_eq!(delta.reads, 2);
+        assert_eq!(delta.writes, 1);
+        assert_eq!(delta.total(), 3);
+    }
+
+    #[test]
+    fn invalid_page_access_errors() {
+        let disk = DiskManager::new();
+        let mut buf = [0u8; PAGE_SIZE];
+        assert!(disk.read_page(0, &mut buf).is_err());
+        assert!(disk.write_page(99, &buf).is_err());
+        assert!(disk.deallocate_page(0).is_err());
+    }
+
+    #[test]
+    fn deallocated_page_stays_dead() {
+        let disk = DiskManager::new();
+        let a = disk.allocate_page();
+        disk.deallocate_page(a).unwrap();
+        let mut buf = [0u8; PAGE_SIZE];
+        assert!(disk.read_page(a, &mut buf).is_err());
+        assert!(disk.deallocate_page(a).is_err());
+        // Ids are not reused.
+        let b = disk.allocate_page();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn reset_stats_zeroes() {
+        let disk = DiskManager::new();
+        let id = disk.allocate_page();
+        let buf = [0u8; PAGE_SIZE];
+        disk.write_page(id, &buf).unwrap();
+        disk.reset_stats();
+        assert_eq!(disk.snapshot(), IoSnapshot::default());
+    }
+}

@@ -1,0 +1,34 @@
+//! # evopt-storage
+//!
+//! The paged storage engine beneath the `evopt` query engine.
+//!
+//! The 1977-era optimization problem is fundamentally about **page
+//! fetches**: the cost model predicts how many pages a plan touches, and the
+//! whole point of this crate is to make those predictions *checkable*. Every
+//! component therefore accounts for its I/O:
+//!
+//! * [`disk::DiskManager`] — a simulated disk (in-memory page array) that
+//!   counts physical reads/writes. Substitutes for 1977 spinning rust; the
+//!   optimization problem is invariant to the absolute latency constant
+//!   (see DESIGN.md §5).
+//! * [`page`] — 4 KiB slotted pages storing variable-length records.
+//! * [`buffer::BufferPool`] — a pin-counted frame cache over the disk with
+//!   pluggable replacement ([`buffer::PolicyKind`]: LRU or Clock).
+//!   Cache hits cost no physical I/O, so measured I/O depends on pool size —
+//!   exactly the effect experiment F4 studies.
+//! * [`heap::HeapFile`] — unordered tuple storage, the base for every table.
+//! * [`btree::BTreeIndex`] — a paged B+-tree mapping single-column keys to
+//!   [`page::Rid`]s, supporting duplicates, equality and range scans; its
+//!   height feeds the optimizer's index-probe cost.
+
+pub mod btree;
+pub mod buffer;
+pub mod disk;
+pub mod heap;
+pub mod page;
+
+pub use btree::BTreeIndex;
+pub use buffer::{BufferPool, PolicyKind};
+pub use disk::{DiskManager, IoSnapshot};
+pub use heap::HeapFile;
+pub use page::{PageId, Rid, INVALID_PAGE_ID, PAGE_SIZE};

@@ -1,0 +1,123 @@
+//! Seeded value distributions.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Zipf(θ) sampler over `{0, 1, ..., n-1}` via the exact inverse CDF.
+///
+/// Rank `k` (1-based) has probability `k^{-θ} / H_{n,θ}`. θ = 0 is uniform;
+/// θ around 1 is the classic heavy skew. Construction is O(n); sampling is
+/// O(log n) by binary search — plenty for the table sizes we generate.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Panics if `n == 0` or `theta < 0`.
+    pub fn new(n: usize, theta: f64) -> ZipfSampler {
+        assert!(n > 0, "Zipf needs a non-empty domain");
+        assert!(theta >= 0.0, "Zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += (k as f64).powf(-theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Draw a rank in `0..n` (0 is the most frequent).
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Domain size.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Probability of rank `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+}
+
+/// A deterministic pseudo-random permutation of `0..n` (Fisher–Yates with a
+/// seeded RNG) — used for Wisconsin `unique1` columns.
+pub fn permutation(n: usize, rng: &mut StdRng) -> Vec<i64> {
+    let mut v: Vec<i64> = (0..n as i64).collect();
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        v.swap(i, j);
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_theta_zero_is_uniform() {
+        let z = ZipfSampler::new(10, 0.0);
+        for k in 0..10 {
+            assert!((z.pmf(k) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_skew_orders_frequencies() {
+        let z = ZipfSampler::new(100, 1.0);
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(10));
+        assert!(z.pmf(10) > z.pmf(99));
+        // Rank-0 mass under θ=1, n=100 is 1/H_100 ≈ 0.192.
+        assert!((z.pmf(0) - 0.1928).abs() < 0.01, "{}", z.pmf(0));
+    }
+
+    #[test]
+    fn zipf_samples_match_pmf_roughly() {
+        let z = ZipfSampler::new(50, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; 50];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        let freq0 = counts[0] as f64 / n as f64;
+        assert!((freq0 - z.pmf(0)).abs() < 0.01, "freq0 {freq0}");
+        assert!(counts[0] > counts[10]);
+    }
+
+    #[test]
+    fn zipf_deterministic_per_seed() {
+        let z = ZipfSampler::new(20, 0.8);
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..10).map(|_| z.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(5), draw(5));
+        assert_ne!(draw(5), draw(6));
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = permutation(1000, &mut rng);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..1000).collect::<Vec<_>>());
+        assert_ne!(p, sorted, "seeded shuffle actually shuffles");
+    }
+}

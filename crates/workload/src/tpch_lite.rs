@@ -1,0 +1,210 @@
+//! A scaled-down TPC-H-like schema.
+//!
+//! Five relations in the classic snowflake:
+//!
+//! ```text
+//! region(1 row per 5 nations) ← nation ← customer ← orders ← lineitem
+//! ```
+//!
+//! Scale factor 1.0 ≈ 150 customers, 1.5k orders, 6k lineitems — enough to
+//! make join-order choices matter at simulator scale while loading in
+//! milliseconds. All values are seeded-deterministic.
+
+use evopt_common::{Result, Tuple, Value};
+use evopt_engine::Database;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Row counts at a given scale factor.
+#[derive(Debug, Clone, Copy)]
+pub struct TpchCounts {
+    pub regions: usize,
+    pub nations: usize,
+    pub customers: usize,
+    pub orders: usize,
+    pub lineitems: usize,
+}
+
+impl TpchCounts {
+    pub fn at_scale(sf: f64) -> TpchCounts {
+        let s = |base: f64| ((base * sf).round() as usize).max(1);
+        TpchCounts {
+            regions: 5,
+            nations: 25,
+            customers: s(150.0),
+            orders: s(1500.0),
+            lineitems: s(6000.0),
+        }
+    }
+}
+
+/// Create, load, index, and ANALYZE the TPC-H-lite schema. Returns the row
+/// counts used.
+pub fn load_tpch_lite(db: &Database, sf: f64, seed: u64) -> Result<TpchCounts> {
+    let c = TpchCounts::at_scale(sf);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    db.execute(
+        "CREATE TABLE region (r_key INT NOT NULL, r_name STRING NOT NULL)",
+    )?;
+    let regions: Vec<Tuple> = (0..c.regions)
+        .map(|i| {
+            Tuple::new(vec![
+                Value::Int(i as i64),
+                Value::Str(format!("region-{i}")),
+            ])
+        })
+        .collect();
+    db.insert_tuples("region", &regions)?;
+
+    db.execute(
+        "CREATE TABLE nation (n_key INT NOT NULL, n_region INT NOT NULL, \
+         n_name STRING NOT NULL)",
+    )?;
+    let nations: Vec<Tuple> = (0..c.nations)
+        .map(|i| {
+            Tuple::new(vec![
+                Value::Int(i as i64),
+                Value::Int((i % c.regions) as i64),
+                Value::Str(format!("nation-{i}")),
+            ])
+        })
+        .collect();
+    db.insert_tuples("nation", &nations)?;
+
+    db.execute(
+        "CREATE TABLE customer (c_key INT NOT NULL, c_nation INT NOT NULL, \
+         c_name STRING NOT NULL, c_balance INT NOT NULL)",
+    )?;
+    let customers: Vec<Tuple> = (0..c.customers)
+        .map(|i| {
+            Tuple::new(vec![
+                Value::Int(i as i64),
+                Value::Int(rng.random_range(0..c.nations as i64)),
+                Value::Str(format!("customer-{i:06}")),
+                Value::Int(rng.random_range(-999..10_000)),
+            ])
+        })
+        .collect();
+    db.insert_tuples("customer", &customers)?;
+
+    db.execute(
+        "CREATE TABLE orders (o_key INT NOT NULL, o_customer INT NOT NULL, \
+         o_status STRING NOT NULL, o_total INT NOT NULL)",
+    )?;
+    let statuses = ["open", "shipped", "done"];
+    let orders: Vec<Tuple> = (0..c.orders)
+        .map(|i| {
+            Tuple::new(vec![
+                Value::Int(i as i64),
+                Value::Int(rng.random_range(0..c.customers as i64)),
+                Value::Str(statuses[rng.random_range(0..3usize)].to_string()),
+                Value::Int(rng.random_range(10..100_000)),
+            ])
+        })
+        .collect();
+    db.insert_tuples("orders", &orders)?;
+
+    db.execute(
+        "CREATE TABLE lineitem (l_order INT NOT NULL, l_line INT NOT NULL, \
+         l_quantity INT NOT NULL, l_price INT NOT NULL, l_flag STRING NOT NULL)",
+    )?;
+    let lineitems: Vec<Tuple> = (0..c.lineitems)
+        .map(|i| {
+            Tuple::new(vec![
+                Value::Int(rng.random_range(0..c.orders as i64)),
+                Value::Int((i % 7) as i64),
+                Value::Int(rng.random_range(1..50)),
+                Value::Int(rng.random_range(100..10_000)),
+                Value::Str(if rng.random_bool(0.3) { "R" } else { "N" }.to_string()),
+            ])
+        })
+        .collect();
+    db.insert_tuples("lineitem", &lineitems)?;
+
+    // Primary-key indexes plus the hot foreign keys.
+    db.execute("CREATE UNIQUE INDEX pk_region ON region (r_key)")?;
+    db.execute("CREATE UNIQUE INDEX pk_nation ON nation (n_key)")?;
+    db.execute("CREATE UNIQUE INDEX pk_customer ON customer (c_key)")?;
+    db.execute("CREATE UNIQUE INDEX pk_orders ON orders (o_key)")?;
+    db.execute("CREATE INDEX ix_orders_customer ON orders (o_customer)")?;
+    db.execute("CREATE INDEX ix_lineitem_order ON lineitem (l_order)")?;
+    db.execute("ANALYZE")?;
+    Ok(c)
+}
+
+/// The canonical multi-join queries the experiments reuse.
+pub mod queries {
+    /// Revenue per nation: 5-way join through the whole snowflake.
+    pub const REVENUE_PER_NATION: &str = "SELECT n.n_name, SUM(l.l_price) AS revenue \
+         FROM lineitem l \
+         JOIN orders o ON l.l_order = o.o_key \
+         JOIN customer c ON o.o_customer = c.c_key \
+         JOIN nation n ON c.c_nation = n.n_key \
+         JOIN region r ON n.n_region = r.r_key \
+         GROUP BY n.n_name ORDER BY revenue DESC";
+
+    /// Orders of one customer with their lines (selective start).
+    pub const CUSTOMER_ORDERS: &str = "SELECT o.o_key, l.l_price FROM orders o \
+         JOIN lineitem l ON l.l_order = o.o_key \
+         WHERE o.o_customer = 7";
+
+    /// Mid-selectivity join with a filter on each side.
+    pub const SHIPPED_BIG_ORDERS: &str = "SELECT o.o_key, c.c_name FROM orders o \
+         JOIN customer c ON o.o_customer = c.c_key \
+         WHERE o.o_status = 'shipped' AND c.c_balance > 5000";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loads_and_answers_the_canonical_queries() {
+        let db = Database::with_defaults();
+        let c = load_tpch_lite(&db, 0.5, 11).unwrap();
+        assert_eq!(c.regions, 5);
+        let rows = db.query(queries::REVENUE_PER_NATION).unwrap();
+        assert!(!rows.is_empty());
+        assert!(rows.len() <= c.nations);
+        // Revenue sorted descending.
+        let revs: Vec<i64> = rows
+            .iter()
+            .map(|t| t.value(1).unwrap().as_i64().unwrap())
+            .collect();
+        for w in revs.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        let rows = db.query(queries::CUSTOMER_ORDERS).unwrap();
+        // Deterministic per seed: just sanity-shape it.
+        for t in &rows {
+            assert_eq!(t.len(), 2);
+        }
+        let _ = db.query(queries::SHIPPED_BIG_ORDERS).unwrap();
+    }
+
+    #[test]
+    fn scale_controls_sizes() {
+        let a = TpchCounts::at_scale(1.0);
+        let b = TpchCounts::at_scale(2.0);
+        assert_eq!(b.orders, 2 * a.orders);
+        assert_eq!(b.lineitems, 2 * a.lineitems);
+        assert_eq!(a.regions, b.regions, "dimensions stay fixed");
+    }
+
+    #[test]
+    fn total_revenue_consistent_across_join_orders() {
+        let db = Database::with_defaults();
+        load_tpch_lite(&db, 0.3, 5).unwrap();
+        let total = |sql: &str| -> i64 {
+            db.query(sql).unwrap()[0].value(0).unwrap().as_i64().unwrap()
+        };
+        let direct = total("SELECT SUM(l_price) FROM lineitem");
+        // Every lineitem joins exactly one order chain, so the 2-way join
+        // preserves the sum.
+        let joined = total(
+            "SELECT SUM(l.l_price) FROM lineitem l JOIN orders o ON l.l_order = o.o_key",
+        );
+        assert_eq!(direct, joined);
+    }
+}

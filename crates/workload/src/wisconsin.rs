@@ -1,0 +1,93 @@
+//! Wisconsin-benchmark-style relations.
+//!
+//! The classic synthetic table for studying access paths: every column's
+//! selectivity is known by construction.
+//!
+//! | column | contents |
+//! |---|---|
+//! | `unique1` | random permutation of `0..n` (unique, unordered) |
+//! | `unique2` | sequential `0..n` (unique, **ordered** — clustered-index ready) |
+//! | `one_pct` | `unique1 % 100` (1% selectivity per value) |
+//! | `ten_pct` | `unique1 % 10` |
+//! | `twenty_pct` | `unique1 % 5` |
+//! | `odd` | `unique1 % 2` |
+//! | `stringu1` | `"val-"` + zero-padded `unique1` |
+
+use evopt_common::{Result, Tuple, Value};
+use evopt_engine::Database;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::dist::permutation;
+
+/// Create and load a Wisconsin-style table named `name` with `rows` rows.
+/// Caller decides about indexes and ANALYZE.
+pub fn load_wisconsin(db: &Database, name: &str, rows: usize, seed: u64) -> Result<()> {
+    db.execute(&format!(
+        "CREATE TABLE {name} (\
+         unique1 INT NOT NULL, \
+         unique2 INT NOT NULL, \
+         one_pct INT NOT NULL, \
+         ten_pct INT NOT NULL, \
+         twenty_pct INT NOT NULL, \
+         odd INT NOT NULL, \
+         stringu1 STRING NOT NULL)"
+    ))?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let u1 = permutation(rows, &mut rng);
+    let tuples: Vec<Tuple> = (0..rows)
+        .map(|i| {
+            let k = u1[i];
+            Tuple::new(vec![
+                Value::Int(k),
+                Value::Int(i as i64),
+                Value::Int(k % 100),
+                Value::Int(k % 10),
+                Value::Int(k % 5),
+                Value::Int(k % 2),
+                Value::Str(format!("val-{k:08}")),
+            ])
+        })
+        .collect();
+    db.insert_tuples(name, &tuples)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loads_with_expected_selectivities() {
+        let db = Database::with_defaults();
+        load_wisconsin(&db, "wisc", 2000, 42).unwrap();
+        db.execute("ANALYZE").unwrap();
+        let count = |sql: &str| -> i64 {
+            db.query(sql).unwrap()[0].value(0).unwrap().as_i64().unwrap()
+        };
+        assert_eq!(count("SELECT COUNT(*) FROM wisc"), 2000);
+        // one_pct = 7 keeps exactly 1% of rows.
+        assert_eq!(count("SELECT COUNT(*) FROM wisc WHERE one_pct = 7"), 20);
+        assert_eq!(count("SELECT COUNT(*) FROM wisc WHERE ten_pct = 3"), 200);
+        assert_eq!(count("SELECT COUNT(*) FROM wisc WHERE odd = 1"), 1000);
+        // unique1 is a permutation: every point query hits exactly once.
+        assert_eq!(count("SELECT COUNT(*) FROM wisc WHERE unique1 = 1234"), 1);
+    }
+
+    #[test]
+    fn unique2_is_ordered_for_clustered_index() {
+        let db = Database::with_defaults();
+        load_wisconsin(&db, "w", 500, 1).unwrap();
+        db.execute("CREATE CLUSTERED INDEX w_u2 ON w (unique2)").unwrap();
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let row = |seed: u64| {
+            let db = Database::with_defaults();
+            load_wisconsin(&db, "w", 100, seed).unwrap();
+            db.query("SELECT unique1 FROM w WHERE unique2 = 0").unwrap()
+        };
+        assert_eq!(row(9), row(9));
+    }
+}

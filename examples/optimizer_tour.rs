@@ -1,0 +1,64 @@
+//! A tour of the optimizer: the same 5-way join planned by every
+//! enumeration strategy, with estimated costs, chosen join orders and
+//! methods, and measured page I/O side by side.
+//!
+//! This is the paper's story in one binary: the *evaluation* of alternative
+//! strategies against each other and against the unoptimized baseline.
+//!
+//! ```text
+//! cargo run --release --example optimizer_tour
+//! ```
+
+use evopt::{Database, Strategy};
+use evopt::workload::tpch_lite::{load_tpch_lite, queries};
+
+fn main() {
+    let db = Database::with_defaults();
+    println!("loading TPC-H-lite (scale 1.0)...");
+    let counts = load_tpch_lite(&db, 1.0, 7).expect("load");
+    println!(
+        "  region={} nation={} customer={} orders={} lineitem={}\n",
+        counts.regions, counts.nations, counts.customers, counts.orders, counts.lineitems
+    );
+
+    let sql = queries::REVENUE_PER_NATION;
+    println!("query:\n  {}\n", sql.replace(" FROM", "\n  FROM").replace(" JOIN", "\n  JOIN"));
+
+    let model = db.optimizer_config().cost_model;
+    println!(
+        "{:<14} {:>12} {:>10} {:>8}  {:<28} {}",
+        "strategy", "est cost", "plan µs", "io", "join methods", "join order"
+    );
+    for strategy in [
+        Strategy::SystemR,
+        Strategy::BushyDp,
+        Strategy::DpCcp,
+        Strategy::Greedy,
+        Strategy::Goo,
+        Strategy::QuickPick { samples: 16, seed: 1 },
+        Strategy::Syntactic,
+    ] {
+        db.set_strategy(strategy);
+        let started = std::time::Instant::now();
+        let (_, physical) = db.plan_sql(sql).expect("plan");
+        let plan_us = started.elapsed().as_micros();
+        db.pool().evict_all().expect("evict");
+        let before = db.disk().snapshot();
+        let rows = db.run_plan(&physical).expect("run");
+        let io = db.disk().snapshot().since(&before).total();
+        println!(
+            "{:<14} {:>12.1} {:>10} {:>8}  {:<28} {}",
+            strategy.name(),
+            model.total(physical.est_cost),
+            plan_us,
+            io,
+            physical.join_methods().join(","),
+            physical.scan_order().join(" -> "),
+        );
+        assert!(!rows.is_empty());
+    }
+
+    db.set_strategy(Strategy::SystemR);
+    println!("\nfull EXPLAIN of the System R plan:\n");
+    println!("{}", db.explain(sql).unwrap());
+}

@@ -1,0 +1,80 @@
+//! Quickstart: create tables, load rows, build indexes, ANALYZE, query, and
+//! read EXPLAIN output.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use evopt::{Database, Value};
+
+fn main() {
+    let db = Database::with_defaults();
+
+    // --- DDL -------------------------------------------------------------
+    db.execute("CREATE TABLE dept (id INT NOT NULL, name STRING NOT NULL)")
+        .expect("create dept");
+    db.execute(
+        "CREATE TABLE emp (id INT NOT NULL, dept_id INT NOT NULL, \
+         name STRING NOT NULL, salary INT NOT NULL)",
+    )
+    .expect("create emp");
+
+    // --- load ------------------------------------------------------------
+    db.execute(
+        "INSERT INTO dept VALUES (1, 'engineering'), (2, 'sales'), (3, 'hr')",
+    )
+    .expect("insert depts");
+    let emps: Vec<evopt::Tuple> = (0..5000)
+        .map(|i| {
+            evopt::Tuple::new(vec![
+                Value::Int(i),
+                Value::Int(i % 3 + 1),
+                Value::Str(format!("employee-{i:04}")),
+                Value::Int(40_000 + (i * 37) % 80_000),
+            ])
+        })
+        .collect();
+    db.insert_tuples("emp", &emps).expect("bulk load");
+
+    // --- physical design + statistics -------------------------------------
+    db.execute("CREATE UNIQUE INDEX emp_id ON emp (id)").expect("index");
+    db.execute("CREATE INDEX emp_dept ON emp (dept_id)").expect("index");
+    db.execute("ANALYZE").expect("analyze");
+
+    // --- point query: the optimizer picks the index -----------------------
+    let rows = db
+        .query("SELECT name, salary FROM emp WHERE id = 4321")
+        .expect("point query");
+    println!("employee 4321: {}", rows[0]);
+
+    println!("\nEXPLAIN of the point query:");
+    println!(
+        "{}",
+        db.explain("SELECT name, salary FROM emp WHERE id = 4321").unwrap()
+    );
+
+    // --- join + aggregate --------------------------------------------------
+    let rows = db
+        .query(
+            "SELECT d.name, COUNT(*) AS heads, AVG(e.salary) AS avg_salary \
+             FROM emp e JOIN dept d ON e.dept_id = d.id \
+             GROUP BY d.name ORDER BY avg_salary DESC",
+        )
+        .expect("join query");
+    println!("\nheadcount and average salary by department:");
+    for r in &rows {
+        println!("  {r}");
+    }
+
+    // --- measured physical I/O ---------------------------------------------
+    // Start from a cold cache so the reads are physical.
+    db.pool().evict_all().expect("evict");
+    let (result, io) = db
+        .measured("SELECT COUNT(*) FROM emp WHERE salary > 100000")
+        .expect("measured");
+    println!(
+        "\nhigh earners: {} (query did {} physical page reads)",
+        result.rows()[0].value(0).unwrap(),
+        io.reads
+    );
+}

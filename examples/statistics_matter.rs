@@ -1,0 +1,103 @@
+//! Why statistics matter: the same queries planned with and without
+//! ANALYZE, and under different histogram configurations, against skewed
+//! data.
+//!
+//! Demonstrates the estimation ladder (MCVs → histograms → uniformity →
+//! magic constants) and how estimation quality changes the chosen plan.
+//!
+//! ```text
+//! cargo run --release --example statistics_matter
+//! ```
+
+use evopt::workload::ZipfSampler;
+use evopt::{AnalyzeConfig, Database, HistogramKind, Tuple, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let db = Database::with_defaults();
+    db.execute(
+        "CREATE TABLE events (kind INT NOT NULL, payload STRING NOT NULL)",
+    )
+    .expect("create");
+
+    // Heavily skewed: kind 0 covers ~19% of rows, the tail is sparse.
+    let n = 50_000;
+    let zipf = ZipfSampler::new(1000, 1.0);
+    let mut rng = StdRng::seed_from_u64(99);
+    let rows: Vec<Tuple> = (0..n)
+        .map(|i| {
+            Tuple::new(vec![
+                Value::Int(zipf.sample(&mut rng) as i64),
+                Value::Str(format!("event-{i}")),
+            ])
+        })
+        .collect();
+    db.insert_tuples("events", &rows).expect("load");
+    db.execute("CREATE INDEX events_kind ON events (kind)").unwrap();
+
+    let hot = "SELECT COUNT(*) FROM events WHERE kind = 0"; // ~19% of rows
+    let cold = "SELECT COUNT(*) FROM events WHERE kind = 900"; // a handful
+
+    let configs: Vec<(&str, AnalyzeConfig)> = vec![
+        (
+            "uniformity only (1977 rules)",
+            AnalyzeConfig {
+                histogram: HistogramKind::None,
+                buckets: 0,
+                mcv_count: 0,
+                mcv_min_fraction: 1.0,
+            },
+        ),
+        (
+            "equi-depth 32 buckets",
+            AnalyzeConfig {
+                histogram: HistogramKind::EquiDepth,
+                buckets: 32,
+                mcv_count: 0,
+                mcv_min_fraction: 1.0,
+            },
+        ),
+        (
+            "equi-depth + MCVs (default)",
+            AnalyzeConfig::default(),
+        ),
+    ];
+
+    for (label, cfg) in configs {
+        db.set_analyze_config(cfg);
+        db.execute("ANALYZE").unwrap();
+        println!("=== statistics: {label} ===");
+        for (name, sql) in [("hot kind (19% of rows)", hot), ("cold kind (~0.01%)", cold)] {
+            let (_, physical) = db.plan_sql(sql).unwrap();
+            let actual = db.query(sql).unwrap()[0]
+                .value(0)
+                .unwrap()
+                .as_i64()
+                .unwrap();
+            // The scan node under the aggregate carries the row estimate.
+            fn scan_est(p: &evopt::core::PhysicalPlan) -> (String, f64) {
+                match p.op_name() {
+                    "SeqScan" | "IndexScan" => (p.op_name().to_string(), p.est_rows),
+                    _ => p
+                        .children()
+                        .first()
+                        .map(|c| scan_est(c))
+                        .unwrap_or(("?".into(), f64::NAN)),
+                }
+            }
+            let (access, est) = scan_est(&physical);
+            println!(
+                "  {name:<24} estimated {est:>8.0} rows, actual {actual:>6}, \
+                 access path: {access}"
+            );
+        }
+        println!();
+    }
+    println!(
+        "Takeaway: without histograms the estimator assumes uniformity, so the\n\
+         hot key is underestimated ~190x and the optimizer may pick an index\n\
+         scan that touches a fifth of the table one page at a time. Histograms\n\
+         (and MCVs) restore sane estimates — and with them, sane plans."
+    );
+}

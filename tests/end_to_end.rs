@@ -1,0 +1,232 @@
+//! Cross-crate integration tests: SQL text in, correct rows out, through
+//! the full stack (parser → binder → rewrites → cost-based optimizer →
+//! Volcano executor → paged storage).
+
+use evopt::{Database, DatabaseConfig, Strategy, Tuple, Value};
+
+fn northwind() -> Database {
+    let db = Database::with_defaults();
+    db.execute(
+        "CREATE TABLE products (id INT NOT NULL, category INT NOT NULL, \
+         name STRING NOT NULL, price INT NOT NULL)",
+    )
+    .unwrap();
+    db.execute(
+        "CREATE TABLE sales (id INT NOT NULL, product_id INT NOT NULL, \
+         quantity INT NOT NULL)",
+    )
+    .unwrap();
+    let products: Vec<Tuple> = (0..200)
+        .map(|i| {
+            Tuple::new(vec![
+                Value::Int(i),
+                Value::Int(i % 8),
+                Value::Str(format!("product-{i:03}")),
+                Value::Int(100 + (i * 13) % 900),
+            ])
+        })
+        .collect();
+    db.insert_tuples("products", &products).unwrap();
+    let sales: Vec<Tuple> = (0..5000)
+        .map(|i| {
+            Tuple::new(vec![
+                Value::Int(i),
+                Value::Int((i * 7) % 200),
+                Value::Int(1 + i % 9),
+            ])
+        })
+        .collect();
+    db.insert_tuples("sales", &sales).unwrap();
+    db.execute("CREATE UNIQUE INDEX products_id ON products (id)").unwrap();
+    db.execute("CREATE INDEX sales_pid ON sales (product_id)").unwrap();
+    db.execute("ANALYZE").unwrap();
+    db
+}
+
+/// Brute-force reference: sum of quantity per category via plain scans.
+fn reference_totals(db: &Database) -> Vec<(i64, i64)> {
+    let products = db.query("SELECT id, category FROM products").unwrap();
+    let sales = db.query("SELECT product_id, quantity FROM sales").unwrap();
+    let mut cat_of = std::collections::HashMap::new();
+    for p in &products {
+        cat_of.insert(
+            p.value(0).unwrap().as_i64().unwrap(),
+            p.value(1).unwrap().as_i64().unwrap(),
+        );
+    }
+    let mut totals: std::collections::BTreeMap<i64, i64> = Default::default();
+    for s in &sales {
+        let pid = s.value(0).unwrap().as_i64().unwrap();
+        let q = s.value(1).unwrap().as_i64().unwrap();
+        *totals.entry(cat_of[&pid]).or_default() += q;
+    }
+    totals.into_iter().collect()
+}
+
+#[test]
+fn join_group_order_pipeline_matches_brute_force() {
+    let db = northwind();
+    let want = reference_totals(&db);
+    let rows = db
+        .query(
+            "SELECT p.category, SUM(s.quantity) AS total \
+             FROM sales s JOIN products p ON s.product_id = p.id \
+             GROUP BY p.category ORDER BY p.category",
+        )
+        .unwrap();
+    let got: Vec<(i64, i64)> = rows
+        .iter()
+        .map(|t| {
+            (
+                t.value(0).unwrap().as_i64().unwrap(),
+                t.value(1).unwrap().as_i64().unwrap(),
+            )
+        })
+        .collect();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn every_strategy_returns_identical_results() {
+    let db = northwind();
+    let sql = "SELECT p.name, s.quantity FROM sales s \
+               JOIN products p ON s.product_id = p.id \
+               WHERE p.price > 500 AND s.quantity >= 5 \
+               ORDER BY p.name, s.quantity LIMIT 50";
+    let reference = db.query(sql).unwrap();
+    assert!(!reference.is_empty());
+    for strategy in [
+        Strategy::BushyDp,
+        Strategy::Greedy,
+        Strategy::Goo,
+        Strategy::QuickPick { samples: 4, seed: 11 },
+        Strategy::Syntactic,
+    ] {
+        db.set_strategy(strategy);
+        assert_eq!(db.query(sql).unwrap(), reference, "{}", strategy.name());
+    }
+}
+
+#[test]
+fn predicates_toolbox_end_to_end() {
+    let db = northwind();
+    let count = |sql: &str| -> i64 {
+        db.query(sql).unwrap()[0].value(0).unwrap().as_i64().unwrap()
+    };
+    assert_eq!(
+        count("SELECT COUNT(*) FROM products WHERE name LIKE 'product-00%'"),
+        10
+    );
+    assert_eq!(
+        count("SELECT COUNT(*) FROM products WHERE id IN (1, 2, 3, 999)"),
+        3
+    );
+    assert_eq!(
+        count("SELECT COUNT(*) FROM products WHERE id BETWEEN 10 AND 19"),
+        10
+    );
+    assert_eq!(
+        count("SELECT COUNT(*) FROM products WHERE NOT (category = 0)"),
+        200 - 25
+    );
+    assert_eq!(count("SELECT COUNT(*) FROM products WHERE name IS NULL"), 0);
+    // Three-valued logic: NULL quantity would be filtered, none exist.
+    assert_eq!(
+        count("SELECT COUNT(*) FROM sales WHERE quantity > 0 OR quantity IS NULL"),
+        5000
+    );
+}
+
+#[test]
+fn having_and_arithmetic_projection() {
+    let db = northwind();
+    let rows = db
+        .query(
+            "SELECT category, COUNT(*) AS n, MAX(price) - MIN(price) AS spread \
+             FROM products GROUP BY category HAVING COUNT(*) > 20 \
+             ORDER BY category",
+        )
+        .unwrap();
+    assert_eq!(rows.len(), 8, "every category has 25 products");
+    for r in &rows {
+        assert_eq!(r.value(1).unwrap(), &Value::Int(25));
+        assert!(r.value(2).unwrap().as_i64().unwrap() >= 0);
+    }
+}
+
+#[test]
+fn small_buffer_pool_gives_same_answers() {
+    // The whole stack must be correct under memory pressure: 6-frame pool
+    // forces eviction everywhere (scans, sorts, joins, index probes).
+    let db = Database::new(DatabaseConfig {
+        buffer_pages: 6,
+        ..Default::default()
+    });
+    db.execute("CREATE TABLE t (k INT NOT NULL, pad STRING NOT NULL)").unwrap();
+    let rows: Vec<Tuple> = (0..3000)
+        .map(|i| {
+            Tuple::new(vec![
+                Value::Int((i * 31) % 500),
+                Value::Str(format!("pad-{i:06}")),
+            ])
+        })
+        .collect();
+    db.insert_tuples("t", &rows).unwrap();
+    db.execute("CREATE INDEX t_k ON t (k)").unwrap();
+    db.execute("ANALYZE").unwrap();
+    let got = db
+        .query("SELECT k, COUNT(*) AS n FROM t GROUP BY k ORDER BY n DESC, k LIMIT 5")
+        .unwrap();
+    assert_eq!(got.len(), 5);
+    assert_eq!(got[0].value(1).unwrap(), &Value::Int(6));
+    // Self-join under pressure.
+    let n = db
+        .query("SELECT COUNT(*) FROM t a JOIN t b ON a.k = b.k WHERE a.k = 7")
+        .unwrap()[0]
+        .value(0)
+        .unwrap()
+        .as_i64()
+        .unwrap();
+    assert_eq!(n, 36, "6 rows with k=7 joined with themselves");
+}
+
+#[test]
+fn explain_analyze_full_stack() {
+    let db = northwind();
+    match db
+        .execute(
+            "EXPLAIN ANALYZE SELECT COUNT(*) FROM sales s \
+             JOIN products p ON s.product_id = p.id",
+        )
+        .unwrap()
+    {
+        evopt::QueryResult::Explained(text) => {
+            assert!(text.contains("== logical =="), "{text}");
+            assert!(text.contains("== physical"), "{text}");
+            assert!(text.contains("== measured =="), "{text}");
+            assert!(text.contains("rows: 1"), "{text}");
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn dml_visibility_and_index_consistency() {
+    let db = northwind();
+    db.execute("INSERT INTO products VALUES (900, 1, 'late-addition', 123)")
+        .unwrap();
+    // Visible via index path...
+    let rows = db
+        .query("SELECT name FROM products WHERE id = 900")
+        .unwrap();
+    assert_eq!(rows[0].value(0).unwrap(), &Value::Str("late-addition".into()));
+    // ...and via full scan.
+    let n = db
+        .query("SELECT COUNT(*) FROM products")
+        .unwrap()[0]
+        .value(0)
+        .unwrap()
+        .as_i64()
+        .unwrap();
+    assert_eq!(n, 201);
+}

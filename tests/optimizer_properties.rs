@@ -1,0 +1,134 @@
+//! Cross-crate optimizer property tests: invariants that must hold for any
+//! query the engine accepts, checked on randomized workloads.
+
+use evopt::workload::{JoinWorkload, Topology};
+use evopt::{Database, Strategy};
+
+/// DP strategies explore a superset of every heuristic's plan space, so
+/// their estimated cost can never be worse.
+#[test]
+fn dp_dominates_heuristics_on_random_topologies() {
+    for (topo, n, seed) in [
+        (Topology::Chain, 4, 1u64),
+        (Topology::Chain, 6, 2),
+        (Topology::Star, 5, 3),
+        (Topology::Cycle, 5, 4),
+        (Topology::Clique, 4, 5),
+    ] {
+        let db = Database::with_defaults();
+        let w = JoinWorkload::new(topo, n, 50, seed);
+        w.load(&db, true).unwrap();
+        let sql = w.filtered_query(200);
+        let model = db.optimizer_config().cost_model;
+        let cost_of = |s: Strategy| {
+            db.set_strategy(s);
+            let (_, p) = db.plan_sql(&sql).unwrap();
+            model.total(p.est_cost)
+        };
+        let bushy = cost_of(Strategy::BushyDp);
+        let sysr = cost_of(Strategy::SystemR);
+        for heuristic in [
+            Strategy::Greedy,
+            Strategy::Goo,
+            Strategy::QuickPick { samples: 4, seed: 9 },
+            Strategy::Syntactic,
+        ] {
+            let h = cost_of(heuristic);
+            assert!(
+                bushy <= h + 1e-6,
+                "{:?} n={n}: bushy {bushy} > {} {h}",
+                topo,
+                heuristic.name()
+            );
+        }
+        assert!(bushy <= sysr + 1e-6, "{topo:?} n={n}: bushy beaten by left-deep");
+    }
+}
+
+/// The algebraic rewrites (pushdown, folding) change plans, never results.
+#[test]
+fn rewrites_preserve_results_and_never_hurt_cost() {
+    let db = Database::with_defaults();
+    let w = JoinWorkload::new(Topology::Chain, 4, 80, 13);
+    w.load(&db, true).unwrap();
+    let queries = [
+        w.count_query(),
+        w.filtered_query(150),
+        format!(
+            "SELECT {t0}.pk FROM {t0}, {t1} WHERE {t0}.fk = {t1}.pk \
+             AND {t0}.payload < 500 AND 1 + 1 = 2",
+            t0 = w.table(0),
+            t1 = w.table(1)
+        ),
+    ];
+    let model = db.optimizer_config().cost_model;
+    for sql in &queries {
+        db.set_rewrites(true);
+        let with = db.query(sql).unwrap();
+        let (_, plan_with) = db.plan_sql(sql).unwrap();
+        db.set_rewrites(false);
+        let without = db.query(sql).unwrap();
+        let (_, plan_without) = db.plan_sql(sql).unwrap();
+        db.set_rewrites(true);
+        let (mut a, mut b) = (with, without);
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "rewrites changed results for {sql}");
+        assert!(
+            model.total(plan_with.est_cost) <= model.total(plan_without.est_cost) + 1e-6,
+            "rewrites made {sql} costlier: {} vs {}",
+            model.total(plan_with.est_cost),
+            model.total(plan_without.est_cost)
+        );
+    }
+}
+
+/// Planning is deterministic: same catalog, same query, same plan.
+#[test]
+fn planning_is_deterministic() {
+    let db = Database::with_defaults();
+    let w = JoinWorkload::new(Topology::Star, 5, 80, 77);
+    w.load(&db, true).unwrap();
+    let sql = w.count_query();
+    let (_, a) = db.plan_sql(&sql).unwrap();
+    let (_, b) = db.plan_sql(&sql).unwrap();
+    assert_eq!(a, b);
+}
+
+/// The estimated cardinality at the root is invariant under the strategy
+/// (it's a property of the query, not the plan).
+#[test]
+fn cardinality_estimate_is_plan_invariant() {
+    let db = Database::with_defaults();
+    let w = JoinWorkload::new(Topology::Chain, 4, 100, 5);
+    w.load(&db, true).unwrap();
+    let sql = w.count_query();
+    let mut estimates = Vec::new();
+    for s in [Strategy::SystemR, Strategy::BushyDp, Strategy::Greedy, Strategy::Syntactic] {
+        db.set_strategy(s);
+        let (_, p) = db.plan_sql(&sql).unwrap();
+        estimates.push(p.est_rows);
+    }
+    for pair in estimates.windows(2) {
+        assert!(
+            (pair[0] - pair[1]).abs() / pair[0].max(1.0) < 1e-6,
+            "row estimates differ across strategies: {estimates:?}"
+        );
+    }
+}
+
+/// The EXPLAIN-reported plan is the plan that executes: measured row counts
+/// match across repeated runs and match the baseline strategy's answer.
+#[test]
+fn results_stable_across_runs_and_strategies() {
+    let db = Database::with_defaults();
+    let w = JoinWorkload::new(Topology::Cycle, 4, 60, 21);
+    w.load(&db, true).unwrap();
+    let sql = w.count_query();
+    let first = db.query(&sql).unwrap();
+    for _ in 0..3 {
+        assert_eq!(db.query(&sql).unwrap(), first);
+    }
+    db.set_strategy(Strategy::Syntactic);
+    assert_eq!(db.query(&sql).unwrap(), first);
+}
