@@ -46,6 +46,9 @@ pub struct Point {
     pub est_cost: f64,
     pub est_io: f64,
     pub measured_io: u64,
+    /// Worst per-operator cardinality q-error of the executed plan
+    /// (from the instrumented run; 1.0 = every estimate exact).
+    pub max_q_error: f64,
 }
 
 #[derive(Debug, Clone)]
@@ -57,6 +60,9 @@ pub struct Report {
     /// Rank correlation of the cost model's I/O component with measured
     /// I/O — the apples-to-apples calibration number.
     pub rho_io: f64,
+    /// Worst cardinality q-error across every executed plan — how far the
+    /// selectivity model drifted anywhere in the sweep.
+    pub worst_q_error: f64,
 }
 
 impl Report {
@@ -64,12 +70,13 @@ impl Report {
         let mut t = Table::new(
             format!(
                 "T5: estimated cost vs measured I/O over {} plans \
-                 (rho_total = {:.3}, rho_io = {:.3})",
+                 (rho_total = {:.3}, rho_io = {:.3}, worst q-error = {:.2})",
                 self.points.len(),
                 self.rho,
-                self.rho_io
+                self.rho_io,
+                self.worst_q_error
             ),
-            &["query", "strategy", "est cost", "est io", "measured io"],
+            &["query", "strategy", "est cost", "est io", "measured io", "max q-err"],
         );
         for p in &self.points {
             t.row(vec![
@@ -78,6 +85,7 @@ impl Report {
                 fmt(p.est_cost),
                 fmt(p.est_io),
                 p.measured_io.to_string(),
+                format!("{:.2}", p.max_q_error),
             ]);
         }
         t.render()
@@ -136,7 +144,7 @@ pub fn run(p: &Params) -> Report {
             let est = model.total(physical.est_cost);
             db.pool().evict_all().unwrap();
             let before = db.disk().snapshot();
-            db.run_plan(&physical).unwrap();
+            let (_, metrics) = db.run_plan_instrumented(&physical).unwrap();
             let io = db.disk().snapshot().since(&before).total();
             points.push(Point {
                 query: label.clone(),
@@ -144,6 +152,7 @@ pub fn run(p: &Params) -> Report {
                 est_cost: est,
                 est_io: physical.est_cost.io,
                 measured_io: io,
+                max_q_error: metrics.max_q_error(),
             });
         }
     }
@@ -153,7 +162,8 @@ pub fn run(p: &Params) -> Report {
     let io: Vec<f64> = points.iter().map(|p| p.measured_io as f64).collect();
     let rho = spearman(&est, &io);
     let rho_io = spearman(&est_io, &io);
-    Report { points, rho, rho_io }
+    let worst_q_error = points.iter().map(|p| p.max_q_error).fold(1.0, f64::max);
+    Report { points, rho, rho_io, worst_q_error }
 }
 
 #[cfg(test)]
@@ -174,7 +184,12 @@ mod tests {
             "io-vs-io Spearman rho {:.3} below the calibration bar",
             report.rho_io
         );
+        assert!(
+            report.worst_q_error >= 1.0,
+            "q-error is bounded below by 1.0 by definition"
+        );
         let text = report.render();
         assert!(text.contains("rho_io"));
+        assert!(text.contains("max q-err"));
     }
 }

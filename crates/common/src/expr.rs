@@ -974,8 +974,8 @@ mod tests {
         fn arb_expr() -> impl Strategy<Value = Expr> {
             let leaf = prop_oneof![
                 (0usize..3).prop_map(Expr::Column),
-                (-20i64..20).prop_map(|v| lit(v)),
-                any::<bool>().prop_map(|b| lit(b)),
+                (-20i64..20).prop_map(lit),
+                any::<bool>().prop_map(lit),
             ];
             leaf.prop_recursive(4, 64, 3, |inner| {
                 prop_oneof![

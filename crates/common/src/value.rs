@@ -341,7 +341,7 @@ mod tests {
 
     #[test]
     fn total_order_across_classes() {
-        let mut vals = vec![
+        let mut vals = [
             Value::Str("a".into()),
             Value::Int(3),
             Value::Null,

@@ -254,14 +254,26 @@ impl PhysicalPlan {
         out
     }
 
-    /// EXPLAIN-style indented rendering with estimates.
-    pub fn display_indent(&self) -> String {
-        let mut s = String::new();
-        fn walk(p: &PhysicalPlan, depth: usize, s: &mut String) {
-            for _ in 0..depth {
-                s.push_str("  ");
+    /// All nodes of the tree in pre-order, each with its depth. Index `i` of
+    /// this list is the node's *pre-order id* — the correlation key between
+    /// plan nodes and runtime metrics (`evopt_exec` instruments operators in
+    /// the same order).
+    pub fn pre_order(&self) -> Vec<(usize, &PhysicalPlan)> {
+        let mut out = Vec::with_capacity(self.node_count());
+        fn walk<'p>(p: &'p PhysicalPlan, depth: usize, out: &mut Vec<(usize, &'p PhysicalPlan)>) {
+            out.push((depth, p));
+            for c in p.children() {
+                walk(c, depth + 1, out);
             }
-            let detail = match &p.op {
+        }
+        walk(self, 0, &mut out);
+        out
+    }
+
+    /// One-line operator description (the EXPLAIN line minus estimates).
+    pub fn op_detail(&self) -> String {
+        let p = self;
+        match &p.op {
                 PhysOp::SeqScan { table, filter } => match filter {
                     Some(f) => format!("SeqScan: {table} filter={f}"),
                     None => format!("SeqScan: {table}"),
@@ -336,17 +348,23 @@ impl PhysicalPlan {
                     )
                 }
                 PhysOp::Limit { limit, .. } => format!("Limit: {limit}"),
-            };
+        }
+    }
+
+    /// EXPLAIN-style indented rendering with estimates.
+    pub fn display_indent(&self) -> String {
+        let mut s = String::new();
+        for (depth, p) in self.pre_order() {
+            for _ in 0..depth {
+                s.push_str("  ");
+            }
             s.push_str(&format!(
-                "{detail}  (rows={:.0}, cost={:.1})\n",
+                "{}  (rows={:.0}, cost={:.1})\n",
+                p.op_detail(),
                 p.est_rows,
                 p.est_cost.io + p.est_cost.cpu
             ));
-            for c in p.children() {
-                walk(c, depth + 1, s);
-            }
         }
-        walk(self, 0, &mut s);
         s
     }
 }

@@ -8,27 +8,16 @@ use evopt_common::{
 };
 use evopt_core::physical::PhysicalPlan;
 use evopt_core::{CostModel, Optimizer, OptimizerConfig, Strategy};
-use evopt_exec::{run_collect, ExecEnv};
+use evopt_exec::{run_collect, run_collect_instrumented, ExecEnv, QueryMetrics};
 use evopt_plan::LogicalPlan;
 use evopt_sql::ast::{AstExpr, Statement};
 use evopt_sql::{bind_select, parse};
-use evopt_storage::{BufferPool, DiskManager, IoSnapshot, PolicyKind};
-use parking_lot_shim::Mutex;
-
-/// Tiny shim so this crate doesn't depend on parking_lot directly: the
-/// standard mutex is fine at this layer (no poisoning paths matter here —
-/// panics abort the query anyway).
-mod parking_lot_shim {
-    pub struct Mutex<T>(std::sync::Mutex<T>);
-    impl<T> Mutex<T> {
-        pub fn new(v: T) -> Self {
-            Mutex(std::sync::Mutex::new(v))
-        }
-        pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
-            self.0.lock().unwrap_or_else(|p| p.into_inner())
-        }
-    }
-}
+use evopt_storage::{BufferPool, DiskManager, IoSnapshot, PolicyKind, PoolSnapshot};
+// Non-poisoning mutex (the vendored stand-in recovers poisoned state via
+// `into_inner`): a panicking config writer can't brick later queries, and
+// the config copy held under the lock is plain data — no invariants to
+// corrupt halfway.
+use parking_lot::Mutex;
 
 /// Construction-time knobs.
 #[derive(Debug, Clone, Copy)]
@@ -51,10 +40,16 @@ impl Default for DatabaseConfig {
 }
 
 /// The result of [`Database::execute`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub enum QueryResult {
-    /// A SELECT's output.
-    Rows { schema: Schema, rows: Vec<Tuple> },
+    /// A SELECT's output. `metrics` is populated when the statement ran
+    /// through an instrumented path (`EXPLAIN ANALYZE`,
+    /// [`Database::query_with_metrics`]).
+    Rows {
+        schema: Schema,
+        rows: Vec<Tuple>,
+        metrics: Option<Box<QueryMetrics>>,
+    },
     /// Rows affected by DML.
     Affected(usize),
     /// EXPLAIN text.
@@ -63,12 +58,45 @@ pub enum QueryResult {
     Ok,
 }
 
+/// Equality ignores `metrics`: two runs of the same query are the "same
+/// result" even though wall-clock and pool state differ.
+impl PartialEq for QueryResult {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (
+                QueryResult::Rows {
+                    schema: s1,
+                    rows: r1,
+                    ..
+                },
+                QueryResult::Rows {
+                    schema: s2,
+                    rows: r2,
+                    ..
+                },
+            ) => s1 == s2 && r1 == r2,
+            (QueryResult::Affected(a), QueryResult::Affected(b)) => a == b,
+            (QueryResult::Explained(a), QueryResult::Explained(b)) => a == b,
+            (QueryResult::Ok, QueryResult::Ok) => true,
+            _ => false,
+        }
+    }
+}
+
 impl QueryResult {
     /// The rows of a `Rows` result (empty otherwise).
     pub fn rows(self) -> Vec<Tuple> {
         match self {
             QueryResult::Rows { rows, .. } => rows,
             _ => Vec::new(),
+        }
+    }
+
+    /// The runtime metrics of an instrumented `Rows` result.
+    pub fn metrics(&self) -> Option<&QueryMetrics> {
+        match self {
+            QueryResult::Rows { metrics, .. } => metrics.as_deref(),
+            _ => None,
         }
     }
 }
@@ -160,6 +188,26 @@ impl Database {
         }
     }
 
+    /// Run a SELECT instrumented: rows plus per-operator
+    /// estimate-vs-actual [`QueryMetrics`].
+    pub fn query_with_metrics(&self, sql: &str) -> Result<(Vec<Tuple>, QueryMetrics)> {
+        let (_, physical) = self.plan_sql(sql)?;
+        self.run_plan_instrumented(&physical)
+    }
+
+    /// Run a SELECT instrumented and return the full [`QueryResult::Rows`]
+    /// with its `metrics` field populated (the programmatic counterpart of
+    /// `EXPLAIN ANALYZE`).
+    pub fn execute_analyzed(&self, sql: &str) -> Result<QueryResult> {
+        let (_, physical) = self.plan_sql(sql)?;
+        let (rows, metrics) = self.run_plan_instrumented(&physical)?;
+        Ok(QueryResult::Rows {
+            schema: physical.schema.clone(),
+            rows,
+            metrics: Some(Box::new(metrics)),
+        })
+    }
+
     /// EXPLAIN text for a SELECT (logical and physical plans).
     pub fn explain(&self, sql: &str) -> Result<String> {
         let (logical, physical) = self.plan_sql(sql)?;
@@ -169,6 +217,18 @@ impl Database {
             self.optimizer_config().strategy.name(),
             physical.display_indent()
         ))
+    }
+
+    /// `EXPLAIN ANALYZE` text for a SELECT: the physical plan annotated
+    /// with per-operator estimated vs. actual rows, q-error, elapsed time,
+    /// and pool/disk counters. Executes the query.
+    pub fn explain_analyze(&self, sql: &str) -> Result<String> {
+        match self.execute(&format!("EXPLAIN ANALYZE {sql}"))? {
+            QueryResult::Explained(text) => Ok(text),
+            other => Err(EvoptError::Execution(format!(
+                "EXPLAIN ANALYZE returned {other:?}"
+            ))),
+        }
     }
 
     /// Parse + bind + optimize a SELECT, returning both plans.
@@ -193,9 +253,20 @@ impl Database {
 
     /// Execute a physical plan.
     pub fn run_plan(&self, plan: &PhysicalPlan) -> Result<Vec<Tuple>> {
+        run_collect(plan, &self.exec_env())
+    }
+
+    /// Execute a physical plan with per-operator instrumentation.
+    pub fn run_plan_instrumented(
+        &self,
+        plan: &PhysicalPlan,
+    ) -> Result<(Vec<Tuple>, QueryMetrics)> {
+        run_collect_instrumented(plan, &self.exec_env())
+    }
+
+    fn exec_env(&self) -> ExecEnv {
         let buffer_pages = self.config.lock().optimizer.cost_model.buffer_pages;
-        let env = ExecEnv::new(Arc::clone(&self.catalog), buffer_pages);
-        run_collect(plan, &env)
+        ExecEnv::new(Arc::clone(&self.catalog), buffer_pages)
     }
 
     /// Run a statement and report the physical I/O it performed.
@@ -203,6 +274,14 @@ impl Database {
         let before = self.disk.snapshot();
         let result = self.execute(sql)?;
         let after = self.disk.snapshot();
+        Ok((result, after.since(&before)))
+    }
+
+    /// Run a statement and report the buffer-pool traffic it caused.
+    pub fn measured_pool(&self, sql: &str) -> Result<(QueryResult, PoolSnapshot)> {
+        let before = self.pool.stats();
+        let result = self.execute(sql)?;
+        let after = self.pool.stats();
         Ok((result, after.since(&before)))
     }
 
@@ -270,6 +349,7 @@ impl Database {
                 Ok(QueryResult::Rows {
                     schema: physical.schema.clone(),
                     rows,
+                    metrics: None,
                 })
             }
             Statement::CreateTable { name, columns } => {
@@ -421,14 +501,13 @@ impl Database {
                         physical.display_indent()
                     );
                     if *analyze {
-                        let before = self.disk.snapshot();
-                        let rows = self.run_plan(&physical)?;
-                        let io = self.disk.snapshot().since(&before);
+                        let (rows, metrics) = self.run_plan_instrumented(&physical)?;
                         text.push_str(&format!(
-                            "== measured ==\nrows: {}\npage reads: {}\npage writes: {}\n",
+                            "== measured ==\n{}rows: {}\npage reads: {}\npage writes: {}\n",
+                            metrics.render(),
                             rows.len(),
-                            io.reads,
-                            io.writes
+                            metrics.disk_reads,
+                            metrics.disk_writes
                         ));
                     }
                     Ok(QueryResult::Explained(text))

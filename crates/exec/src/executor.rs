@@ -1,10 +1,13 @@
 //! The [`Executor`] trait and the plan→executor builder.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use evopt_catalog::Catalog;
 use evopt_common::{Result, Schema, Tuple};
 use evopt_core::physical::{PhysOp, PhysicalPlan};
+
+use crate::metrics::{InstrumentedExec, MetricsRegistry, QueryMetrics};
 
 /// Execution environment shared by all operators of one query.
 #[derive(Clone)]
@@ -34,7 +37,35 @@ pub trait Executor {
 
 /// Instantiate the operator tree for `plan`.
 pub fn build_executor(plan: &PhysicalPlan, env: &ExecEnv) -> Result<Box<dyn Executor>> {
-    Ok(match &plan.op {
+    build_node(plan, env, None)
+}
+
+/// Instantiate `plan` with every operator wrapped in an
+/// [`InstrumentedExec`]. The returned registry holds one metric slot per
+/// plan node, in the same pre-order as [`PhysicalPlan::pre_order`].
+pub fn build_instrumented(
+    plan: &PhysicalPlan,
+    env: &ExecEnv,
+) -> Result<(Box<dyn Executor>, MetricsRegistry)> {
+    let registry = MetricsRegistry::for_plan(plan);
+    let exec = build_node(plan, env, Some((&registry, 0)))?;
+    Ok((exec, registry))
+}
+
+/// Shared builder. When `instr` is set, `idx` is this node's pre-order index
+/// in the registry; children are built at their own pre-order offsets and
+/// every constructed operator is wrapped with its metric slot.
+fn build_node(
+    plan: &PhysicalPlan,
+    env: &ExecEnv,
+    instr: Option<(&MetricsRegistry, usize)>,
+) -> Result<Box<dyn Executor>> {
+    // Build the `offset`-th pre-order successor of this node (1 = first
+    // child; 1 + first_child.node_count() = second child).
+    let child = |c: &PhysicalPlan, offset: usize| -> Result<Box<dyn Executor>> {
+        build_node(c, env, instr.map(|(reg, idx)| (reg, idx + offset)))
+    };
+    let exec: Box<dyn Executor> = match &plan.op {
         PhysOp::SeqScan { table, filter } => Box::new(crate::scan::SeqScanExec::new(
             env,
             table,
@@ -56,37 +87,52 @@ pub fn build_executor(plan: &PhysicalPlan, env: &ExecEnv) -> Result<Box<dyn Exec
             plan.schema.clone(),
         )?),
         PhysOp::Filter { input, predicate } => Box::new(crate::simple::FilterExec::new(
-            build_executor(input, env)?,
+            child(input, 1)?,
             predicate.clone(),
         )),
         PhysOp::Project { input, exprs } => Box::new(crate::simple::ProjectExec::new(
-            build_executor(input, env)?,
+            child(input, 1)?,
             exprs.clone(),
             plan.schema.clone(),
         )),
-        PhysOp::Limit { input, limit } => Box::new(crate::simple::LimitExec::new(
-            build_executor(input, env)?,
-            *limit,
-        )),
+        PhysOp::Limit { input, limit } => {
+            Box::new(crate::simple::LimitExec::new(child(input, 1)?, *limit))
+        }
         PhysOp::NestedLoopJoin {
             left,
             right,
             predicate,
-        } => Box::new(crate::join::NestedLoopJoinExec::new(
-            build_executor(left, env)?,
-            (**right).clone(),
-            env.clone(),
-            predicate.clone(),
-            plan.schema.clone(),
-        )),
+        } => {
+            // The inner side is re-instantiated once per outer row; hand the
+            // executor a builder so each re-open is still instrumented (the
+            // subtree's metric slots accumulate across re-opens).
+            let left_exec = child(left, 1)?;
+            let right_plan = (**right).clone();
+            let right_env = env.clone();
+            let right_instr =
+                instr.map(|(reg, idx)| (reg.clone(), idx + 1 + left.node_count()));
+            let right_builder = move || {
+                build_node(
+                    &right_plan,
+                    &right_env,
+                    right_instr.as_ref().map(|(reg, idx)| (reg, *idx)),
+                )
+            };
+            Box::new(crate::join::NestedLoopJoinExec::new(
+                left_exec,
+                Box::new(right_builder),
+                predicate.clone(),
+                plan.schema.clone(),
+            ))
+        }
         PhysOp::BlockNestedLoopJoin {
             left,
             right,
             predicate,
             block_pages,
         } => Box::new(crate::join::BlockNestedLoopJoinExec::new(
-            build_executor(left, env)?,
-            build_executor(right, env)?,
+            child(left, 1)?,
+            child(right, 1 + left.node_count())?,
             env.clone(),
             predicate.clone(),
             *block_pages,
@@ -99,7 +145,7 @@ pub fn build_executor(plan: &PhysicalPlan, env: &ExecEnv) -> Result<Box<dyn Exec
             outer_key,
             residual,
         } => Box::new(crate::join::IndexNestedLoopJoinExec::new(
-            build_executor(outer, env)?,
+            child(outer, 1)?,
             env,
             inner_table,
             index,
@@ -114,8 +160,8 @@ pub fn build_executor(plan: &PhysicalPlan, env: &ExecEnv) -> Result<Box<dyn Exec
             right_key,
             residual,
         } => Box::new(crate::join::SortMergeJoinExec::new(
-            build_executor(left, env)?,
-            build_executor(right, env)?,
+            child(left, 1)?,
+            child(right, 1 + left.node_count())?,
             *left_key,
             *right_key,
             residual.clone(),
@@ -128,8 +174,8 @@ pub fn build_executor(plan: &PhysicalPlan, env: &ExecEnv) -> Result<Box<dyn Exec
             right_key,
             residual,
         } => Box::new(crate::join::HashJoinExec::new(
-            build_executor(left, env)?,
-            build_executor(right, env)?,
+            child(left, 1)?,
+            child(right, 1 + left.node_count())?,
             env.clone(),
             *left_key,
             *right_key,
@@ -137,7 +183,7 @@ pub fn build_executor(plan: &PhysicalPlan, env: &ExecEnv) -> Result<Box<dyn Exec
             plan.schema.clone(),
         )),
         PhysOp::Sort { input, keys } => Box::new(crate::sort::SortExec::new(
-            build_executor(input, env)?,
+            child(input, 1)?,
             env.clone(),
             keys.clone(),
         )),
@@ -146,7 +192,7 @@ pub fn build_executor(plan: &PhysicalPlan, env: &ExecEnv) -> Result<Box<dyn Exec
             group_by,
             aggs,
         } => Box::new(crate::agg::HashAggregateExec::new(
-            build_executor(input, env)?,
+            child(input, 1)?,
             group_by.clone(),
             aggs.clone(),
             plan.schema.clone(),
@@ -156,11 +202,19 @@ pub fn build_executor(plan: &PhysicalPlan, env: &ExecEnv) -> Result<Box<dyn Exec
             group_by,
             aggs,
         } => Box::new(crate::agg::SortAggregateExec::new(
-            build_executor(input, env)?,
+            child(input, 1)?,
             group_by.clone(),
             aggs.clone(),
             plan.schema.clone(),
         )),
+    };
+    Ok(match instr {
+        Some((registry, idx)) => Box::new(InstrumentedExec::new(
+            exec,
+            registry.node(idx),
+            Arc::clone(env.catalog.pool()),
+        )),
+        None => exec,
     })
 }
 
@@ -172,4 +226,26 @@ pub fn run_collect(plan: &PhysicalPlan, env: &ExecEnv) -> Result<Vec<Tuple>> {
         out.push(t);
     }
     Ok(out)
+}
+
+/// Build, instrument, and drain a plan; returns the rows plus the full
+/// estimate-vs-actual [`QueryMetrics`] for the run.
+pub fn run_collect_instrumented(
+    plan: &PhysicalPlan,
+    env: &ExecEnv,
+) -> Result<(Vec<Tuple>, QueryMetrics)> {
+    let pool = Arc::clone(env.catalog.pool());
+    let pool_before = pool.stats();
+    let io_before = pool.disk().snapshot();
+    let start = Instant::now();
+    let (mut exec, registry) = build_instrumented(plan, env)?;
+    let mut out = Vec::new();
+    while let Some(t) = exec.next()? {
+        out.push(t);
+    }
+    let elapsed = start.elapsed();
+    let pool_delta = pool.stats().since(&pool_before);
+    let io_delta = pool.disk().snapshot().since(&io_before);
+    let metrics = QueryMetrics::collect(plan, &registry, elapsed, pool_delta, io_delta);
+    Ok((out, metrics))
 }

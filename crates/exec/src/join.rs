@@ -21,11 +21,10 @@ use std::sync::Arc;
 
 use evopt_catalog::TableInfo;
 use evopt_common::{EvoptError, Expr, Result, Schema, Tuple, Value};
-use evopt_core::physical::PhysicalPlan;
 use evopt_storage::heap::HeapScan;
 use evopt_storage::HeapFile;
 
-use crate::executor::{build_executor, ExecEnv, Executor};
+use crate::executor::{ExecEnv, Executor};
 
 /// Usable bytes per page for blocking decisions.
 const USABLE_PAGE_BYTES: usize = 4084;
@@ -41,11 +40,15 @@ fn passes(residual: &Option<Expr>, t: &Tuple) -> Result<bool> {
 // Tuple nested loops
 // ---------------------------------------------------------------------------
 
+/// Factory that (re-)instantiates a nested-loop join's inner plan. The
+/// executor builder supplies one so instrumented runs can rebind every
+/// re-open to the same metric slots.
+pub type RightBuilder = Box<dyn Fn() -> Result<Box<dyn Executor>>>;
+
 /// For each outer tuple, re-open and drain the inner plan.
 pub struct NestedLoopJoinExec {
     left: Box<dyn Executor>,
-    right_plan: PhysicalPlan,
-    env: ExecEnv,
+    right_builder: RightBuilder,
     predicate: Option<Expr>,
     schema: Schema,
     current_left: Option<Tuple>,
@@ -55,15 +58,13 @@ pub struct NestedLoopJoinExec {
 impl NestedLoopJoinExec {
     pub fn new(
         left: Box<dyn Executor>,
-        right_plan: PhysicalPlan,
-        env: ExecEnv,
+        right_builder: RightBuilder,
         predicate: Option<Expr>,
         schema: Schema,
     ) -> Self {
         NestedLoopJoinExec {
             left,
-            right_plan,
-            env,
+            right_builder,
             predicate,
             schema,
             current_left: None,
@@ -84,7 +85,7 @@ impl Executor for NestedLoopJoinExec {
                 if self.current_left.is_none() {
                     return Ok(None);
                 }
-                self.right = Some(build_executor(&self.right_plan, &self.env)?);
+                self.right = Some((self.right_builder)()?);
             }
             let lt = self.current_left.as_ref().expect("set above");
             let right = self.right.as_mut().expect("opened with left");

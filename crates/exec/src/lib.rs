@@ -17,11 +17,15 @@
 pub mod agg;
 pub mod executor;
 pub mod join;
+pub mod metrics;
 pub mod scan;
 pub mod simple;
 pub mod sort;
 
-pub use executor::{build_executor, run_collect, ExecEnv, Executor};
+pub use executor::{
+    build_executor, build_instrumented, run_collect, run_collect_instrumented, ExecEnv, Executor,
+};
+pub use metrics::{MetricsRegistry, OperatorMetrics, QueryMetrics};
 
 #[cfg(test)]
 mod op_tests;

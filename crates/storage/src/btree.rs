@@ -952,7 +952,7 @@ mod tests {
                     }
                 }
             }
-            model.sort_by(|a, b| (a.0, rid(a.1)).cmp(&(b.0, rid(b.1))));
+            model.sort_by_key(|a| (a.0, rid(a.1)));
             let got: Vec<(i64, Rid)> = t
                 .range(Bound::Unbounded, Bound::Unbounded).unwrap()
                 .map(|x| { let (v, r) = x.unwrap(); (v.as_i64().unwrap(), r) })

@@ -28,7 +28,7 @@ pub mod heap;
 pub mod page;
 
 pub use btree::BTreeIndex;
-pub use buffer::{BufferPool, PolicyKind};
+pub use buffer::{BufferPool, PolicyKind, PoolSnapshot};
 pub use disk::{DiskManager, IoSnapshot};
 pub use heap::HeapFile;
 pub use page::{PageId, Rid, INVALID_PAGE_ID, PAGE_SIZE};

@@ -58,6 +58,26 @@ fn main() {
     let rho = spearman(&pairs);
     println!("\nSpearman rank correlation (est cost vs measured io): {rho:.3}");
     println!("The model's job is *ordering* plans correctly, not absolute accuracy.");
+
+    // Second half of the feedback loop: cardinality estimation error. Run
+    // each query instrumented and report the worst per-operator q-error —
+    // how far the selectivity model drifted from the rows operators
+    // actually produced.
+    db.set_strategy(Strategy::SystemR);
+    println!(
+        "\n{:<18} {:>10} {:>12} {:>12}",
+        "query", "operators", "root q-err", "max q-err"
+    );
+    for (label, sql) in &queries {
+        let (_, metrics) = db.query_with_metrics(sql).expect("instrumented run");
+        println!(
+            "{label:<18} {:>10} {:>12.2} {:>12.2}",
+            metrics.operators.len(),
+            metrics.root().q_error(),
+            metrics.max_q_error()
+        );
+    }
+    println!("\nq-error = max(est/actual, actual/est) per operator; 1.00 is exact.");
 }
 
 fn spearman(pairs: &[(f64, f64)]) -> f64 {

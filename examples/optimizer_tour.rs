@@ -26,8 +26,8 @@ fn main() {
 
     let model = db.optimizer_config().cost_model;
     println!(
-        "{:<14} {:>12} {:>10} {:>8}  {:<28} {}",
-        "strategy", "est cost", "plan µs", "io", "join methods", "join order"
+        "{:<14} {:>12} {:>10} {:>8}  {:<28} join order",
+        "strategy", "est cost", "plan µs", "io", "join methods"
     );
     for strategy in [
         Strategy::SystemR,

@@ -126,7 +126,7 @@ fn run_sql(db: &Database, sql: &str) {
         Err(e) => println!("{e}"),
         Ok((result, io)) => {
             match result {
-                QueryResult::Rows { schema, rows } => {
+                QueryResult::Rows { schema, rows, .. } => {
                     let header: Vec<String> = schema
                         .columns()
                         .iter()

@@ -20,7 +20,6 @@ struct TableSpec {
     name: String,
     /// (column name, is_int) — string columns otherwise.
     columns: Vec<(String, bool)>,
-    rows: usize,
     /// Domain of int columns (values in 0..domain).
     domain: i64,
 }
@@ -72,7 +71,6 @@ fn build_world(rng: &mut StdRng) -> World {
         tables.push(TableSpec {
             name,
             columns,
-            rows,
             domain,
         });
     }

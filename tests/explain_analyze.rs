@@ -1,0 +1,151 @@
+//! Regression tests for the observability layer: `EXPLAIN ANALYZE` output
+//! shape, agreement between instrumented and plain execution, and q-error
+//! behaviour on perfectly-ANALYZEd data.
+
+use evopt::{Database, Tuple, Value};
+
+/// Two joined tables, indexed and ANALYZEd — big enough that plans have a
+/// few operators, small enough to stay fast.
+fn fixture() -> Database {
+    let db = Database::with_defaults();
+    db.execute("CREATE TABLE dept (id INT NOT NULL, name STRING NOT NULL)")
+        .unwrap();
+    db.execute(
+        "CREATE TABLE emp (id INT NOT NULL, dept_id INT NOT NULL, \
+         salary INT NOT NULL)",
+    )
+    .unwrap();
+    let depts: Vec<Tuple> = (0..10)
+        .map(|i| Tuple::new(vec![Value::Int(i), Value::Str(format!("dept-{i}"))]))
+        .collect();
+    db.insert_tuples("dept", &depts).unwrap();
+    let emps: Vec<Tuple> = (0..600)
+        .map(|i| {
+            Tuple::new(vec![
+                Value::Int(i),
+                Value::Int(i % 10),
+                Value::Int(1000 + (i * 37) % 4000),
+            ])
+        })
+        .collect();
+    db.insert_tuples("emp", &emps).unwrap();
+    db.execute("CREATE UNIQUE INDEX emp_id ON emp (id)").unwrap();
+    db.execute("ANALYZE").unwrap();
+    db
+}
+
+#[test]
+fn explain_analyze_output_shape() {
+    let db = fixture();
+    let text = db
+        .explain_analyze(
+            "SELECT d.name, COUNT(*) FROM emp e \
+             JOIN dept d ON e.dept_id = d.id GROUP BY d.name",
+        )
+        .unwrap();
+    // Plan sections first, then the measured annotation block.
+    assert!(text.contains("== logical =="), "{text}");
+    assert!(text.contains("== physical"), "{text}");
+    assert!(text.contains("== measured =="), "{text}");
+    // Every operator line carries the estimate-vs-actual annotation.
+    for needle in [
+        "est rows=",
+        "actual rows=",
+        "q-err=",
+        "nexts=",
+        "time=",
+        "pool=",
+        "disk r/w=",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+    // Query-level totals.
+    assert!(text.contains("== query totals =="), "{text}");
+    assert!(text.contains("hit rate"), "{text}");
+    assert!(text.contains("page reads"), "{text}");
+    assert!(text.contains("page writes"), "{text}");
+    assert!(text.contains("max q-error:"), "{text}");
+    assert!(text.contains("rows: 10"), "{text}");
+}
+
+#[test]
+fn instrumented_rows_match_plain_query() {
+    let db = fixture();
+    // One query per plan shape: scan, filter, join, aggregate.
+    let queries = [
+        "SELECT * FROM emp",
+        "SELECT * FROM emp WHERE salary > 3000",
+        "SELECT e.id, d.name FROM emp e JOIN dept d ON e.dept_id = d.id",
+        "SELECT dept_id, COUNT(*), SUM(salary) FROM emp GROUP BY dept_id",
+    ];
+    for sql in queries {
+        let plain = db.query(sql).unwrap();
+        let (instrumented, metrics) = db.query_with_metrics(sql).unwrap();
+        assert_eq!(plain, instrumented, "row mismatch for {sql}");
+        // The root operator's actual_rows is the result cardinality.
+        assert_eq!(
+            metrics.root().actual_rows as usize,
+            plain.len(),
+            "root actual_rows mismatch for {sql}"
+        );
+        // One metric slot per plan node, and a fully drained root sees one
+        // trailing None after its rows.
+        let (_, physical) = db.plan_sql(sql).unwrap();
+        assert_eq!(metrics.operators.len(), physical.node_count(), "{sql}");
+        assert_eq!(
+            metrics.root().next_calls,
+            metrics.root().actual_rows + 1,
+            "{sql}"
+        );
+    }
+}
+
+#[test]
+fn query_result_carries_metrics() {
+    let db = fixture();
+    // The plain path attaches no metrics...
+    let plain = db.execute("SELECT * FROM dept").unwrap();
+    assert!(plain.metrics().is_none());
+    // ...the analyzed path populates them.
+    let analyzed = db.execute_analyzed("SELECT * FROM dept").unwrap();
+    let metrics = analyzed.metrics().expect("analyzed result has metrics");
+    assert_eq!(metrics.root().actual_rows, 10);
+    assert!(metrics.elapsed.as_nanos() > 0);
+    // Equality ignores metrics: same rows compare equal either way.
+    assert_eq!(plain, analyzed);
+}
+
+#[test]
+fn q_error_is_one_on_analyzed_uniform_table() {
+    // A perfectly uniform, freshly ANALYZEd table: the optimizer's
+    // cardinality estimates should be exact, so every operator's q-error
+    // is 1.0.
+    let db = Database::with_defaults();
+    db.execute("CREATE TABLE u (k INT NOT NULL, v INT NOT NULL)").unwrap();
+    let rows: Vec<Tuple> = (0..1000)
+        .map(|i| Tuple::new(vec![Value::Int(i % 50), Value::Int(i)]))
+        .collect();
+    db.insert_tuples("u", &rows).unwrap();
+    db.execute("ANALYZE").unwrap();
+    // Full scan: estimate must equal the exact row count.
+    let (got, metrics) = db.query_with_metrics("SELECT * FROM u").unwrap();
+    assert_eq!(got.len(), 1000);
+    assert_eq!(metrics.root().est_rows, 1000.0);
+    assert_eq!(metrics.root().q_error(), 1.0);
+    assert_eq!(metrics.max_q_error(), 1.0);
+}
+
+#[test]
+fn pool_and_disk_totals_are_consistent() {
+    let db = fixture();
+    let (_, metrics) = db
+        .query_with_metrics("SELECT * FROM emp WHERE salary > 2000")
+        .unwrap();
+    // The root's inclusive counters cannot exceed the query totals, and a
+    // table this size must touch the pool at least once.
+    assert!(metrics.pool_hits + metrics.pool_misses > 0);
+    assert!(metrics.root().pool_hits <= metrics.pool_hits);
+    assert!(metrics.root().pool_misses <= metrics.pool_misses);
+    assert!(metrics.root().disk_reads <= metrics.disk_reads);
+    assert!(metrics.hit_rate() >= 0.0 && metrics.hit_rate() <= 1.0);
+}

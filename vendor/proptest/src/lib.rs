@@ -1,0 +1,501 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! subset of proptest its tests rely on: the `proptest!` macro, `Strategy`
+//! with `prop_map` / `prop_filter` / `prop_recursive`, `prop_oneof!`, `Just`,
+//! `any::<T>()`, numeric-range and string strategies, and
+//! `prop::collection::vec`. Cases are generated from a deterministic
+//! per-case RNG; there is **no shrinking** — a failing case panics with the
+//! generated inputs left to the assertion message.
+
+pub mod test_runner {
+    /// Runner configuration. Only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Real proptest defaults to 256; 64 keeps debug-mode suites fast
+            // while still exercising plenty of the space.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// SplitMix64-fed xorshift generator, seeded per test case.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn for_case(case: u32) -> TestRng {
+            // Golden-ratio stride decorrelates consecutive cases.
+            TestRng {
+                state: 0xB5AD_4ECE_DA1C_E2A9
+                    ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        pub fn below(&mut self, n: usize) -> usize {
+            assert!(n > 0, "below(0)");
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::rc::Rc;
+
+    /// A generator of values. Unlike real proptest there is no value tree —
+    /// `generate` draws a fresh value directly.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U, F>(self, f: F) -> BoxedStrategy<U>
+        where
+            Self: Sized + 'static,
+            F: Fn(Self::Value) -> U + 'static,
+        {
+            let inner = self;
+            BoxedStrategy::from_fn(move |rng| f(inner.generate(rng)))
+        }
+
+        fn prop_filter<F>(self, reason: &'static str, pred: F) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            F: Fn(&Self::Value) -> bool + 'static,
+        {
+            let inner = self;
+            BoxedStrategy::from_fn(move |rng| {
+                for _ in 0..1000 {
+                    let v = inner.generate(rng);
+                    if pred(&v) {
+                        return v;
+                    }
+                }
+                panic!("prop_filter '{reason}' rejected 1000 candidates");
+            })
+        }
+
+        /// Build recursive values: `recurse` receives the strategy for the
+        /// next depth level; nesting bottoms out at `self` after `depth`
+        /// applications. `desired_size`/`expected_branch_size` are accepted
+        /// for API compatibility and ignored.
+        fn prop_recursive<F, S2>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2 + 'static,
+            S2: Strategy<Value = Self::Value> + 'static,
+        {
+            let mut cur = self.boxed();
+            for _ in 0..depth {
+                cur = recurse(cur).boxed();
+            }
+            cur
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            let inner = self;
+            BoxedStrategy::from_fn(move |rng| inner.generate(rng))
+        }
+    }
+
+    /// Type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T> {
+        gen: Rc<dyn Fn(&mut TestRng) -> T>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                gen: Rc::clone(&self.gen),
+            }
+        }
+    }
+
+    impl<T> BoxedStrategy<T> {
+        pub fn from_fn(f: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+            BoxedStrategy { gen: Rc::new(f) }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.gen)(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among boxed strategies (built by `prop_oneof!`).
+    pub fn one_of<T: 'static>(choices: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+        assert!(!choices.is_empty(), "prop_oneof! needs at least one arm");
+        BoxedStrategy::from_fn(move |rng| {
+            let i = rng.below(choices.len());
+            choices[i].generate(rng)
+        })
+    }
+
+    /// `any::<T>()` marker produced by [`super::arbitrary::any`].
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<fn() -> T>,
+    }
+
+    impl<T> Any<T> {
+        pub fn new() -> Self {
+            Any {
+                _marker: std::marker::PhantomData,
+            }
+        }
+    }
+
+    impl<T> Default for Any<T> {
+        fn default() -> Self {
+            Any::new()
+        }
+    }
+
+    impl<T: super::arbitrary::ArbitraryValue> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    // Numeric range strategies.
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let v = (rng.next_u64() as u128) % span;
+                    (lo as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.next_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for std::ops::RangeInclusive<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start() + rng.next_f64() * (self.end() - self.start())
+        }
+    }
+
+    /// String pattern strategy. Real proptest interprets `&str` as a regex;
+    /// this stand-in honours the common `.{lo,hi}` length form and otherwise
+    /// produces 0..32 chars. Characters are mostly printable ASCII with a
+    /// sprinkling of multi-byte code points to stress encoders.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (lo, hi) = parse_dot_repeat(self).unwrap_or((0, 32));
+            let len = lo + rng.below(hi - lo + 1);
+            let mut s = String::with_capacity(len);
+            for _ in 0..len {
+                let c = match rng.below(10) {
+                    0 => {
+                        // Arbitrary scalar value (skip surrogates).
+                        let v = (rng.next_u64() % 0x11_0000) as u32;
+                        char::from_u32(v).unwrap_or('\u{FFFD}')
+                    }
+                    1 => char::from_u32(0xA0 + rng.below(0x500) as u32).unwrap_or('é'),
+                    _ => (0x20u8 + rng.below(0x5F) as u8) as char,
+                };
+                s.push(c);
+            }
+            s
+        }
+    }
+
+    /// Parse `.{lo,hi}` → `(lo, hi)`.
+    fn parse_dot_repeat(pat: &str) -> Option<(usize, usize)> {
+        let rest = pat.strip_prefix(".{")?.strip_suffix('}')?;
+        let (lo, hi) = rest.split_once(',')?;
+        Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+    }
+
+    // Tuples of strategies are strategies over tuples.
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+);)*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A);
+        (A, B);
+        (A, B, C);
+        (A, B, C, D);
+        (A, B, C, D, E);
+        (A, B, C, D, E, F);
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Any;
+    use super::test_runner::TestRng;
+
+    /// Types with a canonical "anything goes" generator.
+    pub trait ArbitraryValue {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl ArbitraryValue for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl ArbitraryValue for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl ArbitraryValue for f64 {
+        /// Raw bit patterns: exercises infinities, NaN payloads, subnormals.
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            f64::from_bits(rng.next_u64())
+        }
+    }
+
+    impl ArbitraryValue for char {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            char::from_u32((rng.next_u64() % 0x11_0000) as u32).unwrap_or('\u{FFFD}')
+        }
+    }
+
+    pub fn any<T: ArbitraryValue>() -> Any<T> {
+        Any::new()
+    }
+}
+
+pub mod collection {
+    use super::strategy::{BoxedStrategy, Strategy};
+
+    /// Length specification for [`vec`]: a range or an exact length.
+    pub trait SizeSpec {
+        fn pick(&self, rng: &mut super::test_runner::TestRng) -> usize;
+    }
+
+    impl SizeSpec for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut super::test_runner::TestRng) -> usize {
+            assert!(self.start < self.end, "empty vec size range");
+            self.start + rng.below(self.end - self.start)
+        }
+    }
+
+    impl SizeSpec for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut super::test_runner::TestRng) -> usize {
+            self.start() + rng.below(self.end() - self.start() + 1)
+        }
+    }
+
+    impl SizeSpec for usize {
+        fn pick(&self, _rng: &mut super::test_runner::TestRng) -> usize {
+            *self
+        }
+    }
+
+    /// Vectors of `len ∈ size` elements drawn from `element`.
+    pub fn vec<S>(element: S, size: impl SizeSpec + 'static) -> BoxedStrategy<Vec<S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        BoxedStrategy::from_fn(move |rng| {
+            let n = size.pick(rng);
+            (0..n).map(|_| element.generate(rng)).collect()
+        })
+    }
+}
+
+pub mod prelude {
+    pub use super::arbitrary::any;
+    pub use super::strategy::{BoxedStrategy, Just, Strategy};
+    pub use super::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    /// `prop::collection::vec(...)`-style paths.
+    pub use crate as prop;
+}
+
+/// Define property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a test running `cases` deterministic random iterations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                for __case in 0..__cfg.cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(__case);
+                    $( let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng); )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::one_of(vec![$($crate::strategy::Strategy::boxed($s)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn determinism_per_case() {
+        let s = prop::collection::vec(0i64..100, 1..10);
+        let mut r1 = crate::test_runner::TestRng::for_case(5);
+        let mut r2 = crate::test_runner::TestRng::for_case(5);
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+
+    #[test]
+    fn oneof_and_map_compose() {
+        let s = prop_oneof![Just(1i64), (10i64..20).prop_map(|v| v * 2)];
+        let mut rng = crate::test_runner::TestRng::for_case(0);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(v == 1 || (20..40).contains(&v), "got {v}");
+        }
+    }
+
+    #[test]
+    fn string_pattern_respects_bounds() {
+        let s = ".{0,64}";
+        let mut rng = crate::test_runner::TestRng::for_case(1);
+        for _ in 0..200 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!(v.chars().count() <= 64);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_binds_multiple_args(a in 0i64..10, b in prop::collection::vec(any::<bool>(), 0..4)) {
+            prop_assert!((0..10).contains(&a));
+            prop_assert!(b.len() < 4);
+        }
+    }
+}
