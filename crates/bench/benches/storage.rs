@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use evopt_common::{Tuple, Value};
-use evopt_storage::{BTreeIndex, BufferPool, DiskManager, HeapFile, PolicyKind};
+use evopt_storage::{BTreeIndex, BufferPool, DiskBackend, DiskManager, HeapFile, PolicyKind};
 
 fn bench_btree_probe(c: &mut Criterion) {
     let pool = BufferPool::new(Arc::new(DiskManager::new()), 256, PolicyKind::Lru);
@@ -51,7 +51,7 @@ fn bench_pool_policies(c: &mut Criterion) {
             &policy,
             |b, &policy| {
                 let disk = Arc::new(DiskManager::new());
-                let pool = BufferPool::new(Arc::clone(&disk), 64, policy);
+                let pool = BufferPool::new(Arc::clone(&disk) as Arc<dyn DiskBackend>, 64, policy);
                 let ids: Vec<_> = (0..80).map(|_| pool.new_page().unwrap().id()).collect();
                 b.iter(|| {
                     for &id in &ids {

@@ -24,6 +24,16 @@ pub enum EvoptError {
     Catalog(String),
     /// Runtime execution failure (type mismatch at eval time, overflow, ...).
     Execution(String),
+    /// A physical I/O operation failed (device error, possibly transient).
+    Io(String),
+    /// Page integrity check failed: the bytes read back do not match the
+    /// checksum stamped when the page was last written (torn write, bit rot).
+    Corruption(String),
+    /// The query was cancelled via its cancellation token.
+    Canceled(String),
+    /// The query exceeded a resource budget (wall-clock timeout, max rows,
+    /// max page accesses) imposed by the resource governor.
+    ResourceExhausted(String),
     /// An internal invariant that should be unreachable; indicates a bug.
     Internal(String),
 }
@@ -38,8 +48,26 @@ impl EvoptError {
             EvoptError::Storage(_) => "storage",
             EvoptError::Catalog(_) => "catalog",
             EvoptError::Execution(_) => "execution",
+            EvoptError::Io(_) => "io",
+            EvoptError::Corruption(_) => "corruption",
+            EvoptError::Canceled(_) => "canceled",
+            EvoptError::ResourceExhausted(_) => "resource_exhausted",
             EvoptError::Internal(_) => "internal",
         }
+    }
+
+    /// Whether this error is one of the typed failure classes a fault-aware
+    /// caller is expected to handle gracefully (as opposed to a bug class
+    /// like `Internal` or a user error like `Parse`).
+    pub fn is_fault(&self) -> bool {
+        matches!(
+            self,
+            EvoptError::Io(_)
+                | EvoptError::Corruption(_)
+                | EvoptError::Canceled(_)
+                | EvoptError::ResourceExhausted(_)
+                | EvoptError::Storage(_)
+        )
     }
 
     /// The human-readable message carried by the error.
@@ -51,6 +79,10 @@ impl EvoptError {
             | EvoptError::Storage(m)
             | EvoptError::Catalog(m)
             | EvoptError::Execution(m)
+            | EvoptError::Io(m)
+            | EvoptError::Corruption(m)
+            | EvoptError::Canceled(m)
+            | EvoptError::ResourceExhausted(m)
             | EvoptError::Internal(m) => m,
         }
     }
@@ -85,6 +117,17 @@ mod tests {
     }
 
     #[test]
+    fn fault_classes_are_distinguished_from_bug_classes() {
+        assert!(EvoptError::Io("disk died".into()).is_fault());
+        assert!(EvoptError::Corruption("bad crc".into()).is_fault());
+        assert!(EvoptError::Canceled("user".into()).is_fault());
+        assert!(EvoptError::ResourceExhausted("timeout".into()).is_fault());
+        assert!(EvoptError::Storage("pool exhausted".into()).is_fault());
+        assert!(!EvoptError::Internal("bug".into()).is_fault());
+        assert!(!EvoptError::Parse("typo".into()).is_fault());
+    }
+
+    #[test]
     fn internal_err_macro_formats() {
         let e = internal_err!("bad page {}", 7);
         assert_eq!(e, EvoptError::Internal("bad page 7".into()));
@@ -99,6 +142,10 @@ mod tests {
             EvoptError::Storage(String::new()),
             EvoptError::Catalog(String::new()),
             EvoptError::Execution(String::new()),
+            EvoptError::Io(String::new()),
+            EvoptError::Corruption(String::new()),
+            EvoptError::Canceled(String::new()),
+            EvoptError::ResourceExhausted(String::new()),
             EvoptError::Internal(String::new()),
         ];
         let mut kinds: Vec<_> = all.iter().map(|e| e.kind()).collect();

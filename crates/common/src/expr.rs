@@ -661,7 +661,11 @@ fn eval_binary_scalar(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
                     BinOp::LtEq => ord != std::cmp::Ordering::Greater,
                     BinOp::Gt => ord == std::cmp::Ordering::Greater,
                     BinOp::GtEq => ord != std::cmp::Ordering::Less,
-                    _ => unreachable!("checked is_comparison"),
+                    _ => {
+                        return Err(EvoptError::Internal(format!(
+                            "{op:?} is not a comparison operator"
+                        )))
+                    }
                 };
                 Value::Bool(b)
             }

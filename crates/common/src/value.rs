@@ -268,7 +268,10 @@ impl Ord for Value {
             (Value::Int(a), Value::Float(b)) => (*a as f64).total_cmp(b),
             (Value::Float(a), Value::Int(b)) => a.total_cmp(&(*b as f64)),
             (Value::Str(a), Value::Str(b)) => a.cmp(b),
-            _ => unreachable!("class ranks matched but variants disagree"),
+            // Unreachable while class_rank stays in sync with the variant
+            // list; Equal keeps Ord total (and sorting panic-free) even if
+            // it drifts.
+            _ => Ordering::Equal,
         }
     }
 }

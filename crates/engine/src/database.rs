@@ -8,11 +8,17 @@ use evopt_common::{
 };
 use evopt_core::physical::PhysicalPlan;
 use evopt_core::{CostModel, Optimizer, OptimizerConfig, Strategy};
-use evopt_exec::{run_collect, run_collect_instrumented, ExecEnv, QueryMetrics};
+use evopt_exec::{
+    run_collect, run_collect_governed, run_collect_instrumented, CancellationToken, ExecEnv,
+    GovernorConfig, QueryMetrics,
+};
 use evopt_plan::LogicalPlan;
 use evopt_sql::ast::{AstExpr, Statement};
 use evopt_sql::{bind_select, parse};
-use evopt_storage::{BufferPool, DiskManager, IoSnapshot, PolicyKind, PoolSnapshot};
+use evopt_storage::{
+    BufferPool, DiskBackend, DiskManager, FaultConfig, FaultInjector, IoSnapshot, PolicyKind,
+    PoolSnapshot,
+};
 // Non-poisoning mutex (the vendored stand-in recovers poisoned state via
 // `into_inner`): a panicking config writer can't brick later queries, and
 // the config copy held under the lock is plain data — no invariants to
@@ -26,6 +32,13 @@ pub struct DatabaseConfig {
     pub policy: PolicyKind,
     pub optimizer: OptimizerConfig,
     pub analyze: AnalyzeConfig,
+    /// Fault-injection schedule for the underlying disk. `None` (the
+    /// default) runs on a plain in-memory disk; `Some` wraps it in a
+    /// deterministic [`FaultInjector`] — the chaos suite's entry point.
+    pub faults: Option<FaultConfig>,
+    /// Session-default resource limits applied to every SELECT run through
+    /// [`Database::execute`]. Unlimited by default.
+    pub governor: GovernorConfig,
 }
 
 impl Default for DatabaseConfig {
@@ -35,6 +48,8 @@ impl Default for DatabaseConfig {
             policy: PolicyKind::Lru,
             optimizer: OptimizerConfig::default(),
             analyze: AnalyzeConfig::default(),
+            faults: None,
+            governor: GovernorConfig::default(),
         }
     }
 }
@@ -103,7 +118,10 @@ impl QueryResult {
 
 /// A complete single-node database instance.
 pub struct Database {
-    disk: Arc<DiskManager>,
+    disk: Arc<dyn DiskBackend>,
+    /// Present when the database was built with `config.faults`: the same
+    /// object as `disk`, retyped for fault-schedule control.
+    injector: Option<Arc<FaultInjector>>,
     pool: Arc<BufferPool>,
     catalog: Arc<Catalog>,
     config: Mutex<DatabaseConfig>,
@@ -118,11 +136,20 @@ impl Database {
 
 impl Database {
     pub fn new(config: DatabaseConfig) -> Database {
-        let disk = Arc::new(DiskManager::new());
+        let base: Arc<dyn DiskBackend> = Arc::new(DiskManager::new());
+        let (disk, injector): (Arc<dyn DiskBackend>, Option<Arc<FaultInjector>>) =
+            match config.faults {
+                Some(faults) => {
+                    let inj = Arc::new(FaultInjector::new(base, faults));
+                    (Arc::clone(&inj) as Arc<dyn DiskBackend>, Some(inj))
+                }
+                None => (base, None),
+            };
         let pool = BufferPool::new(Arc::clone(&disk), config.buffer_pages, config.policy);
         let catalog = Arc::new(Catalog::new(Arc::clone(&pool)));
         Database {
             disk,
+            injector,
             pool,
             catalog,
             config: Mutex::new(config),
@@ -138,8 +165,21 @@ impl Database {
         &self.catalog
     }
 
-    pub fn disk(&self) -> &Arc<DiskManager> {
+    pub fn disk(&self) -> &Arc<dyn DiskBackend> {
         &self.disk
+    }
+
+    /// The fault injector, when the database was built with
+    /// `config.faults`. Use it to toggle the schedule (e.g. load clean,
+    /// then unleash faults) and to read the [`FaultReport`].
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.injector.as_ref()
+    }
+
+    /// Replace the session-default governor limits for subsequent
+    /// [`Database::execute`] calls.
+    pub fn set_governor(&self, governor: GovernorConfig) {
+        self.config.lock().governor = governor;
     }
 
     /// Current optimizer config (copy).
@@ -193,6 +233,28 @@ impl Database {
     pub fn query_with_metrics(&self, sql: &str) -> Result<(Vec<Tuple>, QueryMetrics)> {
         let (_, physical) = self.plan_sql(sql)?;
         self.run_plan_instrumented(&physical)
+    }
+
+    /// Run a SELECT under explicit resource governance.
+    ///
+    /// The rows (or the typed kill error — `Canceled`,
+    /// `ResourceExhausted`, `Io`, `Corruption`) come back alongside the
+    /// metrics the query accumulated up to that point, so a killed query
+    /// still reports what it did. Metrics are `None` only when the
+    /// statement failed before execution (parse/bind/optimize).
+    pub fn query_governed(
+        &self,
+        sql: &str,
+        governor: GovernorConfig,
+        token: CancellationToken,
+    ) -> (Result<Vec<Tuple>>, Option<QueryMetrics>) {
+        let physical = match self.plan_sql(sql) {
+            Ok((_, physical)) => physical,
+            Err(e) => return (Err(e), None),
+        };
+        let (rows, metrics) =
+            run_collect_governed(&physical, &self.exec_env(), governor, token);
+        (rows, Some(metrics))
     }
 
     /// Run a SELECT instrumented and return the full [`QueryResult::Rows`]
@@ -345,11 +407,27 @@ impl Database {
             Statement::Select(sel) => {
                 let logical = bind_select(sel, &self.schema_provider())?;
                 let physical = self.optimize(&logical)?;
-                let rows = self.run_plan(&physical)?;
+                let governor = self.config.lock().governor;
+                if governor.is_unlimited() {
+                    let rows = self.run_plan(&physical)?;
+                    return Ok(QueryResult::Rows {
+                        schema: physical.schema.clone(),
+                        rows,
+                        metrics: None,
+                    });
+                }
+                // Session-governed SELECT: run under the limits; the
+                // instrumented metrics ride along on success.
+                let (rows, metrics) = run_collect_governed(
+                    &physical,
+                    &self.exec_env(),
+                    governor,
+                    CancellationToken::new(),
+                );
                 Ok(QueryResult::Rows {
                     schema: physical.schema.clone(),
-                    rows,
-                    metrics: None,
+                    rows: rows?,
+                    metrics: Some(Box::new(metrics)),
                 })
             }
             Statement::CreateTable { name, columns } => {

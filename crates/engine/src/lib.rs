@@ -26,5 +26,7 @@ pub mod database;
 pub use database::{Database, DatabaseConfig, QueryResult};
 pub use evopt_catalog::{AnalyzeConfig, HistogramKind};
 pub use evopt_core::{CostModel, Strategy};
-pub use evopt_exec::{OperatorMetrics, QueryMetrics};
-pub use evopt_storage::{IoSnapshot, PolicyKind, PoolSnapshot};
+pub use evopt_exec::{CancellationToken, GovernorConfig, OperatorMetrics, QueryMetrics};
+pub use evopt_storage::{
+    FaultConfig, FaultInjector, FaultReport, IoSnapshot, PolicyKind, PoolSnapshot,
+};

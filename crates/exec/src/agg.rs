@@ -10,7 +10,7 @@ use std::collections::HashMap;
 use evopt_common::{AggFunc, EvoptError, Result, Schema, Tuple, Value};
 use evopt_core::physical::PhysAgg;
 
-use crate::executor::Executor;
+use crate::executor::{invariant, Executor};
 
 /// One running aggregate.
 #[derive(Debug, Clone)]
@@ -130,7 +130,7 @@ impl HashAggregateExec {
     }
 
     fn compute(&mut self) -> Result<()> {
-        let mut input = self.input.take().expect("computed once");
+        let mut input = invariant(self.input.take(), "aggregate computed only once")?;
         let mut groups: HashMap<Vec<Value>, Vec<Accumulator>> = HashMap::new();
         // Keep first-seen order for deterministic output.
         let mut order: Vec<Vec<Value>> = Vec::new();
@@ -187,7 +187,7 @@ impl Executor for HashAggregateExec {
         if self.results.is_none() {
             self.compute()?;
         }
-        Ok(self.results.as_mut().expect("computed").next())
+        Ok(invariant(self.results.as_mut(), "aggregate results computed")?.next())
     }
 }
 
@@ -241,11 +241,11 @@ impl SortAggregateExec {
         Ok(())
     }
 
-    fn emit(&mut self) -> Tuple {
-        let key = self.current_key.take().expect("group open");
+    fn emit(&mut self) -> Result<Tuple> {
+        let key = invariant(self.current_key.take(), "group open at emit")?;
         let mut values = key;
         values.extend(self.accs.iter().map(|a| a.finish()));
-        Tuple::new(values)
+        Ok(Tuple::new(values))
     }
 }
 
@@ -263,7 +263,7 @@ impl Executor for SortAggregateExec {
                 None => {
                     self.done = true;
                     if self.current_key.is_some() {
-                        return Ok(Some(self.emit()));
+                        return Ok(Some(self.emit()?));
                     }
                     // Ungrouped aggregate over empty input: one default row.
                     if self.group_by.is_empty() {
@@ -287,7 +287,7 @@ impl Executor for SortAggregateExec {
                             self.feed(&t)?;
                         }
                         Some(_) => {
-                            let finished = self.emit();
+                            let finished = self.emit()?;
                             self.current_key = Some(key);
                             self.accs = self.fresh_accs();
                             self.feed(&t)?;

@@ -7,6 +7,7 @@ use evopt_catalog::Catalog;
 use evopt_common::{Result, Schema, Tuple};
 use evopt_core::physical::{PhysOp, PhysicalPlan};
 
+use crate::governor::{CancellationToken, GovernedExec, GovernorConfig, QueryGovernor};
 use crate::metrics::{InstrumentedExec, MetricsRegistry, QueryMetrics};
 
 /// Execution environment shared by all operators of one query.
@@ -27,6 +28,15 @@ impl ExecEnv {
     }
 }
 
+/// Unwrap a state option an operator establishes by construction. A `None`
+/// is an executor bug — surfaced as `EvoptError::Internal` instead of a
+/// panic so a fault mid-query can never take the process down.
+pub(crate) fn invariant<T>(opt: Option<T>, what: &str) -> Result<T> {
+    opt.ok_or_else(|| {
+        evopt_common::EvoptError::Internal(format!("executor state invariant violated: {what}"))
+    })
+}
+
 /// A Volcano iterator: produces tuples one at a time.
 pub trait Executor {
     /// Output schema.
@@ -37,7 +47,7 @@ pub trait Executor {
 
 /// Instantiate the operator tree for `plan`.
 pub fn build_executor(plan: &PhysicalPlan, env: &ExecEnv) -> Result<Box<dyn Executor>> {
-    build_node(plan, env, None)
+    build_node(plan, env, None, None)
 }
 
 /// Instantiate `plan` with every operator wrapped in an
@@ -48,22 +58,26 @@ pub fn build_instrumented(
     env: &ExecEnv,
 ) -> Result<(Box<dyn Executor>, MetricsRegistry)> {
     let registry = MetricsRegistry::for_plan(plan);
-    let exec = build_node(plan, env, Some((&registry, 0)))?;
+    let exec = build_node(plan, env, Some((&registry, 0)), None)?;
     Ok((exec, registry))
 }
 
 /// Shared builder. When `instr` is set, `idx` is this node's pre-order index
 /// in the registry; children are built at their own pre-order offsets and
-/// every constructed operator is wrapped with its metric slot.
+/// every constructed operator is wrapped with its metric slot. When `gov` is
+/// set, every operator is additionally wrapped in a [`GovernedExec`] so a
+/// cancel/timeout/budget kill lands within one `next()` call anywhere in the
+/// tree.
 fn build_node(
     plan: &PhysicalPlan,
     env: &ExecEnv,
     instr: Option<(&MetricsRegistry, usize)>,
+    gov: Option<&Arc<QueryGovernor>>,
 ) -> Result<Box<dyn Executor>> {
     // Build the `offset`-th pre-order successor of this node (1 = first
     // child; 1 + first_child.node_count() = second child).
     let child = |c: &PhysicalPlan, offset: usize| -> Result<Box<dyn Executor>> {
-        build_node(c, env, instr.map(|(reg, idx)| (reg, idx + offset)))
+        build_node(c, env, instr.map(|(reg, idx)| (reg, idx + offset)), gov)
     };
     let exec: Box<dyn Executor> = match &plan.op {
         PhysOp::SeqScan { table, filter } => Box::new(crate::scan::SeqScanExec::new(
@@ -111,11 +125,13 @@ fn build_node(
             let right_env = env.clone();
             let right_instr =
                 instr.map(|(reg, idx)| (reg.clone(), idx + 1 + left.node_count()));
+            let right_gov = gov.cloned();
             let right_builder = move || {
                 build_node(
                     &right_plan,
                     &right_env,
                     right_instr.as_ref().map(|(reg, idx)| (reg, *idx)),
+                    right_gov.as_ref(),
                 )
             };
             Box::new(crate::join::NestedLoopJoinExec::new(
@@ -208,6 +224,13 @@ fn build_node(
             plan.schema.clone(),
         )),
     };
+    // Governor check innermost, instrumentation outermost: the `next()`
+    // call that trips the governor is still metered, so killed queries
+    // report accurate partial metrics.
+    let exec: Box<dyn Executor> = match gov {
+        Some(governor) => Box::new(GovernedExec::new(exec, Arc::clone(governor))),
+        None => exec,
+    };
     Ok(match instr {
         Some((registry, idx)) => Box::new(InstrumentedExec::new(
             exec,
@@ -248,4 +271,40 @@ pub fn run_collect_instrumented(
     let io_delta = pool.disk().snapshot().since(&io_before);
     let metrics = QueryMetrics::collect(plan, &registry, elapsed, pool_delta, io_delta);
     Ok((out, metrics))
+}
+
+/// Build, instrument, govern, and drain a plan.
+///
+/// Unlike [`run_collect_instrumented`], the [`QueryMetrics`] come back even
+/// when the query dies — canceled, timed out, over budget, or killed by an
+/// I/O fault — so a killed query still reports what it did up to the kill.
+/// The error (if any) and the metrics are returned side by side.
+pub fn run_collect_governed(
+    plan: &PhysicalPlan,
+    env: &ExecEnv,
+    config: GovernorConfig,
+    token: CancellationToken,
+) -> (Result<Vec<Tuple>>, QueryMetrics) {
+    let pool = Arc::clone(env.catalog.pool());
+    let governor = Arc::new(QueryGovernor::new(config, token, Arc::clone(&pool)));
+    let pool_before = pool.stats();
+    let io_before = pool.disk().snapshot();
+    let start = Instant::now();
+    let registry = MetricsRegistry::for_plan(plan);
+    let result = (|| {
+        let mut exec = build_node(plan, env, Some((&registry, 0)), Some(&governor))?;
+        let mut out = Vec::new();
+        while let Some(t) = exec.next()? {
+            // The row budget is counted at the root drain: rows the query
+            // *returns*, not intermediate tuples.
+            governor.record_row()?;
+            out.push(t);
+        }
+        Ok(out)
+    })();
+    let elapsed = start.elapsed();
+    let pool_delta = pool.stats().since(&pool_before);
+    let io_delta = pool.disk().snapshot().since(&io_before);
+    let metrics = QueryMetrics::collect(plan, &registry, elapsed, pool_delta, io_delta);
+    (result, metrics)
 }

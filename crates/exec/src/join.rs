@@ -24,7 +24,7 @@ use evopt_common::{EvoptError, Expr, Result, Schema, Tuple, Value};
 use evopt_storage::heap::HeapScan;
 use evopt_storage::HeapFile;
 
-use crate::executor::{ExecEnv, Executor};
+use crate::executor::{invariant, ExecEnv, Executor};
 
 /// Usable bytes per page for blocking decisions.
 const USABLE_PAGE_BYTES: usize = 4084;
@@ -87,8 +87,8 @@ impl Executor for NestedLoopJoinExec {
                 }
                 self.right = Some((self.right_builder)()?);
             }
-            let lt = self.current_left.as_ref().expect("set above");
-            let right = self.right.as_mut().expect("opened with left");
+            let lt = invariant(self.current_left.as_ref(), "outer row set before inner drain")?;
+            let right = invariant(self.right.as_mut(), "inner opened with outer row")?;
             while let Some(rt) = right.next()? {
                 let combined = lt.join(&rt);
                 if passes(&self.predicate, &combined)? {
@@ -149,7 +149,7 @@ impl BlockNestedLoopJoinExec {
 
     fn materialise_inner(&mut self) -> Result<()> {
         let heap = Arc::new(HeapFile::create(Arc::clone(self.env.catalog.pool()))?);
-        let mut right = self.right.take().expect("inner taken once");
+        let mut right = invariant(self.right.take(), "inner materialised only once")?;
         while let Some(t) = right.next()? {
             heap.insert(&t)?;
         }
@@ -191,11 +191,11 @@ impl Executor for BlockNestedLoopJoinExec {
             if !self.load_block()? {
                 return Ok(None);
             }
-            self.inner_scan = Some(self.temp.as_ref().expect("built").scan());
+            self.inner_scan = Some(invariant(self.temp.as_ref(), "inner heap built")?.scan());
         }
         loop {
             if self.current_inner.is_none() {
-                let scan = self.inner_scan.as_mut().expect("scan open");
+                let scan = invariant(self.inner_scan.as_mut(), "inner scan open")?;
                 match scan.next().transpose()? {
                     Some((_, t)) => {
                         self.current_inner = Some(t);
@@ -206,12 +206,13 @@ impl Executor for BlockNestedLoopJoinExec {
                         if !self.load_block()? {
                             return Ok(None);
                         }
-                        self.inner_scan = Some(self.temp.as_ref().expect("built").scan());
+                        self.inner_scan =
+                            Some(invariant(self.temp.as_ref(), "inner heap built")?.scan());
                         continue;
                     }
                 }
             }
-            let rt = self.current_inner.as_ref().expect("set above");
+            let rt = invariant(self.current_inner.as_ref(), "inner row set")?;
             while self.block_pos < self.block.len() {
                 let lt = &self.block[self.block_pos];
                 self.block_pos += 1;
@@ -413,7 +414,7 @@ impl Executor for SortMergeJoinExec {
                 }
             }
             let lkey = {
-                let lt = self.current_left.as_ref().expect("set above");
+                let lt = invariant(self.current_left.as_ref(), "left row set")?;
                 lt.value(self.left_key)?.clone()
             };
             if lkey.is_null() {
@@ -432,7 +433,7 @@ impl Executor for SortMergeJoinExec {
             }
             match &self.group_key {
                 Some(k) if *k == lkey => {
-                    let lt = self.current_left.as_ref().expect("set above").clone();
+                    let lt = invariant(self.current_left.as_ref(), "left row set")?.clone();
                     while self.group_pos < self.group.len() {
                         let rt = &self.group[self.group_pos];
                         self.group_pos += 1;
@@ -510,7 +511,7 @@ impl HashJoinExec {
     }
 
     fn build(&mut self) -> Result<()> {
-        let mut right = self.right.take().expect("build once");
+        let mut right = invariant(self.right.take(), "build side consumed only once")?;
         let mut build_rows: Vec<Tuple> = Vec::new();
         let mut bytes = 0usize;
         while let Some(t) = right.next()? {
@@ -544,7 +545,7 @@ impl HashJoinExec {
             right_parts[partition_of(k, parts)].insert(&t)?;
         }
         let left_parts = mk_parts()?;
-        let mut left = self.left.take().expect("probe side present");
+        let mut left = invariant(self.left.take(), "probe side present for Grace split")?;
         while let Some(t) = left.next()? {
             let k = t.value(self.left_key)?;
             if k.is_null() {
@@ -606,9 +607,13 @@ impl Executor for HashJoinExec {
                 return Ok(Some(t));
             }
             match &mut self.state {
-                HashJoinState::Init => unreachable!("built above"),
+                HashJoinState::Init => {
+                    return Err(EvoptError::Internal(
+                        "hash join probed before build".into(),
+                    ))
+                }
                 HashJoinState::InMemory { map } => {
-                    let left = self.left.as_mut().expect("in-memory keeps probe");
+                    let left = invariant(self.left.as_mut(), "in-memory join keeps probe side")?;
                     let Some(lt) = left.next()? else {
                         return Ok(None);
                     };
@@ -641,7 +646,7 @@ impl Executor for HashJoinExec {
                         *probe = Some(left_parts[*part].scan());
                         *part += 1;
                     }
-                    let scan = probe.as_mut().expect("set above");
+                    let scan = invariant(probe.as_mut(), "partition probe scan open")?;
                     match scan.next().transpose()? {
                         Some((_, lt)) => {
                             Self::probe_matches(

@@ -12,10 +12,17 @@
 //! predictions (T5, F4).
 //!
 //! Entry points: [`build_executor`] to instantiate a plan, [`run_collect`]
-//! to drain it into a vector.
+//! to drain it into a vector, [`run_collect_governed`] to drain it under a
+//! [`governor::QueryGovernor`] (cancellation, timeout, row/page budgets)
+//! while still collecting partial metrics if the query is killed.
+
+// Library code must not panic on fault paths: unwrap/expect are banned
+// outside tests (each test module opts back in locally).
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod agg;
 pub mod executor;
+pub mod governor;
 pub mod join;
 pub mod metrics;
 pub mod scan;
@@ -23,8 +30,10 @@ pub mod simple;
 pub mod sort;
 
 pub use executor::{
-    build_executor, build_instrumented, run_collect, run_collect_instrumented, ExecEnv, Executor,
+    build_executor, build_instrumented, run_collect, run_collect_governed,
+    run_collect_instrumented, ExecEnv, Executor,
 };
+pub use governor::{CancellationToken, GovernorConfig, QueryGovernor};
 pub use metrics::{MetricsRegistry, OperatorMetrics, QueryMetrics};
 
 #[cfg(test)]

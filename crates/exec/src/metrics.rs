@@ -250,6 +250,7 @@ impl QueryMetrics {
         PoolSnapshot {
             hits: self.pool_hits,
             misses: self.pool_misses,
+            ..PoolSnapshot::default()
         }
         .hit_rate()
     }
@@ -316,6 +317,8 @@ fn fmt_duration(d: Duration) -> String {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
 
     fn op(est: f64, actual: u64) -> OperatorMetrics {

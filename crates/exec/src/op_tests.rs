@@ -2,6 +2,8 @@
 //! from physical plans (no optimizer involved) so each operator's semantics
 //! are pinned down in isolation.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::sync::Arc;
 
 use evopt_catalog::{analyze_table, AnalyzeConfig, Catalog};

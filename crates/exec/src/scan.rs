@@ -122,6 +122,8 @@ impl Executor for IndexScanExec {
 pub(crate) mod test_support {
     //! A small shared world for executor tests.
 
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use evopt_catalog::{analyze_table, AnalyzeConfig, Catalog};
     use evopt_common::{Column, DataType, Value};
@@ -199,6 +201,8 @@ pub(crate) mod test_support {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::test_support::*;
     use crate::executor::run_collect;
     use evopt_common::expr::{col, lit};

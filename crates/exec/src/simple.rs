@@ -106,6 +106,8 @@ impl Executor for LimitExec {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use crate::executor::run_collect;
     use crate::scan::test_support::{seq_plan, setup};
     use evopt_common::expr::{col, lit};

@@ -15,7 +15,7 @@ use evopt_common::{Result, Schema, Tuple, Value};
 use evopt_storage::heap::HeapScan;
 use evopt_storage::HeapFile;
 
-use crate::executor::{ExecEnv, Executor};
+use crate::executor::{invariant, ExecEnv, Executor};
 
 const USABLE_PAGE_BYTES: usize = 4084;
 
@@ -102,7 +102,7 @@ impl SortExec {
     }
 
     fn prepare(&mut self) -> Result<()> {
-        let mut input = self.input.take().expect("prepared once");
+        let mut input = invariant(self.input.take(), "sort prepared only once")?;
         let budget = self.budget();
         // Run formation.
         let mut runs: Vec<Arc<HeapFile>> = Vec::new();
@@ -202,7 +202,7 @@ impl Executor for SortExec {
         if let Some(iter) = &mut self.memory {
             return Ok(iter.next());
         }
-        let state = self.merge.as_mut().expect("prepared");
+        let state = invariant(self.merge.as_mut(), "merge state prepared")?;
         match state.heap.pop() {
             None => Ok(None),
             Some(entry) => {

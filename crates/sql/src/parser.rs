@@ -627,7 +627,11 @@ impl Parser {
                             "min" => AggFunc::Min,
                             "max" => AggFunc::Max,
                             "avg" => AggFunc::Avg,
-                            _ => unreachable!(),
+                            other => {
+                                return Err(EvoptError::Parse(format!(
+                                    "unknown aggregate function '{other}'"
+                                )))
+                            }
                         };
                         return Ok(AstExpr::AggCall {
                             func,

@@ -49,6 +49,17 @@ impl Key {
     }
 }
 
+/// Fixed-size view of `bytes` for `from_le_bytes`; a length mismatch is a
+/// deserialisation failure (truncated/corrupt node), not a panic.
+fn arr<const N: usize>(bytes: &[u8]) -> Result<[u8; N]> {
+    bytes.try_into().map_err(|_| {
+        EvoptError::Storage(format!(
+            "truncated b-tree field: expected {N} bytes, got {}",
+            bytes.len()
+        ))
+    })
+}
+
 fn encode_value(v: &Value) -> Vec<u8> {
     Tuple::new(vec![v.clone()]).encode()
 }
@@ -146,13 +157,13 @@ impl Node {
             Ok(s)
         };
         let ty = take(&mut pos, 1)?[0];
-        let count = u16::from_le_bytes(take(&mut pos, 2)?.try_into().expect("2")) as usize;
+        let count = u16::from_le_bytes(arr(take(&mut pos, 2)?)?) as usize;
         let read_key = |pos: &mut usize| -> Result<Key> {
             let klen =
-                u16::from_le_bytes(take(pos, 2)?.try_into().expect("2")) as usize;
+                u16::from_le_bytes(arr(take(pos, 2)?)?) as usize;
             let value = decode_value(take(pos, klen)?)?;
-            let page_id = u64::from_le_bytes(take(pos, 8)?.try_into().expect("8"));
-            let slot = u16::from_le_bytes(take(pos, 2)?.try_into().expect("2"));
+            let page_id = u64::from_le_bytes(arr(take(pos, 8)?)?);
+            let slot = u16::from_le_bytes(arr(take(pos, 2)?)?);
             Ok(Key {
                 value,
                 rid: Rid::new(page_id, slot),
@@ -160,7 +171,7 @@ impl Node {
         };
         match ty {
             0 => {
-                let next = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8"));
+                let next = u64::from_le_bytes(arr(take(&mut pos, 8)?)?);
                 let mut entries = Vec::with_capacity(count);
                 for _ in 0..count {
                     entries.push((read_key(&mut pos)?, ()));
@@ -170,9 +181,7 @@ impl Node {
             1 => {
                 let mut children = Vec::with_capacity(count + 1);
                 for _ in 0..=count {
-                    children.push(u64::from_le_bytes(
-                        take(&mut pos, 8)?.try_into().expect("8"),
-                    ));
+                    children.push(u64::from_le_bytes(arr(take(&mut pos, 8)?)?));
                 }
                 let mut keys = Vec::with_capacity(count);
                 for _ in 0..count {
@@ -202,15 +211,15 @@ impl Meta {
     }
 
     fn load(page: &PageData) -> Result<Meta> {
-        let magic = u64::from_le_bytes(page[0..8].try_into().expect("8"));
+        let magic = u64::from_le_bytes(arr(&page[0..8])?);
         if magic != META_MAGIC {
             return Err(EvoptError::Storage("not a b-tree meta page".into()));
         }
         Ok(Meta {
-            root: u64::from_le_bytes(page[8..16].try_into().expect("8")),
-            height: u32::from_le_bytes(page[16..20].try_into().expect("4")),
-            entry_count: u64::from_le_bytes(page[20..28].try_into().expect("8")),
-            page_count: u64::from_le_bytes(page[28..36].try_into().expect("8")),
+            root: u64::from_le_bytes(arr(&page[8..16])?),
+            height: u32::from_le_bytes(arr(&page[16..20])?),
+            entry_count: u64::from_le_bytes(arr(&page[20..28])?),
+            page_count: u64::from_le_bytes(arr(&page[28..36])?),
         })
     }
 }
@@ -360,7 +369,11 @@ impl BTreeIndex {
                 // Split: move the upper half to a fresh right sibling.
                 let (entries, next) = match &mut node {
                     Node::Leaf { entries, next } => (entries, next),
-                    _ => unreachable!(),
+                    _ => {
+                        return Err(EvoptError::Internal(
+                            "b-tree leaf changed variant mid-split".into(),
+                        ))
+                    }
                 };
                 let mid = entries.len() / 2;
                 let right_entries = entries.split_off(mid);
@@ -389,7 +402,11 @@ impl BTreeIndex {
                     }
                     let (keys, children) = match &mut node {
                         Node::Internal { keys, children } => (keys, children),
-                        _ => unreachable!(),
+                        _ => {
+                            return Err(EvoptError::Internal(
+                                "b-tree internal node changed variant mid-split".into(),
+                            ))
+                        }
                     };
                     let mid = keys.len() / 2;
                     let promoted = keys[mid].clone();
@@ -688,9 +705,11 @@ impl Iterator for BTreeRangeScan {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::buffer::PolicyKind;
-    use crate::disk::DiskManager;
+    use crate::disk::{DiskBackend, DiskManager};
     use proptest::prelude::*;
     use rand::prelude::*;
 
@@ -895,7 +914,7 @@ mod tests {
         // An index probe should touch ~height pages, far fewer than the
         // tree's total pages — the property the optimizer's cost model uses.
         let disk = Arc::new(DiskManager::new());
-        let pool = BufferPool::new(Arc::clone(&disk), 8, PolicyKind::Lru);
+        let pool = BufferPool::new(Arc::clone(&disk) as Arc<dyn DiskBackend>, 8, PolicyKind::Lru);
         let t = BTreeIndex::create(Arc::clone(&pool)).unwrap();
         for i in 0..20_000 {
             t.insert(&Value::Int(i), rid(i as u64)).unwrap();

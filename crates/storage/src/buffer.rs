@@ -9,6 +9,13 @@
 //!
 //! Two replacement policies are provided — [`PolicyKind::Lru`] and
 //! [`PolicyKind::Clock`] — behind one trait so benches can compare them.
+//!
+//! **Integrity.** The pool stamps a CRC-32 checksum for every page it
+//! flushes and verifies it on every physical fetch. A mismatch (torn write,
+//! bit rot) triggers a bounded re-read — transient faults heal invisibly,
+//! counted in [`PoolSnapshot::retries`] — and surfaces as a typed
+//! [`EvoptError::Corruption`] once retries exhaust. Transient `Io` errors
+//! from the backend get the same bounded-retry treatment.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -17,8 +24,13 @@ use std::sync::Arc;
 use evopt_common::{EvoptError, Result};
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
-use crate::disk::DiskManager;
+use crate::checksum::crc32;
+use crate::disk::DiskBackend;
 use crate::page::{PageData, PageId, PAGE_SIZE};
+
+/// Attempts per physical page op before a transient fault is declared
+/// permanent: the initial try plus `IO_RETRY_LIMIT` retries.
+const IO_RETRY_LIMIT: u32 = 3;
 
 /// Which replacement policy a pool uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -148,6 +160,12 @@ struct Inner {
 pub struct PoolSnapshot {
     pub hits: u64,
     pub misses: u64,
+    /// Physical page ops re-attempted after a transient fault (I/O error or
+    /// checksum mismatch that healed on re-read).
+    pub retries: u64,
+    /// Checksum failures that survived every retry and surfaced as
+    /// [`EvoptError::Corruption`].
+    pub corruptions: u64,
 }
 
 impl PoolSnapshot {
@@ -158,6 +176,8 @@ impl PoolSnapshot {
         PoolSnapshot {
             hits: self.hits.saturating_sub(earlier.hits),
             misses: self.misses.saturating_sub(earlier.misses),
+            retries: self.retries.saturating_sub(earlier.retries),
+            corruptions: self.corruptions.saturating_sub(earlier.corruptions),
         }
     }
 
@@ -179,18 +199,24 @@ impl PoolSnapshot {
 /// The buffer pool. Create with [`BufferPool::new`], share via `Arc`.
 pub struct BufferPool {
     inner: Mutex<Inner>,
-    disk: Arc<DiskManager>,
+    disk: Arc<dyn DiskBackend>,
     capacity: usize,
     // Hit/miss counters live outside `inner` so metrics readers never take
     // the pool lock. Increments happen while the lock is held (so they are
     // serialized and strictly monotonic); reads are lock-free.
     hits: AtomicU64,
     misses: AtomicU64,
+    retries: AtomicU64,
+    corruptions: AtomicU64,
+    /// CRC-32 stamped at every flush, verified at every physical fetch.
+    /// Absent entries (pages never flushed through this pool) skip
+    /// verification.
+    checksums: Mutex<HashMap<PageId, u32>>,
 }
 
 impl BufferPool {
     /// A pool of `capacity` frames over `disk` using `policy`.
-    pub fn new(disk: Arc<DiskManager>, capacity: usize, policy: PolicyKind) -> Arc<Self> {
+    pub fn new(disk: Arc<dyn DiskBackend>, capacity: usize, policy: PolicyKind) -> Arc<Self> {
         assert!(capacity > 0, "buffer pool needs at least one frame");
         let frames = (0..capacity)
             .map(|_| Frame {
@@ -215,6 +241,9 @@ impl BufferPool {
             capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            corruptions: AtomicU64::new(0),
+            checksums: Mutex::new(HashMap::new()),
         })
     }
 
@@ -224,7 +253,7 @@ impl BufferPool {
     }
 
     /// The underlying disk (for I/O snapshots).
-    pub fn disk(&self) -> &Arc<DiskManager> {
+    pub fn disk(&self) -> &Arc<dyn DiskBackend> {
         &self.disk
     }
 
@@ -234,12 +263,68 @@ impl BufferPool {
         (s.hits, s.misses)
     }
 
-    /// Lock-free snapshot of the hit/miss counters.
+    /// Lock-free snapshot of the hit/miss/retry counters.
     pub fn stats(&self) -> PoolSnapshot {
         PoolSnapshot {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            corruptions: self.corruptions.load(Ordering::Relaxed),
         }
+    }
+
+    /// Read a page with bounded retry and checksum verification. Transient
+    /// `Io` errors and checksum mismatches trigger a re-read (counted in
+    /// `retries`); a mismatch that survives every retry surfaces as
+    /// [`EvoptError::Corruption`].
+    fn read_page_verified(&self, id: PageId, buf: &mut PageData) -> Result<()> {
+        let expected = self.checksums.lock().get(&id).copied();
+        let mut last_err = EvoptError::Io(format!("read of page {id} never attempted"));
+        for attempt in 0..=IO_RETRY_LIMIT {
+            if attempt > 0 {
+                self.retries.fetch_add(1, Ordering::Relaxed);
+            }
+            match self.disk.read_page(id, buf) {
+                Ok(()) => match expected {
+                    Some(crc) if crc32(buf) != crc => {
+                        last_err = EvoptError::Corruption(format!(
+                            "page {id} failed checksum verification \
+                             (expected {crc:#010x}, got {:#010x})",
+                            crc32(buf)
+                        ));
+                    }
+                    _ => return Ok(()),
+                },
+                // Io failures may be transient: retry. Anything else
+                // (invalid page id, ...) is a logic error: surface it.
+                Err(e @ EvoptError::Io(_)) => last_err = e,
+                Err(e) => return Err(e),
+            }
+        }
+        if matches!(last_err, EvoptError::Corruption(_)) {
+            self.corruptions.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(last_err)
+    }
+
+    /// Write a page with bounded retry, stamping its checksum on success.
+    fn write_page_checksummed(&self, id: PageId, buf: &PageData) -> Result<()> {
+        let crc = crc32(buf);
+        let mut last_err = EvoptError::Io(format!("write of page {id} never attempted"));
+        for attempt in 0..=IO_RETRY_LIMIT {
+            if attempt > 0 {
+                self.retries.fetch_add(1, Ordering::Relaxed);
+            }
+            match self.disk.write_page(id, buf) {
+                Ok(()) => {
+                    self.checksums.lock().insert(id, crc);
+                    return Ok(());
+                }
+                Err(e @ EvoptError::Io(_)) => last_err = e,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err)
     }
 
     /// Fetch a page, pinning it for the guard's lifetime.
@@ -259,16 +344,24 @@ impl BufferPool {
                 data: Arc::clone(&f.data),
             });
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
         let frame = self.acquire_frame(&mut inner)?;
         {
             let f = &mut inner.frames[frame];
             let mut data = f.data.write();
-            self.disk.read_page(page_id, &mut data)?;
+            if let Err(e) = self.read_page_verified(page_id, &mut data) {
+                // Return the frame to the free list so a failed fetch
+                // (I/O fault, corruption) leaves the pool fully usable.
+                drop(data);
+                inner.free.push(frame);
+                return Err(e);
+            }
             f.page_id = Some(page_id);
             f.pin_count = 1;
             f.dirty.store(false, Ordering::Relaxed);
         }
+        // Count the miss only once the physical read succeeded, so failed
+        // fetches leave the hit/miss counters untouched.
+        self.misses.fetch_add(1, Ordering::Relaxed);
         inner.table.insert(page_id, frame);
         inner.policy.set_evictable(frame, false);
         inner.policy.on_access(frame);
@@ -320,12 +413,22 @@ impl BufferPool {
                 self.capacity
             ))
         })?;
-        let old_id = inner.frames[victim]
-            .page_id
-            .expect("occupied frame has a page id");
+        let old_id = inner.frames[victim].page_id.ok_or_else(|| {
+            EvoptError::Internal("evicted frame has no page id".into())
+        })?;
         if inner.frames[victim].dirty.swap(false, Ordering::Relaxed) {
-            let data = inner.frames[victim].data.read();
-            self.disk.write_page(old_id, &data)?;
+            let flushed = {
+                let data = inner.frames[victim].data.read();
+                self.write_page_checksummed(old_id, &data)
+            };
+            if let Err(e) = flushed {
+                // The victim's bytes never reached disk: restore its dirty
+                // flag and evictability so no data is silently dropped and
+                // the pool stays consistent.
+                inner.frames[victim].dirty.store(true, Ordering::Relaxed);
+                inner.policy.set_evictable(victim, true);
+                return Err(e);
+            }
         }
         inner.table.remove(&old_id);
         inner.frames[victim].page_id = None;
@@ -358,8 +461,14 @@ impl BufferPool {
                 }
             };
             if dirty {
-                let data = inner.frames[frame].data.read();
-                self.disk.write_page(page_id, &data)?;
+                let flushed = {
+                    let data = inner.frames[frame].data.read();
+                    self.write_page_checksummed(page_id, &data)
+                };
+                if let Err(e) = flushed {
+                    inner.frames[frame].dirty.store(true, Ordering::Relaxed);
+                    return Err(e);
+                }
             }
             inner.table.remove(&page_id);
             inner.frames[frame].page_id = None;
@@ -375,8 +484,14 @@ impl BufferPool {
         for f in &inner.frames {
             if let Some(id) = f.page_id {
                 if f.dirty.swap(false, Ordering::Relaxed) {
-                    let data = f.data.read();
-                    self.disk.write_page(id, &data)?;
+                    let flushed = {
+                        let data = f.data.read();
+                        self.write_page_checksummed(id, &data)
+                    };
+                    if let Err(e) = flushed {
+                        f.dirty.store(true, Ordering::Relaxed);
+                        return Err(e);
+                    }
                 }
             }
         }
@@ -428,7 +543,11 @@ impl Drop for PageGuard {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
+    use crate::disk::{DiskBackend, DiskManager};
+    use crate::fault::{FaultConfig, FaultInjector};
 
     fn pool(frames: usize, policy: PolicyKind) -> Arc<BufferPool> {
         BufferPool::new(Arc::new(DiskManager::new()), frames, policy)
@@ -534,7 +653,7 @@ mod tests {
     #[test]
     fn lru_evicts_least_recently_used() {
         let disk = Arc::new(DiskManager::new());
-        let p = BufferPool::new(Arc::clone(&disk), 2, PolicyKind::Lru);
+        let p = BufferPool::new(Arc::clone(&disk) as Arc<dyn DiskBackend>, 2, PolicyKind::Lru);
         let a = p.new_page().unwrap();
         let a_id = a.id();
         drop(a);
@@ -560,7 +679,7 @@ mod tests {
         // pool smaller than N misses every time; a big pool misses once.
         let run = |frames: usize| -> u64 {
             let disk = Arc::new(DiskManager::new());
-            let p = BufferPool::new(Arc::clone(&disk), frames, PolicyKind::Lru);
+            let p = BufferPool::new(Arc::clone(&disk) as Arc<dyn DiskBackend>, frames, PolicyKind::Lru);
             let ids: Vec<_> = (0..8).map(|_| {
                 let g = p.new_page().unwrap();
                 g.id()
@@ -582,7 +701,7 @@ mod tests {
     #[test]
     fn clock_policy_also_caches() {
         let disk = Arc::new(DiskManager::new());
-        let p = BufferPool::new(Arc::clone(&disk), 8, PolicyKind::Clock);
+        let p = BufferPool::new(Arc::clone(&disk) as Arc<dyn DiskBackend>, 8, PolicyKind::Clock);
         let g = p.new_page().unwrap();
         let id = g.id();
         drop(g);
@@ -596,7 +715,7 @@ mod tests {
     #[test]
     fn evict_all_leaves_cache_cold_but_data_intact() {
         let disk = Arc::new(DiskManager::new());
-        let p = BufferPool::new(Arc::clone(&disk), 8, PolicyKind::Lru);
+        let p = BufferPool::new(Arc::clone(&disk) as Arc<dyn DiskBackend>, 8, PolicyKind::Lru);
         let g = p.new_page().unwrap();
         g.write()[3] = 0x77;
         let id = g.id();
@@ -615,7 +734,7 @@ mod tests {
     #[test]
     fn flush_all_writes_dirty_pages() {
         let disk = Arc::new(DiskManager::new());
-        let p = BufferPool::new(Arc::clone(&disk), 4, PolicyKind::Lru);
+        let p = BufferPool::new(Arc::clone(&disk) as Arc<dyn DiskBackend>, 4, PolicyKind::Lru);
         let g = p.new_page().unwrap();
         g.write()[7] = 9;
         let id = g.id();
@@ -625,6 +744,162 @@ mod tests {
         let mut buf = [0u8; PAGE_SIZE];
         disk.read_page(id, &mut buf).unwrap();
         assert_eq!(buf[7], 9);
+    }
+
+    #[test]
+    fn exhausted_pool_fetch_fails_clean_and_pool_stays_usable() {
+        // Satellite: all frames pinned → fetch of a non-resident page must
+        // return a clean Storage error, leave hit/miss counters untouched,
+        // and leave the pool fully usable once a pin is released.
+        let disk = Arc::new(DiskManager::new());
+        let p = BufferPool::new(Arc::clone(&disk) as Arc<dyn DiskBackend>, 2, PolicyKind::Lru);
+        // A third page living only on disk.
+        let evicted_id = {
+            let g = p.new_page().unwrap();
+            g.write()[0] = 0x42;
+            g.id()
+        };
+        p.flush_all().unwrap();
+        p.evict_all().unwrap();
+        let g1 = p.new_page().unwrap();
+        let g2 = p.new_page().unwrap();
+        let before = p.stats();
+        let io_before = disk.snapshot();
+        let err = p.fetch(evicted_id).unwrap_err();
+        assert_eq!(err.kind(), "storage");
+        assert!(err.message().contains("pinned"), "{err}");
+        assert_eq!(
+            p.stats().since(&before),
+            PoolSnapshot::default(),
+            "failed fetch must not move the pool counters"
+        );
+        assert_eq!(
+            disk.snapshot().since(&io_before).total(),
+            0,
+            "failed fetch must not touch the disk"
+        );
+        // Releasing one pin makes the same fetch succeed.
+        drop(g1);
+        let g = p.fetch(evicted_id).unwrap();
+        assert_eq!(g.read()[0], 0x42);
+        let delta = p.stats().since(&before);
+        assert_eq!((delta.hits, delta.misses), (0, 1));
+        drop(g);
+        drop(g2);
+    }
+
+    #[test]
+    fn failed_read_returns_frame_to_free_list() {
+        // A fetch that dies on a permanent I/O fault must not leak its
+        // frame: the pool retains full capacity afterwards.
+        let disk = Arc::new(DiskManager::new());
+        let inj = Arc::new(FaultInjector::new(
+            Arc::clone(&disk) as Arc<dyn DiskBackend>,
+            FaultConfig {
+                seed: 1,
+                permanent_read_error: 1.0,
+                ..Default::default()
+            },
+        ));
+        inj.set_enabled(false);
+        let p = BufferPool::new(Arc::clone(&inj) as Arc<dyn DiskBackend>, 2, PolicyKind::Lru);
+        let id = {
+            let g = p.new_page().unwrap();
+            g.id()
+        };
+        p.evict_all().unwrap();
+        inj.set_enabled(true);
+        assert_eq!(p.fetch(id).unwrap_err().kind(), "io");
+        inj.set_enabled(false);
+        // Both frames still available: two concurrent pins succeed.
+        let _a = p.new_page().unwrap();
+        let _b = p.new_page().unwrap();
+    }
+
+    #[test]
+    fn checksum_detects_torn_write_and_bit_flip() {
+        let disk = Arc::new(DiskManager::new());
+        let inj = Arc::new(FaultInjector::new(
+            Arc::clone(&disk) as Arc<dyn DiskBackend>,
+            FaultConfig::default(),
+        ));
+        let p = BufferPool::new(Arc::clone(&inj) as Arc<dyn DiskBackend>, 4, PolicyKind::Lru);
+        let make_page = |fill: u8| {
+            let g = p.new_page().unwrap();
+            for b in g.write().iter_mut() {
+                *b = fill;
+            }
+            g.id()
+        };
+        let torn_id = make_page(0x11);
+        let flip_id = make_page(0x22);
+        p.flush_all().unwrap();
+        p.evict_all().unwrap();
+        inj.force_torn_write(torn_id).unwrap();
+        inj.force_bit_flip(flip_id).unwrap();
+        for id in [torn_id, flip_id] {
+            let err = p.fetch(id).unwrap_err();
+            assert_eq!(err.kind(), "corruption", "{err}");
+            assert!(err.message().contains("checksum"), "{err}");
+        }
+        assert_eq!(p.stats().corruptions, 2);
+        // Persistent corruption burned the full retry budget each time.
+        assert_eq!(p.stats().retries, 2 * IO_RETRY_LIMIT as u64);
+    }
+
+    #[test]
+    fn transient_faults_heal_via_bounded_retry() {
+        let disk = Arc::new(DiskManager::new());
+        let inj = Arc::new(FaultInjector::new(
+            Arc::clone(&disk) as Arc<dyn DiskBackend>,
+            FaultConfig {
+                seed: 3,
+                read_error: 1.0,
+                bit_flip_read: 1.0,
+                ..Default::default()
+            },
+        ));
+        inj.set_enabled(false);
+        let p = BufferPool::new(Arc::clone(&inj) as Arc<dyn DiskBackend>, 2, PolicyKind::Lru);
+        let id = {
+            let g = p.new_page().unwrap();
+            g.write()[7] = 0x77;
+            g.id()
+        };
+        p.flush_all().unwrap();
+        p.evict_all().unwrap();
+        inj.set_enabled(true);
+        // First attempt: injected transient error. Second: bit flip in the
+        // returned buffer → checksum mismatch. Third: clean. The caller
+        // sees none of it.
+        let g = p.fetch(id).unwrap();
+        assert_eq!(g.read()[7], 0x77);
+        assert!(p.stats().retries >= 1, "retries: {}", p.stats().retries);
+        assert_eq!(p.stats().corruptions, 0);
+    }
+
+    #[test]
+    fn reflush_restamps_checksum_after_corruption() {
+        // A corrupted page that the engine rewrites (dirty in the pool,
+        // flushed again) verifies against the *new* checksum afterwards.
+        let disk = Arc::new(DiskManager::new());
+        let inj = Arc::new(FaultInjector::new(
+            Arc::clone(&disk) as Arc<dyn DiskBackend>,
+            FaultConfig::default(),
+        ));
+        let p = BufferPool::new(Arc::clone(&inj) as Arc<dyn DiskBackend>, 2, PolicyKind::Lru);
+        let g = p.new_page().unwrap();
+        let id = g.id();
+        g.write()[0] = 1;
+        p.flush_all().unwrap();
+        inj.force_bit_flip(id).unwrap();
+        // The page is still resident and pinned: rewrite and reflush it.
+        g.write()[0] = 2;
+        p.flush_all().unwrap();
+        drop(g);
+        p.evict_all().unwrap();
+        let g = p.fetch(id).unwrap();
+        assert_eq!(g.read()[0], 2, "fresh flush restamped the checksum");
     }
 
     #[test]

@@ -1,10 +1,13 @@
 //! Simulated disk with physical-I/O accounting.
 //!
-//! [`DiskManager`] stores pages in memory but behaves like a disk from the
-//! buffer pool's point of view: every `read_page`/`write_page` is a
-//! "physical" I/O and is counted. The counters are the measured side of the
-//! cost-model validation experiments (T5, F4): the optimizer *predicts* page
-//! fetches, the disk *counts* them.
+//! [`DiskBackend`] is the storage engine's view of a disk: page-granular
+//! allocate/read/write with I/O counters. [`DiskManager`] is the in-memory
+//! reference implementation; [`crate::fault::FaultInjector`] wraps any
+//! backend and injects deterministic faults for robustness testing.
+//!
+//! Every `read_page`/`write_page` is a "physical" I/O and is counted. The
+//! counters are the measured side of the cost-model validation experiments
+//! (T5, F4): the optimizer *predicts* page fetches, the disk *counts* them.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -20,15 +23,25 @@ pub struct IoSnapshot {
     pub reads: u64,
     pub writes: u64,
     pub allocations: u64,
+    /// Read faults injected/observed beneath this backend (0 on a healthy
+    /// disk; counted by [`crate::fault::FaultInjector`]).
+    pub read_faults: u64,
+    /// Write faults injected/observed beneath this backend.
+    pub write_faults: u64,
 }
 
 impl IoSnapshot {
-    /// Physical I/Os since `earlier`.
+    /// Physical I/Os since `earlier`. Counters are monotonic, so saturating
+    /// subtraction is purely defensive — but it keeps interleaved snapshots
+    /// (e.g. a reset racing a measurement) from underflow-panicking in
+    /// debug builds, matching `PoolSnapshot::since`.
     pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
         IoSnapshot {
-            reads: self.reads - earlier.reads,
-            writes: self.writes - earlier.writes,
-            allocations: self.allocations - earlier.allocations,
+            reads: self.reads.saturating_sub(earlier.reads),
+            writes: self.writes.saturating_sub(earlier.writes),
+            allocations: self.allocations.saturating_sub(earlier.allocations),
+            read_faults: self.read_faults.saturating_sub(earlier.read_faults),
+            write_faults: self.write_faults.saturating_sub(earlier.write_faults),
         }
     }
 
@@ -36,6 +49,38 @@ impl IoSnapshot {
     pub fn total(&self) -> u64 {
         self.reads + self.writes
     }
+
+    /// Total injected/observed I/O faults (reads + writes).
+    pub fn total_faults(&self) -> u64 {
+        self.read_faults + self.write_faults
+    }
+}
+
+/// Page-granular disk abstraction beneath the buffer pool.
+///
+/// Implementations must be thread-safe; the pool issues single page ops and
+/// never holds its own lock across a backend call's result processing.
+pub trait DiskBackend: Send + Sync {
+    /// Allocate a fresh zeroed page and return its id.
+    fn allocate_page(&self) -> PageId;
+
+    /// Release a page. Ids are never reused.
+    fn deallocate_page(&self, id: PageId) -> Result<()>;
+
+    /// Physically read a page into `buf`.
+    fn read_page(&self, id: PageId, buf: &mut PageData) -> Result<()>;
+
+    /// Physically write a page from `buf`.
+    fn write_page(&self, id: PageId, buf: &PageData) -> Result<()>;
+
+    /// Number of pages ever allocated (live + dead).
+    fn page_count(&self) -> u64;
+
+    /// Current I/O counters.
+    fn snapshot(&self) -> IoSnapshot;
+
+    /// Reset the I/O counters to zero (experiment harness convenience).
+    fn reset_stats(&self);
 }
 
 /// In-memory simulated disk.
@@ -58,9 +103,10 @@ impl DiskManager {
             allocations: AtomicU64::new(0),
         }
     }
+}
 
-    /// Allocate a fresh zeroed page and return its id.
-    pub fn allocate_page(&self) -> PageId {
+impl DiskBackend for DiskManager {
+    fn allocate_page(&self) -> PageId {
         let mut pages = self.pages.lock();
         let id = pages.len() as PageId;
         pages.push(Some(Box::new([0u8; PAGE_SIZE])));
@@ -70,7 +116,7 @@ impl DiskManager {
 
     /// Release a page. Its id is never reused (monotonic allocation keeps
     /// dangling-rid bugs loud instead of silently aliasing).
-    pub fn deallocate_page(&self, id: PageId) -> Result<()> {
+    fn deallocate_page(&self, id: PageId) -> Result<()> {
         let mut pages = self.pages.lock();
         match pages.get_mut(id as usize) {
             Some(slot @ Some(_)) => {
@@ -83,8 +129,7 @@ impl DiskManager {
         }
     }
 
-    /// Physically read a page into `buf`.
-    pub fn read_page(&self, id: PageId, buf: &mut PageData) -> Result<()> {
+    fn read_page(&self, id: PageId, buf: &mut PageData) -> Result<()> {
         let pages = self.pages.lock();
         match pages.get(id as usize) {
             Some(Some(data)) => {
@@ -96,8 +141,7 @@ impl DiskManager {
         }
     }
 
-    /// Physically write a page from `buf`.
-    pub fn write_page(&self, id: PageId, buf: &PageData) -> Result<()> {
+    fn write_page(&self, id: PageId, buf: &PageData) -> Result<()> {
         let mut pages = self.pages.lock();
         match pages.get_mut(id as usize) {
             Some(Some(data)) => {
@@ -109,22 +153,21 @@ impl DiskManager {
         }
     }
 
-    /// Number of pages ever allocated (live + dead).
-    pub fn page_count(&self) -> u64 {
+    fn page_count(&self) -> u64 {
         self.pages.lock().len() as u64
     }
 
-    /// Current I/O counters.
-    pub fn snapshot(&self) -> IoSnapshot {
+    fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
             reads: self.reads.load(Ordering::Relaxed),
             writes: self.writes.load(Ordering::Relaxed),
             allocations: self.allocations.load(Ordering::Relaxed),
+            read_faults: 0,
+            write_faults: 0,
         }
     }
 
-    /// Reset the I/O counters to zero (experiment harness convenience).
-    pub fn reset_stats(&self) {
+    fn reset_stats(&self) {
         self.reads.store(0, Ordering::Relaxed);
         self.writes.store(0, Ordering::Relaxed);
         self.allocations.store(0, Ordering::Relaxed);
@@ -139,6 +182,8 @@ impl Default for DiskManager {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
 
     #[test]
@@ -201,5 +246,21 @@ mod tests {
         disk.write_page(id, &buf).unwrap();
         disk.reset_stats();
         assert_eq!(disk.snapshot(), IoSnapshot::default());
+    }
+
+    #[test]
+    fn since_saturates_instead_of_underflowing() {
+        // An "earlier" snapshot taken after a reset can be numerically
+        // larger than a "later" one; the delta clamps to zero instead of
+        // panicking in debug builds.
+        let disk = DiskManager::new();
+        let id = disk.allocate_page();
+        let buf = [0u8; PAGE_SIZE];
+        disk.write_page(id, &buf).unwrap();
+        let busy = disk.snapshot();
+        disk.reset_stats();
+        let idle = disk.snapshot();
+        let delta = idle.since(&busy);
+        assert_eq!(delta, IoSnapshot::default());
     }
 }

@@ -1,0 +1,574 @@
+//! Deterministic fault injection for the disk layer.
+//!
+//! [`FaultInjector`] wraps any [`DiskBackend`] and perturbs its operations
+//! on a seed-driven schedule: transient and permanent I/O errors, torn
+//! writes (prefix-only persistence), and bit-flip corruption. Everything is
+//! deterministic given [`FaultConfig::seed`] and the operation sequence, so
+//! a failing chaos run reproduces exactly.
+//!
+//! Fault semantics:
+//!
+//! * **Transient read/write error** — the op fails once with
+//!   [`EvoptError::Io`]; the next attempt on the same page passes clean.
+//!   The buffer pool's bounded retry heals these invisibly (counted in
+//!   `PoolSnapshot::retries`).
+//! * **Permanent read error** — the page joins the dead set; every later
+//!   read fails. Surfaces as a typed `Io` error after retries exhaust.
+//! * **Torn write** — only a random prefix of the buffer is persisted, the
+//!   rest of the page keeps its previous bytes; the op *reports success*.
+//!   Caught by page checksums on the next physical read.
+//! * **Bit flip (write)** — one random bit of the persisted image is
+//!   inverted; the op reports success. Caught by checksums on read.
+//! * **Bit flip (read)** — one random bit of the *returned buffer* is
+//!   inverted; the persisted page is intact, so the pool's checksum
+//!   retry re-reads it clean.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use evopt_common::{EvoptError, Result};
+use parking_lot::Mutex;
+
+use crate::disk::{DiskBackend, IoSnapshot};
+use crate::page::{PageData, PageId, PAGE_SIZE};
+
+/// Per-operation fault probabilities, all in `[0, 1]`. `Default` is the
+/// all-zero (fault-free) schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Seed for the deterministic fault schedule.
+    pub seed: u64,
+    /// Transient read I/O error probability (heals on retry).
+    pub read_error: f64,
+    /// Transient write I/O error probability (heals on retry).
+    pub write_error: f64,
+    /// Probability a read marks the page permanently unreadable.
+    pub permanent_read_error: f64,
+    /// Silent prefix-only persistence probability per write.
+    pub torn_write: f64,
+    /// Silent persisted single-bit corruption probability per write.
+    pub bit_flip_write: f64,
+    /// Transient single-bit corruption probability per read (the persisted
+    /// page stays intact).
+    pub bit_flip_read: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0,
+            read_error: 0.0,
+            write_error: 0.0,
+            permanent_read_error: 0.0,
+            torn_write: 0.0,
+            bit_flip_write: 0.0,
+            bit_flip_read: 0.0,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// The chaos-suite preset: frequent transient faults (exercising the
+    /// retry path) plus occasional silent corruption (exercising checksum
+    /// detection). No permanent faults, so data loss is always detectable
+    /// rather than total.
+    pub fn chaos(seed: u64) -> FaultConfig {
+        FaultConfig {
+            seed,
+            read_error: 0.02,
+            write_error: 0.02,
+            permanent_read_error: 0.0,
+            torn_write: 0.01,
+            bit_flip_write: 0.01,
+            bit_flip_read: 0.02,
+        }
+    }
+}
+
+/// Counts of faults the injector has fired, by kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultReport {
+    pub transient_read_errors: u64,
+    pub transient_write_errors: u64,
+    pub permanent_read_errors: u64,
+    pub torn_writes: u64,
+    pub bit_flips_write: u64,
+    pub bit_flips_read: u64,
+}
+
+impl FaultReport {
+    /// All injected faults.
+    pub fn total(&self) -> u64 {
+        self.transient_read_errors
+            + self.transient_write_errors
+            + self.permanent_read_errors
+            + self.torn_writes
+            + self.bit_flips_write
+            + self.bit_flips_read
+    }
+
+    /// Faults that silently damaged persisted bytes (checksum territory).
+    pub fn silent_corruptions(&self) -> u64 {
+        self.torn_writes + self.bit_flips_write
+    }
+}
+
+/// SplitMix64: tiny, fast, full-period deterministic PRNG. Implemented
+/// inline so the fault schedule has no external dependency.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[0, bound)`.
+    fn next_below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+/// Deterministic fault-injecting wrapper around a [`DiskBackend`].
+pub struct FaultInjector {
+    inner: Arc<dyn DiskBackend>,
+    cfg: FaultConfig,
+    enabled: AtomicBool,
+    rng: Mutex<SplitMix64>,
+    /// Pages whose next read passes clean (a transient read fault or a
+    /// read-side bit flip just fired), so bounded retry always converges.
+    skip_next_read: Mutex<HashSet<PageId>>,
+    /// Pages whose next write passes clean.
+    skip_next_write: Mutex<HashSet<PageId>>,
+    /// Permanently unreadable pages.
+    dead: Mutex<HashSet<PageId>>,
+    /// Pages whose persisted bytes were silently damaged and not yet
+    /// overwritten by a later clean write.
+    corrupted: Mutex<HashSet<PageId>>,
+    transient_read_errors: AtomicU64,
+    transient_write_errors: AtomicU64,
+    permanent_read_errors: AtomicU64,
+    torn_writes: AtomicU64,
+    bit_flips_write: AtomicU64,
+    bit_flips_read: AtomicU64,
+}
+
+impl FaultInjector {
+    /// Wrap `inner` with the fault schedule `cfg`. Starts **enabled**.
+    pub fn new(inner: Arc<dyn DiskBackend>, cfg: FaultConfig) -> FaultInjector {
+        FaultInjector {
+            inner,
+            cfg,
+            enabled: AtomicBool::new(true),
+            rng: Mutex::new(SplitMix64(cfg.seed)),
+            skip_next_read: Mutex::new(HashSet::new()),
+            skip_next_write: Mutex::new(HashSet::new()),
+            dead: Mutex::new(HashSet::new()),
+            corrupted: Mutex::new(HashSet::new()),
+            transient_read_errors: AtomicU64::new(0),
+            transient_write_errors: AtomicU64::new(0),
+            permanent_read_errors: AtomicU64::new(0),
+            torn_writes: AtomicU64::new(0),
+            bit_flips_write: AtomicU64::new(0),
+            bit_flips_read: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &Arc<dyn DiskBackend> {
+        &self.inner
+    }
+
+    /// Turn fault injection on/off (e.g. load data clean, then unleash).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Counts of faults fired so far.
+    pub fn report(&self) -> FaultReport {
+        FaultReport {
+            transient_read_errors: self.transient_read_errors.load(Ordering::Relaxed),
+            transient_write_errors: self.transient_write_errors.load(Ordering::Relaxed),
+            permanent_read_errors: self.permanent_read_errors.load(Ordering::Relaxed),
+            torn_writes: self.torn_writes.load(Ordering::Relaxed),
+            bit_flips_write: self.bit_flips_write.load(Ordering::Relaxed),
+            bit_flips_read: self.bit_flips_read.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Pages whose persisted bytes are currently silently damaged (torn or
+    /// bit-flipped, with no later clean overwrite). The chaos suite reads
+    /// each of these back to prove checksum detection is exhaustive.
+    pub fn corrupted_pages(&self) -> Vec<PageId> {
+        let mut v: Vec<PageId> = self.corrupted.lock().iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Deterministically tear the persisted image of `id` right now
+    /// (targeted-test hook; bypasses the probability schedule).
+    pub fn force_torn_write(&self, id: PageId) -> Result<()> {
+        let mut current = [0u8; PAGE_SIZE];
+        self.inner.read_page(id, &mut current)?;
+        let cut = {
+            let mut rng = self.rng.lock();
+            1 + rng.next_below(PAGE_SIZE - 1)
+        };
+        for b in current.iter_mut().skip(cut) {
+            *b = !*b;
+        }
+        self.inner.write_page(id, &current)?;
+        self.torn_writes.fetch_add(1, Ordering::Relaxed);
+        self.corrupted.lock().insert(id);
+        Ok(())
+    }
+
+    /// Deterministically flip one persisted bit of `id` right now
+    /// (targeted-test hook; bypasses the probability schedule).
+    pub fn force_bit_flip(&self, id: PageId) -> Result<()> {
+        let mut current = [0u8; PAGE_SIZE];
+        self.inner.read_page(id, &mut current)?;
+        {
+            let mut rng = self.rng.lock();
+            let byte = rng.next_below(PAGE_SIZE);
+            let bit = rng.next_below(8);
+            current[byte] ^= 1 << bit;
+        }
+        self.inner.write_page(id, &current)?;
+        self.bit_flips_write.fetch_add(1, Ordering::Relaxed);
+        self.corrupted.lock().insert(id);
+        Ok(())
+    }
+
+    fn roll(&self, p: f64) -> bool {
+        p > 0.0 && self.rng.lock().next_f64() < p
+    }
+}
+
+impl DiskBackend for FaultInjector {
+    fn allocate_page(&self) -> PageId {
+        self.inner.allocate_page()
+    }
+
+    fn deallocate_page(&self, id: PageId) -> Result<()> {
+        self.corrupted.lock().remove(&id);
+        self.inner.deallocate_page(id)
+    }
+
+    fn read_page(&self, id: PageId, buf: &mut PageData) -> Result<()> {
+        if !self.is_enabled() {
+            return self.inner.read_page(id, buf);
+        }
+        if self.dead.lock().contains(&id) {
+            return Err(EvoptError::Io(format!(
+                "injected permanent read failure on page {id}"
+            )));
+        }
+        if self.skip_next_read.lock().remove(&id) {
+            return self.inner.read_page(id, buf);
+        }
+        if self.roll(self.cfg.permanent_read_error) {
+            self.dead.lock().insert(id);
+            self.permanent_read_errors.fetch_add(1, Ordering::Relaxed);
+            return Err(EvoptError::Io(format!(
+                "injected permanent read failure on page {id}"
+            )));
+        }
+        if self.roll(self.cfg.read_error) {
+            self.skip_next_read.lock().insert(id);
+            self.transient_read_errors.fetch_add(1, Ordering::Relaxed);
+            return Err(EvoptError::Io(format!(
+                "injected transient read error on page {id}"
+            )));
+        }
+        self.inner.read_page(id, buf)?;
+        if self.roll(self.cfg.bit_flip_read) {
+            let (byte, bit) = {
+                let mut rng = self.rng.lock();
+                (rng.next_below(PAGE_SIZE), rng.next_below(8))
+            };
+            buf[byte] ^= 1 << bit;
+            // Persisted bytes are fine; let the verifying retry through.
+            self.skip_next_read.lock().insert(id);
+            self.bit_flips_read.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    fn write_page(&self, id: PageId, buf: &PageData) -> Result<()> {
+        if !self.is_enabled() {
+            self.inner.write_page(id, buf)?;
+            self.corrupted.lock().remove(&id);
+            return Ok(());
+        }
+        if self.dead.lock().contains(&id) {
+            return Err(EvoptError::Io(format!(
+                "injected permanent failure on page {id}"
+            )));
+        }
+        if self.skip_next_write.lock().remove(&id) {
+            self.inner.write_page(id, buf)?;
+            self.corrupted.lock().remove(&id);
+            return Ok(());
+        }
+        if self.roll(self.cfg.write_error) {
+            self.skip_next_write.lock().insert(id);
+            self.transient_write_errors.fetch_add(1, Ordering::Relaxed);
+            return Err(EvoptError::Io(format!(
+                "injected transient write error on page {id}"
+            )));
+        }
+        if self.roll(self.cfg.torn_write) {
+            // Persist only a prefix; the suffix keeps its previous bytes.
+            let mut torn = [0u8; PAGE_SIZE];
+            self.inner.read_page(id, &mut torn)?;
+            let cut = 1 + self.rng.lock().next_below(PAGE_SIZE - 1);
+            torn[..cut].copy_from_slice(&buf[..cut]);
+            if torn == *buf {
+                // The stale suffix happened to match the new bytes — the
+                // tear is a no-op; treat it as a clean write.
+                self.inner.write_page(id, buf)?;
+                self.corrupted.lock().remove(&id);
+                return Ok(());
+            }
+            self.inner.write_page(id, &torn)?;
+            self.torn_writes.fetch_add(1, Ordering::Relaxed);
+            self.corrupted.lock().insert(id);
+            return Ok(());
+        }
+        if self.roll(self.cfg.bit_flip_write) {
+            let mut flipped = *buf;
+            let (byte, bit) = {
+                let mut rng = self.rng.lock();
+                (rng.next_below(PAGE_SIZE), rng.next_below(8))
+            };
+            flipped[byte] ^= 1 << bit;
+            self.inner.write_page(id, &flipped)?;
+            self.bit_flips_write.fetch_add(1, Ordering::Relaxed);
+            self.corrupted.lock().insert(id);
+            return Ok(());
+        }
+        self.inner.write_page(id, buf)?;
+        self.corrupted.lock().remove(&id);
+        Ok(())
+    }
+
+    fn page_count(&self) -> u64 {
+        self.inner.page_count()
+    }
+
+    fn snapshot(&self) -> IoSnapshot {
+        let base = self.inner.snapshot();
+        let r = self.report();
+        IoSnapshot {
+            read_faults: r.transient_read_errors
+                + r.permanent_read_errors
+                + r.bit_flips_read,
+            write_faults: r.transient_write_errors + r.silent_corruptions(),
+            ..base
+        }
+    }
+
+    fn reset_stats(&self) {
+        self.inner.reset_stats();
+        self.transient_read_errors.store(0, Ordering::Relaxed);
+        self.transient_write_errors.store(0, Ordering::Relaxed);
+        self.permanent_read_errors.store(0, Ordering::Relaxed);
+        self.torn_writes.store(0, Ordering::Relaxed);
+        self.bit_flips_write.store(0, Ordering::Relaxed);
+        self.bit_flips_read.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+    use crate::disk::DiskManager;
+
+    fn injected(cfg: FaultConfig) -> (Arc<DiskManager>, FaultInjector) {
+        let disk = Arc::new(DiskManager::new());
+        let inj = FaultInjector::new(Arc::clone(&disk) as Arc<dyn DiskBackend>, cfg);
+        (disk, inj)
+    }
+
+    #[test]
+    fn disabled_injector_is_transparent() {
+        let (_, inj) = injected(FaultConfig::chaos(1));
+        inj.set_enabled(false);
+        let id = inj.allocate_page();
+        let mut buf = [7u8; PAGE_SIZE];
+        for _ in 0..200 {
+            inj.write_page(id, &buf).unwrap();
+            inj.read_page(id, &mut buf).unwrap();
+            assert!(buf.iter().all(|&b| b == 7));
+        }
+        assert_eq!(inj.report().total(), 0);
+    }
+
+    #[test]
+    fn transient_read_error_heals_on_retry() {
+        let cfg = FaultConfig {
+            seed: 42,
+            read_error: 1.0,
+            ..Default::default()
+        };
+        let (_, inj) = injected(cfg);
+        let id = inj.allocate_page();
+        let data = [9u8; PAGE_SIZE];
+        inj.write_page(id, &data).unwrap();
+        let mut out = [0u8; PAGE_SIZE];
+        let err = inj.read_page(id, &mut out).unwrap_err();
+        assert_eq!(err.kind(), "io");
+        // The very next attempt passes clean.
+        inj.read_page(id, &mut out).unwrap();
+        assert_eq!(out[0], 9);
+        assert_eq!(inj.report().transient_read_errors, 1);
+    }
+
+    #[test]
+    fn transient_write_error_heals_on_retry() {
+        let cfg = FaultConfig {
+            seed: 7,
+            write_error: 1.0,
+            ..Default::default()
+        };
+        let (_, inj) = injected(cfg);
+        let id = inj.allocate_page();
+        let data = [3u8; PAGE_SIZE];
+        assert_eq!(inj.write_page(id, &data).unwrap_err().kind(), "io");
+        inj.write_page(id, &data).unwrap();
+        let mut out = [0u8; PAGE_SIZE];
+        // Reads are unaffected by a pure write-error schedule.
+        inj.read_page(id, &mut out).unwrap();
+        assert_eq!(out[0], 3);
+    }
+
+    #[test]
+    fn permanent_fault_keeps_failing() {
+        let cfg = FaultConfig {
+            seed: 5,
+            permanent_read_error: 1.0,
+            ..Default::default()
+        };
+        let (_, inj) = injected(cfg);
+        let id = inj.allocate_page();
+        inj.write_page(id, &[1u8; PAGE_SIZE]).unwrap();
+        let mut out = [0u8; PAGE_SIZE];
+        for _ in 0..5 {
+            assert_eq!(inj.read_page(id, &mut out).unwrap_err().kind(), "io");
+        }
+        assert_eq!(inj.report().permanent_read_errors, 1);
+    }
+
+    #[test]
+    fn torn_write_persists_prefix_only_and_is_tracked() {
+        let cfg = FaultConfig {
+            seed: 11,
+            torn_write: 1.0,
+            ..Default::default()
+        };
+        let (disk, inj) = injected(cfg);
+        let id = inj.allocate_page();
+        let intended = [0xAAu8; PAGE_SIZE];
+        inj.write_page(id, &intended).unwrap(); // reports success
+        let mut persisted = [0u8; PAGE_SIZE];
+        disk.read_page(id, &mut persisted).unwrap();
+        assert_ne!(persisted, intended, "tear must damage the image");
+        assert_eq!(persisted[0], 0xAA, "prefix must persist");
+        assert_eq!(inj.corrupted_pages(), vec![id]);
+        // A later clean write repairs the page and clears tracking.
+        inj.set_enabled(false);
+        inj.write_page(id, &intended).unwrap();
+        assert!(inj.corrupted_pages().is_empty());
+    }
+
+    #[test]
+    fn bit_flip_write_damages_exactly_one_bit() {
+        let cfg = FaultConfig {
+            seed: 13,
+            bit_flip_write: 1.0,
+            ..Default::default()
+        };
+        let (disk, inj) = injected(cfg);
+        let id = inj.allocate_page();
+        let intended = [0u8; PAGE_SIZE];
+        inj.write_page(id, &intended).unwrap();
+        let mut persisted = [0u8; PAGE_SIZE];
+        disk.read_page(id, &mut persisted).unwrap();
+        let flipped_bits: u32 = persisted.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(flipped_bits, 1);
+        assert_eq!(inj.corrupted_pages(), vec![id]);
+    }
+
+    #[test]
+    fn bit_flip_read_is_transient() {
+        let cfg = FaultConfig {
+            seed: 17,
+            bit_flip_read: 1.0,
+            ..Default::default()
+        };
+        let (_, inj) = injected(cfg);
+        let id = inj.allocate_page();
+        inj.write_page(id, &[0u8; PAGE_SIZE]).unwrap();
+        let mut out = [0u8; PAGE_SIZE];
+        inj.read_page(id, &mut out).unwrap();
+        let damaged: u32 = out.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(damaged, 1, "one bit flipped in the returned buffer");
+        // The persisted page is intact: the next read is exempted.
+        inj.read_page(id, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn schedule_is_deterministic_per_seed() {
+        let run = |seed: u64| -> (FaultReport, Vec<PageId>) {
+            let (_, inj) = injected(FaultConfig::chaos(seed));
+            let ids: Vec<PageId> = (0..16).map(|_| inj.allocate_page()).collect();
+            let mut out = [0u8; PAGE_SIZE];
+            for round in 0..50u8 {
+                for &id in &ids {
+                    let _ = inj.write_page(id, &[round; PAGE_SIZE]);
+                    let _ = inj.read_page(id, &mut out);
+                }
+            }
+            (inj.report(), inj.corrupted_pages())
+        };
+        assert_eq!(run(99), run(99));
+        assert_ne!(run(99).0, run(100).0, "different seeds, different schedule");
+    }
+
+    #[test]
+    fn snapshot_carries_fault_counters() {
+        let cfg = FaultConfig {
+            seed: 3,
+            read_error: 1.0,
+            ..Default::default()
+        };
+        let (_, inj) = injected(cfg);
+        let id = inj.allocate_page();
+        inj.write_page(id, &[0u8; PAGE_SIZE]).unwrap();
+        let mut out = [0u8; PAGE_SIZE];
+        let before = inj.snapshot();
+        let _ = inj.read_page(id, &mut out); // fails
+        inj.read_page(id, &mut out).unwrap(); // heals
+        let delta = inj.snapshot().since(&before);
+        assert_eq!(delta.read_faults, 1);
+        assert_eq!(delta.reads, 1, "only the successful read is physical");
+        assert_eq!(delta.total_faults(), 1);
+    }
+}

@@ -220,9 +220,11 @@ impl Iterator for HeapScan {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::buffer::PolicyKind;
-    use crate::disk::DiskManager;
+    use crate::disk::{DiskBackend, DiskManager};
     use evopt_common::Value;
 
     fn mkpool(frames: usize) -> Arc<BufferPool> {
@@ -263,7 +265,7 @@ mod tests {
     fn scan_page_count_matches_file_page_count() {
         // Sequential scan I/O == page_count when the pool is cold.
         let disk = Arc::new(DiskManager::new());
-        let pool = BufferPool::new(Arc::clone(&disk), 4, PolicyKind::Lru);
+        let pool = BufferPool::new(Arc::clone(&disk) as Arc<dyn DiskBackend>, 4, PolicyKind::Lru);
         let heap = HeapFile::create(Arc::clone(&pool)).unwrap();
         for i in 0..1000 {
             heap.insert(&row(i)).unwrap();

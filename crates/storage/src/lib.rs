@@ -21,14 +21,28 @@
 //!   [`page::Rid`]s, supporting duplicates, equality and range scans; its
 //!   height feeds the optimizer's index-probe cost.
 
+//! * [`fault::FaultInjector`] — a deterministic fault-injecting
+//!   [`disk::DiskBackend`] wrapper (I/O errors, torn writes, bit flips)
+//!   used by the chaos suite; page CRC-32 checksums ([`checksum`]) stamped
+//!   and verified by the buffer pool turn silent corruption into typed
+//!   `Corruption` errors.
+
+// Library code must not panic on fault paths: unwrap/expect are banned
+// outside tests (each test module opts back in locally).
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod btree;
 pub mod buffer;
+pub mod checksum;
 pub mod disk;
+pub mod fault;
 pub mod heap;
 pub mod page;
 
 pub use btree::BTreeIndex;
 pub use buffer::{BufferPool, PolicyKind, PoolSnapshot};
-pub use disk::{DiskManager, IoSnapshot};
+pub use checksum::crc32;
+pub use disk::{DiskBackend, DiskManager, IoSnapshot};
+pub use fault::{FaultConfig, FaultInjector, FaultReport};
 pub use heap::HeapFile;
 pub use page::{PageId, Rid, INVALID_PAGE_ID, PAGE_SIZE};

@@ -103,7 +103,9 @@ impl<'a> SlottedPage<'a> {
 
     /// Next page in the heap-file chain.
     pub fn next_page(&self) -> PageId {
-        u64::from_le_bytes(self.data[4..12].try_into().expect("8 bytes"))
+        let mut bytes = [0u8; 8];
+        bytes.copy_from_slice(&self.data[4..12]);
+        u64::from_le_bytes(bytes)
     }
 
     pub fn set_next_page(&mut self, id: PageId) {
@@ -199,6 +201,8 @@ impl<'a> SlottedPage<'a> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use proptest::prelude::*;
 

@@ -57,6 +57,7 @@ pub use evopt_workload as workload;
 pub use evopt_common::{Column, DataType, Schema, Tuple, Value};
 pub use evopt_core::{CostModel, Optimizer, OptimizerConfig, Strategy};
 pub use evopt_engine::{
-    AnalyzeConfig, Database, DatabaseConfig, HistogramKind, OperatorMetrics, PolicyKind,
-    PoolSnapshot, QueryMetrics, QueryResult,
+    AnalyzeConfig, CancellationToken, Database, DatabaseConfig, FaultConfig, FaultInjector,
+    FaultReport, GovernorConfig, HistogramKind, OperatorMetrics, PolicyKind, PoolSnapshot,
+    QueryMetrics, QueryResult,
 };

@@ -1,0 +1,263 @@
+//! Chaos suite (experiment R1): whole-stack fault injection.
+//!
+//! Each scenario loads a workload cleanly, then unleashes a deterministic,
+//! seed-driven fault schedule (transient I/O errors, torn writes, bit
+//! flips) on the simulated disk and re-runs real queries. The contract
+//! under fire:
+//!
+//! 1. **No panics, ever.** Any panic anywhere in the stack fails the test.
+//! 2. **Correct or typed.** Every query either returns exactly the
+//!    fault-free answer or fails with a fault-class error
+//!    (`is_fault()`): `Io`, `Corruption`, `Storage`, ...
+//! 3. **Counters stay consistent.** Pool and disk accounting never
+//!    contradict each other, faults included.
+//!
+//! Seeds: `CHAOS_SEED=<n>` pins one seed (the CI matrix runs 1, 2, 3);
+//! without it every default seed runs in-process.
+
+use evopt::{Database, DatabaseConfig, FaultConfig, Tuple};
+use evopt_workload::{load_tpch_lite, load_wisconsin};
+
+/// Seeds to exercise: the CHAOS_SEED env var pins one (CI matrix), default
+/// is all three.
+fn chaos_seeds() -> Vec<u64> {
+    match std::env::var("CHAOS_SEED") {
+        Ok(s) => vec![s
+            .parse()
+            .unwrap_or_else(|_| panic!("CHAOS_SEED must be an integer, got '{s}'"))],
+        Err(_) => vec![1, 2, 3],
+    }
+}
+
+/// A database with the chaos fault schedule installed but *disabled*, plus
+/// a fault-free twin for ground truth. Both small-pooled so queries do real
+/// I/O.
+fn twin_dbs(seed: u64) -> (Database, Database) {
+    let faulty = Database::new(DatabaseConfig {
+        buffer_pages: 32,
+        faults: Some(FaultConfig::chaos(seed)),
+        ..Default::default()
+    });
+    faulty
+        .fault_injector()
+        .expect("built with faults")
+        .set_enabled(false);
+    let clean = Database::new(DatabaseConfig {
+        buffer_pages: 32,
+        ..Default::default()
+    });
+    (faulty, clean)
+}
+
+fn load_both(faulty: &Database, clean: &Database, seed: u64) {
+    for db in [faulty, clean] {
+        load_wisconsin(db, "wisc", 2000, seed).unwrap();
+        db.execute("CREATE INDEX wisc_u1 ON wisc (unique1)").unwrap();
+        load_tpch_lite(db, 0.25, seed).unwrap();
+        db.execute("ANALYZE").unwrap();
+    }
+}
+
+/// Deterministic queries (ORDER BY throughout) spanning scans, index
+/// lookups, sorts, aggregation, and multi-table joins — enough operator
+/// diversity that spills and evictions happen in a 32-page pool.
+const QUERIES: &[&str] = &[
+    "SELECT COUNT(*) FROM wisc",
+    "SELECT unique1, stringu1 FROM wisc WHERE unique1 < 40 ORDER BY unique1",
+    "SELECT one_pct, COUNT(*) AS n FROM wisc GROUP BY one_pct ORDER BY one_pct",
+    "SELECT ten_pct, MIN(unique2) AS lo, MAX(unique2) AS hi FROM wisc \
+     GROUP BY ten_pct ORDER BY ten_pct",
+    "SELECT COUNT(*) FROM orders o JOIN customer c ON o.o_customer = c.c_key",
+    "SELECT c.c_nation, COUNT(*) AS n FROM orders o \
+     JOIN customer c ON o.o_customer = c.c_key \
+     GROUP BY c.c_nation ORDER BY n DESC, c.c_nation",
+    "SELECT unique2 FROM wisc WHERE odd = 1 ORDER BY unique2 DESC",
+];
+
+/// The core chaos scenario for one seed.
+fn run_chaos(seed: u64) {
+    let (faulty, clean) = twin_dbs(seed);
+    load_both(&faulty, &clean, seed);
+
+    // Ground truth, computed fault-free.
+    let expected: Vec<Vec<Tuple>> = QUERIES.iter().map(|q| clean.query(q).unwrap()).collect();
+
+    let injector = faulty.fault_injector().unwrap().clone();
+    let pool_before = faulty.pool().stats();
+    let io_before = faulty.disk().snapshot();
+    injector.set_enabled(true);
+
+    let mut ok = 0u32;
+    let mut typed_failures = 0u32;
+    // Several rounds so the random schedule hits different pages/ops.
+    for round in 0..6 {
+        for (q, want) in QUERIES.iter().zip(&expected) {
+            match faulty.query(q) {
+                Ok(rows) => {
+                    assert_eq!(
+                        &rows, want,
+                        "seed {seed} round {round}: wrong answer under faults for {q}"
+                    );
+                    ok += 1;
+                }
+                Err(e) => {
+                    assert!(
+                        e.is_fault(),
+                        "seed {seed} round {round}: non-fault error {e:?} ({}) for {q}",
+                        e.kind()
+                    );
+                    typed_failures += 1;
+                }
+            }
+        }
+    }
+    injector.set_enabled(false);
+
+    // The schedule actually fired.
+    let report = injector.report();
+    assert!(
+        report.total() > 0,
+        "seed {seed}: chaos schedule injected no faults in {} queries",
+        ok + typed_failures
+    );
+
+    // Counter consistency across the storm. Every successful pool miss did
+    // at least one physical read; fault-path fetches that failed clean did
+    // not inflate the miss count past the reads that served them.
+    let pool_delta = faulty.pool().stats().since(&pool_before);
+    let io_delta = faulty.disk().snapshot().since(&io_before);
+    assert!(
+        io_delta.reads >= pool_delta.misses,
+        "seed {seed}: {} pool misses but only {} physical reads",
+        pool_delta.misses,
+        io_delta.reads
+    );
+    assert_eq!(
+        io_delta.read_faults + io_delta.write_faults,
+        report.total(),
+        "seed {seed}: disk snapshot and injector report disagree on fault count"
+    );
+
+    // The engine survives: with faults off again, every query answers
+    // correctly unless it needs a page the schedule already corrupted on
+    // disk (those must keep failing typed, never silently wrong).
+    for (q, want) in QUERIES.iter().zip(&expected) {
+        match faulty.query(q) {
+            Ok(rows) => assert_eq!(&rows, want, "seed {seed}: wrong post-chaos answer for {q}"),
+            Err(e) => assert!(
+                e.is_fault(),
+                "seed {seed}: non-fault post-chaos error {e:?} for {q}"
+            ),
+        }
+    }
+}
+
+#[test]
+fn chaos_wisconsin_tpch_survives_fault_storm() {
+    for seed in chaos_seeds() {
+        run_chaos(seed);
+    }
+}
+
+/// Acceptance: 100% of injected silent corruptions (torn writes, bit
+/// flips) are caught by page checksums — a corrupted page can only produce
+/// `Corruption`, never wrong bytes.
+#[test]
+fn checksums_catch_every_injected_corruption() {
+    for seed in chaos_seeds() {
+        let (faulty, _clean) = twin_dbs(seed);
+        load_wisconsin(&faulty, "wisc", 1500, seed).unwrap();
+        faulty.execute("ANALYZE").unwrap();
+
+        let pool = faulty.pool().clone();
+        // Persist everything (stamping checksums), then empty the pool so
+        // the next fetch must hit the corrupted disk image.
+        pool.evict_all().unwrap();
+
+        let injector = faulty.fault_injector().unwrap();
+        let total_pages = faulty.disk().page_count();
+        assert!(total_pages > 8, "expected a multi-page database");
+        // Corrupt a deterministic sample: torn writes on even picks, bit
+        // flips on odd ones.
+        let victims: Vec<u64> = (0..total_pages).step_by(3).collect();
+        for (i, &page) in victims.iter().enumerate() {
+            if i % 2 == 0 {
+                injector.force_torn_write(page).unwrap();
+            } else {
+                injector.force_bit_flip(page).unwrap();
+            }
+        }
+
+        let mut caught = 0usize;
+        for &page in &victims {
+            match pool.fetch(page) {
+                Err(e) => {
+                    assert_eq!(
+                        e.kind(),
+                        "corruption",
+                        "seed {seed}: page {page} failed with {e:?}, want Corruption"
+                    );
+                    caught += 1;
+                }
+                Ok(_) => panic!(
+                    "seed {seed}: page {page} was corrupted on disk but fetch returned bytes"
+                ),
+            }
+        }
+        assert_eq!(
+            caught,
+            victims.len(),
+            "seed {seed}: checksum catch rate below 100%"
+        );
+        assert!(
+            pool.stats().corruptions >= victims.len() as u64,
+            "seed {seed}: pool corruption counter did not track the catches"
+        );
+    }
+}
+
+/// Transient read faults (no on-disk damage) heal via the pool's bounded
+/// retry: queries keep succeeding with correct answers, and the retry
+/// counter shows the faults were absorbed rather than never injected.
+#[test]
+fn transient_faults_are_absorbed_by_retry() {
+    let seed = chaos_seeds()[0];
+    // Transient faults only — nothing persists on disk, so every fault
+    // must heal within the pool's bounded retry.
+    let faulty = Database::new(DatabaseConfig {
+        buffer_pages: 16,
+        faults: Some(FaultConfig {
+            seed,
+            read_error: 0.20,
+            write_error: 0.10,
+            bit_flip_read: 0.10,
+            ..FaultConfig::default()
+        }),
+        ..Default::default()
+    });
+    let injector = faulty.fault_injector().unwrap().clone();
+    injector.set_enabled(false);
+    load_wisconsin(&faulty, "wisc", 1200, seed).unwrap();
+    faulty.execute("ANALYZE").unwrap();
+    let want = faulty.query("SELECT COUNT(*) FROM wisc").unwrap();
+
+    injector.set_enabled(true);
+    for _ in 0..5 {
+        // Force physical re-reads each round.
+        faulty.pool().evict_all().unwrap();
+        let got = faulty
+            .query("SELECT COUNT(*) FROM wisc")
+            .expect("transient faults must heal via bounded retry");
+        assert_eq!(got, want);
+    }
+    injector.set_enabled(false);
+    assert!(
+        faulty.pool().stats().retries > 0,
+        "retry counter never moved — schedule injected nothing"
+    );
+    assert_eq!(
+        faulty.pool().stats().corruptions,
+        0,
+        "transient-only schedule must not corrupt"
+    );
+}

@@ -1,0 +1,166 @@
+//! Resource-governor integration tests: every kill path (timeout, row
+//! budget, page budget, explicit cancel) lands as a typed error *with the
+//! partial metrics the query accumulated before dying*, and the session
+//! governor threads through the plain `Database::execute` path.
+
+use std::time::{Duration, Instant};
+
+use evopt::{CancellationToken, Database, DatabaseConfig, GovernorConfig};
+use evopt_workload::load_wisconsin;
+
+/// A database sized so that real queries do real pool traffic.
+fn wisc_db(rows: usize) -> Database {
+    let db = Database::new(DatabaseConfig {
+        buffer_pages: 32,
+        ..Default::default()
+    });
+    load_wisconsin(&db, "wisc", rows, 7).unwrap();
+    db.execute("ANALYZE").unwrap();
+    db
+}
+
+/// An expensive-by-construction query: an unindexed self-join forces a
+/// nested-loop over rows² comparisons.
+const EXPENSIVE: &str =
+    "SELECT COUNT(*) FROM wisc a JOIN wisc b ON a.ten_pct = b.twenty_pct";
+
+#[test]
+fn timeout_kills_mid_flight_with_partial_metrics() {
+    let db = wisc_db(3000);
+    let config = GovernorConfig::unlimited().with_timeout(Duration::from_millis(5));
+    let started = Instant::now();
+    let (result, metrics) = db.query_governed(EXPENSIVE, config, CancellationToken::new());
+    let wall = started.elapsed();
+
+    let err = result.expect_err("5ms is not enough for a 3000x3000 nested loop");
+    assert_eq!(err.kind(), "resource_exhausted");
+    assert!(
+        err.to_string().contains("timeout"),
+        "kill reason should name the timeout: {err}"
+    );
+    // The governor checks before every operator next(), so the kill lands
+    // promptly — allow generous slack for load, but nowhere near the
+    // seconds the full join would take.
+    assert!(
+        wall < Duration::from_secs(10),
+        "timeout kill took {wall:?}; governor is not checking per next()"
+    );
+
+    // Killed queries still report what they did.
+    let metrics = metrics.expect("kill happens during execution, metrics exist");
+    let root = metrics.root();
+    assert!(
+        root.next_calls > 0,
+        "the root operator was pulled at least once before the kill"
+    );
+    assert!(
+        metrics.pool_hits + metrics.pool_misses > 0,
+        "a join over 3000 rows touches the pool before 5ms elapse"
+    );
+}
+
+#[test]
+fn row_budget_trips_exactly_past_the_limit() {
+    let db = wisc_db(500);
+    let config = GovernorConfig::unlimited().with_max_rows(10);
+    let (result, metrics) = db.query_governed(
+        "SELECT unique1 FROM wisc ORDER BY unique1",
+        config,
+        CancellationToken::new(),
+    );
+
+    let err = result.expect_err("500 rows > 10-row budget");
+    assert_eq!(err.kind(), "resource_exhausted");
+    assert!(
+        err.to_string().contains("row budget"),
+        "kill reason should name the row budget: {err}"
+    );
+    // The budget is charged at the root drain: the root emitted at most
+    // limit + 1 rows before the governor stopped it.
+    let metrics = metrics.expect("metrics survive a row-budget kill");
+    assert!(
+        metrics.root().actual_rows <= 11,
+        "root emitted {} rows after a 10-row budget kill",
+        metrics.root().actual_rows
+    );
+}
+
+#[test]
+fn page_budget_trips_on_pool_traffic() {
+    let db = wisc_db(3000);
+    // Make every page a physical fetch again.
+    db.pool().evict_all().unwrap();
+    let config = GovernorConfig::unlimited().with_max_pages(4);
+    let (result, metrics) =
+        db.query_governed("SELECT COUNT(*) FROM wisc", config, CancellationToken::new());
+
+    let err = result.expect_err("a 3000-row scan needs more than 4 pages");
+    assert_eq!(err.kind(), "resource_exhausted");
+    assert!(
+        err.to_string().contains("page budget"),
+        "kill reason should name the page budget: {err}"
+    );
+    let metrics = metrics.expect("metrics survive a page-budget kill");
+    assert!(
+        metrics.pool_hits + metrics.pool_misses > 4,
+        "the kill fired because pool traffic exceeded the budget"
+    );
+}
+
+#[test]
+fn pre_canceled_token_kills_before_first_row() {
+    let db = wisc_db(200);
+    let token = CancellationToken::new();
+    token.cancel();
+    let (result, metrics) =
+        db.query_governed("SELECT COUNT(*) FROM wisc", GovernorConfig::unlimited(), token);
+
+    let err = result.expect_err("canceled before the first next()");
+    assert_eq!(err.kind(), "canceled");
+    // Cancellation is observed before the root produces anything.
+    let metrics = metrics.expect("metrics exist even for an instant kill");
+    assert_eq!(metrics.root().actual_rows, 0);
+}
+
+#[test]
+fn unlimited_governor_changes_nothing() {
+    let db = wisc_db(300);
+    let sql = "SELECT one_pct, COUNT(*) AS n FROM wisc GROUP BY one_pct ORDER BY one_pct";
+    let want = db.query(sql).unwrap();
+    let (result, metrics) =
+        db.query_governed(sql, GovernorConfig::unlimited(), CancellationToken::new());
+    assert_eq!(result.unwrap(), want);
+    let metrics = metrics.unwrap();
+    assert_eq!(metrics.root().actual_rows, want_len(&want));
+}
+
+fn want_len(rows: &[evopt::Tuple]) -> u64 {
+    rows.len() as u64
+}
+
+#[test]
+fn session_governor_threads_through_execute() {
+    let db = wisc_db(500);
+
+    // Within budget: execute succeeds and attaches metrics (the governed
+    // path is instrumented).
+    db.set_governor(GovernorConfig::unlimited().with_max_rows(1000));
+    let result = db.execute("SELECT unique1 FROM wisc WHERE unique1 < 20").unwrap();
+    assert!(
+        result.metrics().is_some(),
+        "governed SELECTs report metrics on success"
+    );
+    assert_eq!(result.rows().len(), 20);
+
+    // Over budget: the same plain execute path now fails typed.
+    db.set_governor(GovernorConfig::unlimited().with_max_rows(5));
+    let err = db
+        .execute("SELECT unique1 FROM wisc ORDER BY unique1")
+        .expect_err("500 rows > 5-row session budget");
+    assert_eq!(err.kind(), "resource_exhausted");
+
+    // Lifting the governor restores the ungoverned path.
+    db.set_governor(GovernorConfig::unlimited());
+    let rows = db.query("SELECT COUNT(*) FROM wisc").unwrap();
+    assert_eq!(rows.len(), 1);
+}
