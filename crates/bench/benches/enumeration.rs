@@ -30,7 +30,10 @@ fn bench_enumeration(c: &mut Criterion) {
             Strategy::DpCcp,
             Strategy::Greedy,
             Strategy::Goo,
-            Strategy::QuickPick { samples: 50, seed: 1 },
+            Strategy::QuickPick {
+                samples: 50,
+                seed: 1,
+            },
         ] {
             // Bushy DP on the 9-chain is slow enough to dominate the run.
             if matches!(strategy, Strategy::BushyDp) && n > 8 {
@@ -38,10 +41,7 @@ fn bench_enumeration(c: &mut Criterion) {
             }
             db.set_strategy(strategy);
             group.bench_with_input(
-                BenchmarkId::new(
-                    format!("{}-{}", topo.name(), n),
-                    strategy.name(),
-                ),
+                BenchmarkId::new(format!("{}-{}", topo.name(), n), strategy.name()),
                 &sql,
                 |b, sql| b.iter(|| db.plan_sql(sql).expect("plan")),
             );

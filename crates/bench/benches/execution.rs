@@ -1,6 +1,11 @@
 //! Criterion bench behind **T1/T4**: end-to-end execution wall-clock of the
 //! optimized plan vs the syntactic baseline, and of the individual join
 //! methods (the time-domain complement to the page-I/O tables).
+//!
+//! Also the batch-size sweep: the same plans at `batch_rows` ∈
+//! {1, 64, 256, 1024, 4096}, where 1 is the old tuple-at-a-time Volcano
+//! behaviour — the measured tuple-vs-batch speedup recorded in
+//! EXPERIMENTS.md.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use evopt_engine::{Database, Strategy};
@@ -11,8 +16,10 @@ fn setup() -> Database {
     load_tpch_lite(&db, 0.3, 42).expect("tpch");
     load_wisconsin(&db, "wisc_a", 3_000, 42).expect("wa");
     load_wisconsin(&db, "wisc_b", 3_000, 43).expect("wb");
-    db.execute("CREATE INDEX wa_u1 ON wisc_a (unique1)").unwrap();
-    db.execute("CREATE INDEX wb_u1 ON wisc_b (unique1)").unwrap();
+    db.execute("CREATE INDEX wa_u1 ON wisc_a (unique1)")
+        .unwrap();
+    db.execute("CREATE INDEX wb_u1 ON wisc_b (unique1)")
+        .unwrap();
     db.execute("ANALYZE").unwrap();
     db
 }
@@ -51,9 +58,46 @@ fn bench_optimized_vs_baseline(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_batch_size_sweep(c: &mut Criterion) {
+    let db = setup();
+    // One scan-heavy and one join-heavy query: per-next_batch overheads
+    // (virtual dispatch, instrumentation, drain loop) dominate differently.
+    let queries = [
+        (
+            "wisc-scan-agg",
+            "SELECT ten_pct, COUNT(*), SUM(unique2) FROM wisc_a GROUP BY ten_pct",
+        ),
+        (
+            "wisc-join",
+            "SELECT COUNT(*) FROM wisc_a a JOIN wisc_b b ON a.unique1 = b.unique1 \
+             WHERE a.one_pct = 3",
+        ),
+    ];
+    let mut group = c.benchmark_group("batch-size-sweep");
+    for (label, sql) in queries {
+        let (_, plan) = db.plan_sql(sql).expect("plan");
+        for batch_rows in [1usize, 64, 256, 1024, 4096] {
+            db.set_batch_rows(batch_rows);
+            group.bench_with_input(BenchmarkId::new(label, batch_rows), &plan, |b, plan| {
+                b.iter(|| db.run_plan(plan).expect("run"))
+            });
+            // The instrumented path pays two Instant::now() stamps plus
+            // pool/disk snapshot deltas per next_batch() per operator —
+            // the overhead batching exists to amortize.
+            group.bench_with_input(
+                BenchmarkId::new(format!("{label}-instrumented"), batch_rows),
+                &plan,
+                |b, plan| b.iter(|| db.run_plan_instrumented(plan).expect("run")),
+            );
+        }
+    }
+    db.set_batch_rows(1024);
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_optimized_vs_baseline
+    targets = bench_optimized_vs_baseline, bench_batch_size_sweep
 }
 criterion_main!(benches);

@@ -37,9 +37,7 @@ fn bench_heap_scan(c: &mut Criterion) {
         .unwrap();
     }
     let mut group = c.benchmark_group("heap");
-    group.bench_function("full-scan-20k", |b| {
-        b.iter(|| heap.scan().count())
-    });
+    group.bench_function("full-scan-20k", |b| b.iter(|| heap.scan().count()));
     group.finish();
 }
 

@@ -54,9 +54,7 @@ fn main() {
     experiment!("a1", a1);
 
     if ran == 0 {
-        eprintln!(
-            "unknown experiment id(s) {wanted:?}; expected t1..t5, f1..f5, a1, or all"
-        );
+        eprintln!("unknown experiment id(s) {wanted:?}; expected t1..t5, f1..f5, a1, or all");
         std::process::exit(2);
     }
 }

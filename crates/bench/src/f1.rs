@@ -70,7 +70,16 @@ impl Report {
     pub fn render(&self) -> String {
         let mut t = Table::new(
             "F1: optimization time (µs) vs relation count",
-            &["topology", "n", "system-r", "bushy-dp", "dpccp", "greedy", "goo", "quickpick"],
+            &[
+                "topology",
+                "n",
+                "system-r",
+                "bushy-dp",
+                "dpccp",
+                "greedy",
+                "goo",
+                "quickpick",
+            ],
         );
         for r in &self.rows {
             let get = |s: &str| {
@@ -110,16 +119,17 @@ pub fn run(p: &Params) -> Report {
                 Strategy::DpCcp,
                 Strategy::Greedy,
                 Strategy::Goo,
-                Strategy::QuickPick { samples: 100, seed: 1 },
+                Strategy::QuickPick {
+                    samples: 100,
+                    seed: 1,
+                },
             ] {
                 // Both exhaustive bushy enumerators are O(3ⁿ) on cliques;
                 // cap them there (DPccp stays uncapped on sparse graphs —
                 // that's its whole point).
                 let capped = match strategy {
                     Strategy::BushyDp => n > p.bushy_max_n,
-                    Strategy::DpCcp => {
-                        matches!(topo, Topology::Clique) && n > p.bushy_max_n
-                    }
+                    Strategy::DpCcp => matches!(topo, Topology::Clique) && n > p.bushy_max_n,
                     _ => false,
                 };
                 if capped {

@@ -30,7 +30,12 @@ impl Params {
 
     pub fn full() -> Params {
         Params {
-            topologies: vec![Topology::Chain, Topology::Star, Topology::Cycle, Topology::Clique],
+            topologies: vec![
+                Topology::Chain,
+                Topology::Star,
+                Topology::Cycle,
+                Topology::Clique,
+            ],
             sizes: vec![4, 6, 8],
             base_rows: 80,
             seed: 4,
@@ -65,7 +70,15 @@ impl Report {
     pub fn render(&self) -> String {
         let mut t = Table::new(
             "F2: plan cost ratio to optimal (bushy DP = 1.0)",
-            &["topology", "n", "system-r", "greedy", "goo", "quickpick-8", "syntactic"],
+            &[
+                "topology",
+                "n",
+                "system-r",
+                "greedy",
+                "goo",
+                "quickpick-8",
+                "syntactic",
+            ],
         );
         for r in &self.rows {
             t.row(vec![
@@ -99,7 +112,10 @@ pub fn run(p: &Params) -> Report {
                 Strategy::SystemR,
                 Strategy::Greedy,
                 Strategy::Goo,
-                Strategy::QuickPick { samples: 8, seed: 1 },
+                Strategy::QuickPick {
+                    samples: 8,
+                    seed: 1,
+                },
                 Strategy::Syntactic,
             ] {
                 db.set_strategy(strategy);
@@ -144,11 +160,7 @@ mod tests {
             // Greedy never beats DP (ratio >= 1).
             assert!(r.ratio("greedy") >= 0.999);
             // Syntactic is the worst or tied-worst in every row.
-            let max = r
-                .ratios
-                .iter()
-                .map(|(_, v)| *v)
-                .fold(0.0f64, f64::max);
+            let max = r.ratios.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
             assert!(
                 r.ratio("syntactic") >= max * 0.999,
                 "{} n={}: syntactic {:.2} not worst ({:.2})",

@@ -75,7 +75,8 @@ pub fn run(p: &Params) -> Report {
     });
     load_wisconsin(&db, "wa", p.rows, p.seed).unwrap();
     load_wisconsin(&db, "wb", p.rows, p.seed + 1).unwrap();
-    db.execute("CREATE CLUSTERED INDEX wa_u2 ON wa (unique2)").unwrap();
+    db.execute("CREATE CLUSTERED INDEX wa_u2 ON wa (unique2)")
+        .unwrap();
     db.execute("CREATE INDEX wa_u1 ON wa (unique1)").unwrap();
     db.execute("CREATE INDEX wb_u1 ON wb (unique1)").unwrap();
     db.execute("ANALYZE").unwrap();

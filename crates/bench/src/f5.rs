@@ -68,7 +68,14 @@ impl Report {
     pub fn render(&self) -> String {
         let mut t = Table::new(
             "F5: measured-I/O regret from injected leaf-cardinality error",
-            &["chain n", "epsilon", "io truth", "io distorted", "regret", "order changed"],
+            &[
+                "chain n",
+                "epsilon",
+                "io truth",
+                "io distorted",
+                "regret",
+                "order changed",
+            ],
         );
         for r in &self.rows {
             t.row(vec![

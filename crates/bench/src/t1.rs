@@ -193,8 +193,10 @@ pub fn setup(p: &Params) -> Database {
     load_tpch_lite(&db, p.tpch_scale, p.seed).expect("tpch load");
     load_wisconsin(&db, "wisc_a", p.wisconsin_rows, p.seed).expect("wisc_a");
     load_wisconsin(&db, "wisc_b", p.wisconsin_rows, p.seed + 1).expect("wisc_b");
-    db.execute("CREATE INDEX wisc_a_u1 ON wisc_a (unique1)").unwrap();
-    db.execute("CREATE INDEX wisc_b_u1 ON wisc_b (unique1)").unwrap();
+    db.execute("CREATE INDEX wisc_a_u1 ON wisc_a (unique1)")
+        .unwrap();
+    db.execute("CREATE INDEX wisc_b_u1 ON wisc_b (unique1)")
+        .unwrap();
     star_workload(p).load(&db, true).expect("star");
     chain_workload(p).load(&db, true).expect("chain");
     db.execute("ANALYZE").unwrap();
@@ -210,7 +212,10 @@ pub fn run(p: &Params) -> Report {
         let mut est = [0f64; 2];
         let mut micros = [0u128; 2];
         let mut returned = 0usize;
-        for (i, strategy) in [Strategy::SystemR, Strategy::Syntactic].into_iter().enumerate() {
+        for (i, strategy) in [Strategy::SystemR, Strategy::Syntactic]
+            .into_iter()
+            .enumerate()
+        {
             db.set_strategy(strategy);
             let (_, physical) = db.plan_sql(&sql).expect("plan");
             est[i] = model.total(physical.est_cost);

@@ -89,7 +89,12 @@ impl Report {
         for r in &self.rows {
             t.row(vec![
                 format!("{:.4}", r.selectivity),
-                if r.clustered { "clustered" } else { "unclustered" }.into(),
+                if r.clustered {
+                    "clustered"
+                } else {
+                    "unclustered"
+                }
+                .into(),
                 r.io_seq.to_string(),
                 r.io_index.to_string(),
                 r.optimizer_pick.clone(),
@@ -156,8 +161,10 @@ pub fn run(p: &Params) -> Report {
     load_wisconsin(&db, "wisc", p.rows, p.seed).unwrap();
     // unique2 is loaded in order → clustered; unique1 is a permutation →
     // unclustered.
-    db.execute("CREATE CLUSTERED INDEX wisc_u2 ON wisc (unique2)").unwrap();
-    db.execute("CREATE INDEX wisc_u1 ON wisc (unique1)").unwrap();
+    db.execute("CREATE CLUSTERED INDEX wisc_u2 ON wisc (unique2)")
+        .unwrap();
+    db.execute("CREATE INDEX wisc_u1 ON wisc (unique1)")
+        .unwrap();
     db.execute("ANALYZE").unwrap();
 
     let mut rows = Vec::new();
@@ -171,9 +178,7 @@ pub fn run(p: &Params) -> Report {
             assert_eq!(n_seq, n_idx, "paths must agree on the result");
             // What does the optimizer pick? (Look through the projection.)
             let (_, physical) = db
-                .plan_sql(&format!(
-                    "SELECT * FROM wisc WHERE {column} < {cutoff}"
-                ))
+                .plan_sql(&format!("SELECT * FROM wisc WHERE {column} < {cutoff}"))
                 .unwrap();
             fn scan_of(p: &PhysicalPlan) -> &'static str {
                 match p.op_name() {

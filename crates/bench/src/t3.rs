@@ -94,7 +94,14 @@ impl Report {
     pub fn render(&self) -> String {
         let mut t = Table::new(
             "T3: cardinality estimation q-error by statistics configuration",
-            &["zipf θ", "stats", "eq med", "eq p95", "range med", "range p95"],
+            &[
+                "zipf θ",
+                "stats",
+                "eq med",
+                "eq p95",
+                "range med",
+                "range p95",
+            ],
         );
         for r in &self.rows {
             t.row(vec![
@@ -132,8 +139,10 @@ pub fn run(p: &Params) -> Report {
         for (config_name, acfg) in &p.configs {
             let db = Database::with_defaults();
             db.execute("CREATE TABLE data (v INT NOT NULL)").unwrap();
-            let tuples: Vec<Tuple> =
-                values.iter().map(|&v| Tuple::new(vec![Value::Int(v)])).collect();
+            let tuples: Vec<Tuple> = values
+                .iter()
+                .map(|&v| Tuple::new(vec![Value::Int(v)]))
+                .collect();
             db.insert_tuples("data", &tuples).unwrap();
             db.set_analyze_config(*acfg);
             db.execute("ANALYZE").unwrap();
@@ -164,10 +173,8 @@ pub fn run(p: &Params) -> Report {
                     Expr::binary(BinOp::LtEq, col(0), lit(hi)),
                 );
                 let sel = est.selectivity(&expr);
-                let truth = (lo..=hi)
-                    .map(|k| freq[k as usize])
-                    .sum::<usize>() as f64
-                    / p.rows as f64;
+                let truth =
+                    (lo..=hi).map(|k| freq[k as usize]).sum::<usize>() as f64 / p.rows as f64;
                 range_q.push(q_error(sel, truth.max(1.0 / p.rows as f64)));
             }
             report.rows.push(Row {

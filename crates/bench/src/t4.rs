@@ -75,10 +75,7 @@ impl Row {
     /// I/O of the optimizer's pick relative to the best measured method.
     pub fn pick_regret(&self) -> f64 {
         let best = self.methods.iter().map(|(_, io)| *io).min().unwrap().max(1);
-        let picked = self
-            .io_of(&self.optimizer_pick)
-            .unwrap_or(best)
-            .max(1);
+        let picked = self.io_of(&self.optimizer_pick).unwrap_or(best).max(1);
         picked as f64 / best as f64
     }
 }
@@ -92,7 +89,9 @@ impl Report {
     pub fn render(&self) -> String {
         let mut t = Table::new(
             "T4: join-method I/O by input sizes (inner indexed)",
-            &["|outer|", "|inner|", "BNL", "INL", "SMJ", "HJ", "opt pick", "regret"],
+            &[
+                "|outer|", "|inner|", "BNL", "INL", "SMJ", "HJ", "opt pick", "regret",
+            ],
         );
         for r in &self.rows {
             let get = |m: &str| {
@@ -137,10 +136,7 @@ fn setup(outer: usize, inner: usize, buffer_pages: usize, seed: u64) -> Database
                 } else {
                     rng.random_range(0..inner.max(1) as i64)
                 };
-                Tuple::new(vec![
-                    Value::Int(key),
-                    Value::Str(format!("pad-{i:08}")),
-                ])
+                Tuple::new(vec![Value::Int(key), Value::Str(format!("pad-{i:08}"))])
             })
             .collect();
         db.insert_tuples(name, &tuples).unwrap();

@@ -76,7 +76,14 @@ impl Report {
                 self.rho_io,
                 self.worst_q_error
             ),
-            &["query", "strategy", "est cost", "est io", "measured io", "max q-err"],
+            &[
+                "query",
+                "strategy",
+                "est cost",
+                "est io",
+                "measured io",
+                "max q-err",
+            ],
         );
         for p in &self.points {
             t.row(vec![
@@ -99,7 +106,8 @@ pub fn run(p: &Params) -> Report {
     });
     load_tpch_lite(&db, p.tpch_scale, p.seed).unwrap();
     load_wisconsin(&db, "wisc", p.wisconsin_rows, p.seed).unwrap();
-    db.execute("CREATE INDEX wisc_u1 ON wisc (unique1)").unwrap();
+    db.execute("CREATE INDEX wisc_u1 ON wisc (unique1)")
+        .unwrap();
     let chain = JoinWorkload::new(Topology::Chain, 3, 200, p.seed);
     chain.load(&db, true).unwrap();
     db.execute("ANALYZE").unwrap();
@@ -131,8 +139,14 @@ pub fn run(p: &Params) -> Report {
         Strategy::SystemR,
         Strategy::Greedy,
         Strategy::Syntactic,
-        Strategy::QuickPick { samples: 1, seed: 1 },
-        Strategy::QuickPick { samples: 1, seed: 2 },
+        Strategy::QuickPick {
+            samples: 1,
+            seed: 1,
+        },
+        Strategy::QuickPick {
+            samples: 1,
+            seed: 2,
+        },
     ];
 
     let model = db.optimizer_config().cost_model;
@@ -163,7 +177,12 @@ pub fn run(p: &Params) -> Report {
     let rho = spearman(&est, &io);
     let rho_io = spearman(&est_io, &io);
     let worst_q_error = points.iter().map(|p| p.max_q_error).fold(1.0, f64::max);
-    Report { points, rho, rho_io, worst_q_error }
+    Report {
+        points,
+        rho,
+        rho_io,
+        worst_q_error,
+    }
 }
 
 #[cfg(test)]

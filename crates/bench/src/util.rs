@@ -123,10 +123,7 @@ fn pearson(a: &[f64], b: &[f64]) -> f64 {
     if n < 2.0 {
         return f64::NAN;
     }
-    let (ma, mb) = (
-        a.iter().sum::<f64>() / n,
-        b.iter().sum::<f64>() / n,
-    );
+    let (ma, mb) = (a.iter().sum::<f64>() / n, b.iter().sum::<f64>() / n);
     let mut cov = 0.0;
     let mut va = 0.0;
     let mut vb = 0.0;

@@ -253,11 +253,13 @@ mod tests {
         t.heap
             .insert(&Tuple::new(vec![Value::Int(1), Value::Str("a".into())]))
             .unwrap();
-        cat.create_index("idx_t_id", "t", "id", true, false).unwrap();
+        cat.create_index("idx_t_id", "t", "id", true, false)
+            .unwrap();
         cat.drop_table("t").unwrap();
         // Index name is reusable after the drop.
         cat.create_table("t", two_col_schema()).unwrap();
-        cat.create_index("idx_t_id", "t", "id", true, false).unwrap();
+        cat.create_index("idx_t_id", "t", "id", true, false)
+            .unwrap();
     }
 
     #[test]
@@ -303,7 +305,9 @@ mod tests {
         cat.create_index("i", "t", "id", false, false).unwrap();
         assert!(cat.create_index("I", "t", "name", false, false).is_err());
         assert!(cat.create_index("j", "t", "nope", false, false).is_err());
-        assert!(cat.create_index("k", "missing", "id", false, false).is_err());
+        assert!(cat
+            .create_index("k", "missing", "id", false, false)
+            .is_err());
     }
 
     #[test]
@@ -311,7 +315,8 @@ mod tests {
         let cat = mkcatalog();
         let t = cat.create_table("t", two_col_schema()).unwrap();
         cat.create_index("i_id", "t", "id", false, false).unwrap();
-        cat.create_index("i_name", "t", "name", false, false).unwrap();
+        cat.create_index("i_name", "t", "name", false, false)
+            .unwrap();
         assert_eq!(t.indexes().len(), 2);
         assert_eq!(t.indexes_on(0).len(), 1);
         assert_eq!(t.indexes_on(0)[0].name, "i_id");

@@ -1,0 +1,134 @@
+//! Row batches: the unit of data flow in the vectorized executor.
+//!
+//! A [`Batch`] is a schema plus an ordered run of tuples. Operators hand
+//! batches (default capacity [`DEFAULT_BATCH_ROWS`]) down the plan tree
+//! instead of single rows, so per-call overhead — virtual dispatch,
+//! instrumentation stamps, governor checks — is paid once per batch rather
+//! than once per tuple.
+//!
+//! Contract observed by the execution layer: a produced batch is never
+//! empty (`None` signals exhaustion), and it never exceeds the executor
+//! environment's configured batch capacity.
+
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+
+/// Default rows per batch. Large enough to amortize per-batch overhead to
+/// noise, small enough that a batch of wide tuples stays cache-friendly
+/// and a governed kill lands promptly.
+pub const DEFAULT_BATCH_ROWS: usize = 1024;
+
+/// An ordered run of rows sharing one schema.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Batch {
+    schema: Schema,
+    rows: Vec<Tuple>,
+}
+
+impl Batch {
+    pub fn new(schema: Schema, rows: Vec<Tuple>) -> Batch {
+        Batch { schema, rows }
+    }
+
+    /// An empty batch with room for `capacity` rows.
+    pub fn with_capacity(schema: Schema, capacity: usize) -> Batch {
+        Batch {
+            schema,
+            rows: Vec::with_capacity(capacity),
+        }
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    pub fn push(&mut self, row: Tuple) {
+        self.rows.push(row);
+    }
+
+    /// Keep only the first `n` rows (no-op when already shorter).
+    pub fn truncate(&mut self, n: usize) {
+        self.rows.truncate(n);
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, Tuple> {
+        self.rows.iter()
+    }
+
+    /// Give up the rows, dropping the schema.
+    pub fn into_rows(self) -> Vec<Tuple> {
+        self.rows
+    }
+
+    /// Split into schema and rows (for operators that rebuild the batch
+    /// after a row-wise transform).
+    pub fn into_parts(self) -> (Schema, Vec<Tuple>) {
+        (self.schema, self.rows)
+    }
+}
+
+impl IntoIterator for Batch {
+    type Item = Tuple;
+    type IntoIter = std::vec::IntoIter<Tuple>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.rows.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Batch {
+    type Item = &'a Tuple;
+    type IntoIter = std::slice::Iter<'a, Tuple>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.rows.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn row(i: i64) -> Tuple {
+        Tuple::new(vec![Value::Int(i)])
+    }
+
+    #[test]
+    fn push_truncate_and_drain() {
+        let mut b = Batch::with_capacity(Schema::empty(), 4);
+        assert!(b.is_empty());
+        for i in 0..4 {
+            b.push(row(i));
+        }
+        assert_eq!(b.len(), 4);
+        b.truncate(2);
+        assert_eq!(b.len(), 2);
+        b.truncate(10); // no-op past the end
+        assert_eq!(b.into_rows(), vec![row(0), row(1)]);
+    }
+
+    #[test]
+    fn iteration_orders_match() {
+        let b = Batch::new(Schema::empty(), vec![row(3), row(1), row(2)]);
+        let by_ref: Vec<i64> = b
+            .iter()
+            .map(|t| t.value(0).unwrap().as_i64().unwrap())
+            .collect();
+        assert_eq!(by_ref, vec![3, 1, 2]);
+        let owned: Vec<Tuple> = b.into_iter().collect();
+        assert_eq!(owned, vec![row(3), row(1), row(2)]);
+    }
+}

@@ -124,14 +124,18 @@ impl AggFunc {
                 if arg.is_numeric() {
                     Ok(arg)
                 } else {
-                    Err(EvoptError::Bind(format!("SUM requires a numeric argument, got {arg}")))
+                    Err(EvoptError::Bind(format!(
+                        "SUM requires a numeric argument, got {arg}"
+                    )))
                 }
             }
             AggFunc::Avg => {
                 if arg.is_numeric() {
                     Ok(DataType::Float)
                 } else {
-                    Err(EvoptError::Bind(format!("AVG requires a numeric argument, got {arg}")))
+                    Err(EvoptError::Bind(format!(
+                        "AVG requires a numeric argument, got {arg}"
+                    )))
                 }
             }
             AggFunc::Min | AggFunc::Max => Ok(arg),
@@ -370,10 +374,7 @@ impl Expr {
                     Ok(DataType::Bool)
                 } else {
                     let t = lt.unify(rt).filter(|t| t.is_numeric()).ok_or_else(|| {
-                        EvoptError::Bind(format!(
-                            "cannot apply {} to {lt} and {rt}",
-                            op.symbol()
-                        ))
+                        EvoptError::Bind(format!("cannot apply {} to {lt} and {rt}", op.symbol()))
                     })?;
                     if *op == BinOp::Div && t == DataType::Int {
                         Ok(DataType::Int)
@@ -387,9 +388,7 @@ impl Expr {
                 match op {
                     UnOp::Not => {
                         if t != DataType::Bool {
-                            return Err(EvoptError::Bind(format!(
-                                "NOT requires BOOL, got {t}"
-                            )));
+                            return Err(EvoptError::Bind(format!("NOT requires BOOL, got {t}")));
                         }
                         Ok(DataType::Bool)
                     }
@@ -823,10 +822,7 @@ mod tests {
     #[test]
     fn and_short_circuits_errors_on_right() {
         // FALSE AND (1/0 = 1) must not error.
-        let bad = Expr::eq(
-            Expr::binary(BinOp::Div, lit(1i64), lit(0i64)),
-            lit(1i64),
-        );
+        let bad = Expr::eq(Expr::binary(BinOp::Div, lit(1i64), lit(0i64)), lit(1i64));
         let e = Expr::and(lit(false), bad);
         assert_eq!(e.eval(&row(vec![])).unwrap(), Value::Bool(false));
     }
@@ -943,19 +939,27 @@ mod tests {
             DataType::Bool
         );
         assert_eq!(
-            Expr::binary(BinOp::Add, col(0), lit(1.5)).data_type(&schema).unwrap(),
+            Expr::binary(BinOp::Add, col(0), lit(1.5))
+                .data_type(&schema)
+                .unwrap(),
             DataType::Float
         );
         assert!(Expr::eq(col(0), col(1)).data_type(&schema).is_err());
         assert!(Expr::and(col(0), col(2)).data_type(&schema).is_err());
         assert!(Expr::not(col(2)).data_type(&schema).is_ok());
-        assert!(Expr::binary(BinOp::Add, col(1), col(1)).data_type(&schema).is_err());
+        assert!(Expr::binary(BinOp::Add, col(1), col(1))
+            .data_type(&schema)
+            .is_err());
     }
 
     #[test]
     fn constant_folding() {
         // (1 + 2) < 5 folds to TRUE
-        let e = Expr::binary(BinOp::Lt, Expr::binary(BinOp::Add, lit(1i64), lit(2i64)), lit(5i64));
+        let e = Expr::binary(
+            BinOp::Lt,
+            Expr::binary(BinOp::Add, lit(1i64), lit(2i64)),
+            lit(5i64),
+        );
         assert_eq!(e.fold_constants(), lit(true));
         // col0 = (2*3) folds the right side only
         let e = Expr::eq(col(0), Expr::binary(BinOp::Mul, lit(2i64), lit(3i64)));
@@ -964,7 +968,10 @@ mod tests {
         let p = Expr::eq(col(0), lit(1i64));
         assert_eq!(Expr::and(lit(true), p.clone()).fold_constants(), p);
         // p AND FALSE folds to FALSE
-        assert_eq!(Expr::and(p.clone(), lit(false)).fold_constants(), lit(false));
+        assert_eq!(
+            Expr::and(p.clone(), lit(false)).fold_constants(),
+            lit(false)
+        );
         // 1/0 stays unfolded (errors only at runtime)
         let e = Expr::binary(BinOp::Div, lit(1i64), lit(0i64));
         assert_eq!(e.fold_constants(), e);

@@ -8,6 +8,8 @@
 //!   qualifiers, used for name resolution and plan typing.
 //! * [`Tuple`] — a row of values with a compact binary (de)serialisation used
 //!   by the storage layer.
+//! * [`Batch`] — a schema plus an ordered run of tuples: the unit of data
+//!   flow between executor operators.
 //! * [`Expr`] — bound scalar expression trees (column ordinals, literals,
 //!   comparisons, boolean connectives, arithmetic, `LIKE`, `IN`, `BETWEEN`)
 //!   with an evaluator and a constant folder.
@@ -16,12 +18,14 @@
 //! Nothing in this crate knows about pages, statistics, plans or SQL; it is
 //! the vocabulary the rest of the system speaks.
 
+pub mod batch;
 pub mod error;
 pub mod expr;
 pub mod schema;
 pub mod tuple;
 pub mod value;
 
+pub use batch::{Batch, DEFAULT_BATCH_ROWS};
 pub use error::{EvoptError, Result};
 pub use expr::{AggFunc, BinOp, Expr, UnOp};
 pub use schema::{Column, Schema};

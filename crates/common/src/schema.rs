@@ -120,9 +120,7 @@ impl Schema {
                 hit = Some(i);
             }
         }
-        hit.ok_or_else(|| {
-            EvoptError::Bind(format!("unknown column '{}'", qualified(table, name)))
-        })
+        hit.ok_or_else(|| EvoptError::Bind(format!("unknown column '{}'", qualified(table, name))))
     }
 
     /// Concatenate two schemas (join output).

@@ -162,9 +162,7 @@ impl Value {
             return Ok(Value::Null);
         }
         match (self, other) {
-            (Value::Int(_), Value::Int(0)) => {
-                Err(EvoptError::Execution("division by zero".into()))
-            }
+            (Value::Int(_), Value::Int(0)) => Err(EvoptError::Execution("division by zero".into())),
             (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a / b)),
             _ => {
                 let (a, b) = require_numeric(self, other, "/")?;
@@ -183,9 +181,7 @@ impl Value {
             return Ok(Value::Null);
         }
         match (self, other) {
-            (Value::Int(_), Value::Int(0)) => {
-                Err(EvoptError::Execution("modulo by zero".into()))
-            }
+            (Value::Int(_), Value::Int(0)) => Err(EvoptError::Execution("modulo by zero".into())),
             (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a % b)),
             _ => Err(EvoptError::Execution(format!(
                 "cannot apply % to {self:?} and {other:?}"
@@ -391,18 +387,12 @@ mod tests {
 
     #[test]
     fn arithmetic_int_and_float() {
-        assert_eq!(
-            Value::Int(2).add(&Value::Int(3)).unwrap(),
-            Value::Int(5)
-        );
+        assert_eq!(Value::Int(2).add(&Value::Int(3)).unwrap(), Value::Int(5));
         assert_eq!(
             Value::Int(2).add(&Value::Float(0.5)).unwrap(),
             Value::Float(2.5)
         );
-        assert_eq!(
-            Value::Int(7).div(&Value::Int(2)).unwrap(),
-            Value::Int(3)
-        );
+        assert_eq!(Value::Int(7).div(&Value::Int(2)).unwrap(), Value::Int(3));
         assert_eq!(
             Value::Float(7.0).div(&Value::Int(2)).unwrap(),
             Value::Float(3.5)

@@ -207,11 +207,7 @@ pub fn access_paths(
 
     // Sequential scan. If the heap is clustered on some index's column, the
     // scan inherits that order.
-    let heap_order = rel
-        .indexes
-        .iter()
-        .find(|i| i.clustered)
-        .map(|i| i.column);
+    let heap_order = rel.indexes.iter().find(|i| i.clustered).map(|i| i.column);
     paths.push(PathChoice {
         kind: PathKind::SeqScan {
             filter: nonempty_conjunction(local_preds.to_vec()),
@@ -312,9 +308,9 @@ fn nonempty_conjunction(preds: Vec<Expr>) -> Option<Expr> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::selectivity::ColumnInfo;
     use evopt_catalog::{ColumnStats, Histogram};
     use evopt_common::expr::{col, lit};
-    use crate::selectivity::ColumnInfo;
 
     /// 100k rows over 1000 pages; col 0 uniform 0..100_000 with an index.
     fn fixture(clustered: bool) -> (RelMeta, EstimationContext) {
@@ -367,7 +363,9 @@ mod tests {
         let paths = access_paths(&rel, &preds, &est, &model);
         let best = cheapest(&paths, &model);
         match &best.kind {
-            PathKind::IndexScan { range, residual, .. } => {
+            PathKind::IndexScan {
+                range, residual, ..
+            } => {
                 assert_eq!(range, &KeyRange::eq(Value::Int(42)) as &KeyRange);
                 assert!(residual.is_none());
             }
@@ -426,7 +424,9 @@ mod tests {
             .find(|p| matches!(p.kind, PathKind::IndexScan { .. }))
             .unwrap();
         match &idx.kind {
-            PathKind::IndexScan { range, residual, .. } => {
+            PathKind::IndexScan {
+                range, residual, ..
+            } => {
                 assert_eq!(range.low, Bound::Included(Value::Int(10)));
                 assert_eq!(range.high, Bound::Excluded(Value::Int(100)));
                 assert!(residual.is_none(), "all three absorbed");
@@ -488,7 +488,9 @@ mod tests {
         // Seq scan is cheapest; the full index scan survives only because it
         // provides an order.
         assert_eq!(paths.len(), 2);
-        assert!(paths.iter().any(|p| matches!(p.kind, PathKind::SeqScan { .. })));
+        assert!(paths
+            .iter()
+            .any(|p| matches!(p.kind, PathKind::SeqScan { .. })));
         assert!(paths
             .iter()
             .any(|p| p.order == Some(0) && matches!(p.kind, PathKind::IndexScan { .. })));
@@ -509,7 +511,12 @@ mod tests {
         assert_eq!(kept[0].order, Some(0));
         // Two orders both kept; plus cheapest overall.
         let kept = prune_paths(
-            vec![mk(10.0, None), mk(15.0, Some(0)), mk(18.0, Some(1)), mk(30.0, Some(1))],
+            vec![
+                mk(10.0, None),
+                mk(15.0, Some(0)),
+                mk(18.0, Some(1)),
+                mk(30.0, Some(1)),
+            ],
             &model,
         );
         assert_eq!(kept.len(), 3);

@@ -152,7 +152,9 @@ impl CostModel {
         inner_rows: f64,
     ) -> Cost {
         let heap_per_probe = if clustered {
-            (matches_per_probe / (inner_rows / inner_heap_pages).max(1.0)).ceil().max(1.0)
+            (matches_per_probe / (inner_rows / inner_heap_pages).max(1.0))
+                .ceil()
+                .max(1.0)
         } else {
             matches_per_probe.max(1.0)
         };
@@ -244,7 +246,12 @@ mod tests {
         // 1% of a 1000-page, 100k-row table = 1000 matches.
         let cl = m().index_scan(true, 0.01, 1000.0, 200.0, 3.0, 1000.0);
         let uncl = m().index_scan(false, 0.01, 1000.0, 200.0, 3.0, 1000.0);
-        assert!(cl.io < uncl.io, "clustered {} vs unclustered {}", cl.io, uncl.io);
+        assert!(
+            cl.io < uncl.io,
+            "clustered {} vs unclustered {}",
+            cl.io,
+            uncl.io
+        );
         // Clustered reads ~1% of heap pages.
         assert!(cl.io < 20.0);
         // Unclustered pays ~one page per match.
@@ -257,9 +264,7 @@ mod tests {
         // past roughly 1/tuples-per-page.
         let (pages, rows) = (1000.0, 100_000.0); // 100 tuples/page
         let seq = m().total(m().seq_scan(pages, rows));
-        let probe = |sel: f64| {
-            m().total(m().index_scan(false, sel, pages, 200.0, 3.0, sel * rows))
-        };
+        let probe = |sel: f64| m().total(m().index_scan(false, sel, pages, 200.0, 3.0, sel * rows));
         assert!(probe(0.0001) < seq, "0.01% should favour the index");
         assert!(probe(0.5) > seq, "50% should favour the scan");
     }

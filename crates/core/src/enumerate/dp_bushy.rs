@@ -91,10 +91,30 @@ mod tests {
         // must still cover everything and cost no more than left-deep.
         let f = build(
             &[
-                RelSpec { name: "a", rows: 10_000.0, ndv: [10_000, 10], indexed: false },
-                RelSpec { name: "b", rows: 10.0, ndv: [10, 10], indexed: false },
-                RelSpec { name: "c", rows: 10.0, ndv: [10, 10], indexed: false },
-                RelSpec { name: "d", rows: 10_000.0, ndv: [10_000, 10], indexed: false },
+                RelSpec {
+                    name: "a",
+                    rows: 10_000.0,
+                    ndv: [10_000, 10],
+                    indexed: false,
+                },
+                RelSpec {
+                    name: "b",
+                    rows: 10.0,
+                    ndv: [10, 10],
+                    indexed: false,
+                },
+                RelSpec {
+                    name: "c",
+                    rows: 10.0,
+                    ndv: [10, 10],
+                    indexed: false,
+                },
+                RelSpec {
+                    name: "d",
+                    rows: 10_000.0,
+                    ndv: [10_000, 10],
+                    indexed: false,
+                },
             ],
             // a.c1=b.c0, b.c1=c.c0, c.c1=d.c1
             &[(0, 1, 1, 0), (1, 1, 2, 0), (2, 1, 3, 1)],
@@ -110,8 +130,18 @@ mod tests {
     fn two_relations_degenerate_to_single_join() {
         let f = build(
             &[
-                RelSpec { name: "a", rows: 100.0, ndv: [100, 10], indexed: false },
-                RelSpec { name: "b", rows: 100.0, ndv: [100, 10], indexed: false },
+                RelSpec {
+                    name: "a",
+                    rows: 100.0,
+                    ndv: [100, 10],
+                    indexed: false,
+                },
+                RelSpec {
+                    name: "b",
+                    rows: 100.0,
+                    ndv: [100, 10],
+                    indexed: false,
+                },
             ],
             &[(0, 0, 1, 0)],
         );

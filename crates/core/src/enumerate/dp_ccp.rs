@@ -110,9 +110,7 @@ fn enumerate_cmp(ctx: &JoinContext, s1: RelMask, pairs: &mut Vec<(RelMask, RelMa
         return;
     }
     // Descending start nodes, same once-only discipline as csg.
-    let mut starts: Vec<usize> = (0..64)
-        .filter(|&i| neighbours & (1u64 << i) != 0)
-        .collect();
+    let mut starts: Vec<usize> = (0..64).filter(|&i| neighbours & (1u64 << i) != 0).collect();
     starts.reverse();
     for i in starts {
         let s2 = 1u64 << i;
@@ -171,26 +169,49 @@ mod tests {
         // Cycle: a-b, b-c, c-a.
         let f = build(
             &[
-                RelSpec { name: "a", rows: 100.0, ndv: [100, 50], indexed: false },
-                RelSpec { name: "b", rows: 200.0, ndv: [200, 50], indexed: false },
-                RelSpec { name: "c", rows: 400.0, ndv: [400, 50], indexed: false },
+                RelSpec {
+                    name: "a",
+                    rows: 100.0,
+                    ndv: [100, 50],
+                    indexed: false,
+                },
+                RelSpec {
+                    name: "b",
+                    rows: 200.0,
+                    ndv: [200, 50],
+                    indexed: false,
+                },
+                RelSpec {
+                    name: "c",
+                    rows: 400.0,
+                    ndv: [400, 50],
+                    indexed: false,
+                },
             ],
             &[(0, 0, 1, 0), (1, 1, 2, 1), (2, 0, 0, 1)],
         );
         let ctx = f.ctx();
         let ccp = enumerate(&ctx, Strategy::DpCcp).unwrap();
         let naive = enumerate(&ctx, Strategy::BushyDp).unwrap();
-        assert!(
-            (ctx.model.total(ccp.cost) - ctx.model.total(naive.cost)).abs() < 1e-6
-        );
+        assert!((ctx.model.total(ccp.cost) - ctx.model.total(naive.cost)).abs() < 1e-6);
     }
 
     #[test]
     fn disconnected_graph_falls_back_to_naive() {
         let f = build(
             &[
-                RelSpec { name: "a", rows: 10.0, ndv: [10, 10], indexed: false },
-                RelSpec { name: "b", rows: 20.0, ndv: [20, 20], indexed: false },
+                RelSpec {
+                    name: "a",
+                    rows: 10.0,
+                    ndv: [10, 10],
+                    indexed: false,
+                },
+                RelSpec {
+                    name: "b",
+                    rows: 20.0,
+                    ndv: [20, 20],
+                    indexed: false,
+                },
             ],
             &[],
         );

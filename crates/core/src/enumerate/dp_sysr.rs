@@ -103,8 +103,18 @@ mod tests {
     fn disconnected_graph_still_plans_via_cross() {
         let f = build(
             &[
-                RelSpec { name: "a", rows: 10.0, ndv: [10, 10], indexed: false },
-                RelSpec { name: "b", rows: 20.0, ndv: [20, 20], indexed: false },
+                RelSpec {
+                    name: "a",
+                    rows: 10.0,
+                    ndv: [10, 10],
+                    indexed: false,
+                },
+                RelSpec {
+                    name: "b",
+                    rows: 20.0,
+                    ndv: [20, 20],
+                    indexed: false,
+                },
             ],
             &[], // no edges: forced cartesian
         );
@@ -146,8 +156,18 @@ mod tests {
     fn two_relation_join() {
         let f = build(
             &[
-                RelSpec { name: "a", rows: 1000.0, ndv: [1000, 100], indexed: false },
-                RelSpec { name: "b", rows: 1000.0, ndv: [1000, 100], indexed: false },
+                RelSpec {
+                    name: "a",
+                    rows: 1000.0,
+                    ndv: [1000, 100],
+                    indexed: false,
+                },
+                RelSpec {
+                    name: "b",
+                    rows: 1000.0,
+                    ndv: [1000, 100],
+                    indexed: false,
+                },
             ],
             &[(0, 0, 1, 0)],
         );

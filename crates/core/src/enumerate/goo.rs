@@ -14,8 +14,8 @@ pub fn run(ctx: &JoinContext) -> Result<SubPlan> {
     let mut forest: Vec<SubPlan> = (0..n).map(|r| ctx.cheapest_base(r)).collect();
 
     while forest.len() > 1 {
-        let any_connected = pairs(forest.len())
-            .any(|(i, j)| ctx.is_connected(forest[i].mask, forest[j].mask));
+        let any_connected =
+            pairs(forest.len()).any(|(i, j)| ctx.is_connected(forest[i].mask, forest[j].mask));
         let mut best: Option<(usize, usize, SubPlan)> = None;
         for (i, j) in pairs(forest.len()) {
             let connected = ctx.is_connected(forest[i].mask, forest[j].mask);

@@ -25,8 +25,9 @@ pub fn run(ctx: &JoinContext) -> Result<SubPlan> {
         .expect("at least one relation");
 
     while current.mask != all {
-        let remaining: Vec<usize> =
-            (0..n).filter(|&r| current.mask & (1u64 << r) == 0).collect();
+        let remaining: Vec<usize> = (0..n)
+            .filter(|&r| current.mask & (1u64 << r) == 0)
+            .collect();
         let any_connected = remaining
             .iter()
             .any(|&r| ctx.is_connected(current.mask, 1u64 << r));

@@ -132,7 +132,9 @@ pub struct SubPlan {
 impl SubPlan {
     /// Estimated materialised size in pages.
     pub fn pages(&self) -> f64 {
-        ((self.rows * self.width) / USABLE_PAGE_BYTES).ceil().max(1.0)
+        ((self.rows * self.width) / USABLE_PAGE_BYTES)
+            .ceil()
+            .max(1.0)
     }
 }
 
@@ -231,7 +233,9 @@ impl<'a> JoinContext<'a> {
     pub fn seq_base(&self, r: usize) -> SubPlan {
         self.base_subplans(r)
             .into_iter()
-            .find(|sp| matches!(sp.plan.op, PhysOp::SeqScan { .. }) || self.rels[r].opaque_plan.is_some())
+            .find(|sp| {
+                matches!(sp.plan.op, PhysOp::SeqScan { .. }) || self.rels[r].opaque_plan.is_some()
+            })
             .expect("seq scan path always exists")
     }
 
@@ -359,8 +363,7 @@ impl<'a> JoinContext<'a> {
         // when the right side is a single relation (re-running a deep tree
         // is never competitive and bloats the search).
         if right.mask.count_ones() == 1 {
-            let nl_cost =
-                left.cost + self.model.nl_join(left.rows, right.cost, right.rows);
+            let nl_cost = left.cost + self.model.nl_join(left.rows, right.cost, right.rows);
             out.push(mk(
                 PhysOp::NestedLoopJoin {
                     left: Box::new(left.plan.clone()),
@@ -437,9 +440,7 @@ impl<'a> JoinContext<'a> {
                         // local predicates (the probe bypasses access paths).
                         let mut resid = preds
                             .iter()
-                            .filter(|p| {
-                                p.as_equi_join() != Some((ga.min(gb), ga.max(gb)))
-                            })
+                            .filter(|p| p.as_equi_join() != Some((ga.min(gb), ga.max(gb))))
                             .map(|p| p.expr.clone())
                             .collect::<Vec<_>>();
                         resid.extend(rel.local_preds_global.iter().cloned());
@@ -635,11 +636,11 @@ pub(crate) mod fixtures {
     //! real catalog.
 
     use super::*;
+    use crate::selectivity::ColumnInfo;
     use evopt_catalog::ColumnStats;
     use evopt_common::expr::col;
     use evopt_common::{Column, DataType, Schema, Value};
     use evopt_plan::LogicalPlan;
-    use crate::selectivity::ColumnInfo;
 
     /// Specification of one synthetic relation.
     pub struct RelSpec {
@@ -742,19 +743,15 @@ pub(crate) mod fixtures {
                 vec![]
             };
             // Local estimation context (table-local ordinals).
-            let local_est = EstimationContext::new(
-                (0..2)
-                    .map(|c| est.columns[i * 2 + c].clone())
-                    .collect(),
-            );
+            let local_est =
+                EstimationContext::new((0..2).map(|c| est.columns[i * 2 + c].clone()).collect());
             let rel_meta = crate::access_path::RelMeta {
                 table: s.name.to_string(),
                 rows: s.rows,
                 pages,
                 indexes: indexes.clone(),
             };
-            let paths =
-                crate::access_path::access_paths(&rel_meta, &[], &local_est, &model);
+            let paths = crate::access_path::access_paths(&rel_meta, &[], &local_est, &model);
             rels.push(BaseRel {
                 table: Some(s.name.to_string()),
                 rows_raw: s.rows,
@@ -779,9 +776,24 @@ pub(crate) mod fixtures {
     pub fn chain3() -> Fixture {
         build(
             &[
-                RelSpec { name: "t", rows: 1_000.0, ndv: [1_000, 100], indexed: false },
-                RelSpec { name: "u", rows: 10_000.0, ndv: [10_000, 1_000], indexed: false },
-                RelSpec { name: "v", rows: 100_000.0, ndv: [100_000, 10_000], indexed: true },
+                RelSpec {
+                    name: "t",
+                    rows: 1_000.0,
+                    ndv: [1_000, 100],
+                    indexed: false,
+                },
+                RelSpec {
+                    name: "u",
+                    rows: 10_000.0,
+                    ndv: [10_000, 1_000],
+                    indexed: false,
+                },
+                RelSpec {
+                    name: "v",
+                    rows: 100_000.0,
+                    ndv: [100_000, 10_000],
+                    indexed: true,
+                },
             ],
             // t.c0 = u.c1, u.c0 = v.c1
             &[(0, 0, 1, 1), (1, 0, 2, 1)],
@@ -792,10 +804,30 @@ pub(crate) mod fixtures {
     pub fn star4() -> Fixture {
         build(
             &[
-                RelSpec { name: "f", rows: 100_000.0, ndv: [100_000, 100], indexed: false },
-                RelSpec { name: "d1", rows: 100.0, ndv: [100, 10], indexed: false },
-                RelSpec { name: "d2", rows: 1_000.0, ndv: [1_000, 10], indexed: false },
-                RelSpec { name: "d3", rows: 10_000.0, ndv: [10_000, 10], indexed: true },
+                RelSpec {
+                    name: "f",
+                    rows: 100_000.0,
+                    ndv: [100_000, 100],
+                    indexed: false,
+                },
+                RelSpec {
+                    name: "d1",
+                    rows: 100.0,
+                    ndv: [100, 10],
+                    indexed: false,
+                },
+                RelSpec {
+                    name: "d2",
+                    rows: 1_000.0,
+                    ndv: [1_000, 10],
+                    indexed: false,
+                },
+                RelSpec {
+                    name: "d3",
+                    rows: 10_000.0,
+                    ndv: [10_000, 10],
+                    indexed: true,
+                },
             ],
             // f.c1 = d1.c0; f.c0 = d2.c0 (abusing c0 as another fk); f.c0 = d3.c0
             &[(0, 1, 1, 0), (0, 0, 2, 0), (0, 0, 3, 0)],
@@ -839,7 +871,11 @@ mod tests {
         // Rows: |t| × |u| / max(ndv) = 1k × 10k / 10^3... edge t.c0=u.c1
         // (ndv 1000 both) → 10k rows.
         for c in &cands {
-            assert!((c.rows - 10_000.0).abs() / 10_000.0 < 0.01, "rows {}", c.rows);
+            assert!(
+                (c.rows - 10_000.0).abs() / 10_000.0 < 0.01,
+                "rows {}",
+                c.rows
+            );
         }
     }
 
@@ -852,7 +888,9 @@ mod tests {
         let u = ctx.cheapest_base(1);
         let v = ctx.cheapest_base(2);
         let cands = ctx.join_candidates(&u, &v, false).unwrap();
-        assert!(!cands.iter().any(|c| c.plan.op_name() == "IndexNestedLoopJoin"));
+        assert!(!cands
+            .iter()
+            .any(|c| c.plan.op_name() == "IndexNestedLoopJoin"));
         // Star fixture: f.c0 = d3.c0 and d3 has an index on c0 → INL exists.
         let s = star4();
         let sctx = s.ctx();
@@ -860,7 +898,9 @@ mod tests {
         let d3 = sctx.cheapest_base(3);
         let cands = sctx.join_candidates(&fact, &d3, false).unwrap();
         assert!(
-            cands.iter().any(|c| c.plan.op_name() == "IndexNestedLoopJoin"),
+            cands
+                .iter()
+                .any(|c| c.plan.op_name() == "IndexNestedLoopJoin"),
             "methods: {:?}",
             cands.iter().map(|c| c.plan.op_name()).collect::<Vec<_>>()
         );

@@ -14,7 +14,9 @@ use super::{JoinContext, SubPlan};
 
 pub fn run(ctx: &JoinContext, samples: usize, seed: u64) -> Result<SubPlan> {
     if samples == 0 {
-        return Err(EvoptError::Plan("QuickPick needs at least one sample".into()));
+        return Err(EvoptError::Plan(
+            "QuickPick needs at least one sample".into(),
+        ));
     }
     let n = ctx.rels.len();
     let mut rng = StdRng::seed_from_u64(seed);
@@ -57,12 +59,23 @@ mod tests {
     fn deterministic_for_same_seed() {
         let f = chain3();
         let ctx = f.ctx();
-        let a = enumerate(&ctx, Strategy::QuickPick { samples: 8, seed: 7 }).unwrap();
-        let b = enumerate(&ctx, Strategy::QuickPick { samples: 8, seed: 7 }).unwrap();
-        assert_eq!(
-            ctx.model.total(a.cost),
-            ctx.model.total(b.cost)
-        );
+        let a = enumerate(
+            &ctx,
+            Strategy::QuickPick {
+                samples: 8,
+                seed: 7,
+            },
+        )
+        .unwrap();
+        let b = enumerate(
+            &ctx,
+            Strategy::QuickPick {
+                samples: 8,
+                seed: 7,
+            },
+        )
+        .unwrap();
+        assert_eq!(ctx.model.total(a.cost), ctx.model.total(b.cost));
         assert_eq!(a.plan.scan_order(), b.plan.scan_order());
     }
 
@@ -70,8 +83,22 @@ mod tests {
     fn more_samples_never_worse() {
         let f = star4();
         let ctx = f.ctx();
-        let few = enumerate(&ctx, Strategy::QuickPick { samples: 1, seed: 3 }).unwrap();
-        let many = enumerate(&ctx, Strategy::QuickPick { samples: 32, seed: 3 }).unwrap();
+        let few = enumerate(
+            &ctx,
+            Strategy::QuickPick {
+                samples: 1,
+                seed: 3,
+            },
+        )
+        .unwrap();
+        let many = enumerate(
+            &ctx,
+            Strategy::QuickPick {
+                samples: 32,
+                seed: 3,
+            },
+        )
+        .unwrap();
         assert!(
             ctx.model.total(many.cost) <= ctx.model.total(few.cost) + 1e-6,
             "32 samples {} > 1 sample {}",
@@ -85,13 +112,27 @@ mod tests {
         let f = star4();
         let ctx = f.ctx();
         let dp = enumerate(&ctx, Strategy::SystemR).unwrap();
-        let qp = enumerate(&ctx, Strategy::QuickPick { samples: 16, seed: 1 }).unwrap();
+        let qp = enumerate(
+            &ctx,
+            Strategy::QuickPick {
+                samples: 16,
+                seed: 1,
+            },
+        )
+        .unwrap();
         assert!(ctx.model.total(dp.cost) <= ctx.model.total(qp.cost) + 1e-6);
     }
 
     #[test]
     fn zero_samples_is_an_error() {
         let f = chain3();
-        assert!(enumerate(&f.ctx(), Strategy::QuickPick { samples: 0, seed: 0 }).is_err());
+        assert!(enumerate(
+            &f.ctx(),
+            Strategy::QuickPick {
+                samples: 0,
+                seed: 0
+            }
+        )
+        .is_err());
     }
 }

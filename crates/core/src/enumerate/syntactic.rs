@@ -19,9 +19,7 @@ pub fn run(ctx: &JoinContext) -> Result<SubPlan> {
         current = cands
             .into_iter()
             .find(|c| matches!(c.plan.op, PhysOp::BlockNestedLoopJoin { .. }))
-            .ok_or_else(|| {
-                EvoptError::Internal("BNL candidate always generated".into())
-            })?;
+            .ok_or_else(|| EvoptError::Internal("BNL candidate always generated".into()))?;
     }
     ctx.pick_final(vec![current])
 }

@@ -90,18 +90,14 @@ impl Optimizer {
                 self.plan_single_table(catalog, table, &[], required)
             }
             LogicalPlan::Filter { input, predicate } => match &**input {
-                LogicalPlan::Scan { table, .. } => self.plan_single_table(
-                    catalog,
-                    table,
-                    &predicate.split_conjuncts(),
-                    required,
-                ),
+                LogicalPlan::Scan { table, .. } => {
+                    self.plan_single_table(catalog, table, &predicate.split_conjuncts(), required)
+                }
                 LogicalPlan::Join { .. } => self.plan_joins(plan, catalog, required),
                 _ => {
                     let child = self.optimize_rec(input, catalog, required)?;
                     let rows = (child.est_rows
-                        * EstimationContext::unknown(child.schema.len())
-                            .selectivity(predicate))
+                        * EstimationContext::unknown(child.schema.len()).selectivity(predicate))
                     .max(1e-6);
                     let cost = child.est_cost + self.config.cost_model.per_tuple(child.est_rows);
                     Ok(PhysicalPlan {
@@ -180,8 +176,7 @@ impl Optimizer {
                 } else {
                     (child.est_rows * DEFAULT_GROUP_RATIO).max(1.0)
                 };
-                let cost =
-                    child.est_cost + self.config.cost_model.hash_aggregate(child.est_rows);
+                let cost = child.est_cost + self.config.cost_model.hash_aggregate(child.est_rows);
                 let phys_aggs: Vec<PhysAgg> = aggs
                     .iter()
                     .map(|a| PhysAgg {
@@ -230,9 +225,7 @@ impl Optimizer {
                 };
                 let child = self.optimize_rec(input, catalog, hint)?;
                 // A single ascending key already satisfied → no sort node.
-                if let (1, Some(k), Some(have)) =
-                    (keys.len(), hint, child.output_order)
-                {
+                if let (1, Some(k), Some(have)) = (keys.len(), hint, child.output_order) {
                     if k == have {
                         return Ok(child);
                     }
@@ -347,9 +340,8 @@ impl Optimizer {
         catalog: &Catalog,
         required: Option<usize>,
     ) -> Result<PhysicalPlan> {
-        let graph = JoinGraph::extract(plan).ok_or_else(|| {
-            EvoptError::Internal("plan_joins called on a non-join".into())
-        })?;
+        let graph = JoinGraph::extract(plan)
+            .ok_or_else(|| EvoptError::Internal("plan_joins called on a non-join".into()))?;
         let model = self.config.cost_model;
 
         // Build per-relation info + the global estimation context.
@@ -706,12 +698,7 @@ mod tests {
             "SeqScan" | "IndexScan"
         ));
         // Grouping by a non-indexed column falls back to hashing.
-        let agg = LogicalPlan::aggregate(
-            scan(&cat, "customers"),
-            vec![2],
-            vec![],
-        )
-        .unwrap();
+        let agg = LogicalPlan::aggregate(scan(&cat, "customers"), vec![2], vec![]).unwrap();
         let phys = Optimizer::default_system_r().optimize(&agg, &cat).unwrap();
         assert_eq!(phys.op_name(), "HashAggregate", "plan:\n{phys}");
     }
@@ -775,7 +762,10 @@ mod tests {
         for i in 0..10i64 {
             regions
                 .heap
-                .insert(&Tuple::new(vec![Value::Int(i), Value::Str(format!("r{i}"))]))
+                .insert(&Tuple::new(vec![
+                    Value::Int(i),
+                    Value::Str(format!("r{i}")),
+                ]))
                 .unwrap();
         }
         analyze_table(&regions, &AnalyzeConfig::default()).unwrap();
@@ -796,7 +786,10 @@ mod tests {
             Strategy::DpCcp,
             Strategy::Greedy,
             Strategy::Goo,
-            Strategy::QuickPick { samples: 8, seed: 1 },
+            Strategy::QuickPick {
+                samples: 8,
+                seed: 1,
+            },
             Strategy::Syntactic,
         ] {
             let phys = Optimizer::new(OptimizerConfig {

@@ -64,10 +64,7 @@ pub struct PhysAgg {
 #[derive(Debug, Clone, PartialEq)]
 pub enum PhysOp {
     /// Full heap scan with an optional pushed-down filter.
-    SeqScan {
-        table: String,
-        filter: Option<Expr>,
-    },
+    SeqScan { table: String, filter: Option<Expr> },
     /// B+-tree driven scan: fetch rids in `range`, then heap lookups, then
     /// the residual filter.
     IndexScan {
@@ -205,7 +202,11 @@ impl PhysicalPlan {
 
     /// Number of operators in the tree.
     pub fn node_count(&self) -> usize {
-        1 + self.children().iter().map(|c| c.node_count()).sum::<usize>()
+        1 + self
+            .children()
+            .iter()
+            .map(|c| c.node_count())
+            .sum::<usize>()
     }
 
     /// All join operators in the tree, pre-order.
@@ -274,80 +275,80 @@ impl PhysicalPlan {
     pub fn op_detail(&self) -> String {
         let p = self;
         match &p.op {
-                PhysOp::SeqScan { table, filter } => match filter {
-                    Some(f) => format!("SeqScan: {table} filter={f}"),
-                    None => format!("SeqScan: {table}"),
-                },
-                PhysOp::IndexScan {
-                    table,
-                    index,
-                    range,
-                    residual,
-                    clustered,
-                } => {
-                    let c = if *clustered { " clustered" } else { "" };
-                    let r = residual
-                        .as_ref()
-                        .map(|e| format!(" residual={e}"))
-                        .unwrap_or_default();
-                    format!("IndexScan: {table} via {index}{c} range={range}{r}")
-                }
-                PhysOp::Filter { predicate, .. } => format!("Filter: {predicate}"),
-                PhysOp::Project { exprs, .. } => {
-                    let list: Vec<String> = exprs.iter().map(|e| e.to_string()).collect();
-                    format!("Project: {}", list.join(", "))
-                }
-                PhysOp::NestedLoopJoin { predicate, .. } => match predicate {
-                    Some(e) => format!("NestedLoopJoin: {e}"),
-                    None => "NestedLoopJoin: cross".to_string(),
-                },
-                PhysOp::BlockNestedLoopJoin {
-                    predicate,
-                    block_pages,
-                    ..
-                } => match predicate {
-                    Some(e) => format!("BlockNestedLoopJoin(B={block_pages}): {e}"),
-                    None => format!("BlockNestedLoopJoin(B={block_pages}): cross"),
-                },
-                PhysOp::IndexNestedLoopJoin {
-                    inner_table,
-                    index,
-                    outer_key,
-                    ..
-                } => format!("IndexNestedLoopJoin: probe {inner_table}.{index} with #{outer_key}"),
-                PhysOp::SortMergeJoin {
-                    left_key,
-                    right_key,
-                    ..
-                } => format!("SortMergeJoin: #{left_key} = #{right_key}"),
-                PhysOp::HashJoin {
-                    left_key,
-                    right_key,
-                    ..
-                } => format!("HashJoin: #{left_key} = #{right_key}"),
-                PhysOp::Sort { keys, .. } => {
-                    let list: Vec<String> = keys
-                        .iter()
-                        .map(|(c, asc)| format!("#{c}{}", if *asc { "" } else { " DESC" }))
-                        .collect();
-                    format!("Sort: {}", list.join(", "))
-                }
-                PhysOp::HashAggregate { group_by, aggs, .. }
-                | PhysOp::SortAggregate { group_by, aggs, .. } => {
-                    let alist: Vec<String> = aggs
-                        .iter()
-                        .map(|a| match &a.arg {
-                            Some(e) => format!("{}({e})", a.func),
-                            None => a.func.to_string(),
-                        })
-                        .collect();
-                    format!(
-                        "{}: group_by={group_by:?} aggs=[{}]",
-                        p.op_name(),
-                        alist.join(", ")
-                    )
-                }
-                PhysOp::Limit { limit, .. } => format!("Limit: {limit}"),
+            PhysOp::SeqScan { table, filter } => match filter {
+                Some(f) => format!("SeqScan: {table} filter={f}"),
+                None => format!("SeqScan: {table}"),
+            },
+            PhysOp::IndexScan {
+                table,
+                index,
+                range,
+                residual,
+                clustered,
+            } => {
+                let c = if *clustered { " clustered" } else { "" };
+                let r = residual
+                    .as_ref()
+                    .map(|e| format!(" residual={e}"))
+                    .unwrap_or_default();
+                format!("IndexScan: {table} via {index}{c} range={range}{r}")
+            }
+            PhysOp::Filter { predicate, .. } => format!("Filter: {predicate}"),
+            PhysOp::Project { exprs, .. } => {
+                let list: Vec<String> = exprs.iter().map(|e| e.to_string()).collect();
+                format!("Project: {}", list.join(", "))
+            }
+            PhysOp::NestedLoopJoin { predicate, .. } => match predicate {
+                Some(e) => format!("NestedLoopJoin: {e}"),
+                None => "NestedLoopJoin: cross".to_string(),
+            },
+            PhysOp::BlockNestedLoopJoin {
+                predicate,
+                block_pages,
+                ..
+            } => match predicate {
+                Some(e) => format!("BlockNestedLoopJoin(B={block_pages}): {e}"),
+                None => format!("BlockNestedLoopJoin(B={block_pages}): cross"),
+            },
+            PhysOp::IndexNestedLoopJoin {
+                inner_table,
+                index,
+                outer_key,
+                ..
+            } => format!("IndexNestedLoopJoin: probe {inner_table}.{index} with #{outer_key}"),
+            PhysOp::SortMergeJoin {
+                left_key,
+                right_key,
+                ..
+            } => format!("SortMergeJoin: #{left_key} = #{right_key}"),
+            PhysOp::HashJoin {
+                left_key,
+                right_key,
+                ..
+            } => format!("HashJoin: #{left_key} = #{right_key}"),
+            PhysOp::Sort { keys, .. } => {
+                let list: Vec<String> = keys
+                    .iter()
+                    .map(|(c, asc)| format!("#{c}{}", if *asc { "" } else { " DESC" }))
+                    .collect();
+                format!("Sort: {}", list.join(", "))
+            }
+            PhysOp::HashAggregate { group_by, aggs, .. }
+            | PhysOp::SortAggregate { group_by, aggs, .. } => {
+                let alist: Vec<String> = aggs
+                    .iter()
+                    .map(|a| match &a.arg {
+                        Some(e) => format!("{}({e})", a.func),
+                        None => a.func.to_string(),
+                    })
+                    .collect();
+                format!(
+                    "{}: group_by={group_by:?} aggs=[{}]",
+                    p.op_name(),
+                    alist.join(", ")
+                )
+            }
+            PhysOp::Limit { limit, .. } => format!("Limit: {limit}"),
         }
     }
 
@@ -388,7 +389,10 @@ mod tests {
             },
             schema: Schema::new(vec![Column::new("a", DataType::Int).with_table(table)]),
             est_rows: 100.0,
-            est_cost: Cost { io: 10.0, cpu: 100.0 },
+            est_cost: Cost {
+                io: 10.0,
+                cpu: 100.0,
+            },
             output_order: None,
         }
     }
@@ -405,7 +409,10 @@ mod tests {
                 residual: None,
             },
             est_rows: 100.0,
-            est_cost: Cost { io: 20.0, cpu: 400.0 },
+            est_cost: Cost {
+                io: 20.0,
+                cpu: 400.0,
+            },
             output_order: None,
         };
         assert_eq!(join.node_count(), 3);

@@ -3,9 +3,7 @@
 use std::sync::Arc;
 
 use evopt_catalog::{analyze_table, AnalyzeConfig, Catalog, TableInfo};
-use evopt_common::{
-    Column, EvoptError, Expr, Result, Schema, Tuple, Value,
-};
+use evopt_common::{Column, EvoptError, Expr, Result, Schema, Tuple, Value, DEFAULT_BATCH_ROWS};
 use evopt_core::physical::PhysicalPlan;
 use evopt_core::{CostModel, Optimizer, OptimizerConfig, Strategy};
 use evopt_exec::{
@@ -39,6 +37,9 @@ pub struct DatabaseConfig {
     /// Session-default resource limits applied to every SELECT run through
     /// [`Database::execute`]. Unlimited by default.
     pub governor: GovernorConfig,
+    /// Executor batch size: tuples moved per `next_batch()` call. Defaults
+    /// to [`DEFAULT_BATCH_ROWS`]; 1 degenerates to tuple-at-a-time Volcano.
+    pub batch_rows: usize,
 }
 
 impl Default for DatabaseConfig {
@@ -50,6 +51,7 @@ impl Default for DatabaseConfig {
             analyze: AnalyzeConfig::default(),
             faults: None,
             governor: GovernorConfig::default(),
+            batch_rows: DEFAULT_BATCH_ROWS,
         }
     }
 }
@@ -182,6 +184,12 @@ impl Database {
         self.config.lock().governor = governor;
     }
 
+    /// Change the executor batch size for subsequent queries (batch-size
+    /// sweeps; 1 degenerates to tuple-at-a-time).
+    pub fn set_batch_rows(&self, batch_rows: usize) {
+        self.config.lock().batch_rows = batch_rows.max(1);
+    }
+
     /// Current optimizer config (copy).
     pub fn optimizer_config(&self) -> OptimizerConfig {
         self.config.lock().optimizer
@@ -252,8 +260,7 @@ impl Database {
             Ok((_, physical)) => physical,
             Err(e) => return (Err(e), None),
         };
-        let (rows, metrics) =
-            run_collect_governed(&physical, &self.exec_env(), governor, token);
+        let (rows, metrics) = run_collect_governed(&physical, &self.exec_env(), governor, token);
         (rows, Some(metrics))
     }
 
@@ -319,16 +326,14 @@ impl Database {
     }
 
     /// Execute a physical plan with per-operator instrumentation.
-    pub fn run_plan_instrumented(
-        &self,
-        plan: &PhysicalPlan,
-    ) -> Result<(Vec<Tuple>, QueryMetrics)> {
+    pub fn run_plan_instrumented(&self, plan: &PhysicalPlan) -> Result<(Vec<Tuple>, QueryMetrics)> {
         run_collect_instrumented(plan, &self.exec_env())
     }
 
     fn exec_env(&self) -> ExecEnv {
-        let buffer_pages = self.config.lock().optimizer.cost_model.buffer_pages;
-        ExecEnv::new(Arc::clone(&self.catalog), buffer_pages)
+        let cfg = self.config.lock();
+        let buffer_pages = cfg.optimizer.cost_model.buffer_pages;
+        ExecEnv::new(Arc::clone(&self.catalog), buffer_pages).with_batch_rows(cfg.batch_rows)
     }
 
     /// Run a statement and report the physical I/O it performed.
@@ -397,9 +402,7 @@ impl Database {
     }
 
     fn schema_provider(&self) -> impl evopt_sql::SchemaProvider + '_ {
-        move |table: &str| -> Result<Schema> {
-            Ok(self.catalog.table(table)?.schema.clone())
-        }
+        move |table: &str| -> Result<Schema> { Ok(self.catalog.table(table)?.schema.clone()) }
     }
 
     fn execute_statement(&self, stmt: &Statement) -> Result<QueryResult> {
@@ -601,9 +604,10 @@ impl Database {
     /// sorted on the key column (load sorted, then create the index).
     fn verify_heap_sorted(&self, table: &str, column: &str) -> Result<()> {
         let info = self.catalog.table(table)?;
-        let col = info.schema.resolve(None, column).map_err(|_| {
-            EvoptError::Catalog(format!("unknown column '{column}' on '{table}'"))
-        })?;
+        let col = info
+            .schema
+            .resolve(None, column)
+            .map_err(|_| EvoptError::Catalog(format!("unknown column '{column}' on '{table}'")))?;
         let mut last: Option<Value> = None;
         for item in info.heap.scan() {
             let (_, t) = item?;
@@ -626,9 +630,7 @@ impl Database {
 /// UPDATE assignments — no aggregates, no other tables).
 fn bind_row_expr(e: &AstExpr, schema: &Schema) -> Result<Expr> {
     match e {
-        AstExpr::Ident { table, name } => {
-            Ok(Expr::Column(schema.resolve(table.as_deref(), name)?))
-        }
+        AstExpr::Ident { table, name } => Ok(Expr::Column(schema.resolve(table.as_deref(), name)?)),
         AstExpr::Literal(v) => Ok(Expr::Literal(v.clone())),
         AstExpr::Binary { op, left, right } => Ok(Expr::Binary {
             op: *op,
@@ -707,10 +709,8 @@ mod tests {
             .unwrap();
         db.execute("CREATE TABLE emp (id INT NOT NULL, dept_id INT, salary INT)")
             .unwrap();
-        db.execute(
-            "INSERT INTO dept VALUES (1, 'eng'), (2, 'sales'), (3, 'hr')",
-        )
-        .unwrap();
+        db.execute("INSERT INTO dept VALUES (1, 'eng'), (2, 'sales'), (3, 'hr')")
+            .unwrap();
         let rows: Vec<Tuple> = (0..300)
             .map(|i| {
                 Tuple::new(vec![
@@ -729,9 +729,7 @@ mod tests {
     #[test]
     fn end_to_end_select() {
         let db = seeded();
-        let rows = db
-            .query("SELECT name FROM dept WHERE id = 2")
-            .unwrap();
+        let rows = db.query("SELECT name FROM dept WHERE id = 2").unwrap();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].value(0).unwrap(), &Value::Str("sales".into()));
     }
@@ -754,7 +752,9 @@ mod tests {
         let db = seeded();
         db.execute("INSERT INTO emp VALUES (999, 1, 5)").unwrap();
         // Point query should find the new row via the index.
-        let (_, physical) = db.plan_sql("SELECT salary FROM emp WHERE id = 999").unwrap();
+        let (_, physical) = db
+            .plan_sql("SELECT salary FROM emp WHERE id = 999")
+            .unwrap();
         fn has_index_scan(p: &PhysicalPlan) -> bool {
             p.op_name() == "IndexScan" || p.children().iter().any(|c| has_index_scan(c))
         }
@@ -770,7 +770,9 @@ mod tests {
             .execute("INSERT INTO dept VALUES (NULL, 'x')")
             .unwrap_err();
         assert!(e.message().contains("NOT NULL"));
-        let e = db.execute("INSERT INTO dept VALUES ('str', 'x')").unwrap_err();
+        let e = db
+            .execute("INSERT INTO dept VALUES ('str', 'x')")
+            .unwrap_err();
         assert!(e.message().contains("type mismatch"));
         let e = db.execute("INSERT INTO dept VALUES (1)").unwrap_err();
         assert!(e.message().contains("arity"));
@@ -779,9 +781,7 @@ mod tests {
     #[test]
     fn explain_outputs_both_plans() {
         let db = seeded();
-        let text = db
-            .explain("SELECT * FROM emp WHERE id < 10")
-            .unwrap();
+        let text = db.explain("SELECT * FROM emp WHERE id < 10").unwrap();
         assert!(text.contains("== logical =="));
         assert!(text.contains("== physical"));
         assert!(text.contains("system-r"));
@@ -813,7 +813,10 @@ mod tests {
             Strategy::BushyDp,
             Strategy::Greedy,
             Strategy::Goo,
-            Strategy::QuickPick { samples: 4, seed: 9 },
+            Strategy::QuickPick {
+                samples: 4,
+                seed: 9,
+            },
             Strategy::Syntactic,
         ] {
             db.set_strategy(strategy);
@@ -849,20 +852,12 @@ mod tests {
         });
         db.execute("CREATE TABLE big (x INT, pad STRING)").unwrap();
         let rows: Vec<Tuple> = (0..5000)
-            .map(|i| {
-                Tuple::new(vec![
-                    Value::Int(i),
-                    Value::Str(format!("pad-{i:06}")),
-                ])
-            })
+            .map(|i| Tuple::new(vec![Value::Int(i), Value::Str(format!("pad-{i:06}"))]))
             .collect();
         db.insert_tuples("big", &rows).unwrap();
         db.execute("ANALYZE").unwrap();
         let (result, io) = db.measured("SELECT COUNT(*) FROM big").unwrap();
-        assert_eq!(
-            result.rows()[0].value(0).unwrap(),
-            &Value::Int(5000)
-        );
+        assert_eq!(result.rows()[0].value(0).unwrap(), &Value::Int(5000));
         let pages = db.catalog().table("big").unwrap().heap.page_count();
         assert!(
             io.reads >= pages,
@@ -892,8 +887,14 @@ mod tests {
             .unwrap();
         assert_eq!(n, 250);
         // Index no longer returns deleted rows.
-        assert!(db.query("SELECT * FROM emp WHERE id = 10").unwrap().is_empty());
-        assert_eq!(db.query("SELECT * FROM emp WHERE id = 100").unwrap().len(), 1);
+        assert!(db
+            .query("SELECT * FROM emp WHERE id = 10")
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            db.query("SELECT * FROM emp WHERE id = 100").unwrap().len(),
+            1
+        );
         // DELETE without predicate empties the table.
         db.execute("DELETE FROM emp").unwrap();
         assert!(db.query("SELECT * FROM emp").unwrap().is_empty());
@@ -910,7 +911,10 @@ mod tests {
             other => panic!("{other:?}"),
         }
         // Old ids are gone from the index path; new ids are findable.
-        assert!(db.query("SELECT * FROM emp WHERE id = 1").unwrap().is_empty());
+        assert!(db
+            .query("SELECT * FROM emp WHERE id = 1")
+            .unwrap()
+            .is_empty());
         let rows = db.query("SELECT salary FROM emp WHERE id = 1001").unwrap();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].value(0).unwrap(), &Value::Int(1000 + 10 + 10000));
@@ -922,7 +926,9 @@ mod tests {
             .unwrap();
         assert_eq!(n, 300);
         // Constraint enforcement still applies through UPDATE.
-        assert!(db.execute("UPDATE emp SET id = NULL WHERE id = 1001").is_err());
+        assert!(db
+            .execute("UPDATE emp SET id = NULL WHERE id = 1001")
+            .is_err());
     }
 
     #[test]
@@ -942,7 +948,8 @@ mod tests {
     fn arithmetic_in_insert_values() {
         let db = Database::with_defaults();
         db.execute("CREATE TABLE c (x INT, y FLOAT)").unwrap();
-        db.execute("INSERT INTO c VALUES (2 + 3 * 4, -1.5)").unwrap();
+        db.execute("INSERT INTO c VALUES (2 + 3 * 4, -1.5)")
+            .unwrap();
         let rows = db.query("SELECT x, y FROM c").unwrap();
         assert_eq!(rows[0].value(0).unwrap(), &Value::Int(14));
         assert_eq!(rows[0].value(1).unwrap(), &Value::Float(-1.5));

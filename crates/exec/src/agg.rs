@@ -7,10 +7,10 @@
 
 use std::collections::HashMap;
 
-use evopt_common::{AggFunc, EvoptError, Result, Schema, Tuple, Value};
+use evopt_common::{AggFunc, Batch, EvoptError, Result, Schema, Tuple, Value};
 use evopt_core::physical::PhysAgg;
 
-use crate::executor::{invariant, Executor};
+use crate::executor::{invariant, BatchBuilder, BatchCursor, Executor};
 
 /// One running aggregate.
 #[derive(Debug, Clone)]
@@ -90,9 +90,7 @@ impl Accumulator {
                     Value::Null
                 }
             }
-            Accumulator::Min(v) | Accumulator::Max(v) => {
-                v.clone().unwrap_or(Value::Null)
-            }
+            Accumulator::Min(v) | Accumulator::Max(v) => v.clone().unwrap_or(Value::Null),
             Accumulator::Avg { total, count } => {
                 if *count == 0 {
                     Value::Null
@@ -106,10 +104,11 @@ impl Accumulator {
 
 /// Hash-based grouped aggregation.
 pub struct HashAggregateExec {
-    input: Option<Box<dyn Executor>>,
+    input: Option<BatchCursor>,
     group_by: Vec<usize>,
     aggs: Vec<PhysAgg>,
     schema: Schema,
+    batch_rows: usize,
     results: Option<std::vec::IntoIter<Tuple>>,
 }
 
@@ -119,12 +118,14 @@ impl HashAggregateExec {
         group_by: Vec<usize>,
         aggs: Vec<PhysAgg>,
         schema: Schema,
+        batch_rows: usize,
     ) -> Self {
         HashAggregateExec {
-            input: Some(input),
+            input: Some(BatchCursor::new(input)),
             group_by,
             aggs,
             schema,
+            batch_rows: batch_rows.max(1),
             results: None,
         }
     }
@@ -134,7 +135,7 @@ impl HashAggregateExec {
         let mut groups: HashMap<Vec<Value>, Vec<Accumulator>> = HashMap::new();
         // Keep first-seen order for deterministic output.
         let mut order: Vec<Vec<Value>> = Vec::new();
-        while let Some(t) = input.next()? {
+        while let Some(t) = input.next_row()? {
             let key: Vec<Value> = self
                 .group_by
                 .iter()
@@ -149,9 +150,7 @@ impl HashAggregateExec {
                     (AggFunc::CountStar, _) => acc.count_row(),
                     (_, Some(arg)) => acc.update(&arg.eval(&t)?)?,
                     (f, None) => {
-                        return Err(EvoptError::Execution(format!(
-                            "{f} requires an argument"
-                        )))
+                        return Err(EvoptError::Execution(format!("{f} requires an argument")))
                     }
                 }
             }
@@ -183,11 +182,17 @@ impl Executor for HashAggregateExec {
         &self.schema
     }
 
-    fn next(&mut self) -> Result<Option<Tuple>> {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
         if self.results.is_none() {
             self.compute()?;
         }
-        Ok(invariant(self.results.as_mut(), "aggregate results computed")?.next())
+        let iter = invariant(self.results.as_mut(), "aggregate results computed")?;
+        let rows: Vec<Tuple> = iter.by_ref().take(self.batch_rows).collect();
+        Ok(if rows.is_empty() {
+            None
+        } else {
+            Some(Batch::new(self.schema.clone(), rows))
+        })
     }
 }
 
@@ -195,13 +200,14 @@ impl Executor for HashAggregateExec {
 /// accumulate while the key repeats, emit the finished group on change.
 /// O(1) state; output arrives in group-key order.
 pub struct SortAggregateExec {
-    input: Box<dyn Executor>,
+    input: BatchCursor,
     group_by: Vec<usize>,
     aggs: Vec<PhysAgg>,
     schema: Schema,
     current_key: Option<Vec<Value>>,
     accs: Vec<Accumulator>,
     done: bool,
+    out: BatchBuilder,
 }
 
 impl SortAggregateExec {
@@ -210,11 +216,13 @@ impl SortAggregateExec {
         group_by: Vec<usize>,
         aggs: Vec<PhysAgg>,
         schema: Schema,
+        batch_rows: usize,
     ) -> Self {
         SortAggregateExec {
-            input,
+            input: BatchCursor::new(input),
             group_by,
             aggs,
+            out: BatchBuilder::new(schema.clone(), batch_rows),
             schema,
             current_key: None,
             accs: Vec::new(),
@@ -232,9 +240,7 @@ impl SortAggregateExec {
                 (AggFunc::CountStar, _) => self.accs[i].count_row(),
                 (_, Some(arg)) => self.accs[i].update(&arg.eval(t)?)?,
                 (f, None) => {
-                    return Err(EvoptError::Execution(format!(
-                        "{f} requires an argument"
-                    )))
+                    return Err(EvoptError::Execution(format!("{f} requires an argument")))
                 }
             }
         }
@@ -254,27 +260,27 @@ impl Executor for SortAggregateExec {
         &self.schema
     }
 
-    fn next(&mut self) -> Result<Option<Tuple>> {
-        if self.done {
-            return Ok(None);
-        }
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
         loop {
-            match self.input.next()? {
+            if self.out.full() || self.done {
+                return Ok(self.out.flush());
+            }
+            match self.input.next_row()? {
                 None => {
                     self.done = true;
                     if self.current_key.is_some() {
-                        return Ok(Some(self.emit()?));
-                    }
-                    // Ungrouped aggregate over empty input: one default row.
-                    if self.group_by.is_empty() {
+                        let finished = self.emit()?;
+                        self.out.push(finished);
+                    } else if self.group_by.is_empty() {
+                        // Ungrouped aggregate over empty input: one default
+                        // row.
                         let values: Vec<Value> = self
                             .aggs
                             .iter()
                             .map(|a| Accumulator::new(a.func).finish())
                             .collect();
-                        return Ok(Some(Tuple::new(values)));
+                        self.out.push(Tuple::new(values));
                     }
-                    return Ok(None);
                 }
                 Some(t) => {
                     let key: Vec<Value> = self
@@ -288,10 +294,10 @@ impl Executor for SortAggregateExec {
                         }
                         Some(_) => {
                             let finished = self.emit()?;
+                            self.out.push(finished);
                             self.current_key = Some(key);
                             self.accs = self.fresh_accs();
                             self.feed(&t)?;
-                            return Ok(Some(finished));
                         }
                         None => {
                             self.current_key = Some(key);

@@ -4,7 +4,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use evopt_catalog::Catalog;
-use evopt_common::{Result, Schema, Tuple};
+use evopt_common::{Batch, Result, Schema, Tuple, DEFAULT_BATCH_ROWS};
 use evopt_core::physical::{PhysOp, PhysicalPlan};
 
 use crate::governor::{CancellationToken, GovernedExec, GovernorConfig, QueryGovernor};
@@ -17,6 +17,8 @@ pub struct ExecEnv {
     /// Buffer pages operators may assume for blocking/spilling decisions
     /// (mirrors the cost model's `buffer_pages`).
     pub buffer_pages: usize,
+    /// Target rows per [`Batch`] produced by every operator. Always ≥ 1.
+    pub batch_rows: usize,
 }
 
 impl ExecEnv {
@@ -24,7 +26,15 @@ impl ExecEnv {
         ExecEnv {
             catalog,
             buffer_pages,
+            batch_rows: DEFAULT_BATCH_ROWS,
         }
+    }
+
+    /// Override the batch capacity (clamped to ≥ 1 — a zero-row batch can
+    /// never make progress).
+    pub fn with_batch_rows(mut self, batch_rows: usize) -> Self {
+        self.batch_rows = batch_rows.max(1);
+        self
     }
 }
 
@@ -37,12 +47,100 @@ pub(crate) fn invariant<T>(opt: Option<T>, what: &str) -> Result<T> {
     })
 }
 
-/// A Volcano iterator: produces tuples one at a time.
+/// A batch-at-a-time Volcano iterator: produces runs of tuples.
+///
+/// Contract: `next_batch` returns `Ok(Some(batch))` with a **non-empty**
+/// batch of at most the environment's `batch_rows` rows, or `Ok(None)` once
+/// exhausted (and on every call thereafter).
 pub trait Executor {
     /// Output schema.
     fn schema(&self) -> &Schema;
-    /// The next tuple, or `None` when exhausted.
-    fn next(&mut self) -> Result<Option<Tuple>>;
+    /// The next batch of rows, or `None` when exhausted.
+    fn next_batch(&mut self) -> Result<Option<Batch>>;
+}
+
+/// Pull-side adapter: buffers the child's batches and serves rows one at a
+/// time. Row-logic operators (merge join, sort run formation, aggregate
+/// accumulation) consume through this so they pay one virtual
+/// `next_batch()` per batch — the per-row step is a slice index, not a
+/// dynamic dispatch.
+pub struct BatchCursor {
+    input: Box<dyn Executor>,
+    batch: std::vec::IntoIter<Tuple>,
+    done: bool,
+}
+
+impl BatchCursor {
+    pub fn new(input: Box<dyn Executor>) -> BatchCursor {
+        BatchCursor {
+            input,
+            batch: Vec::new().into_iter(),
+            done: false,
+        }
+    }
+
+    pub fn schema(&self) -> &Schema {
+        self.input.schema()
+    }
+
+    /// The next row, refilling from the child when the buffered batch runs
+    /// dry.
+    pub fn next_row(&mut self) -> Result<Option<Tuple>> {
+        loop {
+            if let Some(t) = self.batch.next() {
+                return Ok(Some(t));
+            }
+            if self.done {
+                return Ok(None);
+            }
+            match self.input.next_batch()? {
+                Some(b) => self.batch = b.into_rows().into_iter(),
+                None => self.done = true,
+            }
+        }
+    }
+}
+
+/// Output-side buffer: operators that generate rows incrementally (joins,
+/// streaming aggregates) push here and flush batches of at most `target`
+/// rows, so no emitted batch exceeds the configured capacity even when one
+/// probe fans out to many matches.
+pub(crate) struct BatchBuilder {
+    schema: Schema,
+    target: usize,
+    rows: Vec<Tuple>,
+}
+
+impl BatchBuilder {
+    pub(crate) fn new(schema: Schema, target: usize) -> BatchBuilder {
+        BatchBuilder {
+            schema,
+            target: target.max(1),
+            rows: Vec::new(),
+        }
+    }
+
+    pub(crate) fn push(&mut self, row: Tuple) {
+        self.rows.push(row);
+    }
+
+    /// Enough buffered rows to emit a full batch.
+    pub(crate) fn full(&self) -> bool {
+        self.rows.len() >= self.target
+    }
+
+    /// Up to `target` buffered rows as a batch; `None` when empty.
+    pub(crate) fn flush(&mut self) -> Option<Batch> {
+        if self.rows.is_empty() {
+            return None;
+        }
+        let rows: Vec<Tuple> = if self.rows.len() > self.target {
+            self.rows.drain(..self.target).collect()
+        } else {
+            std::mem::take(&mut self.rows)
+        };
+        Some(Batch::new(self.schema.clone(), rows))
+    }
 }
 
 /// Instantiate the operator tree for `plan`.
@@ -66,8 +164,8 @@ pub fn build_instrumented(
 /// in the registry; children are built at their own pre-order offsets and
 /// every constructed operator is wrapped with its metric slot. When `gov` is
 /// set, every operator is additionally wrapped in a [`GovernedExec`] so a
-/// cancel/timeout/budget kill lands within one `next()` call anywhere in the
-/// tree.
+/// cancel/timeout/budget kill lands within one `next_batch()` call anywhere
+/// in the tree.
 fn build_node(
     plan: &PhysicalPlan,
     env: &ExecEnv,
@@ -123,8 +221,7 @@ fn build_node(
             let left_exec = child(left, 1)?;
             let right_plan = (**right).clone();
             let right_env = env.clone();
-            let right_instr =
-                instr.map(|(reg, idx)| (reg.clone(), idx + 1 + left.node_count()));
+            let right_instr = instr.map(|(reg, idx)| (reg.clone(), idx + 1 + left.node_count()));
             let right_gov = gov.cloned();
             let right_builder = move || {
                 build_node(
@@ -139,6 +236,7 @@ fn build_node(
                 Box::new(right_builder),
                 predicate.clone(),
                 plan.schema.clone(),
+                env.batch_rows,
             ))
         }
         PhysOp::BlockNestedLoopJoin {
@@ -182,6 +280,7 @@ fn build_node(
             *right_key,
             residual.clone(),
             plan.schema.clone(),
+            env.batch_rows,
         )),
         PhysOp::HashJoin {
             left,
@@ -212,6 +311,7 @@ fn build_node(
             group_by.clone(),
             aggs.clone(),
             plan.schema.clone(),
+            env.batch_rows,
         )),
         PhysOp::SortAggregate {
             input,
@@ -222,11 +322,12 @@ fn build_node(
             group_by.clone(),
             aggs.clone(),
             plan.schema.clone(),
+            env.batch_rows,
         )),
     };
-    // Governor check innermost, instrumentation outermost: the `next()`
-    // call that trips the governor is still metered, so killed queries
-    // report accurate partial metrics.
+    // Governor check innermost, instrumentation outermost: the
+    // `next_batch()` call that trips the governor is still metered, so
+    // killed queries report accurate partial metrics.
     let exec: Box<dyn Executor> = match gov {
         Some(governor) => Box::new(GovernedExec::new(exec, Arc::clone(governor))),
         None => exec,
@@ -245,8 +346,8 @@ fn build_node(
 pub fn run_collect(plan: &PhysicalPlan, env: &ExecEnv) -> Result<Vec<Tuple>> {
     let mut exec = build_executor(plan, env)?;
     let mut out = Vec::new();
-    while let Some(t) = exec.next()? {
-        out.push(t);
+    while let Some(batch) = exec.next_batch()? {
+        out.extend(batch.into_rows());
     }
     Ok(out)
 }
@@ -263,8 +364,8 @@ pub fn run_collect_instrumented(
     let start = Instant::now();
     let (mut exec, registry) = build_instrumented(plan, env)?;
     let mut out = Vec::new();
-    while let Some(t) = exec.next()? {
-        out.push(t);
+    while let Some(batch) = exec.next_batch()? {
+        out.extend(batch.into_rows());
     }
     let elapsed = start.elapsed();
     let pool_delta = pool.stats().since(&pool_before);
@@ -279,12 +380,20 @@ pub fn run_collect_instrumented(
 /// when the query dies — canceled, timed out, over budget, or killed by an
 /// I/O fault — so a killed query still reports what it did up to the kill.
 /// The error (if any) and the metrics are returned side by side.
+///
+/// Governed runs clamp the batch capacity to the config's
+/// `max_batch_rows`, bounding how much work can happen between two
+/// governor checks (the kill latency is at most one batch anywhere in the
+/// tree).
 pub fn run_collect_governed(
     plan: &PhysicalPlan,
     env: &ExecEnv,
     config: GovernorConfig,
     token: CancellationToken,
 ) -> (Result<Vec<Tuple>>, QueryMetrics) {
+    let env = env
+        .clone()
+        .with_batch_rows(env.batch_rows.min(config.max_batch_rows));
     let pool = Arc::clone(env.catalog.pool());
     let governor = Arc::new(QueryGovernor::new(config, token, Arc::clone(&pool)));
     let pool_before = pool.stats();
@@ -292,13 +401,13 @@ pub fn run_collect_governed(
     let start = Instant::now();
     let registry = MetricsRegistry::for_plan(plan);
     let result = (|| {
-        let mut exec = build_node(plan, env, Some((&registry, 0)), Some(&governor))?;
+        let mut exec = build_node(plan, &env, Some((&registry, 0)), Some(&governor))?;
         let mut out = Vec::new();
-        while let Some(t) = exec.next()? {
+        while let Some(batch) = exec.next_batch()? {
             // The row budget is counted at the root drain: rows the query
             // *returns*, not intermediate tuples.
-            governor.record_row()?;
-            out.push(t);
+            governor.record_rows(batch.len() as u64)?;
+            out.extend(batch.into_rows());
         }
         Ok(out)
     })();

@@ -2,9 +2,13 @@
 //!
 //! A long-running or runaway query must be stoppable without killing the
 //! process, and it must stop *promptly*: the governor is consulted on every
-//! operator `next()` call (via [`GovernedExec`]), so a kill takes effect
-//! within one tuple step of any operator — including deep inside a blocking
-//! sort or hash build, whose input operators are each governed too.
+//! operator `next_batch()` call (via [`GovernedExec`]), so a kill takes
+//! effect within one batch step of any operator — including deep inside a
+//! blocking sort or hash build, whose input operators are each governed
+//! too. Kill latency is therefore bounded by the batch size;
+//! [`GovernorConfig::max_batch_rows`] caps the batch size governed queries
+//! run with (the executor clamps its `batch_rows` to it), trading per-batch
+//! amortisation for reaction time.
 //!
 //! Three independent limits, all optional ([`GovernorConfig`]):
 //!
@@ -25,7 +29,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use evopt_common::{EvoptError, Result, Schema, Tuple};
+use evopt_common::{Batch, EvoptError, Result, Schema, DEFAULT_BATCH_ROWS};
 use evopt_storage::BufferPool;
 
 use crate::executor::Executor;
@@ -43,7 +47,7 @@ impl CancellationToken {
     }
 
     /// Request cancellation. Idempotent; takes effect within one operator
-    /// `next()` call of every governed query holding this token.
+    /// `next_batch()` call of every governed query holding this token.
     pub fn cancel(&self) {
         self.flag.store(true, Ordering::Release);
     }
@@ -54,8 +58,8 @@ impl CancellationToken {
 }
 
 /// Per-query resource limits. `None` means unlimited; the default governs
-/// nothing (zero overhead beyond an atomic load per `next()`).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+/// nothing (zero overhead beyond an atomic load per `next_batch()`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct GovernorConfig {
     /// Maximum wall-clock time for the drain.
     pub timeout: Option<Duration>,
@@ -64,6 +68,21 @@ pub struct GovernorConfig {
     /// Maximum buffer-pool page requests (hits + misses) the query may
     /// issue.
     pub max_pages: Option<u64>,
+    /// Batch-size cap for governed execution: bounds kill latency (and row
+    /// budget overshoot) to this many rows. The executor runs with
+    /// `min(batch_rows, max_batch_rows)`.
+    pub max_batch_rows: usize,
+}
+
+impl Default for GovernorConfig {
+    fn default() -> Self {
+        GovernorConfig {
+            timeout: None,
+            max_rows: None,
+            max_pages: None,
+            max_batch_rows: DEFAULT_BATCH_ROWS,
+        }
+    }
 }
 
 impl GovernorConfig {
@@ -87,7 +106,13 @@ impl GovernorConfig {
         self
     }
 
-    /// Whether any limit is set (an ungoverned build can skip the wrapper).
+    pub fn with_max_batch_rows(mut self, rows: usize) -> Self {
+        self.max_batch_rows = rows.max(1);
+        self
+    }
+
+    /// Whether any limit is set (an ungoverned build can skip the wrapper;
+    /// the batch-size cap alone does not make a query governed).
     pub fn is_unlimited(&self) -> bool {
         self.timeout.is_none() && self.max_rows.is_none() && self.max_pages.is_none()
     }
@@ -132,7 +157,7 @@ impl QueryGovernor {
     }
 
     /// Enforce cancellation, deadline, and the page budget. Called before
-    /// every governed `next()`.
+    /// every governed `next_batch()`.
     pub fn check(&self) -> Result<()> {
         if self.token.is_canceled() {
             return Err(EvoptError::Canceled("query canceled".into()));
@@ -156,9 +181,11 @@ impl QueryGovernor {
         Ok(())
     }
 
-    /// Count one root output row against the row budget.
-    pub fn record_row(&self) -> Result<()> {
-        let produced = self.rows.fetch_add(1, Ordering::Relaxed) + 1;
+    /// Count a root output batch's rows against the row budget. Called once
+    /// per drained batch, so any overshoot past the limit is bounded by one
+    /// batch (itself capped at [`GovernorConfig::max_batch_rows`]).
+    pub fn record_rows(&self, n: u64) -> Result<()> {
+        let produced = self.rows.fetch_add(n, Ordering::Relaxed) + n;
         if let Some(max_rows) = self.config.max_rows {
             if produced > max_rows {
                 return Err(EvoptError::ResourceExhausted(format!(
@@ -170,8 +197,8 @@ impl QueryGovernor {
     }
 }
 
-/// Decorator that consults the governor before every `next()` of the
-/// wrapped operator, so a kill lands within one tuple step.
+/// Decorator that consults the governor before every `next_batch()` of the
+/// wrapped operator, so a kill lands within one batch step.
 pub struct GovernedExec {
     inner: Box<dyn Executor>,
     governor: Arc<QueryGovernor>,
@@ -188,9 +215,9 @@ impl Executor for GovernedExec {
         self.inner.schema()
     }
 
-    fn next(&mut self) -> Result<Option<Tuple>> {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
         self.governor.check()?;
-        self.inner.next()
+        self.inner.next_batch()
     }
 }
 
@@ -207,10 +234,14 @@ mod tests {
 
     #[test]
     fn default_config_governs_nothing() {
-        let gov = QueryGovernor::new(GovernorConfig::unlimited(), CancellationToken::new(), pool());
+        let gov = QueryGovernor::new(
+            GovernorConfig::unlimited(),
+            CancellationToken::new(),
+            pool(),
+        );
         assert!(gov.check().is_ok());
         for _ in 0..10_000 {
-            assert!(gov.record_row().is_ok());
+            assert!(gov.record_rows(1).is_ok());
         }
     }
 
@@ -246,14 +277,47 @@ mod tests {
         let cfg = GovernorConfig::unlimited().with_max_rows(3);
         let gov = QueryGovernor::new(cfg, CancellationToken::new(), pool());
         for _ in 0..3 {
-            assert!(gov.record_row().is_ok());
+            assert!(gov.record_rows(1).is_ok());
         }
-        match gov.record_row() {
+        match gov.record_rows(1) {
             Err(EvoptError::ResourceExhausted(msg)) => {
                 assert!(msg.contains("row budget"), "{msg}");
             }
             other => panic!("expected ResourceExhausted, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn row_budget_counts_whole_batches() {
+        let cfg = GovernorConfig::unlimited().with_max_rows(10);
+        let gov = QueryGovernor::new(cfg, CancellationToken::new(), pool());
+        assert!(gov.record_rows(8).is_ok());
+        // The batch that crosses the limit trips it; overshoot is bounded
+        // by that batch's size.
+        match gov.record_rows(8) {
+            Err(EvoptError::ResourceExhausted(msg)) => {
+                assert!(msg.contains("16 rows"), "{msg}");
+            }
+            other => panic!("expected ResourceExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn max_batch_rows_defaults_and_clamps() {
+        assert_eq!(
+            GovernorConfig::unlimited().max_batch_rows,
+            DEFAULT_BATCH_ROWS
+        );
+        assert_eq!(
+            GovernorConfig::unlimited()
+                .with_max_batch_rows(0)
+                .max_batch_rows,
+            1
+        );
+        // The cap alone does not make a query "governed".
+        assert!(GovernorConfig::unlimited()
+            .with_max_batch_rows(8)
+            .is_unlimited());
     }
 
     #[test]

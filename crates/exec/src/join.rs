@@ -13,18 +13,22 @@
 //!   configured buffer budget, Grace partitioning to temporary heaps when
 //!   it doesn't.
 //!
+//! All five consume and produce [`Batch`]es: inputs arrive through
+//! [`BatchCursor`]s (one virtual call per input batch), matches accumulate
+//! in a [`BatchBuilder`] and flush in capped batches, so a probe that fans
+//! out to many matches still never emits an oversized batch.
+//!
 //! SQL join semantics: NULL keys never match.
 
 use std::collections::HashMap;
-use std::collections::VecDeque;
 use std::sync::Arc;
 
 use evopt_catalog::TableInfo;
-use evopt_common::{EvoptError, Expr, Result, Schema, Tuple, Value};
+use evopt_common::{Batch, EvoptError, Expr, Result, Schema, Tuple, Value};
 use evopt_storage::heap::HeapScan;
 use evopt_storage::HeapFile;
 
-use crate::executor::{invariant, ExecEnv, Executor};
+use crate::executor::{invariant, BatchBuilder, BatchCursor, ExecEnv, Executor};
 
 /// Usable bytes per page for blocking decisions.
 const USABLE_PAGE_BYTES: usize = 4084;
@@ -45,14 +49,15 @@ fn passes(residual: &Option<Expr>, t: &Tuple) -> Result<bool> {
 /// re-open to the same metric slots.
 pub type RightBuilder = Box<dyn Fn() -> Result<Box<dyn Executor>>>;
 
-/// For each outer tuple, re-open and drain the inner plan.
+/// For each outer tuple, re-open and drain the inner plan batch by batch.
 pub struct NestedLoopJoinExec {
-    left: Box<dyn Executor>,
+    left: BatchCursor,
     right_builder: RightBuilder,
     predicate: Option<Expr>,
     schema: Schema,
     current_left: Option<Tuple>,
     right: Option<Box<dyn Executor>>,
+    out: BatchBuilder,
 }
 
 impl NestedLoopJoinExec {
@@ -61,11 +66,13 @@ impl NestedLoopJoinExec {
         right_builder: RightBuilder,
         predicate: Option<Expr>,
         schema: Schema,
+        batch_rows: usize,
     ) -> Self {
         NestedLoopJoinExec {
-            left,
+            left: BatchCursor::new(left),
             right_builder,
             predicate,
+            out: BatchBuilder::new(schema.clone(), batch_rows),
             schema,
             current_left: None,
             right: None,
@@ -78,24 +85,37 @@ impl Executor for NestedLoopJoinExec {
         &self.schema
     }
 
-    fn next(&mut self) -> Result<Option<Tuple>> {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
         loop {
+            if self.out.full() {
+                return Ok(self.out.flush());
+            }
             if self.current_left.is_none() {
-                self.current_left = self.left.next()?;
-                if self.current_left.is_none() {
-                    return Ok(None);
+                match self.left.next_row()? {
+                    Some(t) => {
+                        self.current_left = Some(t);
+                        self.right = Some((self.right_builder)()?);
+                    }
+                    // Outer exhausted: drain whatever is buffered.
+                    None => return Ok(self.out.flush()),
                 }
-                self.right = Some((self.right_builder)()?);
             }
-            let lt = invariant(self.current_left.as_ref(), "outer row set before inner drain")?;
+            let lt = invariant(
+                self.current_left.as_ref(),
+                "outer row set before inner drain",
+            )?;
             let right = invariant(self.right.as_mut(), "inner opened with outer row")?;
-            while let Some(rt) = right.next()? {
-                let combined = lt.join(&rt);
-                if passes(&self.predicate, &combined)? {
-                    return Ok(Some(combined));
+            match right.next_batch()? {
+                Some(rb) => {
+                    for rt in rb.iter() {
+                        let combined = lt.join(rt);
+                        if passes(&self.predicate, &combined)? {
+                            self.out.push(combined);
+                        }
+                    }
                 }
+                None => self.current_left = None,
             }
-            self.current_left = None;
         }
     }
 }
@@ -105,9 +125,10 @@ impl Executor for NestedLoopJoinExec {
 // ---------------------------------------------------------------------------
 
 /// Materialise the inner once; stream the outer in blocks of
-/// `(block_pages - 2)` pages; scan the inner once per block.
+/// `(block_pages - 2)` pages; scan the inner once per block, joining each
+/// inner row against the whole resident block.
 pub struct BlockNestedLoopJoinExec {
-    left: Box<dyn Executor>,
+    left: BatchCursor,
     right: Option<Box<dyn Executor>>,
     env: ExecEnv,
     predicate: Option<Expr>,
@@ -117,8 +138,7 @@ pub struct BlockNestedLoopJoinExec {
     block: Vec<Tuple>,
     left_done: bool,
     inner_scan: Option<HeapScan>,
-    current_inner: Option<Tuple>,
-    block_pos: usize,
+    out: BatchBuilder,
 }
 
 impl BlockNestedLoopJoinExec {
@@ -132,26 +152,27 @@ impl BlockNestedLoopJoinExec {
     ) -> Self {
         let block_bytes = block_pages.saturating_sub(2).max(1) * USABLE_PAGE_BYTES;
         BlockNestedLoopJoinExec {
-            left,
+            left: BatchCursor::new(left),
             right: Some(right),
-            env,
             predicate,
             block_bytes,
+            out: BatchBuilder::new(schema.clone(), env.batch_rows),
+            env,
             schema,
             temp: None,
             block: Vec::new(),
             left_done: false,
             inner_scan: None,
-            current_inner: None,
-            block_pos: 0,
         }
     }
 
     fn materialise_inner(&mut self) -> Result<()> {
         let heap = Arc::new(HeapFile::create(Arc::clone(self.env.catalog.pool()))?);
         let mut right = invariant(self.right.take(), "inner materialised only once")?;
-        while let Some(t) = right.next()? {
-            heap.insert(&t)?;
+        while let Some(batch) = right.next_batch()? {
+            for t in batch.iter() {
+                heap.insert(t)?;
+            }
         }
         self.temp = Some(heap);
         Ok(())
@@ -159,13 +180,12 @@ impl BlockNestedLoopJoinExec {
 
     fn load_block(&mut self) -> Result<bool> {
         self.block.clear();
-        self.block_pos = 0;
         if self.left_done {
             return Ok(false);
         }
         let mut bytes = 0usize;
         while bytes < self.block_bytes {
-            match self.left.next()? {
+            match self.left.next_row()? {
                 Some(t) => {
                     bytes += t.encoded_len();
                     self.block.push(t);
@@ -185,7 +205,7 @@ impl Executor for BlockNestedLoopJoinExec {
         &self.schema
     }
 
-    fn next(&mut self) -> Result<Option<Tuple>> {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
         if self.temp.is_none() {
             self.materialise_inner()?;
             if !self.load_block()? {
@@ -194,34 +214,28 @@ impl Executor for BlockNestedLoopJoinExec {
             self.inner_scan = Some(invariant(self.temp.as_ref(), "inner heap built")?.scan());
         }
         loop {
-            if self.current_inner.is_none() {
-                let scan = invariant(self.inner_scan.as_mut(), "inner scan open")?;
-                match scan.next().transpose()? {
-                    Some((_, t)) => {
-                        self.current_inner = Some(t);
-                        self.block_pos = 0;
-                    }
-                    None => {
-                        // Inner exhausted for this block: next block.
-                        if !self.load_block()? {
-                            return Ok(None);
+            if self.out.full() {
+                return Ok(self.out.flush());
+            }
+            let scan = invariant(self.inner_scan.as_mut(), "inner scan open")?;
+            match scan.next().transpose()? {
+                Some((_, rt)) => {
+                    for lt in &self.block {
+                        let combined = lt.join(&rt);
+                        if passes(&self.predicate, &combined)? {
+                            self.out.push(combined);
                         }
-                        self.inner_scan =
-                            Some(invariant(self.temp.as_ref(), "inner heap built")?.scan());
-                        continue;
                     }
                 }
-            }
-            let rt = invariant(self.current_inner.as_ref(), "inner row set")?;
-            while self.block_pos < self.block.len() {
-                let lt = &self.block[self.block_pos];
-                self.block_pos += 1;
-                let combined = lt.join(rt);
-                if passes(&self.predicate, &combined)? {
-                    return Ok(Some(combined));
+                None => {
+                    // Inner exhausted for this block: next block.
+                    if !self.load_block()? {
+                        return Ok(self.out.flush());
+                    }
+                    self.inner_scan =
+                        Some(invariant(self.temp.as_ref(), "inner heap built")?.scan());
                 }
             }
-            self.current_inner = None;
         }
     }
 }
@@ -232,13 +246,13 @@ impl Executor for BlockNestedLoopJoinExec {
 
 /// Probe a B+-tree on the inner base table per outer row.
 pub struct IndexNestedLoopJoinExec {
-    outer: Box<dyn Executor>,
+    outer: BatchCursor,
     inner: Arc<TableInfo>,
     index: Arc<evopt_catalog::IndexInfo>,
     outer_key: usize,
     residual: Option<Expr>,
     schema: Schema,
-    pending: VecDeque<Tuple>,
+    out: BatchBuilder,
 }
 
 impl IndexNestedLoopJoinExec {
@@ -260,13 +274,13 @@ impl IndexNestedLoopJoinExec {
                 EvoptError::Execution(format!("unknown index '{index}' on '{inner_table}'"))
             })?;
         Ok(IndexNestedLoopJoinExec {
-            outer,
+            outer: BatchCursor::new(outer),
             inner,
             index,
             outer_key,
             residual,
+            out: BatchBuilder::new(schema.clone(), env.batch_rows),
             schema,
-            pending: VecDeque::new(),
         })
     }
 }
@@ -276,13 +290,13 @@ impl Executor for IndexNestedLoopJoinExec {
         &self.schema
     }
 
-    fn next(&mut self) -> Result<Option<Tuple>> {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
         loop {
-            if let Some(t) = self.pending.pop_front() {
-                return Ok(Some(t));
+            if self.out.full() {
+                return Ok(self.out.flush());
             }
-            let Some(lt) = self.outer.next()? else {
-                return Ok(None);
+            let Some(lt) = self.outer.next_row()? else {
+                return Ok(self.out.flush());
             };
             let key = lt.value(self.outer_key)?;
             if key.is_null() {
@@ -294,7 +308,7 @@ impl Executor for IndexNestedLoopJoinExec {
                 })?;
                 let combined = lt.join(&rt);
                 if passes(&self.residual, &combined)? {
-                    self.pending.push_back(combined);
+                    self.out.push(combined);
                 }
             }
         }
@@ -307,21 +321,21 @@ impl Executor for IndexNestedLoopJoinExec {
 
 /// Linear merge of two inputs sorted ascending on their keys.
 pub struct SortMergeJoinExec {
-    left: Box<dyn Executor>,
-    right: Box<dyn Executor>,
+    left: BatchCursor,
+    right: BatchCursor,
     left_key: usize,
     right_key: usize,
     residual: Option<Expr>,
     schema: Schema,
-    current_left: Option<Tuple>,
     group: Vec<Tuple>,
     group_key: Option<Value>,
-    group_pos: usize,
     lookahead: Option<Tuple>,
     right_done: bool,
+    out: BatchBuilder,
 }
 
 impl SortMergeJoinExec {
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         left: Box<dyn Executor>,
         right: Box<dyn Executor>,
@@ -329,18 +343,18 @@ impl SortMergeJoinExec {
         right_key: usize,
         residual: Option<Expr>,
         schema: Schema,
+        batch_rows: usize,
     ) -> Self {
         SortMergeJoinExec {
-            left,
-            right,
+            left: BatchCursor::new(left),
+            right: BatchCursor::new(right),
             left_key,
             right_key,
             residual,
+            out: BatchBuilder::new(schema.clone(), batch_rows),
             schema,
-            current_left: None,
             group: Vec::new(),
             group_key: None,
-            group_pos: 0,
             lookahead: None,
             right_done: false,
         }
@@ -351,12 +365,11 @@ impl SortMergeJoinExec {
     fn advance_group(&mut self) -> Result<bool> {
         self.group.clear();
         self.group_key = None;
-        self.group_pos = 0;
         // First tuple of the group (skipping NULL keys).
         let first = loop {
             let t = match self.lookahead.take() {
                 Some(t) => Some(t),
-                None => self.right.next()?,
+                None => self.right.next_row()?,
             };
             match t {
                 None => {
@@ -375,7 +388,7 @@ impl SortMergeJoinExec {
         self.group.push(first);
         // Absorb duplicates.
         loop {
-            match self.right.next()? {
+            match self.right.next_row()? {
                 None => {
                     self.right_done = true;
                     break;
@@ -404,21 +417,16 @@ impl Executor for SortMergeJoinExec {
         &self.schema
     }
 
-    fn next(&mut self) -> Result<Option<Tuple>> {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
         loop {
-            if self.current_left.is_none() {
-                self.current_left = self.left.next()?;
-                self.group_pos = 0;
-                if self.current_left.is_none() {
-                    return Ok(None);
-                }
+            if self.out.full() {
+                return Ok(self.out.flush());
             }
-            let lkey = {
-                let lt = invariant(self.current_left.as_ref(), "left row set")?;
-                lt.value(self.left_key)?.clone()
+            let Some(lt) = self.left.next_row()? else {
+                return Ok(self.out.flush());
             };
+            let lkey = lt.value(self.left_key)?.clone();
             if lkey.is_null() {
-                self.current_left = None;
                 continue;
             }
             // Advance the right group until its key >= left key.
@@ -431,22 +439,14 @@ impl Executor for SortMergeJoinExec {
                     break;
                 }
             }
-            match &self.group_key {
-                Some(k) if *k == lkey => {
-                    let lt = invariant(self.current_left.as_ref(), "left row set")?.clone();
-                    while self.group_pos < self.group.len() {
-                        let rt = &self.group[self.group_pos];
-                        self.group_pos += 1;
-                        let combined = lt.join(rt);
-                        if passes(&self.residual, &combined)? {
-                            return Ok(Some(combined));
-                        }
+            // Emit every match of this left row (the group stays resident
+            // for following duplicates on the left).
+            if self.group_key.as_ref() == Some(&lkey) {
+                for rt in &self.group {
+                    let combined = lt.join(rt);
+                    if passes(&self.residual, &combined)? {
+                        self.out.push(combined);
                     }
-                    self.current_left = None;
-                }
-                _ => {
-                    // Group key beyond the left key, or right exhausted.
-                    self.current_left = None;
                 }
             }
         }
@@ -483,7 +483,7 @@ pub struct HashJoinExec {
     residual: Option<Expr>,
     schema: Schema,
     state: HashJoinState,
-    pending: VecDeque<Tuple>,
+    out: BatchBuilder,
 }
 
 impl HashJoinExec {
@@ -500,13 +500,13 @@ impl HashJoinExec {
         HashJoinExec {
             left: Some(left),
             right: Some(right),
-            env,
             left_key,
             right_key,
             residual,
+            out: BatchBuilder::new(schema.clone(), env.batch_rows),
+            env,
             schema,
             state: HashJoinState::Init,
-            pending: VecDeque::new(),
         }
     }
 
@@ -514,12 +514,14 @@ impl HashJoinExec {
         let mut right = invariant(self.right.take(), "build side consumed only once")?;
         let mut build_rows: Vec<Tuple> = Vec::new();
         let mut bytes = 0usize;
-        while let Some(t) = right.next()? {
-            if t.value(self.right_key)?.is_null() {
-                continue;
+        while let Some(batch) = right.next_batch()? {
+            for t in batch.into_rows() {
+                if t.value(self.right_key)?.is_null() {
+                    continue;
+                }
+                bytes += t.encoded_len();
+                build_rows.push(t);
             }
-            bytes += t.encoded_len();
-            build_rows.push(t);
         }
         let budget = self.env.buffer_pages.max(3) * USABLE_PAGE_BYTES;
         if bytes <= budget {
@@ -546,12 +548,14 @@ impl HashJoinExec {
         }
         let left_parts = mk_parts()?;
         let mut left = invariant(self.left.take(), "probe side present for Grace split")?;
-        while let Some(t) = left.next()? {
-            let k = t.value(self.left_key)?;
-            if k.is_null() {
-                continue;
+        while let Some(batch) = left.next_batch()? {
+            for t in batch.iter() {
+                let k = t.value(self.left_key)?;
+                if k.is_null() {
+                    continue;
+                }
+                left_parts[partition_of(k, parts)].insert(t)?;
             }
-            left_parts[partition_of(k, parts)].insert(&t)?;
         }
         self.state = HashJoinState::Grace {
             left_parts,
@@ -568,7 +572,7 @@ impl HashJoinExec {
         lt: &Tuple,
         left_key: usize,
         residual: &Option<Expr>,
-        pending: &mut VecDeque<Tuple>,
+        out: &mut BatchBuilder,
     ) -> Result<()> {
         let k = lt.value(left_key)?;
         if k.is_null() {
@@ -578,7 +582,7 @@ impl HashJoinExec {
             for rt in matches {
                 let combined = lt.join(rt);
                 if passes(residual, &combined)? {
-                    pending.push_back(combined);
+                    out.push(combined);
                 }
             }
         }
@@ -598,32 +602,34 @@ impl Executor for HashJoinExec {
         &self.schema
     }
 
-    fn next(&mut self) -> Result<Option<Tuple>> {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
         if matches!(self.state, HashJoinState::Init) {
             self.build()?;
         }
         loop {
-            if let Some(t) = self.pending.pop_front() {
-                return Ok(Some(t));
+            if self.out.full() {
+                return Ok(self.out.flush());
             }
             match &mut self.state {
                 HashJoinState::Init => {
-                    return Err(EvoptError::Internal(
-                        "hash join probed before build".into(),
-                    ))
+                    return Err(EvoptError::Internal("hash join probed before build".into()))
                 }
                 HashJoinState::InMemory { map } => {
                     let left = invariant(self.left.as_mut(), "in-memory join keeps probe side")?;
-                    let Some(lt) = left.next()? else {
-                        return Ok(None);
-                    };
-                    Self::probe_matches(
-                        map,
-                        &lt,
-                        self.left_key,
-                        &self.residual,
-                        &mut self.pending,
-                    )?;
+                    match left.next_batch()? {
+                        Some(batch) => {
+                            for lt in batch.iter() {
+                                Self::probe_matches(
+                                    map,
+                                    lt,
+                                    self.left_key,
+                                    &self.residual,
+                                    &mut self.out,
+                                )?;
+                            }
+                        }
+                        None => return Ok(self.out.flush()),
+                    }
                 }
                 HashJoinState::Grace {
                     left_parts,
@@ -634,7 +640,7 @@ impl Executor for HashJoinExec {
                 } => {
                     if probe.is_none() {
                         if *part >= left_parts.len() {
-                            return Ok(None);
+                            return Ok(self.out.flush());
                         }
                         // Build this partition's map.
                         map.clear();
@@ -654,7 +660,7 @@ impl Executor for HashJoinExec {
                                 &lt,
                                 self.left_key,
                                 &self.residual,
-                                &mut self.pending,
+                                &mut self.out,
                             )?;
                         }
                         None => *probe = None,

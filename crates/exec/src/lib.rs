@@ -1,10 +1,19 @@
 //! # evopt-exec
 //!
-//! The Volcano-style execution engine: interprets the optimizer's
+//! The batch-vectorized execution engine: interprets the optimizer's
 //! [`evopt_core::PhysicalPlan`]s against the storage engine.
 //!
 //! Every operator implements [`Executor`] (`open`-by-construction /
-//! `next()`); all page access goes through the shared buffer pool, so the
+//! `next_batch()`): the Volcano pull loop, but moving a
+//! [`Batch`](evopt_common::Batch) of up to `batch_rows` tuples (default
+//! 1024) per call instead of one tuple. Virtual dispatch, per-operator
+//! instrumentation stamps and governor checks are paid once per batch, not
+//! once per row. Operators whose inner logic is naturally row-at-a-time
+//! (merge join, sort run formation, aggregation) pull rows through a
+//! [`executor::BatchCursor`], which costs a plain `Vec` iterator step per
+//! row.
+//!
+//! All page access still goes through the shared buffer pool, so the
 //! **measured physical I/O of a plan is real** — block nested loops
 //! materialises and re-reads its inner, external sort spills runs, the
 //! Grace hash join partitions to temporary heaps. That is the point: the
@@ -31,7 +40,7 @@ pub mod sort;
 
 pub use executor::{
     build_executor, build_instrumented, run_collect, run_collect_governed,
-    run_collect_instrumented, ExecEnv, Executor,
+    run_collect_instrumented, BatchCursor, ExecEnv, Executor,
 };
 pub use governor::{CancellationToken, GovernorConfig, QueryGovernor};
 pub use metrics::{MetricsRegistry, OperatorMetrics, QueryMetrics};

@@ -209,7 +209,10 @@ fn null_keys_never_match() {
     let l = env.catalog.table("l").unwrap();
     let r = env.catalog.table("r").unwrap();
     l.heap
-        .insert(&Tuple::new(vec![Value::Null, Value::Str("null-left".into())]))
+        .insert(&Tuple::new(vec![
+            Value::Null,
+            Value::Str("null-left".into()),
+        ]))
         .unwrap();
     l.heap
         .insert(&Tuple::new(vec![Value::Int(1), Value::Str("one".into())]))
@@ -273,8 +276,7 @@ fn null_keys_never_match() {
 fn hash_join_grace_spills_and_is_correct() {
     // Build side far larger than the 4-page budget → Grace path.
     let env_small_pool = {
-        let pool =
-            BufferPool::new(Arc::new(DiskManager::new()), 64, PolicyKind::Lru);
+        let pool = BufferPool::new(Arc::new(DiskManager::new()), 64, PolicyKind::Lru);
         let cat = Arc::new(Catalog::new(pool));
         ExecEnv::new(cat, 4)
     };
@@ -333,11 +335,7 @@ fn hash_join_grace_spills_and_is_correct() {
 fn residual_predicates_filter_join_output() {
     let env = join_world(100, 100, 10, 16);
     let schema = join_schema(&env);
-    let residual = Some(Expr::binary(
-        evopt_common::BinOp::Gt,
-        col(3),
-        lit(5000i64),
-    ));
+    let residual = Some(Expr::binary(evopt_common::BinOp::Gt, col(3), lit(5000i64)));
     let hj = plan(
         PhysOp::HashJoin {
             left: Box::new(scan(&env, "l")),
@@ -661,8 +659,16 @@ fn aggregates_ignore_null_arguments() {
         ]),
     );
     let rows = run_collect(&agg, &env).unwrap();
-    assert_eq!(rows[0].value(0).unwrap(), &Value::Int(2), "COUNT skips nulls");
-    assert_eq!(rows[0].value(1).unwrap(), &Value::Int(4), "COUNT(*) counts all");
+    assert_eq!(
+        rows[0].value(0).unwrap(),
+        &Value::Int(2),
+        "COUNT skips nulls"
+    );
+    assert_eq!(
+        rows[0].value(1).unwrap(),
+        &Value::Int(4),
+        "COUNT(*) counts all"
+    );
     assert_eq!(rows[0].value(2).unwrap(), &Value::Float(15.0));
 }
 
@@ -692,7 +698,13 @@ fn sort_empty_input_and_single_row() {
 fn sort_is_stable_enough_for_total_order_and_handles_nulls() {
     let env = join_world(0, 0, 1, 16);
     let l = env.catalog.table("l").unwrap();
-    for v in [Value::Int(3), Value::Null, Value::Int(1), Value::Null, Value::Int(2)] {
+    for v in [
+        Value::Int(3),
+        Value::Null,
+        Value::Int(1),
+        Value::Null,
+        Value::Int(2),
+    ] {
         l.heap
             .insert(&Tuple::new(vec![v, Value::Str("x".into())]))
             .unwrap();

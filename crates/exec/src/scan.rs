@@ -4,18 +4,20 @@ use std::ops::Bound;
 use std::sync::Arc;
 
 use evopt_catalog::TableInfo;
-use evopt_common::{EvoptError, Expr, Result, Schema, Tuple};
+use evopt_common::{Batch, EvoptError, Expr, Result, Schema};
 use evopt_core::physical::KeyRange;
 use evopt_storage::btree::BTreeRangeScan;
 use evopt_storage::heap::HeapScan;
 
 use crate::executor::{ExecEnv, Executor};
 
-/// Full heap scan with an optional pushed-down filter.
+/// Full heap scan with an optional pushed-down filter; fills one batch of
+/// surviving rows per `next_batch()` call.
 pub struct SeqScanExec {
     schema: Schema,
     scan: HeapScan,
     filter: Option<Expr>,
+    batch_rows: usize,
 }
 
 impl SeqScanExec {
@@ -30,6 +32,7 @@ impl SeqScanExec {
             schema,
             scan: info.heap.scan(),
             filter,
+            batch_rows: env.batch_rows,
         })
     }
 }
@@ -39,15 +42,21 @@ impl Executor for SeqScanExec {
         &self.schema
     }
 
-    fn next(&mut self) -> Result<Option<Tuple>> {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        let mut batch = Batch::with_capacity(self.schema.clone(), self.batch_rows);
         for item in self.scan.by_ref() {
             let (_, tuple) = item?;
-            match &self.filter {
-                Some(f) if !f.eval_predicate(&tuple)? => continue,
-                _ => return Ok(Some(tuple)),
+            if let Some(f) = &self.filter {
+                if !f.eval_predicate(&tuple)? {
+                    continue;
+                }
+            }
+            batch.push(tuple);
+            if batch.len() >= self.batch_rows {
+                break;
             }
         }
-        Ok(None)
+        Ok(if batch.is_empty() { None } else { Some(batch) })
     }
 }
 
@@ -59,6 +68,7 @@ pub struct IndexScanExec {
     heap: Arc<TableInfo>,
     range_scan: BTreeRangeScan,
     residual: Option<Expr>,
+    batch_rows: usize,
 }
 
 impl IndexScanExec {
@@ -86,6 +96,7 @@ impl IndexScanExec {
             heap: info,
             range_scan,
             residual,
+            batch_rows: env.batch_rows,
         })
     }
 }
@@ -103,18 +114,24 @@ impl Executor for IndexScanExec {
         &self.schema
     }
 
-    fn next(&mut self) -> Result<Option<Tuple>> {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        let mut batch = Batch::with_capacity(self.schema.clone(), self.batch_rows);
         for item in self.range_scan.by_ref() {
             let (_, rid) = item?;
             let tuple = self.heap.heap.get(rid)?.ok_or_else(|| {
                 EvoptError::Execution(format!("index points at deleted rid {rid}"))
             })?;
-            match &self.residual {
-                Some(f) if !f.eval_predicate(&tuple)? => continue,
-                _ => return Ok(Some(tuple)),
+            if let Some(f) = &self.residual {
+                if !f.eval_predicate(&tuple)? {
+                    continue;
+                }
+            }
+            batch.push(tuple);
+            if batch.len() >= self.batch_rows {
+                break;
             }
         }
-        Ok(None)
+        Ok(if batch.is_empty() { None } else { Some(batch) })
     }
 }
 
@@ -126,7 +143,7 @@ pub(crate) mod test_support {
 
     use super::*;
     use evopt_catalog::{analyze_table, AnalyzeConfig, Catalog};
-    use evopt_common::{Column, DataType, Value};
+    use evopt_common::{Column, DataType, Tuple, Value};
     use evopt_core::cost::Cost;
     use evopt_core::physical::{PhysOp, PhysicalPlan};
     use evopt_storage::{BufferPool, DiskManager, PolicyKind};
@@ -156,7 +173,8 @@ pub(crate) mod test_support {
                 ]))
                 .unwrap();
         }
-        cat.create_index("nums_k", "nums", "k", true, false).unwrap();
+        cat.create_index("nums_k", "nums", "k", true, false)
+            .unwrap();
         analyze_table(&t, &AnalyzeConfig::default()).unwrap();
         ExecEnv::new(cat, 16)
     }
@@ -221,11 +239,7 @@ mod tests {
     #[test]
     fn seq_scan_filters() {
         let env = setup(500, 16);
-        let plan = seq_plan(
-            &env,
-            "nums",
-            Some(Expr::eq(col(1), lit(3i64))),
-        );
+        let plan = seq_plan(&env, "nums", Some(Expr::eq(col(1), lit(3i64))));
         let rows = run_collect(&plan, &env).unwrap();
         assert_eq!(rows.len(), 50);
         assert!(rows.iter().all(|t| t.value(1).unwrap() == &Value::Int(3)));
@@ -264,8 +278,7 @@ mod tests {
             high: std::ops::Bound::Excluded(Value::Int(100)),
         };
         let residual = Some(Expr::binary(BinOp::Eq, col(1), lit(7i64)));
-        let rows =
-            run_collect(&index_plan(&env, "nums", "nums_k", range, residual), &env).unwrap();
+        let rows = run_collect(&index_plan(&env, "nums", "nums_k", range, residual), &env).unwrap();
         assert_eq!(rows.len(), 10); // k in 0..100 with k % 10 == 7
     }
 

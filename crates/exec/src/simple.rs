@@ -1,10 +1,15 @@
 //! Filter, projection and limit.
+//!
+//! All three are batch transformers: one input batch in, at most one
+//! output batch out, with the expression evaluated across the whole batch
+//! per `next_batch()` call.
 
-use evopt_common::{Expr, Result, Schema, Tuple};
+use evopt_common::{Batch, Expr, Result, Schema, Tuple};
 
 use crate::executor::Executor;
 
-/// Row filter.
+/// Row filter: evaluates the predicate over every row of an input batch
+/// and keeps the survivors.
 pub struct FilterExec {
     input: Box<dyn Executor>,
     predicate: Expr,
@@ -21,17 +26,27 @@ impl Executor for FilterExec {
         self.input.schema()
     }
 
-    fn next(&mut self) -> Result<Option<Tuple>> {
-        while let Some(t) = self.input.next()? {
-            if self.predicate.eval_predicate(&t)? {
-                return Ok(Some(t));
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        // A batch may filter down to nothing; keep pulling so an emitted
+        // batch is never empty.
+        while let Some(batch) = self.input.next_batch()? {
+            let (schema, rows) = batch.into_parts();
+            let mut kept = Vec::with_capacity(rows.len());
+            for t in rows {
+                if self.predicate.eval_predicate(&t)? {
+                    kept.push(t);
+                }
+            }
+            if !kept.is_empty() {
+                return Ok(Some(Batch::new(schema, kept)));
             }
         }
         Ok(None)
     }
 }
 
-/// Expression projection.
+/// Expression projection: maps the expression list over a whole batch per
+/// call.
 pub struct ProjectExec {
     input: Box<dyn Executor>,
     exprs: Vec<Expr>,
@@ -53,21 +68,25 @@ impl Executor for ProjectExec {
         &self.schema
     }
 
-    fn next(&mut self) -> Result<Option<Tuple>> {
-        match self.input.next()? {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        match self.input.next_batch()? {
             None => Ok(None),
-            Some(t) => {
-                let mut values = Vec::with_capacity(self.exprs.len());
-                for e in &self.exprs {
-                    values.push(e.eval(&t)?);
+            Some(batch) => {
+                let mut out = Batch::with_capacity(self.schema.clone(), batch.len());
+                for t in batch.iter() {
+                    let mut values = Vec::with_capacity(self.exprs.len());
+                    for e in &self.exprs {
+                        values.push(e.eval(t)?);
+                    }
+                    out.push(Tuple::new(values));
                 }
-                Ok(Some(Tuple::new(values)))
+                Ok(Some(out))
             }
         }
     }
 }
 
-/// First-k.
+/// First-k: truncates the batch that crosses the limit and stops pulling.
 pub struct LimitExec {
     input: Box<dyn Executor>,
     remaining: usize,
@@ -87,14 +106,15 @@ impl Executor for LimitExec {
         self.input.schema()
     }
 
-    fn next(&mut self) -> Result<Option<Tuple>> {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
         if self.remaining == 0 {
             return Ok(None);
         }
-        match self.input.next()? {
-            Some(t) => {
-                self.remaining -= 1;
-                Ok(Some(t))
+        match self.input.next_batch()? {
+            Some(mut batch) => {
+                batch.truncate(self.remaining);
+                self.remaining -= batch.len();
+                Ok(Some(batch))
             }
             None => {
                 self.remaining = 0;

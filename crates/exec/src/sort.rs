@@ -5,17 +5,18 @@
 //! to `buffer_pages - 1` runs per pass, with intermediate passes writing
 //! new runs — so the physical I/O follows the classic
 //! `2 · P · (1 + ⌈log_{B−1}(runs)⌉)` shape the cost model charges. Inputs
-//! that fit in the buffer never touch disk.
+//! that fit in the buffer never touch disk. Sorted output is re-batched to
+//! `batch_rows` tuples per `next_batch()` call.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 
-use evopt_common::{Result, Schema, Tuple, Value};
+use evopt_common::{Batch, Result, Schema, Tuple, Value};
 use evopt_storage::heap::HeapScan;
 use evopt_storage::HeapFile;
 
-use crate::executor::{invariant, ExecEnv, Executor};
+use crate::executor::{invariant, BatchCursor, ExecEnv, Executor};
 
 const USABLE_PAGE_BYTES: usize = 4084;
 
@@ -39,7 +40,7 @@ fn compare(a: &Tuple, b: &Tuple, keys: &Keys) -> Ordering {
 
 /// External merge sort operator.
 pub struct SortExec {
-    input: Option<Box<dyn Executor>>,
+    input: Option<BatchCursor>,
     env: ExecEnv,
     keys: Keys,
     schema: Schema,
@@ -84,7 +85,7 @@ impl SortExec {
     pub fn new(input: Box<dyn Executor>, env: ExecEnv, keys: Keys) -> Self {
         let schema = input.schema().clone();
         SortExec {
-            input: Some(input),
+            input: Some(BatchCursor::new(input)),
             env,
             keys,
             schema,
@@ -110,7 +111,7 @@ impl SortExec {
         let mut bytes = 0usize;
         let mut exhausted = false;
         while !exhausted {
-            match input.next()? {
+            match input.next_row()? {
                 Some(t) => {
                     bytes += t.encoded_len();
                     buffer.push(t);
@@ -195,26 +196,31 @@ impl Executor for SortExec {
         &self.schema
     }
 
-    fn next(&mut self) -> Result<Option<Tuple>> {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
         if self.memory.is_none() && self.merge.is_none() {
             self.prepare()?;
         }
+        let batch_rows = self.env.batch_rows;
         if let Some(iter) = &mut self.memory {
-            return Ok(iter.next());
+            let rows: Vec<Tuple> = iter.by_ref().take(batch_rows).collect();
+            if rows.is_empty() {
+                return Ok(None);
+            }
+            return Ok(Some(Batch::new(self.schema.clone(), rows)));
         }
         let state = invariant(self.merge.as_mut(), "merge state prepared")?;
-        match state.heap.pop() {
-            None => Ok(None),
-            Some(entry) => {
-                if let Some(item) = state.scans[entry.run].next().transpose()? {
-                    state.heap.push(HeapEntry {
-                        tuple: item.1,
-                        run: entry.run,
-                        keys: state.keys.clone(),
-                    });
-                }
-                Ok(Some(entry.tuple))
+        let mut batch = Batch::with_capacity(self.schema.clone(), batch_rows);
+        while batch.len() < batch_rows {
+            let Some(entry) = state.heap.pop() else { break };
+            if let Some(item) = state.scans[entry.run].next().transpose()? {
+                state.heap.push(HeapEntry {
+                    tuple: item.1,
+                    run: entry.run,
+                    keys: state.keys.clone(),
+                });
             }
+            batch.push(entry.tuple);
         }
+        Ok(if batch.is_empty() { None } else { Some(batch) })
     }
 }

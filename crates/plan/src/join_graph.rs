@@ -80,10 +80,7 @@ impl JoinGraph {
     /// The walk descends through `Join` nodes and absorbs `Filter`s sitting
     /// on them; anything else becomes a leaf relation.
     pub fn extract(plan: &LogicalPlan) -> Option<JoinGraph> {
-        if !matches!(
-            plan,
-            LogicalPlan::Join { .. } | LogicalPlan::Filter { .. }
-        ) {
+        if !matches!(plan, LogicalPlan::Join { .. } | LogicalPlan::Filter { .. }) {
             return None;
         }
         let mut relations = Vec::new();
@@ -362,12 +359,7 @@ mod tests {
     #[test]
     fn opaque_leaves_allowed() {
         // An aggregate as a join input becomes an opaque relation.
-        let agg = LogicalPlan::aggregate(
-            scan("t"),
-            vec![0],
-            vec![],
-        )
-        .unwrap();
+        let agg = LogicalPlan::aggregate(scan("t"), vec![0], vec![]).unwrap();
         let j = join(agg.clone(), scan("u"), Some(Expr::eq(col(0), col(1))));
         let g = JoinGraph::extract(&j).unwrap();
         assert_eq!(g.relations.len(), 2);
@@ -387,20 +379,12 @@ mod tests {
         assert_eq!(g.offsets, vec![0, 3, 6, 9]);
         // v-w predicate was local ordinals 0=3 within the right subtree →
         // global 6 = 9.
-        let vw_pred = g
-            .predicates
-            .iter()
-            .find(|p| p.relations == 0b1100)
-            .unwrap();
+        let vw_pred = g.predicates.iter().find(|p| p.relations == 0b1100).unwrap();
         assert_eq!(vw_pred.as_equi_join(), Some((6, 9)));
         // Root predicate: t.b (#1) = w.b (#10)... col(7) in the root's frame
         // is the 8th column of tu++vw = v.b? Root frame: tu (6 cols) ++ vw
         // (6 cols); col(7) → global 7 = v.b. Mask = {t, v}.
-        let root_pred = g
-            .predicates
-            .iter()
-            .find(|p| p.relations == 0b0101)
-            .unwrap();
+        let root_pred = g.predicates.iter().find(|p| p.relations == 0b0101).unwrap();
         assert_eq!(root_pred.as_equi_join(), Some((1, 7)));
     }
 }

@@ -167,7 +167,11 @@ impl LogicalPlan {
 
     /// Number of nodes in the tree.
     pub fn node_count(&self) -> usize {
-        1 + self.children().iter().map(|c| c.node_count()).sum::<usize>()
+        1 + self
+            .children()
+            .iter()
+            .map(|c| c.node_count())
+            .sum::<usize>()
     }
 
     /// Names of all base tables scanned, in tree order.
@@ -223,9 +227,7 @@ impl LogicalPlan {
                 LogicalPlan::Sort { keys, .. } => {
                     let klist: Vec<String> = keys
                         .iter()
-                        .map(|k| {
-                            format!("#{}{}", k.column, if k.ascending { "" } else { " DESC" })
-                        })
+                        .map(|k| format!("#{}{}", k.column, if k.ascending { "" } else { " DESC" }))
                         .collect();
                     s.push_str(&format!("Sort: {}\n", klist.join(", ")));
                 }
@@ -287,7 +289,10 @@ mod tests {
     fn project_derives_schema_and_validates() {
         let p = LogicalPlan::project(
             scan("t"),
-            vec![col(0), Expr::binary(evopt_common::BinOp::Add, col(0), col(1))],
+            vec![
+                col(0),
+                Expr::binary(evopt_common::BinOp::Add, col(0), col(1)),
+            ],
             vec![None, Some("total".into())],
         )
         .unwrap();

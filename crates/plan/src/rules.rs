@@ -447,9 +447,7 @@ fn prune_into(
             let (child, cmap) = prune_into(*input, &child_need)?;
             let new_groups: Result<Vec<usize>> = group_by
                 .iter()
-                .map(|&g| {
-                    cmap[g].ok_or_else(|| EvoptError::Internal("group col pruned".into()))
-                })
+                .map(|&g| cmap[g].ok_or_else(|| EvoptError::Internal("group col pruned".into())))
                 .collect();
             let mut new_aggs = Vec::with_capacity(aggs.len());
             for a in aggs {
@@ -602,9 +600,9 @@ mod tests {
     fn pushdown_splits_filter_over_join() {
         // WHERE t.a = 1 AND u.b = 2 AND t.b = u.a over t JOIN u (cross).
         let pred = Expr::conjunction(vec![
-            Expr::eq(col(0), lit(1i64)),      // t.a (left)
-            Expr::eq(col(4), lit(2i64)),      // u.b (right)
-            Expr::eq(col(1), col(3)),         // t.b = u.a (join)
+            Expr::eq(col(0), lit(1i64)), // t.a (left)
+            Expr::eq(col(4), lit(2i64)), // u.b (right)
+            Expr::eq(col(1), col(3)),    // t.b = u.a (join)
         ]);
         let p = filter(join(scan("t"), scan("u"), None), pred);
         let out = push_down_filters(p).unwrap();
@@ -713,7 +711,7 @@ mod tests {
         let p = filter(
             agg,
             Expr::conjunction(vec![
-                Expr::eq(col(0), lit("x")),            // group col
+                Expr::eq(col(0), lit("x")),                 // group col
                 Expr::binary(BinOp::Gt, col(1), lit(5i64)), // agg result
             ]),
         );
@@ -798,7 +796,9 @@ mod tests {
                     .iter()
                     .all(|&i| i < input.schema().len()),
                 LogicalPlan::Project { input, exprs, .. } => exprs.iter().all(|e| {
-                    e.referenced_columns().iter().all(|&i| i < input.schema().len())
+                    e.referenced_columns()
+                        .iter()
+                        .all(|&i| i < input.schema().len())
                 }),
                 _ => true,
             };
@@ -845,10 +845,7 @@ mod tests {
     fn rewrite_all_composes() {
         // WHERE TRUE AND t.a = u.a over cross join, project one column.
         let j = join(scan("t"), scan("u"), None);
-        let f = filter(
-            j,
-            Expr::and(lit(true), Expr::eq(col(0), col(3))),
-        );
+        let f = filter(j, Expr::and(lit(true), Expr::eq(col(0), col(3))));
         let p = LogicalPlan::project(f, vec![col(1)], vec![None]).unwrap();
         let out = rewrite_all(p.clone()).unwrap();
         assert_eq!(out.schema(), p.schema());

@@ -80,10 +80,7 @@ pub struct OrderKey {
 
 #[derive(Debug, Clone, PartialEq)]
 pub enum OrderTarget {
-    Name {
-        table: Option<String>,
-        name: String,
-    },
+    Name { table: Option<String>, name: String },
     Position(usize),
 }
 

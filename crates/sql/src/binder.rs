@@ -20,9 +20,10 @@ pub trait SchemaProvider {
 /// Bind a parsed SELECT into a logical plan.
 pub fn bind_select(stmt: &SelectStmt, provider: &dyn SchemaProvider) -> Result<LogicalPlan> {
     // ---- FROM --------------------------------------------------------
-    let first = stmt.from_first.as_ref().ok_or_else(|| {
-        EvoptError::Bind("SELECT without FROM is not supported".into())
-    })?;
+    let first = stmt
+        .from_first
+        .as_ref()
+        .ok_or_else(|| EvoptError::Bind("SELECT without FROM is not supported".into()))?;
     let mut plan = bind_table(first, provider)?;
     for item in &stmt.from_rest {
         let right = bind_table(&item.table, provider)?;
@@ -90,9 +91,7 @@ pub fn bind_select(stmt: &SelectStmt, provider: &dyn SchemaProvider) -> Result<L
                     }
                     p - 1
                 }
-                OrderTarget::Name { table, name } => {
-                    out_schema.resolve(table.as_deref(), name)?
-                }
+                OrderTarget::Name { table, name } => out_schema.resolve(table.as_deref(), name)?,
             };
             keys.push(SortKey {
                 column,
@@ -305,17 +304,19 @@ fn collect_aggs(
             let bound_arg = match arg {
                 Some(a) => {
                     if contains_agg(a) {
-                        return Err(EvoptError::Bind(
-                            "nested aggregates are not allowed".into(),
-                        ));
+                        return Err(EvoptError::Bind("nested aggregates are not allowed".into()));
                     }
                     Some(bind_scalar(a, from_schema)?)
                 }
                 None => None,
             };
-            let name = alias
-                .map(str::to_owned)
-                .unwrap_or_else(|| format!("{}_{}", func.name().to_lowercase().replace("(*)", "_star"), aggs.len()));
+            let name = alias.map(str::to_owned).unwrap_or_else(|| {
+                format!(
+                    "{}_{}",
+                    func.name().to_lowercase().replace("(*)", "_star"),
+                    aggs.len()
+                )
+            });
             agg_asts.push(e.clone());
             aggs.push(AggExpr {
                 func: *func,
@@ -329,15 +330,9 @@ fn collect_aggs(
             collect_aggs(left, from_schema, None, agg_asts, aggs)?;
             collect_aggs(right, from_schema, None, agg_asts, aggs)
         }
-        AstExpr::Unary { input, .. } => {
-            collect_aggs(input, from_schema, None, agg_asts, aggs)
-        }
-        AstExpr::Like { input, .. } => {
-            collect_aggs(input, from_schema, None, agg_asts, aggs)
-        }
-        AstExpr::InList { input, .. } => {
-            collect_aggs(input, from_schema, None, agg_asts, aggs)
-        }
+        AstExpr::Unary { input, .. } => collect_aggs(input, from_schema, None, agg_asts, aggs),
+        AstExpr::Like { input, .. } => collect_aggs(input, from_schema, None, agg_asts, aggs),
+        AstExpr::InList { input, .. } => collect_aggs(input, from_schema, None, agg_asts, aggs),
         AstExpr::Between {
             input, low, high, ..
         } => {
@@ -412,9 +407,7 @@ fn rebind_over_agg(
                 None => name.clone(),
             }
         ))),
-        AstExpr::AggCall { .. } => {
-            Err(EvoptError::Internal("aggregate not collected".into()))
-        }
+        AstExpr::AggCall { .. } => Err(EvoptError::Internal("aggregate not collected".into())),
     }
 }
 
@@ -425,8 +418,14 @@ fn rebind_over_agg(
 fn ast_equivalent(a: &AstExpr, b: &AstExpr) -> bool {
     match (a, b) {
         (
-            AstExpr::Ident { name: n1, table: t1 },
-            AstExpr::Ident { name: n2, table: t2 },
+            AstExpr::Ident {
+                name: n1,
+                table: t1,
+            },
+            AstExpr::Ident {
+                name: n2,
+                table: t2,
+            },
         ) => {
             n1.eq_ignore_ascii_case(n2)
                 && match (t1, t2) {
@@ -561,8 +560,14 @@ mod tests {
         assert!(bind("SELECT s, COUNT(*) FROM t GROUP BY a + 1").is_err());
         assert!(bind("SELECT * FROM t GROUP BY s").is_err());
         assert!(bind("SELECT SUM(COUNT(*)) FROM t").is_err(), "nested aggs");
-        assert!(bind("SELECT a FROM t HAVING a > 1").is_err(), "having w/o group");
-        assert!(bind("SELECT a FROM t WHERE COUNT(*) > 1").is_err(), "agg in where");
+        assert!(
+            bind("SELECT a FROM t HAVING a > 1").is_err(),
+            "having w/o group"
+        );
+        assert!(
+            bind("SELECT a FROM t WHERE COUNT(*) > 1").is_err(),
+            "agg in where"
+        );
     }
 
     #[test]
@@ -573,8 +578,14 @@ mod tests {
                 assert_eq!(
                     keys,
                     &vec![
-                        SortKey { column: 1, ascending: false },
-                        SortKey { column: 0, ascending: true }
+                        SortKey {
+                            column: 1,
+                            ascending: false
+                        },
+                        SortKey {
+                            column: 0,
+                            ascending: true
+                        }
                     ]
                 );
             }
@@ -638,7 +649,13 @@ mod tests {
         fn has_isnotnull(p: &LogicalPlan) -> bool {
             match p {
                 LogicalPlan::Filter { predicate, .. } => {
-                    matches!(predicate, Expr::Unary { op: UnOp::IsNotNull, .. })
+                    matches!(
+                        predicate,
+                        Expr::Unary {
+                            op: UnOp::IsNotNull,
+                            ..
+                        }
+                    )
                 }
                 _ => p.children().iter().any(|c| has_isnotnull(c)),
             }

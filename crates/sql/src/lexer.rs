@@ -130,9 +130,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                 loop {
                     match chars.get(i) {
                         None => {
-                            return Err(EvoptError::Parse(
-                                "unterminated string literal".into(),
-                            ))
+                            return Err(EvoptError::Parse("unterminated string literal".into()))
                         }
                         Some('\'') if chars.get(i + 1) == Some(&'\'') => {
                             s.push('\'');
@@ -178,19 +176,13 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
-                while i < chars.len()
-                    && (chars[i].is_ascii_alphanumeric() || chars[i] == '_')
-                {
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
                     i += 1;
                 }
                 let word: String = chars[start..i].iter().collect::<String>().to_lowercase();
                 tokens.push(Token::Word(word));
             }
-            other => {
-                return Err(EvoptError::Parse(format!(
-                    "unexpected character '{other}'"
-                )))
-            }
+            other => return Err(EvoptError::Parse(format!("unexpected character '{other}'"))),
         }
     }
     Ok(tokens)

@@ -190,9 +190,7 @@ impl Parser {
                 "float" | "double" | "real" => DataType::Float,
                 "string" | "text" | "varchar" => DataType::Str,
                 "bool" | "boolean" => DataType::Bool,
-                other => {
-                    return Err(EvoptError::Parse(format!("unknown type '{other}'")))
-                }
+                other => return Err(EvoptError::Parse(format!("unknown type '{other}'"))),
             };
             let mut nullable = true;
             if self.eat_kw("not") {
@@ -325,9 +323,7 @@ impl Parser {
                         let n = *n;
                         self.next();
                         if n < 1 {
-                            return Err(EvoptError::Parse(
-                                "ORDER BY position must be >= 1".into(),
-                            ));
+                            return Err(EvoptError::Parse("ORDER BY position must be >= 1".into()));
                         }
                         OrderTarget::Position(n as usize)
                     }
@@ -381,8 +377,7 @@ impl Parser {
                 // Bare alias, but not a following keyword.
                 Some(Token::Word(w))
                     if ![
-                        "where", "group", "having", "order", "limit", "join", "inner",
-                        "on", "as",
+                        "where", "group", "having", "order", "limit", "join", "inner", "on", "as",
                     ]
                     .contains(&w.as_str()) =>
                 {
@@ -712,10 +707,26 @@ mod tests {
         let w = s.where_clause.unwrap();
         // Root must be OR.
         match w {
-            AstExpr::Binary { op: BinOp::Or, left, .. } => match *left {
-                AstExpr::Binary { op: BinOp::And, left, .. } => match *left {
-                    AstExpr::Binary { op: BinOp::Eq, left, .. } => match *left {
-                        AstExpr::Binary { op: BinOp::Add, right, .. } => {
+            AstExpr::Binary {
+                op: BinOp::Or,
+                left,
+                ..
+            } => match *left {
+                AstExpr::Binary {
+                    op: BinOp::And,
+                    left,
+                    ..
+                } => match *left {
+                    AstExpr::Binary {
+                        op: BinOp::Eq,
+                        left,
+                        ..
+                    } => match *left {
+                        AstExpr::Binary {
+                            op: BinOp::Add,
+                            right,
+                            ..
+                        } => {
                             assert!(matches!(*right, AstExpr::Binary { op: BinOp::Mul, .. }));
                         }
                         other => panic!("expected Add under Eq, got {other:?}"),
@@ -730,10 +741,8 @@ mod tests {
 
     #[test]
     fn aggregates_group_having_order() {
-        let s = sel(
-            "SELECT region, COUNT(*), SUM(amount) AS total FROM sales \
-             GROUP BY region HAVING COUNT(*) > 5 ORDER BY total DESC, 1 ASC",
-        );
+        let s = sel("SELECT region, COUNT(*), SUM(amount) AS total FROM sales \
+             GROUP BY region HAVING COUNT(*) > 5 ORDER BY total DESC, 1 ASC");
         assert_eq!(s.group_by.len(), 1);
         assert!(s.having.is_some());
         assert_eq!(s.order_by.len(), 2);
@@ -741,16 +750,20 @@ mod tests {
         assert_eq!(s.order_by[1].target, OrderTarget::Position(1));
         assert!(matches!(
             &s.items[1],
-            SelectItem::Expr { expr: AstExpr::AggCall { func: AggFunc::CountStar, .. }, .. }
+            SelectItem::Expr {
+                expr: AstExpr::AggCall {
+                    func: AggFunc::CountStar,
+                    ..
+                },
+                ..
+            }
         ));
     }
 
     #[test]
     fn special_predicates() {
-        let s = sel(
-            "SELECT 1 FROM t WHERE name LIKE 'a%' AND x NOT IN (1, 2) \
-             AND y BETWEEN 5 AND 10 AND z IS NOT NULL",
-        );
+        let s = sel("SELECT 1 FROM t WHERE name LIKE 'a%' AND x NOT IN (1, 2) \
+             AND y BETWEEN 5 AND 10 AND z IS NOT NULL");
         let conj = format!("{:?}", s.where_clause.unwrap());
         assert!(conj.contains("Like"));
         assert!(conj.contains("InList"));
@@ -771,7 +784,9 @@ mod tests {
             other => panic!("{other:?}"),
         }
         match parse("CREATE UNIQUE INDEX i ON t (id)").unwrap() {
-            Statement::CreateIndex { unique, clustered, .. } => {
+            Statement::CreateIndex {
+                unique, clustered, ..
+            } => {
                 assert!(unique);
                 assert!(!clustered);
             }
@@ -799,7 +814,10 @@ mod tests {
                 table: Some("t".into())
             }
         );
-        assert_eq!(parse("ANALYZE").unwrap(), Statement::Analyze { table: None });
+        assert_eq!(
+            parse("ANALYZE").unwrap(),
+            Statement::Analyze { table: None }
+        );
         assert_eq!(
             parse("DROP TABLE t").unwrap(),
             Statement::DropTable { name: "t".into() }

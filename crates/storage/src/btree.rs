@@ -159,8 +159,7 @@ impl Node {
         let ty = take(&mut pos, 1)?[0];
         let count = u16::from_le_bytes(arr(take(&mut pos, 2)?)?) as usize;
         let read_key = |pos: &mut usize| -> Result<Key> {
-            let klen =
-                u16::from_le_bytes(arr(take(pos, 2)?)?) as usize;
+            let klen = u16::from_le_bytes(arr(take(pos, 2)?)?) as usize;
             let value = decode_value(take(pos, klen)?)?;
             let page_id = u64::from_le_bytes(arr(take(pos, 8)?)?);
             let slot = u16::from_le_bytes(arr(take(pos, 2)?)?);
@@ -351,12 +350,7 @@ impl BTreeIndex {
 
     /// Recursive insert; returns `Some((separator, new_right_page))` when
     /// this node split.
-    fn insert_rec(
-        &self,
-        page: PageId,
-        key: Key,
-        meta: &mut Meta,
-    ) -> Result<Option<(Key, PageId)>> {
+    fn insert_rec(&self, page: PageId, key: Key, meta: &mut Meta) -> Result<Option<(Key, PageId)>> {
         let mut node = self.load_node(page)?;
         match &mut node {
             Node::Leaf { entries, next: _ } => {
@@ -501,16 +495,10 @@ impl BTreeIndex {
     }
 
     /// Ordered scan of entries with keys within `(low, high)`.
-    pub fn range(
-        &self,
-        low: Bound<&Value>,
-        high: Bound<&Value>,
-    ) -> Result<BTreeRangeScan> {
+    pub fn range(&self, low: Bound<&Value>, high: Bound<&Value>) -> Result<BTreeRangeScan> {
         let start_leaf = match &low {
             Bound::Unbounded => self.leftmost_leaf()?,
-            Bound::Included(v) | Bound::Excluded(v) => {
-                self.descend(&Key::min_for(v))?
-            }
+            Bound::Included(v) | Bound::Excluded(v) => self.descend(&Key::min_for(v))?,
         };
         Ok(BTreeRangeScan {
             pool: Arc::clone(&self.pool),
@@ -596,7 +584,11 @@ impl BTreeIndex {
                 }
                 for (i, &child) in children.iter().enumerate() {
                     let lo = if i == 0 { low } else { Some(&keys[i - 1]) };
-                    let hi = if i == keys.len() { high } else { Some(&keys[i]) };
+                    let hi = if i == keys.len() {
+                        high
+                    } else {
+                        Some(&keys[i])
+                    };
                     self.check_rec(child, lo, hi, height, depth + 1, leaf_count)?;
                 }
                 Ok(())
@@ -642,12 +634,8 @@ impl BTreeRangeScan {
                 // Skip entries below the low bound in the first leaf.
                 self.pos = match &self.low {
                     Bound::Unbounded => 0,
-                    Bound::Included(v) => {
-                        self.buffer.partition_point(|(k, _)| k < v)
-                    }
-                    Bound::Excluded(v) => {
-                        self.buffer.partition_point(|(k, _)| k <= v)
-                    }
+                    Bound::Included(v) => self.buffer.partition_point(|(k, _)| k < v),
+                    Bound::Excluded(v) => self.buffer.partition_point(|(k, _)| k <= v),
                 };
                 // The low bound may fall past this leaf's entries (they were
                 // all smaller); continue to the next leaf still "unstarted".
@@ -914,7 +902,11 @@ mod tests {
         // An index probe should touch ~height pages, far fewer than the
         // tree's total pages — the property the optimizer's cost model uses.
         let disk = Arc::new(DiskManager::new());
-        let pool = BufferPool::new(Arc::clone(&disk) as Arc<dyn DiskBackend>, 8, PolicyKind::Lru);
+        let pool = BufferPool::new(
+            Arc::clone(&disk) as Arc<dyn DiskBackend>,
+            8,
+            PolicyKind::Lru,
+        );
         let t = BTreeIndex::create(Arc::clone(&pool)).unwrap();
         for i in 0..20_000 {
             t.insert(&Value::Int(i), rid(i as u64)).unwrap();

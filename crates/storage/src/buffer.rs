@@ -413,9 +413,9 @@ impl BufferPool {
                 self.capacity
             ))
         })?;
-        let old_id = inner.frames[victim].page_id.ok_or_else(|| {
-            EvoptError::Internal("evicted frame has no page id".into())
-        })?;
+        let old_id = inner.frames[victim]
+            .page_id
+            .ok_or_else(|| EvoptError::Internal("evicted frame has no page id".into()))?;
         if inner.frames[victim].dirty.swap(false, Ordering::Relaxed) {
             let flushed = {
                 let data = inner.frames[victim].data.read();
@@ -454,9 +454,7 @@ impl BufferPool {
             let (page_id, dirty) = {
                 let f = &inner.frames[frame];
                 match f.page_id {
-                    Some(id) if f.pin_count == 0 => {
-                        (id, f.dirty.swap(false, Ordering::Relaxed))
-                    }
+                    Some(id) if f.pin_count == 0 => (id, f.dirty.swap(false, Ordering::Relaxed)),
                     _ => continue,
                 }
             };
@@ -653,7 +651,11 @@ mod tests {
     #[test]
     fn lru_evicts_least_recently_used() {
         let disk = Arc::new(DiskManager::new());
-        let p = BufferPool::new(Arc::clone(&disk) as Arc<dyn DiskBackend>, 2, PolicyKind::Lru);
+        let p = BufferPool::new(
+            Arc::clone(&disk) as Arc<dyn DiskBackend>,
+            2,
+            PolicyKind::Lru,
+        );
         let a = p.new_page().unwrap();
         let a_id = a.id();
         drop(a);
@@ -679,11 +681,17 @@ mod tests {
         // pool smaller than N misses every time; a big pool misses once.
         let run = |frames: usize| -> u64 {
             let disk = Arc::new(DiskManager::new());
-            let p = BufferPool::new(Arc::clone(&disk) as Arc<dyn DiskBackend>, frames, PolicyKind::Lru);
-            let ids: Vec<_> = (0..8).map(|_| {
-                let g = p.new_page().unwrap();
-                g.id()
-            }).collect();
+            let p = BufferPool::new(
+                Arc::clone(&disk) as Arc<dyn DiskBackend>,
+                frames,
+                PolicyKind::Lru,
+            );
+            let ids: Vec<_> = (0..8)
+                .map(|_| {
+                    let g = p.new_page().unwrap();
+                    g.id()
+                })
+                .collect();
             let before = disk.snapshot();
             for _ in 0..3 {
                 for &id in &ids {
@@ -701,7 +709,11 @@ mod tests {
     #[test]
     fn clock_policy_also_caches() {
         let disk = Arc::new(DiskManager::new());
-        let p = BufferPool::new(Arc::clone(&disk) as Arc<dyn DiskBackend>, 8, PolicyKind::Clock);
+        let p = BufferPool::new(
+            Arc::clone(&disk) as Arc<dyn DiskBackend>,
+            8,
+            PolicyKind::Clock,
+        );
         let g = p.new_page().unwrap();
         let id = g.id();
         drop(g);
@@ -715,7 +727,11 @@ mod tests {
     #[test]
     fn evict_all_leaves_cache_cold_but_data_intact() {
         let disk = Arc::new(DiskManager::new());
-        let p = BufferPool::new(Arc::clone(&disk) as Arc<dyn DiskBackend>, 8, PolicyKind::Lru);
+        let p = BufferPool::new(
+            Arc::clone(&disk) as Arc<dyn DiskBackend>,
+            8,
+            PolicyKind::Lru,
+        );
         let g = p.new_page().unwrap();
         g.write()[3] = 0x77;
         let id = g.id();
@@ -725,7 +741,11 @@ mod tests {
         let before = disk.snapshot();
         let g = p.fetch(id).unwrap();
         assert_eq!(g.read()[3], 0x77, "dirty page was flushed before eviction");
-        assert_eq!(disk.snapshot().since(&before).reads, 1, "fetch was physical");
+        assert_eq!(
+            disk.snapshot().since(&before).reads,
+            1,
+            "fetch was physical"
+        );
         // The pinned page survived and is still usable.
         pinned.write()[0] = 1;
         drop(pinned);
@@ -734,7 +754,11 @@ mod tests {
     #[test]
     fn flush_all_writes_dirty_pages() {
         let disk = Arc::new(DiskManager::new());
-        let p = BufferPool::new(Arc::clone(&disk) as Arc<dyn DiskBackend>, 4, PolicyKind::Lru);
+        let p = BufferPool::new(
+            Arc::clone(&disk) as Arc<dyn DiskBackend>,
+            4,
+            PolicyKind::Lru,
+        );
         let g = p.new_page().unwrap();
         g.write()[7] = 9;
         let id = g.id();
@@ -752,7 +776,11 @@ mod tests {
         // return a clean Storage error, leave hit/miss counters untouched,
         // and leave the pool fully usable once a pin is released.
         let disk = Arc::new(DiskManager::new());
-        let p = BufferPool::new(Arc::clone(&disk) as Arc<dyn DiskBackend>, 2, PolicyKind::Lru);
+        let p = BufferPool::new(
+            Arc::clone(&disk) as Arc<dyn DiskBackend>,
+            2,
+            PolicyKind::Lru,
+        );
         // A third page living only on disk.
         let evicted_id = {
             let g = p.new_page().unwrap();

@@ -374,9 +374,7 @@ impl DiskBackend for FaultInjector {
         let base = self.inner.snapshot();
         let r = self.report();
         IoSnapshot {
-            read_faults: r.transient_read_errors
-                + r.permanent_read_errors
-                + r.bit_flips_read,
+            read_faults: r.transient_read_errors + r.permanent_read_errors + r.bit_flips_read,
             write_faults: r.transient_write_errors + r.silent_corruptions(),
             ..base
         }

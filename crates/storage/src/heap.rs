@@ -183,7 +183,8 @@ impl HeapScan {
             let page = SlottedPage::new(&mut bytes);
             self.buffer.clear();
             for (slot, record) in page.records() {
-                self.buffer.push((Rid::new(page_id, slot), Tuple::decode(record)?));
+                self.buffer
+                    .push((Rid::new(page_id, slot), Tuple::decode(record)?));
             }
             self.pos = 0;
             self.next_page = page.next_page();
@@ -265,7 +266,11 @@ mod tests {
     fn scan_page_count_matches_file_page_count() {
         // Sequential scan I/O == page_count when the pool is cold.
         let disk = Arc::new(DiskManager::new());
-        let pool = BufferPool::new(Arc::clone(&disk) as Arc<dyn DiskBackend>, 4, PolicyKind::Lru);
+        let pool = BufferPool::new(
+            Arc::clone(&disk) as Arc<dyn DiskBackend>,
+            4,
+            PolicyKind::Lru,
+        );
         let heap = HeapFile::create(Arc::clone(&pool)).unwrap();
         for i in 0..1000 {
             heap.insert(&row(i)).unwrap();

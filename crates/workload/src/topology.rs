@@ -190,7 +190,11 @@ mod tests {
         assert_eq!(Topology::Star.edges(5).len(), 4);
         assert_eq!(Topology::Cycle.edges(5).len(), 5);
         assert_eq!(Topology::Clique.edges(5).len(), 10);
-        assert_eq!(Topology::Cycle.edges(2).len(), 1, "no duplicate edge at n=2");
+        assert_eq!(
+            Topology::Cycle.edges(2).len(),
+            1,
+            "no duplicate edge at n=2"
+        );
     }
 
     #[test]

@@ -44,9 +44,7 @@ pub fn load_tpch_lite(db: &Database, sf: f64, seed: u64) -> Result<TpchCounts> {
     let c = TpchCounts::at_scale(sf);
     let mut rng = StdRng::seed_from_u64(seed);
 
-    db.execute(
-        "CREATE TABLE region (r_key INT NOT NULL, r_name STRING NOT NULL)",
-    )?;
+    db.execute("CREATE TABLE region (r_key INT NOT NULL, r_name STRING NOT NULL)")?;
     let regions: Vec<Tuple> = (0..c.regions)
         .map(|i| {
             Tuple::new(vec![
@@ -197,14 +195,17 @@ mod tests {
         let db = Database::with_defaults();
         load_tpch_lite(&db, 0.3, 5).unwrap();
         let total = |sql: &str| -> i64 {
-            db.query(sql).unwrap()[0].value(0).unwrap().as_i64().unwrap()
+            db.query(sql).unwrap()[0]
+                .value(0)
+                .unwrap()
+                .as_i64()
+                .unwrap()
         };
         let direct = total("SELECT SUM(l_price) FROM lineitem");
         // Every lineitem joins exactly one order chain, so the 2-way join
         // preserves the sum.
-        let joined = total(
-            "SELECT SUM(l.l_price) FROM lineitem l JOIN orders o ON l.l_order = o.o_key",
-        );
+        let joined =
+            total("SELECT SUM(l.l_price) FROM lineitem l JOIN orders o ON l.l_order = o.o_key");
         assert_eq!(direct, joined);
     }
 }

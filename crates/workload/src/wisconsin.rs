@@ -63,7 +63,11 @@ mod tests {
         load_wisconsin(&db, "wisc", 2000, 42).unwrap();
         db.execute("ANALYZE").unwrap();
         let count = |sql: &str| -> i64 {
-            db.query(sql).unwrap()[0].value(0).unwrap().as_i64().unwrap()
+            db.query(sql).unwrap()[0]
+                .value(0)
+                .unwrap()
+                .as_i64()
+                .unwrap()
         };
         assert_eq!(count("SELECT COUNT(*) FROM wisc"), 2000);
         // one_pct = 7 keeps exactly 1% of rows.
@@ -78,7 +82,8 @@ mod tests {
     fn unique2_is_ordered_for_clustered_index() {
         let db = Database::with_defaults();
         load_wisconsin(&db, "w", 500, 1).unwrap();
-        db.execute("CREATE CLUSTERED INDEX w_u2 ON w (unique2)").unwrap();
+        db.execute("CREATE CLUSTERED INDEX w_u2 ON w (unique2)")
+            .unwrap();
     }
 
     #[test]

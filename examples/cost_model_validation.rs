@@ -16,13 +16,17 @@ fn main() {
         ..Default::default()
     });
     load_wisconsin(&db, "wisc", 10_000, 1).expect("wisconsin");
-    db.execute("CREATE INDEX wisc_u1 ON wisc (unique1)").unwrap();
+    db.execute("CREATE INDEX wisc_u1 ON wisc (unique1)")
+        .unwrap();
     let chain = JoinWorkload::new(Topology::Chain, 3, 300, 1);
     chain.load(&db, true).expect("chain");
     db.execute("ANALYZE").unwrap();
 
     let queries = vec![
-        ("full scan".to_string(), "SELECT COUNT(*) FROM wisc".to_string()),
+        (
+            "full scan".to_string(),
+            "SELECT COUNT(*) FROM wisc".to_string(),
+        ),
         (
             "point lookup".to_string(),
             "SELECT * FROM wisc WHERE unique1 = 7777".to_string(),

@@ -9,8 +9,8 @@
 //! cargo run --release --example optimizer_tour
 //! ```
 
-use evopt::{Database, Strategy};
 use evopt::workload::tpch_lite::{load_tpch_lite, queries};
+use evopt::{Database, Strategy};
 
 fn main() {
     let db = Database::with_defaults();
@@ -22,7 +22,11 @@ fn main() {
     );
 
     let sql = queries::REVENUE_PER_NATION;
-    println!("query:\n  {}\n", sql.replace(" FROM", "\n  FROM").replace(" JOIN", "\n  JOIN"));
+    println!(
+        "query:\n  {}\n",
+        sql.replace(" FROM", "\n  FROM")
+            .replace(" JOIN", "\n  JOIN")
+    );
 
     let model = db.optimizer_config().cost_model;
     println!(
@@ -35,7 +39,10 @@ fn main() {
         Strategy::DpCcp,
         Strategy::Greedy,
         Strategy::Goo,
-        Strategy::QuickPick { samples: 16, seed: 1 },
+        Strategy::QuickPick {
+            samples: 16,
+            seed: 1,
+        },
         Strategy::Syntactic,
     ] {
         db.set_strategy(strategy);

@@ -20,10 +20,8 @@ fn main() {
     .expect("create emp");
 
     // --- load ------------------------------------------------------------
-    db.execute(
-        "INSERT INTO dept VALUES (1, 'engineering'), (2, 'sales'), (3, 'hr')",
-    )
-    .expect("insert depts");
+    db.execute("INSERT INTO dept VALUES (1, 'engineering'), (2, 'sales'), (3, 'hr')")
+        .expect("insert depts");
     let emps: Vec<evopt::Tuple> = (0..5000)
         .map(|i| {
             evopt::Tuple::new(vec![
@@ -37,8 +35,10 @@ fn main() {
     db.insert_tuples("emp", &emps).expect("bulk load");
 
     // --- physical design + statistics -------------------------------------
-    db.execute("CREATE UNIQUE INDEX emp_id ON emp (id)").expect("index");
-    db.execute("CREATE INDEX emp_dept ON emp (dept_id)").expect("index");
+    db.execute("CREATE UNIQUE INDEX emp_id ON emp (id)")
+        .expect("index");
+    db.execute("CREATE INDEX emp_dept ON emp (dept_id)")
+        .expect("index");
     db.execute("ANALYZE").expect("analyze");
 
     // --- point query: the optimizer picks the index -----------------------
@@ -50,7 +50,8 @@ fn main() {
     println!("\nEXPLAIN of the point query:");
     println!(
         "{}",
-        db.explain("SELECT name, salary FROM emp WHERE id = 4321").unwrap()
+        db.explain("SELECT name, salary FROM emp WHERE id = 4321")
+            .unwrap()
     );
 
     // --- join + aggregate --------------------------------------------------

@@ -86,8 +86,7 @@ fn meta_command(db: &Database, cmd: &str) -> bool {
         }
         "\\tables" => {
             for t in db.catalog().tables() {
-                let indexes: Vec<String> =
-                    t.indexes().iter().map(|i| i.name.clone()).collect();
+                let indexes: Vec<String> = t.indexes().iter().map(|i| i.name.clone()).collect();
                 println!(
                     "  {} — {} rows, {} pages, indexes: [{}]",
                     t.name,
@@ -103,9 +102,10 @@ fn meta_command(db: &Database, cmd: &str) -> bool {
             Some("dpccp") => db.set_strategy(Strategy::DpCcp),
             Some("greedy") => db.set_strategy(Strategy::Greedy),
             Some("goo") => db.set_strategy(Strategy::Goo),
-            Some("quickpick") => {
-                db.set_strategy(Strategy::QuickPick { samples: 16, seed: 1 })
-            }
+            Some("quickpick") => db.set_strategy(Strategy::QuickPick {
+                samples: 16,
+                seed: 1,
+            }),
             Some("syntactic") => db.set_strategy(Strategy::Syntactic),
             other => {
                 println!("unknown strategy {other:?} (see \\help)");
@@ -124,34 +124,31 @@ fn run_sql(db: &Database, sql: &str) {
     let started = std::time::Instant::now();
     match db.measured(sql) {
         Err(e) => println!("{e}"),
-        Ok((result, io)) => {
-            match result {
-                QueryResult::Rows { schema, rows, .. } => {
-                    let header: Vec<String> = schema
-                        .columns()
-                        .iter()
-                        .map(|c| c.qualified_name())
-                        .collect();
-                    println!("| {} |", header.join(" | "));
-                    for r in rows.iter().take(50) {
-                        let cells: Vec<String> =
-                            r.values().iter().map(|v| v.to_string()).collect();
-                        println!("| {} |", cells.join(" | "));
-                    }
-                    if rows.len() > 50 {
-                        println!("... ({} rows total)", rows.len());
-                    }
-                    println!(
-                        "{} row(s) in {:.1} ms, {} page reads",
-                        rows.len(),
-                        started.elapsed().as_secs_f64() * 1e3,
-                        io.reads
-                    );
+        Ok((result, io)) => match result {
+            QueryResult::Rows { schema, rows, .. } => {
+                let header: Vec<String> = schema
+                    .columns()
+                    .iter()
+                    .map(|c| c.qualified_name())
+                    .collect();
+                println!("| {} |", header.join(" | "));
+                for r in rows.iter().take(50) {
+                    let cells: Vec<String> = r.values().iter().map(|v| v.to_string()).collect();
+                    println!("| {} |", cells.join(" | "));
                 }
-                QueryResult::Affected(n) => println!("{n} row(s) affected"),
-                QueryResult::Explained(text) => println!("{text}"),
-                QueryResult::Ok => println!("ok"),
+                if rows.len() > 50 {
+                    println!("... ({} rows total)", rows.len());
+                }
+                println!(
+                    "{} row(s) in {:.1} ms, {} page reads",
+                    rows.len(),
+                    started.elapsed().as_secs_f64() * 1e3,
+                    io.reads
+                );
             }
-        }
+            QueryResult::Affected(n) => println!("{n} row(s) affected"),
+            QueryResult::Explained(text) => println!("{text}"),
+            QueryResult::Ok => println!("ok"),
+        },
     }
 }

@@ -16,10 +16,8 @@ use rand::SeedableRng;
 
 fn main() {
     let db = Database::with_defaults();
-    db.execute(
-        "CREATE TABLE events (kind INT NOT NULL, payload STRING NOT NULL)",
-    )
-    .expect("create");
+    db.execute("CREATE TABLE events (kind INT NOT NULL, payload STRING NOT NULL)")
+        .expect("create");
 
     // Heavily skewed: kind 0 covers ~19% of rows, the tail is sparse.
     let n = 50_000;
@@ -34,7 +32,8 @@ fn main() {
         })
         .collect();
     db.insert_tuples("events", &rows).expect("load");
-    db.execute("CREATE INDEX events_kind ON events (kind)").unwrap();
+    db.execute("CREATE INDEX events_kind ON events (kind)")
+        .unwrap();
 
     let hot = "SELECT COUNT(*) FROM events WHERE kind = 0"; // ~19% of rows
     let cold = "SELECT COUNT(*) FROM events WHERE kind = 900"; // a handful
@@ -58,17 +57,17 @@ fn main() {
                 mcv_min_fraction: 1.0,
             },
         ),
-        (
-            "equi-depth + MCVs (default)",
-            AnalyzeConfig::default(),
-        ),
+        ("equi-depth + MCVs (default)", AnalyzeConfig::default()),
     ];
 
     for (label, cfg) in configs {
         db.set_analyze_config(cfg);
         db.execute("ANALYZE").unwrap();
         println!("=== statistics: {label} ===");
-        for (name, sql) in [("hot kind (19% of rows)", hot), ("cold kind (~0.01%)", cold)] {
+        for (name, sql) in [
+            ("hot kind (19% of rows)", hot),
+            ("cold kind (~0.01%)", cold),
+        ] {
             let (_, physical) = db.plan_sql(sql).unwrap();
             let actual = db.query(sql).unwrap()[0]
                 .value(0)

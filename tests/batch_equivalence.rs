@@ -1,0 +1,345 @@
+//! Differential equivalence suite for batch-vectorized execution.
+//!
+//! The refactor from tuple-at-a-time Volcano to batch-at-a-time must be
+//! invisible in results: the same query or forced physical plan, run at any
+//! batch size — including the degenerate tuple-at-a-time `batch_rows = 1` —
+//! must return identical rows. SQL-level coverage runs a query battery over
+//! Wisconsin and TPC-H-lite data; plan-level coverage forces every join
+//! family past the optimizer's choices. Edge cases: empty inputs, results
+//! that fit exactly one batch, results straddling batch boundaries, and
+//! LIMITs that cut a batch mid-way.
+
+use std::sync::Arc;
+
+use evopt::{Database, Tuple};
+use evopt_catalog::{analyze_table, AnalyzeConfig, Catalog};
+use evopt_common::expr::col;
+use evopt_common::{Column, DataType, Expr, Schema, Value};
+use evopt_core::cost::Cost;
+use evopt_core::physical::{PhysOp, PhysicalPlan};
+use evopt_exec::{run_collect, ExecEnv};
+use evopt_storage::{BufferPool, DiskManager, PolicyKind};
+use evopt_workload::tpch_lite::queries;
+use evopt_workload::{load_tpch_lite, load_wisconsin};
+
+/// 1 is the tuple-at-a-time baseline; 3 forces many ragged partial batches;
+/// 1024 is the default; 4096 puts whole results in one batch.
+const BATCH_SIZES: [usize; 4] = [3, 64, 1024, 4096];
+
+/// Order-insensitive fingerprint of a result set.
+fn normalized(rows: &[Tuple]) -> Vec<String> {
+    let mut keys: Vec<String> = rows.iter().map(|t| format!("{t:?}")).collect();
+    keys.sort();
+    keys
+}
+
+fn fixture() -> Database {
+    let db = Database::with_defaults();
+    // 2500 rows: straddles 1024-row batches (2 full + 1 partial).
+    load_wisconsin(&db, "wisc", 2500, 11).unwrap();
+    db.execute("CREATE UNIQUE INDEX wisc_u1 ON wisc (unique1)")
+        .unwrap();
+    db.execute("CREATE TABLE empty_t (x INT, y STRING)")
+        .unwrap();
+    load_tpch_lite(&db, 0.2, 23).unwrap();
+    db.execute("ANALYZE").unwrap();
+    db
+}
+
+/// One query per operator family, plus the edge cases.
+fn query_battery() -> Vec<&'static str> {
+    vec![
+        // Scan, filter, projection expressions.
+        "SELECT unique1, stringu1 FROM wisc",
+        "SELECT unique1 * 2, ten_pct FROM wisc WHERE one_pct < 7",
+        "SELECT * FROM wisc WHERE odd = 1 AND ten_pct BETWEEN 2 AND 5",
+        // Empty result from a non-empty input.
+        "SELECT * FROM wisc WHERE unique1 < 0",
+        // Empty input through filter, aggregate, group-by, sort.
+        "SELECT * FROM empty_t WHERE x > 0",
+        "SELECT COUNT(*), SUM(x) FROM empty_t",
+        "SELECT y, COUNT(*) FROM empty_t GROUP BY y",
+        "SELECT * FROM empty_t ORDER BY x",
+        // Index scans: point, range, residual.
+        "SELECT stringu1 FROM wisc WHERE unique1 = 1234",
+        "SELECT unique1 FROM wisc WHERE unique1 BETWEEN 100 AND 300",
+        "SELECT unique1 FROM wisc WHERE unique1 < 500 AND odd = 0",
+        // LIMIT cutting a batch mid-way, below and above one batch.
+        "SELECT unique2 FROM wisc LIMIT 7",
+        "SELECT unique1 FROM wisc ORDER BY unique1 LIMIT 1500",
+        "SELECT unique2 FROM wisc LIMIT 0",
+        // External sort (unique keys: total order).
+        "SELECT unique1, stringu1 FROM wisc ORDER BY unique1",
+        "SELECT one_pct, unique2 FROM wisc ORDER BY one_pct, unique2",
+        // Aggregates: ungrouped, grouped, DISTINCT.
+        "SELECT COUNT(*), SUM(unique1), MIN(unique1), MAX(unique1), AVG(ten_pct) FROM wisc",
+        "SELECT ten_pct, COUNT(*) AS n, SUM(unique2) FROM wisc GROUP BY ten_pct ORDER BY ten_pct",
+        "SELECT DISTINCT twenty_pct FROM wisc ORDER BY twenty_pct",
+        // Multi-join pipelines over TPC-H-lite.
+        queries::REVENUE_PER_NATION,
+        queries::CUSTOMER_ORDERS,
+        queries::SHIPPED_BIG_ORDERS,
+    ]
+}
+
+#[test]
+fn sql_battery_identical_across_batch_sizes() {
+    let db = fixture();
+    // Baseline: degenerate tuple-at-a-time execution.
+    db.set_batch_rows(1);
+    let baseline: Vec<Vec<Tuple>> = query_battery()
+        .iter()
+        .map(|sql| db.query(sql).unwrap())
+        .collect();
+    for bs in BATCH_SIZES {
+        db.set_batch_rows(bs);
+        for (sql, want) in query_battery().iter().zip(&baseline) {
+            let got = db.query(sql).unwrap();
+            assert_eq!(
+                normalized(&got),
+                normalized(want),
+                "batch_rows={bs} changed the result of {sql}"
+            );
+            // ORDER BY on a unique key pins the exact order, not just the
+            // multiset.
+            if sql.contains("ORDER BY unique1") {
+                assert_eq!(&got, want, "batch_rows={bs} changed row order of {sql}");
+            }
+        }
+    }
+}
+
+#[test]
+fn result_fitting_exactly_one_batch() {
+    let db = Database::with_defaults();
+    load_wisconsin(&db, "exact", 50, 3).unwrap();
+    db.execute("ANALYZE").unwrap();
+    db.set_batch_rows(1);
+    let want = db.query("SELECT * FROM exact").unwrap();
+    assert_eq!(want.len(), 50);
+    // One-under, exact, and one-over the result size.
+    for bs in [49, 50, 51] {
+        db.set_batch_rows(bs);
+        let got = db.query("SELECT * FROM exact").unwrap();
+        assert_eq!(normalized(&got), normalized(&want), "batch_rows={bs}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plan-level: force every join family regardless of optimizer choice.
+// ---------------------------------------------------------------------------
+
+/// `l(a INT, tag STRING)` and `r(b INT, payload INT)` with `b` indexed;
+/// keys collide so joins fan out, and both sides carry NULL keys.
+fn join_world(n_left: i64, n_right: i64, key_space: i64, pool_pages: usize) -> ExecEnv {
+    let pool = BufferPool::new(Arc::new(DiskManager::new()), pool_pages, PolicyKind::Lru);
+    let cat = Arc::new(Catalog::new(pool));
+    let l = cat
+        .create_table(
+            "l",
+            Schema::new(vec![
+                Column::new("a", DataType::Int),
+                Column::new("tag", DataType::Str),
+            ]),
+        )
+        .unwrap();
+    for i in 0..n_left {
+        let key = if i % 17 == 0 {
+            Value::Null
+        } else {
+            Value::Int(i % key_space)
+        };
+        l.heap
+            .insert(&Tuple::new(vec![key, Value::Str(format!("L{i}"))]))
+            .unwrap();
+    }
+    let r = cat
+        .create_table(
+            "r",
+            Schema::new(vec![
+                Column::new("b", DataType::Int),
+                Column::new("payload", DataType::Int),
+            ]),
+        )
+        .unwrap();
+    for i in 0..n_right {
+        let key = if i % 23 == 0 {
+            Value::Null
+        } else {
+            Value::Int(i % key_space)
+        };
+        r.heap
+            .insert(&Tuple::new(vec![key, Value::Int(i * 100)]))
+            .unwrap();
+    }
+    cat.create_index("r_b", "r", "b", false, false).unwrap();
+    analyze_table(&l, &AnalyzeConfig::default()).unwrap();
+    analyze_table(&r, &AnalyzeConfig::default()).unwrap();
+    ExecEnv::new(cat, pool_pages)
+}
+
+fn plan(op: PhysOp, schema: Schema) -> PhysicalPlan {
+    PhysicalPlan {
+        op,
+        schema,
+        est_rows: 0.0,
+        est_cost: Cost::ZERO,
+        output_order: None,
+    }
+}
+
+fn scan(env: &ExecEnv, t: &str) -> PhysicalPlan {
+    let schema = env.catalog.table(t).unwrap().schema.clone();
+    plan(
+        PhysOp::SeqScan {
+            table: t.into(),
+            filter: None,
+        },
+        schema,
+    )
+}
+
+fn sorted_scan(env: &ExecEnv, t: &str) -> PhysicalPlan {
+    let s = scan(env, t);
+    let schema = s.schema.clone();
+    plan(
+        PhysOp::Sort {
+            input: Box::new(s),
+            keys: vec![(0, true)],
+        },
+        schema,
+    )
+}
+
+/// Every join family over the same inputs.
+fn join_plans(env: &ExecEnv) -> Vec<(&'static str, PhysicalPlan)> {
+    let schema = scan(env, "l").schema.join(&scan(env, "r").schema);
+    let pred = Some(Expr::eq(col(0), col(2)));
+    vec![
+        (
+            "NestedLoopJoin",
+            plan(
+                PhysOp::NestedLoopJoin {
+                    left: Box::new(scan(env, "l")),
+                    right: Box::new(scan(env, "r")),
+                    predicate: pred.clone(),
+                },
+                schema.clone(),
+            ),
+        ),
+        (
+            "BlockNestedLoopJoin",
+            plan(
+                PhysOp::BlockNestedLoopJoin {
+                    left: Box::new(scan(env, "l")),
+                    right: Box::new(scan(env, "r")),
+                    predicate: pred,
+                    block_pages: 4,
+                },
+                schema.clone(),
+            ),
+        ),
+        (
+            "IndexNestedLoopJoin",
+            plan(
+                PhysOp::IndexNestedLoopJoin {
+                    outer: Box::new(scan(env, "l")),
+                    inner_table: "r".into(),
+                    index: "r_b".into(),
+                    outer_key: 0,
+                    residual: None,
+                },
+                schema.clone(),
+            ),
+        ),
+        (
+            "SortMergeJoin",
+            plan(
+                PhysOp::SortMergeJoin {
+                    left: Box::new(sorted_scan(env, "l")),
+                    right: Box::new(sorted_scan(env, "r")),
+                    left_key: 0,
+                    right_key: 0,
+                    residual: None,
+                },
+                schema.clone(),
+            ),
+        ),
+        (
+            "HashJoin",
+            plan(
+                PhysOp::HashJoin {
+                    left: Box::new(scan(env, "l")),
+                    right: Box::new(scan(env, "r")),
+                    left_key: 0,
+                    right_key: 0,
+                    residual: None,
+                },
+                schema,
+            ),
+        ),
+    ]
+}
+
+#[test]
+fn every_join_family_identical_across_batch_sizes() {
+    let env = join_world(200, 300, 40, 16);
+    for (name, p) in join_plans(&env) {
+        let want = run_collect(&p, &env.clone().with_batch_rows(1)).unwrap();
+        assert!(!want.is_empty(), "{name}: fixture should produce matches");
+        for bs in BATCH_SIZES {
+            let got = run_collect(&p, &env.clone().with_batch_rows(bs)).unwrap();
+            assert_eq!(
+                normalized(&got),
+                normalized(&want),
+                "{name} differs at batch_rows={bs}"
+            );
+        }
+    }
+}
+
+#[test]
+fn joins_over_empty_inputs_across_batch_sizes() {
+    // Empty probe side, empty build side: every family must return nothing
+    // at every batch size without erroring.
+    let env = join_world(0, 0, 1, 16);
+    for (name, p) in join_plans(&env) {
+        for bs in [1, 3, 1024] {
+            let got = run_collect(&p, &env.clone().with_batch_rows(bs)).unwrap();
+            assert!(got.is_empty(), "{name} invented rows at batch_rows={bs}");
+        }
+    }
+}
+
+#[test]
+fn grace_hash_join_identical_across_batch_sizes() {
+    // A 3-page budget forces the hash join's build side to spill into
+    // Grace partitions; partitioned probing must stay batch-size invariant.
+    let env = join_world(800, 1200, 60, 3);
+    let p = join_plans(&env).pop().unwrap().1;
+    let want = run_collect(&p, &env.clone().with_batch_rows(1)).unwrap();
+    assert!(!want.is_empty());
+    for bs in BATCH_SIZES {
+        let got = run_collect(&p, &env.clone().with_batch_rows(bs)).unwrap();
+        assert_eq!(
+            normalized(&got),
+            normalized(&want),
+            "Grace hash join differs at batch_rows={bs}"
+        );
+    }
+}
+
+#[test]
+fn external_sort_spill_identical_across_batch_sizes() {
+    // Same trick for the sort: a tiny budget forces run spills and a
+    // multi-run merge; the merged stream must re-batch losslessly.
+    let env = join_world(2000, 0, 500, 3);
+    let p = sorted_scan(&env, "l");
+    let want = run_collect(&p, &env.clone().with_batch_rows(1)).unwrap();
+    assert_eq!(want.len(), 2000);
+    for bs in BATCH_SIZES {
+        let got = run_collect(&p, &env.clone().with_batch_rows(bs)).unwrap();
+        // Sorted output: exact order must match, not just the multiset.
+        assert_eq!(got, want, "spilled sort differs at batch_rows={bs}");
+    }
+}

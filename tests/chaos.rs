@@ -52,7 +52,8 @@ fn twin_dbs(seed: u64) -> (Database, Database) {
 fn load_both(faulty: &Database, clean: &Database, seed: u64) {
     for db in [faulty, clean] {
         load_wisconsin(db, "wisc", 2000, seed).unwrap();
-        db.execute("CREATE INDEX wisc_u1 ON wisc (unique1)").unwrap();
+        db.execute("CREATE INDEX wisc_u1 ON wisc (unique1)")
+            .unwrap();
         load_tpch_lite(db, 0.25, seed).unwrap();
         db.execute("ANALYZE").unwrap();
     }

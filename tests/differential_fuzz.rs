@@ -37,9 +37,7 @@ fn build_world(rng: &mut StdRng) -> World {
         let name = format!("t{t}");
         let ddl_cols: Vec<String> = columns
             .iter()
-            .map(|(n, is_int)| {
-                format!("{n} {}", if *is_int { "INT" } else { "STRING" })
-            })
+            .map(|(n, is_int)| format!("{n} {}", if *is_int { "INT" } else { "STRING" }))
             .collect();
         db.execute(&format!("CREATE TABLE {name} ({})", ddl_cols.join(", ")))
             .unwrap();
@@ -147,7 +145,10 @@ fn strategies_agree_on_random_queries() {
         Strategy::DpCcp,
         Strategy::Greedy,
         Strategy::Goo,
-        Strategy::QuickPick { samples: 3, seed: 5 },
+        Strategy::QuickPick {
+            samples: 3,
+            seed: 5,
+        },
         Strategy::Syntactic,
     ];
     for world_seed in 0..6u64 {
@@ -164,9 +165,12 @@ fn strategies_agree_on_random_queries() {
             );
             for s in strategies {
                 world.db.set_strategy(s);
-                let got = normalise(world.db.query(&sql).unwrap_or_else(|e| {
-                    panic!("{} failed: {e}\nsql: {sql}", s.name())
-                }));
+                let got = normalise(
+                    world
+                        .db
+                        .query(&sql)
+                        .unwrap_or_else(|e| panic!("{} failed: {e}\nsql: {sql}", s.name())),
+                );
                 assert_eq!(
                     got,
                     reference,
@@ -183,7 +187,8 @@ fn fuzzed_dml_keeps_indexes_consistent() {
     for seed in 0..4u64 {
         let mut rng = StdRng::seed_from_u64(seed + 100);
         let db = Database::with_defaults();
-        db.execute("CREATE TABLE t (k INT NOT NULL, v INT)").unwrap();
+        db.execute("CREATE TABLE t (k INT NOT NULL, v INT)")
+            .unwrap();
         db.execute("CREATE INDEX t_k ON t (k)").unwrap();
         let mut model: Vec<(i64, Option<i64>)> = Vec::new();
         for _ in 0..120 {
@@ -191,7 +196,8 @@ fn fuzzed_dml_keeps_indexes_consistent() {
                 0..=5 => {
                     let k = rng.random_range(0..30i64);
                     let v = rng.random_range(0..100i64);
-                    db.execute(&format!("INSERT INTO t VALUES ({k}, {v})")).unwrap();
+                    db.execute(&format!("INSERT INTO t VALUES ({k}, {v})"))
+                        .unwrap();
                     model.push((k, Some(v)));
                 }
                 6..=7 => {

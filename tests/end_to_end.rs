@@ -37,8 +37,10 @@ fn northwind() -> Database {
         })
         .collect();
     db.insert_tuples("sales", &sales).unwrap();
-    db.execute("CREATE UNIQUE INDEX products_id ON products (id)").unwrap();
-    db.execute("CREATE INDEX sales_pid ON sales (product_id)").unwrap();
+    db.execute("CREATE UNIQUE INDEX products_id ON products (id)")
+        .unwrap();
+    db.execute("CREATE INDEX sales_pid ON sales (product_id)")
+        .unwrap();
     db.execute("ANALYZE").unwrap();
     db
 }
@@ -99,7 +101,10 @@ fn every_strategy_returns_identical_results() {
         Strategy::BushyDp,
         Strategy::Greedy,
         Strategy::Goo,
-        Strategy::QuickPick { samples: 4, seed: 11 },
+        Strategy::QuickPick {
+            samples: 4,
+            seed: 11,
+        },
         Strategy::Syntactic,
     ] {
         db.set_strategy(strategy);
@@ -111,7 +116,11 @@ fn every_strategy_returns_identical_results() {
 fn predicates_toolbox_end_to_end() {
     let db = northwind();
     let count = |sql: &str| -> i64 {
-        db.query(sql).unwrap()[0].value(0).unwrap().as_i64().unwrap()
+        db.query(sql).unwrap()[0]
+            .value(0)
+            .unwrap()
+            .as_i64()
+            .unwrap()
     };
     assert_eq!(
         count("SELECT COUNT(*) FROM products WHERE name LIKE 'product-00%'"),
@@ -162,7 +171,8 @@ fn small_buffer_pool_gives_same_answers() {
         buffer_pages: 6,
         ..Default::default()
     });
-    db.execute("CREATE TABLE t (k INT NOT NULL, pad STRING NOT NULL)").unwrap();
+    db.execute("CREATE TABLE t (k INT NOT NULL, pad STRING NOT NULL)")
+        .unwrap();
     let rows: Vec<Tuple> = (0..3000)
         .map(|i| {
             Tuple::new(vec![
@@ -219,11 +229,12 @@ fn dml_visibility_and_index_consistency() {
     let rows = db
         .query("SELECT name FROM products WHERE id = 900")
         .unwrap();
-    assert_eq!(rows[0].value(0).unwrap(), &Value::Str("late-addition".into()));
+    assert_eq!(
+        rows[0].value(0).unwrap(),
+        &Value::Str("late-addition".into())
+    );
     // ...and via full scan.
-    let n = db
-        .query("SELECT COUNT(*) FROM products")
-        .unwrap()[0]
+    let n = db.query("SELECT COUNT(*) FROM products").unwrap()[0]
         .value(0)
         .unwrap()
         .as_i64()

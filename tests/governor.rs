@@ -21,8 +21,7 @@ fn wisc_db(rows: usize) -> Database {
 
 /// An expensive-by-construction query: an unindexed self-join forces a
 /// nested-loop over rows² comparisons.
-const EXPENSIVE: &str =
-    "SELECT COUNT(*) FROM wisc a JOIN wisc b ON a.ten_pct = b.twenty_pct";
+const EXPENSIVE: &str = "SELECT COUNT(*) FROM wisc a JOIN wisc b ON a.ten_pct = b.twenty_pct";
 
 #[test]
 fn timeout_kills_mid_flight_with_partial_metrics() {
@@ -62,7 +61,9 @@ fn timeout_kills_mid_flight_with_partial_metrics() {
 #[test]
 fn row_budget_trips_exactly_past_the_limit() {
     let db = wisc_db(500);
-    let config = GovernorConfig::unlimited().with_max_rows(10);
+    let config = GovernorConfig::unlimited()
+        .with_max_rows(10)
+        .with_max_batch_rows(8);
     let (result, metrics) = db.query_governed(
         "SELECT unique1 FROM wisc ORDER BY unique1",
         config,
@@ -75,13 +76,65 @@ fn row_budget_trips_exactly_past_the_limit() {
         err.to_string().contains("row budget"),
         "kill reason should name the row budget: {err}"
     );
-    // The budget is charged at the root drain: the root emitted at most
-    // limit + 1 rows before the governor stopped it.
+    // The budget is charged per batch at the root drain, so the overshoot
+    // past the limit is bounded by the governed batch-size cap.
     let metrics = metrics.expect("metrics survive a row-budget kill");
     assert!(
-        metrics.root().actual_rows <= 11,
-        "root emitted {} rows after a 10-row budget kill",
+        metrics.root().actual_rows <= 10 + 8,
+        "root emitted {} rows after a 10-row budget kill with 8-row batches",
         metrics.root().actual_rows
+    );
+}
+
+#[test]
+fn max_batch_rows_bounds_row_budget_overshoot() {
+    // Sweep the batch cap: the kill must always land within one batch of
+    // the row limit, and cap = 1 reproduces the old tuple-exact behaviour.
+    let db = wisc_db(500);
+    for cap in [1usize, 4, 64] {
+        let config = GovernorConfig::unlimited()
+            .with_max_rows(10)
+            .with_max_batch_rows(cap);
+        let (result, metrics) = db.query_governed(
+            "SELECT unique1 FROM wisc ORDER BY unique1",
+            config,
+            CancellationToken::new(),
+        );
+        assert_eq!(result.unwrap_err().kind(), "resource_exhausted");
+        let metrics = metrics.expect("metrics survive a row-budget kill");
+        assert!(
+            metrics.root().actual_rows <= 10 + cap as u64,
+            "cap {cap}: root emitted {} rows past a 10-row budget",
+            metrics.root().actual_rows
+        );
+        // Partial metrics are real: the root was actually pulled.
+        assert!(metrics.root().next_calls > 0, "cap {cap}");
+    }
+}
+
+#[test]
+fn cancel_from_another_thread_kills_mid_drain() {
+    let db = wisc_db(3000);
+    let token = CancellationToken::new();
+    let canceler = {
+        let token = token.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            token.cancel();
+        })
+    };
+    let (result, metrics) = db.query_governed(EXPENSIVE, GovernorConfig::unlimited(), token);
+    canceler.join().unwrap();
+
+    let err = result.expect_err("canceled long before the self-join finishes");
+    assert_eq!(err.kind(), "canceled");
+    // The killed query still reports the partial work it did: the governor
+    // is checked once per batch, so the cancel landed within one batch of
+    // some operator's progress.
+    let metrics = metrics.expect("metrics survive a cancellation");
+    assert!(
+        metrics.root().next_calls > 0 || metrics.pool_hits + metrics.pool_misses > 0,
+        "partial metrics should show work before the cancel"
     );
 }
 
@@ -91,8 +144,11 @@ fn page_budget_trips_on_pool_traffic() {
     // Make every page a physical fetch again.
     db.pool().evict_all().unwrap();
     let config = GovernorConfig::unlimited().with_max_pages(4);
-    let (result, metrics) =
-        db.query_governed("SELECT COUNT(*) FROM wisc", config, CancellationToken::new());
+    let (result, metrics) = db.query_governed(
+        "SELECT COUNT(*) FROM wisc",
+        config,
+        CancellationToken::new(),
+    );
 
     let err = result.expect_err("a 3000-row scan needs more than 4 pages");
     assert_eq!(err.kind(), "resource_exhausted");
@@ -112,8 +168,11 @@ fn pre_canceled_token_kills_before_first_row() {
     let db = wisc_db(200);
     let token = CancellationToken::new();
     token.cancel();
-    let (result, metrics) =
-        db.query_governed("SELECT COUNT(*) FROM wisc", GovernorConfig::unlimited(), token);
+    let (result, metrics) = db.query_governed(
+        "SELECT COUNT(*) FROM wisc",
+        GovernorConfig::unlimited(),
+        token,
+    );
 
     let err = result.expect_err("canceled before the first next()");
     assert_eq!(err.kind(), "canceled");
@@ -145,7 +204,9 @@ fn session_governor_threads_through_execute() {
     // Within budget: execute succeeds and attaches metrics (the governed
     // path is instrumented).
     db.set_governor(GovernorConfig::unlimited().with_max_rows(1000));
-    let result = db.execute("SELECT unique1 FROM wisc WHERE unique1 < 20").unwrap();
+    let result = db
+        .execute("SELECT unique1 FROM wisc WHERE unique1 < 20")
+        .unwrap();
     assert!(
         result.metrics().is_some(),
         "governed SELECTs report metrics on success"

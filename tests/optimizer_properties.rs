@@ -30,7 +30,10 @@ fn dp_dominates_heuristics_on_random_topologies() {
         for heuristic in [
             Strategy::Greedy,
             Strategy::Goo,
-            Strategy::QuickPick { samples: 4, seed: 9 },
+            Strategy::QuickPick {
+                samples: 4,
+                seed: 9,
+            },
             Strategy::Syntactic,
         ] {
             let h = cost_of(heuristic);
@@ -41,7 +44,10 @@ fn dp_dominates_heuristics_on_random_topologies() {
                 heuristic.name()
             );
         }
-        assert!(bushy <= sysr + 1e-6, "{topo:?} n={n}: bushy beaten by left-deep");
+        assert!(
+            bushy <= sysr + 1e-6,
+            "{topo:?} n={n}: bushy beaten by left-deep"
+        );
     }
 }
 
@@ -104,7 +110,12 @@ fn cardinality_estimate_is_plan_invariant() {
     w.load(&db, true).unwrap();
     let sql = w.count_query();
     let mut estimates = Vec::new();
-    for s in [Strategy::SystemR, Strategy::BushyDp, Strategy::Greedy, Strategy::Syntactic] {
+    for s in [
+        Strategy::SystemR,
+        Strategy::BushyDp,
+        Strategy::Greedy,
+        Strategy::Syntactic,
+    ] {
         db.set_strategy(s);
         let (_, p) = db.plan_sql(&sql).unwrap();
         estimates.push(p.est_rows);

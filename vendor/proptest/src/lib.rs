@@ -39,8 +39,7 @@ pub mod test_runner {
         pub fn for_case(case: u32) -> TestRng {
             // Golden-ratio stride decorrelates consecutive cases.
             TestRng {
-                state: 0xB5AD_4ECE_DA1C_E2A9
-                    ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                state: 0xB5AD_4ECE_DA1C_E2A9 ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
             }
         }
 
@@ -396,9 +395,9 @@ pub mod prelude {
     pub use super::arbitrary::any;
     pub use super::strategy::{BoxedStrategy, Just, Strategy};
     pub use super::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
     /// `prop::collection::vec(...)`-style paths.
     pub use crate as prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 }
 
 /// Define property tests. Each `fn name(arg in strategy, ...) { body }`
