@@ -1,0 +1,93 @@
+//! Metrics hot-path benchmark (experiment **O2**): what does observability
+//! cost per query?
+//!
+//! Three configurations of the same query battery:
+//! * `off` — `DatabaseConfig.metrics = false`: no counters, no query log;
+//! * `metrics` — the default: relaxed atomic counters, counts-only trace
+//!   sink, query-log ring push per query;
+//! * `trace` — full `EXPLAIN TRACE` journaling via `query_traced`.
+//!
+//! Plus microbenchmarks of the registry primitives themselves (counter
+//! increment, histogram observe, snapshot), which bound the per-event cost
+//! every layer pays.
+//!
+//! `EVOPT_METRICS=1` (the CI smoke setting) restricts the run to the
+//! registry microbenches and the `metrics` engine config — the hot path
+//! that rides along on every production query — keeping the smoke fast.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use evopt_engine::{Database, DatabaseConfig};
+use evopt_obs::{EngineMetrics, Histogram};
+use evopt_workload::load_wisconsin;
+
+fn smoke_only() -> bool {
+    std::env::var("EVOPT_METRICS")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+fn setup(metrics: bool) -> Database {
+    let db = Database::new(DatabaseConfig {
+        metrics,
+        ..Default::default()
+    });
+    load_wisconsin(&db, "wisc", 2_000, 7).expect("wisc");
+    db.execute("CREATE INDEX w_u1 ON wisc (unique1)").unwrap();
+    db.execute("ANALYZE").unwrap();
+    db
+}
+
+const BATTERY: [(&str, &str); 2] = [
+    (
+        "scan-agg",
+        "SELECT ten_pct, COUNT(*), SUM(unique2) FROM wisc GROUP BY ten_pct",
+    ),
+    (
+        "self-join",
+        "SELECT COUNT(*) FROM wisc a JOIN wisc b ON a.unique1 = b.unique1 \
+         WHERE a.one_pct = 3",
+    ),
+];
+
+fn bench_registry_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics-primitives");
+    let m = EngineMetrics::default();
+    group.bench_function("counter-inc", |b| b.iter(|| black_box(&m.queries).inc()));
+    group.bench_function("counter-add", |b| {
+        b.iter(|| black_box(&m.exec_rows).add(black_box(1024)))
+    });
+    let h = Histogram::default();
+    group.bench_function("histogram-observe", |b| {
+        b.iter(|| black_box(&h).observe(black_box(1_234)))
+    });
+    group.bench_function("registry-snapshot", |b| b.iter(|| black_box(m.snapshot())));
+    group.finish();
+}
+
+fn bench_query_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics-query-overhead");
+    let smoke = smoke_only();
+    if !smoke {
+        let off = setup(false);
+        for (label, sql) in BATTERY {
+            group.bench_with_input(BenchmarkId::new(label, "off"), &sql, |b, sql| {
+                b.iter(|| off.query(sql).expect("query"))
+            });
+        }
+    }
+    let on = setup(true);
+    for (label, sql) in BATTERY {
+        group.bench_with_input(BenchmarkId::new(label, "metrics"), &sql, |b, sql| {
+            b.iter(|| on.query(sql).expect("query"))
+        });
+        if !smoke {
+            group.bench_with_input(BenchmarkId::new(label, "trace"), &sql, |b, sql| {
+                b.iter(|| on.query_traced(sql).expect("query"))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_registry_primitives, bench_query_overhead);
+criterion_main!(benches);

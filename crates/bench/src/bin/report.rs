@@ -31,6 +31,10 @@ fn main() {
                 let started = std::time::Instant::now();
                 let report = $module::run(&params);
                 println!("{}", report.render());
+                // Process-global engine counters, cumulative across every
+                // database the experiments created so far.
+                println!("== engine metrics after {} (cumulative) ==", $id);
+                println!("{}", evopt_obs::global().snapshot().to_prometheus());
                 println!(
                     "({} finished in {:.1}s)\n",
                     $id,

@@ -15,13 +15,16 @@ pub fn run(ctx: &JoinContext) -> Result<SubPlan> {
     let all = ctx.graph.all_mask();
     let mut table = PlanTable::new();
 
+    let mut level_started = std::time::Instant::now();
     for r in 0..n {
         for sp in ctx.base_subplans(r) {
-            table.admit(sp, ctx.model);
+            ctx.admit(&mut table, sp);
         }
     }
+    ctx.trace_level(1, table.len(), level_started);
 
     for size in 2..=n as u32 {
+        level_started = std::time::Instant::now();
         for mask in 1..=all {
             if mask.count_ones() != size {
                 continue;
@@ -47,10 +50,10 @@ pub fn run(ctx: &JoinContext) -> Result<SubPlan> {
                         for l in table.plans_for_cloned(sub) {
                             for r in table.plans_for_cloned(other) {
                                 for cand in ctx.join_candidates(&l, &r, !connected)? {
-                                    table.admit(cand, ctx.model);
+                                    ctx.admit(&mut table, cand);
                                 }
                                 for cand in ctx.join_candidates(&r, &l, !connected)? {
-                                    table.admit(cand, ctx.model);
+                                    ctx.admit(&mut table, cand);
                                 }
                             }
                         }
@@ -59,8 +62,10 @@ pub fn run(ctx: &JoinContext) -> Result<SubPlan> {
                 sub = (sub - 1) & mask;
             }
         }
+        ctx.trace_level(size, table.len(), level_started);
     }
 
+    ctx.trace_memo(table.len());
     ctx.pick_final(table.plans_for_cloned(all))
 }
 

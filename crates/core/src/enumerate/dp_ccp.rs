@@ -28,11 +28,13 @@ pub fn run(ctx: &JoinContext) -> Result<SubPlan> {
         return dp_bushy::run(ctx);
     }
     let mut table = PlanTable::new();
+    let level_started = std::time::Instant::now();
     for r in 0..n {
         for sp in ctx.base_subplans(r) {
-            table.admit(sp, ctx.model);
+            ctx.admit(&mut table, sp);
         }
     }
+    ctx.trace_level(1, table.len(), level_started);
 
     // Emit all csg-cmp pairs; for each, join best plans both ways.
     let mut pairs: Vec<(RelMask, RelMask)> = Vec::new();
@@ -43,14 +45,15 @@ pub fn run(ctx: &JoinContext) -> Result<SubPlan> {
         for l in table.plans_for_cloned(s1) {
             for r in table.plans_for_cloned(s2) {
                 for cand in ctx.join_candidates(&l, &r, false)? {
-                    table.admit(cand, ctx.model);
+                    ctx.admit(&mut table, cand);
                 }
                 for cand in ctx.join_candidates(&r, &l, false)? {
-                    table.admit(cand, ctx.model);
+                    ctx.admit(&mut table, cand);
                 }
             }
         }
     }
+    ctx.trace_memo(table.len());
     ctx.pick_final(table.plans_for_cloned(all))
 }
 

@@ -17,13 +17,16 @@ pub fn run(ctx: &JoinContext) -> Result<SubPlan> {
     let all = ctx.graph.all_mask();
     let mut table = PlanTable::new();
 
+    let mut level_started = std::time::Instant::now();
     for r in 0..n {
         for sp in ctx.base_subplans(r) {
-            table.admit(sp, ctx.model);
+            ctx.admit(&mut table, sp);
         }
     }
+    ctx.trace_level(1, table.len(), level_started);
 
     for size in 2..=n as u32 {
+        level_started = std::time::Instant::now();
         for mask in 1..=all {
             if mask.count_ones() != size {
                 continue;
@@ -44,14 +47,16 @@ pub fn run(ctx: &JoinContext) -> Result<SubPlan> {
                 for left in table.plans_for_cloned(left_mask) {
                     for right in ctx.base_subplans(r) {
                         for cand in ctx.join_candidates(&left, &right, !connected)? {
-                            table.admit(cand, ctx.model);
+                            ctx.admit(&mut table, cand);
                         }
                     }
                 }
             }
         }
+        ctx.trace_level(size, table.len(), level_started);
     }
 
+    ctx.trace_memo(table.len());
     ctx.pick_final(table.plans_for_cloned(all))
 }
 

@@ -6,6 +6,7 @@
 //! (O(n³) pair evaluations), still heuristic.
 
 use evopt_common::Result;
+use evopt_obs::PruneReason;
 
 use super::{JoinContext, SubPlan};
 
@@ -24,6 +25,7 @@ pub fn run(ctx: &JoinContext) -> Result<SubPlan> {
             }
             for (a, b) in [(i, j), (j, i)] {
                 for cand in ctx.join_candidates(&forest[a], &forest[b], !connected)? {
+                    ctx.trace_consider(&cand);
                     let better = match &best {
                         None => true,
                         Some((_, _, cur)) => {
@@ -32,7 +34,12 @@ pub fn run(ctx: &JoinContext) -> Result<SubPlan> {
                         }
                     };
                     if better {
+                        if let Some((_, _, prev)) = best.take() {
+                            ctx.trace_prune(&prev, PruneReason::NotChosen);
+                        }
                         best = Some((i, j, cand));
+                    } else {
+                        ctx.trace_prune(&cand, PruneReason::NotChosen);
                     }
                 }
             }

@@ -7,6 +7,7 @@
 //! against DP.
 
 use evopt_common::Result;
+use evopt_obs::PruneReason;
 
 use super::{JoinContext, SubPlan};
 
@@ -39,6 +40,7 @@ pub fn run(ctx: &JoinContext) -> Result<SubPlan> {
             }
             for base in ctx.base_subplans(r) {
                 for cand in ctx.join_candidates(&current, &base, !connected)? {
+                    ctx.trace_consider(&cand);
                     let better = match &best {
                         None => true,
                         Some(b) => {
@@ -47,7 +49,12 @@ pub fn run(ctx: &JoinContext) -> Result<SubPlan> {
                         }
                     };
                     if better {
+                        if let Some(prev) = best.take() {
+                            ctx.trace_prune(&prev, PruneReason::NotChosen);
+                        }
                         best = Some(cand);
+                    } else {
+                        ctx.trace_prune(&cand, PruneReason::NotChosen);
                     }
                 }
             }

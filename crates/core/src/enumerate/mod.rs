@@ -26,8 +26,10 @@ pub mod quickpick;
 pub mod syntactic;
 
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 use evopt_common::{EvoptError, Expr, Result};
+use evopt_obs::{PruneReason, TraceSink};
 use evopt_plan::join_graph::{JoinGraph, RelMask};
 
 use crate::access_path::{IndexMeta, PathChoice, PathKind};
@@ -112,6 +114,8 @@ pub struct JoinContext<'a> {
     pub required_order: Option<usize>,
     /// When false, produced orders are discarded (ablation for F3).
     pub track_orders: bool,
+    /// Search-trace sink; `None` disables all recording.
+    pub trace: Option<&'a TraceSink>,
 }
 
 /// A costed plan covering `mask`'s relations.
@@ -552,6 +556,89 @@ impl<'a> JoinContext<'a> {
     pub fn is_connected(&self, left: RelMask, right: RelMask) -> bool {
         self.graph.connected(left, right)
     }
+
+    // -- search-trace recording ---------------------------------------------
+    //
+    // The DP invariant `considered == pruned + retained` (retained = final
+    // table size) holds because every candidate routed through
+    // [`JoinContext::admit`] is counted considered exactly once, and leaves
+    // the search exactly once: rejected on arrival (dominated), or evicted
+    // later by a cheaper arrival (superseded).
+
+    /// Admit `sp` into `table`, recording the trace events for the
+    /// candidate and for whichever plan the dominance test kills.
+    /// Returns whether `sp` entered the table.
+    pub fn admit(&self, table: &mut PlanTable, sp: SubPlan) -> bool {
+        let (mask, method, order) = (sp.mask, sp.plan.op_name(), sp.order);
+        self.trace_consider(&sp);
+        match table.admit(sp, self.model) {
+            Admission::New => {
+                if let (Some(t), Some(o)) = (self.trace, order) {
+                    t.order_kept(mask, method, o);
+                }
+                true
+            }
+            Admission::Replaced(old) => {
+                if let Some(t) = self.trace {
+                    t.prune(old.mask, old.plan.op_name(), PruneReason::Superseded);
+                    if let Some(o) = order {
+                        t.order_kept(mask, method, o);
+                    }
+                }
+                true
+            }
+            Admission::Dominated(sp) => {
+                self.trace_prune(&sp, PruneReason::Dominated);
+                false
+            }
+        }
+    }
+
+    /// Record a candidate being generated and costed.
+    pub fn trace_consider(&self, sp: &SubPlan) {
+        if let Some(t) = self.trace {
+            t.consider(
+                sp.mask,
+                sp.plan.op_name(),
+                sp.cost.io,
+                sp.cost.cpu,
+                sp.rows,
+                sp.order,
+            );
+        }
+    }
+
+    /// Record a plan leaving the search.
+    pub fn trace_prune(&self, sp: &SubPlan, reason: PruneReason) {
+        if let Some(t) = self.trace {
+            t.prune(sp.mask, sp.plan.op_name(), reason);
+        }
+    }
+
+    /// Record one completed enumeration level.
+    pub fn trace_level(&self, level: u32, table_entries: usize, started: Instant) {
+        if let Some(t) = self.trace {
+            t.level(level, table_entries, started.elapsed().as_micros());
+        }
+    }
+
+    /// Record the final dominance-table size.
+    pub fn trace_memo(&self, entries: usize) {
+        if let Some(t) = self.trace {
+            t.set_memo_entries(entries);
+        }
+    }
+}
+
+/// Outcome of one [`PlanTable::admit`] call.
+pub enum Admission {
+    /// Inserted; no incumbent existed for its (mask, order) class.
+    New,
+    /// Inserted; the returned incumbent was evicted.
+    Replaced(Box<SubPlan>),
+    /// Rejected; the incumbent dominates. The candidate comes back so the
+    /// caller can trace (or reuse) it.
+    Dominated(Box<SubPlan>),
 }
 
 /// Dominance table keyed by `(mask, order)`; admits a plan only if it beats
@@ -571,7 +658,10 @@ impl PlanTable {
     /// Exact cost ties go to the plan whose column map is closer to the
     /// identity — mirror-image join trees often tie, and the identity-closer
     /// one avoids the final column-restoring projection.
-    pub fn admit(&mut self, sp: SubPlan, model: &CostModel) {
+    ///
+    /// The returned [`Admission`] says which plan (if any) the dominance
+    /// test killed, so callers can trace the search.
+    pub fn admit(&mut self, sp: SubPlan, model: &CostModel) -> Admission {
         let fixed_points = |p: &SubPlan| {
             p.col_map
                 .iter()
@@ -584,11 +674,17 @@ impl PlanTable {
             Some(cur) => {
                 let (a, b) = (model.total(sp.cost), model.total(cur.cost));
                 if a < b || (a == b && fixed_points(&sp) > fixed_points(cur)) {
-                    self.plans.insert(key, sp);
+                    match self.plans.insert(key, sp) {
+                        Some(old) => Admission::Replaced(Box::new(old)),
+                        None => Admission::New,
+                    }
+                } else {
+                    Admission::Dominated(Box::new(sp))
                 }
             }
             None => {
                 self.plans.insert(key, sp);
+                Admission::New
             }
         }
     }
@@ -619,7 +715,8 @@ impl PlanTable {
 
 /// Run the chosen strategy.
 pub fn enumerate(ctx: &JoinContext, strategy: Strategy) -> Result<SubPlan> {
-    match strategy {
+    let started = Instant::now();
+    let result = match strategy {
         Strategy::SystemR => dp_sysr::run(ctx),
         Strategy::BushyDp => dp_bushy::run(ctx),
         Strategy::DpCcp => dp_ccp::run(ctx),
@@ -627,7 +724,12 @@ pub fn enumerate(ctx: &JoinContext, strategy: Strategy) -> Result<SubPlan> {
         Strategy::Goo => goo::run(ctx),
         Strategy::QuickPick { samples, seed } => quickpick::run(ctx, samples, seed),
         Strategy::Syntactic => syntactic::run(ctx),
+    };
+    if let Some(t) = ctx.trace {
+        t.set_strategy(strategy.name());
+        t.set_total_micros(started.elapsed().as_micros());
     }
+    result
 }
 
 #[cfg(test)]
@@ -667,6 +769,7 @@ pub(crate) mod fixtures {
                 rels: self.rels.clone(),
                 required_order: None,
                 track_orders: true,
+                trace: None,
             }
         }
     }
@@ -957,6 +1060,84 @@ mod tests {
         let kept = table.plans_for(cheap.mask);
         assert_eq!(kept.len(), 1);
         assert_eq!(model.total(kept[0].cost), model.total(cheap.cost));
+    }
+
+    #[test]
+    fn dp_trace_invariant_considered_equals_pruned_plus_memo() {
+        // Every candidate routed through ctx.admit either lives in the memo
+        // or was pruned exactly once — for all three DP strategies.
+        for strategy in [Strategy::SystemR, Strategy::BushyDp, Strategy::DpCcp] {
+            for f in [chain3(), star4()] {
+                let sink = TraceSink::counts_only();
+                let mut ctx = f.ctx();
+                ctx.trace = Some(&sink);
+                enumerate(&ctx, strategy).unwrap();
+                drop(ctx);
+                let trace = sink.into_trace();
+                assert!(trace.memo_entries > 0, "{}", strategy.name());
+                assert_eq!(
+                    trace.considered,
+                    trace.pruned + trace.memo_entries as u64,
+                    "{}: considered {} != pruned {} + memo {}",
+                    strategy.name(),
+                    trace.considered,
+                    trace.pruned,
+                    trace.memo_entries
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dp_considers_strictly_more_plans_than_greedy() {
+        let f = star4();
+        let count = |strategy: Strategy| {
+            let sink = TraceSink::counts_only();
+            let mut ctx = f.ctx();
+            ctx.trace = Some(&sink);
+            enumerate(&ctx, strategy).unwrap();
+            drop(ctx);
+            sink.into_trace().considered
+        };
+        let dp = count(Strategy::SystemR);
+        let greedy = count(Strategy::Greedy);
+        assert!(
+            dp > greedy,
+            "dp_sysr considered {dp} plans, greedy {greedy} — expected strictly more"
+        );
+    }
+
+    #[test]
+    fn trace_is_observation_only_and_never_changes_the_plan() {
+        for strategy in [
+            Strategy::SystemR,
+            Strategy::BushyDp,
+            Strategy::DpCcp,
+            Strategy::Greedy,
+            Strategy::Goo,
+            Strategy::QuickPick {
+                samples: 8,
+                seed: 5,
+            },
+            Strategy::Syntactic,
+        ] {
+            let f = star4();
+            let plain = enumerate(&f.ctx(), strategy).unwrap();
+            let sink = TraceSink::bounded(1024);
+            let mut ctx = f.ctx();
+            ctx.trace = Some(&sink);
+            let traced = enumerate(&ctx, strategy).unwrap();
+            drop(ctx);
+            assert_eq!(
+                plain.plan.digest(),
+                traced.plan.digest(),
+                "{}: tracing changed the chosen plan",
+                strategy.name()
+            );
+            let trace = sink.into_trace();
+            assert_eq!(trace.strategy, strategy.name());
+            assert!(trace.considered > 0);
+        }
     }
 
     #[test]

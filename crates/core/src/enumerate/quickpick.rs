@@ -6,6 +6,7 @@
 //! never reaches DP reliably on hard graphs — exactly the F2 story.
 
 use evopt_common::{EvoptError, Result};
+use evopt_obs::PruneReason;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -32,12 +33,18 @@ pub fn run(ctx: &JoinContext, samples: usize, seed: u64) -> Result<SubPlan> {
             for base in ctx.base_subplans(r) {
                 // Random orders may force cross products; always allowed.
                 for cand in ctx.join_candidates(&current, &base, true)? {
+                    ctx.trace_consider(&cand);
                     let better = match &best {
                         None => true,
                         Some(b) => ctx.model.total(cand.cost) < ctx.model.total(b.cost),
                     };
                     if better {
+                        if let Some(prev) = best.take() {
+                            ctx.trace_prune(&prev, PruneReason::NotChosen);
+                        }
                         best = Some(cand);
+                    } else {
+                        ctx.trace_prune(&cand, PruneReason::NotChosen);
                     }
                 }
             }

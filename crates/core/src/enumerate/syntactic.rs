@@ -6,6 +6,7 @@
 //! every join. Every T1 speedup factor is measured against this plan.
 
 use evopt_common::{EvoptError, Result};
+use evopt_obs::PruneReason;
 
 use super::{JoinContext, SubPlan};
 use crate::physical::PhysOp;
@@ -16,10 +17,17 @@ pub fn run(ctx: &JoinContext) -> Result<SubPlan> {
     for r in 1..n {
         let right = ctx.seq_base(r);
         let cands = ctx.join_candidates(&current, &right, true)?;
-        current = cands
-            .into_iter()
-            .find(|c| matches!(c.plan.op, PhysOp::BlockNestedLoopJoin { .. }))
-            .ok_or_else(|| EvoptError::Internal("BNL candidate always generated".into()))?;
+        let mut chosen: Option<SubPlan> = None;
+        for c in cands {
+            ctx.trace_consider(&c);
+            if chosen.is_none() && matches!(c.plan.op, PhysOp::BlockNestedLoopJoin { .. }) {
+                chosen = Some(c);
+            } else {
+                ctx.trace_prune(&c, PruneReason::NotChosen);
+            }
+        }
+        current =
+            chosen.ok_or_else(|| EvoptError::Internal("BNL candidate always generated".into()))?;
     }
     ctx.pick_final(vec![current])
 }

@@ -14,6 +14,7 @@ use std::sync::Arc;
 
 use evopt_catalog::{Catalog, TableInfo};
 use evopt_common::{EvoptError, Expr, Result, Schema};
+use evopt_obs::TraceSink;
 use evopt_plan::join_graph::JoinGraph;
 use evopt_plan::{fold_constants, push_down_filters, LogicalPlan, SortKey};
 
@@ -56,16 +57,40 @@ impl Default for OptimizerConfig {
 /// The cost-based optimizer.
 pub struct Optimizer {
     pub config: OptimizerConfig,
+    /// Search-trace sink ([`Optimizer::with_trace`]). Interior-mutable, so
+    /// `optimize(&self)` can record into it; events accumulate across every
+    /// enumeration one `optimize` call performs (a query that plans a join
+    /// subtree twice — e.g. the aggregate order-hint probe — counts both).
+    trace: Option<TraceSink>,
 }
 
 impl Optimizer {
     pub fn new(config: OptimizerConfig) -> Self {
-        Optimizer { config }
+        Optimizer {
+            config,
+            trace: None,
+        }
     }
 
     /// Optimizer with all defaults (System R strategy).
     pub fn default_system_r() -> Self {
         Optimizer::new(OptimizerConfig::default())
+    }
+
+    /// Attach a search-trace sink; every enumeration records into it.
+    pub fn with_trace(mut self, sink: TraceSink) -> Self {
+        self.trace = Some(sink);
+        self
+    }
+
+    /// Detach the sink (freeze it with [`TraceSink::into_trace`] afterward).
+    pub fn take_trace(&mut self) -> Option<TraceSink> {
+        self.trace.take()
+    }
+
+    /// The attached sink, if any.
+    pub fn trace(&self) -> Option<&TraceSink> {
+        self.trace.as_ref()
     }
 
     /// Optimize a bound logical plan against `catalog`.
@@ -433,6 +458,7 @@ impl Optimizer {
             rels,
             required_order: required,
             track_orders: self.config.track_interesting_orders,
+            trace: self.trace.as_ref(),
         };
         let sub = enumerate(&ctx, self.config.strategy)?;
         Ok(finalize(&ctx, sub, plan.schema()))

@@ -271,6 +271,27 @@ impl PhysicalPlan {
         out
     }
 
+    /// Stable digest of the plan's *shape*: every operator's detail line,
+    /// hashed in pre-order. Two plans with the same operators, tables,
+    /// predicates and structure share a digest; estimates don't contribute.
+    /// This is the correlation key between the query log, `EXPLAIN ANALYZE`
+    /// and `EXPLAIN TRACE` output for one query.
+    pub fn digest(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for (depth, node) in self.pre_order() {
+            depth.hash(&mut h);
+            node.op_detail().hash(&mut h);
+        }
+        h.finish()
+    }
+
+    /// [`PhysicalPlan::digest`] as the fixed-width hex string the query log
+    /// and EXPLAIN surfaces print.
+    pub fn digest_hex(&self) -> String {
+        format!("{:016x}", self.digest())
+    }
+
     /// One-line operator description (the EXPLAIN line minus estimates).
     pub fn op_detail(&self) -> String {
         let p = self;

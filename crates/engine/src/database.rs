@@ -1,14 +1,21 @@
 //! The `Database` facade.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use evopt_catalog::{analyze_table, AnalyzeConfig, Catalog, TableInfo};
-use evopt_common::{Column, EvoptError, Expr, Result, Schema, Tuple, Value, DEFAULT_BATCH_ROWS};
+use evopt_common::{
+    Column, DataType, EvoptError, Expr, Result, Schema, Tuple, Value, DEFAULT_BATCH_ROWS,
+};
 use evopt_core::physical::PhysicalPlan;
 use evopt_core::{CostModel, Optimizer, OptimizerConfig, Strategy};
 use evopt_exec::{
     run_collect, run_collect_governed, run_collect_instrumented, CancellationToken, ExecEnv,
     GovernorConfig, QueryMetrics,
+};
+use evopt_obs::{
+    EngineMetrics, MetricsSnapshot, QueryLog, QueryLogEntry, SearchTrace, TraceSink,
+    DEFAULT_QUERY_LOG_CAP, DEFAULT_SLOW_QUERY_US, DEFAULT_TRACE_EVENTS,
 };
 use evopt_plan::LogicalPlan;
 use evopt_sql::ast::{AstExpr, Statement};
@@ -40,6 +47,15 @@ pub struct DatabaseConfig {
     /// Executor batch size: tuples moved per `next_batch()` call. Defaults
     /// to [`DEFAULT_BATCH_ROWS`]; 1 degenerates to tuple-at-a-time Volcano.
     pub batch_rows: usize,
+    /// Engine metrics: counters, optimize/execute histograms, and the query
+    /// log. On (the default) costs a handful of relaxed atomic increments
+    /// per query; off removes even those.
+    pub metrics: bool,
+    /// Ring-buffer capacity of the query log (entries; clamped to ≥ 1).
+    pub query_log_cap: usize,
+    /// Queries whose optimize+execute wall time meets this threshold are
+    /// flagged slow in the query log and counted in `slow_queries`.
+    pub slow_query_us: u64,
 }
 
 impl Default for DatabaseConfig {
@@ -52,6 +68,9 @@ impl Default for DatabaseConfig {
             faults: None,
             governor: GovernorConfig::default(),
             batch_rows: DEFAULT_BATCH_ROWS,
+            metrics: true,
+            query_log_cap: DEFAULT_QUERY_LOG_CAP,
+            slow_query_us: DEFAULT_SLOW_QUERY_US,
         }
     }
 }
@@ -118,6 +137,15 @@ impl QueryResult {
     }
 }
 
+/// A SELECT run with the optimizer's search trace attached
+/// ([`Database::query_traced`] — the programmatic `EXPLAIN TRACE`).
+#[derive(Debug)]
+pub struct TracedQuery {
+    pub rows: Vec<Tuple>,
+    pub plan: PhysicalPlan,
+    pub trace: SearchTrace,
+}
+
 /// A complete single-node database instance.
 pub struct Database {
     disk: Arc<dyn DiskBackend>,
@@ -127,6 +155,11 @@ pub struct Database {
     pool: Arc<BufferPool>,
     catalog: Arc<Catalog>,
     config: Mutex<DatabaseConfig>,
+    /// Per-instance metrics registry; `None` when `config.metrics` is off.
+    /// Engine-site recordings are mirrored into [`evopt_obs::global`] so
+    /// process-wide tooling (bench reports) sees every instance.
+    metrics: Option<Arc<EngineMetrics>>,
+    query_log: QueryLog,
 }
 
 impl Database {
@@ -154,6 +187,8 @@ impl Database {
             injector,
             pool,
             catalog,
+            metrics: config.metrics.then(|| Arc::new(EngineMetrics::default())),
+            query_log: QueryLog::new(config.query_log_cap, config.slow_query_us),
             config: Mutex::new(config),
         }
     }
@@ -223,7 +258,7 @@ impl Database {
     /// Execute any statement.
     pub fn execute(&self, sql: &str) -> Result<QueryResult> {
         let stmt = parse(sql)?;
-        self.execute_statement(&stmt)
+        self.execute_statement(&stmt, sql)
     }
 
     /// Run a SELECT and return its rows.
@@ -261,6 +296,12 @@ impl Database {
             Err(e) => return (Err(e), None),
         };
         let (rows, metrics) = run_collect_governed(&physical, &self.exec_env(), governor, token);
+        if matches!(
+            &rows,
+            Err(EvoptError::Canceled(_) | EvoptError::ResourceExhausted(_))
+        ) {
+            self.record(|m| m.governor_kills.inc());
+        }
         (rows, Some(metrics))
     }
 
@@ -316,8 +357,145 @@ impl Database {
 
     /// Optimize a bound logical plan with the current configuration.
     pub fn optimize(&self, logical: &LogicalPlan) -> Result<PhysicalPlan> {
+        Ok(self.optimize_full(logical, false)?.0)
+    }
+
+    /// Apply `f` to the per-instance registry and the process-global one.
+    /// A no-op when metrics are disabled.
+    fn record(&self, f: impl Fn(&EngineMetrics)) {
+        if let Some(m) = &self.metrics {
+            f(m);
+            f(evopt_obs::global());
+        }
+    }
+
+    /// Optimize, recording optimizer metrics and (optionally) the full
+    /// search journal. Returns the plan, the trace (always present when
+    /// `want_trace` or metrics are on), and the optimize wall time in µs.
+    ///
+    /// When only metrics are on the sink is counts-only: exact
+    /// considered/pruned totals, zero event storage.
+    fn optimize_full(
+        &self,
+        logical: &LogicalPlan,
+        want_trace: bool,
+    ) -> Result<(PhysicalPlan, Option<SearchTrace>, u64)> {
         let cfg = self.config.lock().optimizer;
-        Optimizer::new(cfg).optimize(logical, &self.catalog)
+        let mut optimizer = Optimizer::new(cfg);
+        if want_trace {
+            optimizer = optimizer.with_trace(TraceSink::bounded(DEFAULT_TRACE_EVENTS));
+        } else if self.metrics.is_some() {
+            optimizer = optimizer.with_trace(TraceSink::counts_only());
+        }
+        let started = Instant::now();
+        let physical = optimizer.optimize(logical, &self.catalog)?;
+        let optimize_us = started.elapsed().as_micros() as u64;
+        let trace = optimizer.take_trace().map(TraceSink::into_trace);
+        if let Some(t) = &trace {
+            self.record(|m| {
+                m.optimize_calls.inc();
+                m.plans_considered.add(t.considered);
+                m.plans_pruned.add(t.pruned);
+                m.optimize_time_us.observe(optimize_us);
+            });
+        }
+        Ok((physical, trace, optimize_us))
+    }
+
+    /// Post-execution bookkeeping for a successful SELECT: query counters,
+    /// execute-time histogram, slow-query flagging, and the query-log
+    /// entry.
+    fn finish_select(
+        &self,
+        sql: &str,
+        physical: &PhysicalPlan,
+        actual_rows: u64,
+        optimize_us: u64,
+        execute_us: u64,
+        io: &IoSnapshot,
+    ) {
+        if self.metrics.is_none() {
+            return;
+        }
+        let slow = optimize_us + execute_us >= self.query_log.slow_threshold_us();
+        self.record(|m| {
+            m.queries.inc();
+            m.execute_time_us.observe(execute_us);
+            if slow {
+                m.slow_queries.inc();
+            }
+        });
+        self.query_log.record(QueryLogEntry {
+            sql: sql.to_string(),
+            plan_digest: physical.digest_hex(),
+            est_rows: physical.est_rows,
+            actual_rows,
+            optimize_us,
+            execute_us,
+            pages_read: io.reads,
+            pages_written: io.writes,
+            slow: false, // stamped by QueryLog::record against its threshold
+        });
+    }
+
+    /// Point-in-time metrics for this instance. Storage counters come from
+    /// the live pool/disk/injector (authoritative lifetime totals, DDL and
+    /// loads included); optimizer/executor/engine counters from the query
+    /// path. All zeros when `config.metrics` is off.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = match &self.metrics {
+            Some(m) => m.snapshot(),
+            None => EngineMetrics::default().snapshot(),
+        };
+        let pool = self.pool.stats();
+        snap.pool_hits = pool.hits;
+        snap.pool_misses = pool.misses;
+        snap.pool_evictions = pool.evictions;
+        snap.pool_retries = pool.retries;
+        snap.pool_corruptions = pool.corruptions;
+        let io = self.disk.snapshot();
+        snap.disk_reads = io.reads;
+        snap.disk_writes = io.writes;
+        if let Some(inj) = &self.injector {
+            let report = inj.report();
+            snap.faults_injected = report.total();
+            snap.silent_corruptions = report.silent_corruptions();
+        }
+        snap
+    }
+
+    /// Prometheus text exposition of [`Database::metrics_snapshot`].
+    pub fn metrics_text(&self) -> String {
+        self.metrics_snapshot().to_prometheus()
+    }
+
+    /// The ring buffer of recent queries (`SHOW QUERY LOG`).
+    pub fn query_log(&self) -> &QueryLog {
+        &self.query_log
+    }
+
+    /// Change the slow-query threshold for subsequent queries.
+    pub fn set_slow_query_threshold_us(&self, us: u64) {
+        self.query_log.set_slow_threshold_us(us);
+    }
+
+    /// Run a SELECT with the optimizer's full search journal attached.
+    /// The programmatic counterpart of `EXPLAIN TRACE`: same plan, same
+    /// rows as [`Database::query`] — tracing only observes.
+    pub fn query_traced(&self, sql: &str) -> Result<TracedQuery> {
+        match parse(sql)? {
+            Statement::Select(sel) => {
+                let logical = bind_select(&sel, &self.schema_provider())?;
+                let (plan, trace, _) = self.optimize_full(&logical, true)?;
+                let trace = trace
+                    .ok_or_else(|| EvoptError::Internal("trace requested but absent".into()))?;
+                let rows = self.run_plan(&plan)?;
+                Ok(TracedQuery { rows, plan, trace })
+            }
+            other => Err(EvoptError::Plan(format!(
+                "query_traced expects a SELECT, got {other:?}"
+            ))),
+        }
     }
 
     /// Execute a physical plan.
@@ -333,7 +511,12 @@ impl Database {
     fn exec_env(&self) -> ExecEnv {
         let cfg = self.config.lock();
         let buffer_pages = cfg.optimizer.cost_model.buffer_pages;
-        ExecEnv::new(Arc::clone(&self.catalog), buffer_pages).with_batch_rows(cfg.batch_rows)
+        let env =
+            ExecEnv::new(Arc::clone(&self.catalog), buffer_pages).with_batch_rows(cfg.batch_rows);
+        match &self.metrics {
+            Some(m) => env.with_metrics(Arc::clone(m)),
+            None => env,
+        }
     }
 
     /// Run a statement and report the physical I/O it performed.
@@ -405,32 +588,59 @@ impl Database {
         move |table: &str| -> Result<Schema> { Ok(self.catalog.table(table)?.schema.clone()) }
     }
 
-    fn execute_statement(&self, stmt: &Statement) -> Result<QueryResult> {
+    fn execute_statement(&self, stmt: &Statement, sql: &str) -> Result<QueryResult> {
         match stmt {
             Statement::Select(sel) => {
                 let logical = bind_select(sel, &self.schema_provider())?;
-                let physical = self.optimize(&logical)?;
+                let (physical, _, optimize_us) = self.optimize_full(&logical, false)?;
                 let governor = self.config.lock().governor;
-                if governor.is_unlimited() {
-                    let rows = self.run_plan(&physical)?;
-                    return Ok(QueryResult::Rows {
-                        schema: physical.schema.clone(),
-                        rows,
-                        metrics: None,
-                    });
-                }
-                // Session-governed SELECT: run under the limits; the
-                // instrumented metrics ride along on success.
-                let (rows, metrics) = run_collect_governed(
+                let pool_before = self.pool.stats();
+                let io_before = self.disk.snapshot();
+                let started = Instant::now();
+                let outcome = if governor.is_unlimited() {
+                    self.run_plan(&physical).map(|rows| (rows, None))
+                } else {
+                    // Session-governed SELECT: run under the limits; the
+                    // instrumented metrics ride along on success.
+                    let (rows, metrics) = run_collect_governed(
+                        &physical,
+                        &self.exec_env(),
+                        governor,
+                        CancellationToken::new(),
+                    );
+                    if matches!(
+                        &rows,
+                        Err(EvoptError::Canceled(_) | EvoptError::ResourceExhausted(_))
+                    ) {
+                        self.record(|m| m.governor_kills.inc());
+                    }
+                    rows.map(|rows| (rows, Some(Box::new(metrics))))
+                };
+                let execute_us = started.elapsed().as_micros() as u64;
+                let (rows, metrics) = outcome?;
+                let pool_delta = self.pool.stats().since(&pool_before);
+                let io_delta = self.disk.snapshot().since(&io_before);
+                self.finish_select(
+                    sql,
                     &physical,
-                    &self.exec_env(),
-                    governor,
-                    CancellationToken::new(),
+                    rows.len() as u64,
+                    optimize_us,
+                    execute_us,
+                    &io_delta,
                 );
+                self.record(|m| {
+                    m.pool_hits.add(pool_delta.hits);
+                    m.pool_misses.add(pool_delta.misses);
+                    m.pool_evictions.add(pool_delta.evictions);
+                    m.pool_retries.add(pool_delta.retries);
+                    m.pool_corruptions.add(pool_delta.corruptions);
+                    m.disk_reads.add(io_delta.reads);
+                    m.disk_writes.add(io_delta.writes);
+                });
                 Ok(QueryResult::Rows {
                     schema: physical.schema.clone(),
-                    rows: rows?,
-                    metrics: Some(Box::new(metrics)),
+                    rows,
+                    metrics,
                 })
             }
             Statement::CreateTable { name, columns } => {
@@ -571,24 +781,36 @@ impl Database {
                 self.catalog.drop_table(name)?;
                 Ok(QueryResult::Ok)
             }
-            Statement::Explain { analyze, inner } => match &**inner {
+            Statement::Explain {
+                analyze,
+                trace,
+                inner,
+            } => match &**inner {
                 Statement::Select(sel) => {
                     let logical = bind_select(sel, &self.schema_provider())?;
-                    let physical = self.optimize(&logical)?;
+                    let (physical, search_trace, optimize_us) =
+                        self.optimize_full(&logical, *trace)?;
                     let mut text = format!(
                         "== logical ==\n{}== physical ({}) ==\n{}",
                         logical.display_indent(),
                         self.optimizer_config().strategy.name(),
                         physical.display_indent()
                     );
+                    if *trace {
+                        if let Some(t) = &search_trace {
+                            text.push_str(&format!("== trace ({}) ==\n{}", t.strategy, t.render()));
+                        }
+                    }
                     if *analyze {
                         let (rows, metrics) = self.run_plan_instrumented(&physical)?;
                         text.push_str(&format!(
-                            "== measured ==\n{}rows: {}\npage reads: {}\npage writes: {}\n",
+                            "== measured ==\n{}rows: {}\npage reads: {}\npage writes: {}\n\
+                             plan digest: {}\noptimize time: {optimize_us}µs\n",
                             metrics.render(),
                             rows.len(),
                             metrics.disk_reads,
-                            metrics.disk_writes
+                            metrics.disk_writes,
+                            physical.digest_hex()
                         ));
                     }
                     Ok(QueryResult::Explained(text))
@@ -597,6 +819,47 @@ impl Database {
                     "EXPLAIN supports SELECT only, got {other:?}"
                 ))),
             },
+            Statement::ShowQueryLog => Ok(self.render_query_log()),
+        }
+    }
+
+    /// `SHOW QUERY LOG`: recent queries, newest first, as a rows result.
+    fn render_query_log(&self) -> QueryResult {
+        let schema = Schema::new(vec![
+            Column::new("sql", DataType::Str),
+            Column::new("plan_digest", DataType::Str),
+            Column::new("est_rows", DataType::Float),
+            Column::new("actual_rows", DataType::Int),
+            Column::new("q_error", DataType::Float),
+            Column::new("optimize_us", DataType::Int),
+            Column::new("execute_us", DataType::Int),
+            Column::new("pages_read", DataType::Int),
+            Column::new("pages_written", DataType::Int),
+            Column::new("slow", DataType::Bool),
+        ]);
+        let rows = self
+            .query_log
+            .entries()
+            .into_iter()
+            .map(|e| {
+                Tuple::new(vec![
+                    Value::Str(e.sql.clone()),
+                    Value::Str(e.plan_digest.clone()),
+                    Value::Float(e.est_rows),
+                    Value::Int(e.actual_rows as i64),
+                    Value::Float(e.q_error()),
+                    Value::Int(e.optimize_us as i64),
+                    Value::Int(e.execute_us as i64),
+                    Value::Int(e.pages_read as i64),
+                    Value::Int(e.pages_written as i64),
+                    Value::Bool(e.slow),
+                ])
+            })
+            .collect();
+        QueryResult::Rows {
+            schema,
+            rows,
+            metrics: None,
         }
     }
 

@@ -23,10 +23,13 @@
 
 pub mod database;
 
-pub use database::{Database, DatabaseConfig, QueryResult};
+pub use database::{Database, DatabaseConfig, QueryResult, TracedQuery};
 pub use evopt_catalog::{AnalyzeConfig, HistogramKind};
 pub use evopt_core::{CostModel, Strategy};
 pub use evopt_exec::{CancellationToken, GovernorConfig, OperatorMetrics, QueryMetrics};
+pub use evopt_obs::{
+    EngineMetrics, HistogramSnapshot, MetricsSnapshot, QueryLog, QueryLogEntry, SearchTrace,
+};
 pub use evopt_storage::{
     FaultConfig, FaultInjector, FaultReport, IoSnapshot, PolicyKind, PoolSnapshot,
 };

@@ -19,6 +19,10 @@ pub struct ExecEnv {
     pub buffer_pages: usize,
     /// Target rows per [`Batch`] produced by every operator. Always ≥ 1.
     pub batch_rows: usize,
+    /// Optional engine metrics registry. When present, root drains count
+    /// batches/rows and spilling operators count spill events; when
+    /// `None`, execution pays zero bookkeeping.
+    pub metrics: Option<Arc<evopt_obs::EngineMetrics>>,
 }
 
 impl ExecEnv {
@@ -27,6 +31,7 @@ impl ExecEnv {
             catalog,
             buffer_pages,
             batch_rows: DEFAULT_BATCH_ROWS,
+            metrics: None,
         }
     }
 
@@ -35,6 +40,32 @@ impl ExecEnv {
     pub fn with_batch_rows(mut self, batch_rows: usize) -> Self {
         self.batch_rows = batch_rows.max(1);
         self
+    }
+
+    /// Attach an engine metrics registry.
+    pub fn with_metrics(mut self, metrics: Arc<evopt_obs::EngineMetrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Record root-drain output volume, if metrics are attached. Mirrored
+    /// into the process-global registry so fleet-wide tooling sees every
+    /// environment.
+    pub(crate) fn record_output(&self, batches: u64, rows: u64) {
+        if let Some(m) = &self.metrics {
+            for m in [m.as_ref(), evopt_obs::global()] {
+                m.exec_batches.add(batches);
+                m.exec_rows.add(rows);
+            }
+        }
+    }
+
+    /// Record one operator spilling to disk, if metrics are attached.
+    pub(crate) fn record_spill(&self) {
+        if let Some(m) = &self.metrics {
+            m.exec_spills.inc();
+            evopt_obs::global().exec_spills.inc();
+        }
     }
 }
 
@@ -346,9 +377,12 @@ fn build_node(
 pub fn run_collect(plan: &PhysicalPlan, env: &ExecEnv) -> Result<Vec<Tuple>> {
     let mut exec = build_executor(plan, env)?;
     let mut out = Vec::new();
+    let mut batches = 0u64;
     while let Some(batch) = exec.next_batch()? {
+        batches += 1;
         out.extend(batch.into_rows());
     }
+    env.record_output(batches, out.len() as u64);
     Ok(out)
 }
 
@@ -364,9 +398,12 @@ pub fn run_collect_instrumented(
     let start = Instant::now();
     let (mut exec, registry) = build_instrumented(plan, env)?;
     let mut out = Vec::new();
+    let mut batches = 0u64;
     while let Some(batch) = exec.next_batch()? {
+        batches += 1;
         out.extend(batch.into_rows());
     }
+    env.record_output(batches, out.len() as u64);
     let elapsed = start.elapsed();
     let pool_delta = pool.stats().since(&pool_before);
     let io_delta = pool.disk().snapshot().since(&io_before);
@@ -403,12 +440,15 @@ pub fn run_collect_governed(
     let result = (|| {
         let mut exec = build_node(plan, &env, Some((&registry, 0)), Some(&governor))?;
         let mut out = Vec::new();
+        let mut batches = 0u64;
         while let Some(batch) = exec.next_batch()? {
             // The row budget is counted at the root drain: rows the query
             // *returns*, not intermediate tuples.
             governor.record_rows(batch.len() as u64)?;
+            batches += 1;
             out.extend(batch.into_rows());
         }
+        env.record_output(batches, out.len() as u64);
         Ok(out)
     })();
     let elapsed = start.elapsed();

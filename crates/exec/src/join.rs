@@ -534,6 +534,7 @@ impl HashJoinExec {
             return Ok(());
         }
         // Grace: partition both sides so each build partition fits.
+        self.env.record_spill();
         let parts = (bytes / budget + 2).max(2);
         let pool = self.env.catalog.pool();
         let mk_parts = || -> Result<Vec<Arc<HeapFile>>> {

@@ -134,6 +134,7 @@ impl SortExec {
             self.memory = Some(buffer.into_iter());
             return Ok(());
         }
+        self.env.record_spill();
         // Multi-pass merge down to <= fan_in runs.
         let fan_in = self.fan_in();
         while runs.len() > fan_in {

@@ -1,0 +1,42 @@
+//! # evopt-obs
+//!
+//! The observability substrate for evopt, three independent pieces:
+//!
+//! * [`trace`] — a bounded, interior-mutable [`trace::TraceSink`] the join
+//!   enumerators record *search* events into (plan considered, pruned and
+//!   by whom, interesting order kept, per-level table growth), frozen into
+//!   a [`trace::SearchTrace`] that `EXPLAIN TRACE` renders as a journal;
+//! * [`metrics`] — a lock-light registry of atomic [`metrics::Counter`]s,
+//!   [`metrics::Gauge`]s and fixed-bucket [`metrics::Histogram`]s, grouped
+//!   into the engine-wide [`metrics::EngineMetrics`] instance that backs
+//!   `Database::metrics_snapshot()` and the Prometheus-style
+//!   `Database::metrics_text()` dump;
+//! * [`query_log`] — a ring buffer of per-query [`query_log::QueryLogEntry`]
+//!   records (SQL, plan digest, est/actual rows, q-error, optimize/execute
+//!   wall time, page I/O) with a slow-query threshold, surfaced as the
+//!   virtual statement `SHOW QUERY LOG`.
+//!
+//! This crate deliberately depends on nothing above `evopt-common`'s level
+//! (in fact on nothing but the vendored `parking_lot`): trace events carry
+//! plain masks and cost components, so every layer of the engine can record
+//! into it without dependency cycles.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+pub mod metrics;
+pub mod query_log;
+pub mod trace;
+
+pub use metrics::{Counter, EngineMetrics, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot};
+pub use query_log::{QueryLog, QueryLogEntry, DEFAULT_QUERY_LOG_CAP, DEFAULT_SLOW_QUERY_US};
+pub use trace::{PruneReason, SearchTrace, TraceEvent, TraceSink, DEFAULT_TRACE_EVENTS};
+
+/// The process-wide [`EngineMetrics`] aggregate. Every `Database` records
+/// its engine-level counters (queries, optimizer work, query-path pool
+/// deltas) here *in addition* to its own instance, so long-lived tools —
+/// the bench `report` binary in particular — can dump cumulative counters
+/// across every database the process created.
+pub fn global() -> &'static EngineMetrics {
+    static GLOBAL: std::sync::OnceLock<EngineMetrics> = std::sync::OnceLock::new();
+    GLOBAL.get_or_init(EngineMetrics::default)
+}

@@ -1,0 +1,322 @@
+//! Lock-light metrics registry: atomic counters, gauges and fixed-bucket
+//! histograms, plus the [`EngineMetrics`] bundle the engine records into.
+//!
+//! Everything here is a relaxed atomic — no locks, no allocation on the
+//! hot path — so the executor and buffer pool can record per-batch and
+//! per-query without measurable overhead (EXPERIMENTS.md O2 pins the
+//! budget at ≤5% on the execution sweep).
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Relaxed);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// A last-write-wins instantaneous value.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// Upper bounds (µs) for latency histograms: 50µs … 1s, then +Inf.
+pub const TIME_BUCKETS_US: &[u64] = &[
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000,
+];
+
+/// A fixed-bucket histogram: one atomic per bucket plus sum and count.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: &'static [u64],
+    /// `bounds.len() + 1` buckets; the last is the +Inf overflow.
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    pub fn new(bounds: &'static [u64]) -> Self {
+        Histogram {
+            bounds,
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    pub fn observe(&self, v: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Relaxed);
+        self.sum.fetch_add(v, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.to_vec(),
+            counts: self.buckets.iter().map(|b| b.load(Relaxed)).collect(),
+            sum: self.sum.load(Relaxed),
+            count: self.count.load(Relaxed),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new(TIME_BUCKETS_US)
+    }
+}
+
+/// A point-in-time copy of one [`Histogram`].
+#[derive(Debug, Clone, Default)]
+pub struct HistogramSnapshot {
+    pub bounds: Vec<u64>,
+    pub counts: Vec<u64>,
+    pub sum: u64,
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    fn render_prometheus(&self, name: &str, out: &mut String) {
+        out.push_str(&format!("# TYPE {name} histogram\n"));
+        let mut cumulative = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            let le = match self.bounds.get(i) {
+                Some(b) => b.to_string(),
+                None => "+Inf".to_string(),
+            };
+            out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+        }
+        out.push_str(&format!("{name}_sum {}\n", self.sum));
+        out.push_str(&format!("{name}_count {}\n", self.count));
+    }
+}
+
+/// The engine-wide registry: every counter the engine records, one field
+/// per metric. `Database` holds one per instance and mirrors its
+/// engine-level recordings into [`crate::global`].
+///
+/// The `pool_*`/`disk_*` fields accumulate *query-path deltas* (pages
+/// touched by queries the engine measured). A per-database
+/// `metrics_snapshot()` overwrites those with live buffer-pool totals —
+/// authoritative, and inclusive of DDL/ANALYZE traffic — while the global
+/// aggregate reports the accumulated deltas across every database.
+#[derive(Debug, Default)]
+pub struct EngineMetrics {
+    // -- storage (query-path deltas; see type docs) -------------------------
+    pub pool_hits: Counter,
+    pub pool_misses: Counter,
+    pub pool_evictions: Counter,
+    pub pool_retries: Counter,
+    pub pool_corruptions: Counter,
+    pub disk_reads: Counter,
+    pub disk_writes: Counter,
+    // -- optimizer ----------------------------------------------------------
+    pub optimize_calls: Counter,
+    pub plans_considered: Counter,
+    pub plans_pruned: Counter,
+    pub optimize_time_us: Histogram,
+    // -- executor -----------------------------------------------------------
+    pub exec_batches: Counter,
+    pub exec_rows: Counter,
+    pub exec_spills: Counter,
+    pub execute_time_us: Histogram,
+    // -- engine -------------------------------------------------------------
+    pub queries: Counter,
+    pub slow_queries: Counter,
+    pub governor_kills: Counter,
+    pub faults_injected: Counter,
+    pub silent_corruptions: Counter,
+}
+
+impl EngineMetrics {
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            pool_hits: self.pool_hits.get(),
+            pool_misses: self.pool_misses.get(),
+            pool_evictions: self.pool_evictions.get(),
+            pool_retries: self.pool_retries.get(),
+            pool_corruptions: self.pool_corruptions.get(),
+            disk_reads: self.disk_reads.get(),
+            disk_writes: self.disk_writes.get(),
+            optimize_calls: self.optimize_calls.get(),
+            plans_considered: self.plans_considered.get(),
+            plans_pruned: self.plans_pruned.get(),
+            optimize_time_us: self.optimize_time_us.snapshot(),
+            exec_batches: self.exec_batches.get(),
+            exec_rows: self.exec_rows.get(),
+            exec_spills: self.exec_spills.get(),
+            execute_time_us: self.execute_time_us.snapshot(),
+            queries: self.queries.get(),
+            slow_queries: self.slow_queries.get(),
+            governor_kills: self.governor_kills.get(),
+            faults_injected: self.faults_injected.get(),
+            silent_corruptions: self.silent_corruptions.get(),
+        }
+    }
+}
+
+/// A point-in-time copy of every engine metric, renderable as a
+/// Prometheus-style text dump.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    pub pool_hits: u64,
+    pub pool_misses: u64,
+    pub pool_evictions: u64,
+    pub pool_retries: u64,
+    pub pool_corruptions: u64,
+    pub disk_reads: u64,
+    pub disk_writes: u64,
+    pub optimize_calls: u64,
+    pub plans_considered: u64,
+    pub plans_pruned: u64,
+    pub optimize_time_us: HistogramSnapshot,
+    pub exec_batches: u64,
+    pub exec_rows: u64,
+    pub exec_spills: u64,
+    pub execute_time_us: HistogramSnapshot,
+    pub queries: u64,
+    pub slow_queries: u64,
+    pub governor_kills: u64,
+    pub faults_injected: u64,
+    pub silent_corruptions: u64,
+}
+
+impl MetricsSnapshot {
+    /// Buffer-pool hit rate over the captured window.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.pool_hits + self.pool_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.pool_hits as f64 / total as f64
+        }
+    }
+
+    /// Prometheus text exposition of every metric, `evopt_`-prefixed.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let counters = [
+            ("evopt_pool_hits_total", self.pool_hits),
+            ("evopt_pool_misses_total", self.pool_misses),
+            ("evopt_pool_evictions_total", self.pool_evictions),
+            ("evopt_pool_checksum_retries_total", self.pool_retries),
+            ("evopt_pool_corruptions_total", self.pool_corruptions),
+            ("evopt_disk_reads_total", self.disk_reads),
+            ("evopt_disk_writes_total", self.disk_writes),
+            ("evopt_optimize_calls_total", self.optimize_calls),
+            ("evopt_plans_considered_total", self.plans_considered),
+            ("evopt_plans_pruned_total", self.plans_pruned),
+            ("evopt_exec_batches_total", self.exec_batches),
+            ("evopt_exec_rows_total", self.exec_rows),
+            ("evopt_exec_spills_total", self.exec_spills),
+            ("evopt_queries_total", self.queries),
+            ("evopt_slow_queries_total", self.slow_queries),
+            ("evopt_governor_kills_total", self.governor_kills),
+            ("evopt_faults_injected_total", self.faults_injected),
+            ("evopt_silent_corruptions_total", self.silent_corruptions),
+        ];
+        for (name, v) in counters {
+            out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+        }
+        self.optimize_time_us
+            .render_prometheus("evopt_optimize_time_us", &mut out);
+        self.execute_time_us
+            .render_prometheus("evopt_execute_time_us", &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let c = Counter::default();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::default();
+        g.set(17);
+        assert_eq!(g.get(), 17);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let h = Histogram::new(&[10, 100]);
+        h.observe(5); // bucket 0
+        h.observe(10); // bucket 0 (le is inclusive)
+        h.observe(50); // bucket 1
+        h.observe(1_000); // overflow
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![2, 1, 1]);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 1_065);
+        assert!((s.mean() - 266.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prometheus_dump_is_cumulative_and_complete() {
+        let m = EngineMetrics::default();
+        m.pool_hits.add(3);
+        m.queries.inc();
+        m.optimize_time_us.observe(80);
+        m.optimize_time_us.observe(9_999_999); // overflow bucket
+        let text = m.snapshot().to_prometheus();
+        assert!(text.contains("evopt_pool_hits_total 3"));
+        assert!(text.contains("evopt_queries_total 1"));
+        assert!(text.contains("evopt_optimize_time_us_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("evopt_optimize_time_us_count 2"));
+        // Buckets are cumulative: the le="100" bucket already holds the 80µs
+        // observation.
+        assert!(text.contains("evopt_optimize_time_us_bucket{le=\"100\"} 1"));
+    }
+
+    #[test]
+    fn hit_rate_handles_empty_window() {
+        let s = MetricsSnapshot::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        let s = MetricsSnapshot {
+            pool_hits: 3,
+            pool_misses: 1,
+            ..MetricsSnapshot::default()
+        };
+        assert_eq!(s.hit_rate(), 0.75);
+    }
+}

@@ -143,6 +143,10 @@ pub enum Statement {
     },
     Explain {
         analyze: bool,
+        /// `EXPLAIN TRACE`: include the optimizer's search journal.
+        trace: bool,
         inner: Box<Statement>,
     },
+    /// `SHOW QUERY LOG`: the engine's ring buffer of recent queries.
+    ShowQueryLog,
 }

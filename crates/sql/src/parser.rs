@@ -95,12 +95,22 @@ impl Parser {
 
     fn statement(&mut self) -> Result<Statement> {
         if self.eat_kw("explain") {
-            let analyze = self.eat_kw("analyze");
+            // Accept ANALYZE and TRACE in either order.
+            let mut analyze = self.eat_kw("analyze");
+            let trace = self.eat_kw("trace");
+            analyze = analyze || self.eat_kw("analyze");
             let inner = self.statement()?;
             return Ok(Statement::Explain {
                 analyze,
+                trace,
                 inner: Box::new(inner),
             });
+        }
+        if self.eat_kw("show") {
+            if self.eat_kw("query") && self.eat_kw("log") {
+                return Ok(Statement::ShowQueryLog);
+            }
+            return Err(EvoptError::Parse("expected QUERY LOG after SHOW".into()));
         }
         if self.eat_kw("select") {
             return Ok(Statement::Select(self.select()?));
@@ -823,13 +833,49 @@ mod tests {
             Statement::DropTable { name: "t".into() }
         );
         match parse("EXPLAIN SELECT 1").unwrap() {
-            Statement::Explain { analyze: false, .. } => {}
+            Statement::Explain {
+                analyze: false,
+                trace: false,
+                ..
+            } => {}
             other => panic!("{other:?}"),
         }
         match parse("EXPLAIN ANALYZE SELECT 1").unwrap() {
-            Statement::Explain { analyze: true, .. } => {}
+            Statement::Explain {
+                analyze: true,
+                trace: false,
+                ..
+            } => {}
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn explain_trace_and_show_query_log() {
+        match parse("EXPLAIN TRACE SELECT 1").unwrap() {
+            Statement::Explain {
+                analyze: false,
+                trace: true,
+                ..
+            } => {}
+            other => panic!("{other:?}"),
+        }
+        // ANALYZE and TRACE compose in either order.
+        for sql in [
+            "EXPLAIN ANALYZE TRACE SELECT 1",
+            "EXPLAIN TRACE ANALYZE SELECT 1",
+        ] {
+            match parse(sql).unwrap() {
+                Statement::Explain {
+                    analyze: true,
+                    trace: true,
+                    ..
+                } => {}
+                other => panic!("{sql}: {other:?}"),
+            }
+        }
+        assert_eq!(parse("SHOW QUERY LOG").unwrap(), Statement::ShowQueryLog);
+        assert!(parse("SHOW TABLES").is_err());
     }
 
     #[test]

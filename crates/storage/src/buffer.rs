@@ -160,6 +160,8 @@ struct Inner {
 pub struct PoolSnapshot {
     pub hits: u64,
     pub misses: u64,
+    /// Frames reclaimed from a resident page to make room for another.
+    pub evictions: u64,
     /// Physical page ops re-attempted after a transient fault (I/O error or
     /// checksum mismatch that healed on re-read).
     pub retries: u64,
@@ -170,12 +172,22 @@ pub struct PoolSnapshot {
 
 impl PoolSnapshot {
     /// Pool accesses since `earlier`. Counters are monotonic (only ever
-    /// incremented, while the pool lock is held), so saturating subtraction
-    /// is purely defensive.
+    /// incremented, while the pool lock is held), so `earlier` must be the
+    /// older snapshot — debug builds assert that; release builds saturate
+    /// rather than underflow.
     pub fn since(&self, earlier: &PoolSnapshot) -> PoolSnapshot {
+        debug_assert!(
+            self.hits >= earlier.hits
+                && self.misses >= earlier.misses
+                && self.evictions >= earlier.evictions
+                && self.retries >= earlier.retries
+                && self.corruptions >= earlier.corruptions,
+            "PoolSnapshot::since called with a newer `earlier`: {earlier:?} vs {self:?}"
+        );
         PoolSnapshot {
             hits: self.hits.saturating_sub(earlier.hits),
             misses: self.misses.saturating_sub(earlier.misses),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
             retries: self.retries.saturating_sub(earlier.retries),
             corruptions: self.corruptions.saturating_sub(earlier.corruptions),
         }
@@ -206,6 +218,7 @@ pub struct BufferPool {
     // serialized and strictly monotonic); reads are lock-free.
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
     retries: AtomicU64,
     corruptions: AtomicU64,
     /// CRC-32 stamped at every flush, verified at every physical fetch.
@@ -241,6 +254,7 @@ impl BufferPool {
             capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
             retries: AtomicU64::new(0),
             corruptions: AtomicU64::new(0),
             checksums: Mutex::new(HashMap::new()),
@@ -268,6 +282,7 @@ impl BufferPool {
         PoolSnapshot {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
             corruptions: self.corruptions.load(Ordering::Relaxed),
         }
@@ -432,6 +447,7 @@ impl BufferPool {
         }
         inner.table.remove(&old_id);
         inner.frames[victim].page_id = None;
+        self.evictions.fetch_add(1, Ordering::Relaxed);
         Ok(victim)
     }
 

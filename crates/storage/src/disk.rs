@@ -31,11 +31,19 @@ pub struct IoSnapshot {
 }
 
 impl IoSnapshot {
-    /// Physical I/Os since `earlier`. Counters are monotonic, so saturating
-    /// subtraction is purely defensive — but it keeps interleaved snapshots
-    /// (e.g. a reset racing a measurement) from underflow-panicking in
-    /// debug builds, matching `PoolSnapshot::since`.
+    /// Physical I/Os since `earlier`. Counters are monotonic, so `earlier`
+    /// must be the older snapshot — debug builds assert that; release
+    /// builds saturate rather than underflow, matching
+    /// `PoolSnapshot::since`.
     pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        debug_assert!(
+            self.reads >= earlier.reads
+                && self.writes >= earlier.writes
+                && self.allocations >= earlier.allocations
+                && self.read_faults >= earlier.read_faults
+                && self.write_faults >= earlier.write_faults,
+            "IoSnapshot::since called with a newer `earlier`: {earlier:?} vs {self:?}"
+        );
         IoSnapshot {
             reads: self.reads.saturating_sub(earlier.reads),
             writes: self.writes.saturating_sub(earlier.writes),
@@ -249,10 +257,12 @@ mod tests {
     }
 
     #[test]
-    fn since_saturates_instead_of_underflowing() {
-        // An "earlier" snapshot taken after a reset can be numerically
-        // larger than a "later" one; the delta clamps to zero instead of
-        // panicking in debug builds.
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "newer `earlier`")]
+    fn since_with_newer_earlier_panics_in_debug() {
+        // Misordered arguments (e.g. an "earlier" snapshot taken after a
+        // reset) are a caller bug: debug builds assert; release builds
+        // saturate to zero instead of underflowing.
         let disk = DiskManager::new();
         let id = disk.allocate_page();
         let buf = [0u8; PAGE_SIZE];
@@ -260,7 +270,41 @@ mod tests {
         let busy = disk.snapshot();
         disk.reset_stats();
         let idle = disk.snapshot();
-        let delta = idle.since(&busy);
-        assert_eq!(delta, IoSnapshot::default());
+        let _ = idle.since(&busy);
+    }
+
+    #[test]
+    fn snapshots_are_monotonic_under_concurrent_traffic() {
+        // Readers racing with writers must never observe counters going
+        // backwards, and well-ordered deltas must add up.
+        let disk = std::sync::Arc::new(DiskManager::new());
+        let id = disk.allocate_page();
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let reader = {
+            let disk = std::sync::Arc::clone(&disk);
+            let stop = std::sync::Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut prev = disk.snapshot();
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let cur = disk.snapshot();
+                    assert!(cur.reads >= prev.reads, "reads went backwards");
+                    assert!(cur.writes >= prev.writes, "writes went backwards");
+                    let _ = cur.since(&prev);
+                    prev = cur;
+                }
+            })
+        };
+        let before = disk.snapshot();
+        let buf = [0u8; PAGE_SIZE];
+        let mut out = [0u8; PAGE_SIZE];
+        for _ in 0..2_000 {
+            disk.write_page(id, &buf).unwrap();
+            disk.read_page(id, &mut out).unwrap();
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        reader.join().unwrap();
+        let delta = disk.snapshot().since(&before);
+        assert_eq!(delta.reads, 2_000);
+        assert_eq!(delta.writes, 2_000);
     }
 }

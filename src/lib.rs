@@ -49,6 +49,7 @@ pub use evopt_common as common;
 pub use evopt_core as core;
 pub use evopt_engine as engine;
 pub use evopt_exec as exec;
+pub use evopt_obs as obs;
 pub use evopt_plan as plan;
 pub use evopt_sql as sql;
 pub use evopt_storage as storage;
@@ -57,7 +58,8 @@ pub use evopt_workload as workload;
 pub use evopt_common::{Column, DataType, Schema, Tuple, Value};
 pub use evopt_core::{CostModel, Optimizer, OptimizerConfig, Strategy};
 pub use evopt_engine::{
-    AnalyzeConfig, CancellationToken, Database, DatabaseConfig, FaultConfig, FaultInjector,
-    FaultReport, GovernorConfig, HistogramKind, OperatorMetrics, PolicyKind, PoolSnapshot,
-    QueryMetrics, QueryResult,
+    AnalyzeConfig, CancellationToken, Database, DatabaseConfig, EngineMetrics, FaultConfig,
+    FaultInjector, FaultReport, GovernorConfig, HistogramKind, MetricsSnapshot, OperatorMetrics,
+    PolicyKind, PoolSnapshot, QueryLog, QueryLogEntry, QueryMetrics, QueryResult, SearchTrace,
+    TracedQuery,
 };

@@ -67,6 +67,21 @@ fn explain_analyze_output_shape() {
     assert!(text.contains("page writes"), "{text}");
     assert!(text.contains("max q-error:"), "{text}");
     assert!(text.contains("rows: 10"), "{text}");
+    // Plan identity and optimizer cost ride along with the measurements.
+    assert!(text.contains("plan digest: "), "{text}");
+    assert!(text.contains("optimize time: "), "{text}");
+}
+
+#[test]
+fn explain_analyze_digest_matches_plan_sql() {
+    let db = fixture();
+    let sql = "SELECT e.id, d.name FROM emp e JOIN dept d ON e.dept_id = d.id";
+    let (_, physical) = db.plan_sql(sql).unwrap();
+    let text = db.explain_analyze(sql).unwrap();
+    assert!(
+        text.contains(&format!("plan digest: {}", physical.digest_hex())),
+        "digest in EXPLAIN ANALYZE differs from plan_sql:\n{text}"
+    );
 }
 
 #[test]

@@ -1,0 +1,357 @@
+//! Integration tests for the observability layer: the optimizer search
+//! trace (`EXPLAIN TRACE`), the engine metrics registry, and the query log
+//! (`SHOW QUERY LOG`).
+//!
+//! The load-bearing property is that observation never perturbs the
+//! observed: tracing a query must not change the chosen plan or its
+//! result, and metrics must be pure accounting.
+
+use evopt::{Database, DatabaseConfig, QueryResult, Strategy, Tuple, Value};
+use evopt_workload::tpch_lite::queries;
+use evopt_workload::{load_tpch_lite, load_wisconsin};
+
+/// Order-insensitive fingerprint of a result set.
+fn normalized(rows: &[Tuple]) -> Vec<String> {
+    let mut keys: Vec<String> = rows.iter().map(|t| format!("{t:?}")).collect();
+    keys.sort();
+    keys
+}
+
+/// Wisconsin + TPC-H-lite + an empty table: the batch-equivalence fixture.
+fn fixture() -> Database {
+    let db = Database::with_defaults();
+    load_wisconsin(&db, "wisc", 2500, 11).unwrap();
+    db.execute("CREATE UNIQUE INDEX wisc_u1 ON wisc (unique1)")
+        .unwrap();
+    db.execute("CREATE TABLE empty_t (x INT, y STRING)")
+        .unwrap();
+    load_tpch_lite(&db, 0.2, 23).unwrap();
+    db.execute("ANALYZE").unwrap();
+    db
+}
+
+/// The batch-equivalence SQL battery: one query per operator family plus
+/// the edge cases (kept in sync with `tests/batch_equivalence.rs`).
+fn query_battery() -> Vec<&'static str> {
+    vec![
+        "SELECT unique1, stringu1 FROM wisc",
+        "SELECT unique1 * 2, ten_pct FROM wisc WHERE one_pct < 7",
+        "SELECT * FROM wisc WHERE odd = 1 AND ten_pct BETWEEN 2 AND 5",
+        "SELECT * FROM wisc WHERE unique1 < 0",
+        "SELECT * FROM empty_t WHERE x > 0",
+        "SELECT COUNT(*), SUM(x) FROM empty_t",
+        "SELECT y, COUNT(*) FROM empty_t GROUP BY y",
+        "SELECT * FROM empty_t ORDER BY x",
+        "SELECT stringu1 FROM wisc WHERE unique1 = 1234",
+        "SELECT unique1 FROM wisc WHERE unique1 BETWEEN 100 AND 300",
+        "SELECT unique1 FROM wisc WHERE unique1 < 500 AND odd = 0",
+        "SELECT unique2 FROM wisc LIMIT 7",
+        "SELECT unique1 FROM wisc ORDER BY unique1 LIMIT 1500",
+        "SELECT unique2 FROM wisc LIMIT 0",
+        "SELECT unique1, stringu1 FROM wisc ORDER BY unique1",
+        "SELECT one_pct, unique2 FROM wisc ORDER BY one_pct, unique2",
+        "SELECT COUNT(*), SUM(unique1), MIN(unique1), MAX(unique1), AVG(ten_pct) FROM wisc",
+        "SELECT ten_pct, COUNT(*) AS n, SUM(unique2) FROM wisc GROUP BY ten_pct ORDER BY ten_pct",
+        "SELECT DISTINCT twenty_pct FROM wisc ORDER BY twenty_pct",
+        queries::REVENUE_PER_NATION,
+        queries::CUSTOMER_ORDERS,
+        queries::SHIPPED_BIG_ORDERS,
+    ]
+}
+
+/// Five chained tables for join-order enumeration tests. No GROUP BY in
+/// the test queries: an aggregate's order-hint probe enumerates the join
+/// subtree twice, which would make counters and memo size incomparable.
+fn five_way_fixture() -> Database {
+    let db = Database::with_defaults();
+    for (i, rows) in [40i64, 200, 1000, 25, 500].iter().enumerate() {
+        let t = format!("t{i}");
+        db.execute(&format!("CREATE TABLE {t} (k INT NOT NULL, v INT)"))
+            .unwrap();
+        let tuples: Vec<Tuple> = (0..*rows)
+            .map(|r| Tuple::new(vec![Value::Int(r % 40), Value::Int(r)]))
+            .collect();
+        db.insert_tuples(&t, &tuples).unwrap();
+    }
+    db.execute("ANALYZE").unwrap();
+    db
+}
+
+const FIVE_WAY_SQL: &str = "SELECT t0.v FROM t0 \
+     JOIN t1 ON t0.k = t1.k \
+     JOIN t2 ON t1.k = t2.k \
+     JOIN t3 ON t2.k = t3.k \
+     JOIN t4 ON t3.k = t4.k";
+
+// -- EXPLAIN TRACE ----------------------------------------------------------
+
+#[test]
+fn explain_trace_renders_search_journal() {
+    let db = five_way_fixture();
+    let text = match db
+        .execute(&format!("EXPLAIN TRACE {FIVE_WAY_SQL}"))
+        .unwrap()
+    {
+        QueryResult::Explained(text) => text,
+        other => panic!("{other:?}"),
+    };
+    assert!(text.contains("== logical =="), "{text}");
+    assert!(text.contains("== physical (system-r) =="), "{text}");
+    assert!(text.contains("== trace (system-r) =="), "{text}");
+    assert!(text.contains("plans considered: "), "{text}");
+    assert!(text.contains("pruned: "), "{text}");
+    assert!(text.contains("retained: "), "{text}");
+    assert!(text.contains("memo entries: "), "{text}");
+    assert!(text.contains("enumeration time: "), "{text}");
+    assert!(text.contains("level 1: table="), "{text}");
+    assert!(text.contains("level 5: table="), "{text}");
+    assert!(text.contains("+ consider"), "{text}");
+    assert!(text.contains("- prune"), "{text}");
+}
+
+#[test]
+fn explain_trace_composes_with_analyze() {
+    let db = five_way_fixture();
+    for sql in [
+        format!("EXPLAIN TRACE ANALYZE {FIVE_WAY_SQL}"),
+        format!("EXPLAIN ANALYZE TRACE {FIVE_WAY_SQL}"),
+    ] {
+        let text = match db.execute(&sql).unwrap() {
+            QueryResult::Explained(text) => text,
+            other => panic!("{other:?}"),
+        };
+        assert!(text.contains("== trace (system-r) =="), "{text}");
+        assert!(text.contains("== measured =="), "{text}");
+        assert!(text.contains("plan digest: "), "{text}");
+    }
+}
+
+#[test]
+fn five_way_join_trace_counts_are_consistent() {
+    // The acceptance criterion: on a 5-way join, considered/pruned must be
+    // consistent with the DP table — every plan routed into the dominance
+    // table either survives in the memo or was pruned exactly once.
+    let db = five_way_fixture();
+    let traced = db.query_traced(FIVE_WAY_SQL).unwrap();
+    let t = &traced.trace;
+    assert!(t.considered > 0);
+    assert!(t.memo_entries > 0);
+    assert_eq!(
+        t.considered,
+        t.pruned + t.memo_entries as u64,
+        "considered {} != pruned {} + memo {}",
+        t.considered,
+        t.pruned,
+        t.memo_entries
+    );
+    assert_eq!(t.retained(), t.memo_entries as u64);
+    // System R DP fills one level per join size: 1..=5.
+    let levels: Vec<u32> = t.levels.iter().map(|l| l.level).collect();
+    assert_eq!(levels, vec![1, 2, 3, 4, 5], "{levels:?}");
+}
+
+#[test]
+fn dp_considers_strictly_more_plans_than_greedy() {
+    let db = five_way_fixture();
+    db.set_strategy(Strategy::SystemR);
+    let dp = db.query_traced(FIVE_WAY_SQL).unwrap();
+    db.set_strategy(Strategy::Greedy);
+    let greedy = db.query_traced(FIVE_WAY_SQL).unwrap();
+    assert!(
+        dp.trace.considered > greedy.trace.considered,
+        "dp_sysr considered {}, greedy {}",
+        dp.trace.considered,
+        greedy.trace.considered
+    );
+    // Both strategies still agree on the answer.
+    assert_eq!(normalized(&dp.rows), normalized(&greedy.rows));
+}
+
+// -- trace overhead: observation never perturbs -----------------------------
+
+#[test]
+fn tracing_never_changes_plan_or_result() {
+    // The differential acceptance test: across the whole batch-equivalence
+    // battery, EXPLAIN TRACE / query_traced picks the same plan (by
+    // digest) and returns the same rows as the plain path.
+    let db = fixture();
+    for sql in query_battery() {
+        let plain_rows = db.query(sql).unwrap();
+        let (_, plain_plan) = db.plan_sql(sql).unwrap();
+        let traced = db.query_traced(sql).unwrap();
+        assert_eq!(
+            plain_plan.digest_hex(),
+            traced.plan.digest_hex(),
+            "tracing changed the chosen plan for {sql}"
+        );
+        assert_eq!(
+            normalized(&plain_rows),
+            normalized(&traced.rows),
+            "tracing changed the result of {sql}"
+        );
+        // Single-table queries enumerate no join orders; every join query
+        // must have recorded search work.
+        if sql.contains("JOIN") {
+            assert!(traced.trace.considered > 0, "no search recorded for {sql}");
+        }
+        // The rendered journal never panics and always carries the header.
+        assert!(traced.trace.render().contains("plans considered: "));
+    }
+}
+
+// -- SHOW QUERY LOG ---------------------------------------------------------
+
+#[test]
+fn show_query_log_returns_recent_queries() {
+    let db = fixture();
+    let battery = [
+        "SELECT COUNT(*) FROM wisc",
+        "SELECT unique2 FROM wisc LIMIT 7",
+    ];
+    for sql in battery {
+        db.query(sql).unwrap();
+    }
+    let (schema, rows) = match db.execute("SHOW QUERY LOG").unwrap() {
+        QueryResult::Rows { schema, rows, .. } => (schema, rows),
+        other => panic!("{other:?}"),
+    };
+    let col = |name: &str| schema.resolve(None, name).unwrap();
+    // Newest first; ANALYZE/DDL/SHOW don't enter the log.
+    assert!(rows.len() >= battery.len());
+    assert_eq!(
+        rows[0].value(col("sql")).unwrap(),
+        &Value::Str(battery[1].into())
+    );
+    assert_eq!(
+        rows[1].value(col("sql")).unwrap(),
+        &Value::Str(battery[0].into())
+    );
+    for row in &rows {
+        // q-error is well-defined (≥ 1) for every entry.
+        match row.value(col("q_error")).unwrap() {
+            Value::Float(q) => assert!(*q >= 1.0, "q-error {q} < 1"),
+            other => panic!("{other:?}"),
+        }
+        match row.value(col("plan_digest")).unwrap() {
+            Value::Str(d) => assert_eq!(d.len(), 16, "digest {d:?}"),
+            other => panic!("{other:?}"),
+        }
+    }
+    // COUNT(*) estimates one output row exactly: q-error 1, LIMIT 7 got 7.
+    assert_eq!(rows[1].value(col("actual_rows")).unwrap(), &Value::Int(1));
+    assert_eq!(rows[0].value(col("actual_rows")).unwrap(), &Value::Int(7));
+}
+
+#[test]
+fn slow_query_flagging_respects_threshold() {
+    let db = fixture();
+    db.query("SELECT COUNT(*) FROM wisc").unwrap();
+    let log = db.query_log().entries();
+    assert!(!log[0].slow, "default 250ms threshold flagged a tiny query");
+    // Threshold 0: everything is slow.
+    db.set_slow_query_threshold_us(0);
+    db.query("SELECT COUNT(*) FROM wisc").unwrap();
+    let log = db.query_log().entries();
+    assert!(log[0].slow);
+    assert!(db.metrics_snapshot().slow_queries >= 1);
+}
+
+#[test]
+fn query_log_is_a_bounded_ring() {
+    let db = Database::new(DatabaseConfig {
+        query_log_cap: 4,
+        ..Default::default()
+    });
+    db.execute("CREATE TABLE t (x INT)").unwrap();
+    db.execute("INSERT INTO t VALUES (1), (2), (3)").unwrap();
+    for i in 0..10 {
+        db.query(&format!("SELECT x FROM t WHERE x > {i}")).unwrap();
+    }
+    let entries = db.query_log().entries();
+    assert_eq!(entries.len(), 4);
+    // Newest first: the last query issued leads.
+    assert_eq!(entries[0].sql, "SELECT x FROM t WHERE x > 9");
+    assert_eq!(entries[3].sql, "SELECT x FROM t WHERE x > 6");
+}
+
+// -- metrics registry -------------------------------------------------------
+
+#[test]
+fn metrics_snapshot_counts_engine_activity() {
+    let db = fixture();
+    let before = db.metrics_snapshot();
+    let n = 5u64;
+    for _ in 0..n {
+        // A join: exercises the enumerator so plans_considered moves.
+        db.query(queries::CUSTOMER_ORDERS).unwrap();
+    }
+    let snap = db.metrics_snapshot();
+    assert_eq!(snap.queries - before.queries, n);
+    assert_eq!(snap.optimize_calls - before.optimize_calls, n);
+    assert!(snap.plans_considered > before.plans_considered);
+    assert!(snap.exec_rows > before.exec_rows);
+    assert!(snap.exec_batches > before.exec_batches);
+    assert_eq!(
+        snap.optimize_time_us.count - before.optimize_time_us.count,
+        n
+    );
+    assert_eq!(snap.execute_time_us.count - before.execute_time_us.count, n);
+    // Storage section is live pool/disk state: the fixture load alone did
+    // plenty of traffic.
+    assert!(snap.pool_hits + snap.pool_misses > 0);
+    assert!(snap.hit_rate() > 0.0 && snap.hit_rate() <= 1.0);
+}
+
+#[test]
+fn metrics_text_is_prometheus_shaped() {
+    let db = fixture();
+    db.query("SELECT COUNT(*) FROM wisc").unwrap();
+    let text = db.metrics_text();
+    for needle in [
+        "# TYPE evopt_queries_total counter",
+        "evopt_pool_hits_total ",
+        "evopt_plans_considered_total ",
+        "evopt_exec_rows_total ",
+        "evopt_optimize_time_us_bucket{le=\"+Inf\"}",
+        "evopt_execute_time_us_sum ",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+}
+
+#[test]
+fn metrics_disabled_is_inert() {
+    let db = Database::new(DatabaseConfig {
+        metrics: false,
+        ..Default::default()
+    });
+    db.execute("CREATE TABLE t (x INT)").unwrap();
+    db.execute("INSERT INTO t VALUES (1), (2)").unwrap();
+    db.query("SELECT * FROM t").unwrap();
+    let snap = db.metrics_snapshot();
+    // Engine counters stay zero; the query log records nothing.
+    assert_eq!(snap.queries, 0);
+    assert_eq!(snap.optimize_calls, 0);
+    assert_eq!(snap.exec_rows, 0);
+    assert!(db.query_log().is_empty());
+    // The storage section still reflects live pool state.
+    assert!(snap.pool_hits + snap.pool_misses > 0);
+}
+
+#[test]
+fn governor_kills_are_counted() {
+    use evopt::{CancellationToken, GovernorConfig};
+    let db = fixture();
+    let before = db.metrics_snapshot().governor_kills;
+    let governor = GovernorConfig {
+        max_rows: Some(5),
+        ..Default::default()
+    };
+    let (rows, _) = db.query_governed(
+        "SELECT unique1 FROM wisc",
+        governor,
+        CancellationToken::new(),
+    );
+    assert!(rows.is_err());
+    assert_eq!(db.metrics_snapshot().governor_kills, before + 1);
+}
