@@ -8,7 +8,7 @@
 
 use evopt_bench::*;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let wanted: Vec<String> = args
@@ -59,6 +59,7 @@ fn main() {
 
     if ran == 0 {
         eprintln!("unknown experiment id(s) {wanted:?}; expected t1..t5, f1..f5, a1, or all");
-        std::process::exit(2);
+        return std::process::ExitCode::from(2);
     }
+    std::process::ExitCode::SUCCESS
 }

@@ -12,6 +12,11 @@
 //! `cargo run -p evopt-bench --release --bin report -- all` regenerates
 //! everything.
 
+// The experiment harness reports broken setup by panicking, exactly like
+// a test: the run must abort loudly, there is no caller to hand an error
+// to. The workspace unwrap ban deliberately does not apply here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod a1;
 pub mod f1;
 pub mod f2;

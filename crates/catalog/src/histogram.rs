@@ -178,16 +178,18 @@ impl EquiDepth {
         // Boundary indices at quantiles; merge duplicate boundaries so a
         // heavy value doesn't create empty buckets.
         let mut boundaries = Vec::with_capacity(buckets + 1);
-        boundaries.push(sorted[0]);
+        let mut highest = sorted[0];
+        boundaries.push(highest);
         for b in 1..buckets {
             let idx = (b * n / buckets).min(n - 1);
             let v = sorted[idx];
-            if v > *boundaries.last().expect("non-empty") {
+            if v > highest {
                 boundaries.push(v);
+                highest = v;
             }
         }
         let last = sorted[n - 1];
-        if last > *boundaries.last().expect("non-empty") {
+        if last > highest {
             boundaries.push(last);
         } else if boundaries.len() == 1 {
             // All values identical: one degenerate bucket.
@@ -225,10 +227,10 @@ impl EquiDepth {
     }
 
     fn selectivity_eq(&self, x: f64, _ndv_hint: u64) -> f64 {
-        let (first, last) = (
-            self.boundaries[0],
-            *self.boundaries.last().expect("non-empty"),
-        );
+        let (first, last) = match (self.boundaries.first(), self.boundaries.last()) {
+            (Some(&first), Some(&last)) => (first, last),
+            _ => return 0.0,
+        };
         if x < first || x > last || self.total == 0 {
             return 0.0;
         }

@@ -16,6 +16,10 @@
 //! statistics kept here (no histogram vs. equi-width vs. equi-depth, under
 //! uniform vs. skewed data).
 
+// Library code must not panic on fault paths: unwrap/expect are banned
+// outside tests (see clippy.toml: allow-unwrap-in-tests).
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod analyze;
 pub mod catalog;
 pub mod histogram;

@@ -228,15 +228,11 @@ impl Expr {
     }
 
     /// AND together a list of conjuncts; `TRUE` for an empty list.
-    pub fn conjunction(mut conjuncts: Vec<Expr>) -> Expr {
-        match conjuncts.len() {
-            0 => lit(true),
-            1 => conjuncts.pop().expect("len checked"),
-            _ => {
-                let mut it = conjuncts.into_iter();
-                let first = it.next().expect("len checked");
-                it.fold(first, Expr::and)
-            }
+    pub fn conjunction(conjuncts: Vec<Expr>) -> Expr {
+        let mut it = conjuncts.into_iter();
+        match it.next() {
+            None => lit(true),
+            Some(first) => it.fold(first, Expr::and),
         }
     }
 
@@ -336,6 +332,24 @@ impl Expr {
                 negated: *negated,
             },
         }
+    }
+
+    /// Fallible [`remap_columns`](Expr::remap_columns): errors on the first
+    /// ordinal `map` cannot translate instead of requiring callers to
+    /// pre-validate (and then unwrap) in a separate pass.
+    pub fn try_remap_columns(&self, map: &impl Fn(usize) -> Option<usize>) -> Result<Expr> {
+        let mut missing = None;
+        self.visit_columns(&mut |i| {
+            if map(i).is_none() && missing.is_none() {
+                missing = Some(i);
+            }
+        });
+        if let Some(i) = missing {
+            return Err(EvoptError::Plan(format!(
+                "column ordinal {i} has no target under the remapping"
+            )));
+        }
+        Ok(self.remap_columns(&|i| map(i).unwrap_or(i)))
     }
 
     /// True when the expression reads no columns (a constant expression).

@@ -18,6 +18,10 @@
 //! Nothing in this crate knows about pages, statistics, plans or SQL; it is
 //! the vocabulary the rest of the system speaks.
 
+// Library code must not panic on fault paths: unwrap/expect are banned
+// outside tests (see clippy.toml: allow-unwrap-in-tests).
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod batch;
 pub mod error;
 pub mod expr;

@@ -5,14 +5,16 @@
 //! produce bushy shapes that left-deep greedy cannot. Still polynomial
 //! (O(n³) pair evaluations), still heuristic.
 
-use evopt_common::Result;
+use evopt_common::{EvoptError, Result};
 use evopt_obs::PruneReason;
 
 use super::{JoinContext, SubPlan};
 
 pub fn run(ctx: &JoinContext) -> Result<SubPlan> {
     let n = ctx.rels.len();
-    let mut forest: Vec<SubPlan> = (0..n).map(|r| ctx.cheapest_base(r)).collect();
+    let mut forest: Vec<SubPlan> = (0..n)
+        .map(|r| ctx.cheapest_base(r))
+        .collect::<Result<_>>()?;
 
     while forest.len() > 1 {
         let any_connected =
@@ -44,7 +46,9 @@ pub fn run(ctx: &JoinContext) -> Result<SubPlan> {
                 }
             }
         }
-        let (i, j, merged) = best.expect("cross join always available");
+        let (i, j, merged) = best.ok_or_else(|| {
+            EvoptError::Internal("goo: no join candidate (cross join should be a fallback)".into())
+        })?;
         // Remove the higher index first to keep the lower index valid.
         let (hi, lo) = (i.max(j), i.min(j));
         forest.swap_remove(hi);
@@ -52,7 +56,9 @@ pub fn run(ctx: &JoinContext) -> Result<SubPlan> {
         forest.push(merged);
     }
 
-    let last = forest.pop().expect("one plan remains");
+    let last = forest
+        .pop()
+        .ok_or_else(|| EvoptError::Plan("goo: no relations to enumerate".into()))?;
     ctx.pick_final(vec![last])
 }
 

@@ -6,7 +6,7 @@
 //! blind to globally-better orders; experiment F2 quantifies the regret
 //! against DP.
 
-use evopt_common::Result;
+use evopt_common::{EvoptError, Result};
 use evopt_obs::PruneReason;
 
 use super::{JoinContext, SubPlan};
@@ -16,14 +16,25 @@ pub fn run(ctx: &JoinContext) -> Result<SubPlan> {
     let all = ctx.graph.all_mask();
 
     // Seed: smallest relation by filtered rows (cheapest path as tiebreak).
-    let mut current = (0..n)
-        .map(|r| ctx.cheapest_base(r))
-        .min_by(|a, b| {
-            (a.rows, ctx.model.total(a.cost))
-                .partial_cmp(&(b.rows, ctx.model.total(b.cost)))
-                .expect("finite")
-        })
-        .expect("at least one relation");
+    let mut current: Option<SubPlan> = None;
+    for r in 0..n {
+        let cand = ctx.cheapest_base(r)?;
+        let better = match &current {
+            None => true,
+            Some(cur) => (cand.rows.total_cmp(&cur.rows))
+                .then(
+                    ctx.model
+                        .total(cand.cost)
+                        .total_cmp(&ctx.model.total(cur.cost)),
+                )
+                .is_lt(),
+        };
+        if better {
+            current = Some(cand);
+        }
+    }
+    let mut current =
+        current.ok_or_else(|| EvoptError::Plan("greedy: no relations to enumerate".into()))?;
 
     while current.mask != all {
         let remaining: Vec<usize> = (0..n)
@@ -59,7 +70,11 @@ pub fn run(ctx: &JoinContext) -> Result<SubPlan> {
                 }
             }
         }
-        current = best.expect("some join always exists (cross as fallback)");
+        current = best.ok_or_else(|| {
+            EvoptError::Internal(
+                "greedy: no join candidate (cross join should be a fallback)".into(),
+            )
+        })?;
     }
 
     ctx.pick_final(vec![current])

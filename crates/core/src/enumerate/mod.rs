@@ -175,7 +175,11 @@ impl<'a> JoinContext<'a> {
                 order: None,
             }];
         }
-        let table = rel.table.clone().expect("non-opaque leaf has a table");
+        // A non-opaque leaf always names a table; if that invariant ever
+        // breaks, return no paths and let the caller surface the error.
+        let Some(table) = rel.table.clone() else {
+            return Vec::new();
+        };
         rel.paths
             .iter()
             .map(|p| {
@@ -222,7 +226,7 @@ impl<'a> JoinContext<'a> {
     }
 
     /// The cheapest leaf subplan for `r` (by total cost).
-    pub fn cheapest_base(&self, r: usize) -> SubPlan {
+    pub fn cheapest_base(&self, r: usize) -> Result<SubPlan> {
         self.base_subplans(r)
             .into_iter()
             .min_by(|a, b| {
@@ -230,29 +234,27 @@ impl<'a> JoinContext<'a> {
                     .total(a.cost)
                     .total_cmp(&self.model.total(b.cost))
             })
-            .expect("relation always has at least the seq-scan path")
+            .ok_or_else(|| EvoptError::Internal(format!("relation {r} has no access path")))
     }
 
     /// The sequential-scan leaf for `r` (the baseline's only choice).
-    pub fn seq_base(&self, r: usize) -> SubPlan {
+    pub fn seq_base(&self, r: usize) -> Result<SubPlan> {
         self.base_subplans(r)
             .into_iter()
             .find(|sp| {
                 matches!(sp.plan.op, PhysOp::SeqScan { .. }) || self.rels[r].opaque_plan.is_some()
             })
-            .expect("seq scan path always exists")
+            .ok_or_else(|| EvoptError::Internal(format!("relation {r} has no seq-scan path")))
     }
 
     /// Remap a global-ordinal expression into `col_map`-local ordinals.
     fn remap(&self, e: &Expr, col_map: &[Option<usize>]) -> Result<Expr> {
-        for c in e.referenced_columns() {
-            if col_map.get(c).copied().flatten().is_none() {
-                return Err(EvoptError::Plan(format!(
-                    "predicate references column {c} outside the joined subset"
-                )));
-            }
-        }
-        Ok(e.remap_columns(&|g| col_map[g].expect("validated")))
+        e.try_remap_columns(&|g| col_map.get(g).copied().flatten())
+            .map_err(|_| {
+                EvoptError::Plan(format!(
+                    "predicate {e} references a column outside the joined subset"
+                ))
+            })
     }
 
     /// All join methods applicable to `left ⋈ right`. Empty when the pair is
@@ -380,8 +382,20 @@ impl<'a> JoinContext<'a> {
         }
 
         if let Some((ga, gb)) = key {
-            let lk = left.col_map[ga].expect("key on left");
-            let rk = right.col_map[gb].expect("key on right");
+            let missing_key =
+                |side: &str| EvoptError::Internal(format!("join key missing from {side} col_map"));
+            let lk = left
+                .col_map
+                .get(ga)
+                .copied()
+                .flatten()
+                .ok_or_else(|| missing_key("left"))?;
+            let rk = right
+                .col_map
+                .get(gb)
+                .copied()
+                .flatten()
+                .ok_or_else(|| missing_key("right"))?;
 
             // Hash join (build right, probe left; probe order preserved).
             let hj_cost = left.cost
@@ -402,8 +416,8 @@ impl<'a> JoinContext<'a> {
             ));
 
             // Sort-merge join: sort whichever inputs aren't already ordered.
-            let (lplan, lsort) = self.sorted_input(left, ga);
-            let (rplan, rsort) = self.sorted_input(right, gb);
+            let (lplan, lsort) = self.sorted_input(left, ga)?;
+            let (rplan, rsort) = self.sorted_input(right, gb)?;
             let smj_cost = left.cost
                 + right.cost
                 + lsort
@@ -471,13 +485,20 @@ impl<'a> JoinContext<'a> {
         Ok(out)
     }
 
+    /// Local ordinal of global column `g` in `sp`, or a structured error.
+    fn local_key(sp: &SubPlan, g: usize) -> Result<usize> {
+        sp.col_map.get(g).copied().flatten().ok_or_else(|| {
+            EvoptError::Internal(format!("sort key column {g} missing from col_map"))
+        })
+    }
+
     /// `(plan, extra sort cost)` for using `sp` as a merge-join input keyed
     /// on global column `g`.
-    fn sorted_input(&self, sp: &SubPlan, g: usize) -> (PhysicalPlan, Cost) {
+    fn sorted_input(&self, sp: &SubPlan, g: usize) -> Result<(PhysicalPlan, Cost)> {
         if self.track_orders && sp.order == Some(g) {
-            return (sp.plan.clone(), Cost::ZERO);
+            return Ok((sp.plan.clone(), Cost::ZERO));
         }
-        let local = sp.col_map[g].expect("key column present");
+        let local = Self::local_key(sp, g)?;
         let sort_cost = self.model.sort(sp.rows, sp.pages());
         let plan = PhysicalPlan {
             schema: sp.plan.schema.clone(),
@@ -489,37 +510,32 @@ impl<'a> JoinContext<'a> {
                 keys: vec![(local, true)],
             },
         };
-        (plan, sort_cost)
+        Ok((plan, sort_cost))
     }
 
     /// Wrap `sp` in an explicit sort on global column `g`.
-    pub fn enforce_order(&self, sp: &SubPlan, g: usize) -> SubPlan {
-        let (plan, extra) = {
-            let local = sp.col_map[g].expect("order column present");
-            let sort_cost = self.model.sort(sp.rows, sp.pages());
-            (
-                PhysicalPlan {
-                    schema: sp.plan.schema.clone(),
-                    est_rows: sp.rows,
-                    est_cost: sp.cost + sort_cost,
-                    output_order: Some(g),
-                    op: PhysOp::Sort {
-                        input: Box::new(sp.plan.clone()),
-                        keys: vec![(local, true)],
-                    },
-                },
-                sort_cost,
-            )
+    pub fn enforce_order(&self, sp: &SubPlan, g: usize) -> Result<SubPlan> {
+        let local = Self::local_key(sp, g)?;
+        let sort_cost = self.model.sort(sp.rows, sp.pages());
+        let plan = PhysicalPlan {
+            schema: sp.plan.schema.clone(),
+            est_rows: sp.rows,
+            est_cost: sp.cost + sort_cost,
+            output_order: Some(g),
+            op: PhysOp::Sort {
+                input: Box::new(sp.plan.clone()),
+                keys: vec![(local, true)],
+            },
         };
-        SubPlan {
+        Ok(SubPlan {
             mask: sp.mask,
             plan,
             rows: sp.rows,
             width: sp.width,
-            cost: sp.cost + extra,
+            cost: sp.cost + sort_cost,
             col_map: sp.col_map.clone(),
             order: Some(g),
-        }
+        })
     }
 
     /// From complete candidates, pick the best given the required order:
@@ -541,15 +557,21 @@ impl<'a> JoinContext<'a> {
             };
             self.model.total(sp.cost + restore)
         };
-        let best = candidates
-            .into_iter()
-            .map(|sp| match self.required_order {
-                Some(g) if sp.order != Some(g) => self.enforce_order(&sp, g),
+        let mut best: Option<SubPlan> = None;
+        for sp in candidates {
+            let sp = match self.required_order {
+                Some(g) if sp.order != Some(g) => self.enforce_order(&sp, g)?,
                 _ => sp,
-            })
-            .min_by(|a, b| effective(a).total_cmp(&effective(b)))
-            .expect("non-empty");
-        Ok(best)
+            };
+            let replace = match &best {
+                None => true,
+                Some(b) => effective(&sp) < effective(b),
+            };
+            if replace {
+                best = Some(sp);
+            }
+        }
+        best.ok_or_else(|| EvoptError::Plan("enumeration produced no plan".into()))
     }
 
     /// Whether joining `left` to `right` is connected (has a predicate).
@@ -961,8 +983,8 @@ mod tests {
     fn join_candidates_produce_all_methods_with_key() {
         let f = chain3();
         let ctx = f.ctx();
-        let t = ctx.cheapest_base(0);
-        let u = ctx.cheapest_base(1);
+        let t = ctx.cheapest_base(0).unwrap();
+        let u = ctx.cheapest_base(1).unwrap();
         let cands = ctx.join_candidates(&t, &u, false).unwrap();
         let names: Vec<_> = cands.iter().map(|c| c.plan.op_name()).collect();
         assert!(names.contains(&"BlockNestedLoopJoin"));
@@ -988,8 +1010,8 @@ mod tests {
         let ctx = f.ctx();
         // u joined to v (v has index on c0; edge is u.c0 = v.c1 → the index
         // is NOT on the join column, so still no INL).
-        let u = ctx.cheapest_base(1);
-        let v = ctx.cheapest_base(2);
+        let u = ctx.cheapest_base(1).unwrap();
+        let v = ctx.cheapest_base(2).unwrap();
         let cands = ctx.join_candidates(&u, &v, false).unwrap();
         assert!(!cands
             .iter()
@@ -997,8 +1019,8 @@ mod tests {
         // Star fixture: f.c0 = d3.c0 and d3 has an index on c0 → INL exists.
         let s = star4();
         let sctx = s.ctx();
-        let fact = sctx.cheapest_base(0);
-        let d3 = sctx.cheapest_base(3);
+        let fact = sctx.cheapest_base(0).unwrap();
+        let d3 = sctx.cheapest_base(3).unwrap();
         let cands = sctx.join_candidates(&fact, &d3, false).unwrap();
         assert!(
             cands
@@ -1013,8 +1035,8 @@ mod tests {
     fn unconnected_pair_requires_allow_cross() {
         let f = chain3();
         let ctx = f.ctx();
-        let t = ctx.cheapest_base(0);
-        let v = ctx.cheapest_base(2);
+        let t = ctx.cheapest_base(0).unwrap();
+        let v = ctx.cheapest_base(2).unwrap();
         assert!(ctx.join_candidates(&t, &v, false).unwrap().is_empty());
         let crossed = ctx.join_candidates(&t, &v, true).unwrap();
         assert!(!crossed.is_empty());
@@ -1026,8 +1048,8 @@ mod tests {
     fn smj_output_is_ordered_and_reuses_sorted_inputs() {
         let f = chain3();
         let ctx = f.ctx();
-        let t = ctx.cheapest_base(0);
-        let u = ctx.cheapest_base(1);
+        let t = ctx.cheapest_base(0).unwrap();
+        let u = ctx.cheapest_base(1).unwrap();
         let cands = ctx.join_candidates(&t, &u, false).unwrap();
         let smj = cands
             .iter()
@@ -1051,7 +1073,7 @@ mod tests {
         let ctx = f.ctx();
         let model = ctx.model;
         let mut table = PlanTable::new();
-        let cheap = ctx.cheapest_base(0);
+        let cheap = ctx.cheapest_base(0).unwrap();
         let mut pricey = cheap.clone();
         pricey.cost = Cost::new(cheap.cost.io + 1000.0, cheap.cost.cpu);
         table.admit(pricey.clone(), model);
@@ -1144,8 +1166,8 @@ mod tests {
     fn enforce_order_adds_sort_once() {
         let f = chain3();
         let ctx = f.ctx();
-        let t = ctx.cheapest_base(0);
-        let sorted = ctx.enforce_order(&t, 1);
+        let t = ctx.cheapest_base(0).unwrap();
+        let sorted = ctx.enforce_order(&t, 1).unwrap();
         assert_eq!(sorted.order, Some(1));
         assert_eq!(sorted.plan.op_name(), "Sort");
         assert!(ctx.model.total(sorted.cost) >= ctx.model.total(t.cost));

@@ -26,7 +26,7 @@ pub fn run(ctx: &JoinContext, samples: usize, seed: u64) -> Result<SubPlan> {
     for _ in 0..samples {
         let mut order: Vec<usize> = (0..n).collect();
         order.shuffle(&mut rng);
-        let mut current = ctx.cheapest_base(order[0]);
+        let mut current = ctx.cheapest_base(order[0])?;
         for &r in &order[1..] {
             let connected = ctx.is_connected(current.mask, 1u64 << r);
             let mut best: Option<SubPlan> = None;
@@ -49,7 +49,11 @@ pub fn run(ctx: &JoinContext, samples: usize, seed: u64) -> Result<SubPlan> {
                 }
             }
             let _ = connected;
-            current = best.expect("cross join always available");
+            current = best.ok_or_else(|| {
+                EvoptError::Internal(
+                    "quickpick: no join candidate (cross join should be a fallback)".into(),
+                )
+            })?;
         }
         finals.push(current);
     }

@@ -13,9 +13,9 @@ use crate::physical::PhysOp;
 
 pub fn run(ctx: &JoinContext) -> Result<SubPlan> {
     let n = ctx.rels.len();
-    let mut current = ctx.seq_base(0);
+    let mut current = ctx.seq_base(0)?;
     for r in 1..n {
-        let right = ctx.seq_base(r);
+        let right = ctx.seq_base(r)?;
         let cands = ctx.join_candidates(&current, &right, true)?;
         let mut chosen: Option<SubPlan> = None;
         for c in cands {

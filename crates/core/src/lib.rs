@@ -23,15 +23,23 @@
 //! and cost; `evopt-exec` interprets it, and the experiments compare the
 //! annotations against measured page I/O.
 
+// Library code must not panic on fault paths: unwrap/expect are banned
+// outside tests (see clippy.toml: allow-unwrap-in-tests).
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod access_path;
 pub mod cost;
 pub mod enumerate;
 pub mod optimizer;
 pub mod physical;
 pub mod selectivity;
+pub mod verify;
 
 pub use cost::{Cost, CostModel};
 pub use enumerate::Strategy;
 pub use optimizer::{Optimizer, OptimizerConfig};
 pub use physical::{PhysOp, PhysicalPlan};
 pub use selectivity::EstimationContext;
+pub use verify::{
+    lint_logical, verify_logical, verify_physical, Lint, VerifyIssue, VerifyPhase, VerifyReport,
+};

@@ -23,6 +23,7 @@ use crate::cost::CostModel;
 use crate::enumerate::{enumerate, BaseRel, JoinContext, Strategy, SubPlan};
 use crate::physical::{PhysAgg, PhysOp, PhysicalPlan};
 use crate::selectivity::{ColumnInfo, EstimationContext};
+use crate::verify;
 
 /// Fallback tuple width when a relation has no statistics.
 const DEFAULT_WIDTH: f64 = 64.0;
@@ -41,6 +42,12 @@ pub struct OptimizerConfig {
     /// correct (the join-graph extraction still routes predicates), but
     /// single-table pushdown into access paths is lost.
     pub enable_rewrites: bool,
+    /// Run the static plan verifier ([`crate::verify`]) after every phase
+    /// (post-rewrite, post-enumeration, post-physical). Always on in debug
+    /// builds; this flag opts release builds in (`DatabaseConfig::
+    /// verify_plans` at the engine level). A violation aborts optimization
+    /// with a structured [`EvoptError::Plan`] — never a panic.
+    pub verify: bool,
 }
 
 impl Default for OptimizerConfig {
@@ -50,6 +57,7 @@ impl Default for OptimizerConfig {
             cost_model: CostModel::default(),
             track_interesting_orders: true,
             enable_rewrites: true,
+            verify: false,
         }
     }
 }
@@ -93,6 +101,13 @@ impl Optimizer {
         self.trace.as_ref()
     }
 
+    /// Whether the per-phase verifier hooks fire: unconditional in debug
+    /// builds (the `debug_assert` analogue, minus the panic), opt-in via
+    /// [`OptimizerConfig::verify`] everywhere else.
+    fn verifying(&self) -> bool {
+        cfg!(debug_assertions) || self.config.verify
+    }
+
     /// Optimize a bound logical plan against `catalog`.
     pub fn optimize(&self, plan: &LogicalPlan, catalog: &Catalog) -> Result<PhysicalPlan> {
         let prepared = if self.config.enable_rewrites {
@@ -100,7 +115,15 @@ impl Optimizer {
         } else {
             plan.clone()
         };
-        self.optimize_rec(&prepared, catalog, None)
+        if self.verifying() {
+            verify::verify_logical(&prepared, verify::VerifyPhase::PostRewrite).into_result()?;
+        }
+        let phys = self.optimize_rec(&prepared, catalog, None)?;
+        if self.verifying() {
+            verify::verify_physical(&phys, Some(catalog), verify::VerifyPhase::PostPhysical)
+                .into_result()?;
+        }
+        Ok(phys)
     }
 
     /// `required`: output-ordinal column the parent would like ascending.
@@ -461,7 +484,12 @@ impl Optimizer {
             trace: self.trace.as_ref(),
         };
         let sub = enumerate(&ctx, self.config.strategy)?;
-        Ok(finalize(&ctx, sub, plan.schema()))
+        let phys = finalize(&ctx, sub, plan.schema())?;
+        if self.verifying() {
+            verify::verify_physical(&phys, Some(catalog), verify::VerifyPhase::PostEnumeration)
+                .into_result()?;
+        }
+        Ok(phys)
     }
 }
 
@@ -505,17 +533,21 @@ fn table_meta(info: &Arc<TableInfo>) -> Result<(RelMeta, EstimationContext)> {
 
 /// Restore syntactic column order on top of an enumerated subplan so the
 /// join node's output matches the logical schema.
-fn finalize(ctx: &JoinContext, sub: SubPlan, logical_schema: Schema) -> PhysicalPlan {
+fn finalize(ctx: &JoinContext, sub: SubPlan, logical_schema: Schema) -> Result<PhysicalPlan> {
     let total = ctx.total_cols();
-    let identity = (0..total).all(|g| sub.col_map[g] == Some(g));
+    let identity = (0..total).all(|g| sub.col_map.get(g).copied().flatten() == Some(g));
     if identity {
-        return sub.plan;
+        return Ok(sub.plan);
     }
-    let exprs: Vec<Expr> = (0..total)
-        .map(|g| Expr::Column(sub.col_map[g].expect("full schemas preserved")))
-        .collect();
+    let mut exprs: Vec<Expr> = Vec::with_capacity(total);
+    for g in 0..total {
+        let local = sub.col_map.get(g).copied().flatten().ok_or_else(|| {
+            EvoptError::Internal(format!("finalize: output column {g} missing from col_map"))
+        })?;
+        exprs.push(Expr::Column(local));
+    }
     let output_order = sub.order;
-    PhysicalPlan {
+    Ok(PhysicalPlan {
         schema: logical_schema,
         est_rows: sub.rows,
         est_cost: sub.cost + ctx.model.per_tuple(sub.rows),
@@ -524,7 +556,7 @@ fn finalize(ctx: &JoinContext, sub: SubPlan, logical_schema: Schema) -> Physical
             input: Box::new(sub.plan),
             exprs,
         },
-    }
+    })
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@ use evopt_common::{
     Column, DataType, EvoptError, Expr, Result, Schema, Tuple, Value, DEFAULT_BATCH_ROWS,
 };
 use evopt_core::physical::PhysicalPlan;
+use evopt_core::verify::{self, VerifyPhase};
 use evopt_core::{CostModel, Optimizer, OptimizerConfig, Strategy};
 use evopt_exec::{
     run_collect, run_collect_governed, run_collect_instrumented, CancellationToken, ExecEnv,
@@ -56,6 +57,11 @@ pub struct DatabaseConfig {
     /// Queries whose optimize+execute wall time meets this threshold are
     /// flagged slow in the query log and counted in `slow_queries`.
     pub slow_query_us: u64,
+    /// Run the static plan verifier (`evopt_core::verify`) after binding
+    /// and after every optimizer phase. Debug builds verify
+    /// unconditionally; this opts release builds in. A violation surfaces
+    /// as a structured plan error, never a panic.
+    pub verify_plans: bool,
 }
 
 impl Default for DatabaseConfig {
@@ -71,6 +77,7 @@ impl Default for DatabaseConfig {
             metrics: true,
             query_log_cap: DEFAULT_QUERY_LOG_CAP,
             slow_query_us: DEFAULT_SLOW_QUERY_US,
+            verify_plans: false,
         }
     }
 }
@@ -255,6 +262,30 @@ impl Database {
         self.config.lock().analyze = cfg;
     }
 
+    /// Toggle runtime plan verification for subsequent queries (debug
+    /// builds always verify; this opts release builds in).
+    pub fn set_verify_plans(&self, on: bool) {
+        self.config.lock().verify_plans = on;
+    }
+
+    /// Whether the plan verifier runs for this database right now.
+    fn verifying(&self) -> bool {
+        cfg!(debug_assertions) || self.config.lock().verify_plans
+    }
+
+    /// Bind a SELECT and, when verification is active, run the post-bind
+    /// verifier pass over the freshly bound logical plan.
+    fn bind_checked(&self, sel: &evopt_sql::ast::SelectStmt) -> Result<LogicalPlan> {
+        let logical = bind_select(sel, &self.schema_provider())?;
+        if self.verifying() {
+            if let Err(e) = verify::verify_logical(&logical, VerifyPhase::PostBind).into_result() {
+                self.record(|m| m.verify_failures.inc());
+                return Err(e);
+            }
+        }
+        Ok(logical)
+    }
+
     /// Execute any statement.
     pub fn execute(&self, sql: &str) -> Result<QueryResult> {
         let stmt = parse(sql)?;
@@ -345,7 +376,7 @@ impl Database {
     pub fn plan_sql(&self, sql: &str) -> Result<(LogicalPlan, PhysicalPlan)> {
         match parse(sql)? {
             Statement::Select(sel) => {
-                let logical = bind_select(&sel, &self.schema_provider())?;
+                let logical = self.bind_checked(&sel)?;
                 let physical = self.optimize(&logical)?;
                 Ok((logical, physical))
             }
@@ -380,7 +411,13 @@ impl Database {
         logical: &LogicalPlan,
         want_trace: bool,
     ) -> Result<(PhysicalPlan, Option<SearchTrace>, u64)> {
-        let cfg = self.config.lock().optimizer;
+        let cfg = {
+            let c = self.config.lock();
+            let mut opt = c.optimizer;
+            opt.verify = opt.verify || c.verify_plans;
+            opt
+        };
+        let verifying = cfg.verify || cfg!(debug_assertions);
         let mut optimizer = Optimizer::new(cfg);
         if want_trace {
             optimizer = optimizer.with_trace(TraceSink::bounded(DEFAULT_TRACE_EVENTS));
@@ -388,7 +425,20 @@ impl Database {
             optimizer = optimizer.with_trace(TraceSink::counts_only());
         }
         let started = Instant::now();
-        let physical = optimizer.optimize(logical, &self.catalog)?;
+        let physical = match optimizer.optimize(logical, &self.catalog) {
+            Ok(p) => {
+                if verifying {
+                    self.record(|m| m.plans_verified.inc());
+                }
+                p
+            }
+            Err(e) => {
+                if verifying && e.message().contains("plan verification failed") {
+                    self.record(|m| m.verify_failures.inc());
+                }
+                return Err(e);
+            }
+        };
         let optimize_us = started.elapsed().as_micros() as u64;
         let trace = optimizer.take_trace().map(TraceSink::into_trace);
         if let Some(t) = &trace {
@@ -485,7 +535,7 @@ impl Database {
     pub fn query_traced(&self, sql: &str) -> Result<TracedQuery> {
         match parse(sql)? {
             Statement::Select(sel) => {
-                let logical = bind_select(&sel, &self.schema_provider())?;
+                let logical = self.bind_checked(&sel)?;
                 let (plan, trace, _) = self.optimize_full(&logical, true)?;
                 let trace = trace
                     .ok_or_else(|| EvoptError::Internal("trace requested but absent".into()))?;
@@ -553,8 +603,7 @@ impl Database {
                 info.schema.len()
             )));
         }
-        for (i, v) in tuple.values().iter().enumerate() {
-            let col = info.schema.column(i).expect("arity checked");
+        for (v, col) in tuple.values().iter().zip(info.schema.columns()) {
             match v.data_type() {
                 None => {
                     if !col.nullable {
@@ -591,7 +640,7 @@ impl Database {
     fn execute_statement(&self, stmt: &Statement, sql: &str) -> Result<QueryResult> {
         match stmt {
             Statement::Select(sel) => {
-                let logical = bind_select(sel, &self.schema_provider())?;
+                let logical = self.bind_checked(sel)?;
                 let (physical, _, optimize_us) = self.optimize_full(&logical, false)?;
                 let governor = self.config.lock().governor;
                 let pool_before = self.pool.stats();
@@ -784,10 +833,11 @@ impl Database {
             Statement::Explain {
                 analyze,
                 trace,
+                verify,
                 inner,
             } => match &**inner {
                 Statement::Select(sel) => {
-                    let logical = bind_select(sel, &self.schema_provider())?;
+                    let logical = self.bind_checked(sel)?;
                     let (physical, search_trace, optimize_us) =
                         self.optimize_full(&logical, *trace)?;
                     let mut text = format!(
@@ -800,6 +850,9 @@ impl Database {
                         if let Some(t) = &search_trace {
                             text.push_str(&format!("== trace ({}) ==\n{}", t.strategy, t.render()));
                         }
+                    }
+                    if *verify {
+                        text.push_str(&self.render_verify(&logical, &physical));
                     }
                     if *analyze {
                         let (rows, metrics) = self.run_plan_instrumented(&physical)?;
@@ -821,6 +874,35 @@ impl Database {
             },
             Statement::ShowQueryLog => Ok(self.render_query_log()),
         }
+    }
+
+    /// `EXPLAIN VERIFY`: run the verifier over both plans plus the SQL
+    /// lints, reporting rather than erroring, and count the outcomes in
+    /// the metrics registry.
+    fn render_verify(&self, logical: &LogicalPlan, physical: &PhysicalPlan) -> String {
+        let post_bind = verify::verify_logical(logical, VerifyPhase::PostBind);
+        let post_phys =
+            verify::verify_physical(physical, Some(&self.catalog), VerifyPhase::PostPhysical);
+        let lints = verify::lint_logical(logical);
+        let mut text = String::from("== verify ==\n");
+        text.push_str(&post_bind.render());
+        text.push_str(&post_phys.render());
+        if lints.is_empty() {
+            text.push_str("lints: none\n");
+        } else {
+            text.push_str(&format!("lints ({}):\n", lints.len()));
+            for l in &lints {
+                text.push_str(&format!("  {l}\n"));
+            }
+        }
+        let failures = (post_bind.issues.len() + post_phys.issues.len()) as u64;
+        let lint_count = lints.len() as u64;
+        self.record(|m| {
+            m.plans_verified.inc();
+            m.verify_failures.add(failures);
+            m.lints_flagged.add(lint_count);
+        });
+        text
     }
 
     /// `SHOW QUERY LOG`: recent queries, newest first, as a rows result.

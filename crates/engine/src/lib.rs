@@ -21,6 +21,10 @@
 //! [`Database::measured`] which runs a statement and reports the *physical*
 //! page I/O it caused.
 
+// Library code must not panic on fault paths: unwrap/expect are banned
+// outside tests (see clippy.toml: allow-unwrap-in-tests).
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod database;
 
 pub use database::{Database, DatabaseConfig, QueryResult, TracedQuery};

@@ -151,6 +151,10 @@ pub struct EngineMetrics {
     pub plans_considered: Counter,
     pub plans_pruned: Counter,
     pub optimize_time_us: Histogram,
+    // -- static plan verification -------------------------------------------
+    pub plans_verified: Counter,
+    pub verify_failures: Counter,
+    pub lints_flagged: Counter,
     // -- executor -----------------------------------------------------------
     pub exec_batches: Counter,
     pub exec_rows: Counter,
@@ -178,6 +182,9 @@ impl EngineMetrics {
             plans_considered: self.plans_considered.get(),
             plans_pruned: self.plans_pruned.get(),
             optimize_time_us: self.optimize_time_us.snapshot(),
+            plans_verified: self.plans_verified.get(),
+            verify_failures: self.verify_failures.get(),
+            lints_flagged: self.lints_flagged.get(),
             exec_batches: self.exec_batches.get(),
             exec_rows: self.exec_rows.get(),
             exec_spills: self.exec_spills.get(),
@@ -206,6 +213,9 @@ pub struct MetricsSnapshot {
     pub plans_considered: u64,
     pub plans_pruned: u64,
     pub optimize_time_us: HistogramSnapshot,
+    pub plans_verified: u64,
+    pub verify_failures: u64,
+    pub lints_flagged: u64,
     pub exec_batches: u64,
     pub exec_rows: u64,
     pub exec_spills: u64,
@@ -242,6 +252,9 @@ impl MetricsSnapshot {
             ("evopt_optimize_calls_total", self.optimize_calls),
             ("evopt_plans_considered_total", self.plans_considered),
             ("evopt_plans_pruned_total", self.plans_pruned),
+            ("evopt_plans_verified_total", self.plans_verified),
+            ("evopt_verify_failures_total", self.verify_failures),
+            ("evopt_lints_flagged_total", self.lints_flagged),
             ("evopt_exec_batches_total", self.exec_batches),
             ("evopt_exec_rows_total", self.exec_rows),
             ("evopt_exec_spills_total", self.exec_spills),

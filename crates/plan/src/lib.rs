@@ -13,6 +13,10 @@
 //! Everything here is *logical*: no costs, no access paths. Those live in
 //! `evopt-core`.
 
+// Library code must not panic on fault paths: unwrap/expect are banned
+// outside tests (see clippy.toml: allow-unwrap-in-tests).
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod join_graph;
 pub mod logical;
 pub mod rules;

@@ -540,15 +540,12 @@ fn shrink(
 
 /// Rewrite `e`'s column ordinals through the (possibly-dropping) map.
 fn remap_expr(e: &Expr, map: &[Option<usize>]) -> Result<Expr> {
-    // `remap_columns` can't fail, so validate first.
-    for i in e.referenced_columns() {
-        if map.get(i).copied().flatten().is_none() {
-            return Err(EvoptError::Internal(format!(
-                "expression references pruned column {i}"
-            )));
-        }
-    }
-    Ok(e.remap_columns(&|i| map[i].expect("validated above")))
+    e.try_remap_columns(&|i| map.get(i).copied().flatten())
+        .map_err(|_| {
+            EvoptError::Internal(format!(
+                "expression {e} references a pruned column (map {map:?})"
+            ))
+        })
 }
 
 #[cfg(test)]

@@ -145,6 +145,9 @@ pub enum Statement {
         analyze: bool,
         /// `EXPLAIN TRACE`: include the optimizer's search journal.
         trace: bool,
+        /// `EXPLAIN VERIFY`: run the static plan verifier at every phase
+        /// and report issues and SQL-level lints instead of erroring.
+        verify: bool,
         inner: Box<Statement>,
     },
     /// `SHOW QUERY LOG`: the engine's ring buffer of recent queries.

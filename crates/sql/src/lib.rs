@@ -21,6 +21,10 @@
 //! Out of scope (documented in DESIGN.md §6): subqueries, outer joins,
 //! DISTINCT, window functions.
 
+// Library code must not panic on fault paths: unwrap/expect are banned
+// outside tests (see clippy.toml: allow-unwrap-in-tests).
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod ast;
 pub mod binder;
 pub mod lexer;

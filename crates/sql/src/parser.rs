@@ -95,14 +95,24 @@ impl Parser {
 
     fn statement(&mut self) -> Result<Statement> {
         if self.eat_kw("explain") {
-            // Accept ANALYZE and TRACE in either order.
-            let mut analyze = self.eat_kw("analyze");
-            let trace = self.eat_kw("trace");
-            analyze = analyze || self.eat_kw("analyze");
+            // Accept ANALYZE, TRACE and VERIFY in any order.
+            let (mut analyze, mut trace, mut verify) = (false, false, false);
+            loop {
+                if self.eat_kw("analyze") {
+                    analyze = true;
+                } else if self.eat_kw("trace") {
+                    trace = true;
+                } else if self.eat_kw("verify") {
+                    verify = true;
+                } else {
+                    break;
+                }
+            }
             let inner = self.statement()?;
             return Ok(Statement::Explain {
                 analyze,
                 trace,
+                verify,
                 inner: Box::new(inner),
             });
         }
@@ -873,6 +883,22 @@ mod tests {
                 } => {}
                 other => panic!("{sql}: {other:?}"),
             }
+        }
+        // VERIFY composes with both, in any position.
+        for sql in [
+            "EXPLAIN VERIFY SELECT 1",
+            "EXPLAIN VERIFY ANALYZE SELECT 1",
+            "EXPLAIN ANALYZE VERIFY TRACE SELECT 1",
+            "EXPLAIN TRACE VERIFY SELECT 1",
+        ] {
+            match parse(sql).unwrap() {
+                Statement::Explain { verify: true, .. } => {}
+                other => panic!("{sql}: {other:?}"),
+            }
+        }
+        match parse("EXPLAIN SELECT 1").unwrap() {
+            Statement::Explain { verify: false, .. } => {}
+            other => panic!("{other:?}"),
         }
         assert_eq!(parse("SHOW QUERY LOG").unwrap(), Statement::ShowQueryLog);
         assert!(parse("SHOW TABLES").is_err());

@@ -15,6 +15,10 @@
 //!
 //! Everything is deterministic given a seed.
 
+// Library code must not panic on fault paths: unwrap/expect are banned
+// outside tests (see clippy.toml: allow-unwrap-in-tests).
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod dist;
 pub mod topology;
 pub mod tpch_lite;

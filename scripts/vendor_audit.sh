@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Vendor audit: prove the build graph is fully hermetic.
+#
+# Invariant: every package in Cargo.lock is either a workspace crate
+# (crates/*, the root package) or a vendored path dependency under
+# vendor/. Nothing may resolve to a registry, git, or any other remote
+# source — the build must succeed with the network unplugged.
+#
+# In Cargo.lock, path dependencies (workspace members and vendor/ crates
+# alike) carry no `source` field; registry/git packages do. So the audit
+# is two checks:
+#   1. no [[package]] entry has a `source` line;
+#   2. every locked package name is accounted for by a workspace member
+#      or a vendor/ directory — a typo'd path dep can't slip through.
+#
+# Exit 0 when hermetic; exit 1 with the offending packages otherwise.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# -- 1. no remote sources ----------------------------------------------------
+remote=$(grep -n '^source = ' Cargo.lock || true)
+if [ -n "$remote" ]; then
+    echo "vendor_audit: Cargo.lock contains non-path (remote) sources:" >&2
+    echo "$remote" >&2
+    fail=1
+fi
+
+# -- 2. every locked package is a workspace crate or vendored ----------------
+# Workspace members: the root package plus every crates/*/Cargo.toml.
+known=$(
+    {
+        sed -n 's/^name = "\(.*\)"/\1/p' Cargo.toml | head -1
+        for m in crates/*/Cargo.toml vendor/*/Cargo.toml; do
+            sed -n 's/^name = "\(.*\)"/\1/p' "$m" | head -1
+        done
+    } | sort -u
+)
+
+locked=$(sed -n 's/^name = "\(.*\)"/\1/p' Cargo.lock | sort -u)
+
+unknown=$(comm -23 <(echo "$locked") <(echo "$known"))
+if [ -n "$unknown" ]; then
+    echo "vendor_audit: locked packages not provided by the workspace or vendor/:" >&2
+    echo "$unknown" >&2
+    fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+
+count=$(echo "$locked" | wc -l)
+echo "vendor_audit: OK — $count locked packages, all workspace or vendored, no remote sources"

@@ -1,0 +1,225 @@
+//! Property tests for the expression type-checker — the static half of the
+//! plan verifier.
+//!
+//! The checker's contract: if `data_type(schema)` says an expression is
+//! well-typed, then evaluating it over *any* schema-conformant tuple —
+//! including tuples full of NULLs — never returns a type error, and any
+//! non-NULL result it produces carries the promised type. The properties
+//! here pin that soundness claim plus the edge cases the verifier leans
+//! on: NULL propagation through comparisons, cross-type (INT/FLOAT)
+//! unification, aggregate input typing, and deeply nested expressions.
+
+use evopt_common::expr::{col, lit};
+use evopt_common::{
+    AggFunc, BinOp, Column, DataType, EvoptError, Expr, Schema, Tuple, UnOp, Value,
+};
+use proptest::prelude::*;
+
+/// Schema the generators close over: two INTs, a FLOAT, a STR, a BOOL.
+fn schema() -> Schema {
+    Schema::new(vec![
+        Column::new("a", DataType::Int),
+        Column::new("b", DataType::Int),
+        Column::new("f", DataType::Float),
+        Column::new("s", DataType::Str),
+        Column::new("flag", DataType::Bool),
+    ])
+}
+
+/// A tuple conforming to [`schema`], with every slot independently
+/// nullable — NULL propagation is the point, not a corner case.
+fn arb_tuple() -> impl Strategy<Value = Tuple> {
+    // The vendored proptest has no weighted prop_oneof; duplicate the
+    // non-NULL arm to bias roughly 3:1 toward real values.
+    let slot =
+        |v: BoxedStrategy<Value>| prop_oneof![v.clone(), v.clone(), v, Just(Value::Null)].boxed();
+    (
+        slot((-50i64..50).prop_map(Value::Int).boxed()),
+        slot((-50i64..50).prop_map(Value::Int).boxed()),
+        slot(
+            (-50i64..50)
+                .prop_map(|i| Value::Float(i as f64 / 4.0))
+                .boxed(),
+        ),
+        slot("[a-c]{0,3}".prop_map(Value::Str).boxed()),
+        slot(any::<bool>().prop_map(Value::Bool).boxed()),
+    )
+        .prop_map(|(a, b, f, s, g)| Tuple::new(vec![a, b, f, s, g]))
+}
+
+/// Expressions over [`schema`] that may or may not type-check: columns of
+/// every type, literals (including NULL), comparisons, arithmetic, logic,
+/// IS NULL, negation — nested several levels deep.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0usize..5).prop_map(Expr::Column),
+        (-20i64..20).prop_map(lit),
+        (-8i64..8).prop_map(|i| lit(i as f64 / 2.0)),
+        any::<bool>().prop_map(lit),
+        Just(Expr::Literal(Value::Null)),
+        "[a-c]{0,2}".prop_map(|s| Expr::Literal(Value::Str(s))),
+    ];
+    leaf.prop_recursive(6, 96, 3, |inner| {
+        prop_oneof![
+            (
+                prop_oneof![
+                    Just(BinOp::Eq),
+                    Just(BinOp::NotEq),
+                    Just(BinOp::Lt),
+                    Just(BinOp::LtEq),
+                    Just(BinOp::Gt),
+                    Just(BinOp::GtEq),
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::And),
+                    Just(BinOp::Or),
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, l, r)| Expr::binary(op, l, r)),
+            inner.clone().prop_map(|e| Expr::Unary {
+                op: UnOp::IsNull,
+                input: Box::new(e)
+            }),
+            inner.clone().prop_map(|e| Expr::Unary {
+                op: UnOp::IsNotNull,
+                input: Box::new(e)
+            }),
+            inner.prop_map(|e| Expr::Unary {
+                op: UnOp::Neg,
+                input: Box::new(e)
+            }),
+        ]
+    })
+}
+
+/// Does a runtime value conform to a static type? NULL conforms to every
+/// type (SQL's NULL is untyped); INT conforms to FLOAT via unification
+/// (integer-valued arithmetic over mixed operands may stay integral).
+fn conforms(v: &Value, t: DataType) -> bool {
+    match v.data_type() {
+        None => true,
+        Some(vt) => vt == t || vt.unify(t) == Some(t),
+    }
+}
+
+proptest! {
+    /// Soundness: a well-typed expression never produces a runtime *type*
+    /// error, and every non-NULL result carries the promised type. (Eval
+    /// may still fail on division by zero — an arithmetic fault, which the
+    /// type system does not claim to rule out; nothing else may fail.)
+    #[test]
+    fn prop_well_typed_exprs_eval_cleanly(e in arb_expr(), t in arb_tuple()) {
+        let s = schema();
+        if let Ok(want) = e.data_type(&s) {
+            match e.eval(&t) {
+                Ok(v) => prop_assert!(
+                    conforms(&v, want),
+                    "{} typed as {want} but evaluated to {v:?}", e
+                ),
+                Err(EvoptError::Execution(msg)) => prop_assert!(
+                    msg.contains("division by zero") || msg.contains("overflow"),
+                    "well-typed {} failed at runtime: {msg}", e
+                ),
+                Err(other) => prop_assert!(false, "{}: unexpected {other:?}", e),
+            }
+        }
+    }
+
+    /// NULL propagation through comparisons: comparing anything with NULL
+    /// is NULL, never an error and never TRUE/FALSE.
+    #[test]
+    fn prop_null_comparisons_propagate(a in -50i64..50, op in prop_oneof![
+        Just(BinOp::Eq), Just(BinOp::NotEq), Just(BinOp::Lt),
+        Just(BinOp::LtEq), Just(BinOp::Gt), Just(BinOp::GtEq),
+    ]) {
+        let t = Tuple::new(vec![
+            Value::Int(a), Value::Null, Value::Null, Value::Null, Value::Null,
+        ]);
+        // col(1) is NULL in this tuple.
+        for e in [
+            Expr::binary(op, col(0), col(1)),
+            Expr::binary(op, col(1), col(0)),
+            Expr::binary(op, col(1), col(1)),
+        ] {
+            prop_assert_eq!(e.data_type(&schema()).unwrap(), DataType::Bool);
+            prop_assert_eq!(e.eval(&t).unwrap(), Value::Null, "{}", e);
+        }
+    }
+
+    /// Cross-type comparisons: INT and FLOAT unify (and agree with numeric
+    /// order at runtime); INT/STR and BOOL/INT are static type errors.
+    #[test]
+    fn prop_cross_type_comparisons(a in -50i64..50, q in -200i64..200) {
+        let s = schema();
+        let f = q as f64 / 4.0;
+        let mixed = Expr::binary(BinOp::Lt, col(0), lit(f));
+        prop_assert_eq!(mixed.data_type(&s).unwrap(), DataType::Bool);
+        let t = Tuple::new(vec![
+            Value::Int(a), Value::Null, Value::Null, Value::Null, Value::Null,
+        ]);
+        prop_assert_eq!(mixed.eval(&t).unwrap(), Value::Bool((a as f64) < f));
+
+        // Incomparable pairs are rejected statically.
+        prop_assert!(Expr::binary(BinOp::Lt, col(0), col(3)).data_type(&s).is_err());
+        prop_assert!(Expr::binary(BinOp::Eq, col(4), col(0)).data_type(&s).is_err());
+    }
+
+    /// Aggregate input typing: COUNT accepts anything; SUM/AVG demand a
+    /// numeric argument; MIN/MAX preserve the argument type; AVG always
+    /// yields FLOAT; SUM preserves INT vs FLOAT.
+    #[test]
+    fn prop_aggregate_input_types(dt in prop_oneof![
+        Just(DataType::Int), Just(DataType::Float),
+        Just(DataType::Str), Just(DataType::Bool),
+    ]) {
+        let numeric = matches!(dt, DataType::Int | DataType::Float);
+        prop_assert_eq!(AggFunc::Count.result_type(dt).unwrap(), DataType::Int);
+        prop_assert_eq!(AggFunc::CountStar.result_type(dt).unwrap(), DataType::Int);
+        prop_assert_eq!(AggFunc::Min.result_type(dt).unwrap(), dt);
+        prop_assert_eq!(AggFunc::Max.result_type(dt).unwrap(), dt);
+        if numeric {
+            prop_assert_eq!(AggFunc::Sum.result_type(dt).unwrap(), dt);
+            prop_assert_eq!(AggFunc::Avg.result_type(dt).unwrap(), DataType::Float);
+        } else {
+            prop_assert!(AggFunc::Sum.result_type(dt).is_err());
+            prop_assert!(AggFunc::Avg.result_type(dt).is_err());
+        }
+    }
+
+    /// Deep nesting: the checker is total — it returns Ok or Err without
+    /// panicking or overflowing, and is deterministic.
+    #[test]
+    fn prop_deeply_nested_exprs_check_deterministically(e in arb_expr()) {
+        let s = schema();
+        let first = e.data_type(&s);
+        let second = e.data_type(&s);
+        match (first, second) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(_), Err(_)) => {}
+            _ => prop_assert!(false, "{}: type-check not deterministic", e),
+        }
+    }
+
+    /// A column reference past the schema is always a static error — the
+    /// rule the plan verifier's schema checks are built on.
+    #[test]
+    fn prop_out_of_range_columns_rejected(i in 5usize..64) {
+        prop_assert!(col(i).data_type(&schema()).is_err());
+    }
+}
+
+/// Manually pinned ladder: a comparison chain nested 64 levels deep
+/// type-checks in linear time and without stack overflow (the proptest
+/// generator tops out around depth 6).
+#[test]
+fn very_deep_expression_ladder() {
+    let mut e = col(0);
+    for _ in 0..64 {
+        e = Expr::binary(BinOp::Add, e, lit(1i64));
+    }
+    let wrapped = Expr::binary(BinOp::Lt, e, lit(0i64));
+    assert_eq!(wrapped.data_type(&schema()).unwrap(), DataType::Bool);
+}
