@@ -1,0 +1,296 @@
+//! Criterion bench for the columnar kernels: the same operators executed
+//! in row mode (the original row-at-a-time implementations) and columnar
+//! mode (typed filter kernels, typed join key maps, typed aggregation).
+//! The row/columnar deltas recorded in EXPERIMENTS.md come from this
+//! bench.
+//!
+//! The kernel groups construct operators directly over an **in-memory
+//! source** so the measurement isolates the operator: a SQL-level filter
+//! would be pushed into the scan (hiding the Filter operator entirely) and
+//! page decode would dominate the timing. A TPC-H-lite end-to-end group
+//! runs the ordinary SQL battery both ways on top, where scans, batching
+//! and planning dilute the kernel share — the honest system-level number.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evopt_catalog::Catalog;
+use evopt_common::expr::{col, lit};
+use evopt_common::{AggFunc, Batch, BinOp, Column, DataType, Expr, Result, Schema, Tuple, Value};
+use evopt_core::physical::PhysAgg;
+use evopt_engine::Database;
+use evopt_exec::{ColumnarFilterExec, ColumnarHashAggregateExec, ExecEnv, Executor};
+use evopt_storage::{BufferPool, DiskManager, PolicyKind};
+use evopt_workload::load_tpch_lite;
+use evopt_workload::tpch_lite::queries;
+
+const BATCH_ROWS: usize = 1024;
+
+/// Replay a pre-built vector of batches: the zero-I/O operator input.
+struct MemSource {
+    schema: Schema,
+    batches: Vec<Batch>,
+    next: usize,
+}
+
+impl MemSource {
+    fn new(schema: Schema, rows: Vec<Tuple>) -> Self {
+        let batches = rows
+            .chunks(BATCH_ROWS)
+            .map(|c| Batch::new(schema.clone(), c.to_vec()))
+            .collect();
+        MemSource {
+            schema,
+            batches,
+            next: 0,
+        }
+    }
+}
+
+impl Executor for MemSource {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        let b = self.batches.get(self.next).cloned();
+        self.next += 1;
+        Ok(b)
+    }
+}
+
+/// `n` rows of `(id INT unique, grp INT ∈ 0..100, dec INT ∈ 0..10 with a
+/// NULL every 7th row, val FLOAT)`.
+fn table(n: i64) -> (Schema, Vec<Tuple>) {
+    let schema = Schema::new(vec![
+        Column::new("id", DataType::Int),
+        Column::new("grp", DataType::Int),
+        Column::new("dec", DataType::Int),
+        Column::new("val", DataType::Float),
+    ]);
+    let rows = (0..n)
+        .map(|i| {
+            let dec = if i % 7 == 0 {
+                Value::Null
+            } else {
+                Value::Int(i % 10)
+            };
+            Tuple::new(vec![
+                Value::Int(i),
+                Value::Int(i % 100),
+                dec,
+                Value::Float(i as f64 * 0.5),
+            ])
+        })
+        .collect();
+    (schema, rows)
+}
+
+fn drain(mut e: Box<dyn Executor>) -> usize {
+    let mut n = 0;
+    while let Some(b) = e.next_batch().expect("next_batch") {
+        n += b.len();
+    }
+    n
+}
+
+/// Typed comparison kernels: Filter over the in-memory source.
+fn bench_filter_kernels(c: &mut Criterion) {
+    let (schema, rows) = table(100_000);
+    let cases = [
+        // ~50% selectivity single comparison.
+        ("int-lt", Expr::binary(BinOp::Lt, col(0), lit(50_000i64))),
+        // Conjunction of two typed comparisons (~5%), NULLs in `dec`.
+        (
+            "and-lt-eq",
+            Expr::and(
+                Expr::binary(BinOp::Lt, col(0), lit(50_000i64)),
+                Expr::eq(col(2), lit(3i64)),
+            ),
+        ),
+        // Column-vs-column comparison.
+        ("col-vs-col", Expr::binary(BinOp::Lt, col(0), col(1))),
+        // Float column against an Int constant (cross-class numeric).
+        ("float-gt", Expr::binary(BinOp::Gt, col(3), lit(40_000i64))),
+    ];
+    let mut group = c.benchmark_group("filter-kernel");
+    for (label, pred) in cases {
+        for (mode, columnar) in [("row", false), ("columnar", true)] {
+            group.bench_with_input(BenchmarkId::new(label, mode), &pred, |b, pred| {
+                b.iter(|| {
+                    let src = Box::new(MemSource::new(schema.clone(), rows.clone()));
+                    let exec: Box<dyn Executor> = if columnar {
+                        Box::new(ColumnarFilterExec::new(src, pred.clone()))
+                    } else {
+                        Box::new(evopt_exec::simple::FilterExec::new(src, pred.clone()))
+                    };
+                    drain(exec)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Typed aggregation: grouped and ungrouped hash aggregation.
+fn bench_agg_kernels(c: &mut Criterion) {
+    let (schema, rows) = table(100_000);
+    let agg = |f, c| PhysAgg {
+        func: f,
+        arg: Some(col(c)),
+    };
+    let star = PhysAgg {
+        func: AggFunc::CountStar,
+        arg: None,
+    };
+    let cases = [
+        (
+            "group-by-int",
+            vec![1usize],
+            vec![
+                star.clone(),
+                agg(AggFunc::Sum, 0),
+                agg(AggFunc::Min, 0),
+                agg(AggFunc::Max, 0),
+            ],
+        ),
+        (
+            "ungrouped",
+            vec![],
+            vec![
+                agg(AggFunc::Sum, 0),
+                agg(AggFunc::Avg, 3),
+                agg(AggFunc::Count, 2),
+            ],
+        ),
+    ];
+    let mut group = c.benchmark_group("hash-agg-kernel");
+    for (label, group_by, aggs) in cases {
+        let width = group_by.len() + aggs.len();
+        let out_schema = Schema::new(
+            (0..width)
+                .map(|i| Column::new(format!("c{i}"), DataType::Int))
+                .collect(),
+        );
+        for (mode, columnar) in [("row", false), ("columnar", true)] {
+            group.bench_with_input(
+                BenchmarkId::new(label, mode),
+                &(&group_by, &aggs),
+                |b, (group_by, aggs)| {
+                    b.iter(|| {
+                        let src = Box::new(MemSource::new(schema.clone(), rows.clone()));
+                        let exec: Box<dyn Executor> = if columnar {
+                            Box::new(ColumnarHashAggregateExec::new(
+                                src,
+                                (*group_by).clone(),
+                                (*aggs).clone(),
+                                out_schema.clone(),
+                                BATCH_ROWS,
+                            ))
+                        } else {
+                            Box::new(evopt_exec::agg::HashAggregateExec::new(
+                                src,
+                                (*group_by).clone(),
+                                (*aggs).clone(),
+                                out_schema.clone(),
+                                BATCH_ROWS,
+                            ))
+                        };
+                        drain(exec)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Typed join key maps: in-memory hash join build + probe.
+fn bench_join_kernels(c: &mut Criterion) {
+    let (schema, probe_rows) = table(100_000);
+    // Build sides: unique Int keys (one hit per probe) and a skewed key
+    // space (20 duplicates per key → longer match chains).
+    let (_, build_unique) = table(20_000);
+    let build_skewed: Vec<Tuple> = (0..20_000i64)
+        .map(|i| {
+            Tuple::new(vec![
+                Value::Int(i % 1_000),
+                Value::Int(i),
+                Value::Null,
+                Value::Float(0.0),
+            ])
+        })
+        .collect();
+    // A hash join needs an ExecEnv for its spill budget; a tiny private
+    // catalog keeps the build in memory (no tables are touched).
+    let pool = BufferPool::new(Arc::new(DiskManager::new()), 4096, PolicyKind::Lru);
+    let env = ExecEnv::new(Arc::new(Catalog::new(pool)), 4096);
+    let out_schema = schema.join(&schema);
+    let cases: [(&str, &Vec<Tuple>, usize); 2] = [
+        // Probe id ∈ 0..100k vs unique build id ∈ 0..20k: 20% hit rate.
+        ("unique-key", &build_unique, 0),
+        // Probe grp ∈ 0..100 vs skewed build key ∈ 0..1000: every probe
+        // row fans out to 20 matches.
+        ("skewed-key", &build_skewed, 1),
+    ];
+    let mut group = c.benchmark_group("hash-join-kernel");
+    for (label, build, left_key) in cases {
+        for (mode, columnar) in [("row", false), ("columnar", true)] {
+            let env = env
+                .clone()
+                .with_batch_rows(BATCH_ROWS)
+                .with_columnar(columnar);
+            group.bench_with_input(BenchmarkId::new(label, mode), build, |b, build| {
+                b.iter(|| {
+                    let left = Box::new(MemSource::new(schema.clone(), probe_rows.clone()));
+                    let right = Box::new(MemSource::new(schema.clone(), build.to_vec()));
+                    let exec = evopt_exec::join::HashJoinExec::new(
+                        left,
+                        right,
+                        env.clone(),
+                        left_key,
+                        0,
+                        None,
+                        out_schema.clone(),
+                    );
+                    drain(Box::new(exec))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// End-to-end TPC-H-lite battery through the ordinary SQL path (scans,
+/// planning and batching included).
+fn bench_tpch_end_to_end(c: &mut Criterion) {
+    let db = Database::with_defaults();
+    load_tpch_lite(&db, 0.3, 42).expect("tpch");
+    db.execute("ANALYZE").unwrap();
+    let battery = [
+        ("revenue-per-nation", queries::REVENUE_PER_NATION),
+        ("customer-orders", queries::CUSTOMER_ORDERS),
+        ("shipped-big-orders", queries::SHIPPED_BIG_ORDERS),
+    ];
+    let mut group = c.benchmark_group("tpch-lite-end-to-end");
+    for (label, sql) in battery {
+        let (_, p) = db.plan_sql(sql).expect("plan");
+        for (mode, columnar) in [("row", false), ("columnar", true)] {
+            db.set_columnar(columnar);
+            group.bench_with_input(BenchmarkId::new(label, mode), &p, |b, p| {
+                b.iter(|| db.run_plan(p).expect("run"))
+            });
+        }
+        db.set_columnar(true);
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_filter_kernels,
+    bench_agg_kernels,
+    bench_join_kernels,
+    bench_tpch_end_to_end
+);
+criterion_main!(benches);

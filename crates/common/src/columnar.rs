@@ -1,0 +1,573 @@
+//! Column-major batches: the typed counterpart of the row [`Batch`].
+//!
+//! A [`ColumnarBatch`] holds one [`ColumnVector`] per schema field. Each
+//! vector stores its values in a typed Rust vector (`Vec<i64>`, `Vec<f64>`,
+//! `Vec<bool>`, `Vec<String>`) paired with a validity bitmap (one bit per
+//! slot; a cleared bit means SQL NULL and the slot's payload is a don't-care
+//! default). A batch optionally carries a **selection vector** — sorted row
+//! indices that survived a filter — so predicates can narrow a batch without
+//! copying any column data.
+//!
+//! Because [`Value`] is dynamically typed, a column *declared* `FLOAT` can
+//! legally hold `Int` values (insertion widens `INT → FLOAT` at the type
+//! level but keeps the runtime variant). Collapsing such a column to
+//! `Vec<f64>` would change observable results (`SUM` over all-`Int` inputs
+//! must stay `Int`), so conversion is value-driven: a column gets a typed
+//! vector only when every non-null value shares one runtime variant, and
+//! falls back to [`ColumnData::Any`] (a plain `Vec<Value>`) otherwise. Typed
+//! kernels check the representation and take the exact generic path on
+//! `Any`, so columnar execution is bit-for-bit identical to the row path.
+
+use crate::batch::Batch;
+use crate::error::{EvoptError, Result};
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Validity bitmap: one bit per slot, set = non-NULL.
+#[derive(Debug, Clone, Default)]
+pub struct Validity {
+    words: Vec<u64>,
+    len: usize,
+    valid: usize,
+}
+
+impl Validity {
+    pub fn with_capacity(capacity: usize) -> Validity {
+        Validity {
+            words: Vec::with_capacity(capacity.div_ceil(64)),
+            len: 0,
+            valid: 0,
+        }
+    }
+
+    /// Append one slot's validity bit.
+    pub fn push(&mut self, is_valid: bool) {
+        let (word, bit) = (self.len / 64, self.len % 64);
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        if is_valid {
+            self.words[word] |= 1u64 << bit;
+            self.valid += 1;
+        }
+        self.len += 1;
+    }
+
+    /// Whether slot `i` is non-NULL. Out-of-range reads are NULL.
+    pub fn is_valid(&self, i: usize) -> bool {
+        if i >= self.len {
+            return false;
+        }
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of non-NULL slots.
+    pub fn count_valid(&self) -> usize {
+        self.valid
+    }
+
+    /// True when no slot is NULL — kernels skip per-row validity tests.
+    pub fn all_valid(&self) -> bool {
+        self.valid == self.len
+    }
+}
+
+/// The typed payload of one column. Invalid (NULL) slots hold an arbitrary
+/// default; only the validity bitmap distinguishes them.
+#[derive(Debug, Clone)]
+pub enum ColumnData {
+    Int(Vec<i64>),
+    Float(Vec<f64>),
+    Bool(Vec<bool>),
+    Str(Vec<String>),
+    /// Exactness fallback for columns whose non-null values mix runtime
+    /// variants (e.g. `Int` rows stored in a declared-`FLOAT` column).
+    Any(Vec<Value>),
+}
+
+impl ColumnData {
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Float(v) => v.len(),
+            ColumnData::Bool(v) => v.len(),
+            ColumnData::Str(v) => v.len(),
+            ColumnData::Any(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A borrowed, non-owning view of one slot — lets kernels compare and
+/// accumulate without materialising a [`Value`] (no `String` clones).
+#[derive(Debug, Clone, Copy)]
+pub enum Cell<'a> {
+    Null,
+    I(i64),
+    F(f64),
+    B(bool),
+    S(&'a str),
+}
+
+impl<'a> Cell<'a> {
+    pub fn of(v: &'a Value) -> Cell<'a> {
+        match v {
+            Value::Null => Cell::Null,
+            Value::Int(i) => Cell::I(*i),
+            Value::Float(f) => Cell::F(*f),
+            Value::Bool(b) => Cell::B(*b),
+            Value::Str(s) => Cell::S(s),
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Cell::Null)
+    }
+
+    /// Owned [`Value`] (clones strings).
+    pub fn to_value(self) -> Value {
+        match self {
+            Cell::Null => Value::Null,
+            Cell::I(i) => Value::Int(i),
+            Cell::F(f) => Value::Float(f),
+            Cell::B(b) => Value::Bool(b),
+            Cell::S(s) => Value::Str(s.to_owned()),
+        }
+    }
+
+    /// Rank of the cell's class in the engine's total order; mirrors
+    /// `Value`'s class ranking (`Bool` < numeric < `Str`). NULL has no rank.
+    fn class_rank(&self) -> u8 {
+        match self {
+            Cell::Null => 0,
+            Cell::B(_) => 1,
+            Cell::I(_) | Cell::F(_) => 2,
+            Cell::S(_) => 3,
+        }
+    }
+}
+
+/// Total-order comparison of two non-null cells, exactly mirroring
+/// `Value::cmp` (ints and floats compare numerically via `total_cmp`, class
+/// rank decides across classes). Returns `None` when either side is NULL —
+/// i.e. the same contract as `Value::sql_cmp`.
+pub fn cell_cmp(a: Cell<'_>, b: Cell<'_>) -> Option<std::cmp::Ordering> {
+    if a.is_null() || b.is_null() {
+        return None;
+    }
+    let (ra, rb) = (a.class_rank(), b.class_rank());
+    if ra != rb {
+        return Some(ra.cmp(&rb));
+    }
+    Some(match (a, b) {
+        (Cell::B(x), Cell::B(y)) => x.cmp(&y),
+        (Cell::I(x), Cell::I(y)) => x.cmp(&y),
+        (Cell::F(x), Cell::F(y)) => x.total_cmp(&y),
+        (Cell::I(x), Cell::F(y)) => (x as f64).total_cmp(&y),
+        (Cell::F(x), Cell::I(y)) => x.total_cmp(&(y as f64)),
+        (Cell::S(x), Cell::S(y)) => x.cmp(y),
+        // Unreachable while class_rank stays in sync with the variants.
+        _ => std::cmp::Ordering::Equal,
+    })
+}
+
+/// One column: typed data plus its validity bitmap.
+#[derive(Debug, Clone)]
+pub struct ColumnVector {
+    pub data: ColumnData,
+    pub validity: Validity,
+}
+
+impl ColumnVector {
+    /// Extract column `col` from a run of rows. Picks the typed
+    /// representation when every non-null value shares one runtime variant;
+    /// falls back to [`ColumnData::Any`] otherwise (see module docs).
+    pub fn from_rows(rows: &[Tuple], col: usize) -> Result<ColumnVector> {
+        // Decide the representation in one scan over the runtime variants.
+        let mut variant: Option<u8> = None; // 0=Int 1=Float 2=Bool 3=Str
+        let mut mixed = false;
+        for t in rows {
+            let tag = match t.value(col)? {
+                Value::Null => continue,
+                Value::Int(_) => 0,
+                Value::Float(_) => 1,
+                Value::Bool(_) => 2,
+                Value::Str(_) => 3,
+            };
+            match variant {
+                None => variant = Some(tag),
+                Some(v) if v == tag => {}
+                Some(_) => {
+                    mixed = true;
+                    break;
+                }
+            }
+        }
+        let mut validity = Validity::with_capacity(rows.len());
+        let data = if mixed {
+            let mut out = Vec::with_capacity(rows.len());
+            for t in rows {
+                let v = t.value(col)?;
+                validity.push(!v.is_null());
+                out.push(v.clone());
+            }
+            ColumnData::Any(out)
+        } else {
+            match variant {
+                // All-NULL columns: any typed vector works; Int is cheapest.
+                None | Some(0) => {
+                    let mut out = Vec::with_capacity(rows.len());
+                    for t in rows {
+                        match t.value(col)? {
+                            Value::Int(i) => {
+                                validity.push(true);
+                                out.push(*i);
+                            }
+                            _ => {
+                                validity.push(false);
+                                out.push(0);
+                            }
+                        }
+                    }
+                    ColumnData::Int(out)
+                }
+                Some(1) => {
+                    let mut out = Vec::with_capacity(rows.len());
+                    for t in rows {
+                        match t.value(col)? {
+                            Value::Float(f) => {
+                                validity.push(true);
+                                out.push(*f);
+                            }
+                            _ => {
+                                validity.push(false);
+                                out.push(0.0);
+                            }
+                        }
+                    }
+                    ColumnData::Float(out)
+                }
+                Some(2) => {
+                    let mut out = Vec::with_capacity(rows.len());
+                    for t in rows {
+                        match t.value(col)? {
+                            Value::Bool(b) => {
+                                validity.push(true);
+                                out.push(*b);
+                            }
+                            _ => {
+                                validity.push(false);
+                                out.push(false);
+                            }
+                        }
+                    }
+                    ColumnData::Bool(out)
+                }
+                _ => {
+                    let mut out = Vec::with_capacity(rows.len());
+                    for t in rows {
+                        match t.value(col)? {
+                            Value::Str(s) => {
+                                validity.push(true);
+                                out.push(s.clone());
+                            }
+                            _ => {
+                                validity.push(false);
+                                out.push(String::new());
+                            }
+                        }
+                    }
+                    ColumnData::Str(out)
+                }
+            }
+        };
+        Ok(ColumnVector { data, validity })
+    }
+
+    pub fn len(&self) -> usize {
+        self.validity.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Borrowed view of slot `i` (NULL for invalid or out-of-range slots).
+    pub fn cell(&self, i: usize) -> Cell<'_> {
+        if !self.validity.is_valid(i) {
+            return Cell::Null;
+        }
+        match &self.data {
+            ColumnData::Int(v) => Cell::I(v[i]),
+            ColumnData::Float(v) => Cell::F(v[i]),
+            ColumnData::Bool(v) => Cell::B(v[i]),
+            ColumnData::Str(v) => Cell::S(&v[i]),
+            ColumnData::Any(v) => Cell::of(&v[i]),
+        }
+    }
+
+    /// Owned value of slot `i` (clones strings).
+    pub fn value(&self, i: usize) -> Value {
+        self.cell(i).to_value()
+    }
+}
+
+/// A column-major batch: one typed vector per schema field plus an optional
+/// selection vector (sorted row indices that survive upstream filtering).
+#[derive(Debug, Clone)]
+pub struct ColumnarBatch {
+    schema: Schema,
+    columns: Vec<ColumnVector>,
+    len: usize,
+    selection: Option<Vec<u32>>,
+}
+
+impl ColumnarBatch {
+    /// Convert a row batch, transposing every column.
+    pub fn from_batch(batch: &Batch) -> Result<ColumnarBatch> {
+        let width = batch.schema().len();
+        let rows = batch.rows();
+        let columns = (0..width)
+            .map(|c| ColumnVector::from_rows(rows, c))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(ColumnarBatch {
+            schema: batch.schema().clone(),
+            columns,
+            len: rows.len(),
+            selection: None,
+        })
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn columns(&self) -> &[ColumnVector] {
+        &self.columns
+    }
+
+    pub fn column(&self, i: usize) -> Result<&ColumnVector> {
+        self.columns
+            .get(i)
+            .ok_or_else(|| EvoptError::Internal(format!("column ordinal {i} out of range")))
+    }
+
+    /// Physical rows stored (ignoring the selection).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.selected_len() == 0
+    }
+
+    /// Rows visible through the selection.
+    pub fn selected_len(&self) -> usize {
+        match &self.selection {
+            Some(s) => s.len(),
+            None => self.len,
+        }
+    }
+
+    pub fn selection(&self) -> Option<&[u32]> {
+        self.selection.as_deref()
+    }
+
+    /// Replace the selection (indices must be sorted ascending and within
+    /// range; kernels produce them that way).
+    pub fn with_selection(mut self, selection: Vec<u32>) -> ColumnarBatch {
+        self.selection = Some(selection);
+        self
+    }
+
+    /// The visible row indices, in order.
+    pub fn selected_indices(&self) -> Vec<u32> {
+        match &self.selection {
+            Some(s) => s.clone(),
+            None => (0..self.len as u32).collect(),
+        }
+    }
+
+    /// Materialise back to a row batch, honouring the selection.
+    pub fn to_batch(&self) -> Batch {
+        let mut out = Batch::with_capacity(self.schema.clone(), self.selected_len());
+        let emit = |out: &mut Batch, i: usize| {
+            let values: Vec<Value> = self.columns.iter().map(|c| c.value(i)).collect();
+            out.push(Tuple::new(values));
+        };
+        match &self.selection {
+            Some(sel) => {
+                for &i in sel {
+                    emit(&mut out, i as usize);
+                }
+            }
+            None => {
+                for i in 0..self.len {
+                    emit(&mut out, i);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+    use crate::schema::Column;
+    use crate::value::DataType;
+    use std::cmp::Ordering;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("i", DataType::Int),
+            Column::new("f", DataType::Float),
+            Column::new("s", DataType::Str),
+            Column::new("b", DataType::Bool),
+        ])
+    }
+
+    fn sample_batch() -> Batch {
+        let rows = vec![
+            Tuple::new(vec![
+                Value::Int(1),
+                Value::Float(1.5),
+                Value::Str("a".into()),
+                Value::Bool(true),
+            ]),
+            Tuple::new(vec![Value::Null, Value::Null, Value::Null, Value::Null]),
+            Tuple::new(vec![
+                Value::Int(-3),
+                Value::Float(-0.0),
+                Value::Str("".into()),
+                Value::Bool(false),
+            ]),
+        ];
+        Batch::new(schema(), rows)
+    }
+
+    #[test]
+    fn round_trip_preserves_rows_and_nulls() {
+        let batch = sample_batch();
+        let cb = ColumnarBatch::from_batch(&batch).unwrap();
+        assert_eq!(cb.len(), 3);
+        assert_eq!(cb.selected_len(), 3);
+        let back = cb.to_batch();
+        assert_eq!(back.rows(), batch.rows());
+        // -0.0 must survive the round trip bit-exactly.
+        assert_eq!(
+            back.rows()[2].value(1).unwrap().as_f64().unwrap().to_bits(),
+            (-0.0f64).to_bits()
+        );
+    }
+
+    #[test]
+    fn typed_representation_chosen_per_runtime_variant() {
+        let cb = ColumnarBatch::from_batch(&sample_batch()).unwrap();
+        assert!(matches!(cb.column(0).unwrap().data, ColumnData::Int(_)));
+        assert!(matches!(cb.column(1).unwrap().data, ColumnData::Float(_)));
+        assert!(matches!(cb.column(2).unwrap().data, ColumnData::Str(_)));
+        assert!(matches!(cb.column(3).unwrap().data, ColumnData::Bool(_)));
+    }
+
+    #[test]
+    fn mixed_int_float_column_falls_back_to_any() {
+        // A declared-FLOAT column holding an Int value (legal: INT widens to
+        // FLOAT at the type level) must keep the Int variant observable.
+        let rows = vec![
+            Tuple::new(vec![Value::Int(1)]),
+            Tuple::new(vec![Value::Float(2.5)]),
+        ];
+        let cv = ColumnVector::from_rows(&rows, 0).unwrap();
+        assert!(matches!(cv.data, ColumnData::Any(_)));
+        assert_eq!(cv.value(0), Value::Int(1));
+        assert_eq!(cv.value(1), Value::Float(2.5));
+    }
+
+    #[test]
+    fn validity_bitmap_across_word_boundary() {
+        let mut v = Validity::with_capacity(130);
+        for i in 0..130 {
+            v.push(i % 3 != 0);
+        }
+        assert_eq!(v.len(), 130);
+        for i in 0..130 {
+            assert_eq!(v.is_valid(i), i % 3 != 0, "slot {i}");
+        }
+        assert!(!v.is_valid(500));
+        assert!(!v.all_valid());
+        assert_eq!(v.count_valid(), (0..130).filter(|i| i % 3 != 0).count());
+    }
+
+    #[test]
+    fn all_null_column_is_typed_with_empty_validity() {
+        let rows = vec![Tuple::new(vec![Value::Null]), Tuple::new(vec![Value::Null])];
+        let cv = ColumnVector::from_rows(&rows, 0).unwrap();
+        assert_eq!(cv.validity.count_valid(), 0);
+        assert!(cv.cell(0).is_null());
+        assert_eq!(cv.value(1), Value::Null);
+    }
+
+    #[test]
+    fn selection_vector_narrows_to_batch() {
+        let cb = ColumnarBatch::from_batch(&sample_batch())
+            .unwrap()
+            .with_selection(vec![0, 2]);
+        assert_eq!(cb.selected_len(), 2);
+        let back = cb.to_batch();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.rows()[0].value(0).unwrap(), &Value::Int(1));
+        assert_eq!(back.rows()[1].value(0).unwrap(), &Value::Int(-3));
+    }
+
+    #[test]
+    fn cell_cmp_mirrors_value_total_order() {
+        let vals = [
+            Value::Null,
+            Value::Bool(false),
+            Value::Bool(true),
+            Value::Int(-1),
+            Value::Int(7),
+            Value::Float(7.0),
+            Value::Float(f64::NAN),
+            Value::Str("a".into()),
+        ];
+        for a in &vals {
+            for b in &vals {
+                let expect = a.sql_cmp(b);
+                assert_eq!(
+                    cell_cmp(Cell::of(a), Cell::of(b)),
+                    expect,
+                    "cell_cmp({a:?}, {b:?})"
+                );
+            }
+        }
+        // Int/Float cross-class numeric equality.
+        assert_eq!(cell_cmp(Cell::I(7), Cell::F(7.0)), Some(Ordering::Equal));
+        assert_eq!(
+            cell_cmp(Cell::F(0.0), Cell::F(-0.0)),
+            Some(Ordering::Greater)
+        );
+    }
+
+    #[test]
+    fn out_of_range_column_errors() {
+        let cb = ColumnarBatch::from_batch(&sample_batch()).unwrap();
+        assert!(cb.column(9).is_err());
+        assert!(ColumnVector::from_rows(sample_batch().rows(), 9).is_err());
+    }
+}

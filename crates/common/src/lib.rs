@@ -10,6 +10,9 @@
 //!   by the storage layer.
 //! * [`Batch`] — a schema plus an ordered run of tuples: the unit of data
 //!   flow between executor operators.
+//! * [`ColumnarBatch`] — the column-major counterpart: one typed column
+//!   vector per schema field with a validity bitmap, plus a selection
+//!   vector, feeding the type-specialized kernels in `evopt-exec`.
 //! * [`Expr`] — bound scalar expression trees (column ordinals, literals,
 //!   comparisons, boolean connectives, arithmetic, `LIKE`, `IN`, `BETWEEN`)
 //!   with an evaluator and a constant folder.
@@ -23,6 +26,7 @@
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod batch;
+pub mod columnar;
 pub mod error;
 pub mod expr;
 pub mod schema;
@@ -30,6 +34,7 @@ pub mod tuple;
 pub mod value;
 
 pub use batch::{Batch, DEFAULT_BATCH_ROWS};
+pub use columnar::{Cell, ColumnData, ColumnVector, ColumnarBatch, Validity};
 pub use error::{EvoptError, Result};
 pub use expr::{AggFunc, BinOp, Expr, UnOp};
 pub use schema::{Column, Schema};

@@ -140,6 +140,15 @@ impl Value {
         Some(self.cmp(other))
     }
 
+    /// Join-key equality: SQL semantics collapsed to a boolean. NULL keys
+    /// never match — including `NULL = NULL`. This is what every join
+    /// family must use for key comparison; the derived `Eq` (which treats
+    /// `Null == Null` as equal) is only for total-order contexts such as
+    /// ORDER BY and GROUP BY.
+    pub fn sql_key_eq(&self, other: &Value) -> bool {
+        self.sql_eq(other) == Some(true)
+    }
+
     /// Checked addition with Int/Float coercion.
     pub fn add(&self, other: &Value) -> Result<Value> {
         numeric_binop(self, other, "+", |a, b| a.checked_add(b), |a, b| a + b)
@@ -383,6 +392,16 @@ mod tests {
         assert_eq!(Value::Int(1).sql_eq(&Value::Null), None);
         assert_eq!(Value::Int(1).sql_eq(&Value::Int(1)), Some(true));
         assert_eq!(Value::Int(1).sql_eq(&Value::Int(2)), Some(false));
+    }
+
+    #[test]
+    fn sql_key_eq_rejects_null_keys() {
+        assert!(!Value::Null.sql_key_eq(&Value::Null));
+        assert!(!Value::Null.sql_key_eq(&Value::Int(1)));
+        assert!(!Value::Int(1).sql_key_eq(&Value::Null));
+        assert!(Value::Int(1).sql_key_eq(&Value::Int(1)));
+        assert!(Value::Int(7).sql_key_eq(&Value::Float(7.0)));
+        assert!(!Value::Int(1).sql_key_eq(&Value::Int(2)));
     }
 
     #[test]

@@ -62,6 +62,11 @@ pub struct DatabaseConfig {
     /// unconditionally; this opts release builds in. A violation surfaces
     /// as a structured plan error, never a panic.
     pub verify_plans: bool,
+    /// Use the columnar operators (typed filter kernels, typed join key
+    /// maps, typed aggregation) where available — the default. Off forces
+    /// the original row-at-a-time operators everywhere, kept as the
+    /// differential baseline for the columnar port.
+    pub columnar: bool,
 }
 
 impl Default for DatabaseConfig {
@@ -78,6 +83,7 @@ impl Default for DatabaseConfig {
             query_log_cap: DEFAULT_QUERY_LOG_CAP,
             slow_query_us: DEFAULT_SLOW_QUERY_US,
             verify_plans: false,
+            columnar: true,
         }
     }
 }
@@ -266,6 +272,12 @@ impl Database {
     /// builds always verify; this opts release builds in).
     pub fn set_verify_plans(&self, on: bool) {
         self.config.lock().verify_plans = on;
+    }
+
+    /// Toggle columnar execution for subsequent queries (row-vs-columnar
+    /// differential testing; on by default).
+    pub fn set_columnar(&self, on: bool) {
+        self.config.lock().columnar = on;
     }
 
     /// Whether the plan verifier runs for this database right now.
@@ -561,8 +573,9 @@ impl Database {
     fn exec_env(&self) -> ExecEnv {
         let cfg = self.config.lock();
         let buffer_pages = cfg.optimizer.cost_model.buffer_pages;
-        let env =
-            ExecEnv::new(Arc::clone(&self.catalog), buffer_pages).with_batch_rows(cfg.batch_rows);
+        let env = ExecEnv::new(Arc::clone(&self.catalog), buffer_pages)
+            .with_batch_rows(cfg.batch_rows)
+            .with_columnar(cfg.columnar);
         match &self.metrics {
             Some(m) => env.with_metrics(Arc::clone(m)),
             None => env,

@@ -132,6 +132,10 @@ impl HashAggregateExec {
 
     fn compute(&mut self) -> Result<()> {
         let mut input = invariant(self.input.take(), "aggregate computed only once")?;
+        // Semantics audit: the group map's derived `Value` equality (total
+        // order: `Null == Null`, numerics compare across Int/Float) is the
+        // CORRECT choice for GROUP BY — SQL groups all NULL keys into one
+        // group. Join keys are the opposite (`Value::sql_key_eq`).
         let mut groups: HashMap<Vec<Value>, Vec<Accumulator>> = HashMap::new();
         // Keep first-seen order for deterministic output.
         let mut order: Vec<Vec<Value>> = Vec::new();
@@ -289,6 +293,9 @@ impl Executor for SortAggregateExec {
                         .map(|&g| t.value(g).cloned())
                         .collect::<Result<_>>()?;
                     match &self.current_key {
+                        // Group-change test uses derived (total-order)
+                        // equality, like the hash variant's map: NULL keys
+                        // continue the same group, as GROUP BY requires.
                         Some(cur) if *cur == key => {
                             self.feed(&t)?;
                         }

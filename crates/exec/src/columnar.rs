@@ -1,0 +1,799 @@
+//! Columnar operators: type-specialized filter, hash-join key index, and
+//! hash aggregation.
+//!
+//! These are the ported "hot" operators of the columnar migration. Each
+//! still speaks the row [`Batch`] protocol at its operator boundary (so
+//! instrumentation, the governor, and unported operators compose
+//! unchanged) but internally transposes the columns it needs into
+//! [`ColumnVector`]s and runs typed kernels over them:
+//!
+//! * [`ColumnarFilterExec`] — compiles the predicate via
+//!   [`crate::kernels::compile_predicate`] and evaluates it as selection
+//!   vectors over typed columns; falls back to row-at-a-time evaluation
+//!   for unsupported predicate shapes.
+//! * [`JoinKeyMap`] — the hash join's typed build-side index: key columns
+//!   are extracted in bulk and hashed as native `i64`/`f64`-bits/`String`
+//!   keys instead of `Value` enums. NULL keys are excluded at build and
+//!   probe (SQL: NULL never joins), and a representation mismatch at probe
+//!   time degrades — lazily, exactly once — to the `Value`-keyed map whose
+//!   `Eq`/`Hash` are the row path's semantics, so results are identical by
+//!   construction.
+//! * [`ColumnarHashAggregateExec`] — typed accumulators (native `i64`/`f64`
+//!   SUM/MIN/MAX/COUNT states) fed from column vectors, with a
+//!   single-`Int`-column group-key fast path.
+//!
+//! Row-mode (`DatabaseConfig::columnar = false`) keeps the original row
+//! operators alive as the differential baseline; `tests/null_semantics.rs`
+//! and `tests/batch_equivalence.rs` assert both modes agree bit-for-bit.
+
+use std::collections::HashMap;
+
+use evopt_common::columnar::{cell_cmp, Cell, ColumnData, ColumnVector};
+use evopt_common::{AggFunc, Batch, EvoptError, Expr, Result, Schema, Tuple, Value};
+use evopt_core::physical::PhysAgg;
+
+use crate::executor::{invariant, Executor};
+use crate::kernels::{compile_predicate, Kernel};
+
+// ---------------------------------------------------------------------------
+// Columnar filter
+// ---------------------------------------------------------------------------
+
+/// Filter over typed column vectors: extracts only the columns the
+/// predicate references, evaluates the compiled kernel to a selection
+/// vector, and gathers the surviving rows.
+pub struct ColumnarFilterExec {
+    input: Box<dyn Executor>,
+    predicate: Expr,
+    kernel: Option<Kernel>,
+    referenced: Vec<usize>,
+}
+
+impl ColumnarFilterExec {
+    pub fn new(input: Box<dyn Executor>, predicate: Expr) -> Self {
+        let kernel = compile_predicate(&predicate);
+        let referenced = kernel
+            .as_ref()
+            .map(Kernel::referenced_columns)
+            .unwrap_or_default();
+        ColumnarFilterExec {
+            input,
+            predicate,
+            kernel,
+            referenced,
+        }
+    }
+}
+
+impl Executor for ColumnarFilterExec {
+    fn schema(&self) -> &Schema {
+        self.input.schema()
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        let width = self.input.schema().len();
+        // A batch may filter down to nothing; keep pulling so an emitted
+        // batch is never empty.
+        while let Some(batch) = self.input.next_batch()? {
+            let (schema, rows) = batch.into_parts();
+            let kept = match &self.kernel {
+                Some(kernel) => {
+                    let mut cols: Vec<Option<ColumnVector>> = Vec::new();
+                    cols.resize_with(width, || None);
+                    for &c in &self.referenced {
+                        if c < width {
+                            cols[c] = Some(ColumnVector::from_rows(&rows, c)?);
+                        }
+                    }
+                    let all: Vec<u32> = (0..rows.len() as u32).collect();
+                    let sel = kernel.eval(&cols, &all)?;
+                    if sel.len() == rows.len() {
+                        rows
+                    } else {
+                        gather(rows, &sel)
+                    }
+                }
+                // Unsupported predicate shape: exact row-at-a-time path.
+                None => {
+                    let mut kept = Vec::with_capacity(rows.len());
+                    for t in rows {
+                        if self.predicate.eval_predicate(&t)? {
+                            kept.push(t);
+                        }
+                    }
+                    kept
+                }
+            };
+            if !kept.is_empty() {
+                return Ok(Some(Batch::new(schema, kept)));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Keep the rows at the (sorted ascending) selected indices, in order.
+fn gather(rows: Vec<Tuple>, sel: &[u32]) -> Vec<Tuple> {
+    let mut out = Vec::with_capacity(sel.len());
+    let mut next = sel.iter().copied();
+    let mut want = next.next();
+    for (i, t) in rows.into_iter().enumerate() {
+        match want {
+            Some(w) if w as usize == i => {
+                out.push(t);
+                want = next.next();
+            }
+            Some(_) => {}
+            None => break,
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Typed hash-join key index
+// ---------------------------------------------------------------------------
+
+const NO_MATCHES: &[u32] = &[];
+
+/// Build-side key index for the in-memory hash join: maps a key to the
+/// build-row indices carrying it. The representation is chosen from the
+/// build keys' runtime variants; NULL keys are never inserted.
+pub enum JoinKeyMap {
+    /// All build keys are `Int`.
+    Int(HashMap<i64, Vec<u32>>),
+    /// All build keys are `Float`, keyed by `to_bits` (the total order —
+    /// and therefore SQL equality on non-null floats — distinguishes
+    /// values iff their bits differ).
+    Float(HashMap<u64, Vec<u32>>),
+    /// All build keys are `Str`.
+    Str(HashMap<String, Vec<u32>>),
+    /// Mixed variants: `Value`-keyed, same `Eq`/`Hash` as the row path.
+    Val(HashMap<Value, Vec<u32>>),
+}
+
+impl JoinKeyMap {
+    /// Index `rows` by the key column. Rows with NULL keys are skipped —
+    /// they can never match a probe.
+    pub fn build(rows: &[Tuple], key: usize) -> Result<JoinKeyMap> {
+        // One scan to pick the representation.
+        let mut variant: Option<u8> = None; // 0=Int 1=Float 3=Str
+        let mut mixed = false;
+        for t in rows {
+            let tag = match t.value(key)? {
+                Value::Null => continue,
+                Value::Int(_) => 0,
+                Value::Float(_) => 1,
+                Value::Str(_) => 3,
+                Value::Bool(_) => 4,
+            };
+            match variant {
+                None => variant = Some(tag),
+                Some(v) if v == tag => {}
+                Some(_) => {
+                    mixed = true;
+                    break;
+                }
+            }
+        }
+        if mixed || variant == Some(4) {
+            return Self::build_val(rows, key);
+        }
+        match variant {
+            None | Some(0) => {
+                let mut map: HashMap<i64, Vec<u32>> = HashMap::new();
+                for (i, t) in rows.iter().enumerate() {
+                    if let Value::Int(k) = t.value(key)? {
+                        map.entry(*k).or_default().push(i as u32);
+                    }
+                }
+                Ok(JoinKeyMap::Int(map))
+            }
+            Some(1) => {
+                let mut map: HashMap<u64, Vec<u32>> = HashMap::new();
+                for (i, t) in rows.iter().enumerate() {
+                    if let Value::Float(k) = t.value(key)? {
+                        map.entry(k.to_bits()).or_default().push(i as u32);
+                    }
+                }
+                Ok(JoinKeyMap::Float(map))
+            }
+            _ => {
+                let mut map: HashMap<String, Vec<u32>> = HashMap::new();
+                for (i, t) in rows.iter().enumerate() {
+                    if let Value::Str(k) = t.value(key)? {
+                        map.entry(k.clone()).or_default().push(i as u32);
+                    }
+                }
+                Ok(JoinKeyMap::Str(map))
+            }
+        }
+    }
+
+    fn build_val(rows: &[Tuple], key: usize) -> Result<JoinKeyMap> {
+        let mut map: HashMap<Value, Vec<u32>> = HashMap::new();
+        for (i, t) in rows.iter().enumerate() {
+            let k = t.value(key)?;
+            if k.is_null() {
+                continue;
+            }
+            map.entry(k.clone()).or_default().push(i as u32);
+        }
+        Ok(JoinKeyMap::Val(map))
+    }
+
+    /// Build-row indices matching a probe key cell. NULL probes match
+    /// nothing. A probe whose variant the typed map cannot answer exactly
+    /// (an `Int` probe against a `Float`-keyed map is fine — bit-keys
+    /// reproduce `total_cmp` equality — but a `Float` probe against an
+    /// `Int`-keyed map is not representable) degrades the map, once, to
+    /// the `Value`-keyed form whose semantics are the row path's.
+    pub fn lookup(&mut self, cell: Cell<'_>, rows: &[Tuple], key: usize) -> Result<&[u32]> {
+        let degrade = matches!((&*self, &cell), (JoinKeyMap::Int(_), Cell::F(_)));
+        if degrade {
+            *self = match Self::build_val(rows, key)? {
+                m @ JoinKeyMap::Val(_) => m,
+                _ => return Err(EvoptError::Internal("join key map degrade".into())),
+            };
+        }
+        Ok(match (&*self, cell) {
+            (_, Cell::Null) => NO_MATCHES,
+            (JoinKeyMap::Int(map), Cell::I(k)) => {
+                map.get(&k).map(Vec::as_slice).unwrap_or(NO_MATCHES)
+            }
+            // Build keys are all Int: a Bool/Str probe is cross-class and
+            // can never compare Equal.
+            (JoinKeyMap::Int(_), _) => NO_MATCHES,
+            (JoinKeyMap::Float(map), Cell::F(k)) => map
+                .get(&k.to_bits())
+                .map(Vec::as_slice)
+                .unwrap_or(NO_MATCHES),
+            // Int probe vs Float build keys: SQL equality is
+            // `(i as f64).total_cmp(k) == Equal`, i.e. identical bits.
+            (JoinKeyMap::Float(map), Cell::I(k)) => map
+                .get(&(k as f64).to_bits())
+                .map(Vec::as_slice)
+                .unwrap_or(NO_MATCHES),
+            (JoinKeyMap::Float(_), _) => NO_MATCHES,
+            (JoinKeyMap::Str(map), Cell::S(k)) => {
+                map.get(k).map(Vec::as_slice).unwrap_or(NO_MATCHES)
+            }
+            (JoinKeyMap::Str(_), _) => NO_MATCHES,
+            (JoinKeyMap::Val(map), cell) => map
+                .get(&cell.to_value())
+                .map(Vec::as_slice)
+                .unwrap_or(NO_MATCHES),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Typed accumulators
+// ---------------------------------------------------------------------------
+
+/// Running SUM total: stays `I` (exact, overflow-checked) until the first
+/// `Float` input promotes it, mirroring `Value::add` coercion.
+#[derive(Debug, Clone, Copy)]
+pub enum SumState {
+    I(i64),
+    F(f64),
+}
+
+impl SumState {
+    fn as_value(&self) -> Value {
+        match self {
+            SumState::I(x) => Value::Int(*x),
+            SumState::F(x) => Value::Float(*x),
+        }
+    }
+}
+
+/// Running MIN/MAX champion: typed fast states for the numeric common
+/// case, `V` for the rest (Bool/Str), `Empty` before any non-null input.
+#[derive(Debug, Clone)]
+pub enum MinMaxState {
+    Empty,
+    I(i64),
+    F(f64),
+    V(Value),
+}
+
+impl MinMaxState {
+    fn as_cell(&self) -> Cell<'_> {
+        match self {
+            MinMaxState::Empty => Cell::Null,
+            MinMaxState::I(x) => Cell::I(*x),
+            MinMaxState::F(x) => Cell::F(*x),
+            MinMaxState::V(v) => Cell::of(v),
+        }
+    }
+
+    fn set(&mut self, cell: Cell<'_>) {
+        *self = match cell {
+            Cell::I(x) => MinMaxState::I(x),
+            Cell::F(x) => MinMaxState::F(x),
+            other => MinMaxState::V(other.to_value()),
+        };
+    }
+
+    fn finish(&self) -> Value {
+        match self {
+            MinMaxState::Empty => Value::Null,
+            MinMaxState::I(x) => Value::Int(*x),
+            MinMaxState::F(x) => Value::Float(*x),
+            MinMaxState::V(v) => v.clone(),
+        }
+    }
+}
+
+/// One running aggregate over cells: the typed mirror of the row path's
+/// `Accumulator`, with native `i64`/`f64` hot paths. Semantics are
+/// identical, including `SUM`'s `Int`-until-a-`Float`-appears result type,
+/// integer-overflow errors, and total-order MIN/MAX.
+#[derive(Debug, Clone)]
+pub enum TypedAcc {
+    Count(i64),
+    Sum { state: SumState, seen: bool },
+    Min(MinMaxState),
+    Max(MinMaxState),
+    Avg { total: f64, count: i64 },
+}
+
+impl TypedAcc {
+    pub fn new(func: AggFunc) -> TypedAcc {
+        match func {
+            AggFunc::Count | AggFunc::CountStar => TypedAcc::Count(0),
+            // SUM starts at Int(0) like the row accumulator: the result
+            // stays Int while every input is Int.
+            AggFunc::Sum => TypedAcc::Sum {
+                state: SumState::I(0),
+                seen: false,
+            },
+            AggFunc::Min => TypedAcc::Min(MinMaxState::Empty),
+            AggFunc::Max => TypedAcc::Max(MinMaxState::Empty),
+            AggFunc::Avg => TypedAcc::Avg {
+                total: 0.0,
+                count: 0,
+            },
+        }
+    }
+
+    /// Feed one argument cell. NULLs are ignored (SQL aggregate semantics).
+    pub fn update(&mut self, cell: Cell<'_>) -> Result<()> {
+        match self {
+            TypedAcc::Count(n) => {
+                if !cell.is_null() {
+                    *n += 1;
+                }
+            }
+            TypedAcc::Sum { state, seen } => match (*state, cell) {
+                (_, Cell::Null) => {}
+                (SumState::I(a), Cell::I(b)) => {
+                    *state =
+                        SumState::I(a.checked_add(b).ok_or_else(|| {
+                            EvoptError::Execution("integer overflow in +".into())
+                        })?);
+                    *seen = true;
+                }
+                (SumState::I(a), Cell::F(b)) => {
+                    *state = SumState::F(a as f64 + b);
+                    *seen = true;
+                }
+                (SumState::F(a), Cell::I(b)) => {
+                    *state = SumState::F(a + b as f64);
+                    *seen = true;
+                }
+                (SumState::F(a), Cell::F(b)) => {
+                    *state = SumState::F(a + b);
+                    *seen = true;
+                }
+                (cur, other) => {
+                    // Same error the row path's `Value::add` raises.
+                    return Err(EvoptError::Execution(format!(
+                        "cannot apply + to {:?} and {:?}",
+                        cur.as_value(),
+                        other.to_value()
+                    )));
+                }
+            },
+            TypedAcc::Min(cur) => {
+                if !cell.is_null() {
+                    let replace = match cur {
+                        MinMaxState::Empty => true,
+                        _ => cell_cmp(cell, cur.as_cell()) == Some(std::cmp::Ordering::Less),
+                    };
+                    if replace {
+                        cur.set(cell);
+                    }
+                }
+            }
+            TypedAcc::Max(cur) => {
+                if !cell.is_null() {
+                    let replace = match cur {
+                        MinMaxState::Empty => true,
+                        _ => cell_cmp(cell, cur.as_cell()) == Some(std::cmp::Ordering::Greater),
+                    };
+                    if replace {
+                        cur.set(cell);
+                    }
+                }
+            }
+            TypedAcc::Avg { total, count } => match cell {
+                Cell::I(x) => {
+                    *total += x as f64;
+                    *count += 1;
+                }
+                Cell::F(x) => {
+                    *total += x;
+                    *count += 1;
+                }
+                // Non-numeric (and NULL) arguments are skipped, mirroring
+                // the row accumulator's `as_f64` gate.
+                _ => {}
+            },
+        }
+        Ok(())
+    }
+
+    /// Count one row regardless of argument (COUNT(*)).
+    pub fn count_row(&mut self) {
+        if let TypedAcc::Count(n) = self {
+            *n += 1;
+        }
+    }
+
+    pub fn finish(&self) -> Value {
+        match self {
+            TypedAcc::Count(n) => Value::Int(*n),
+            TypedAcc::Sum { state, seen } => {
+                if *seen {
+                    state.as_value()
+                } else {
+                    Value::Null
+                }
+            }
+            TypedAcc::Min(s) | TypedAcc::Max(s) => s.finish(),
+            TypedAcc::Avg { total, count } => {
+                if *count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(*total / *count as f64)
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Columnar hash aggregation
+// ---------------------------------------------------------------------------
+
+/// Group-key index. GROUP BY deliberately uses total-order equality —
+/// `Null == Null` groups all NULL keys into one group, which is SQL's
+/// grouping rule (unlike join keys; see `Value::sql_key_eq`). The typed
+/// fast path keys a single `Int` group column as `Option<i64>` (`None` =
+/// the NULL group) and degrades to the generic `Vec<Value>` map when a
+/// batch shows any other variant.
+enum GroupKeys {
+    Int(HashMap<Option<i64>, u32>),
+    Generic(HashMap<Vec<Value>, u32>),
+}
+
+/// Hash aggregation over column vectors with [`TypedAcc`] accumulators.
+pub struct ColumnarHashAggregateExec {
+    input: Option<Box<dyn Executor>>,
+    group_by: Vec<usize>,
+    aggs: Vec<PhysAgg>,
+    schema: Schema,
+    batch_rows: usize,
+    results: Option<std::vec::IntoIter<Tuple>>,
+}
+
+impl ColumnarHashAggregateExec {
+    pub fn new(
+        input: Box<dyn Executor>,
+        group_by: Vec<usize>,
+        aggs: Vec<PhysAgg>,
+        schema: Schema,
+        batch_rows: usize,
+    ) -> Self {
+        ColumnarHashAggregateExec {
+            input: Some(input),
+            group_by,
+            aggs,
+            schema,
+            batch_rows: batch_rows.max(1),
+            results: None,
+        }
+    }
+
+    fn compute(&mut self) -> Result<()> {
+        let mut input = invariant(self.input.take(), "aggregate computed only once")?;
+        let mut keys = if self.group_by.len() == 1 {
+            GroupKeys::Int(HashMap::new())
+        } else {
+            GroupKeys::Generic(HashMap::new())
+        };
+        // First-seen group order; `group_values` doubles as the output key
+        // prefix of each result row.
+        let mut group_values: Vec<Vec<Value>> = Vec::new();
+        let mut accs: Vec<Vec<TypedAcc>> = Vec::new();
+        let fresh = |aggs: &[PhysAgg]| -> Vec<TypedAcc> {
+            aggs.iter().map(|a| TypedAcc::new(a.func)).collect()
+        };
+
+        while let Some(batch) = input.next_batch()? {
+            let rows = batch.into_rows();
+            // Extract the single group column (typed path) and any
+            // plain-column aggregate arguments once per batch.
+            let group_col = match (&keys, self.group_by.first()) {
+                (GroupKeys::Int(_), Some(&g)) => Some(ColumnVector::from_rows(&rows, g)?),
+                _ => None,
+            };
+            // A non-Int variant in the group column ends the typed path:
+            // migrate the accumulated groups to the generic map.
+            let group_col = match group_col {
+                Some(cv) if matches!(cv.data, ColumnData::Int(_)) => Some(cv),
+                Some(_) => {
+                    if let GroupKeys::Int(_) = &keys {
+                        let mut generic: HashMap<Vec<Value>, u32> = HashMap::new();
+                        for (idx, gv) in group_values.iter().enumerate() {
+                            generic.insert(gv.clone(), idx as u32);
+                        }
+                        keys = GroupKeys::Generic(generic);
+                    }
+                    None
+                }
+                None => None,
+            };
+            let mut arg_cols: Vec<Option<ColumnVector>> = Vec::with_capacity(self.aggs.len());
+            for spec in &self.aggs {
+                arg_cols.push(match (&spec.func, &spec.arg) {
+                    (AggFunc::CountStar, _) => None,
+                    (_, Some(Expr::Column(c))) => Some(ColumnVector::from_rows(&rows, *c)?),
+                    _ => None,
+                });
+            }
+
+            for (r, t) in rows.iter().enumerate() {
+                let gidx = match (&mut keys, &group_col) {
+                    (GroupKeys::Int(map), Some(cv)) => {
+                        let k = match cv.cell(r) {
+                            Cell::I(i) => Some(i),
+                            _ => None,
+                        };
+                        match map.get(&k) {
+                            Some(&idx) => idx,
+                            None => {
+                                let idx = group_values.len() as u32;
+                                map.insert(k, idx);
+                                group_values.push(vec![k.map_or(Value::Null, Value::Int)]);
+                                accs.push(fresh(&self.aggs));
+                                idx
+                            }
+                        }
+                    }
+                    (GroupKeys::Int(map), None) => {
+                        // Typed path with no group column only occurs for
+                        // `group_by.len() == 1` after migration — but keys
+                        // would be Generic then. Treat defensively: the
+                        // row's key via the generic construction.
+                        let g = self.group_by[0];
+                        let k = match t.value(g)? {
+                            Value::Int(i) => Some(*i),
+                            Value::Null => None,
+                            other => {
+                                return Err(EvoptError::Internal(format!(
+                                    "typed group path saw non-Int key {other:?}"
+                                )))
+                            }
+                        };
+                        match map.get(&k) {
+                            Some(&idx) => idx,
+                            None => {
+                                let idx = group_values.len() as u32;
+                                map.insert(k, idx);
+                                group_values.push(vec![k.map_or(Value::Null, Value::Int)]);
+                                accs.push(fresh(&self.aggs));
+                                idx
+                            }
+                        }
+                    }
+                    (GroupKeys::Generic(map), _) => {
+                        let key: Vec<Value> = self
+                            .group_by
+                            .iter()
+                            .map(|&g| t.value(g).cloned())
+                            .collect::<Result<_>>()?;
+                        match map.get(&key) {
+                            Some(&idx) => idx,
+                            None => {
+                                let idx = group_values.len() as u32;
+                                map.insert(key.clone(), idx);
+                                group_values.push(key);
+                                accs.push(fresh(&self.aggs));
+                                idx
+                            }
+                        }
+                    }
+                } as usize;
+                let group_accs = &mut accs[gidx];
+                for (ai, spec) in self.aggs.iter().enumerate() {
+                    match (&spec.func, &arg_cols[ai], &spec.arg) {
+                        (AggFunc::CountStar, _, _) => group_accs[ai].count_row(),
+                        (_, Some(cv), _) => group_accs[ai].update(cv.cell(r))?,
+                        (_, None, Some(arg)) => {
+                            let v = arg.eval(t)?;
+                            group_accs[ai].update(Cell::of(&v))?;
+                        }
+                        (f, None, None) => {
+                            return Err(EvoptError::Execution(format!("{f} requires an argument")))
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut rows = Vec::with_capacity(group_values.len().max(1));
+        if group_values.is_empty() && self.group_by.is_empty() {
+            // Ungrouped aggregate over empty input: one default row.
+            let values: Vec<Value> = self
+                .aggs
+                .iter()
+                .map(|a| TypedAcc::new(a.func).finish())
+                .collect();
+            rows.push(Tuple::new(values));
+        } else {
+            for (key, group_accs) in group_values.into_iter().zip(&accs) {
+                let mut values = key;
+                values.extend(group_accs.iter().map(TypedAcc::finish));
+                rows.push(Tuple::new(values));
+            }
+        }
+        self.results = Some(rows.into_iter());
+        Ok(())
+    }
+}
+
+impl Executor for ColumnarHashAggregateExec {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        if self.results.is_none() {
+            self.compute()?;
+        }
+        let iter = invariant(self.results.as_mut(), "aggregate results computed")?;
+        let rows: Vec<Tuple> = iter.by_ref().take(self.batch_rows).collect();
+        Ok(if rows.is_empty() {
+            None
+        } else {
+            Some(Batch::new(self.schema.clone(), rows))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    fn t(vals: Vec<Value>) -> Tuple {
+        Tuple::new(vals)
+    }
+
+    #[test]
+    fn join_key_map_picks_typed_representation() {
+        let rows = vec![
+            t(vec![Value::Int(1)]),
+            t(vec![Value::Null]),
+            t(vec![Value::Int(1)]),
+            t(vec![Value::Int(2)]),
+        ];
+        let mut map = JoinKeyMap::build(&rows, 0).unwrap();
+        assert!(matches!(map, JoinKeyMap::Int(_)));
+        assert_eq!(map.lookup(Cell::I(1), &rows, 0).unwrap(), &[0, 2]);
+        assert_eq!(map.lookup(Cell::I(2), &rows, 0).unwrap(), &[3]);
+        assert!(map.lookup(Cell::I(9), &rows, 0).unwrap().is_empty());
+        // NULL probes never match.
+        assert!(map.lookup(Cell::Null, &rows, 0).unwrap().is_empty());
+        // Cross-class probes never match.
+        assert!(map.lookup(Cell::S("1"), &rows, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn join_key_map_float_probe_degrades_exactly() {
+        let rows = vec![t(vec![Value::Int(7)]), t(vec![Value::Int(8)])];
+        let mut map = JoinKeyMap::build(&rows, 0).unwrap();
+        // A Float probe against Int keys must match numerically (SQL:
+        // 7 = 7.0), which the degraded Value map provides.
+        assert_eq!(map.lookup(Cell::F(7.0), &rows, 0).unwrap(), &[0]);
+        assert!(matches!(map, JoinKeyMap::Val(_)));
+        assert!(map.lookup(Cell::F(7.5), &rows, 0).unwrap().is_empty());
+        assert_eq!(map.lookup(Cell::I(8), &rows, 0).unwrap(), &[1]);
+    }
+
+    #[test]
+    fn join_key_map_int_probe_against_float_keys() {
+        let rows = vec![t(vec![Value::Float(7.0)]), t(vec![Value::Float(-0.0)])];
+        let mut map = JoinKeyMap::build(&rows, 0).unwrap();
+        assert!(matches!(map, JoinKeyMap::Float(_)));
+        assert_eq!(map.lookup(Cell::I(7), &rows, 0).unwrap(), &[0]);
+        // Int 0 is +0.0; it must NOT match -0.0 (total_cmp distinguishes),
+        // exactly like the row path's Value equality.
+        assert!(map.lookup(Cell::I(0), &rows, 0).unwrap().is_empty());
+        assert_eq!(map.lookup(Cell::F(-0.0), &rows, 0).unwrap(), &[1]);
+    }
+
+    #[test]
+    fn join_key_map_mixed_keys_use_value_map() {
+        let rows = vec![t(vec![Value::Int(1)]), t(vec![Value::Float(2.5)])];
+        let mut map = JoinKeyMap::build(&rows, 0).unwrap();
+        assert!(matches!(map, JoinKeyMap::Val(_)));
+        assert_eq!(map.lookup(Cell::I(1), &rows, 0).unwrap(), &[0]);
+        assert_eq!(map.lookup(Cell::F(1.0), &rows, 0).unwrap(), &[0]);
+        assert_eq!(map.lookup(Cell::F(2.5), &rows, 0).unwrap(), &[1]);
+    }
+
+    #[test]
+    fn typed_sum_mirrors_row_accumulator() {
+        let mut acc = TypedAcc::new(AggFunc::Sum);
+        acc.update(Cell::I(2)).unwrap();
+        acc.update(Cell::Null).unwrap();
+        acc.update(Cell::I(3)).unwrap();
+        assert_eq!(acc.finish(), Value::Int(5));
+        // A float input promotes the running total to Float.
+        acc.update(Cell::F(0.5)).unwrap();
+        assert_eq!(acc.finish(), Value::Float(5.5));
+        acc.update(Cell::I(1)).unwrap();
+        assert_eq!(acc.finish(), Value::Float(6.5));
+        // Overflow errors instead of wrapping.
+        let mut acc = TypedAcc::new(AggFunc::Sum);
+        acc.update(Cell::I(i64::MAX)).unwrap();
+        assert!(acc.update(Cell::I(1)).is_err());
+        // Non-numeric input errors like Value::add.
+        let mut acc = TypedAcc::new(AggFunc::Sum);
+        assert!(acc.update(Cell::S("x")).is_err());
+        // No inputs → NULL.
+        assert_eq!(TypedAcc::new(AggFunc::Sum).finish(), Value::Null);
+    }
+
+    #[test]
+    fn typed_min_max_use_total_order() {
+        let mut mn = TypedAcc::new(AggFunc::Min);
+        let mut mx = TypedAcc::new(AggFunc::Max);
+        for c in [Cell::I(3), Cell::F(2.5), Cell::Null, Cell::I(7)] {
+            mn.update(c).unwrap();
+            mx.update(c).unwrap();
+        }
+        assert_eq!(mn.finish(), Value::Float(2.5));
+        assert_eq!(mx.finish(), Value::Int(7));
+        // Ties keep the first-seen value (like the row path's strict `<`).
+        let mut mn = TypedAcc::new(AggFunc::Min);
+        mn.update(Cell::I(2)).unwrap();
+        mn.update(Cell::F(2.0)).unwrap();
+        assert_eq!(mn.finish(), Value::Int(2));
+        // Strings via the generic state.
+        let mut mx = TypedAcc::new(AggFunc::Max);
+        mx.update(Cell::S("a")).unwrap();
+        mx.update(Cell::S("c")).unwrap();
+        mx.update(Cell::S("b")).unwrap();
+        assert_eq!(mx.finish(), Value::Str("c".into()));
+    }
+
+    #[test]
+    fn typed_count_and_avg() {
+        let mut c = TypedAcc::new(AggFunc::Count);
+        let mut a = TypedAcc::new(AggFunc::Avg);
+        for cell in [Cell::I(1), Cell::Null, Cell::I(3)] {
+            c.update(cell).unwrap();
+            a.update(cell).unwrap();
+        }
+        assert_eq!(c.finish(), Value::Int(2));
+        assert_eq!(a.finish(), Value::Float(2.0));
+        assert_eq!(TypedAcc::new(AggFunc::Avg).finish(), Value::Null);
+        assert_eq!(TypedAcc::new(AggFunc::Count).finish(), Value::Int(0));
+    }
+}

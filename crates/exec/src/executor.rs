@@ -23,6 +23,11 @@ pub struct ExecEnv {
     /// batches/rows and spilling operators count spill events; when
     /// `None`, execution pays zero bookkeeping.
     pub metrics: Option<Arc<evopt_obs::EngineMetrics>>,
+    /// Use the columnar operators (typed filter kernels, typed join key
+    /// maps, typed aggregation) where available. Off = the original
+    /// row-at-a-time operators everywhere — kept alive as the differential
+    /// baseline for the columnar port.
+    pub columnar: bool,
 }
 
 impl ExecEnv {
@@ -32,6 +37,7 @@ impl ExecEnv {
             buffer_pages,
             batch_rows: DEFAULT_BATCH_ROWS,
             metrics: None,
+            columnar: true,
         }
     }
 
@@ -45,6 +51,12 @@ impl ExecEnv {
     /// Attach an engine metrics registry.
     pub fn with_metrics(mut self, metrics: Arc<evopt_obs::EngineMetrics>) -> Self {
         self.metrics = Some(metrics);
+        self
+    }
+
+    /// Select columnar (default) or row-at-a-time operators.
+    pub fn with_columnar(mut self, columnar: bool) -> Self {
+        self.columnar = columnar;
         self
     }
 
@@ -229,10 +241,19 @@ fn build_node(
             residual.clone(),
             plan.schema.clone(),
         )?),
-        PhysOp::Filter { input, predicate } => Box::new(crate::simple::FilterExec::new(
-            child(input, 1)?,
-            predicate.clone(),
-        )),
+        PhysOp::Filter { input, predicate } => {
+            if env.columnar {
+                Box::new(crate::columnar::ColumnarFilterExec::new(
+                    child(input, 1)?,
+                    predicate.clone(),
+                ))
+            } else {
+                Box::new(crate::simple::FilterExec::new(
+                    child(input, 1)?,
+                    predicate.clone(),
+                ))
+            }
+        }
         PhysOp::Project { input, exprs } => Box::new(crate::simple::ProjectExec::new(
             child(input, 1)?,
             exprs.clone(),
@@ -337,13 +358,25 @@ fn build_node(
             input,
             group_by,
             aggs,
-        } => Box::new(crate::agg::HashAggregateExec::new(
-            child(input, 1)?,
-            group_by.clone(),
-            aggs.clone(),
-            plan.schema.clone(),
-            env.batch_rows,
-        )),
+        } => {
+            if env.columnar {
+                Box::new(crate::columnar::ColumnarHashAggregateExec::new(
+                    child(input, 1)?,
+                    group_by.clone(),
+                    aggs.clone(),
+                    plan.schema.clone(),
+                    env.batch_rows,
+                ))
+            } else {
+                Box::new(crate::agg::HashAggregateExec::new(
+                    child(input, 1)?,
+                    group_by.clone(),
+                    aggs.clone(),
+                    plan.schema.clone(),
+                    env.batch_rows,
+                ))
+            }
+        }
         PhysOp::SortAggregate {
             input,
             group_by,

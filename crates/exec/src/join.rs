@@ -24,10 +24,12 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use evopt_catalog::TableInfo;
+use evopt_common::columnar::ColumnVector;
 use evopt_common::{Batch, EvoptError, Expr, Result, Schema, Tuple, Value};
 use evopt_storage::heap::HeapScan;
 use evopt_storage::HeapFile;
 
+use crate::columnar::JoinKeyMap;
 use crate::executor::{invariant, BatchBuilder, BatchCursor, ExecEnv, Executor};
 
 /// Usable bytes per page for blocking decisions.
@@ -398,7 +400,12 @@ impl SortMergeJoinExec {
                     if k.is_null() {
                         continue;
                     }
-                    if *k == key {
+                    // Key equality is SQL equality, not the derived `Eq`
+                    // (whose `Null == Null` would be wrong for join keys).
+                    // NULLs were skipped above, so both agree here — but
+                    // routing through `sql_key_eq` keeps that a fact of
+                    // the comparison, not of the surrounding control flow.
+                    if k.sql_key_eq(&key) {
                         self.group.push(t);
                     } else {
                         self.lookahead = Some(t);
@@ -429,19 +436,21 @@ impl Executor for SortMergeJoinExec {
             if lkey.is_null() {
                 continue;
             }
-            // Advance the right group until its key >= left key.
-            while self
-                .group_key
-                .as_ref()
-                .map_or(!self.right_done, |k| *k < lkey)
-            {
+            // Advance the right group until its key >= left key. Both keys
+            // are non-null here, so `sql_cmp` always answers; a NULL would
+            // have no defined merge position (which is why both sides skip
+            // NULL keys before ever comparing).
+            while self.group_key.as_ref().map_or(!self.right_done, |k| {
+                k.sql_cmp(&lkey) == Some(std::cmp::Ordering::Less)
+            }) {
                 if !self.advance_group()? {
                     break;
                 }
             }
             // Emit every match of this left row (the group stays resident
-            // for following duplicates on the left).
-            if self.group_key.as_ref() == Some(&lkey) {
+            // for following duplicates on the left). SQL key equality:
+            // NULL never matches (see `Value::sql_key_eq`).
+            if self.group_key.as_ref().is_some_and(|k| k.sql_key_eq(&lkey)) {
                 for rt in &self.group {
                     let combined = lt.join(rt);
                     if passes(&self.residual, &combined)? {
@@ -460,8 +469,14 @@ impl Executor for SortMergeJoinExec {
 enum HashJoinState {
     /// Not started.
     Init,
-    /// Build side fit in memory.
+    /// Build side fit in memory (row mode). NULL build keys were filtered
+    /// before insertion, so the map's derived `Value` equality coincides
+    /// with SQL key equality on everything it holds; NULL probe keys are
+    /// rejected in `probe_matches`.
     InMemory { map: HashMap<Value, Vec<Tuple>> },
+    /// Build side fit in memory (columnar mode): build rows plus a typed
+    /// key index. The [`JoinKeyMap`] owns the NULL-never-matches rule.
+    InMemoryColumnar { rows: Vec<Tuple>, keys: JoinKeyMap },
     /// Grace: both sides partitioned to temp heaps; joined per partition.
     Grace {
         left_parts: Vec<Arc<HeapFile>>,
@@ -525,6 +540,16 @@ impl HashJoinExec {
         }
         let budget = self.env.buffer_pages.max(3) * USABLE_PAGE_BYTES;
         if bytes <= budget {
+            if self.env.columnar {
+                // Typed key index over the build rows; keys are hashed as
+                // native i64/f64-bits/str instead of `Value` enums.
+                let keys = JoinKeyMap::build(&build_rows, self.right_key)?;
+                self.state = HashJoinState::InMemoryColumnar {
+                    rows: build_rows,
+                    keys,
+                };
+                return Ok(());
+            }
             let mut map: HashMap<Value, Vec<Tuple>> = HashMap::new();
             for t in build_rows {
                 let k = t.value(self.right_key)?.clone();
@@ -627,6 +652,27 @@ impl Executor for HashJoinExec {
                                     &self.residual,
                                     &mut self.out,
                                 )?;
+                            }
+                        }
+                        None => return Ok(self.out.flush()),
+                    }
+                }
+                HashJoinState::InMemoryColumnar { rows, keys } => {
+                    let left = invariant(self.left.as_mut(), "in-memory join keeps probe side")?;
+                    match left.next_batch()? {
+                        Some(batch) => {
+                            // Extract the probe key column once per batch,
+                            // then look each key cell up in the typed index.
+                            let probe_rows = batch.rows();
+                            let key_col = ColumnVector::from_rows(probe_rows, self.left_key)?;
+                            for (i, lt) in probe_rows.iter().enumerate() {
+                                let matches = keys.lookup(key_col.cell(i), rows, self.right_key)?;
+                                for &ri in matches {
+                                    let combined = lt.join(&rows[ri as usize]);
+                                    if passes(&self.residual, &combined)? {
+                                        self.out.push(combined);
+                                    }
+                                }
                             }
                         }
                         None => return Ok(self.out.flush()),

@@ -1,0 +1,615 @@
+//! Type-specialized predicate kernels over columnar data.
+//!
+//! [`compile_predicate`] lowers a bound [`Expr`] into a [`Kernel`] tree of
+//! comparison atoms when the predicate's shape is supported (comparisons of
+//! a column against a constant or another column, `IS [NOT] NULL`,
+//! `BETWEEN`/`IN` on constants, and any `AND`/`OR`/`NOT` combination of
+//! those). Unsupported shapes (`LIKE`, arithmetic inside comparisons, ...)
+//! return `None` and the operator falls back to row-at-a-time
+//! `Expr::eval_predicate` — slower, never wrong.
+//!
+//! Evaluation produces a **selection vector**: the input row indices on
+//! which the predicate is `TRUE`. This collapses SQL's three-valued logic
+//! into the filter contract (`NULL` rejects like `FALSE`), which is exactly
+//! why `AND` becomes selection intersection and `OR` selection union:
+//!
+//! * `a AND b` is `TRUE` iff both conjuncts are `TRUE` — chain the atoms,
+//!   each narrowing the previous selection.
+//! * `a OR b` is `TRUE` iff either disjunct is `TRUE` — union the
+//!   selections each atom accepts.
+//! * `NOT` pushes onto atoms by inverting the comparison (`NOT (a < b)` ⇔
+//!   `a >= b` under three-valued logic: both map NULL to NULL) and De
+//!   Morgan over `AND`/`OR`, which Kleene logic preserves.
+//!
+//! Each comparison atom dispatches once on the column representation and
+//! then runs a tight loop over the typed vector — `i64`/`f64`/`bool`/`&str`
+//! comparisons instead of per-row `Value` enum dispatch. The generic arm
+//! (mixed-variant [`ColumnData::Any`] columns, cross-class constants) goes
+//! through [`cell_cmp`], which mirrors `Value::sql_cmp` exactly.
+
+use std::cmp::Ordering;
+
+use evopt_common::columnar::{cell_cmp, Cell, ColumnData, ColumnVector};
+use evopt_common::{BinOp, EvoptError, Expr, Result, UnOp, Value};
+
+/// Right-hand side of a comparison atom.
+#[derive(Debug, Clone)]
+pub enum Rhs {
+    Const(Value),
+    Col(usize),
+}
+
+/// A compiled predicate: atoms plus boolean structure.
+#[derive(Debug, Clone)]
+pub enum Kernel {
+    /// `col <op> rhs` where `op` is a comparison; NULL on either side
+    /// rejects the row.
+    Cmp {
+        op: BinOp,
+        left: usize,
+        rhs: Rhs,
+    },
+    /// `col IS [NOT] NULL`.
+    IsNull {
+        col: usize,
+        negated: bool,
+    },
+    /// Constant outcome (e.g. `x NOT IN (..., NULL, ...)` can never be
+    /// TRUE).
+    Const(bool),
+    And(Vec<Kernel>),
+    Or(Vec<Kernel>),
+}
+
+/// Compile `expr` to a kernel tree, or `None` when its shape is not
+/// supported by the typed kernels.
+pub fn compile_predicate(expr: &Expr) -> Option<Kernel> {
+    match expr {
+        Expr::Literal(Value::Bool(b)) => Some(Kernel::Const(*b)),
+        // A literal NULL predicate is unknown everywhere: rejects all rows.
+        Expr::Literal(Value::Null) => Some(Kernel::Const(false)),
+        Expr::Binary { op, left, right } if op.is_comparison() => {
+            match (left.as_ref(), right.as_ref()) {
+                (Expr::Column(i), Expr::Literal(v)) => Some(Kernel::Cmp {
+                    op: *op,
+                    left: *i,
+                    rhs: Rhs::Const(v.clone()),
+                }),
+                (Expr::Literal(v), Expr::Column(i)) => Some(Kernel::Cmp {
+                    op: op.flip(),
+                    left: *i,
+                    rhs: Rhs::Const(v.clone()),
+                }),
+                (Expr::Column(i), Expr::Column(j)) => Some(Kernel::Cmp {
+                    op: *op,
+                    left: *i,
+                    rhs: Rhs::Col(*j),
+                }),
+                _ => None,
+            }
+        }
+        Expr::Binary {
+            op: BinOp::And,
+            left,
+            right,
+        } => Some(Kernel::And(vec![
+            compile_predicate(left)?,
+            compile_predicate(right)?,
+        ])),
+        Expr::Binary {
+            op: BinOp::Or,
+            left,
+            right,
+        } => Some(Kernel::Or(vec![
+            compile_predicate(left)?,
+            compile_predicate(right)?,
+        ])),
+        Expr::Unary {
+            op: UnOp::IsNull,
+            input,
+        } => match input.as_ref() {
+            Expr::Column(i) => Some(Kernel::IsNull {
+                col: *i,
+                negated: false,
+            }),
+            _ => None,
+        },
+        Expr::Unary {
+            op: UnOp::IsNotNull,
+            input,
+        } => match input.as_ref() {
+            Expr::Column(i) => Some(Kernel::IsNull {
+                col: *i,
+                negated: true,
+            }),
+            _ => None,
+        },
+        Expr::Unary {
+            op: UnOp::Not,
+            input,
+        } => compile_predicate(input).map(negate),
+        // `x BETWEEN lo AND hi` ⇔ `x >= lo AND x <= hi` in predicate
+        // context (a NULL bound makes the undecided side unknown, which
+        // rejects — same as the conjunction). The negated form is the De
+        // Morgan dual `x < lo OR x > hi`.
+        Expr::Between {
+            input,
+            low,
+            high,
+            negated,
+        } => match (input.as_ref(), low.as_ref(), high.as_ref()) {
+            (Expr::Column(i), Expr::Literal(lo), Expr::Literal(hi)) => {
+                let (op_lo, op_hi) = if *negated {
+                    (BinOp::Lt, BinOp::Gt)
+                } else {
+                    (BinOp::GtEq, BinOp::LtEq)
+                };
+                let atoms = vec![
+                    Kernel::Cmp {
+                        op: op_lo,
+                        left: *i,
+                        rhs: Rhs::Const(lo.clone()),
+                    },
+                    Kernel::Cmp {
+                        op: op_hi,
+                        left: *i,
+                        rhs: Rhs::Const(hi.clone()),
+                    },
+                ];
+                Some(if *negated {
+                    Kernel::Or(atoms)
+                } else {
+                    Kernel::And(atoms)
+                })
+            }
+            _ => None,
+        },
+        // `x IN (a, b)` is TRUE iff x equals some element; a NULL element
+        // only contributes unknown, which the union already rejects. The
+        // negated form is TRUE iff x differs from *every* element, so one
+        // NULL element makes it unsatisfiable.
+        Expr::InList {
+            input,
+            list,
+            negated,
+        } => match input.as_ref() {
+            Expr::Column(i) => {
+                if *negated {
+                    if list.iter().any(Value::is_null) {
+                        return Some(Kernel::Const(false));
+                    }
+                    Some(Kernel::And(
+                        list.iter()
+                            .map(|v| Kernel::Cmp {
+                                op: BinOp::NotEq,
+                                left: *i,
+                                rhs: Rhs::Const(v.clone()),
+                            })
+                            .collect(),
+                    ))
+                } else {
+                    Some(Kernel::Or(
+                        list.iter()
+                            .map(|v| Kernel::Cmp {
+                                op: BinOp::Eq,
+                                left: *i,
+                                rhs: Rhs::Const(v.clone()),
+                            })
+                            .collect(),
+                    ))
+                }
+            }
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Kernel-level negation under three-valued logic (see module docs).
+fn negate(k: Kernel) -> Kernel {
+    match k {
+        Kernel::Cmp { op, left, rhs } => Kernel::Cmp {
+            op: match op {
+                BinOp::Eq => BinOp::NotEq,
+                BinOp::NotEq => BinOp::Eq,
+                BinOp::Lt => BinOp::GtEq,
+                BinOp::LtEq => BinOp::Gt,
+                BinOp::Gt => BinOp::LtEq,
+                BinOp::GtEq => BinOp::Lt,
+                other => other, // unreachable: atoms hold comparisons only
+            },
+            left,
+            rhs,
+        },
+        Kernel::IsNull { col, negated } => Kernel::IsNull {
+            col,
+            negated: !negated,
+        },
+        Kernel::Const(b) => Kernel::Const(!b),
+        Kernel::And(ks) => Kernel::Or(ks.into_iter().map(negate).collect()),
+        Kernel::Or(ks) => Kernel::And(ks.into_iter().map(negate).collect()),
+    }
+}
+
+impl Kernel {
+    /// Column ordinals the kernel reads (callers extract exactly these).
+    pub fn referenced_columns(&self) -> Vec<usize> {
+        let mut cols = Vec::new();
+        self.visit_columns(&mut cols);
+        cols.sort_unstable();
+        cols.dedup();
+        cols
+    }
+
+    fn visit_columns(&self, out: &mut Vec<usize>) {
+        match self {
+            Kernel::Cmp { left, rhs, .. } => {
+                out.push(*left);
+                if let Rhs::Col(j) = rhs {
+                    out.push(*j);
+                }
+            }
+            Kernel::IsNull { col, .. } => out.push(*col),
+            Kernel::Const(_) => {}
+            Kernel::And(ks) | Kernel::Or(ks) => {
+                for k in ks {
+                    k.visit_columns(out);
+                }
+            }
+        }
+    }
+
+    /// Evaluate over the extracted columns: `sel` is the candidate row
+    /// indices (sorted ascending); the returned vector is the subset on
+    /// which the predicate is TRUE, in the same order.
+    pub fn eval(&self, cols: &[Option<ColumnVector>], sel: &[u32]) -> Result<Vec<u32>> {
+        match self {
+            Kernel::Const(true) => Ok(sel.to_vec()),
+            Kernel::Const(false) => Ok(Vec::new()),
+            Kernel::IsNull { col, negated } => {
+                let c = column(cols, *col)?;
+                Ok(sel
+                    .iter()
+                    .copied()
+                    .filter(|&i| c.validity.is_valid(i as usize) == *negated)
+                    .collect())
+            }
+            Kernel::And(ks) => {
+                let mut current = sel.to_vec();
+                for k in ks {
+                    if current.is_empty() {
+                        break;
+                    }
+                    current = k.eval(cols, &current)?;
+                }
+                Ok(current)
+            }
+            Kernel::Or(ks) => {
+                // Union of the disjuncts' selections, in input order. Each
+                // disjunct's output is a subset of `sel`, so the highest
+                // candidate index bounds the scratch bitmap.
+                let len = sel.iter().map(|&i| i as usize + 1).max().unwrap_or(0);
+                let mut accepted = vec![false; len];
+                for k in ks {
+                    for i in k.eval(cols, sel)? {
+                        accepted[i as usize] = true;
+                    }
+                }
+                Ok(sel
+                    .iter()
+                    .copied()
+                    .filter(|&i| accepted[i as usize])
+                    .collect())
+            }
+            Kernel::Cmp { op, left, rhs } => {
+                let lc = column(cols, *left)?;
+                match rhs {
+                    Rhs::Const(c) => cmp_const(*op, lc, c, sel),
+                    Rhs::Col(j) => cmp_cols(*op, lc, column(cols, *j)?, sel),
+                }
+            }
+        }
+    }
+}
+
+fn column(cols: &[Option<ColumnVector>], i: usize) -> Result<&ColumnVector> {
+    cols.get(i)
+        .and_then(Option::as_ref)
+        .ok_or_else(|| EvoptError::Internal(format!("kernel references unextracted column {i}")))
+}
+
+/// Does `ord` satisfy the comparison `op`? Mirrors `eval_binary_scalar`.
+fn ord_matches(op: BinOp, ord: Ordering) -> bool {
+    match op {
+        BinOp::Eq => ord == Ordering::Equal,
+        BinOp::NotEq => ord != Ordering::Equal,
+        BinOp::Lt => ord == Ordering::Less,
+        BinOp::LtEq => ord != Ordering::Greater,
+        BinOp::Gt => ord == Ordering::Greater,
+        BinOp::GtEq => ord != Ordering::Less,
+        // Atoms only hold comparisons; any other op accepts nothing.
+        _ => false,
+    }
+}
+
+/// Filter `sel` by `cmp(i)`, keeping rows where the ordering satisfies
+/// `op`. `cmp` returns `None` for NULL (rejected, like `sql_cmp`).
+fn filter_by<F: Fn(usize) -> Option<Ordering>>(op: BinOp, sel: &[u32], cmp: F) -> Result<Vec<u32>> {
+    Ok(sel
+        .iter()
+        .copied()
+        .filter(|&i| cmp(i as usize).is_some_and(|o| ord_matches(op, o)))
+        .collect())
+}
+
+/// Column vs constant: one dispatch on the representation pair, then a
+/// tight typed loop.
+fn cmp_const(op: BinOp, lc: &ColumnVector, c: &Value, sel: &[u32]) -> Result<Vec<u32>> {
+    if c.is_null() {
+        // Comparison with NULL is unknown for every row.
+        return Ok(Vec::new());
+    }
+    let valid = &lc.validity;
+    match (&lc.data, c) {
+        (ColumnData::Int(xs), Value::Int(y)) => {
+            filter_by(op, sel, |i| valid.is_valid(i).then(|| xs[i].cmp(y)))
+        }
+        (ColumnData::Int(xs), Value::Float(y)) => filter_by(op, sel, |i| {
+            valid.is_valid(i).then(|| (xs[i] as f64).total_cmp(y))
+        }),
+        (ColumnData::Float(xs), Value::Int(y)) => {
+            let yf = *y as f64;
+            filter_by(op, sel, |i| valid.is_valid(i).then(|| xs[i].total_cmp(&yf)))
+        }
+        (ColumnData::Float(xs), Value::Float(y)) => {
+            filter_by(op, sel, |i| valid.is_valid(i).then(|| xs[i].total_cmp(y)))
+        }
+        (ColumnData::Str(xs), Value::Str(y)) => filter_by(op, sel, |i| {
+            valid.is_valid(i).then(|| xs[i].as_str().cmp(y.as_str()))
+        }),
+        (ColumnData::Bool(xs), Value::Bool(y)) => {
+            filter_by(op, sel, |i| valid.is_valid(i).then(|| xs[i].cmp(y)))
+        }
+        // Mixed-variant columns or cross-class constants: exact generic
+        // path through cell_cmp (≡ Value::sql_cmp).
+        _ => {
+            let cc = Cell::of(c);
+            filter_by(op, sel, |i| cell_cmp(lc.cell(i), cc))
+        }
+    }
+}
+
+/// Column vs column.
+fn cmp_cols(op: BinOp, lc: &ColumnVector, rc: &ColumnVector, sel: &[u32]) -> Result<Vec<u32>> {
+    let (lv, rv) = (&lc.validity, &rc.validity);
+    let both = |i: usize| lv.is_valid(i) && rv.is_valid(i);
+    match (&lc.data, &rc.data) {
+        (ColumnData::Int(xs), ColumnData::Int(ys)) => {
+            filter_by(op, sel, |i| both(i).then(|| xs[i].cmp(&ys[i])))
+        }
+        (ColumnData::Int(xs), ColumnData::Float(ys)) => filter_by(op, sel, |i| {
+            both(i).then(|| (xs[i] as f64).total_cmp(&ys[i]))
+        }),
+        (ColumnData::Float(xs), ColumnData::Int(ys)) => filter_by(op, sel, |i| {
+            both(i).then(|| xs[i].total_cmp(&(ys[i] as f64)))
+        }),
+        (ColumnData::Float(xs), ColumnData::Float(ys)) => {
+            filter_by(op, sel, |i| both(i).then(|| xs[i].total_cmp(&ys[i])))
+        }
+        (ColumnData::Str(xs), ColumnData::Str(ys)) => {
+            filter_by(op, sel, |i| both(i).then(|| xs[i].cmp(&ys[i])))
+        }
+        (ColumnData::Bool(xs), ColumnData::Bool(ys)) => {
+            filter_by(op, sel, |i| both(i).then(|| xs[i].cmp(&ys[i])))
+        }
+        _ => filter_by(op, sel, |i| cell_cmp(lc.cell(i), rc.cell(i))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+    use evopt_common::expr::{col, lit};
+    use evopt_common::{Tuple, Value};
+
+    /// Rows over (i INT, f FLOAT, s STRING, b BOOL) with NULLs sprinkled in.
+    fn rows() -> Vec<Tuple> {
+        let mut out = Vec::new();
+        for i in 0..40i64 {
+            let v = |null_mod: i64, v: Value| if i % null_mod == 0 { Value::Null } else { v };
+            out.push(Tuple::new(vec![
+                v(5, Value::Int(i)),
+                v(7, Value::Float(i as f64 / 2.0)),
+                v(11, Value::Str(format!("s{:02}", i % 13))),
+                v(3, Value::Bool(i % 2 == 0)),
+            ]));
+        }
+        out
+    }
+
+    fn extract(rows: &[Tuple], kernel: &Kernel) -> Vec<Option<ColumnVector>> {
+        let mut cols = vec![None, None, None, None];
+        for c in kernel.referenced_columns() {
+            cols[c] = Some(ColumnVector::from_rows(rows, c).unwrap());
+        }
+        cols
+    }
+
+    /// Differential harness: the kernel's selection must match row-by-row
+    /// `eval_predicate` exactly.
+    fn assert_matches_row_eval(e: &Expr) {
+        let rows = rows();
+        let kernel = compile_predicate(e).unwrap_or_else(|| panic!("compiles: {e}"));
+        let cols = extract(&rows, &kernel);
+        let sel: Vec<u32> = (0..rows.len() as u32).collect();
+        let got = kernel.eval(&cols, &sel).unwrap();
+        let expect: Vec<u32> = rows
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| e.eval_predicate(t).unwrap())
+            .map(|(i, _)| i as u32)
+            .collect();
+        assert_eq!(got, expect, "kernel vs row eval for {e}");
+    }
+
+    #[test]
+    fn comparison_atoms_match_row_eval() {
+        for op in [
+            BinOp::Eq,
+            BinOp::NotEq,
+            BinOp::Lt,
+            BinOp::LtEq,
+            BinOp::Gt,
+            BinOp::GtEq,
+        ] {
+            assert_matches_row_eval(&Expr::binary(op, col(0), lit(17i64)));
+            assert_matches_row_eval(&Expr::binary(op, col(1), lit(8.5f64)));
+            // Int column vs float constant and flipped literal-first form.
+            assert_matches_row_eval(&Expr::binary(op, col(0), lit(16.5f64)));
+            assert_matches_row_eval(&Expr::binary(op, lit(17i64), col(0)));
+            // Column vs column across numeric representations.
+            assert_matches_row_eval(&Expr::binary(op, col(0), col(1)));
+            assert_matches_row_eval(&Expr::binary(op, col(2), lit("s05")));
+            assert_matches_row_eval(&Expr::binary(op, col(3), lit(true)));
+        }
+    }
+
+    #[test]
+    fn null_comparisons_reject_all() {
+        assert_matches_row_eval(&Expr::eq(col(0), Expr::Literal(Value::Null)));
+    }
+
+    #[test]
+    fn cross_class_constant_uses_total_order() {
+        // INT column vs STRING constant: sql_cmp says every int < every
+        // string, so `<` accepts all non-null rows and `>` none.
+        assert_matches_row_eval(&Expr::binary(BinOp::Lt, col(0), lit("zz")));
+        assert_matches_row_eval(&Expr::binary(BinOp::Gt, col(0), lit("zz")));
+        assert_matches_row_eval(&Expr::binary(BinOp::Eq, col(0), lit("zz")));
+    }
+
+    #[test]
+    fn boolean_structure_matches_row_eval() {
+        let a = Expr::binary(BinOp::Gt, col(0), lit(10i64));
+        let b = Expr::binary(BinOp::Lt, col(1), lit(12.0f64));
+        let c = Expr::eq(col(3), lit(true));
+        assert_matches_row_eval(&Expr::and(a.clone(), b.clone()));
+        assert_matches_row_eval(&Expr::or(a.clone(), b.clone()));
+        assert_matches_row_eval(&Expr::not(Expr::and(a.clone(), b.clone())));
+        assert_matches_row_eval(&Expr::not(Expr::or(Expr::not(a), Expr::not(b))));
+        assert_matches_row_eval(&Expr::or(Expr::and(c.clone(), Expr::not(c.clone())), c));
+    }
+
+    #[test]
+    fn is_null_kernels_match_row_eval() {
+        for negated in [false, true] {
+            let op = if negated {
+                UnOp::IsNotNull
+            } else {
+                UnOp::IsNull
+            };
+            assert_matches_row_eval(&Expr::Unary {
+                op,
+                input: Box::new(col(0)),
+            });
+        }
+        assert_matches_row_eval(&Expr::not(Expr::Unary {
+            op: UnOp::IsNull,
+            input: Box::new(col(1)),
+        }));
+    }
+
+    #[test]
+    fn between_and_in_list_match_row_eval() {
+        for negated in [false, true] {
+            assert_matches_row_eval(&Expr::Between {
+                input: Box::new(col(0)),
+                low: Box::new(lit(5i64)),
+                high: Box::new(lit(25i64)),
+                negated,
+            });
+            assert_matches_row_eval(&Expr::InList {
+                input: Box::new(col(0)),
+                list: vec![Value::Int(3), Value::Int(17), Value::Float(20.0)],
+                negated,
+            });
+            // NULL in the list: `IN` can still accept, `NOT IN` never can.
+            assert_matches_row_eval(&Expr::InList {
+                input: Box::new(col(0)),
+                list: vec![Value::Int(3), Value::Null],
+                negated,
+            });
+            // NULL BETWEEN bound.
+            assert_matches_row_eval(&Expr::Between {
+                input: Box::new(col(0)),
+                low: Box::new(Expr::Literal(Value::Null)),
+                high: Box::new(lit(25i64)),
+                negated,
+            });
+        }
+    }
+
+    #[test]
+    fn unsupported_shapes_do_not_compile() {
+        // Arithmetic inside a comparison.
+        assert!(compile_predicate(&Expr::eq(
+            Expr::binary(BinOp::Add, col(0), lit(1i64)),
+            lit(3i64)
+        ))
+        .is_none());
+        // LIKE.
+        assert!(compile_predicate(&Expr::Like {
+            input: Box::new(col(2)),
+            pattern: "s%".into(),
+            negated: false,
+        })
+        .is_none());
+        // AND with one unsupported side poisons the whole tree.
+        assert!(compile_predicate(&Expr::and(
+            Expr::eq(col(0), lit(1i64)),
+            Expr::Like {
+                input: Box::new(col(2)),
+                pattern: "s%".into(),
+                negated: false,
+            }
+        ))
+        .is_none());
+    }
+
+    #[test]
+    fn mixed_variant_column_takes_generic_path() {
+        let rows = vec![
+            Tuple::new(vec![Value::Int(1)]),
+            Tuple::new(vec![Value::Float(1.0)]),
+            Tuple::new(vec![Value::Float(2.5)]),
+            Tuple::new(vec![Value::Null]),
+        ];
+        let e = Expr::binary(BinOp::LtEq, col(0), lit(1i64));
+        let kernel = compile_predicate(&e).unwrap();
+        let cols = vec![Some(ColumnVector::from_rows(&rows, 0).unwrap())];
+        let sel: Vec<u32> = (0..4).collect();
+        let got = kernel.eval(&cols, &sel).unwrap();
+        assert_eq!(got, vec![0, 1]);
+    }
+
+    #[test]
+    fn selection_chains_narrow_in_order() {
+        let rows = rows();
+        let e = Expr::and(
+            Expr::binary(BinOp::GtEq, col(0), lit(10i64)),
+            Expr::binary(BinOp::Lt, col(0), lit(30i64)),
+        );
+        let kernel = compile_predicate(&e).unwrap();
+        let cols = extract(&rows, &kernel);
+        // Start from a partial selection: results must stay within it.
+        let sel: Vec<u32> = (0..rows.len() as u32).step_by(2).collect();
+        let got = kernel.eval(&cols, &sel).unwrap();
+        assert!(got.iter().all(|i| sel.contains(i)));
+        assert!(got.windows(2).all(|w| w[0] < w[1]));
+        for &i in &got {
+            assert!(e.eval_predicate(&rows[i as usize]).unwrap());
+        }
+    }
+}

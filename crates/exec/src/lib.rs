@@ -30,14 +30,17 @@
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod agg;
+pub mod columnar;
 pub mod executor;
 pub mod governor;
 pub mod join;
+pub mod kernels;
 pub mod metrics;
 pub mod scan;
 pub mod simple;
 pub mod sort;
 
+pub use columnar::{ColumnarFilterExec, ColumnarHashAggregateExec, JoinKeyMap, TypedAcc};
 pub use executor::{
     build_executor, build_instrumented, run_collect, run_collect_governed,
     run_collect_instrumented, BatchCursor, ExecEnv, Executor,

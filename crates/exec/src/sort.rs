@@ -23,6 +23,10 @@ const USABLE_PAGE_BYTES: usize = 4084;
 /// Sort keys: (column ordinal, ascending).
 type Keys = Vec<(usize, bool)>;
 
+/// Semantics audit: ORDER BY wants the **total order** (`Value::cmp` —
+/// NULLs first, cross-class by rank), not three-valued `sql_cmp`. A
+/// comparator returning "unknown" cannot sort; placing NULLs at a defined
+/// end is exactly what SQL's NULL ordering rule asks for.
 fn compare(a: &Tuple, b: &Tuple, keys: &Keys) -> Ordering {
     for &(col, asc) in keys {
         let (va, vb) = (

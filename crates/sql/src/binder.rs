@@ -68,6 +68,10 @@ pub fn bind_select(stmt: &SelectStmt, provider: &dyn SchemaProvider) -> Result<L
     };
 
     // ---- DISTINCT: aggregate over every output column ------------------
+    // Lowering to GROUP BY-all deliberately inherits grouping equality
+    // (total order: `Null == Null`), which is SQL's DISTINCT rule — NULL
+    // duplicates collapse to one row. Join-key equality (NULL never
+    // matches) must NOT be used here.
     let projected = if stmt.distinct {
         let width = projected.schema().len();
         LogicalPlan::aggregate(projected, (0..width).collect(), vec![])?

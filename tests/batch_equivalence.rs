@@ -110,6 +110,35 @@ fn sql_battery_identical_across_batch_sizes() {
 }
 
 #[test]
+fn sql_battery_identical_row_vs_columnar() {
+    // The columnar port (typed filter kernels, typed join key maps, typed
+    // aggregation) must be invisible in results: the whole battery, run in
+    // row mode and in columnar mode at several batch sizes, returns
+    // identical rows.
+    let db = fixture();
+    for bs in [1, 64, 1024] {
+        db.set_batch_rows(bs);
+        for sql in query_battery() {
+            db.set_columnar(false);
+            let want = db.query(sql).unwrap();
+            db.set_columnar(true);
+            let got = db.query(sql).unwrap();
+            assert_eq!(
+                normalized(&got),
+                normalized(&want),
+                "columnar mode changed the result of {sql} at batch_rows={bs}"
+            );
+            if sql.contains("ORDER BY unique1") {
+                assert_eq!(
+                    got, want,
+                    "columnar mode changed row order of {sql} at batch_rows={bs}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn result_fitting_exactly_one_batch() {
     let db = Database::with_defaults();
     load_wisconsin(&db, "exact", 50, 3).unwrap();
@@ -299,6 +328,28 @@ fn every_join_family_identical_across_batch_sizes() {
 }
 
 #[test]
+fn every_join_family_identical_row_vs_columnar() {
+    // Same forced-plan battery, row mode vs columnar mode. The fixture's
+    // NULL keys (every 17th left row, every 23rd right row) make this a
+    // NULL-semantics check too: a columnar key map that matched NULLs
+    // would show up as extra rows here.
+    let env = join_world(200, 300, 40, 16);
+    for (name, p) in join_plans(&env) {
+        for bs in [1, 64, 1024] {
+            let want =
+                run_collect(&p, &env.clone().with_batch_rows(bs).with_columnar(false)).unwrap();
+            let got =
+                run_collect(&p, &env.clone().with_batch_rows(bs).with_columnar(true)).unwrap();
+            assert_eq!(
+                normalized(&got),
+                normalized(&want),
+                "{name} differs between row and columnar mode at batch_rows={bs}"
+            );
+        }
+    }
+}
+
+#[test]
 fn joins_over_empty_inputs_across_batch_sizes() {
     // Empty probe side, empty build side: every family must return nothing
     // at every batch size without erroring.
@@ -325,6 +376,25 @@ fn grace_hash_join_identical_across_batch_sizes() {
             normalized(&got),
             normalized(&want),
             "Grace hash join differs at batch_rows={bs}"
+        );
+    }
+}
+
+#[test]
+fn grace_hash_join_identical_row_vs_columnar() {
+    // The Grace spill path still runs the row shim in columnar mode; the
+    // in-memory/spill decision and the per-partition results must agree
+    // with row mode either way.
+    let env = join_world(800, 1200, 60, 3);
+    let p = join_plans(&env).pop().unwrap().1;
+    let want = run_collect(&p, &env.clone().with_batch_rows(1024).with_columnar(false)).unwrap();
+    assert!(!want.is_empty());
+    for bs in [1, 64, 1024] {
+        let got = run_collect(&p, &env.clone().with_batch_rows(bs).with_columnar(true)).unwrap();
+        assert_eq!(
+            normalized(&got),
+            normalized(&want),
+            "Grace hash join differs between row and columnar mode at batch_rows={bs}"
         );
     }
 }

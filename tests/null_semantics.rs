@@ -1,0 +1,460 @@
+//! NULL-semantics suite: the places where SQL's three-valued logic and its
+//! deliberate exceptions meet the executor.
+//!
+//! The rules under test:
+//!
+//! * **Join keys never match on NULL** — including `NULL = NULL` — in every
+//!   join family, row mode and columnar mode alike.
+//! * **GROUP BY groups NULL keys into one group** (total-order equality is
+//!   the *correct* choice there), and DISTINCT — lowered to GROUP BY-all —
+//!   collapses NULL duplicates.
+//! * **ORDER BY gives NULLs a defined position** (first, per the total
+//!   order) instead of refusing to compare, and LIMIT over such a sort is
+//!   stable across batch sizes.
+//! * **Predicates reject NULL** (`WHERE x = x` drops NULL rows), while
+//!   `IS NULL` / `IS NOT NULL` observe nullness directly.
+//!
+//! Every check runs in row mode and columnar mode at batch sizes 1, 64 and
+//! 1024 and asserts identical results — the columnar kernels must
+//! reproduce the row operators' NULL behaviour exactly.
+
+use std::sync::Arc;
+
+use evopt::{Database, Tuple};
+use evopt_catalog::{analyze_table, AnalyzeConfig, Catalog};
+use evopt_common::expr::col;
+use evopt_common::{Column, DataType, Expr, Schema, Value};
+use evopt_core::cost::Cost;
+use evopt_core::physical::{PhysOp, PhysicalPlan};
+use evopt_exec::{run_collect, ExecEnv};
+use evopt_storage::{BufferPool, DiskManager, PolicyKind};
+
+const BATCH_SIZES: [usize; 3] = [1, 64, 1024];
+
+fn normalized(rows: &[Tuple]) -> Vec<String> {
+    let mut keys: Vec<String> = rows.iter().map(|t| format!("{t:?}")).collect();
+    keys.sort();
+    keys
+}
+
+/// Run `sql` in row mode and columnar mode at each batch size; assert all
+/// six runs agree and return one representative result.
+fn query_all_modes(db: &Database, sql: &str) -> Vec<Tuple> {
+    let mut reference: Option<(Vec<Tuple>, Vec<String>)> = None;
+    for bs in BATCH_SIZES {
+        db.set_batch_rows(bs);
+        for columnar in [false, true] {
+            db.set_columnar(columnar);
+            let got = db.query(sql).unwrap();
+            let norm = normalized(&got);
+            match &reference {
+                None => reference = Some((got, norm)),
+                Some((_, want)) => assert_eq!(
+                    &norm, want,
+                    "{sql} differs at batch_rows={bs} columnar={columnar}"
+                ),
+            }
+        }
+    }
+    db.set_columnar(true);
+    reference.unwrap().0
+}
+
+// ---------------------------------------------------------------------------
+// SQL level
+// ---------------------------------------------------------------------------
+
+/// `t(k INT, v INT, s STRING)`: k is NULL on every 3rd row, v on every 4th,
+/// s on every 5th.
+fn null_fixture() -> Database {
+    let db = Database::with_defaults();
+    db.execute("CREATE TABLE t (k INT, v INT, s STRING)")
+        .unwrap();
+    for i in 0..200 {
+        let k = if i % 3 == 0 {
+            "NULL".to_string()
+        } else {
+            (i % 7).to_string()
+        };
+        let v = if i % 4 == 0 {
+            "NULL".to_string()
+        } else {
+            i.to_string()
+        };
+        let s = if i % 5 == 0 {
+            "NULL".to_string()
+        } else {
+            format!("'s{}'", i % 11)
+        };
+        db.execute(&format!("INSERT INTO t VALUES ({k}, {v}, {s})"))
+            .unwrap();
+    }
+    db.execute("ANALYZE").unwrap();
+    db
+}
+
+#[test]
+fn null_group_keys_form_one_group() {
+    let db = null_fixture();
+    let rows = query_all_modes(&db, "SELECT k, COUNT(*), SUM(v) FROM t GROUP BY k");
+    // Groups: k in 0..7 plus exactly ONE group for all 67 NULL keys.
+    assert_eq!(rows.len(), 8);
+    let null_groups: Vec<&Tuple> = rows
+        .iter()
+        .filter(|t| t.value(0).unwrap().is_null())
+        .collect();
+    assert_eq!(null_groups.len(), 1, "all NULL keys must share one group");
+    assert_eq!(*null_groups[0].value(1).unwrap(), Value::Int(67));
+}
+
+#[test]
+fn distinct_collapses_null_duplicates() {
+    let db = null_fixture();
+    let rows = query_all_modes(&db, "SELECT DISTINCT s FROM t");
+    // s in s0..s10 plus exactly one NULL row.
+    assert_eq!(rows.len(), 12);
+    let nulls = rows
+        .iter()
+        .filter(|t| t.value(0).unwrap().is_null())
+        .count();
+    assert_eq!(nulls, 1, "DISTINCT must collapse NULLs to one row");
+}
+
+#[test]
+fn aggregates_ignore_null_arguments() {
+    let db = null_fixture();
+    let rows = query_all_modes(
+        &db,
+        "SELECT COUNT(*), COUNT(v), SUM(v), AVG(v), MIN(v) FROM t",
+    );
+    assert_eq!(rows.len(), 1);
+    let t = &rows[0];
+    assert_eq!(*t.value(0).unwrap(), Value::Int(200));
+    // 50 of 200 rows have NULL v; COUNT(v) skips them.
+    assert_eq!(*t.value(1).unwrap(), Value::Int(150));
+    // SUM over non-null v = sum of 0..200 minus multiples of 4.
+    let expect: i64 = (0..200).filter(|i| i % 4 != 0).sum();
+    assert_eq!(*t.value(2).unwrap(), Value::Int(expect));
+    // MIN skips NULLs: smallest non-null v is 1.
+    assert_eq!(*t.value(4).unwrap(), Value::Int(1));
+}
+
+#[test]
+fn null_rejecting_predicates_and_is_null() {
+    let db = null_fixture();
+    // NULL = NULL is UNKNOWN, so `k = k` drops every NULL-k row.
+    let eq_self = query_all_modes(&db, "SELECT * FROM t WHERE k = k");
+    assert_eq!(eq_self.len(), 133);
+    let is_null = query_all_modes(&db, "SELECT * FROM t WHERE k IS NULL");
+    assert_eq!(is_null.len(), 67);
+    let not_null = query_all_modes(&db, "SELECT * FROM t WHERE k IS NOT NULL");
+    assert_eq!(not_null.len(), 133);
+    // Kleene AND/OR with a NULL operand; only definite-true rows survive.
+    let and_or = query_all_modes(
+        &db,
+        "SELECT * FROM t WHERE k = 1 OR (v > 100 AND k IS NULL)",
+    );
+    for t in &and_or {
+        let k = t.value(0).unwrap();
+        let v = t.value(1).unwrap();
+        assert!(
+            *k == Value::Int(1) || (k.is_null() && *v > Value::Int(100)),
+            "unexpected row {t:?}"
+        );
+    }
+    // NOT over UNKNOWN stays UNKNOWN: both the predicate and its negation
+    // drop NULL-k rows, so the two row counts sum to the non-null count.
+    let lt = query_all_modes(&db, "SELECT * FROM t WHERE k < 3");
+    let ge = query_all_modes(&db, "SELECT * FROM t WHERE NOT (k < 3)");
+    assert_eq!(lt.len() + ge.len(), 133);
+}
+
+#[test]
+fn null_order_by_and_limit_are_stable() {
+    let db = null_fixture();
+    // Total order puts NULLs first; LIMIT must cut the same prefix in both
+    // modes at every batch size.
+    let rows = query_all_modes(&db, "SELECT k, v FROM t ORDER BY k, v LIMIT 80");
+    assert_eq!(rows.len(), 80);
+    // The 67 NULL-k rows sort before every non-null key.
+    for (i, t) in rows.iter().enumerate() {
+        if i < 67 {
+            assert!(t.value(0).unwrap().is_null(), "row {i} should be NULL-k");
+        } else {
+            assert!(!t.value(0).unwrap().is_null(), "row {i} should be non-NULL");
+        }
+    }
+}
+
+#[test]
+fn null_join_keys_never_match_sql_level() {
+    let db = null_fixture();
+    db.execute("CREATE TABLE u (k INT, w INT)").unwrap();
+    for i in 0..60 {
+        let k = if i % 2 == 0 {
+            "NULL".to_string()
+        } else {
+            (i % 7).to_string()
+        };
+        db.execute(&format!("INSERT INTO u VALUES ({k}, {i})"))
+            .unwrap();
+    }
+    db.execute("ANALYZE").unwrap();
+    let rows = query_all_modes(&db, "SELECT t.v, u.w FROM t, u WHERE t.k = u.k");
+    // Every surviving pair joined through a non-null key by construction;
+    // count it directly: per key 0..6, (#t rows with that k) * (#u rows).
+    let t_counts: Vec<usize> = (0..7)
+        .map(|k| (0..200).filter(|i| i % 3 != 0 && i % 7 == k).count())
+        .collect();
+    let u_counts: Vec<usize> = (0..7)
+        .map(|k| (0..60).filter(|i| i % 2 != 0 && i % 7 == k as i64).count())
+        .collect();
+    let expect: usize = t_counts.iter().zip(&u_counts).map(|(a, b)| a * b).sum();
+    assert_eq!(rows.len(), expect, "NULL keys must never join");
+}
+
+// ---------------------------------------------------------------------------
+// Plan level: the NULL = NULL regression in EVERY join family
+// ---------------------------------------------------------------------------
+
+/// `l(a INT, tag STRING)` / `r(b INT, payload INT)` with `b` indexed. Key
+/// columns are produced by the closures (NULLs allowed); rows are inserted
+/// before the index is built so the index stays consistent.
+fn world(
+    pool_pages: usize,
+    left_key: impl Fn(i64) -> Value,
+    n_left: i64,
+    right_key: impl Fn(i64) -> Value,
+    n_right: i64,
+) -> ExecEnv {
+    let pool = BufferPool::new(Arc::new(DiskManager::new()), pool_pages, PolicyKind::Lru);
+    let cat = Arc::new(Catalog::new(pool));
+    let l = cat
+        .create_table(
+            "l",
+            Schema::new(vec![
+                Column::new("a", DataType::Int),
+                Column::new("tag", DataType::Str),
+            ]),
+        )
+        .unwrap();
+    for i in 0..n_left {
+        l.heap
+            .insert(&Tuple::new(vec![left_key(i), Value::Str(format!("L{i}"))]))
+            .unwrap();
+    }
+    let r = cat
+        .create_table(
+            "r",
+            Schema::new(vec![
+                Column::new("b", DataType::Int),
+                Column::new("payload", DataType::Int),
+            ]),
+        )
+        .unwrap();
+    for i in 0..n_right {
+        r.heap
+            .insert(&Tuple::new(vec![right_key(i), Value::Int(i * 100)]))
+            .unwrap();
+    }
+    cat.create_index("r_b", "r", "b", false, false).unwrap();
+    analyze_table(&l, &AnalyzeConfig::default()).unwrap();
+    analyze_table(&r, &AnalyzeConfig::default()).unwrap();
+    ExecEnv::new(cat, pool_pages)
+}
+
+/// Two tables whose join keys are **all NULL** (plus payloads). Any join
+/// family that treats `NULL = NULL` as a match produces rows here.
+fn all_null_world(pool_pages: usize) -> ExecEnv {
+    world(pool_pages, |_| Value::Null, 50, |_| Value::Null, 50)
+}
+
+fn plan(op: PhysOp, schema: Schema) -> PhysicalPlan {
+    PhysicalPlan {
+        op,
+        schema,
+        est_rows: 0.0,
+        est_cost: Cost::ZERO,
+        output_order: None,
+    }
+}
+
+fn scan(env: &ExecEnv, t: &str) -> PhysicalPlan {
+    let schema = env.catalog.table(t).unwrap().schema.clone();
+    plan(
+        PhysOp::SeqScan {
+            table: t.into(),
+            filter: None,
+        },
+        schema,
+    )
+}
+
+fn sorted_scan(env: &ExecEnv, t: &str) -> PhysicalPlan {
+    let s = scan(env, t);
+    let schema = s.schema.clone();
+    plan(
+        PhysOp::Sort {
+            input: Box::new(s),
+            keys: vec![(0, true)],
+        },
+        schema,
+    )
+}
+
+fn join_plans(env: &ExecEnv) -> Vec<(&'static str, PhysicalPlan)> {
+    let schema = scan(env, "l").schema.join(&scan(env, "r").schema);
+    let pred = Some(Expr::eq(col(0), col(2)));
+    vec![
+        (
+            "NestedLoopJoin",
+            plan(
+                PhysOp::NestedLoopJoin {
+                    left: Box::new(scan(env, "l")),
+                    right: Box::new(scan(env, "r")),
+                    predicate: pred.clone(),
+                },
+                schema.clone(),
+            ),
+        ),
+        (
+            "BlockNestedLoopJoin",
+            plan(
+                PhysOp::BlockNestedLoopJoin {
+                    left: Box::new(scan(env, "l")),
+                    right: Box::new(scan(env, "r")),
+                    predicate: pred,
+                    block_pages: 4,
+                },
+                schema.clone(),
+            ),
+        ),
+        (
+            "IndexNestedLoopJoin",
+            plan(
+                PhysOp::IndexNestedLoopJoin {
+                    outer: Box::new(scan(env, "l")),
+                    inner_table: "r".into(),
+                    index: "r_b".into(),
+                    outer_key: 0,
+                    residual: None,
+                },
+                schema.clone(),
+            ),
+        ),
+        (
+            "SortMergeJoin",
+            plan(
+                PhysOp::SortMergeJoin {
+                    left: Box::new(sorted_scan(env, "l")),
+                    right: Box::new(sorted_scan(env, "r")),
+                    left_key: 0,
+                    right_key: 0,
+                    residual: None,
+                },
+                schema.clone(),
+            ),
+        ),
+        (
+            "HashJoin",
+            plan(
+                PhysOp::HashJoin {
+                    left: Box::new(scan(env, "l")),
+                    right: Box::new(scan(env, "r")),
+                    left_key: 0,
+                    right_key: 0,
+                    residual: None,
+                },
+                schema,
+            ),
+        ),
+    ]
+}
+
+#[test]
+fn null_eq_null_joins_nothing_in_every_family() {
+    // THE regression test: a NULL = NULL join key produces zero matches in
+    // every join family, in row mode and columnar mode, at every batch
+    // size. An equality routed through derived `Eq` (Null == Null) would
+    // emit 50 × 50 rows here.
+    let env = all_null_world(16);
+    for (name, p) in join_plans(&env) {
+        for bs in BATCH_SIZES {
+            for columnar in [false, true] {
+                let got = run_collect(&p, &env.clone().with_batch_rows(bs).with_columnar(columnar))
+                    .unwrap();
+                assert!(
+                    got.is_empty(),
+                    "{name} matched NULL keys (batch_rows={bs}, columnar={columnar}): \
+                     {} rows",
+                    got.len()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn null_eq_null_joins_nothing_under_grace_spill() {
+    // Same regression through the hash join's Grace (spilling) path: a
+    // 3-page budget with a build side too large to hold in memory.
+    let pool_pages = 3;
+    let env = all_null_world(pool_pages);
+    // Inflate the build side so it spills.
+    let r = env.catalog.table("r").unwrap();
+    for i in 0..4000 {
+        r.heap
+            .insert(&Tuple::new(vec![Value::Null, Value::Int(i)]))
+            .unwrap();
+    }
+    let p = join_plans(&env).pop().unwrap().1;
+    for columnar in [false, true] {
+        let got =
+            run_collect(&p, &env.clone().with_batch_rows(64).with_columnar(columnar)).unwrap();
+        assert!(
+            got.is_empty(),
+            "Grace hash join matched NULL keys (columnar={columnar})"
+        );
+    }
+}
+
+#[test]
+fn mixed_null_join_identical_row_vs_columnar() {
+    // NULL keys interleaved with colliding real keys on both sides: the
+    // non-null subset must join the same in every family, row vs columnar,
+    // at every batch size.
+    let env = world(
+        16,
+        |i| {
+            if i % 4 == 0 {
+                Value::Null
+            } else {
+                Value::Int(i % 9)
+            }
+        },
+        170,
+        |i| {
+            if i % 5 == 0 {
+                Value::Null
+            } else {
+                Value::Int(i % 13)
+            }
+        },
+        170,
+    );
+    for (name, p) in join_plans(&env) {
+        let want = run_collect(&p, &env.clone().with_batch_rows(1).with_columnar(false)).unwrap();
+        assert!(!want.is_empty(), "{name}: fixture should produce matches");
+        for bs in BATCH_SIZES {
+            for columnar in [false, true] {
+                let got = run_collect(&p, &env.clone().with_batch_rows(bs).with_columnar(columnar))
+                    .unwrap();
+                assert_eq!(
+                    normalized(&got),
+                    normalized(&want),
+                    "{name} differs (batch_rows={bs}, columnar={columnar})"
+                );
+            }
+        }
+    }
+}
