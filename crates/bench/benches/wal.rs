@@ -1,0 +1,112 @@
+//! Experiment W1: the price of durability. Identical insert workloads with
+//! the WAL off, on, and on with periodic fuzzy checkpoints — the deltas are
+//! the cost of page-image logging + commit sync, and the checkpoint's
+//! amortized overhead (bought back at recovery time as a bounded replay).
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evopt_engine::{Database, DatabaseConfig, DiskBackend, DiskManager, Durability};
+
+const BATCH_ROWS: i64 = 50;
+const CHECKPOINT_EVERY: u64 = 8;
+
+fn fresh_db(durability: Durability) -> Database {
+    let db = Database::create_on(
+        Arc::new(DiskManager::new()) as Arc<dyn DiskBackend>,
+        DatabaseConfig {
+            buffer_pages: 64,
+            durability,
+            ..Default::default()
+        },
+    )
+    .expect("bootstrap on a fresh in-memory disk");
+    db.execute("CREATE TABLE w1 (id INT NOT NULL, val INT, tag STRING)")
+        .expect("create");
+    db
+}
+
+fn insert_batch(db: &Database, next_id: &AtomicI64) {
+    let base = next_id.fetch_add(BATCH_ROWS, Ordering::Relaxed);
+    let rows: Vec<String> = (base..base + BATCH_ROWS)
+        .map(|i| format!("({i}, {}, 'tag-{:03}')", i * 31 % 997, i % 100))
+        .collect();
+    db.execute(&format!("INSERT INTO w1 VALUES {}", rows.join(", ")))
+        .expect("insert batch");
+}
+
+fn bench_insert_durability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("w1-insert-50-rows");
+    for (label, durability, checkpoint) in [
+        ("off", Durability::Off, false),
+        ("wal", Durability::Wal, false),
+        ("wal+checkpoint", Durability::Wal, true),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &(durability, checkpoint),
+            |b, &(durability, checkpoint)| {
+                let db = fresh_db(durability);
+                let next_id = AtomicI64::new(0);
+                let batches = AtomicU64::new(0);
+                b.iter(|| {
+                    insert_batch(&db, &next_id);
+                    if checkpoint
+                        && batches.fetch_add(1, Ordering::Relaxed) % CHECKPOINT_EVERY
+                            == CHECKPOINT_EVERY - 1
+                    {
+                        db.checkpoint().expect("checkpoint");
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    // Recovery replay speed: crash-free log of 100 committed batches,
+    // reopened from scratch each iteration.
+    let mut group = c.benchmark_group("w1-recovery");
+    group.bench_function("replay-100-batches", |b| {
+        let inner = Arc::new(DiskManager::new());
+        let db = Database::create_on(
+            Arc::clone(&inner) as Arc<dyn DiskBackend>,
+            DatabaseConfig {
+                buffer_pages: 64,
+                durability: Durability::Wal,
+                ..Default::default()
+            },
+        )
+        .expect("bootstrap");
+        db.execute("CREATE TABLE w1 (id INT NOT NULL, val INT, tag STRING)")
+            .expect("create");
+        let next_id = AtomicI64::new(0);
+        for _ in 0..100 {
+            insert_batch(&db, &next_id);
+        }
+        drop(db);
+        b.iter(|| {
+            let (db, info) = Database::recover(
+                Arc::clone(&inner) as Arc<dyn DiskBackend>,
+                DatabaseConfig {
+                    buffer_pages: 64,
+                    durability: Durability::Wal,
+                    ..Default::default()
+                },
+            )
+            .expect("recover");
+            drop(db);
+            info.scanned_records
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_insert_durability, bench_recovery
+}
+criterion_main!(benches);

@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use evopt_common::{EvoptError, Result, Schema};
-use evopt_storage::{BTreeIndex, BufferPool, HeapFile};
+use evopt_storage::{BTreeIndex, BufferPool, HeapFile, PageId};
 use parking_lot::Mutex;
 
 use crate::stats::TableStats;
@@ -200,6 +200,78 @@ impl Catalog {
         self.index_names.lock().insert(ikey, table.name.clone());
         Ok(info)
     }
+
+    /// Re-register a table whose pages already exist on disk (crash
+    /// recovery): the heap is *opened* at `first_page`, not created.
+    /// Statistics start empty — they are advisory and recovery re-ANALYZEs.
+    pub fn restore_table(
+        &self,
+        name: &str,
+        schema: Schema,
+        first_page: PageId,
+    ) -> Result<Arc<TableInfo>> {
+        let key = name.to_ascii_lowercase();
+        let mut tables = self.tables.lock();
+        if tables.contains_key(&key) {
+            return Err(EvoptError::Catalog(format!(
+                "table '{name}' already exists"
+            )));
+        }
+        let heap = Arc::new(HeapFile::open(Arc::clone(&self.pool), first_page)?);
+        let schema = schema.with_qualifier(&key);
+        let info = Arc::new(TableInfo {
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            name: key.clone(),
+            schema,
+            heap,
+            indexes: Mutex::new(Vec::new()),
+            stats: Mutex::new(None),
+        });
+        tables.insert(key, Arc::clone(&info));
+        Ok(info)
+    }
+
+    /// Re-register an index whose B+-tree already exists on disk (crash
+    /// recovery): the tree is *opened* at `meta_page`, not rebuilt, and the
+    /// key column is given by ordinal (the recovered schema's order).
+    pub fn restore_index(
+        &self,
+        index_name: &str,
+        table_name: &str,
+        column: usize,
+        unique: bool,
+        clustered: bool,
+        meta_page: PageId,
+    ) -> Result<Arc<IndexInfo>> {
+        let ikey = index_name.to_ascii_lowercase();
+        {
+            let names = self.index_names.lock();
+            if names.contains_key(&ikey) {
+                return Err(EvoptError::Catalog(format!(
+                    "index '{index_name}' already exists"
+                )));
+            }
+        }
+        let table = self.table(table_name)?;
+        if column >= table.schema.columns().len() {
+            return Err(EvoptError::Catalog(format!(
+                "index '{index_name}' keys on column {column} but table '{table_name}' has {}",
+                table.schema.columns().len()
+            )));
+        }
+        let btree = Arc::new(BTreeIndex::open(Arc::clone(&self.pool), meta_page)?);
+        let info = Arc::new(IndexInfo {
+            name: ikey.clone(),
+            table: table.name.clone(),
+            column,
+            clustered,
+            unique,
+            btree,
+        });
+        table.add_index(Arc::clone(&info));
+        self.index_names.lock().insert(ikey, table.name.clone());
+        Ok(info)
+    }
 }
 
 #[cfg(test)]
@@ -333,6 +405,47 @@ mod tests {
             ..Default::default()
         });
         assert_eq!(t.stats().unwrap().row_count, 5);
+    }
+
+    #[test]
+    fn restore_reopens_existing_storage() {
+        let pool = BufferPool::new(Arc::new(DiskManager::new()), 64, PolicyKind::Lru);
+        let cat = Catalog::new(Arc::clone(&pool));
+        let t = cat.create_table("t", two_col_schema()).unwrap();
+        for i in 0..50 {
+            t.heap
+                .insert(&Tuple::new(vec![
+                    Value::Int(i),
+                    Value::Str(format!("n{i}")),
+                ]))
+                .unwrap();
+        }
+        let idx = cat.create_index("idx", "t", "id", true, false).unwrap();
+        let (first_page, meta_page) = (t.heap.first_page(), idx.btree.meta_page());
+        drop((t, idx));
+
+        // A second catalog over the same pool: restore instead of create.
+        let cat2 = Catalog::new(pool);
+        let rt = cat2
+            .restore_table("t", two_col_schema(), first_page)
+            .unwrap();
+        let ri = cat2
+            .restore_index("idx", "t", 0, true, false, meta_page)
+            .unwrap();
+        assert_eq!(rt.heap.scan().count(), 50);
+        assert_eq!(ri.btree.entry_count().unwrap(), 50);
+        assert!(rt.stats().is_none(), "stats are not carried by restore");
+        // Restored names occupy the namespace like created ones.
+        assert!(cat2
+            .restore_table("T", two_col_schema(), first_page)
+            .is_err());
+        assert!(cat2
+            .restore_index("IDX", "t", 0, true, false, meta_page)
+            .is_err());
+        // Column ordinal out of range is typed.
+        assert!(cat2
+            .restore_index("idx2", "t", 9, false, false, meta_page)
+            .is_err());
     }
 
     #[test]

@@ -27,7 +27,7 @@
 
 pub mod database;
 
-pub use database::{Database, DatabaseConfig, QueryResult, TracedQuery};
+pub use database::{Database, DatabaseConfig, Durability, QueryResult, TracedQuery};
 pub use evopt_catalog::{AnalyzeConfig, HistogramKind};
 pub use evopt_core::{CostModel, Strategy};
 pub use evopt_exec::{CancellationToken, GovernorConfig, OperatorMetrics, QueryMetrics};
@@ -35,5 +35,6 @@ pub use evopt_obs::{
     EngineMetrics, HistogramSnapshot, MetricsSnapshot, QueryLog, QueryLogEntry, SearchTrace,
 };
 pub use evopt_storage::{
-    FaultConfig, FaultInjector, FaultReport, IoSnapshot, PolicyKind, PoolSnapshot,
+    CrashingBackend, DiskBackend, DiskManager, FaultConfig, FaultInjector, FaultReport, IoSnapshot,
+    PolicyKind, PoolSnapshot, RecoveryInfo, Wal, WalStats,
 };

@@ -166,6 +166,12 @@ pub struct EngineMetrics {
     pub governor_kills: Counter,
     pub faults_injected: Counter,
     pub silent_corruptions: Counter,
+    // -- durability (WAL; zero when durability is off) ----------------------
+    pub wal_records_written: Counter,
+    pub wal_bytes: Counter,
+    pub checkpoints: Counter,
+    pub recoveries: Counter,
+    pub recovery_replayed_records: Counter,
 }
 
 impl EngineMetrics {
@@ -194,6 +200,11 @@ impl EngineMetrics {
             governor_kills: self.governor_kills.get(),
             faults_injected: self.faults_injected.get(),
             silent_corruptions: self.silent_corruptions.get(),
+            wal_records_written: self.wal_records_written.get(),
+            wal_bytes: self.wal_bytes.get(),
+            checkpoints: self.checkpoints.get(),
+            recoveries: self.recoveries.get(),
+            recovery_replayed_records: self.recovery_replayed_records.get(),
         }
     }
 }
@@ -225,6 +236,11 @@ pub struct MetricsSnapshot {
     pub governor_kills: u64,
     pub faults_injected: u64,
     pub silent_corruptions: u64,
+    pub wal_records_written: u64,
+    pub wal_bytes: u64,
+    pub checkpoints: u64,
+    pub recoveries: u64,
+    pub recovery_replayed_records: u64,
 }
 
 impl MetricsSnapshot {
@@ -263,6 +279,14 @@ impl MetricsSnapshot {
             ("evopt_governor_kills_total", self.governor_kills),
             ("evopt_faults_injected_total", self.faults_injected),
             ("evopt_silent_corruptions_total", self.silent_corruptions),
+            ("evopt_wal_records_written_total", self.wal_records_written),
+            ("evopt_wal_bytes_total", self.wal_bytes),
+            ("evopt_checkpoints_total", self.checkpoints),
+            ("evopt_recoveries_total", self.recoveries),
+            (
+                "evopt_recovery_replayed_records_total",
+                self.recovery_replayed_records,
+            ),
         ];
         for (name, v) in counters {
             out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
@@ -311,9 +335,13 @@ mod tests {
         m.queries.inc();
         m.optimize_time_us.observe(80);
         m.optimize_time_us.observe(9_999_999); // overflow bucket
+        m.wal_records_written.add(7);
+        m.recoveries.inc();
         let text = m.snapshot().to_prometheus();
         assert!(text.contains("evopt_pool_hits_total 3"));
         assert!(text.contains("evopt_queries_total 1"));
+        assert!(text.contains("evopt_wal_records_written_total 7"));
+        assert!(text.contains("evopt_recoveries_total 1"));
         assert!(text.contains("evopt_optimize_time_us_bucket{le=\"+Inf\"} 2"));
         assert!(text.contains("evopt_optimize_time_us_count 2"));
         // Buckets are cumulative: the le="100" bucket already holds the 80µs

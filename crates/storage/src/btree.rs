@@ -25,7 +25,7 @@ use evopt_common::{EvoptError, Result, Tuple, Value};
 use parking_lot::Mutex;
 
 use crate::buffer::BufferPool;
-use crate::page::{PageData, PageId, Rid, INVALID_PAGE_ID, PAGE_SIZE};
+use crate::page::{PageData, PageId, Rid, INVALID_PAGE_ID, USABLE_PAGE_SIZE};
 
 /// Keys larger than this are rejected at insert; guarantees a split always
 /// produces two nodes that fit in a page.
@@ -107,7 +107,7 @@ impl Node {
 
     fn store(&self, page: &mut PageData) -> Result<()> {
         let size = self.serialized_size();
-        if size > PAGE_SIZE {
+        if size > USABLE_PAGE_SIZE {
             return Err(EvoptError::Internal(format!(
                 "b-tree node of {size} bytes stored without split"
             )));
@@ -149,7 +149,7 @@ impl Node {
         let mut pos = 0usize;
         let take = |pos: &mut usize, n: usize| -> Result<&[u8]> {
             let end = *pos + n;
-            if end > PAGE_SIZE {
+            if end > USABLE_PAGE_SIZE {
                 return Err(EvoptError::Storage("truncated b-tree node".into()));
             }
             let s = &page[*pos..end];
@@ -356,7 +356,7 @@ impl BTreeIndex {
             Node::Leaf { entries, next: _ } => {
                 let idx = entries.partition_point(|(k, _)| k <= &key);
                 entries.insert(idx, (key, ()));
-                if node.serialized_size() <= PAGE_SIZE {
+                if node.serialized_size() <= USABLE_PAGE_SIZE {
                     self.store_node(page, &node)?;
                     return Ok(None);
                 }
@@ -390,7 +390,7 @@ impl BTreeIndex {
                 if let Some((sep, right_id)) = self.insert_rec(child, key, meta)? {
                     keys.insert(child_idx, sep);
                     children.insert(child_idx + 1, right_id);
-                    if node.serialized_size() <= PAGE_SIZE {
+                    if node.serialized_size() <= USABLE_PAGE_SIZE {
                         self.store_node(page, &node)?;
                         return Ok(None);
                     }

@@ -26,11 +26,29 @@ use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::checksum::crc32;
 use crate::disk::DiskBackend;
-use crate::page::{PageData, PageId, PAGE_SIZE};
+use crate::page::{set_page_lsn, PageData, PageId, PAGE_SIZE};
 
 /// Attempts per physical page op before a transient fault is declared
 /// permanent: the initial try plus `IO_RETRY_LIMIT` retries.
 const IO_RETRY_LIMIT: u32 = 3;
+
+/// Write-ahead gate: the durability layer's veto over dirty-page flushes.
+///
+/// When installed ([`BufferPool::set_flush_gate`]), the pool reports every
+/// page dirtying via `on_dirty` and consults `can_flush` before any dirty
+/// page reaches the disk (eviction, `flush_all`, `evict_all`). The WAL
+/// implements this with its not-yet-logged set, enforcing log-before-data:
+/// a dirty page whose redo record is not on the log may not be flushed, so
+/// no uncommitted bytes ever overwrite committed on-disk state (no-steal).
+///
+/// Implementations must not call back into the pool — `can_flush` runs
+/// under the pool lock.
+pub trait FlushGate: Send + Sync {
+    /// A resident page was dirtied (or created dirty).
+    fn on_dirty(&self, id: PageId);
+    /// Whether the dirty page may be written to disk right now.
+    fn can_flush(&self, id: PageId) -> bool;
+}
 
 /// Which replacement policy a pool uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -225,6 +243,8 @@ pub struct BufferPool {
     /// Absent entries (pages never flushed through this pool) skip
     /// verification.
     checksums: Mutex<HashMap<PageId, u32>>,
+    /// Durability veto over dirty-page flushes (see [`FlushGate`]).
+    gate: Mutex<Option<Arc<dyn FlushGate>>>,
 }
 
 impl BufferPool {
@@ -258,7 +278,24 @@ impl BufferPool {
             retries: AtomicU64::new(0),
             corruptions: AtomicU64::new(0),
             checksums: Mutex::new(HashMap::new()),
+            gate: Mutex::new(None),
         })
+    }
+
+    /// Install a [`FlushGate`]. Done once at database construction, before
+    /// any write traffic, when durability is enabled.
+    pub fn set_flush_gate(&self, gate: Arc<dyn FlushGate>) {
+        *self.gate.lock() = Some(gate);
+    }
+
+    fn flush_gate(&self) -> Option<Arc<dyn FlushGate>> {
+        self.gate.lock().clone()
+    }
+
+    fn notify_dirty(&self, id: PageId) {
+        if let Some(g) = self.flush_gate() {
+            g.on_dirty(id);
+        }
     }
 
     /// Number of frames.
@@ -404,6 +441,8 @@ impl BufferPool {
             f.pin_count = 1;
             f.dirty.store(true, Ordering::Relaxed);
         }
+        // Created dirty: the durability layer must know before any flush.
+        self.notify_dirty(page_id);
         inner.table.insert(page_id, frame);
         inner.policy.set_evictable(frame, false);
         inner.policy.on_access(frame);
@@ -418,13 +457,37 @@ impl BufferPool {
     }
 
     /// Find a frame for a new resident page: a free frame, else evict.
+    /// Dirty frames the [`FlushGate`] vetoes are passed over — they must
+    /// stay resident until the WAL logs them at commit.
     fn acquire_frame(&self, inner: &mut Inner) -> Result<usize> {
         if let Some(f) = inner.free.pop() {
             return Ok(f);
         }
-        let victim = inner.policy.evict().ok_or_else(|| {
+        let gate = self.flush_gate();
+        let mut gated = Vec::new();
+        let victim = loop {
+            let Some(v) = inner.policy.evict() else {
+                break None;
+            };
+            let unflushable = match (&gate, inner.frames[v].page_id) {
+                (Some(g), Some(id)) => {
+                    inner.frames[v].dirty.load(Ordering::Relaxed) && !g.can_flush(id)
+                }
+                _ => false,
+            };
+            if unflushable {
+                gated.push(v);
+            } else {
+                break Some(v);
+            }
+        };
+        // Passed-over frames stay evictable for after the next commit.
+        for v in gated {
+            inner.policy.set_evictable(v, true);
+        }
+        let victim = victim.ok_or_else(|| {
             EvoptError::Storage(format!(
-                "buffer pool exhausted: all {} frames pinned",
+                "buffer pool exhausted: all {} frames pinned or write-gated",
                 self.capacity
             ))
         })?;
@@ -463,14 +526,23 @@ impl BufferPool {
 
     /// Evict every unpinned resident page (flushing dirty ones), leaving
     /// the cache cold. Experiment harness hook: guarantees the next query's
-    /// reads are physical. Pinned frames are left in place.
+    /// reads are physical. Pinned frames — and dirty frames the
+    /// [`FlushGate`] vetoes — are left in place.
     pub fn evict_all(&self) -> Result<()> {
+        let gate = self.flush_gate();
         let mut inner = self.inner.lock();
         for frame in 0..inner.frames.len() {
             let (page_id, dirty) = {
                 let f = &inner.frames[frame];
                 match f.page_id {
-                    Some(id) if f.pin_count == 0 => (id, f.dirty.swap(false, Ordering::Relaxed)),
+                    Some(id) if f.pin_count == 0 => {
+                        if f.dirty.load(Ordering::Relaxed)
+                            && gate.as_ref().is_some_and(|g| !g.can_flush(id))
+                        {
+                            continue;
+                        }
+                        (id, f.dirty.swap(false, Ordering::Relaxed))
+                    }
                     _ => continue,
                 }
             };
@@ -492,11 +564,17 @@ impl BufferPool {
         Ok(())
     }
 
-    /// Write every dirty resident page back to disk.
+    /// Write every dirty resident page back to disk. Pages the
+    /// [`FlushGate`] vetoes (dirty but not yet logged) stay dirty in the
+    /// pool; they reach disk after the next commit logs them.
     pub fn flush_all(&self) -> Result<()> {
+        let gate = self.flush_gate();
         let inner = self.inner.lock();
         for f in &inner.frames {
             if let Some(id) = f.page_id {
+                if gate.as_ref().is_some_and(|g| !g.can_flush(id)) {
+                    continue;
+                }
                 if f.dirty.swap(false, Ordering::Relaxed) {
                     let flushed = {
                         let data = f.data.read();
@@ -510,6 +588,26 @@ impl BufferPool {
             }
         }
         Ok(())
+    }
+
+    /// Stamp `lsn` into a resident page's LSN trailer and return a copy of
+    /// its bytes — the WAL's redo image. The frame is marked dirty
+    /// *without* notifying the [`FlushGate`]: this is the gate's own commit
+    /// path, called after it has taken the page out of its unlogged set.
+    ///
+    /// Errors if the page is not resident. It always is on the commit
+    /// path — gated pages cannot be evicted.
+    pub fn stamp_lsn(&self, id: PageId, lsn: u64) -> Result<Box<PageData>> {
+        let inner = self.inner.lock();
+        let &frame = inner
+            .table
+            .get(&id)
+            .ok_or_else(|| EvoptError::Internal(format!("commit of non-resident page {id}")))?;
+        let f = &inner.frames[frame];
+        let mut data = f.data.write();
+        set_page_lsn(&mut data, lsn);
+        f.dirty.store(true, Ordering::Relaxed);
+        Ok(Box::new(*data))
     }
 }
 
@@ -542,9 +640,11 @@ impl PageGuard {
         self.data.read()
     }
 
-    /// Exclusive access; marks the page dirty.
+    /// Exclusive access; marks the page dirty (and reports it to the
+    /// pool's [`FlushGate`], when one is installed).
     pub fn write(&self) -> RwLockWriteGuard<'_, PageData> {
         self.dirty.store(true, Ordering::Relaxed);
+        self.pool.notify_dirty(self.page_id);
         self.data.write()
     }
 }
@@ -944,6 +1044,77 @@ mod tests {
         p.evict_all().unwrap();
         let g = p.fetch(id).unwrap();
         assert_eq!(g.read()[0], 2, "fresh flush restamped the checksum");
+    }
+
+    #[test]
+    fn flush_gate_blocks_unlogged_pages_until_released() {
+        use std::collections::HashSet;
+        use std::sync::Mutex as StdMutex;
+
+        /// Toy gate: tracks dirtied pages; vetoes flushes while `strict`.
+        struct TestGate {
+            strict: AtomicBool,
+            dirtied: StdMutex<HashSet<PageId>>,
+        }
+        impl FlushGate for TestGate {
+            fn on_dirty(&self, id: PageId) {
+                self.dirtied.lock().unwrap().insert(id);
+            }
+            fn can_flush(&self, id: PageId) -> bool {
+                !self.strict.load(Ordering::Relaxed) || !self.dirtied.lock().unwrap().contains(&id)
+            }
+        }
+
+        let disk = Arc::new(DiskManager::new());
+        let p = BufferPool::new(
+            Arc::clone(&disk) as Arc<dyn DiskBackend>,
+            2,
+            PolicyKind::Lru,
+        );
+        let gate = Arc::new(TestGate {
+            strict: AtomicBool::new(true),
+            dirtied: StdMutex::new(HashSet::new()),
+        });
+        p.set_flush_gate(Arc::clone(&gate) as Arc<dyn FlushGate>);
+
+        // Two dirty, unlogged, unpinned pages fill the pool.
+        let a = p.new_page().unwrap();
+        a.write()[0] = 1;
+        let a_id = a.id();
+        drop(a);
+        let b = p.new_page().unwrap();
+        b.write()[0] = 2;
+        drop(b);
+        assert!(gate.dirtied.lock().unwrap().contains(&a_id));
+
+        // No victim is flushable: allocation fails clean, data stays put.
+        let err = p.new_page().unwrap_err();
+        assert_eq!(err.kind(), "storage");
+        assert!(err.message().contains("write-gated"), "{err}");
+        // flush_all is a gated no-op: nothing reaches disk.
+        let io_before = disk.snapshot();
+        p.flush_all().unwrap();
+        assert_eq!(disk.snapshot().since(&io_before).writes, 0);
+        // evict_all leaves both resident.
+        p.evict_all().unwrap();
+        let g = p.fetch(a_id).unwrap();
+        assert_eq!(g.read()[0], 1, "gated page stayed resident");
+        drop(g);
+
+        // stamp_lsn marks dirty without re-entering the gate, and the
+        // returned image carries the trailer.
+        let img = p.stamp_lsn(a_id, 77).unwrap();
+        assert_eq!(crate::page::page_lsn(&img), 77);
+
+        // "Commit": release the gate; eviction and flushes work again.
+        gate.strict.store(false, Ordering::Relaxed);
+        p.flush_all().unwrap();
+        let c = p.new_page().unwrap();
+        drop(c);
+        let mut buf = [0u8; PAGE_SIZE];
+        disk.read_page(a_id, &mut buf).unwrap();
+        assert_eq!(buf[0], 1, "released page flushed with its data");
+        assert_eq!(crate::page::page_lsn(&buf), 77);
     }
 
     #[test]

@@ -23,6 +23,9 @@ pub struct IoSnapshot {
     pub reads: u64,
     pub writes: u64,
     pub allocations: u64,
+    /// Durability barriers issued (`sync` calls). No-ops on the in-memory
+    /// disk, but counted so WAL overhead experiments can report them.
+    pub syncs: u64,
     /// Read faults injected/observed beneath this backend (0 on a healthy
     /// disk; counted by [`crate::fault::FaultInjector`]).
     pub read_faults: u64,
@@ -40,6 +43,7 @@ impl IoSnapshot {
             self.reads >= earlier.reads
                 && self.writes >= earlier.writes
                 && self.allocations >= earlier.allocations
+                && self.syncs >= earlier.syncs
                 && self.read_faults >= earlier.read_faults
                 && self.write_faults >= earlier.write_faults,
             "IoSnapshot::since called with a newer `earlier`: {earlier:?} vs {self:?}"
@@ -48,6 +52,7 @@ impl IoSnapshot {
             reads: self.reads.saturating_sub(earlier.reads),
             writes: self.writes.saturating_sub(earlier.writes),
             allocations: self.allocations.saturating_sub(earlier.allocations),
+            syncs: self.syncs.saturating_sub(earlier.syncs),
             read_faults: self.read_faults.saturating_sub(earlier.read_faults),
             write_faults: self.write_faults.saturating_sub(earlier.write_faults),
         }
@@ -81,6 +86,12 @@ pub trait DiskBackend: Send + Sync {
     /// Physically write a page from `buf`.
     fn write_page(&self, id: PageId, buf: &PageData) -> Result<()>;
 
+    /// Durability barrier: all writes issued before `sync` returns are
+    /// crash-durable. A no-op for the in-memory [`DiskManager`] (every
+    /// write is already "durable" in the simulation), but counted, and the
+    /// [`crate::fault::FaultInjector`] can make it fail.
+    fn sync(&self) -> Result<()>;
+
     /// Number of pages ever allocated (live + dead).
     fn page_count(&self) -> u64;
 
@@ -100,6 +111,7 @@ pub struct DiskManager {
     reads: AtomicU64,
     writes: AtomicU64,
     allocations: AtomicU64,
+    syncs: AtomicU64,
 }
 
 impl DiskManager {
@@ -109,6 +121,7 @@ impl DiskManager {
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             allocations: AtomicU64::new(0),
+            syncs: AtomicU64::new(0),
         }
     }
 }
@@ -161,6 +174,11 @@ impl DiskBackend for DiskManager {
         }
     }
 
+    fn sync(&self) -> Result<()> {
+        self.syncs.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
     fn page_count(&self) -> u64 {
         self.pages.lock().len() as u64
     }
@@ -170,6 +188,7 @@ impl DiskBackend for DiskManager {
             reads: self.reads.load(Ordering::Relaxed),
             writes: self.writes.load(Ordering::Relaxed),
             allocations: self.allocations.load(Ordering::Relaxed),
+            syncs: self.syncs.load(Ordering::Relaxed),
             read_faults: 0,
             write_faults: 0,
         }
@@ -179,6 +198,7 @@ impl DiskBackend for DiskManager {
         self.reads.store(0, Ordering::Relaxed);
         self.writes.store(0, Ordering::Relaxed);
         self.allocations.store(0, Ordering::Relaxed);
+        self.syncs.store(0, Ordering::Relaxed);
     }
 }
 
@@ -222,6 +242,17 @@ mod tests {
         assert_eq!(delta.reads, 2);
         assert_eq!(delta.writes, 1);
         assert_eq!(delta.total(), 3);
+    }
+
+    #[test]
+    fn sync_is_a_counted_no_op() {
+        let disk = DiskManager::new();
+        let before = disk.snapshot();
+        disk.sync().unwrap();
+        disk.sync().unwrap();
+        assert_eq!(disk.snapshot().since(&before).syncs, 2);
+        disk.reset_stats();
+        assert_eq!(disk.snapshot().syncs, 0);
     }
 
     #[test]

@@ -22,6 +22,14 @@
 //! * **Bit flip (read)** — one random bit of the *returned buffer* is
 //!   inverted; the persisted page is intact, so the pool's checksum
 //!   retry re-reads it clean.
+//! * **Sync failure** — a `sync` durability barrier fails once with
+//!   [`EvoptError::Io`]; the next attempt passes clean. The WAL's bounded
+//!   commit retry heals these.
+//!
+//! [`CrashingBackend`] is the other half of the robustness harness: instead
+//! of perturbing individual ops it models whole-process death — after a
+//! budget of N mutating operations, every subsequent I/O fails, and the
+//! surviving bytes are exactly what the first N operations persisted.
 
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -52,6 +60,9 @@ pub struct FaultConfig {
     /// Transient single-bit corruption probability per read (the persisted
     /// page stays intact).
     pub bit_flip_read: f64,
+    /// Transient sync (durability barrier) failure probability (heals on
+    /// retry).
+    pub sync_error: f64,
 }
 
 impl Default for FaultConfig {
@@ -64,6 +75,7 @@ impl Default for FaultConfig {
             torn_write: 0.0,
             bit_flip_write: 0.0,
             bit_flip_read: 0.0,
+            sync_error: 0.0,
         }
     }
 }
@@ -82,6 +94,7 @@ impl FaultConfig {
             torn_write: 0.01,
             bit_flip_write: 0.01,
             bit_flip_read: 0.02,
+            sync_error: 0.02,
         }
     }
 }
@@ -95,6 +108,7 @@ pub struct FaultReport {
     pub torn_writes: u64,
     pub bit_flips_write: u64,
     pub bit_flips_read: u64,
+    pub sync_failures: u64,
 }
 
 impl FaultReport {
@@ -106,6 +120,7 @@ impl FaultReport {
             + self.torn_writes
             + self.bit_flips_write
             + self.bit_flips_read
+            + self.sync_failures
     }
 
     /// Faults that silently damaged persisted bytes (checksum territory).
@@ -149,6 +164,8 @@ pub struct FaultInjector {
     skip_next_read: Mutex<HashSet<PageId>>,
     /// Pages whose next write passes clean.
     skip_next_write: Mutex<HashSet<PageId>>,
+    /// Whether the next sync passes clean (a sync fault just fired).
+    skip_next_sync: AtomicBool,
     /// Permanently unreadable pages.
     dead: Mutex<HashSet<PageId>>,
     /// Pages whose persisted bytes were silently damaged and not yet
@@ -160,6 +177,7 @@ pub struct FaultInjector {
     torn_writes: AtomicU64,
     bit_flips_write: AtomicU64,
     bit_flips_read: AtomicU64,
+    sync_failures: AtomicU64,
 }
 
 impl FaultInjector {
@@ -172,6 +190,7 @@ impl FaultInjector {
             rng: Mutex::new(SplitMix64(cfg.seed)),
             skip_next_read: Mutex::new(HashSet::new()),
             skip_next_write: Mutex::new(HashSet::new()),
+            skip_next_sync: AtomicBool::new(false),
             dead: Mutex::new(HashSet::new()),
             corrupted: Mutex::new(HashSet::new()),
             transient_read_errors: AtomicU64::new(0),
@@ -180,6 +199,7 @@ impl FaultInjector {
             torn_writes: AtomicU64::new(0),
             bit_flips_write: AtomicU64::new(0),
             bit_flips_read: AtomicU64::new(0),
+            sync_failures: AtomicU64::new(0),
         }
     }
 
@@ -206,6 +226,7 @@ impl FaultInjector {
             torn_writes: self.torn_writes.load(Ordering::Relaxed),
             bit_flips_write: self.bit_flips_write.load(Ordering::Relaxed),
             bit_flips_read: self.bit_flips_read.load(Ordering::Relaxed),
+            sync_failures: self.sync_failures.load(Ordering::Relaxed),
         }
     }
 
@@ -366,6 +387,21 @@ impl DiskBackend for FaultInjector {
         Ok(())
     }
 
+    fn sync(&self) -> Result<()> {
+        if !self.is_enabled() {
+            return self.inner.sync();
+        }
+        if self.skip_next_sync.swap(false, Ordering::Relaxed) {
+            return self.inner.sync();
+        }
+        if self.roll(self.cfg.sync_error) {
+            self.skip_next_sync.store(true, Ordering::Relaxed);
+            self.sync_failures.fetch_add(1, Ordering::Relaxed);
+            return Err(EvoptError::Io("injected sync failure".into()));
+        }
+        self.inner.sync()
+    }
+
     fn page_count(&self) -> u64 {
         self.inner.page_count()
     }
@@ -375,7 +411,7 @@ impl DiskBackend for FaultInjector {
         let r = self.report();
         IoSnapshot {
             read_faults: r.transient_read_errors + r.permanent_read_errors + r.bit_flips_read,
-            write_faults: r.transient_write_errors + r.silent_corruptions(),
+            write_faults: r.transient_write_errors + r.silent_corruptions() + r.sync_failures,
             ..base
         }
     }
@@ -388,6 +424,123 @@ impl DiskBackend for FaultInjector {
         self.torn_writes.store(0, Ordering::Relaxed);
         self.bit_flips_write.store(0, Ordering::Relaxed);
         self.bit_flips_read.store(0, Ordering::Relaxed);
+        self.sync_failures.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Process-death simulator: allows a budget of N *mutating* operations
+/// (`write_page`, `sync`, `deallocate_page`), then fails that op and every
+/// subsequent I/O — reads included — as if the process died mid-call.
+///
+/// Operations are atomic: a write either lands fully or not at all (torn
+/// writes are the [`FaultInjector`]'s job; composing the two models both).
+/// `allocate_page` always succeeds — in the simulation, allocation only
+/// grows the address space and persists no data, so there is nothing for a
+/// crash to tear; the first write to the new page consumes budget normally.
+///
+/// The crash-point torture suite sweeps the budget N across a write
+/// workload, then re-opens a `Database` over [`CrashingBackend::inner`] —
+/// the surviving platter — and asserts recovery restores exactly the
+/// committed prefix.
+pub struct CrashingBackend {
+    inner: Arc<dyn DiskBackend>,
+    /// Mutating ops still allowed before the simulated death.
+    remaining: AtomicU64,
+    crashed: AtomicBool,
+    /// Mutating ops attempted (pre-crash ones that consumed budget).
+    mutations: AtomicU64,
+}
+
+impl CrashingBackend {
+    /// Wrap `inner`, allowing `budget` mutating ops before the crash.
+    pub fn new(inner: Arc<dyn DiskBackend>, budget: u64) -> CrashingBackend {
+        CrashingBackend {
+            inner,
+            remaining: AtomicU64::new(budget),
+            crashed: AtomicBool::new(false),
+            mutations: AtomicU64::new(0),
+        }
+    }
+
+    /// A wrapper that never crashes but still counts mutating ops — used to
+    /// size the sweep (run once, read [`CrashingBackend::mutation_ops`]).
+    pub fn unlimited(inner: Arc<dyn DiskBackend>) -> CrashingBackend {
+        CrashingBackend::new(inner, u64::MAX)
+    }
+
+    /// The wrapped backend: the bytes that survived the crash.
+    pub fn inner(&self) -> &Arc<dyn DiskBackend> {
+        &self.inner
+    }
+
+    /// Whether the budget has been exhausted.
+    pub fn has_crashed(&self) -> bool {
+        self.crashed.load(Ordering::Relaxed)
+    }
+
+    /// Mutating operations that completed before the crash.
+    pub fn mutation_ops(&self) -> u64 {
+        self.mutations.load(Ordering::Relaxed)
+    }
+
+    fn dead(&self) -> EvoptError {
+        EvoptError::Io("simulated crash: backend is dead".into())
+    }
+
+    /// Spend one unit of mutation budget; the op that exhausts it dies.
+    fn consume(&self) -> Result<()> {
+        if self.has_crashed() {
+            return Err(self.dead());
+        }
+        let prev = self.remaining.fetch_sub(1, Ordering::Relaxed);
+        if prev == 0 {
+            // Undo the wrap and stay crashed.
+            self.remaining.store(0, Ordering::Relaxed);
+            self.crashed.store(true, Ordering::Relaxed);
+            return Err(self.dead());
+        }
+        self.mutations.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+impl DiskBackend for CrashingBackend {
+    fn allocate_page(&self) -> PageId {
+        self.inner.allocate_page()
+    }
+
+    fn deallocate_page(&self, id: PageId) -> Result<()> {
+        self.consume()?;
+        self.inner.deallocate_page(id)
+    }
+
+    fn read_page(&self, id: PageId, buf: &mut PageData) -> Result<()> {
+        if self.has_crashed() {
+            return Err(self.dead());
+        }
+        self.inner.read_page(id, buf)
+    }
+
+    fn write_page(&self, id: PageId, buf: &PageData) -> Result<()> {
+        self.consume()?;
+        self.inner.write_page(id, buf)
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.consume()?;
+        self.inner.sync()
+    }
+
+    fn page_count(&self) -> u64 {
+        self.inner.page_count()
+    }
+
+    fn snapshot(&self) -> IoSnapshot {
+        self.inner.snapshot()
+    }
+
+    fn reset_stats(&self) {
+        self.inner.reset_stats();
     }
 }
 
@@ -548,6 +701,80 @@ mod tests {
         };
         assert_eq!(run(99), run(99));
         assert_ne!(run(99).0, run(100).0, "different seeds, different schedule");
+    }
+
+    #[test]
+    fn sync_failure_heals_on_retry_and_is_counted() {
+        let cfg = FaultConfig {
+            seed: 21,
+            sync_error: 1.0,
+            ..Default::default()
+        };
+        let (disk, inj) = injected(cfg);
+        let before = inj.snapshot();
+        assert_eq!(inj.sync().unwrap_err().kind(), "io");
+        // The very next barrier passes clean and reaches the inner disk.
+        inj.sync().unwrap();
+        assert_eq!(disk.snapshot().syncs, 1);
+        let delta = inj.snapshot().since(&before);
+        assert_eq!(delta.syncs, 1);
+        assert_eq!(delta.write_faults, 1);
+        assert_eq!(inj.report().sync_failures, 1);
+        // Disabled injector never rolls sync faults.
+        inj.set_enabled(false);
+        for _ in 0..50 {
+            inj.sync().unwrap();
+        }
+        assert_eq!(inj.report().sync_failures, 1);
+    }
+
+    #[test]
+    fn crashing_backend_dies_after_budget() {
+        let disk = Arc::new(DiskManager::new());
+        let crash = CrashingBackend::new(Arc::clone(&disk) as Arc<dyn DiskBackend>, 3);
+        let id = crash.allocate_page();
+        let buf = [5u8; PAGE_SIZE];
+        crash.write_page(id, &buf).unwrap(); // 1
+        crash.sync().unwrap(); // 2
+        crash.write_page(id, &buf).unwrap(); // 3
+        assert!(!crash.has_crashed());
+        assert_eq!(crash.mutation_ops(), 3);
+        // The 4th mutating op dies, and everything after it — reads too.
+        assert_eq!(crash.write_page(id, &buf).unwrap_err().kind(), "io");
+        assert!(crash.has_crashed());
+        let mut out = [0u8; PAGE_SIZE];
+        assert!(crash.read_page(id, &mut out).is_err());
+        assert!(crash.sync().is_err());
+        assert_eq!(crash.mutation_ops(), 3, "post-crash ops consume nothing");
+        // The inner platter holds exactly the pre-crash bytes.
+        disk.read_page(id, &mut out).unwrap();
+        assert_eq!(out[0], 5);
+    }
+
+    #[test]
+    fn crashing_backend_zero_budget_fails_first_mutation() {
+        let disk = Arc::new(DiskManager::new());
+        let crash = CrashingBackend::new(disk as Arc<dyn DiskBackend>, 0);
+        let id = crash.allocate_page(); // allocation is exempt
+        let mut out = [0u8; PAGE_SIZE];
+        crash.read_page(id, &mut out).unwrap(); // reads pass until death
+        assert!(crash.write_page(id, &out).is_err());
+        assert!(crash.has_crashed());
+        assert!(crash.read_page(id, &mut out).is_err());
+    }
+
+    #[test]
+    fn crashing_backend_unlimited_counts_without_dying() {
+        let disk = Arc::new(DiskManager::new());
+        let crash = CrashingBackend::unlimited(disk as Arc<dyn DiskBackend>);
+        let id = crash.allocate_page();
+        let buf = [0u8; PAGE_SIZE];
+        for _ in 0..100 {
+            crash.write_page(id, &buf).unwrap();
+        }
+        crash.sync().unwrap();
+        assert!(!crash.has_crashed());
+        assert_eq!(crash.mutation_ops(), 101);
     }
 
     #[test]

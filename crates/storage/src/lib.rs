@@ -26,6 +26,11 @@
 //!   used by the chaos suite; page CRC-32 checksums ([`checksum`]) stamped
 //!   and verified by the buffer pool turn silent corruption into typed
 //!   `Corruption` errors.
+//! * [`wal::Wal`] — a redo-only write-ahead log (full page images, CRC-32
+//!   per record, torn-tail truncation) with fuzzy checkpoints and
+//!   idempotent crash recovery; it enforces log-before-data through the
+//!   pool's [`buffer::FlushGate`]. [`fault::CrashingBackend`] models
+//!   process death for the crash-point torture suite.
 
 // Library code must not panic on fault paths: unwrap/expect are banned
 // outside tests (each test module opts back in locally).
@@ -38,11 +43,13 @@ pub mod disk;
 pub mod fault;
 pub mod heap;
 pub mod page;
+pub mod wal;
 
 pub use btree::BTreeIndex;
-pub use buffer::{BufferPool, PolicyKind, PoolSnapshot};
+pub use buffer::{BufferPool, FlushGate, PolicyKind, PoolSnapshot};
 pub use checksum::crc32;
 pub use disk::{DiskBackend, DiskManager, IoSnapshot};
-pub use fault::{FaultConfig, FaultInjector, FaultReport};
+pub use fault::{CrashingBackend, FaultConfig, FaultInjector, FaultReport};
 pub use heap::HeapFile;
-pub use page::{PageId, Rid, INVALID_PAGE_ID, PAGE_SIZE};
+pub use page::{PageId, Rid, INVALID_PAGE_ID, PAGE_SIZE, USABLE_PAGE_SIZE};
+pub use wal::{CatalogImage, ColumnImage, IndexImage, RecoveryInfo, TableImage, Wal, WalStats};

@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! offset 0   [u16] slot count
-//! offset 2   [u16] free-space pointer (data grows down from PAGE_SIZE)
+//! offset 2   [u16] free-space pointer (data grows down from USABLE_PAGE_SIZE)
 //! offset 4   [u64] next page id (heap-file chaining; INVALID_PAGE_ID = none)
 //! offset 12  slot array, 4 bytes each: [u16 record offset][u16 record len]
 //! ...        free space
@@ -14,12 +14,25 @@
 //!
 //! A deleted record's slot keeps its index (so [`Rid`]s of other records stay
 //! stable) with offset = `DEAD_SLOT`.
+//!
+//! The last eight bytes of *every* page are reserved for the page LSN
+//! trailer (see [`page_lsn`]): the WAL sequence number of the last logged
+//! write that covered this page. Recovery replays a redo record only when
+//! the on-disk page's LSN is older, which makes replay idempotent. Page
+//! payloads therefore end at [`USABLE_PAGE_SIZE`], not [`PAGE_SIZE`].
 
 use evopt_common::{EvoptError, Result};
 
 /// Size of every page, in bytes. 4 KiB mirrors the classic DBMS setting and
 /// gives ~60 Wisconsin-style tuples per page.
 pub const PAGE_SIZE: usize = 4096;
+
+/// Byte offset of the 8-byte page LSN trailer (little-endian u64 in the
+/// last eight bytes of the page).
+pub const PAGE_LSN_OFFSET: usize = PAGE_SIZE - 8;
+
+/// Bytes usable by page payloads: everything before the LSN trailer.
+pub const USABLE_PAGE_SIZE: usize = PAGE_LSN_OFFSET;
 
 /// Identifies a page on the disk.
 pub type PageId = u64;
@@ -29,6 +42,20 @@ pub const INVALID_PAGE_ID: PageId = u64::MAX;
 
 /// Raw page bytes.
 pub type PageData = [u8; PAGE_SIZE];
+
+/// Read the page LSN trailer: sequence number of the last WAL record that
+/// covered this page (0 = never logged; fresh pages are zeroed).
+pub fn page_lsn(data: &PageData) -> u64 {
+    let mut bytes = [0u8; 8];
+    bytes.copy_from_slice(&data[PAGE_LSN_OFFSET..]);
+    u64::from_le_bytes(bytes)
+}
+
+/// Stamp the page LSN trailer. Called by the WAL at commit, just before the
+/// page image is captured into a redo record.
+pub fn set_page_lsn(data: &mut PageData, lsn: u64) {
+    data[PAGE_LSN_OFFSET..].copy_from_slice(&lsn.to_le_bytes());
+}
 
 /// A record id: which page, which slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -72,7 +99,7 @@ impl<'a> SlottedPage<'a> {
         data[..HEADER_SIZE].fill(0);
         let mut p = SlottedPage { data };
         p.set_slot_count(0);
-        p.set_free_ptr(PAGE_SIZE as u16);
+        p.set_free_ptr(USABLE_PAGE_SIZE as u16);
         p.set_next_page(INVALID_PAGE_ID);
         p
     }
@@ -257,13 +284,32 @@ mod tests {
             p.insert(&rec).unwrap();
             n += 1;
         }
-        // 100-byte records + 4-byte slots: ~39 fit in 4084 usable bytes.
+        // 100-byte records + 4-byte slots: ~39 fit in 4076 usable bytes.
         assert!(n >= 35, "expected dozens of records, got {n}");
         assert!(p.insert(&rec).is_err());
         // Everything is still readable after filling.
         for s in 0..p.slot_count() {
             assert_eq!(p.get(s).unwrap(), Some(&rec[..]));
         }
+    }
+
+    #[test]
+    fn lsn_trailer_roundtrips_and_survives_records() {
+        let mut data = fresh();
+        assert_eq!(page_lsn(&data), 0);
+        set_page_lsn(&mut data, 0xDEAD_BEEF_0042);
+        let mut p = SlottedPage::init(&mut data);
+        // Fill the page completely; no record may clobber the trailer.
+        let rec = [0xFFu8; 64];
+        while p.fits(rec.len()) {
+            p.insert(&rec).unwrap();
+        }
+        assert_eq!(page_lsn(&data), 0xDEAD_BEEF_0042);
+        set_page_lsn(&mut data, u64::MAX);
+        assert_eq!(page_lsn(&data), u64::MAX);
+        // And the trailer write did not disturb the last record.
+        let p = SlottedPage::new(&mut data);
+        assert_eq!(p.get(0).unwrap(), Some(&rec[..]));
     }
 
     #[test]

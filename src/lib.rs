@@ -58,8 +58,9 @@ pub use evopt_workload as workload;
 pub use evopt_common::{Column, DataType, Schema, Tuple, Value};
 pub use evopt_core::{CostModel, Optimizer, OptimizerConfig, Strategy};
 pub use evopt_engine::{
-    AnalyzeConfig, CancellationToken, Database, DatabaseConfig, EngineMetrics, FaultConfig,
-    FaultInjector, FaultReport, GovernorConfig, HistogramKind, MetricsSnapshot, OperatorMetrics,
-    PolicyKind, PoolSnapshot, QueryLog, QueryLogEntry, QueryMetrics, QueryResult, SearchTrace,
-    TracedQuery,
+    AnalyzeConfig, CancellationToken, CrashingBackend, Database, DatabaseConfig, DiskBackend,
+    DiskManager, Durability, EngineMetrics, FaultConfig, FaultInjector, FaultReport,
+    GovernorConfig, HistogramKind, IoSnapshot, MetricsSnapshot, OperatorMetrics, PolicyKind,
+    PoolSnapshot, QueryLog, QueryLogEntry, QueryMetrics, QueryResult, RecoveryInfo, SearchTrace,
+    TracedQuery, Wal, WalStats,
 };

@@ -15,7 +15,7 @@
 //! Seeds: `CHAOS_SEED=<n>` pins one seed (the CI matrix runs 1, 2, 3);
 //! without it every default seed runs in-process.
 
-use evopt::{Database, DatabaseConfig, FaultConfig, Tuple};
+use evopt::{Database, DatabaseConfig, Durability, FaultConfig, Tuple};
 use evopt_workload::{load_tpch_lite, load_wisconsin};
 
 /// Seeds to exercise: the CHAOS_SEED env var pins one (CI matrix), default
@@ -261,4 +261,133 @@ fn transient_faults_are_absorbed_by_retry() {
         0,
         "transient-only schedule must not corrupt"
     );
+}
+
+/// Fault storm on the *durability* path: a WAL-backed database under
+/// transient read/write/sync faults. Contract: every statement is correct
+/// or fails typed, and recovery afterwards yields a row count bounded by
+/// the acknowledged and the attempted writes — never more, never fewer
+/// than was acknowledged durable.
+#[test]
+fn wal_path_survives_fault_storm() {
+    for seed in chaos_seeds() {
+        // Transient-only schedule (no torn writes / bit flips): the disk
+        // image itself stays honest, so recovery must always succeed; the
+        // faults exercise the WAL's retry, poison, and re-queue paths.
+        let cfg = DatabaseConfig {
+            buffer_pages: 32,
+            durability: Durability::Wal,
+            faults: Some(FaultConfig {
+                seed,
+                read_error: 0.05,
+                write_error: 0.10,
+                sync_error: 0.15,
+                ..FaultConfig::default()
+            }),
+            ..Default::default()
+        };
+        let db = Database::create_on(
+            std::sync::Arc::new(evopt::DiskManager::new())
+                as std::sync::Arc<dyn evopt::DiskBackend>,
+            cfg,
+        )
+        .expect("bootstrap runs with injection suspended");
+        let injector = db.fault_injector().expect("built with faults").clone();
+        injector.set_enabled(false);
+        db.execute("CREATE TABLE kv (k INT NOT NULL, v INT)")
+            .unwrap();
+
+        injector.set_enabled(true);
+        let (mut acked_rows, mut attempted_rows) = (0u64, 0u64);
+        for i in 0..40i64 {
+            let base = i * 5;
+            let rows: Vec<String> = (base..base + 5)
+                .map(|k| format!("({k}, {})", k * 7))
+                .collect();
+            let sql = format!("INSERT INTO kv VALUES {}", rows.join(", "));
+            attempted_rows += 5;
+            match db.execute(&sql) {
+                Ok(_) => acked_rows += 5,
+                Err(e) => assert!(
+                    e.is_fault(),
+                    "seed {seed}: statement {i} failed non-typed: {e:?} ({})",
+                    e.kind()
+                ),
+            }
+        }
+        injector.set_enabled(false);
+        assert!(
+            injector.report().total() > 0 || db.disk().snapshot().write_faults > 0,
+            "seed {seed}: the storm never fired"
+        );
+
+        // Recover over the *inner* (healed) disk: everything acknowledged
+        // must be there; a statement that failed only at its commit fence
+        // may additionally have ridden into a later successful commit.
+        let inner = injector.inner().clone();
+        drop(db);
+        let (db, _info) = Database::recover(
+            inner,
+            DatabaseConfig {
+                buffer_pages: 32,
+                durability: Durability::Wal,
+                ..Default::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("seed {seed}: recovery after a transient storm failed: {e}"));
+        let rows = db.query("SELECT COUNT(*) FROM kv").unwrap();
+        let count = match &rows[0].values()[0] {
+            evopt::Value::Int(n) => *n as u64,
+            other => panic!("COUNT(*) returned {other:?}"),
+        };
+        assert!(
+            (acked_rows..=attempted_rows).contains(&count),
+            "seed {seed}: recovered {count} rows, acknowledged {acked_rows}, attempted {attempted_rows}"
+        );
+    }
+}
+
+/// `IoSnapshot::since` called with a misordered pair (the classic bug: an
+/// "earlier" snapshot taken *before* a `reset_stats`) has defined behavior
+/// in both profiles: debug builds assert, release builds saturate to zero
+/// instead of underflowing into garbage deltas.
+#[test]
+fn io_snapshot_since_misuse_is_defined() {
+    let db = Database::new(DatabaseConfig {
+        buffer_pages: 16,
+        ..Default::default()
+    });
+    db.execute("CREATE TABLE t (x INT)").unwrap();
+    db.execute("INSERT INTO t VALUES (1), (2), (3)").unwrap();
+    db.pool().evict_all().unwrap();
+    let busy = db.disk().snapshot();
+    assert!(busy.writes > 0, "setup produced no physical writes");
+    db.disk().reset_stats();
+    let idle = db.disk().snapshot();
+
+    #[cfg(debug_assertions)]
+    {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // keep the expected panic quiet
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| idle.since(&busy)));
+        std::panic::set_hook(prev);
+        assert!(
+            result.is_err(),
+            "debug builds must assert on a misordered since()"
+        );
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        assert_eq!(
+            idle.since(&busy),
+            evopt::IoSnapshot::default(),
+            "release builds must saturate a misordered since() to zero"
+        );
+    }
+    // Correct ordering keeps working after the reset.
+    db.execute("INSERT INTO t VALUES (4)").unwrap();
+    db.pool().evict_all().unwrap();
+    let after = db.disk().snapshot();
+    let delta = after.since(&idle);
+    assert!(delta.writes > 0);
 }

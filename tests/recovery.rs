@@ -1,0 +1,391 @@
+//! Crash-point torture suite (experiment W1's robustness side).
+//!
+//! The write-ahead log's contract: after a crash at **any** point, recovery
+//! rebuilds exactly the committed prefix of statements — never a torn
+//! record, never a lost commit, never a resurrected aborted statement.
+//!
+//! The harness makes "any point" literal: [`evopt::CrashingBackend`] kills
+//! the disk after a budget of N mutating I/O ops, and the sweep runs the
+//! same deterministic workload for **every** N from 0 to the op count of a
+//! crash-free run. After each crash the database is reopened over the
+//! healed inner disk and its state is compared against a clean twin that
+//! applied exactly the statements the crashed run acknowledged.
+//!
+//! The commit-uncertainty window is the one place two outcomes are legal:
+//! a statement whose log records reached the disk but whose final
+//! `sync`/acknowledgement did not may surface as committed after recovery
+//! even though the caller saw an error. The sweep therefore accepts the
+//! state after `k` *or* `k + 1` statements, where `k` is the acknowledged
+//! count and statement `k + 1` is the one the crash interrupted — and
+//! nothing else.
+//!
+//! Seeds: `RECOVERY_SEED=<n>` pins one (the CI matrix runs 1, 2, 3);
+//! without it all three run in-process.
+
+use std::sync::Arc;
+
+use evopt::{CrashingBackend, Database, DatabaseConfig, DiskBackend, DiskManager, Durability};
+
+fn seeds() -> Vec<u64> {
+    match std::env::var("RECOVERY_SEED") {
+        Ok(s) => vec![s
+            .parse()
+            .unwrap_or_else(|_| panic!("RECOVERY_SEED must be an integer, got '{s}'"))],
+        Err(_) => vec![1, 2, 3],
+    }
+}
+
+fn durable_cfg() -> DatabaseConfig {
+    DatabaseConfig {
+        buffer_pages: 32,
+        durability: Durability::Wal,
+        ..Default::default()
+    }
+}
+
+/// One step of the workload script.
+#[derive(Debug, Clone)]
+enum Op {
+    Sql(String),
+    Checkpoint,
+}
+
+/// Tiny deterministic PRNG so the script varies by seed without pulling in
+/// a generator dependency.
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// A deterministic DML/DDL script: creates, loads, indexes, updates,
+/// deletes, and drops — every statement class the WAL logs. With
+/// `checkpoints`, checkpoint calls are interleaved so the sweep also
+/// crashes *inside* checkpoints.
+fn script(seed: u64, checkpoints: bool) -> Vec<Op> {
+    let mut rng = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut ops = Vec::new();
+    ops.push(Op::Sql(
+        "CREATE TABLE t (id INT NOT NULL, grp INT, val INT)".into(),
+    ));
+    let mut next_id = 0i64;
+    let mut insert_batch = |ops: &mut Vec<Op>, rng: &mut u64, n: i64| {
+        let rows: Vec<String> = (0..n)
+            .map(|_| {
+                let id = next_id;
+                next_id += 1;
+                format!("({id}, {}, {})", id % 5, lcg(rng) % 1000)
+            })
+            .collect();
+        ops.push(Op::Sql(format!("INSERT INTO t VALUES {}", rows.join(", "))));
+    };
+    insert_batch(&mut ops, &mut rng, 15);
+    insert_batch(&mut ops, &mut rng, 15);
+    ops.push(Op::Sql("CREATE INDEX t_id ON t (id)".into()));
+    insert_batch(&mut ops, &mut rng, 15);
+    ops.push(Op::Sql(format!(
+        "UPDATE t SET val = val + {} WHERE grp = {}",
+        lcg(&mut rng) % 100,
+        lcg(&mut rng) % 5
+    )));
+    ops.push(Op::Sql(format!(
+        "DELETE FROM t WHERE grp = {}",
+        lcg(&mut rng) % 5
+    )));
+    ops.push(Op::Sql("CREATE TABLE scratch (x INT)".into()));
+    ops.push(Op::Sql("INSERT INTO scratch VALUES (1), (2), (3)".into()));
+    ops.push(Op::Sql("DROP TABLE scratch".into()));
+    insert_batch(&mut ops, &mut rng, 15);
+    ops.push(Op::Sql(format!(
+        "UPDATE t SET val = 0 WHERE id < {}",
+        5 + lcg(&mut rng) % 10
+    )));
+    ops.push(Op::Sql(format!(
+        "DELETE FROM t WHERE id = {}",
+        lcg(&mut rng) % 60
+    )));
+    if checkpoints {
+        // Interleave, rather than append, so post-checkpoint commits and
+        // crashes *during* the checkpoint itself are both swept.
+        let mut with_cp = Vec::new();
+        for (i, op) in ops.into_iter().enumerate() {
+            with_cp.push(op);
+            if i % 4 == 3 {
+                with_cp.push(Op::Checkpoint);
+            }
+        }
+        ops = with_cp;
+    }
+    ops
+}
+
+fn apply(db: &Database, op: &Op) -> evopt::common::Result<()> {
+    match op {
+        Op::Sql(sql) => db.execute(sql).map(|_| ()),
+        Op::Checkpoint => db.checkpoint(),
+    }
+}
+
+/// Queries whose combined answers pin the logical state. A missing table
+/// collapses to a typed marker so pre-CREATE prefixes digest cleanly.
+const DIGEST_QUERIES: &[&str] = &[
+    "SELECT COUNT(*) FROM t",
+    "SELECT id, grp, val FROM t ORDER BY id",
+    "SELECT grp, COUNT(*) AS n FROM t GROUP BY grp ORDER BY grp",
+    "SELECT val FROM t WHERE id = 17",
+    "SELECT COUNT(*) FROM scratch",
+];
+
+fn digest(db: &Database) -> Vec<String> {
+    DIGEST_QUERIES
+        .iter()
+        .map(|q| match db.query(q) {
+            Ok(rows) => format!("{rows:?}"),
+            Err(e) => format!("ERR:{}", e.kind()),
+        })
+        .collect()
+}
+
+/// Ground truth: the digest after each prefix of the script, computed on a
+/// plain non-durable database (no WAL in the way). `digests[k]` is the
+/// state after the first `k` statements.
+fn twin_digests(ops: &[Op]) -> Vec<Vec<String>> {
+    let twin = Database::new(DatabaseConfig {
+        buffer_pages: 32,
+        ..Default::default()
+    });
+    let mut digests = vec![digest(&twin)];
+    for op in ops {
+        match op {
+            Op::Sql(sql) => {
+                twin.execute(sql).unwrap_or_else(|e| {
+                    panic!("twin must apply the whole script cleanly: {sql}: {e}")
+                });
+            }
+            Op::Checkpoint => {} // logical no-op
+        }
+        digests.push(digest(&twin));
+    }
+    digests
+}
+
+/// Run the script on a durable database over `backend` until the first
+/// error; returns how many statements were acknowledged.
+fn run_until_crash(db: &Database, ops: &[Op]) -> usize {
+    for (i, op) in ops.iter().enumerate() {
+        if apply(db, op).is_err() {
+            return i;
+        }
+    }
+    ops.len()
+}
+
+/// Mutating-op count of a crash-free run (sizes the sweep), plus a sanity
+/// check that the script really is crash-free on a healthy disk.
+fn crash_free_mutations(ops: &[Op]) -> u64 {
+    let inner: Arc<dyn DiskBackend> = Arc::new(DiskManager::new());
+    let counter = Arc::new(CrashingBackend::unlimited(inner));
+    let db = Database::create_on(Arc::clone(&counter) as Arc<dyn DiskBackend>, durable_cfg())
+        .expect("bootstrap on a healthy disk");
+    for op in ops {
+        apply(&db, op).expect("script must run clean without a crash budget");
+    }
+    counter.mutation_ops()
+}
+
+/// Build a database over a crash-after-N backend, run the script into the
+/// crash, and return the healed inner disk plus the acknowledged count.
+/// `None` when the budget killed bootstrap itself (no database existed).
+fn crashed_disk(ops: &[Op], budget: u64) -> Option<(Arc<DiskManager>, usize)> {
+    let inner = Arc::new(DiskManager::new());
+    let crashing = Arc::new(CrashingBackend::new(
+        Arc::clone(&inner) as Arc<dyn DiskBackend>,
+        budget,
+    ));
+    let db =
+        Database::create_on(Arc::clone(&crashing) as Arc<dyn DiskBackend>, durable_cfg()).ok()?;
+    let acked = run_until_crash(&db, ops);
+    if acked < ops.len() {
+        assert!(
+            crashing.has_crashed(),
+            "budget {budget}: statement {acked} failed before the crash fired"
+        );
+    }
+    drop(db);
+    Some((inner, acked))
+}
+
+/// Recover over a healed disk and check the state is the committed prefix:
+/// the digest after `acked` statements, or — only when the crash cut a
+/// statement mid-flight — after `acked + 1` (commit-uncertainty window).
+fn assert_recovers_to_prefix(
+    disk: Arc<DiskManager>,
+    acked: usize,
+    twins: &[Vec<String>],
+    context: &str,
+) {
+    let (db, info) = Database::recover(Arc::clone(&disk) as Arc<dyn DiskBackend>, durable_cfg())
+        .unwrap_or_else(|e| panic!("{context}: recovery over a healed disk failed: {e}"));
+    let got = digest(&db);
+    let exact = &twins[acked];
+    let uncertain = twins.get(acked + 1);
+    assert!(
+        got == *exact || Some(&got) == uncertain,
+        "{context}: recovered state matches neither the {acked}-statement prefix nor \
+         the uncertainty window\n  got:      {got:?}\n  expected: {exact:?}\n  or:       {uncertain:?}\n  info: {info:?}"
+    );
+    drop(db);
+    // Recovery is idempotent: recovering the same disk again lands on the
+    // same state and replays nothing (page LSNs are already current).
+    let (db2, info2) = Database::recover(disk as Arc<dyn DiskBackend>, durable_cfg())
+        .unwrap_or_else(|e| panic!("{context}: second recovery failed: {e}"));
+    assert_eq!(
+        info2.replayed_records, 0,
+        "{context}: second recovery replayed pages the first already wrote"
+    );
+    assert_eq!(
+        digest(&db2),
+        got,
+        "{context}: second recovery changed the state"
+    );
+}
+
+/// The headline sweep: crash after every possible mutating-op count,
+/// recover, and demand exactly the committed prefix every time.
+fn torture(seed: u64, checkpoints: bool) {
+    let ops = script(seed, checkpoints);
+    let twins = twin_digests(&ops);
+    let m = crash_free_mutations(&ops);
+    assert!(m > 50, "workload too small to be interesting: {m} ops");
+    let mut bootstrap_crashes = 0u64;
+    for budget in 0..=m {
+        let label = format!("seed {seed} cp={checkpoints} budget {budget}/{m}");
+        match crashed_disk(&ops, budget) {
+            Some((disk, acked)) => {
+                assert_recovers_to_prefix(disk, acked, &twins, &label);
+            }
+            None => {
+                // The crash killed bootstrap: no WAL master ever became
+                // valid, so there is nothing to recover — but the failure
+                // must be typed, never a panic or a silently empty DB.
+                bootstrap_crashes += 1;
+            }
+        }
+    }
+    assert!(
+        bootstrap_crashes < m,
+        "seed {seed}: every budget died in bootstrap — the sweep never reached the workload"
+    );
+}
+
+#[test]
+fn crash_point_torture_sweep() {
+    for seed in seeds() {
+        torture(seed, false);
+    }
+}
+
+#[test]
+fn crash_point_torture_sweep_with_checkpoints() {
+    for seed in seeds() {
+        torture(seed, true);
+    }
+}
+
+/// Double-crash: the crash-recovery run is itself killed at every point,
+/// then a clean recovery follows. The final state must equal what a single
+/// clean recovery of the original crash would have produced — a crashed
+/// recovery must not destroy committed data or commit discarded data.
+#[test]
+fn crash_during_recovery_then_recover_again() {
+    for seed in seeds() {
+        let ops = script(seed, true);
+        let m = crash_free_mutations(&ops);
+        // Three representative workload crash points (sweeping both axes
+        // exhaustively would square the runtime for no extra coverage —
+        // the recovery axis below is exhaustive).
+        for frac in [m / 4, m / 2, 3 * m / 4] {
+            let Some((disk, acked)) = crashed_disk(&ops, frac) else {
+                continue;
+            };
+            // Reference: what a clean recovery of this crash produces.
+            let (ref_db, _) =
+                Database::recover(Arc::clone(&disk) as Arc<dyn DiskBackend>, durable_cfg())
+                    .expect("clean reference recovery");
+            let want = digest(&ref_db);
+            drop(ref_db);
+
+            // Recovery mutation budget, measured on an identical replica
+            // (the workload is deterministic, so rebuilding the crashed
+            // disk reproduces it bit-for-bit).
+            let (replica, acked2) = crashed_disk(&ops, frac).expect("replica build");
+            assert_eq!(acked, acked2, "workload is not deterministic");
+            let counter = Arc::new(CrashingBackend::unlimited(
+                Arc::clone(&replica) as Arc<dyn DiskBackend>
+            ));
+            Database::recover(Arc::clone(&counter) as Arc<dyn DiskBackend>, durable_cfg())
+                .expect("counting recovery");
+            let m2 = counter.mutation_ops();
+
+            for n2 in 0..=m2 {
+                let label = format!("seed {seed} frac {frac} recovery-budget {n2}/{m2}");
+                let (disk, _) = crashed_disk(&ops, frac).expect("replica build");
+                let crashing = Arc::new(CrashingBackend::new(
+                    Arc::clone(&disk) as Arc<dyn DiskBackend>,
+                    n2,
+                ));
+                // First recovery may die mid-flight — that's the point.
+                let first =
+                    Database::recover(Arc::clone(&crashing) as Arc<dyn DiskBackend>, durable_cfg());
+                if n2 >= m2 {
+                    assert!(first.is_ok(), "{label}: full budget must recover");
+                }
+                drop(first);
+                // Clean recovery afterwards must land on the reference
+                // state: the crashed recovery changed nothing observable.
+                let (db, _) =
+                    Database::recover(Arc::clone(&disk) as Arc<dyn DiskBackend>, durable_cfg())
+                        .unwrap_or_else(|e| panic!("{label}: clean recovery failed: {e}"));
+                assert_eq!(digest(&db), want, "{label}: state diverged");
+            }
+        }
+    }
+}
+
+/// A torn tail written by a real crash (not a hand-scribbled frame): kill
+/// the backend mid-commit so the log ends in a half-written record, then
+/// verify recovery truncates it and a *new* workload continues cleanly on
+/// the recovered database.
+#[test]
+fn recovered_database_keeps_working() {
+    for seed in seeds() {
+        let ops = script(seed, false);
+        let m = crash_free_mutations(&ops);
+        let Some((disk, _)) = crashed_disk(&ops, m * 2 / 3) else {
+            continue;
+        };
+        let (db, info) =
+            Database::recover(Arc::clone(&disk) as Arc<dyn DiskBackend>, durable_cfg())
+                .expect("recovery");
+        // The crash usually lands mid-record; whichever way it fell, the
+        // log must scan clean now and accept new durable work.
+        db.execute("CREATE TABLE post (x INT)").unwrap();
+        db.execute("INSERT INTO post VALUES (1), (2)").unwrap();
+        db.checkpoint().expect("checkpoint on recovered database");
+        db.execute("INSERT INTO post VALUES (3)").unwrap();
+        let want = digest(&db);
+        drop(db);
+        let (db2, info2) =
+            Database::recover(Arc::clone(&disk) as Arc<dyn DiskBackend>, durable_cfg())
+                .expect("second-generation recovery");
+        assert!(!info2.torn_tail, "first recovery left a torn tail behind");
+        assert_eq!(digest(&db2), want, "seed {seed}: post-recovery work lost");
+        let n = db2.query("SELECT COUNT(*) FROM post").unwrap();
+        assert_eq!(format!("{n:?}"), "[Tuple { values: [Int(3)] }]");
+        // Informational: the original crash produced either a torn tail or
+        // a clean-but-uncommitted one; both are legal. Just touch the field
+        // so the report shape is exercised.
+        let _ = info.torn_tail;
+    }
+}
