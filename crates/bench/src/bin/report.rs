@@ -56,6 +56,7 @@ fn main() -> std::process::ExitCode {
     experiment!("f4", f4);
     experiment!("f5", f5);
     experiment!("a1", a1);
+    experiment!("c1", c1);
 
     if ran == 0 {
         eprintln!("unknown experiment id(s) {wanted:?}; expected t1..t5, f1..f5, a1, or all");

@@ -18,6 +18,7 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod a1;
+pub mod c1;
 pub mod f1;
 pub mod f2;
 pub mod f3;

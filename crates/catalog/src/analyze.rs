@@ -48,10 +48,20 @@ impl Default for AnalyzeConfig {
     }
 }
 
-/// Scan `table`'s heap and install fresh [`TableStats`] on it.
+/// Scan `table`'s heap and install fresh [`TableStats`] on it in place.
 ///
-/// Returns the stats that were installed.
+/// Returns the stats that were installed. Convenience for direct catalog
+/// embedders; the engine's ANALYZE uses [`compute_stats`] +
+/// `Catalog::install_stats` so concurrent snapshots keep their stats view.
 pub fn analyze_table(table: &TableInfo, config: &AnalyzeConfig) -> Result<TableStats> {
+    let stats = compute_stats(table, config)?;
+    table.set_stats(stats.clone());
+    Ok(stats)
+}
+
+/// Scan `table`'s heap and build fresh [`TableStats`] without installing
+/// them anywhere.
+pub fn compute_stats(table: &TableInfo, config: &AnalyzeConfig) -> Result<TableStats> {
     let ncols = table.schema.len();
     let mut row_count = 0u64;
     let mut total_bytes = 0u64;
@@ -126,7 +136,6 @@ pub fn analyze_table(table: &TableInfo, config: &AnalyzeConfig) -> Result<TableS
         },
         columns,
     };
-    table.set_stats(stats.clone());
     Ok(stats)
 }
 

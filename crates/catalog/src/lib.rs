@@ -25,7 +25,7 @@ pub mod catalog;
 pub mod histogram;
 pub mod stats;
 
-pub use analyze::{analyze_table, AnalyzeConfig, HistogramKind};
+pub use analyze::{analyze_table, compute_stats, AnalyzeConfig, HistogramKind};
 pub use catalog::{Catalog, IndexInfo, TableInfo};
 pub use histogram::Histogram;
 pub use stats::{ColumnStats, TableStats};

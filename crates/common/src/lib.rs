@@ -29,6 +29,7 @@ pub mod batch;
 pub mod columnar;
 pub mod error;
 pub mod expr;
+pub mod lockorder;
 pub mod schema;
 pub mod tuple;
 pub mod value;

@@ -1,0 +1,176 @@
+//! Lock-ordering hierarchy with debug-build enforcement.
+//!
+//! The multi-session engine holds locks from several layers at once (a
+//! commit walks engine → catalog → WAL → buffer pool). Deadlock freedom
+//! comes from a total order over every long-lived lock in the system:
+//! a thread may only acquire a lock whose rank is **strictly greater**
+//! than every rank it already holds.
+//!
+//! The hierarchy (see DESIGN.md §11.4 for the derivation):
+//!
+//! | rank | lock |
+//! |------|------|
+//! | 10 `COMMIT`        | engine commit lock (serializes write statements) |
+//! | 15 `CONFIG`        | engine session-default config |
+//! | 18 `SNAPSHOT_CACHE`| engine cached catalog read snapshot |
+//! | 20 `CATALOG_MAP`   | catalog table namespace |
+//! | 21 `CATALOG_NAMES` | catalog index namespace |
+//! | 25 `TABLE_META`    | per-table index list / stats slots |
+//! | 30 `WAL_STATE`     | WAL append state (tail buffer, LSNs) |
+//! | 40 `POOL`          | buffer-pool frame table |
+//! | 41 `POOL_CHECKSUM` | buffer-pool page-checksum map |
+//! | 42 `POOL_GATE`     | buffer-pool flush-gate slot |
+//! | 50 `WAL_GATE`      | WAL unlogged-page set (no-steal gate) |
+//! | 51 `WAL_UNSYNCED`  | WAL appended-but-unsynced page set |
+//! | 60 `OBS`           | observability (query log ring) |
+//!
+//! Note the perhaps surprising `WAL_STATE < POOL`: the WAL's commit path
+//! holds its append state while stamping LSNs into resident pages
+//! (`BufferPool::stamp_lsn`), while the pool's flush paths consult only the
+//! WAL's *gate* sets (rank 50/51), never its append state — so the order is
+//! acyclic even though the two layers call into each other.
+//!
+//! Page latches (the per-frame `RwLock<PageData>`) are leaf locks: nothing
+//! is acquired while one is held except a disk call, so they are exempt
+//! from ranking.
+//!
+//! Enforcement is debug-only and costs one thread-local compare per
+//! acquisition; release builds compile [`acquire`] to a no-op.
+
+/// Engine commit lock: serializes write statements end-to-end.
+pub const COMMIT: u16 = 10;
+/// Engine configuration defaults.
+pub const CONFIG: u16 = 15;
+/// Engine cached catalog read snapshot (re-snapshots on version change;
+/// ranked below the catalog maps because refreshing it calls
+/// [`Catalog::snapshot`] while the cache slot is held).
+pub const SNAPSHOT_CACHE: u16 = 18;
+/// Catalog table namespace map.
+pub const CATALOG_MAP: u16 = 20;
+/// Catalog index namespace map.
+pub const CATALOG_NAMES: u16 = 21;
+/// Per-table metadata (index list, stats slot).
+pub const TABLE_META: u16 = 25;
+/// WAL append state.
+pub const WAL_STATE: u16 = 30;
+/// Buffer-pool frame table.
+pub const POOL: u16 = 40;
+/// Buffer-pool checksum map.
+pub const POOL_CHECKSUM: u16 = 41;
+/// Buffer-pool flush-gate slot.
+pub const POOL_GATE: u16 = 42;
+/// WAL unlogged-page set (the no-steal flush gate).
+pub const WAL_GATE: u16 = 50;
+/// WAL appended-but-unsynced page set (the group-commit flush gate).
+pub const WAL_UNSYNCED: u16 = 51;
+/// Observability structures (query log ring).
+pub const OBS: u16 = 60;
+
+#[cfg(debug_assertions)]
+thread_local! {
+    /// The highest rank this thread currently holds (0 = none).
+    static HELD: std::cell::Cell<u16> = const { std::cell::Cell::new(0) };
+}
+
+/// Witness that a ranked lock acquisition respected the hierarchy. Hold it
+/// for exactly as long as the lock guard it accompanies; dropping it
+/// restores the thread's previous rank.
+#[must_use = "the rank guard must live as long as the lock guard it ranks"]
+pub struct RankGuard {
+    #[cfg(debug_assertions)]
+    prev: u16,
+}
+
+/// Record that the current thread is about to acquire a lock of `rank`.
+/// Debug builds panic if the thread already holds an equal or higher rank —
+/// the canonical deadlock precondition. Release builds are a no-op.
+#[inline]
+pub fn acquire(rank: u16) -> RankGuard {
+    #[cfg(debug_assertions)]
+    {
+        let prev = HELD.with(|h| {
+            let prev = h.get();
+            assert!(
+                prev < rank,
+                "lock-order violation: acquiring rank {rank} while holding rank {prev} \
+                 (hierarchy: commit < config < catalog < wal-state < pool < wal-gate < obs)"
+            );
+            h.set(rank);
+            prev
+        });
+        RankGuard { prev }
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        let _ = rank;
+        RankGuard {}
+    }
+}
+
+#[cfg(debug_assertions)]
+impl Drop for RankGuard {
+    fn drop(&mut self) {
+        HELD.with(|h| h.set(self.prev));
+    }
+}
+
+/// The rank the current thread holds right now (debug builds; always 0 in
+/// release). Test hook.
+pub fn current_rank() -> u16 {
+    #[cfg(debug_assertions)]
+    {
+        HELD.with(|h| h.get())
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascending_acquisition_is_fine() {
+        let a = acquire(COMMIT);
+        let b = acquire(CATALOG_MAP);
+        let c = acquire(POOL);
+        assert_eq!(
+            current_rank(),
+            if cfg!(debug_assertions) { POOL } else { 0 }
+        );
+        drop(c);
+        drop(b);
+        drop(a);
+        assert_eq!(current_rank(), 0);
+    }
+
+    #[test]
+    fn release_restores_previous_rank() {
+        let a = acquire(WAL_STATE);
+        {
+            let _b = acquire(WAL_GATE);
+        }
+        // After dropping the inner guard the thread may acquire anything
+        // above WAL_STATE again.
+        let _c = acquire(POOL);
+        drop(a);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "lock-order violation")]
+    fn descending_acquisition_panics_in_debug() {
+        let _a = acquire(POOL);
+        let _b = acquire(CATALOG_MAP);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "lock-order violation")]
+    fn same_rank_reacquisition_panics_in_debug() {
+        let _a = acquire(WAL_STATE);
+        let _b = acquire(WAL_STATE);
+    }
+}

@@ -618,6 +618,11 @@ mod tests {
             .unwrap();
         cat.create_index("orders_cust", "orders", "customer_id", false, false)
             .unwrap();
+        // create_index clone-and-swaps the registered TableInfo (CoW
+        // catalog), so the pre-index handles above are stale snapshots —
+        // re-fetch before installing stats or the optimizer won't see them.
+        let customers = cat.table("customers").unwrap();
+        let orders = cat.table("orders").unwrap();
         analyze_table(&customers, &AnalyzeConfig::default()).unwrap();
         analyze_table(&orders, &AnalyzeConfig::default()).unwrap();
         cat

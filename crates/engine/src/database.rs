@@ -1,11 +1,12 @@
 //! The `Database` facade.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use evopt_catalog::{analyze_table, AnalyzeConfig, Catalog, TableInfo};
+use evopt_catalog::{compute_stats, AnalyzeConfig, Catalog, TableInfo};
 use evopt_common::{
-    Column, DataType, EvoptError, Expr, Result, Schema, Tuple, Value, DEFAULT_BATCH_ROWS,
+    lockorder, Column, DataType, EvoptError, Expr, Result, Schema, Tuple, Value, DEFAULT_BATCH_ROWS,
 };
 use evopt_core::physical::PhysicalPlan;
 use evopt_core::verify::{self, VerifyPhase};
@@ -23,7 +24,8 @@ use evopt_sql::ast::{AstExpr, Statement};
 use evopt_sql::{bind_select, parse};
 use evopt_storage::{
     BufferPool, CatalogImage, ColumnImage, DiskBackend, DiskManager, FaultConfig, FaultInjector,
-    FlushGate, IndexImage, IoSnapshot, PolicyKind, PoolSnapshot, RecoveryInfo, TableImage, Wal,
+    FlushGate, IndexImage, IoSnapshot, Lsn, PolicyKind, PoolSnapshot, RecoveryInfo, TableImage,
+    Wal,
 };
 // Non-poisoning mutex (the vendored stand-in recovers poisoned state via
 // `into_inner`): a panicking config writer can't brick later queries, and
@@ -110,6 +112,54 @@ impl Default for DatabaseConfig {
     }
 }
 
+/// Per-session execution knobs: everything a [`Session`] may retune without
+/// affecting any other session. [`DatabaseConfig`] carries the instance-wide
+/// defaults; a new session starts from a copy of whatever the defaults are
+/// at creation time, and every statement snapshots its session's config
+/// once at entry — a knob flipped mid-statement never changes a statement
+/// already running.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionConfig {
+    pub optimizer: OptimizerConfig,
+    pub analyze: AnalyzeConfig,
+    pub governor: GovernorConfig,
+    pub batch_rows: usize,
+    pub verify_plans: bool,
+    pub columnar: bool,
+}
+
+impl DatabaseConfig {
+    /// The per-session slice of this configuration.
+    pub fn session(&self) -> SessionConfig {
+        SessionConfig {
+            optimizer: self.optimizer,
+            analyze: self.analyze,
+            governor: self.governor,
+            batch_rows: self.batch_rows,
+            verify_plans: self.verify_plans,
+            columnar: self.columnar,
+        }
+    }
+}
+
+/// Everything one statement needs, captured once at statement start: the
+/// session's config (no mid-statement config reads) and a frozen catalog
+/// snapshot, so DDL committed by another session mid-statement never
+/// changes what this statement sees.
+struct StatementCtx {
+    cfg: SessionConfig,
+    catalog: Arc<Catalog>,
+    /// The session's own metrics registry, when the statement runs through
+    /// a [`Session`] on a metrics-enabled instance.
+    session_metrics: Option<Arc<EngineMetrics>>,
+}
+
+impl StatementCtx {
+    fn verifying(&self) -> bool {
+        cfg!(debug_assertions) || self.cfg.verify_plans
+    }
+}
+
 /// The result of [`Database::execute`].
 #[derive(Debug, Clone)]
 pub enum QueryResult {
@@ -192,7 +242,21 @@ pub struct Database {
     /// Present when `config.durability` is [`Durability::Wal`]; also
     /// registered as the pool's flush gate (no-steal).
     wal: Option<Arc<Wal>>,
-    config: Mutex<DatabaseConfig>,
+    /// Instance-wide session defaults: copied into every new [`Session`]
+    /// and used directly by the [`Database`]-level convenience API (which
+    /// behaves as an implicit default session). Rank
+    /// [`lockorder::CONFIG`].
+    defaults: Mutex<SessionConfig>,
+    /// Serializes write statements end-to-end (apply + WAL append). Rank
+    /// [`lockorder::COMMIT`], the outermost lock in the hierarchy. The WAL
+    /// *sync* happens after this lock is released, so adjacent sessions'
+    /// commits coalesce into shared fsyncs (group commit).
+    commit_lock: Mutex<()>,
+    /// Cached frozen catalog snapshot keyed by catalog version: statements
+    /// re-snapshot only after DDL/ANALYZE actually changed something. Rank
+    /// [`lockorder::SNAPSHOT_CACHE`].
+    snapshot_cache: Mutex<Option<(u64, Arc<Catalog>)>>,
+    next_session_id: AtomicU64,
     /// Per-instance metrics registry; `None` when `config.metrics` is off.
     /// Engine-site recordings are mirrored into [`evopt_obs::global`] so
     /// process-wide tooling (bench reports) sees every instance.
@@ -343,7 +407,10 @@ impl Database {
             wal,
             metrics: config.metrics.then(|| Arc::new(EngineMetrics::default())),
             query_log: QueryLog::new(config.query_log_cap, config.slow_query_us),
-            config: Mutex::new(config),
+            defaults: Mutex::new(config.session()),
+            commit_lock: Mutex::new(()),
+            snapshot_cache: Mutex::new(None),
+            next_session_id: AtomicU64::new(1),
         }
     }
 
@@ -379,17 +446,36 @@ impl Database {
     /// A no-op when durability is off.
     pub fn checkpoint(&self) -> Result<()> {
         match &self.wal {
-            Some(wal) => wal.checkpoint(&self.pool, &self.catalog_image()),
+            Some(wal) => {
+                // Hold the commit lock so the catalog image and the set of
+                // committed pages are a consistent cut of the log.
+                let _c = lockorder::acquire(lockorder::COMMIT);
+                let _guard = self.commit_lock.lock();
+                wal.checkpoint(&self.pool, &self.catalog_image())
+            }
             None => Ok(()),
         }
     }
 
-    /// Commit the current statement's effects to the log (no-op when
-    /// durability is off or nothing changed).
-    fn wal_commit(&self) -> Result<()> {
+    /// Stage the current statement's WAL commit while the commit lock is
+    /// held: append the dirty page images plus the commit record, but defer
+    /// the sync. Returns the LSN the caller must sync through after
+    /// releasing the lock (`None`: durability off, or nothing pending).
+    fn wal_commit_locked(&self) -> Result<Option<Lsn>> {
         match &self.wal {
-            Some(wal) => wal.commit(&self.pool),
-            None => Ok(()),
+            Some(wal) => wal.commit_grouped(&self.pool),
+            None => Ok(None),
+        }
+    }
+
+    /// Make a staged commit durable, off the commit lock. Concurrent
+    /// committers coalesce: whichever session syncs first covers every
+    /// commit appended before it, and the rest return without touching the
+    /// disk (`WalStats::coalesced_syncs`).
+    fn wal_sync(&self, pending: Option<Lsn>) -> Result<()> {
+        match (&self.wal, pending) {
+            (Some(wal), Some(lsn)) => wal.sync_through(lsn),
+            _ => Ok(()),
         }
     }
 
@@ -437,72 +523,121 @@ impl Database {
         }
     }
 
+    /// Open a new session over this database. Sessions are cheap handles:
+    /// each owns a copy of the instance defaults (taken now) and may retune
+    /// its knobs without affecting any other session. Any number of
+    /// sessions execute concurrently.
+    pub fn session(self: &Arc<Self>) -> Session {
+        Session::new(Arc::clone(self))
+    }
+
+    /// Copy of the current instance defaults (what a new session starts
+    /// from, and what the [`Database`]-level convenience API runs with).
+    pub fn session_defaults(&self) -> SessionConfig {
+        let _r = lockorder::acquire(lockorder::CONFIG);
+        *self.defaults.lock()
+    }
+
+    fn update_defaults(&self, f: impl FnOnce(&mut SessionConfig)) {
+        let _r = lockorder::acquire(lockorder::CONFIG);
+        f(&mut self.defaults.lock());
+    }
+
     /// Replace the session-default governor limits for subsequent
     /// [`Database::execute`] calls.
     pub fn set_governor(&self, governor: GovernorConfig) {
-        self.config.lock().governor = governor;
+        self.update_defaults(|c| c.governor = governor);
     }
 
     /// Change the executor batch size for subsequent queries (batch-size
     /// sweeps; 1 degenerates to tuple-at-a-time).
     pub fn set_batch_rows(&self, batch_rows: usize) {
-        self.config.lock().batch_rows = batch_rows.max(1);
+        self.update_defaults(|c| c.batch_rows = batch_rows.max(1));
     }
 
     /// Current optimizer config (copy).
     pub fn optimizer_config(&self) -> OptimizerConfig {
-        self.config.lock().optimizer
+        self.session_defaults().optimizer
     }
 
     /// Swap the join-enumeration strategy (T1/F1/F2 sweeps).
     pub fn set_strategy(&self, strategy: Strategy) {
-        self.config.lock().optimizer.strategy = strategy;
+        self.update_defaults(|c| c.optimizer.strategy = strategy);
     }
 
     /// Swap the cost model (ablations, F4 buffer sweeps).
     pub fn set_cost_model(&self, model: CostModel) {
-        self.config.lock().optimizer.cost_model = model;
+        self.update_defaults(|c| c.optimizer.cost_model = model);
     }
 
     /// Toggle interesting-order tracking (F3 ablation).
     pub fn set_track_orders(&self, on: bool) {
-        self.config.lock().optimizer.track_interesting_orders = on;
+        self.update_defaults(|c| c.optimizer.track_interesting_orders = on);
     }
 
     /// Toggle the algebraic rewrites (pushdown/folding ablation).
     pub fn set_rewrites(&self, on: bool) {
-        self.config.lock().optimizer.enable_rewrites = on;
+        self.update_defaults(|c| c.optimizer.enable_rewrites = on);
     }
 
     /// Swap the ANALYZE configuration (T3 sweeps).
     pub fn set_analyze_config(&self, cfg: AnalyzeConfig) {
-        self.config.lock().analyze = cfg;
+        self.update_defaults(|c| c.analyze = cfg);
     }
 
     /// Toggle runtime plan verification for subsequent queries (debug
     /// builds always verify; this opts release builds in).
     pub fn set_verify_plans(&self, on: bool) {
-        self.config.lock().verify_plans = on;
+        self.update_defaults(|c| c.verify_plans = on);
     }
 
     /// Toggle columnar execution for subsequent queries (row-vs-columnar
     /// differential testing; on by default).
     pub fn set_columnar(&self, on: bool) {
-        self.config.lock().columnar = on;
+        self.update_defaults(|c| c.columnar = on);
     }
 
-    /// Whether the plan verifier runs for this database right now.
-    fn verifying(&self) -> bool {
-        cfg!(debug_assertions) || self.config.lock().verify_plans
+    /// A frozen catalog snapshot for read statements, cached by catalog
+    /// version so steady-state reads don't re-clone the namespace maps.
+    fn read_snapshot(&self) -> Arc<Catalog> {
+        let version = self.catalog.version();
+        let _r = lockorder::acquire(lockorder::SNAPSHOT_CACHE);
+        let mut cache = self.snapshot_cache.lock();
+        match cache.as_ref() {
+            Some((v, snap)) if *v == version => Arc::clone(snap),
+            _ => {
+                let snap = self.catalog.snapshot();
+                *cache = Some((snap.version(), Arc::clone(&snap)));
+                snap
+            }
+        }
     }
 
-    /// Bind a SELECT and, when verification is active, run the post-bind
-    /// verifier pass over the freshly bound logical plan.
-    fn bind_checked(&self, sel: &evopt_sql::ast::SelectStmt) -> Result<LogicalPlan> {
-        let logical = bind_select(sel, &self.schema_provider())?;
-        if self.verifying() {
+    /// The statement context the [`Database`]-level API runs with: current
+    /// instance defaults, no per-session metrics.
+    fn default_ctx(&self) -> StatementCtx {
+        StatementCtx {
+            cfg: self.session_defaults(),
+            catalog: self.read_snapshot(),
+            session_metrics: None,
+        }
+    }
+
+    /// Bind a SELECT against the statement's catalog snapshot and, when
+    /// verification is active, run the post-bind verifier pass over the
+    /// freshly bound logical plan.
+    fn bind_checked(
+        &self,
+        ctx: &StatementCtx,
+        sel: &evopt_sql::ast::SelectStmt,
+    ) -> Result<LogicalPlan> {
+        let catalog = Arc::clone(&ctx.catalog);
+        let provider =
+            move |table: &str| -> Result<Schema> { Ok(catalog.table(table)?.schema.clone()) };
+        let logical = bind_select(sel, &provider)?;
+        if ctx.verifying() {
             if let Err(e) = verify::verify_logical(&logical, VerifyPhase::PostBind).into_result() {
-                self.record(|m| m.verify_failures.inc());
+                self.record_ctx(ctx, |m| m.verify_failures.inc());
                 return Err(e);
             }
         }
@@ -512,7 +647,8 @@ impl Database {
     /// Execute any statement.
     pub fn execute(&self, sql: &str) -> Result<QueryResult> {
         let stmt = parse(sql)?;
-        self.execute_statement(&stmt, sql)
+        let ctx = self.default_ctx();
+        self.execute_with_ctx(&ctx, &stmt, sql)
     }
 
     /// Run a SELECT and return its rows.
@@ -528,8 +664,9 @@ impl Database {
     /// Run a SELECT instrumented: rows plus per-operator
     /// estimate-vs-actual [`QueryMetrics`].
     pub fn query_with_metrics(&self, sql: &str) -> Result<(Vec<Tuple>, QueryMetrics)> {
-        let (_, physical) = self.plan_sql(sql)?;
-        self.run_plan_instrumented(&physical)
+        let ctx = self.default_ctx();
+        let (_, physical) = self.plan_sql_ctx(&ctx, sql)?;
+        run_collect_instrumented(&physical, &self.exec_env(&ctx))
     }
 
     /// Run a SELECT under explicit resource governance.
@@ -545,16 +682,27 @@ impl Database {
         governor: GovernorConfig,
         token: CancellationToken,
     ) -> (Result<Vec<Tuple>>, Option<QueryMetrics>) {
-        let physical = match self.plan_sql(sql) {
+        let ctx = self.default_ctx();
+        self.query_governed_ctx(&ctx, sql, governor, token)
+    }
+
+    fn query_governed_ctx(
+        &self,
+        ctx: &StatementCtx,
+        sql: &str,
+        governor: GovernorConfig,
+        token: CancellationToken,
+    ) -> (Result<Vec<Tuple>>, Option<QueryMetrics>) {
+        let physical = match self.plan_sql_ctx(ctx, sql) {
             Ok((_, physical)) => physical,
             Err(e) => return (Err(e), None),
         };
-        let (rows, metrics) = run_collect_governed(&physical, &self.exec_env(), governor, token);
+        let (rows, metrics) = run_collect_governed(&physical, &self.exec_env(ctx), governor, token);
         if matches!(
             &rows,
             Err(EvoptError::Canceled(_) | EvoptError::ResourceExhausted(_))
         ) {
-            self.record(|m| m.governor_kills.inc());
+            self.record_ctx(ctx, |m| m.governor_kills.inc());
         }
         (rows, Some(metrics))
     }
@@ -563,8 +711,9 @@ impl Database {
     /// with its `metrics` field populated (the programmatic counterpart of
     /// `EXPLAIN ANALYZE`).
     pub fn execute_analyzed(&self, sql: &str) -> Result<QueryResult> {
-        let (_, physical) = self.plan_sql(sql)?;
-        let (rows, metrics) = self.run_plan_instrumented(&physical)?;
+        let ctx = self.default_ctx();
+        let (_, physical) = self.plan_sql_ctx(&ctx, sql)?;
+        let (rows, metrics) = run_collect_instrumented(&physical, &self.exec_env(&ctx))?;
         Ok(QueryResult::Rows {
             schema: physical.schema.clone(),
             rows,
@@ -574,11 +723,12 @@ impl Database {
 
     /// EXPLAIN text for a SELECT (logical and physical plans).
     pub fn explain(&self, sql: &str) -> Result<String> {
-        let (logical, physical) = self.plan_sql(sql)?;
+        let ctx = self.default_ctx();
+        let (logical, physical) = self.plan_sql_ctx(&ctx, sql)?;
         Ok(format!(
             "== logical ==\n{}== physical ({}) ==\n{}",
             logical.display_indent(),
-            self.optimizer_config().strategy.name(),
+            ctx.cfg.optimizer.strategy.name(),
             physical.display_indent()
         ))
     }
@@ -597,10 +747,15 @@ impl Database {
 
     /// Parse + bind + optimize a SELECT, returning both plans.
     pub fn plan_sql(&self, sql: &str) -> Result<(LogicalPlan, PhysicalPlan)> {
+        let ctx = self.default_ctx();
+        self.plan_sql_ctx(&ctx, sql)
+    }
+
+    fn plan_sql_ctx(&self, ctx: &StatementCtx, sql: &str) -> Result<(LogicalPlan, PhysicalPlan)> {
         match parse(sql)? {
             Statement::Select(sel) => {
-                let logical = self.bind_checked(&sel)?;
-                let physical = self.optimize(&logical)?;
+                let logical = self.bind_checked(ctx, &sel)?;
+                let physical = self.optimize_full(ctx, &logical, false)?.0;
                 Ok((logical, physical))
             }
             other => Err(EvoptError::Plan(format!(
@@ -611,15 +766,20 @@ impl Database {
 
     /// Optimize a bound logical plan with the current configuration.
     pub fn optimize(&self, logical: &LogicalPlan) -> Result<PhysicalPlan> {
-        Ok(self.optimize_full(logical, false)?.0)
+        let ctx = self.default_ctx();
+        Ok(self.optimize_full(&ctx, logical, false)?.0)
     }
 
-    /// Apply `f` to the per-instance registry and the process-global one.
-    /// A no-op when metrics are disabled.
-    fn record(&self, f: impl Fn(&EngineMetrics)) {
+    /// Apply `f` to the per-instance registry, the process-global one, and
+    /// — when the statement runs through a [`Session`] — that session's
+    /// own registry. A no-op when metrics are disabled.
+    fn record_ctx(&self, ctx: &StatementCtx, f: impl Fn(&EngineMetrics)) {
         if let Some(m) = &self.metrics {
             f(m);
             f(evopt_obs::global());
+            if let Some(s) = &ctx.session_metrics {
+                f(s);
+            }
         }
     }
 
@@ -631,15 +791,12 @@ impl Database {
     /// considered/pruned totals, zero event storage.
     fn optimize_full(
         &self,
+        ctx: &StatementCtx,
         logical: &LogicalPlan,
         want_trace: bool,
     ) -> Result<(PhysicalPlan, Option<SearchTrace>, u64)> {
-        let cfg = {
-            let c = self.config.lock();
-            let mut opt = c.optimizer;
-            opt.verify = opt.verify || c.verify_plans;
-            opt
-        };
+        let mut cfg = ctx.cfg.optimizer;
+        cfg.verify = cfg.verify || ctx.cfg.verify_plans;
         let verifying = cfg.verify || cfg!(debug_assertions);
         let mut optimizer = Optimizer::new(cfg);
         if want_trace {
@@ -648,16 +805,16 @@ impl Database {
             optimizer = optimizer.with_trace(TraceSink::counts_only());
         }
         let started = Instant::now();
-        let physical = match optimizer.optimize(logical, &self.catalog) {
+        let physical = match optimizer.optimize(logical, &ctx.catalog) {
             Ok(p) => {
                 if verifying {
-                    self.record(|m| m.plans_verified.inc());
+                    self.record_ctx(ctx, |m| m.plans_verified.inc());
                 }
                 p
             }
             Err(e) => {
                 if verifying && e.message().contains("plan verification failed") {
-                    self.record(|m| m.verify_failures.inc());
+                    self.record_ctx(ctx, |m| m.verify_failures.inc());
                 }
                 return Err(e);
             }
@@ -665,7 +822,7 @@ impl Database {
         let optimize_us = started.elapsed().as_micros() as u64;
         let trace = optimizer.take_trace().map(TraceSink::into_trace);
         if let Some(t) = &trace {
-            self.record(|m| {
+            self.record_ctx(ctx, |m| {
                 m.optimize_calls.inc();
                 m.plans_considered.add(t.considered);
                 m.plans_pruned.add(t.pruned);
@@ -678,8 +835,10 @@ impl Database {
     /// Post-execution bookkeeping for a successful SELECT: query counters,
     /// execute-time histogram, slow-query flagging, and the query-log
     /// entry.
+    #[allow(clippy::too_many_arguments)]
     fn finish_select(
         &self,
+        ctx: &StatementCtx,
         sql: &str,
         physical: &PhysicalPlan,
         actual_rows: u64,
@@ -691,13 +850,14 @@ impl Database {
             return;
         }
         let slow = optimize_us + execute_us >= self.query_log.slow_threshold_us();
-        self.record(|m| {
+        self.record_ctx(ctx, |m| {
             m.queries.inc();
             m.execute_time_us.observe(execute_us);
             if slow {
                 m.slow_queries.inc();
             }
         });
+        let _r = lockorder::acquire(lockorder::OBS);
         self.query_log.record(QueryLogEntry {
             sql: sql.to_string(),
             plan_digest: physical.digest_hex(),
@@ -764,13 +924,14 @@ impl Database {
     /// The programmatic counterpart of `EXPLAIN TRACE`: same plan, same
     /// rows as [`Database::query`] — tracing only observes.
     pub fn query_traced(&self, sql: &str) -> Result<TracedQuery> {
+        let ctx = self.default_ctx();
         match parse(sql)? {
             Statement::Select(sel) => {
-                let logical = self.bind_checked(&sel)?;
-                let (plan, trace, _) = self.optimize_full(&logical, true)?;
+                let logical = self.bind_checked(&ctx, &sel)?;
+                let (plan, trace, _) = self.optimize_full(&ctx, &logical, true)?;
                 let trace = trace
                     .ok_or_else(|| EvoptError::Internal("trace requested but absent".into()))?;
-                let rows = self.run_plan(&plan)?;
+                let rows = run_collect(&plan, &self.exec_env(&ctx))?;
                 Ok(TracedQuery { rows, plan, trace })
             }
             other => Err(EvoptError::Plan(format!(
@@ -781,20 +942,19 @@ impl Database {
 
     /// Execute a physical plan.
     pub fn run_plan(&self, plan: &PhysicalPlan) -> Result<Vec<Tuple>> {
-        run_collect(plan, &self.exec_env())
+        run_collect(plan, &self.exec_env(&self.default_ctx()))
     }
 
     /// Execute a physical plan with per-operator instrumentation.
     pub fn run_plan_instrumented(&self, plan: &PhysicalPlan) -> Result<(Vec<Tuple>, QueryMetrics)> {
-        run_collect_instrumented(plan, &self.exec_env())
+        run_collect_instrumented(plan, &self.exec_env(&self.default_ctx()))
     }
 
-    fn exec_env(&self) -> ExecEnv {
-        let cfg = self.config.lock();
-        let buffer_pages = cfg.optimizer.cost_model.buffer_pages;
-        let env = ExecEnv::new(Arc::clone(&self.catalog), buffer_pages)
-            .with_batch_rows(cfg.batch_rows)
-            .with_columnar(cfg.columnar);
+    fn exec_env(&self, ctx: &StatementCtx) -> ExecEnv {
+        let buffer_pages = ctx.cfg.optimizer.cost_model.buffer_pages;
+        let env = ExecEnv::new(Arc::clone(&ctx.catalog), buffer_pages)
+            .with_batch_rows(ctx.cfg.batch_rows)
+            .with_columnar(ctx.cfg.columnar);
         match &self.metrics {
             Some(m) => env.with_metrics(Arc::clone(m)),
             None => env,
@@ -817,13 +977,19 @@ impl Database {
         Ok((result, after.since(&before)))
     }
 
-    /// Bulk-insert pre-built tuples (index-maintaining).
+    /// Bulk-insert pre-built tuples (index-maintaining). One commit for
+    /// the whole batch, serialized with other writers like any statement.
     pub fn insert_tuples(&self, table: &str, tuples: &[Tuple]) -> Result<usize> {
-        let info = self.catalog.table(table)?;
-        for t in tuples {
-            self.insert_one(&info, t)?;
-        }
-        self.wal_commit()?;
+        let pending = {
+            let _c = lockorder::acquire(lockorder::COMMIT);
+            let _guard = self.commit_lock.lock();
+            let info = self.catalog.table(table)?;
+            for t in tuples {
+                self.insert_one(&info, t)?;
+            }
+            self.wal_commit_locked()?
+        };
+        self.wal_sync(pending)?;
         Ok(tuples.len())
     }
 
@@ -866,27 +1032,60 @@ impl Database {
         Ok(())
     }
 
-    fn schema_provider(&self) -> impl evopt_sql::SchemaProvider + '_ {
-        move |table: &str| -> Result<Schema> { Ok(self.catalog.table(table)?.schema.clone()) }
+    /// Whether a statement mutates the database (and therefore must hold
+    /// the commit lock). Everything else runs lock-free on snapshots.
+    fn is_write(stmt: &Statement) -> bool {
+        matches!(
+            stmt,
+            Statement::CreateTable { .. }
+                | Statement::CreateIndex { .. }
+                | Statement::Insert { .. }
+                | Statement::Delete { .. }
+                | Statement::Update { .. }
+                | Statement::DropTable { .. }
+                | Statement::Analyze { .. }
+        )
     }
 
-    fn execute_statement(&self, stmt: &Statement, sql: &str) -> Result<QueryResult> {
+    /// Execute one parsed statement under a statement context.
+    ///
+    /// Writes serialize through the commit lock for apply + WAL append,
+    /// then sync *after* releasing it: a session syncing the log covers
+    /// every commit appended before it, so back-to-back writers share
+    /// fsyncs (group commit). Reads never take the commit lock.
+    fn execute_with_ctx(
+        &self,
+        ctx: &StatementCtx,
+        stmt: &Statement,
+        sql: &str,
+    ) -> Result<QueryResult> {
+        if Self::is_write(stmt) {
+            let (result, pending) = {
+                let _c = lockorder::acquire(lockorder::COMMIT);
+                let _guard = self.commit_lock.lock();
+                let result = self.apply_write(ctx, stmt)?;
+                let pending = self.wal_commit_locked()?;
+                (result, pending)
+            };
+            self.wal_sync(pending)?;
+            return Ok(result);
+        }
         match stmt {
             Statement::Select(sel) => {
-                let logical = self.bind_checked(sel)?;
-                let (physical, _, optimize_us) = self.optimize_full(&logical, false)?;
-                let governor = self.config.lock().governor;
+                let logical = self.bind_checked(ctx, sel)?;
+                let (physical, _, optimize_us) = self.optimize_full(ctx, &logical, false)?;
+                let governor = ctx.cfg.governor;
                 let pool_before = self.pool.stats();
                 let io_before = self.disk.snapshot();
                 let started = Instant::now();
                 let outcome = if governor.is_unlimited() {
-                    self.run_plan(&physical).map(|rows| (rows, None))
+                    run_collect(&physical, &self.exec_env(ctx)).map(|rows| (rows, None))
                 } else {
                     // Session-governed SELECT: run under the limits; the
                     // instrumented metrics ride along on success.
                     let (rows, metrics) = run_collect_governed(
                         &physical,
-                        &self.exec_env(),
+                        &self.exec_env(ctx),
                         governor,
                         CancellationToken::new(),
                     );
@@ -894,7 +1093,7 @@ impl Database {
                         &rows,
                         Err(EvoptError::Canceled(_) | EvoptError::ResourceExhausted(_))
                     ) {
-                        self.record(|m| m.governor_kills.inc());
+                        self.record_ctx(ctx, |m| m.governor_kills.inc());
                     }
                     rows.map(|rows| (rows, Some(Box::new(metrics))))
                 };
@@ -903,6 +1102,7 @@ impl Database {
                 let pool_delta = self.pool.stats().since(&pool_before);
                 let io_delta = self.disk.snapshot().since(&io_before);
                 self.finish_select(
+                    ctx,
                     sql,
                     &physical,
                     rows.len() as u64,
@@ -910,7 +1110,7 @@ impl Database {
                     execute_us,
                     &io_delta,
                 );
-                self.record(|m| {
+                self.record_ctx(ctx, |m| {
                     m.pool_hits.add(pool_delta.hits);
                     m.pool_misses.add(pool_delta.misses);
                     m.pool_evictions.add(pool_delta.evictions);
@@ -925,6 +1125,60 @@ impl Database {
                     metrics,
                 })
             }
+            Statement::Explain {
+                analyze,
+                trace,
+                verify,
+                inner,
+            } => match &**inner {
+                Statement::Select(sel) => {
+                    let logical = self.bind_checked(ctx, sel)?;
+                    let (physical, search_trace, optimize_us) =
+                        self.optimize_full(ctx, &logical, *trace)?;
+                    let mut text = format!(
+                        "== logical ==\n{}== physical ({}) ==\n{}",
+                        logical.display_indent(),
+                        ctx.cfg.optimizer.strategy.name(),
+                        physical.display_indent()
+                    );
+                    if *trace {
+                        if let Some(t) = &search_trace {
+                            text.push_str(&format!("== trace ({}) ==\n{}", t.strategy, t.render()));
+                        }
+                    }
+                    if *verify {
+                        text.push_str(&self.render_verify(ctx, &logical, &physical));
+                    }
+                    if *analyze {
+                        let (rows, metrics) =
+                            run_collect_instrumented(&physical, &self.exec_env(ctx))?;
+                        text.push_str(&format!(
+                            "== measured ==\n{}rows: {}\npage reads: {}\npage writes: {}\n\
+                             plan digest: {}\noptimize time: {optimize_us}µs\n",
+                            metrics.render(),
+                            rows.len(),
+                            metrics.disk_reads,
+                            metrics.disk_writes,
+                            physical.digest_hex()
+                        ));
+                    }
+                    Ok(QueryResult::Explained(text))
+                }
+                other => Err(EvoptError::Plan(format!(
+                    "EXPLAIN supports SELECT only, got {other:?}"
+                ))),
+            },
+            Statement::ShowQueryLog => Ok(self.render_query_log()),
+            other => Err(EvoptError::Internal(format!(
+                "write statement {other:?} escaped the commit path"
+            ))),
+        }
+    }
+
+    /// Apply one mutating statement against the *live* catalog. Caller
+    /// holds the commit lock and stages the WAL commit afterwards.
+    fn apply_write(&self, ctx: &StatementCtx, stmt: &Statement) -> Result<QueryResult> {
+        match stmt {
             Statement::CreateTable { name, columns } => {
                 let cols: Vec<Column> = columns
                     .iter()
@@ -941,7 +1195,6 @@ impl Database {
                 if let Some(wal) = &self.wal {
                     wal.log_create_table(&Self::table_image(&info))?;
                 }
-                self.wal_commit()?;
                 Ok(QueryResult::Ok)
             }
             Statement::CreateIndex {
@@ -960,7 +1213,6 @@ impl Database {
                 if let Some(wal) = &self.wal {
                     wal.log_create_index(&info.table, &Self::index_image(&info))?;
                 }
-                self.wal_commit()?;
                 Ok(QueryResult::Ok)
             }
             Statement::Insert { table, rows } => {
@@ -977,7 +1229,6 @@ impl Database {
                     self.insert_one(&info, &Tuple::new(values))?;
                     n += 1;
                 }
-                self.wal_commit()?;
                 Ok(QueryResult::Affected(n))
             }
             Statement::Delete { table, predicate } => {
@@ -1006,7 +1257,6 @@ impl Database {
                         }
                     }
                 }
-                self.wal_commit()?;
                 Ok(QueryResult::Affected(victims.len()))
             }
             Statement::Update {
@@ -1054,18 +1304,22 @@ impl Database {
                     }
                     self.insert_one(&info, &new)?;
                 }
-                self.wal_commit()?;
                 Ok(QueryResult::Affected(matches.len()))
             }
             Statement::Analyze { table } => {
-                let cfg = self.config.lock().analyze;
+                // Statistics install copy-on-write: readers planning
+                // against a snapshot keep the estimates they started with.
+                let cfg = ctx.cfg.analyze;
                 match table {
                     Some(t) => {
-                        analyze_table(self.catalog.table(t)?.as_ref(), &cfg)?;
+                        let info = self.catalog.table(t)?;
+                        let stats = compute_stats(&info, &cfg)?;
+                        self.catalog.install_stats(&info.name, stats)?;
                     }
                     None => {
                         for t in self.catalog.tables() {
-                            analyze_table(&t, &cfg)?;
+                            let stats = compute_stats(&t, &cfg)?;
+                            self.catalog.install_stats(&t.name, stats)?;
                         }
                     }
                 }
@@ -1076,62 +1330,26 @@ impl Database {
                 if let Some(wal) = &self.wal {
                     wal.log_drop_table(&name.to_ascii_lowercase())?;
                 }
-                self.wal_commit()?;
                 Ok(QueryResult::Ok)
             }
-            Statement::Explain {
-                analyze,
-                trace,
-                verify,
-                inner,
-            } => match &**inner {
-                Statement::Select(sel) => {
-                    let logical = self.bind_checked(sel)?;
-                    let (physical, search_trace, optimize_us) =
-                        self.optimize_full(&logical, *trace)?;
-                    let mut text = format!(
-                        "== logical ==\n{}== physical ({}) ==\n{}",
-                        logical.display_indent(),
-                        self.optimizer_config().strategy.name(),
-                        physical.display_indent()
-                    );
-                    if *trace {
-                        if let Some(t) = &search_trace {
-                            text.push_str(&format!("== trace ({}) ==\n{}", t.strategy, t.render()));
-                        }
-                    }
-                    if *verify {
-                        text.push_str(&self.render_verify(&logical, &physical));
-                    }
-                    if *analyze {
-                        let (rows, metrics) = self.run_plan_instrumented(&physical)?;
-                        text.push_str(&format!(
-                            "== measured ==\n{}rows: {}\npage reads: {}\npage writes: {}\n\
-                             plan digest: {}\noptimize time: {optimize_us}µs\n",
-                            metrics.render(),
-                            rows.len(),
-                            metrics.disk_reads,
-                            metrics.disk_writes,
-                            physical.digest_hex()
-                        ));
-                    }
-                    Ok(QueryResult::Explained(text))
-                }
-                other => Err(EvoptError::Plan(format!(
-                    "EXPLAIN supports SELECT only, got {other:?}"
-                ))),
-            },
-            Statement::ShowQueryLog => Ok(self.render_query_log()),
+            other => Err(EvoptError::Internal(format!(
+                "read statement {other:?} routed to the write path"
+            ))),
         }
     }
 
     /// `EXPLAIN VERIFY`: run the verifier over both plans plus the SQL
     /// lints, reporting rather than erroring, and count the outcomes in
     /// the metrics registry.
-    fn render_verify(&self, logical: &LogicalPlan, physical: &PhysicalPlan) -> String {
+    fn render_verify(
+        &self,
+        ctx: &StatementCtx,
+        logical: &LogicalPlan,
+        physical: &PhysicalPlan,
+    ) -> String {
         let post_bind = verify::verify_logical(logical, VerifyPhase::PostBind);
         let post_phys =
-            verify::verify_physical(physical, Some(&self.catalog), VerifyPhase::PostPhysical);
+            verify::verify_physical(physical, Some(&ctx.catalog), VerifyPhase::PostPhysical);
         let lints = verify::lint_logical(logical);
         let mut text = String::from("== verify ==\n");
         text.push_str(&post_bind.render());
@@ -1146,7 +1364,7 @@ impl Database {
         }
         let failures = (post_bind.issues.len() + post_phys.issues.len()) as u64;
         let lint_count = lints.len() as u64;
-        self.record(|m| {
+        self.record_ctx(ctx, |m| {
             m.plans_verified.inc();
             m.verify_failures.add(failures);
             m.lints_flagged.add(lint_count);
@@ -1168,6 +1386,7 @@ impl Database {
             Column::new("pages_written", DataType::Int),
             Column::new("slow", DataType::Bool),
         ]);
+        let _r = lockorder::acquire(lockorder::OBS);
         let rows = self
             .query_log
             .entries()
@@ -1217,6 +1436,147 @@ impl Database {
             last = Some(v);
         }
         Ok(())
+    }
+}
+
+/// A client session: a cheap handle over a shared [`Database`] with its own
+/// copy of the execution knobs and its own metrics registry. Create with
+/// [`Database::session`]; hand each connection (or thread) one.
+///
+/// Any number of sessions execute concurrently. Each statement pins a
+/// frozen catalog snapshot and a config copy at entry; reads run entirely
+/// on the snapshot, writes serialize through the engine commit lock and
+/// group-commit their WAL syncs with adjacent sessions. Knob changes on
+/// one session never affect another — the [`Database`]-level setters only
+/// change the *defaults* future sessions start from.
+pub struct Session {
+    db: Arc<Database>,
+    id: u64,
+    config: Mutex<SessionConfig>,
+    /// Per-session metrics registry (present when the instance records
+    /// metrics): same schema as the engine-wide registry, scoped to this
+    /// session's statements.
+    metrics: Option<Arc<EngineMetrics>>,
+}
+
+impl Session {
+    fn new(db: Arc<Database>) -> Session {
+        let id = db.next_session_id.fetch_add(1, Ordering::Relaxed);
+        let config = db.session_defaults();
+        let metrics = db
+            .metrics
+            .is_some()
+            .then(|| Arc::new(EngineMetrics::default()));
+        Session {
+            db,
+            id,
+            config: Mutex::new(config),
+            metrics,
+        }
+    }
+
+    /// This session's id (unique within its database, starting at 1).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The shared database this session runs against.
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// Copy of this session's current config.
+    pub fn config(&self) -> SessionConfig {
+        let _r = lockorder::acquire(lockorder::CONFIG);
+        *self.config.lock()
+    }
+
+    fn update(&self, f: impl FnOnce(&mut SessionConfig)) {
+        let _r = lockorder::acquire(lockorder::CONFIG);
+        f(&mut self.config.lock());
+    }
+
+    /// Resource limits for this session's SELECTs.
+    pub fn set_governor(&self, governor: GovernorConfig) {
+        self.update(|c| c.governor = governor);
+    }
+
+    /// Executor batch size for this session (1 = tuple-at-a-time).
+    pub fn set_batch_rows(&self, batch_rows: usize) {
+        self.update(|c| c.batch_rows = batch_rows.max(1));
+    }
+
+    /// Join-enumeration strategy for this session.
+    pub fn set_strategy(&self, strategy: Strategy) {
+        self.update(|c| c.optimizer.strategy = strategy);
+    }
+
+    /// Cost model for this session.
+    pub fn set_cost_model(&self, model: CostModel) {
+        self.update(|c| c.optimizer.cost_model = model);
+    }
+
+    /// ANALYZE configuration for this session.
+    pub fn set_analyze_config(&self, cfg: AnalyzeConfig) {
+        self.update(|c| c.analyze = cfg);
+    }
+
+    /// Opt this session's release-build queries into plan verification.
+    pub fn set_verify_plans(&self, on: bool) {
+        self.update(|c| c.verify_plans = on);
+    }
+
+    /// Toggle columnar execution for this session.
+    pub fn set_columnar(&self, on: bool) {
+        self.update(|c| c.columnar = on);
+    }
+
+    fn ctx(&self) -> StatementCtx {
+        StatementCtx {
+            cfg: self.config(),
+            catalog: self.db.read_snapshot(),
+            session_metrics: self.metrics.clone(),
+        }
+    }
+
+    /// Execute any statement in this session.
+    pub fn execute(&self, sql: &str) -> Result<QueryResult> {
+        let stmt = parse(sql)?;
+        let ctx = self.ctx();
+        self.db.execute_with_ctx(&ctx, &stmt, sql)
+    }
+
+    /// Run a SELECT and return its rows.
+    pub fn query(&self, sql: &str) -> Result<Vec<Tuple>> {
+        match self.execute(sql)? {
+            QueryResult::Rows { rows, .. } => Ok(rows),
+            other => Err(EvoptError::Execution(format!(
+                "expected a SELECT, statement returned {other:?}"
+            ))),
+        }
+    }
+
+    /// Run a SELECT under this session's governor with an external
+    /// cancellation token (kill-from-another-thread).
+    pub fn query_governed(
+        &self,
+        sql: &str,
+        token: CancellationToken,
+    ) -> (Result<Vec<Tuple>>, Option<QueryMetrics>) {
+        let ctx = self.ctx();
+        let governor = ctx.cfg.governor;
+        self.db.query_governed_ctx(&ctx, sql, governor, token)
+    }
+
+    /// Point-in-time snapshot of this session's own counters (all zeros
+    /// when the instance runs with metrics off). Storage-level counters
+    /// (pool, disk, WAL) are instance-wide — read them from
+    /// [`Database::metrics_snapshot`].
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        match &self.metrics {
+            Some(m) => m.snapshot(),
+            None => EngineMetrics::default().snapshot(),
+        }
     }
 }
 

@@ -27,7 +27,9 @@
 
 pub mod database;
 
-pub use database::{Database, DatabaseConfig, Durability, QueryResult, TracedQuery};
+pub use database::{
+    Database, DatabaseConfig, Durability, QueryResult, Session, SessionConfig, TracedQuery,
+};
 pub use evopt_catalog::{AnalyzeConfig, HistogramKind};
 pub use evopt_core::{CostModel, Strategy};
 pub use evopt_exec::{CancellationToken, GovernorConfig, OperatorMetrics, QueryMetrics};

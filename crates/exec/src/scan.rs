@@ -175,6 +175,9 @@ pub(crate) mod test_support {
         }
         cat.create_index("nums_k", "nums", "k", true, false)
             .unwrap();
+        // create_index clone-and-swaps the TableInfo (CoW catalog):
+        // re-fetch so the stats land on the registered entry.
+        let t = cat.table("nums").unwrap();
         analyze_table(&t, &AnalyzeConfig::default()).unwrap();
         ExecEnv::new(cat, 16)
     }

@@ -1,0 +1,28 @@
+//! The wire-protocol client: one statement out, one response back.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{read_frame, write_frame, Response};
+
+/// A blocking client connection. Not thread-safe by design — the protocol
+/// is strict request/response, so share a [`Client`] behind a lock or open
+/// one per thread.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        Ok(Client {
+            stream: TcpStream::connect(addr)?,
+        })
+    }
+
+    /// Send one statement (SQL or `\` meta command) and read its response.
+    pub fn request(&mut self, statement: &str) -> io::Result<Response> {
+        write_frame(&mut self.stream, statement.as_bytes())?;
+        let payload = read_frame(&mut self.stream)?;
+        Response::decode(&payload)
+    }
+}

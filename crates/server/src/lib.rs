@@ -1,0 +1,27 @@
+//! # evopt-server
+//!
+//! The multi-session wire front-end: a TCP server speaking a
+//! length-prefixed text protocol (see [`protocol`]), a matching
+//! [`Client`], and the interactive REPL that drives either a local
+//! in-process database or a remote server.
+//!
+//! One [`evopt_engine::Session`] is created per accepted connection, up to
+//! a bounded pool ([`ServerConfig::max_sessions`]); connections past the
+//! bound are refused with a `Bye` frame rather than queued, so a stalled
+//! client can never wedge the listener. Statement execution is entirely
+//! the engine's: sessions share one [`evopt_engine::Database`], reads run
+//! on catalog snapshots, writes serialize through the engine commit lock.
+
+// Library code must not panic on fault paths: unwrap/expect are banned
+// outside tests (see clippy.toml: allow-unwrap-in-tests).
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
+pub mod client;
+pub mod protocol;
+mod render;
+pub mod repl;
+pub mod server;
+
+pub use client::Client;
+pub use protocol::{read_frame, write_frame, Response, MAX_FRAME};
+pub use server::{parse_strategy, respond, serve, ServerConfig, ServerHandle};

@@ -1,0 +1,59 @@
+//! The `evopt-server` binary: serve a database over TCP, connect a REPL
+//! to a remote server, or run the REPL locally.
+//!
+//! ```text
+//! evopt-server serve [ADDR]     # default 127.0.0.1:5433
+//! evopt-server client [ADDR]    # wire-protocol REPL
+//! evopt-server [local]          # in-process REPL (default)
+//! ```
+
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use evopt_engine::Database;
+use evopt_server::{repl, serve, ServerConfig};
+
+const DEFAULT_ADDR: &str = "127.0.0.1:5433";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("serve") => {
+            let addr = args.get(2).map(String::as_str).unwrap_or(DEFAULT_ADDR);
+            let db = Arc::new(Database::with_defaults());
+            match serve(db, addr, ServerConfig::default()) {
+                Ok(handle) => {
+                    println!("evopt-server listening on {}", handle.addr());
+                    loop {
+                        std::thread::park();
+                    }
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("client") => {
+            let addr = args.get(2).map(String::as_str).unwrap_or(DEFAULT_ADDR);
+            match repl::run_client(addr) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("local") | None => {
+            repl::run_local(Arc::new(Database::with_defaults()));
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown mode '{other}'");
+            eprintln!("usage: evopt-server [serve [ADDR] | client [ADDR] | local]");
+            ExitCode::from(2)
+        }
+    }
+}

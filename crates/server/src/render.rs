@@ -1,0 +1,35 @@
+//! Text rendering of statement results for the wire protocol and REPL.
+
+use evopt_engine::QueryResult;
+
+/// Cap on rendered rows per result; the true row count is still reported.
+pub const ROW_LIMIT: usize = 1000;
+
+pub fn render(result: &QueryResult) -> String {
+    match result {
+        QueryResult::Rows { schema, rows, .. } => {
+            let mut out = String::new();
+            let header: Vec<String> = schema
+                .columns()
+                .iter()
+                .map(|c| c.qualified_name())
+                .collect();
+            out.push_str(&format!("| {} |\n", header.join(" | ")));
+            for r in rows.iter().take(ROW_LIMIT) {
+                let cells: Vec<String> = r.values().iter().map(|v| v.to_string()).collect();
+                out.push_str(&format!("| {} |\n", cells.join(" | ")));
+            }
+            if rows.len() > ROW_LIMIT {
+                out.push_str(&format!(
+                    "... ({} rows total, showing {ROW_LIMIT})\n",
+                    rows.len()
+                ));
+            }
+            out.push_str(&format!("{} row(s)", rows.len()));
+            out
+        }
+        QueryResult::Affected(n) => format!("{n} row(s) affected"),
+        QueryResult::Explained(text) => text.clone(),
+        QueryResult::Ok => "ok".to_string(),
+    }
+}

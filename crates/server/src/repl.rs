@@ -1,0 +1,125 @@
+//! The interactive shell, in two flavours over one line loop: `local`
+//! (in-process database, one session) and `client` (statements shipped to
+//! a remote server over the wire protocol).
+//!
+//! ```text
+//! evopt> CREATE TABLE t (id INT NOT NULL, name STRING);
+//! evopt> INSERT INTO t VALUES (1, 'ada'), (2, 'grace');
+//! evopt> SELECT * FROM t WHERE id = 2;
+//! evopt> \strategy greedy
+//! evopt> \q
+//! ```
+//!
+//! Also accepts SQL on stdin non-interactively; set `NO_PROMPT` to
+//! suppress the prompt.
+
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+
+use evopt_engine::Database;
+
+use crate::client::Client;
+use crate::protocol::Response;
+use crate::server::respond;
+
+/// Run the REPL against an in-process database (one session).
+pub fn run_local(db: Arc<Database>) {
+    let session = db.session();
+    banner("local in-memory database");
+    line_loop(|text| respond(&session, text));
+}
+
+/// Run the REPL against a remote server.
+pub fn run_client(addr: &str) -> std::io::Result<()> {
+    let mut client = Client::connect(addr)?;
+    banner(&format!("connected to {addr}"));
+    line_loop(move |text| {
+        client
+            .request(text)
+            .unwrap_or_else(|e| Response::Bye(format!("connection lost: {e}")))
+    });
+    Ok(())
+}
+
+fn interactive() -> bool {
+    std::env::var_os("NO_PROMPT").is_none()
+}
+
+fn banner(mode: &str) {
+    if interactive() {
+        println!("evopt — evaluation and optimization of relational queries ({mode})");
+        println!("type SQL terminated by ';', or \\help");
+    }
+}
+
+fn line_loop(mut eval: impl FnMut(&str) -> Response) {
+    let stdin = std::io::stdin();
+    let interactive = interactive();
+    let mut buffer = String::new();
+    loop {
+        if interactive {
+            print!(
+                "{}",
+                if buffer.is_empty() {
+                    "evopt> "
+                } else {
+                    "   ..> "
+                }
+            );
+            std::io::stdout().flush().ok();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+        // Meta commands run immediately, never buffered.
+        if buffer.is_empty() && trimmed.starts_with('\\') {
+            if !show(eval(trimmed), None) {
+                break;
+            }
+            continue;
+        }
+        buffer.push_str(&line);
+        if !buffer.trim_end().ends_with(';') {
+            if buffer.trim().is_empty() {
+                buffer.clear();
+            }
+            continue;
+        }
+        let sql = std::mem::take(&mut buffer);
+        let started = std::time::Instant::now();
+        let response = eval(sql.trim());
+        if !show(response, Some(started.elapsed().as_secs_f64() * 1e3)) {
+            break;
+        }
+    }
+}
+
+/// Print a response; returns false when the loop should exit.
+fn show(response: Response, elapsed_ms: Option<f64>) -> bool {
+    match response {
+        Response::Result(text) => {
+            if !text.is_empty() {
+                println!("{text}");
+            }
+            if let Some(ms) = elapsed_ms {
+                println!("({ms:.1} ms)");
+            }
+            true
+        }
+        Response::Error(text) => {
+            println!("{text}");
+            true
+        }
+        Response::Bye(text) => {
+            println!("{text}");
+            false
+        }
+    }
+}

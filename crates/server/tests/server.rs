@@ -1,0 +1,149 @@
+//! End-to-end wire-protocol tests: a real listener on an ephemeral port,
+//! real TCP clients, concurrent sessions.
+
+use std::sync::Arc;
+
+use evopt_engine::Database;
+use evopt_server::{serve, Client, Response, ServerConfig};
+
+fn served(max_sessions: usize) -> (Arc<Database>, evopt_server::ServerHandle) {
+    let db = Arc::new(Database::with_defaults());
+    let handle = serve(
+        Arc::clone(&db),
+        "127.0.0.1:0",
+        ServerConfig { max_sessions },
+    )
+    .unwrap();
+    (db, handle)
+}
+
+fn expect_result(resp: Response) -> String {
+    match resp {
+        Response::Result(text) => text,
+        other => panic!("expected a result, got {other:?}"),
+    }
+}
+
+#[test]
+fn statements_roundtrip_over_the_wire() {
+    let (_db, handle) = served(4);
+    let mut c = Client::connect(handle.addr()).unwrap();
+    expect_result(
+        c.request("CREATE TABLE t (id INT NOT NULL, name STRING)")
+            .unwrap(),
+    );
+    let text = expect_result(
+        c.request("INSERT INTO t VALUES (1, 'ada'), (2, 'grace')")
+            .unwrap(),
+    );
+    assert!(text.contains("2 row(s) affected"), "{text}");
+    let text = expect_result(c.request("SELECT name FROM t WHERE id = 2").unwrap());
+    assert!(text.contains("grace"), "{text}");
+    // Errors come back tagged as errors, connection stays usable.
+    match c.request("SELECT * FROM missing").unwrap() {
+        Response::Error(e) => assert!(e.contains("missing"), "{e}"),
+        other => panic!("{other:?}"),
+    }
+    let text = expect_result(c.request("SELECT COUNT(*) FROM t").unwrap());
+    assert!(text.contains('2'), "{text}");
+}
+
+#[test]
+fn writes_from_one_client_are_visible_to_another() {
+    let (_db, handle) = served(4);
+    let mut a = Client::connect(handle.addr()).unwrap();
+    let mut b = Client::connect(handle.addr()).unwrap();
+    expect_result(a.request("CREATE TABLE shared (x INT)").unwrap());
+    expect_result(a.request("INSERT INTO shared VALUES (7)").unwrap());
+    let text = expect_result(b.request("SELECT x FROM shared").unwrap());
+    assert!(text.contains('7'), "{text}");
+}
+
+#[test]
+fn concurrent_clients_all_get_correct_answers() {
+    let (_db, handle) = served(8);
+    let mut setup = Client::connect(handle.addr()).unwrap();
+    expect_result(setup.request("CREATE TABLE n (v INT)").unwrap());
+    expect_result(
+        setup
+            .request("INSERT INTO n VALUES (1), (2), (3), (4), (5)")
+            .unwrap(),
+    );
+    let addr = handle.addr();
+    let threads: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                for _ in 0..10 {
+                    let text = expect_result(c.request("SELECT COUNT(*) FROM n").unwrap());
+                    assert!(text.contains('5'), "{text}");
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+}
+
+#[test]
+fn capacity_overflow_is_refused_with_bye() {
+    let (_db, handle) = served(1);
+    let mut first = Client::connect(handle.addr()).unwrap();
+    // Ensure the first connection's slot is claimed before the second
+    // connects.
+    expect_result(first.request("\\help").unwrap());
+    let mut second = Client::connect(handle.addr()).unwrap();
+    match second.request("\\help") {
+        Ok(Response::Bye(text)) => assert!(text.contains("capacity"), "{text}"),
+        // The refused stream may already be closed by the time we write.
+        Err(_) => {}
+        Ok(other) => panic!("expected Bye, got {other:?}"),
+    }
+    // The first connection keeps working.
+    match first.request("\\help").unwrap() {
+        Response::Result(_) => {}
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn meta_commands_work_over_the_wire() {
+    let (_db, handle) = served(2);
+    let mut c = Client::connect(handle.addr()).unwrap();
+    expect_result(c.request("CREATE TABLE m (x INT)").unwrap());
+    let text = expect_result(c.request("\\tables").unwrap());
+    assert!(text.contains('m'), "{text}");
+    let text = expect_result(c.request("\\strategy greedy").unwrap());
+    assert!(text.contains("greedy"), "{text}");
+    match c.request("\\q").unwrap() {
+        Response::Bye(_) => {}
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn quit_frees_the_session_slot() {
+    let (_db, handle) = served(1);
+    let mut first = Client::connect(handle.addr()).unwrap();
+    match first.request("\\q").unwrap() {
+        Response::Bye(_) => {}
+        other => panic!("{other:?}"),
+    }
+    // The slot is released once the handler exits; retry briefly.
+    let mut ok = false;
+    for _ in 0..50 {
+        let mut c = match Client::connect(handle.addr()) {
+            Ok(c) => c,
+            Err(_) => continue,
+        };
+        match c.request("\\help") {
+            Ok(Response::Result(_)) => {
+                ok = true;
+                break;
+            }
+            _ => std::thread::sleep(std::time::Duration::from_millis(20)),
+        }
+    }
+    assert!(ok, "slot was never released after quit");
+}

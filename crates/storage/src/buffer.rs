@@ -17,11 +17,11 @@
 //! [`EvoptError::Corruption`] once retries exhaust. Transient `Io` errors
 //! from the backend get the same bounded-retry treatment.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use evopt_common::{EvoptError, Result};
+use evopt_common::{lockorder, EvoptError, Result};
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::checksum::crc32;
@@ -169,6 +169,12 @@ struct Inner {
     table: HashMap<PageId, usize>,
     free: Vec<usize>,
     policy: Box<dyn Policy>,
+    /// Pages some thread is currently reading off-lock (miss in flight).
+    /// Claiming an entry grants the exclusive right to load that page;
+    /// other fetchers of the same page wait and re-check. This is what
+    /// lets physical reads overlap across sessions: the pool lock is
+    /// *not* held across the disk read.
+    loading: HashSet<PageId>,
 }
 
 /// Point-in-time copy of the pool's hit/miss counters. Subtract two
@@ -269,6 +275,7 @@ impl BufferPool {
                 table: HashMap::new(),
                 free: (0..capacity).rev().collect(),
                 policy,
+                loading: HashSet::new(),
             }),
             disk,
             capacity,
@@ -285,10 +292,12 @@ impl BufferPool {
     /// Install a [`FlushGate`]. Done once at database construction, before
     /// any write traffic, when durability is enabled.
     pub fn set_flush_gate(&self, gate: Arc<dyn FlushGate>) {
+        let _r = lockorder::acquire(lockorder::POOL_GATE);
         *self.gate.lock() = Some(gate);
     }
 
     fn flush_gate(&self) -> Option<Arc<dyn FlushGate>> {
+        let _r = lockorder::acquire(lockorder::POOL_GATE);
         self.gate.lock().clone()
     }
 
@@ -330,7 +339,10 @@ impl BufferPool {
     /// `retries`); a mismatch that survives every retry surfaces as
     /// [`EvoptError::Corruption`].
     fn read_page_verified(&self, id: PageId, buf: &mut PageData) -> Result<()> {
-        let expected = self.checksums.lock().get(&id).copied();
+        let expected = {
+            let _r = lockorder::acquire(lockorder::POOL_CHECKSUM);
+            self.checksums.lock().get(&id).copied()
+        };
         let mut last_err = EvoptError::Io(format!("read of page {id} never attempted"));
         for attempt in 0..=IO_RETRY_LIMIT {
             if attempt > 0 {
@@ -369,6 +381,7 @@ impl BufferPool {
             }
             match self.disk.write_page(id, buf) {
                 Ok(()) => {
+                    let _r = lockorder::acquire(lockorder::POOL_CHECKSUM);
                     self.checksums.lock().insert(id, crc);
                     return Ok(());
                 }
@@ -380,33 +393,74 @@ impl BufferPool {
     }
 
     /// Fetch a page, pinning it for the guard's lifetime.
+    ///
+    /// Misses read the disk **without** holding the pool lock: the fetcher
+    /// claims the page in the `loading` set, releases the lock for the
+    /// physical read, then re-locks to install the bytes into a frame.
+    /// Concurrent fetchers of *other* pages proceed — miss I/O overlaps
+    /// across sessions. Concurrent fetchers of the *same* page wait for
+    /// the loader and then take the hit path (one physical read total).
     pub fn fetch(self: &Arc<Self>, page_id: PageId) -> Result<PageGuard> {
+        let mut spins = 0u32;
+        let frame = loop {
+            {
+                let _r = lockorder::acquire(lockorder::POOL);
+                let mut inner = self.inner.lock();
+                if let Some(&frame) = inner.table.get(&page_id) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    inner.frames[frame].pin_count += 1;
+                    inner.policy.set_evictable(frame, false);
+                    inner.policy.on_access(frame);
+                    let f = &inner.frames[frame];
+                    return Ok(PageGuard {
+                        pool: Arc::clone(self),
+                        frame,
+                        page_id,
+                        dirty: Arc::clone(&f.dirty),
+                        data: Arc::clone(&f.data),
+                    });
+                }
+                if inner.loading.insert(page_id) {
+                    // Claimed: we are this page's loader. Reserve a frame
+                    // under the same lock, so an exhausted pool fails
+                    // here — before any disk traffic.
+                    match self.acquire_frame(&mut inner) {
+                        Ok(f) => break f,
+                        Err(e) => {
+                            inner.loading.remove(&page_id);
+                            return Err(e);
+                        }
+                    }
+                }
+                // Another thread is reading this page; wait off-lock and
+                // re-check (it will appear in the table, or its loader
+                // failed and we claim the load ourselves).
+            }
+            spins += 1;
+            if spins < 16 {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(std::time::Duration::from_micros(50));
+            }
+        };
+        // The physical read, off-lock: concurrent misses on other pages
+        // proceed. Nobody touches the reserved frame (not free, not in the
+        // table) or loads this page (claimed in `loading`) meanwhile.
+        let mut buf = Box::new([0u8; PAGE_SIZE]);
+        let read = self.read_page_verified(page_id, &mut buf);
+
+        let _r = lockorder::acquire(lockorder::POOL);
         let mut inner = self.inner.lock();
-        if let Some(&frame) = inner.table.get(&page_id) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            inner.frames[frame].pin_count += 1;
-            inner.policy.set_evictable(frame, false);
-            inner.policy.on_access(frame);
-            let f = &inner.frames[frame];
-            return Ok(PageGuard {
-                pool: Arc::clone(self),
-                frame,
-                page_id,
-                dirty: Arc::clone(&f.dirty),
-                data: Arc::clone(&f.data),
-            });
+        inner.loading.remove(&page_id);
+        if let Err(e) = read {
+            // Return the frame to the free list so a failed fetch
+            // (I/O fault, corruption) leaves the pool fully usable.
+            inner.free.push(frame);
+            return Err(e);
         }
-        let frame = self.acquire_frame(&mut inner)?;
         {
             let f = &mut inner.frames[frame];
-            let mut data = f.data.write();
-            if let Err(e) = self.read_page_verified(page_id, &mut data) {
-                // Return the frame to the free list so a failed fetch
-                // (I/O fault, corruption) leaves the pool fully usable.
-                drop(data);
-                inner.free.push(frame);
-                return Err(e);
-            }
+            *f.data.write() = *buf;
             f.page_id = Some(page_id);
             f.pin_count = 1;
             f.dirty.store(false, Ordering::Relaxed);
@@ -432,6 +486,7 @@ impl BufferPool {
     /// or flush.
     pub fn new_page(self: &Arc<Self>) -> Result<PageGuard> {
         let page_id = self.disk.allocate_page();
+        let _r = lockorder::acquire(lockorder::POOL);
         let mut inner = self.inner.lock();
         let frame = self.acquire_frame(&mut inner)?;
         {
@@ -515,6 +570,7 @@ impl BufferPool {
     }
 
     fn unpin(&self, frame: usize) {
+        let _r = lockorder::acquire(lockorder::POOL);
         let mut inner = self.inner.lock();
         let f = &mut inner.frames[frame];
         debug_assert!(f.pin_count > 0, "unpin of unpinned frame");
@@ -530,6 +586,7 @@ impl BufferPool {
     /// [`FlushGate`] vetoes — are left in place.
     pub fn evict_all(&self) -> Result<()> {
         let gate = self.flush_gate();
+        let _r = lockorder::acquire(lockorder::POOL);
         let mut inner = self.inner.lock();
         for frame in 0..inner.frames.len() {
             let (page_id, dirty) = {
@@ -569,6 +626,7 @@ impl BufferPool {
     /// pool; they reach disk after the next commit logs them.
     pub fn flush_all(&self) -> Result<()> {
         let gate = self.flush_gate();
+        let _r = lockorder::acquire(lockorder::POOL);
         let inner = self.inner.lock();
         for f in &inner.frames {
             if let Some(id) = f.page_id {
@@ -598,6 +656,7 @@ impl BufferPool {
     /// Errors if the page is not resident. It always is on the commit
     /// path — gated pages cannot be evicted.
     pub fn stamp_lsn(&self, id: PageId, lsn: u64) -> Result<Box<PageData>> {
+        let _r = lockorder::acquire(lockorder::POOL);
         let inner = self.inner.lock();
         let &frame = inner
             .table
@@ -1115,6 +1174,87 @@ mod tests {
         disk.read_page(a_id, &mut buf).unwrap();
         assert_eq!(buf[0], 1, "released page flushed with its data");
         assert_eq!(crate::page::page_lsn(&buf), 77);
+    }
+
+    #[test]
+    fn concurrent_same_page_misses_read_disk_once() {
+        // The loading set makes a miss single-flight: many threads racing
+        // to fetch the same cold page cause exactly one physical read.
+        let disk = Arc::new(DiskManager::new());
+        let p = BufferPool::new(
+            Arc::clone(&disk) as Arc<dyn DiskBackend>,
+            8,
+            PolicyKind::Lru,
+        );
+        let id = {
+            let g = p.new_page().unwrap();
+            g.write()[0] = 0x5C;
+            g.id()
+        };
+        p.flush_all().unwrap();
+        p.evict_all().unwrap();
+        let before = disk.snapshot();
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let p = Arc::clone(&p);
+                std::thread::spawn(move || {
+                    let g = p.fetch(id).unwrap();
+                    assert_eq!(g.read()[0], 0x5C);
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(disk.snapshot().since(&before).reads, 1);
+        let s = p.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 7);
+    }
+
+    #[test]
+    fn miss_io_overlaps_across_threads() {
+        // With simulated disk latency, four threads fetching four distinct
+        // cold pages must finish in much less than 4× the latency — the
+        // pool lock is not held across the physical read. The sleep-based
+        // latency overlaps even on one CPU, so the bound is robust.
+        let disk = Arc::new(DiskManager::new());
+        let p = BufferPool::new(
+            Arc::clone(&disk) as Arc<dyn DiskBackend>,
+            8,
+            PolicyKind::Lru,
+        );
+        let ids: Vec<PageId> = (0..4)
+            .map(|i| {
+                let g = p.new_page().unwrap();
+                g.write()[0] = i as u8;
+                g.id()
+            })
+            .collect();
+        p.flush_all().unwrap();
+        p.evict_all().unwrap();
+        disk.set_io_latency_micros(20_000); // 20ms per physical I/O
+        let start = std::time::Instant::now();
+        let threads: Vec<_> = ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| {
+                let p = Arc::clone(&p);
+                std::thread::spawn(move || {
+                    let g = p.fetch(id).unwrap();
+                    assert_eq!(g.read()[0], i as u8);
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let elapsed = start.elapsed();
+        disk.set_io_latency_micros(0);
+        assert!(
+            elapsed < std::time::Duration::from_millis(60),
+            "4 × 20ms misses took {elapsed:?}: miss I/O did not overlap"
+        );
     }
 
     #[test]

@@ -112,6 +112,10 @@ pub struct DiskManager {
     writes: AtomicU64,
     allocations: AtomicU64,
     syncs: AtomicU64,
+    /// Simulated per-op latency in microseconds (0 = instant). The sleep
+    /// happens *outside* the page-store lock, so concurrent I/Os overlap —
+    /// which is what the multi-session scaling bench (C1) measures.
+    latency_micros: AtomicU64,
 }
 
 impl DiskManager {
@@ -122,6 +126,21 @@ impl DiskManager {
             writes: AtomicU64::new(0),
             allocations: AtomicU64::new(0),
             syncs: AtomicU64::new(0),
+            latency_micros: AtomicU64::new(0),
+        }
+    }
+
+    /// Simulate spinning rust: every subsequent `read_page`/`write_page`
+    /// takes at least `micros` microseconds of wall clock, spent with no
+    /// lock held (so overlapped requests pay it concurrently).
+    pub fn set_io_latency_micros(&self, micros: u64) {
+        self.latency_micros.store(micros, Ordering::Relaxed);
+    }
+
+    fn simulate_latency(&self) {
+        let us = self.latency_micros.load(Ordering::Relaxed);
+        if us > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(us));
         }
     }
 }
@@ -151,6 +170,7 @@ impl DiskBackend for DiskManager {
     }
 
     fn read_page(&self, id: PageId, buf: &mut PageData) -> Result<()> {
+        self.simulate_latency();
         let pages = self.pages.lock();
         match pages.get(id as usize) {
             Some(Some(data)) => {
@@ -163,6 +183,7 @@ impl DiskBackend for DiskManager {
     }
 
     fn write_page(&self, id: PageId, buf: &PageData) -> Result<()> {
+        self.simulate_latency();
         let mut pages = self.pages.lock();
         match pages.get_mut(id as usize) {
             Some(Some(data)) => {

@@ -13,7 +13,7 @@ use evopt_common::{EvoptError, Result, Tuple};
 use parking_lot::Mutex;
 
 use crate::buffer::{BufferPool, PageGuard};
-use crate::page::{PageId, Rid, SlottedPage, INVALID_PAGE_ID};
+use crate::page::{PageId, Rid, SlottedPage, SlottedPageView, INVALID_PAGE_ID};
 
 struct HeapMeta {
     last_page: PageId,
@@ -55,8 +55,8 @@ impl HeapFile {
         let mut cur = first_page;
         while cur != INVALID_PAGE_ID {
             let guard = pool.fetch(cur)?;
-            let mut bytes = guard.write();
-            let p = SlottedPage::new(&mut bytes);
+            let bytes = guard.read();
+            let p = SlottedPageView::new(&bytes);
             page_count += 1;
             tuple_count += p.live_count() as u64;
             last = cur;
@@ -127,8 +127,8 @@ impl HeapFile {
     /// Read the tuple at `rid`; `None` if it was deleted.
     pub fn get(&self, rid: Rid) -> Result<Option<Tuple>> {
         let guard = self.pool.fetch(rid.page)?;
-        let mut bytes = guard.write();
-        let page = SlottedPage::new(&mut bytes);
+        let bytes = guard.read();
+        let page = SlottedPageView::new(&bytes);
         match page.get(rid.slot)? {
             Some(record) => Ok(Some(Tuple::decode(record)?)),
             None => Ok(None),
@@ -179,8 +179,8 @@ impl HeapScan {
         while self.next_page != INVALID_PAGE_ID {
             let guard: PageGuard = self.pool.fetch(self.next_page)?;
             let page_id = guard.id();
-            let mut bytes = guard.write();
-            let page = SlottedPage::new(&mut bytes);
+            let bytes = guard.read();
+            let page = SlottedPageView::new(&bytes);
             self.buffer.clear();
             for (slot, record) in page.records() {
                 self.buffer

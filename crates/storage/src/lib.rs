@@ -52,4 +52,6 @@ pub use disk::{DiskBackend, DiskManager, IoSnapshot};
 pub use fault::{CrashingBackend, FaultConfig, FaultInjector, FaultReport};
 pub use heap::HeapFile;
 pub use page::{PageId, Rid, INVALID_PAGE_ID, PAGE_SIZE, USABLE_PAGE_SIZE};
-pub use wal::{CatalogImage, ColumnImage, IndexImage, RecoveryInfo, TableImage, Wal, WalStats};
+pub use wal::{
+    CatalogImage, ColumnImage, IndexImage, Lsn, RecoveryInfo, TableImage, Wal, WalStats,
+};

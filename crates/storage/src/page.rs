@@ -226,6 +226,80 @@ impl<'a> SlottedPage<'a> {
     }
 }
 
+/// Read-only view over slotted-page bytes.
+///
+/// [`SlottedPage`] requires `&mut PageData`, which forces callers through
+/// [`crate::buffer::PageGuard::write`] — and *that* marks the page dirty.
+/// Read paths (scans, point lookups) going through the mutable view
+/// therefore dirtied every page they touched, turning clean evictions into
+/// physical write-backs. This view borrows the bytes immutably so read
+/// paths compose with [`crate::buffer::PageGuard::read`] and leave the
+/// dirty bit alone.
+pub struct SlottedPageView<'a> {
+    data: &'a PageData,
+}
+
+impl<'a> SlottedPageView<'a> {
+    /// Wrap existing page bytes (must already be initialised).
+    pub fn new(data: &'a PageData) -> Self {
+        SlottedPageView { data }
+    }
+
+    fn u16_at(&self, off: usize) -> u16 {
+        u16::from_le_bytes([self.data[off], self.data[off + 1]])
+    }
+
+    pub fn slot_count(&self) -> u16 {
+        self.u16_at(0)
+    }
+
+    /// Next page in the heap-file chain.
+    pub fn next_page(&self) -> PageId {
+        let mut bytes = [0u8; 8];
+        bytes.copy_from_slice(&self.data[4..12]);
+        u64::from_le_bytes(bytes)
+    }
+
+    fn slot(&self, idx: u16) -> (u16, u16) {
+        let off = HEADER_SIZE + idx as usize * SLOT_SIZE;
+        (self.u16_at(off), self.u16_at(off + 2))
+    }
+
+    /// Read the record in `slot`; `None` if the slot was deleted.
+    pub fn get(&self, slot: u16) -> Result<Option<&'a [u8]>> {
+        if slot >= self.slot_count() {
+            return Err(EvoptError::Storage(format!(
+                "slot {slot} out of range (page has {})",
+                self.slot_count()
+            )));
+        }
+        let (off, len) = self.slot(slot);
+        if off == DEAD_SLOT {
+            return Ok(None);
+        }
+        Ok(Some(&self.data[off as usize..off as usize + len as usize]))
+    }
+
+    /// Iterate live (slot, record) pairs.
+    pub fn records(&self) -> impl Iterator<Item = (u16, &'a [u8])> + '_ {
+        (0..self.slot_count()).filter_map(move |s| {
+            let (off, len) = self.slot(s);
+            if off == DEAD_SLOT {
+                None
+            } else {
+                Some((s, &self.data[off as usize..off as usize + len as usize]))
+            }
+        })
+    }
+
+    /// Number of live records.
+    pub fn live_count(&self) -> usize {
+        (0..self.slot_count())
+            .filter(|&s| self.slot(s).0 != DEAD_SLOT)
+            .count()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #![allow(clippy::unwrap_used, clippy::expect_used)]

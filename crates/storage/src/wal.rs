@@ -46,6 +46,18 @@
 //! only ever redoes committed work, idempotently — a redo record is
 //! skipped when the on-disk page's LSN trailer is already ≥ the record's.
 //!
+//! # Group commit
+//!
+//! Under the multi-session engine, commits split in two:
+//! [`Wal::commit_grouped`] appends the statement's page images plus a
+//! commit record to the in-memory log tail (moving the pages from the
+//! *unlogged* gate to a second *unsynced* gate — no-steal holds throughout)
+//! and returns the commit LSN; [`Wal::sync_through`] makes the log durable
+//! through that LSN. The sync early-returns when a sibling session's sync
+//! already covered the LSN — adjacent commits share one physical sync,
+//! which is the group-commit win. [`Wal::commit`] composes the two for the
+//! single-caller case.
+//!
 //! # Checkpoints
 //!
 //! [`Wal::checkpoint`] bounds recovery work: flush all committed dirty
@@ -55,11 +67,11 @@
 //! leaves the master naming either the old or the new chain — both scans
 //! converge, because replay is idempotent.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use evopt_common::{DataType, EvoptError, Result};
+use evopt_common::{lockorder, DataType, EvoptError, Result};
 use parking_lot::Mutex;
 
 use crate::buffer::{BufferPool, FlushGate};
@@ -214,6 +226,9 @@ pub struct WalStats {
     pub checkpoints: u64,
     pub recoveries: u64,
     pub replayed_records: u64,
+    /// Syncs that early-returned because a sibling session's physical sync
+    /// already covered their LSN (the group-commit win).
+    pub coalesced_syncs: u64,
 }
 
 struct WalState {
@@ -229,6 +244,8 @@ struct WalState {
     /// Records appended since the last commit record (forces the next
     /// commit to write even if no pages are dirty — DDL).
     pending: u64,
+    /// LSN of the last commit point appended (not necessarily synced).
+    last_commit_lsn: Lsn,
     /// Set when an append died partway and the in-memory stream no longer
     /// matches the disk: all further writes fail typed. Recovery (reopen)
     /// is the way back.
@@ -243,6 +260,13 @@ pub struct Wal {
     /// Dirty pages whose redo image is not yet on the log. The flush gate:
     /// these may not reach disk (no-steal).
     unlogged: Mutex<HashSet<PageId>>,
+    /// Dirty pages whose redo image is appended but not yet durably synced
+    /// (keyed by image LSN). The second half of the gate: grouped commits
+    /// park pages here until some session's sync covers them.
+    unsynced: Mutex<HashMap<PageId, Lsn>>,
+    /// Highest LSN known durable on disk.
+    synced_lsn: AtomicU64,
+    coalesced_syncs: AtomicU64,
     records_written: AtomicU64,
     bytes_written: AtomicU64,
     commits: AtomicU64,
@@ -253,11 +277,19 @@ pub struct Wal {
 
 impl FlushGate for Wal {
     fn on_dirty(&self, id: PageId) {
+        let _r = lockorder::acquire(lockorder::WAL_GATE);
         self.unlogged.lock().insert(id);
     }
 
     fn can_flush(&self, id: PageId) -> bool {
-        !self.unlogged.lock().contains(&id)
+        {
+            let _r = lockorder::acquire(lockorder::WAL_GATE);
+            if self.unlogged.lock().contains(&id) {
+                return false;
+            }
+        }
+        let _r = lockorder::acquire(lockorder::WAL_UNSYNCED);
+        !self.unsynced.lock().contains_key(&id)
     }
 }
 
@@ -282,9 +314,13 @@ impl Wal {
                 tail_buf: Box::new([0u8; PAGE_SIZE]),
                 tail_used: 0,
                 pending: 0,
+                last_commit_lsn: 0,
                 poisoned: None,
             }),
             unlogged: Mutex::new(HashSet::new()),
+            unsynced: Mutex::new(HashMap::new()),
+            synced_lsn: AtomicU64::new(0),
+            coalesced_syncs: AtomicU64::new(0),
             records_written: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
             commits: AtomicU64::new(0),
@@ -410,9 +446,14 @@ impl Wal {
                 tail_buf: Box::new([0u8; PAGE_SIZE]),
                 tail_used,
                 pending: 0,
+                // Everything recovery kept is durable on disk already.
+                last_commit_lsn: max_lsn,
                 poisoned: None,
             }),
             unlogged: Mutex::new(HashSet::new()),
+            unsynced: Mutex::new(HashMap::new()),
+            synced_lsn: AtomicU64::new(max_lsn),
+            coalesced_syncs: AtomicU64::new(0),
             records_written: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
             commits: AtomicU64::new(0),
@@ -503,39 +544,115 @@ impl Wal {
     /// plus a commit record, and make the log durable. No-op when nothing
     /// was dirtied or logged since the previous commit.
     pub fn commit(&self, pool: &BufferPool) -> Result<()> {
+        match self.commit_grouped(pool)? {
+            Some(lsn) => self.sync_through(lsn),
+            None => Ok(()),
+        }
+    }
+
+    /// First half of group commit: append the statement's page images plus
+    /// a commit record to the in-memory log tail and return the commit
+    /// record's LSN — **without** making it durable. The pages move from
+    /// the unlogged gate to the unsynced gate, so no-steal holds until a
+    /// [`Wal::sync_through`] covering the returned LSN lands.
+    ///
+    /// Returns `Ok(None)` only when there is nothing to commit *and* no
+    /// earlier grouped commit is still awaiting durability; otherwise a
+    /// pending LSN is always handed back for the caller to sync.
+    pub fn commit_grouped(&self, pool: &BufferPool) -> Result<Option<Lsn>> {
         let dirty: Vec<PageId> = {
+            let _r = lockorder::acquire(lockorder::WAL_GATE);
             let mut unlogged = self.unlogged.lock();
             let mut v: Vec<PageId> = unlogged.iter().copied().collect();
             unlogged.clear();
             v.sort_unstable();
             v
         };
+        let _rs = lockorder::acquire(lockorder::WAL_STATE);
         let mut state = self.state.lock();
         if let Some(msg) = &state.poisoned {
             let msg = msg.clone();
+            let _r = lockorder::acquire(lockorder::WAL_GATE);
             self.unlogged.lock().extend(dirty.iter().copied());
             return Err(EvoptError::Io(format!("wal unusable after failure: {msg}")));
         }
         if dirty.is_empty() && state.pending == 0 {
-            return Ok(());
+            // Nothing new — but a sibling's grouped commit may still await
+            // its sync; report its LSN so `commit` callers stay durable.
+            let last = state.last_commit_lsn;
+            if last > self.synced_lsn.load(Ordering::SeqCst) {
+                return Ok(Some(last));
+            }
+            return Ok(None);
         }
-        let result = self.commit_locked(&mut state, pool, &dirty);
-        if result.is_err() {
-            // The statement's pages are not durably logged: re-gate them so
-            // the no-steal invariant holds for a later retry or crash.
-            self.unlogged.lock().extend(dirty.iter().copied());
-        } else {
-            self.commits.fetch_add(1, Ordering::Relaxed);
+        match self.commit_locked(&mut state, pool, &dirty) {
+            Ok(lsn) => {
+                {
+                    let _r = lockorder::acquire(lockorder::WAL_UNSYNCED);
+                    let mut unsynced = self.unsynced.lock();
+                    for &p in &dirty {
+                        unsynced.insert(p, lsn);
+                    }
+                }
+                self.commits.fetch_add(1, Ordering::Relaxed);
+                Ok(Some(lsn))
+            }
+            Err(e) => {
+                // The statement's pages are not durably logged: re-gate
+                // them so the no-steal invariant holds for a retry/crash.
+                let _r = lockorder::acquire(lockorder::WAL_GATE);
+                self.unlogged.lock().extend(dirty.iter().copied());
+                Err(e)
+            }
         }
-        result
     }
 
+    /// Second half of group commit: make the log durable through `lsn`.
+    /// Early-returns when a sibling session's physical sync already covered
+    /// `lsn` — that coalescing is the group-commit win. On success every
+    /// page parked behind a covered commit leaves the unsynced gate.
+    ///
+    /// On failure the affected pages stay gated (no-steal holds) and the
+    /// commit is *uncertain*: not acknowledged, but recovery may still
+    /// replay it if the sync partially landed.
+    pub fn sync_through(&self, lsn: Lsn) -> Result<()> {
+        if self.synced_lsn.load(Ordering::SeqCst) >= lsn {
+            self.coalesced_syncs.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+        let _rs = lockorder::acquire(lockorder::WAL_STATE);
+        let mut state = self.state.lock();
+        if self.synced_lsn.load(Ordering::SeqCst) >= lsn {
+            // A sibling synced while we waited for the state lock.
+            self.coalesced_syncs.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+        if let Some(msg) = &state.poisoned {
+            return Err(EvoptError::Io(format!("wal unusable after failure: {msg}")));
+        }
+        self.flush_tail_and_sync(&mut state)?;
+        self.mark_synced(&state);
+        Ok(())
+    }
+
+    /// Everything appended so far just became durable: advance the synced
+    /// horizon and release covered pages from the unsynced gate. Call with
+    /// the state lock held, after a successful tail flush + sync.
+    fn mark_synced(&self, state: &WalState) {
+        let durable = state.next_lsn.saturating_sub(1);
+        self.synced_lsn.store(durable, Ordering::SeqCst);
+        let _r = lockorder::acquire(lockorder::WAL_UNSYNCED);
+        self.unsynced.lock().retain(|_, l| *l > durable);
+    }
+
+    /// Append `dirty`'s images plus a commit record; returns the commit
+    /// record's LSN. Does not sync.
     fn commit_locked(
         &self,
         state: &mut WalState,
         pool: &BufferPool,
         dirty: &[PageId],
-    ) -> Result<()> {
+    ) -> Result<Lsn> {
         for &page in dirty {
             let lsn = state.next_lsn;
             state.next_lsn += 1;
@@ -554,7 +671,8 @@ impl Wal {
         payload.extend_from_slice(&lsn.to_le_bytes());
         self.append_record(state, &payload)?;
         state.pending = 0;
-        self.flush_tail_and_sync(state)
+        state.last_commit_lsn = lsn;
+        Ok(lsn)
     }
 
     /// Log a CREATE TABLE (call before [`Wal::commit`] for the statement).
@@ -580,6 +698,7 @@ impl Wal {
     }
 
     fn log_ddl(&self, kind: u8, body: Vec<u8>) -> Result<()> {
+        let _rs = lockorder::acquire(lockorder::WAL_STATE);
         let mut state = self.state.lock();
         if let Some(msg) = &state.poisoned {
             return Err(EvoptError::Io(format!("wal unusable after failure: {msg}")));
@@ -601,18 +720,29 @@ impl Wal {
     ///
     /// Must run between statements (no uncommitted changes pending).
     pub fn checkpoint(&self, pool: &BufferPool, catalog: &CatalogImage) -> Result<()> {
+        let _rs = lockorder::acquire(lockorder::WAL_STATE);
         let mut state = self.state.lock();
         if let Some(msg) = &state.poisoned {
             return Err(EvoptError::Io(format!("wal unusable after failure: {msg}")));
         }
-        if state.pending > 0 || !self.unlogged.lock().is_empty() {
-            return Err(EvoptError::Internal(
-                "checkpoint with uncommitted changes pending".into(),
-            ));
+        {
+            let _r = lockorder::acquire(lockorder::WAL_GATE);
+            if state.pending > 0 || !self.unlogged.lock().is_empty() {
+                return Err(EvoptError::Internal(
+                    "checkpoint with uncommitted changes pending".into(),
+                ));
+            }
         }
 
-        // 1. All committed dirty pages reach disk (the gate passes them —
-        //    the unlogged set is empty) and become durable.
+        // 0. Drain any grouped commits still awaiting durability, emptying
+        //    the unsynced gate so flush_all below can pass every page.
+        if state.last_commit_lsn > self.synced_lsn.load(Ordering::SeqCst) {
+            self.flush_tail_and_sync(&mut state)?;
+            self.mark_synced(&state);
+        }
+
+        // 1. All committed dirty pages reach disk (the gates pass them —
+        //    both gate sets are empty) and become durable.
         pool.flush_all()?;
         self.sync_retry()?;
 
@@ -634,7 +764,9 @@ impl Wal {
         payload.extend_from_slice(&lsn.to_le_bytes());
         put_catalog_image(&mut payload, catalog);
         self.append_record(&mut state, &payload)?;
+        state.last_commit_lsn = lsn;
         self.flush_tail_and_sync(&mut state)?;
+        self.mark_synced(&state);
 
         // 4. Atomic master switch: after this, recovery scans from the
         //    checkpoint record. Before it, recovery scans the old chain —
@@ -675,13 +807,26 @@ impl Wal {
             checkpoints: self.checkpoints.load(Ordering::Relaxed),
             recoveries: self.recoveries.load(Ordering::Relaxed),
             replayed_records: self.replayed_records.load(Ordering::Relaxed),
+            coalesced_syncs: self.coalesced_syncs.load(Ordering::Relaxed),
         }
     }
 
     /// Number of dirty pages currently gated (not yet logged). Zero
     /// between statements.
     pub fn unlogged_pages(&self) -> usize {
+        let _r = lockorder::acquire(lockorder::WAL_GATE);
         self.unlogged.lock().len()
+    }
+
+    /// Number of pages appended to the log but still awaiting a sync.
+    pub fn unsynced_pages(&self) -> usize {
+        let _r = lockorder::acquire(lockorder::WAL_UNSYNCED);
+        self.unsynced.lock().len()
+    }
+
+    /// Highest LSN known durable on disk.
+    pub fn synced_lsn(&self) -> Lsn {
+        self.synced_lsn.load(Ordering::SeqCst)
     }
 
     // ---- append machinery ----------------------------------------------
@@ -1351,6 +1496,77 @@ mod tests {
         pool.flush_all().unwrap();
         disk.read_page(a, &mut buf).unwrap();
         assert_eq!(buf[9], 0x77, "committed page flushes fine");
+    }
+
+    #[test]
+    fn grouped_commit_defers_sync_and_coalesces() {
+        let (disk, pool, wal) = setup(8);
+        let a = fill_page(&pool, 0x61);
+        let l1 = wal.commit_grouped(&pool).unwrap().unwrap();
+        let b = fill_page(&pool, 0x62);
+        let l2 = wal.commit_grouped(&pool).unwrap().unwrap();
+        assert!(l2 > l1);
+        assert_eq!(wal.unsynced_pages(), 2);
+
+        // Unsynced pages are gated: flush_all must not leak them to disk.
+        pool.flush_all().unwrap();
+        let mut buf = [0u8; PAGE_SIZE];
+        disk.read_page(a, &mut buf).unwrap();
+        assert!(buf.iter().all(|&x| x == 0), "unsynced page leaked");
+
+        // One physical sync covers both commits; the second request
+        // coalesces onto it.
+        wal.sync_through(l2).unwrap();
+        assert_eq!(wal.unsynced_pages(), 0);
+        assert!(wal.synced_lsn() >= l2);
+        wal.sync_through(l1).unwrap();
+        assert_eq!(wal.stats().coalesced_syncs, 1);
+
+        // Gate released: the pages flush now.
+        pool.flush_all().unwrap();
+        disk.read_page(b, &mut buf).unwrap();
+        assert_eq!(buf[77], 0x62);
+    }
+
+    #[test]
+    fn grouped_then_synced_commits_replay_after_crash() {
+        let (disk, pool, wal) = setup(8);
+        let a = fill_page(&pool, 0x71);
+        let l1 = wal.commit_grouped(&pool).unwrap().unwrap();
+        let b = fill_page(&pool, 0x72);
+        let l2 = wal.commit_grouped(&pool).unwrap().unwrap();
+        wal.sync_through(l1.max(l2)).unwrap();
+        // Crash: dirty frames lost, only the log survives.
+        drop(pool);
+        let (_w, info) = Wal::open(Arc::clone(&disk) as Arc<dyn DiskBackend>).unwrap();
+        assert_eq!(info.replayed_records, 2);
+        let mut buf = [0u8; PAGE_SIZE];
+        disk.read_page(a, &mut buf).unwrap();
+        assert_eq!(buf[10], 0x71);
+        disk.read_page(b, &mut buf).unwrap();
+        assert_eq!(buf[10], 0x72);
+    }
+
+    #[test]
+    fn plain_commit_drains_leftover_grouped_commit() {
+        let (_disk, pool, wal) = setup(8);
+        fill_page(&pool, 0x81);
+        let l1 = wal.commit_grouped(&pool).unwrap().unwrap();
+        assert!(wal.synced_lsn() < l1);
+        // A no-new-work commit must still sync the outstanding tail.
+        wal.commit(&pool).unwrap();
+        assert_eq!(wal.unsynced_pages(), 0);
+        assert!(wal.synced_lsn() >= l1);
+    }
+
+    #[test]
+    fn checkpoint_drains_unsynced_gate_first() {
+        let (_disk, pool, wal) = setup(8);
+        fill_page(&pool, 0x91);
+        wal.commit_grouped(&pool).unwrap().unwrap();
+        assert_eq!(wal.unsynced_pages(), 1);
+        wal.checkpoint(&pool, &CatalogImage::default()).unwrap();
+        assert_eq!(wal.unsynced_pages(), 0);
     }
 
     #[test]

@@ -13,142 +13,11 @@
 //!
 //! Also accepts SQL on stdin non-interactively:
 //! `echo "SELECT 1 FROM t" | cargo run --example repl`.
-
-use std::io::{BufRead, Write};
-
-use evopt::{Database, QueryResult, Strategy};
+//!
+//! This is a thin wrapper over the real front-end: `evopt-server` serves
+//! the same REPL locally (`evopt-server local`), over TCP
+//! (`evopt-server serve` + `evopt-server client`), and as a library.
 
 fn main() {
-    let db = Database::with_defaults();
-    let stdin = std::io::stdin();
-    let interactive = atty_stdin();
-    if interactive {
-        println!("evopt — evaluation and optimization of relational queries");
-        println!("type SQL terminated by ';', or \\help");
-    }
-    let mut buffer = String::new();
-    loop {
-        if interactive {
-            if buffer.is_empty() {
-                print!("evopt> ");
-            } else {
-                print!("   ..> ");
-            }
-            std::io::stdout().flush().ok();
-        }
-        let mut line = String::new();
-        match stdin.lock().read_line(&mut line) {
-            Ok(0) => break, // EOF
-            Ok(_) => {}
-            Err(e) => {
-                eprintln!("read error: {e}");
-                break;
-            }
-        }
-        let trimmed = line.trim();
-        if buffer.is_empty() && trimmed.starts_with('\\') {
-            if !meta_command(&db, trimmed) {
-                break;
-            }
-            continue;
-        }
-        buffer.push_str(&line);
-        if !buffer.trim_end().ends_with(';') {
-            if buffer.trim().is_empty() {
-                buffer.clear();
-            }
-            continue;
-        }
-        let sql = std::mem::take(&mut buffer);
-        run_sql(&db, sql.trim());
-    }
-}
-
-/// Best-effort interactivity probe without extra dependencies: honour an
-/// explicit NO_PROMPT, else assume interactive.
-fn atty_stdin() -> bool {
-    std::env::var_os("NO_PROMPT").is_none()
-}
-
-/// Returns false when the REPL should exit.
-fn meta_command(db: &Database, cmd: &str) -> bool {
-    let mut parts = cmd.split_whitespace();
-    match parts.next().unwrap_or("") {
-        "\\q" | "\\quit" | "\\exit" => return false,
-        "\\help" | "\\?" => {
-            println!("  SQL:   CREATE TABLE / CREATE [UNIQUE|CLUSTERED] INDEX / INSERT /");
-            println!("         SELECT / DELETE / UPDATE / ANALYZE / DROP TABLE /");
-            println!("         EXPLAIN [ANALYZE] SELECT ...   (terminate with ';')");
-            println!("  \\tables             list tables, row counts, indexes");
-            println!("  \\strategy <name>    system-r | bushy-dp | dpccp | greedy |");
-            println!("                      goo | quickpick | syntactic");
-            println!("  \\q                  quit");
-        }
-        "\\tables" => {
-            for t in db.catalog().tables() {
-                let indexes: Vec<String> = t.indexes().iter().map(|i| i.name.clone()).collect();
-                println!(
-                    "  {} — {} rows, {} pages, indexes: [{}]",
-                    t.name,
-                    t.heap.tuple_count(),
-                    t.heap.page_count(),
-                    indexes.join(", ")
-                );
-            }
-        }
-        "\\strategy" => match parts.next() {
-            Some("system-r") => db.set_strategy(Strategy::SystemR),
-            Some("bushy-dp") => db.set_strategy(Strategy::BushyDp),
-            Some("dpccp") => db.set_strategy(Strategy::DpCcp),
-            Some("greedy") => db.set_strategy(Strategy::Greedy),
-            Some("goo") => db.set_strategy(Strategy::Goo),
-            Some("quickpick") => db.set_strategy(Strategy::QuickPick {
-                samples: 16,
-                seed: 1,
-            }),
-            Some("syntactic") => db.set_strategy(Strategy::Syntactic),
-            other => {
-                println!("unknown strategy {other:?} (see \\help)");
-                return true;
-            }
-        },
-        other => println!("unknown command '{other}' (see \\help)"),
-    }
-    if cmd.starts_with("\\strategy") {
-        println!("strategy: {}", db.optimizer_config().strategy.name());
-    }
-    true
-}
-
-fn run_sql(db: &Database, sql: &str) {
-    let started = std::time::Instant::now();
-    match db.measured(sql) {
-        Err(e) => println!("{e}"),
-        Ok((result, io)) => match result {
-            QueryResult::Rows { schema, rows, .. } => {
-                let header: Vec<String> = schema
-                    .columns()
-                    .iter()
-                    .map(|c| c.qualified_name())
-                    .collect();
-                println!("| {} |", header.join(" | "));
-                for r in rows.iter().take(50) {
-                    let cells: Vec<String> = r.values().iter().map(|v| v.to_string()).collect();
-                    println!("| {} |", cells.join(" | "));
-                }
-                if rows.len() > 50 {
-                    println!("... ({} rows total)", rows.len());
-                }
-                println!(
-                    "{} row(s) in {:.1} ms, {} page reads",
-                    rows.len(),
-                    started.elapsed().as_secs_f64() * 1e3,
-                    io.reads
-                );
-            }
-            QueryResult::Affected(n) => println!("{n} row(s) affected"),
-            QueryResult::Explained(text) => println!("{text}"),
-            QueryResult::Ok => println!("ok"),
-        },
-    }
+    evopt_server::repl::run_local(std::sync::Arc::new(evopt::Database::with_defaults()));
 }

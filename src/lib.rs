@@ -62,5 +62,5 @@ pub use evopt_engine::{
     DiskManager, Durability, EngineMetrics, FaultConfig, FaultInjector, FaultReport,
     GovernorConfig, HistogramKind, IoSnapshot, MetricsSnapshot, OperatorMetrics, PolicyKind,
     PoolSnapshot, QueryLog, QueryLogEntry, QueryMetrics, QueryResult, RecoveryInfo, SearchTrace,
-    TracedQuery, Wal, WalStats,
+    Session, SessionConfig, TracedQuery, Wal, WalStats,
 };

@@ -61,6 +61,9 @@ fn world() -> Arc<Catalog> {
             .unwrap();
     }
     cat.create_index("u_c", "u", "c", false, false).unwrap();
+    // create_index clone-and-swaps u's TableInfo (CoW catalog): re-fetch
+    // so the stats land on the registered entry, not a stale snapshot.
+    let u = cat.table("u").unwrap();
     analyze_table(&t, &AnalyzeConfig::default()).unwrap();
     analyze_table(&u, &AnalyzeConfig::default()).unwrap();
     cat

@@ -257,7 +257,11 @@ fn torture(seed: u64, checkpoints: bool) {
     let ops = script(seed, checkpoints);
     let twins = twin_digests(&ops);
     let m = crash_free_mutations(&ops);
-    assert!(m > 50, "workload too small to be interesting: {m} ops");
+    // The floor was 50 when read paths still dirtied every page they
+    // touched (forcing eviction write-backs the sweep counted as mutating
+    // ops). With reads fixed to leave the dirty bit alone, the same script
+    // performs fewer physical writes — the sweep is just as exhaustive.
+    assert!(m > 40, "workload too small to be interesting: {m} ops");
     let mut bootstrap_crashes = 0u64;
     for budget in 0..=m {
         let label = format!("seed {seed} cp={checkpoints} budget {budget}/{m}");
