@@ -1,19 +1,23 @@
 //! Metrics hot-path benchmark (experiment **O2**): what does observability
 //! cost per query?
 //!
-//! Three configurations of the same query battery:
+//! Four configurations of the same query battery:
 //! * `off` — `DatabaseConfig.metrics = false`: no counters, no query log;
 //! * `metrics` — the default: relaxed atomic counters, counts-only trace
 //!   sink, query-log ring push per query;
-//! * `trace` — full `EXPLAIN TRACE` journaling via `query_traced`.
+//! * `trace` — full `EXPLAIN TRACE` journaling via `query_traced`;
+//! * `spans` vs `no-spans` (experiment **O3**) — the statement-phase span
+//!   recorder toggled on the `metrics` configuration, bounding what the
+//!   per-phase clock stamps and `PhaseSpan` pushes cost per statement.
 //!
 //! Plus microbenchmarks of the registry primitives themselves (counter
 //! increment, histogram observe, snapshot), which bound the per-event cost
 //! every layer pays.
 //!
 //! `EVOPT_METRICS=1` (the CI smoke setting) restricts the run to the
-//! registry microbenches and the `metrics` engine config — the hot path
-//! that rides along on every production query — keeping the smoke fast.
+//! registry microbenches, the `metrics` engine config, and the O3
+//! spans-on/off pair — the paths that ride along on every production
+//! query — keeping the smoke fast.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use evopt_engine::{Database, DatabaseConfig};
@@ -64,6 +68,27 @@ fn bench_registry_primitives(c: &mut Criterion) {
     group.finish();
 }
 
+/// O3: span recording on vs off, same engine configuration otherwise.
+/// The delta is the whole tracing tax — a handful of `Instant::now`
+/// stamps and small-vec pushes per statement — and EXPERIMENTS.md pins
+/// it within noise of the query itself.
+fn bench_span_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("span-overhead");
+    let db = setup(true);
+    for (label, sql) in BATTERY {
+        db.set_spans(true);
+        group.bench_with_input(BenchmarkId::new(label, "spans"), &sql, |b, sql| {
+            b.iter(|| db.query(sql).expect("query"))
+        });
+        db.set_spans(false);
+        group.bench_with_input(BenchmarkId::new(label, "no-spans"), &sql, |b, sql| {
+            b.iter(|| db.query(sql).expect("query"))
+        });
+        db.set_spans(true);
+    }
+    group.finish();
+}
+
 fn bench_query_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("metrics-query-overhead");
     let smoke = smoke_only();
@@ -89,5 +114,10 @@ fn bench_query_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_registry_primitives, bench_query_overhead);
+criterion_group!(
+    benches,
+    bench_registry_primitives,
+    bench_query_overhead,
+    bench_span_overhead
+);
 criterion_main!(benches);

@@ -5,8 +5,87 @@
 //! cargo run -p evopt-bench --release --bin report -- t1 f2
 //! cargo run -p evopt-bench --release --bin report -- --quick all
 //! ```
+//!
+//! Besides the rendered tables on stdout, every run writes
+//! `BENCH_report.json` to the working directory: one record per
+//! experiment with its wall time and the engine-counter deltas it caused
+//! (queries, plans considered, pool/disk traffic, WAL records), so CI and
+//! tooling can diff runs without scraping the human-readable output.
 
 use evopt_bench::*;
+use evopt_obs::MetricsSnapshot;
+
+/// One experiment's machine-readable record.
+struct ExperimentRecord {
+    id: &'static str,
+    wall_s: f64,
+    queries: u64,
+    statements: u64,
+    plans_considered: u64,
+    plans_pruned: u64,
+    pool_hits: u64,
+    pool_misses: u64,
+    disk_reads: u64,
+    disk_writes: u64,
+    wal_records: u64,
+}
+
+impl ExperimentRecord {
+    fn from_delta(id: &'static str, wall_s: f64, b: &MetricsSnapshot, a: &MetricsSnapshot) -> Self {
+        ExperimentRecord {
+            id,
+            wall_s,
+            queries: a.queries.saturating_sub(b.queries),
+            statements: a.statements.saturating_sub(b.statements),
+            plans_considered: a.plans_considered.saturating_sub(b.plans_considered),
+            plans_pruned: a.plans_pruned.saturating_sub(b.plans_pruned),
+            pool_hits: a.pool_hits.saturating_sub(b.pool_hits),
+            pool_misses: a.pool_misses.saturating_sub(b.pool_misses),
+            disk_reads: a.disk_reads.saturating_sub(b.disk_reads),
+            disk_writes: a.disk_writes.saturating_sub(b.disk_writes),
+            wal_records: a.wal_records_written.saturating_sub(b.wal_records_written),
+        }
+    }
+
+    /// Hand-rolled JSON object — every field is a number or a bare
+    /// identifier string, so no escaping is needed.
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"id\":\"{}\",\"wall_s\":{:.3},\"queries\":{},\"statements\":{},",
+                "\"plans_considered\":{},\"plans_pruned\":{},\"pool_hits\":{},",
+                "\"pool_misses\":{},\"disk_reads\":{},\"disk_writes\":{},\"wal_records\":{}}}"
+            ),
+            self.id,
+            self.wall_s,
+            self.queries,
+            self.statements,
+            self.plans_considered,
+            self.plans_pruned,
+            self.pool_hits,
+            self.pool_misses,
+            self.disk_reads,
+            self.disk_writes,
+            self.wal_records,
+        )
+    }
+}
+
+fn write_json(records: &[ExperimentRecord], quick: bool) {
+    let body: Vec<String> = records
+        .iter()
+        .map(|r| format!("    {}", r.to_json()))
+        .collect();
+    let json = format!(
+        "{{\n  \"quick\": {},\n  \"experiments\": [\n{}\n  ]\n}}\n",
+        quick,
+        body.join(",\n")
+    );
+    match std::fs::write("BENCH_report.json", &json) {
+        Ok(()) => println!("wrote BENCH_report.json ({} experiments)", records.len()),
+        Err(e) => eprintln!("could not write BENCH_report.json: {e}"),
+    }
+}
 
 fn main() -> std::process::ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -19,7 +98,7 @@ fn main() -> std::process::ExitCode {
     let all = wanted.is_empty() || wanted.iter().any(|w| w == "all");
     let want = |id: &str| all || wanted.iter().any(|w| w == id);
 
-    let mut ran = 0;
+    let mut records: Vec<ExperimentRecord> = Vec::new();
     macro_rules! experiment {
         ($id:literal, $module:ident) => {
             if want($id) {
@@ -28,19 +107,18 @@ fn main() -> std::process::ExitCode {
                 } else {
                     $module::Params::full()
                 };
+                let before = evopt_obs::global().snapshot();
                 let started = std::time::Instant::now();
                 let report = $module::run(&params);
+                let wall_s = started.elapsed().as_secs_f64();
+                let after = evopt_obs::global().snapshot();
                 println!("{}", report.render());
                 // Process-global engine counters, cumulative across every
                 // database the experiments created so far.
                 println!("== engine metrics after {} (cumulative) ==", $id);
-                println!("{}", evopt_obs::global().snapshot().to_prometheus());
-                println!(
-                    "({} finished in {:.1}s)\n",
-                    $id,
-                    started.elapsed().as_secs_f64()
-                );
-                ran += 1;
+                println!("{}", after.to_prometheus());
+                println!("({} finished in {:.1}s)\n", $id, wall_s);
+                records.push(ExperimentRecord::from_delta($id, wall_s, &before, &after));
             }
         };
     }
@@ -58,9 +136,10 @@ fn main() -> std::process::ExitCode {
     experiment!("a1", a1);
     experiment!("c1", c1);
 
-    if ran == 0 {
+    if records.is_empty() {
         eprintln!("unknown experiment id(s) {wanted:?}; expected t1..t5, f1..f5, a1, or all");
         return std::process::ExitCode::from(2);
     }
+    write_json(&records, quick);
     std::process::ExitCode::SUCCESS
 }

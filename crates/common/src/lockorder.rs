@@ -6,23 +6,28 @@
 //! a thread may only acquire a lock whose rank is **strictly greater**
 //! than every rank it already holds.
 //!
-//! The hierarchy (see DESIGN.md §11.4 for the derivation):
+//! The hierarchy (see DESIGN.md §11.4 for the derivation). The
+//! *contention histogram* column names the `EngineMetrics` family that
+//! times waits at that rank's acquisition site, where one exists
+//! (DESIGN.md §12.3) — the timed wrapper lives next to the
+//! `lockorder::acquire` call, so the rank table doubles as the map of
+//! instrumented wait points:
 //!
-//! | rank | lock |
-//! |------|------|
-//! | 10 `COMMIT`        | engine commit lock (serializes write statements) |
-//! | 15 `CONFIG`        | engine session-default config |
-//! | 18 `SNAPSHOT_CACHE`| engine cached catalog read snapshot |
-//! | 20 `CATALOG_MAP`   | catalog table namespace |
-//! | 21 `CATALOG_NAMES` | catalog index namespace |
-//! | 25 `TABLE_META`    | per-table index list / stats slots |
-//! | 30 `WAL_STATE`     | WAL append state (tail buffer, LSNs) |
-//! | 40 `POOL`          | buffer-pool frame table |
-//! | 41 `POOL_CHECKSUM` | buffer-pool page-checksum map |
-//! | 42 `POOL_GATE`     | buffer-pool flush-gate slot |
-//! | 50 `WAL_GATE`      | WAL unlogged-page set (no-steal gate) |
-//! | 51 `WAL_UNSYNCED`  | WAL appended-but-unsynced page set |
-//! | 60 `OBS`           | observability (query log ring) |
+//! | rank | lock | contention histogram |
+//! |------|------|----------------------|
+//! | 10 `COMMIT`        | engine commit lock (serializes write statements) | `evopt_commit_lock_wait_us` |
+//! | 15 `CONFIG`        | engine session-default config | — |
+//! | 18 `SNAPSHOT_CACHE`| engine cached catalog read snapshot | `evopt_snapshot_acquire_us` |
+//! | 20 `CATALOG_MAP`   | catalog table namespace | — |
+//! | 21 `CATALOG_NAMES` | catalog index namespace | — |
+//! | 25 `TABLE_META`    | per-table index list / stats slots | — |
+//! | 30 `WAL_STATE`     | WAL append state (tail buffer, LSNs) | `evopt_wal_sync_wait_us` (sync path) |
+//! | 40 `POOL`          | buffer-pool frame table | `evopt_pool_miss_io_us`, `evopt_pool_load_wait_us` (miss/single-flight paths) |
+//! | 41 `POOL_CHECKSUM` | buffer-pool page-checksum map | — |
+//! | 42 `POOL_GATE`     | buffer-pool flush-gate slot | — |
+//! | 50 `WAL_GATE`      | WAL unlogged-page set (no-steal gate) | — |
+//! | 51 `WAL_UNSYNCED`  | WAL appended-but-unsynced page set | — |
+//! | 60 `OBS`           | observability (query log ring) | — |
 //!
 //! Note the perhaps surprising `WAL_STATE < POOL`: the WAL's commit path
 //! holds its append state while stamping LSNs into resident pages

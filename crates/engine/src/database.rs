@@ -16,8 +16,8 @@ use evopt_exec::{
     GovernorConfig, QueryMetrics,
 };
 use evopt_obs::{
-    EngineMetrics, MetricsSnapshot, QueryLog, QueryLogEntry, SearchTrace, TraceSink,
-    DEFAULT_QUERY_LOG_CAP, DEFAULT_SLOW_QUERY_US, DEFAULT_TRACE_EVENTS,
+    EngineMetrics, MetricsSnapshot, Phase, PhaseSpan, QueryLog, QueryLogEntry, SearchTrace,
+    StatementSpan, TraceSink, DEFAULT_QUERY_LOG_CAP, DEFAULT_SLOW_QUERY_US, DEFAULT_TRACE_EVENTS,
 };
 use evopt_plan::LogicalPlan;
 use evopt_sql::ast::{AstExpr, Statement};
@@ -85,6 +85,13 @@ pub struct DatabaseConfig {
     /// the original row-at-a-time operators everywhere, kept as the
     /// differential baseline for the columnar port.
     pub columnar: bool,
+    /// Record per-statement phase spans (parse → bind → optimize → verify
+    /// → execute → commit): rendered by `EXPLAIN ANALYZE` as a phase
+    /// table and attached to query-log entries. On by default; costs a
+    /// few clock reads and one small `Vec` per statement. Purely
+    /// observational — the span differential suite proves plans and rows
+    /// are identical either way.
+    pub spans: bool,
     /// Crash durability: [`Durability::Wal`] turns on write-ahead logging
     /// with statement-granularity commits. Off by default — the
     /// optimizer-validation experiments measure query I/O, not commit
@@ -107,6 +114,7 @@ impl Default for DatabaseConfig {
             slow_query_us: DEFAULT_SLOW_QUERY_US,
             verify_plans: false,
             columnar: true,
+            spans: true,
             durability: Durability::Off,
         }
     }
@@ -126,6 +134,8 @@ pub struct SessionConfig {
     pub batch_rows: usize,
     pub verify_plans: bool,
     pub columnar: bool,
+    /// Per-statement phase-span recording (see [`DatabaseConfig::spans`]).
+    pub spans: bool,
 }
 
 impl DatabaseConfig {
@@ -138,6 +148,7 @@ impl DatabaseConfig {
             batch_rows: self.batch_rows,
             verify_plans: self.verify_plans,
             columnar: self.columnar,
+            spans: self.spans,
         }
     }
 }
@@ -149,6 +160,9 @@ impl DatabaseConfig {
 struct StatementCtx {
     cfg: SessionConfig,
     catalog: Arc<Catalog>,
+    /// The session that issued the statement (0 = the database-level
+    /// implicit default session) — stamped into spans and log entries.
+    session_id: u64,
     /// The session's own metrics registry, when the statement runs through
     /// a [`Session`] on a metrics-enabled instance.
     session_metrics: Option<Arc<EngineMetrics>>,
@@ -157,6 +171,32 @@ struct StatementCtx {
 impl StatementCtx {
     fn verifying(&self) -> bool {
         cfg!(debug_assertions) || self.cfg.verify_plans
+    }
+}
+
+/// Span assembly for one statement: the enclosing clock (stamped before
+/// parse, so every phase is a sub-interval) plus the span being built.
+/// Exists only while `cfg.spans` is on.
+struct SpanState {
+    started: Instant,
+    span: StatementSpan,
+}
+
+impl SpanState {
+    fn new(session_id: u64) -> SpanState {
+        SpanState {
+            started: Instant::now(),
+            span: StatementSpan::new(session_id),
+        }
+    }
+
+    fn push(&mut self, phase: PhaseSpan) {
+        self.span.push(phase);
+    }
+
+    /// Stamp the statement's total wall time (call after the last phase).
+    fn finish(&mut self) {
+        self.span.total_us = self.started.elapsed().as_micros() as u64;
     }
 }
 
@@ -449,8 +489,7 @@ impl Database {
             Some(wal) => {
                 // Hold the commit lock so the catalog image and the set of
                 // committed pages are a consistent cut of the log.
-                let _c = lockorder::acquire(lockorder::COMMIT);
-                let _guard = self.commit_lock.lock();
+                let (_c, _guard) = self.lock_commit(None);
                 wal.checkpoint(&self.pool, &self.catalog_image())
             }
             None => Ok(()),
@@ -597,9 +636,31 @@ impl Database {
         self.update_defaults(|c| c.columnar = on);
     }
 
+    /// Toggle statement-span recording for subsequent statements (the
+    /// span differential suite's knob; on by default).
+    pub fn set_spans(&self, on: bool) {
+        self.update_defaults(|c| c.spans = on);
+    }
+
     /// A frozen catalog snapshot for read statements, cached by catalog
     /// version so steady-state reads don't re-clone the namespace maps.
+    /// Acquisition latency (cache hit or rebuild) lands in the
+    /// `snapshot_acquire_us` histogram when metrics are on.
     fn read_snapshot(&self) -> Arc<Catalog> {
+        match &self.metrics {
+            Some(m) => {
+                let started = Instant::now();
+                let snap = self.read_snapshot_inner();
+                let us = started.elapsed().as_micros() as u64;
+                m.snapshot_acquire_us.observe(us);
+                evopt_obs::global().snapshot_acquire_us.observe(us);
+                snap
+            }
+            None => self.read_snapshot_inner(),
+        }
+    }
+
+    fn read_snapshot_inner(&self) -> Arc<Catalog> {
         let version = self.catalog.version();
         let _r = lockorder::acquire(lockorder::SNAPSHOT_CACHE);
         let mut cache = self.snapshot_cache.lock();
@@ -613,30 +674,72 @@ impl Database {
         }
     }
 
+    /// Acquire the commit lock through the timed wrapper: rank witness,
+    /// timed wait, histogram stamp. Every commit site goes through here —
+    /// no call site can take the lock without recording its wait.
+    fn lock_commit(
+        &self,
+        ctx: Option<&StatementCtx>,
+    ) -> (lockorder::RankGuard, parking_lot::MutexGuard<'_, ()>) {
+        let rank = lockorder::acquire(lockorder::COMMIT);
+        match &self.metrics {
+            Some(m) => {
+                let started = Instant::now();
+                let guard = self.commit_lock.lock();
+                let us = started.elapsed().as_micros() as u64;
+                m.commit_lock_wait_us.observe(us);
+                evopt_obs::global().commit_lock_wait_us.observe(us);
+                if let Some(s) = ctx.and_then(|c| c.session_metrics.as_ref()) {
+                    s.commit_lock_wait_us.observe(us);
+                }
+                (rank, guard)
+            }
+            None => (rank, self.commit_lock.lock()),
+        }
+    }
+
     /// The statement context the [`Database`]-level API runs with: current
-    /// instance defaults, no per-session metrics.
+    /// instance defaults, no per-session metrics, session id 0.
     fn default_ctx(&self) -> StatementCtx {
         StatementCtx {
             cfg: self.session_defaults(),
             catalog: self.read_snapshot(),
+            session_id: 0,
             session_metrics: None,
         }
     }
 
     /// Bind a SELECT against the statement's catalog snapshot and, when
     /// verification is active, run the post-bind verifier pass over the
-    /// freshly bound logical plan.
+    /// freshly bound logical plan. With a span, the bind and verify
+    /// phases are timed separately.
     fn bind_checked(
         &self,
         ctx: &StatementCtx,
         sel: &evopt_sql::ast::SelectStmt,
+        mut span: Option<&mut SpanState>,
     ) -> Result<LogicalPlan> {
         let catalog = Arc::clone(&ctx.catalog);
         let provider =
             move |table: &str| -> Result<Schema> { Ok(catalog.table(table)?.schema.clone()) };
+        let bind_started = Instant::now();
         let logical = bind_select(sel, &provider)?;
+        if let Some(s) = span.as_mut() {
+            s.push(PhaseSpan::new(
+                Phase::Bind,
+                bind_started.elapsed().as_micros() as u64,
+            ));
+        }
         if ctx.verifying() {
-            if let Err(e) = verify::verify_logical(&logical, VerifyPhase::PostBind).into_result() {
+            let verify_started = Instant::now();
+            let verdict = verify::verify_logical(&logical, VerifyPhase::PostBind).into_result();
+            if let Some(s) = span.as_mut() {
+                s.push(PhaseSpan::new(
+                    Phase::Verify,
+                    verify_started.elapsed().as_micros() as u64,
+                ));
+            }
+            if let Err(e) = verdict {
                 self.record_ctx(ctx, |m| m.verify_failures.inc());
                 return Err(e);
             }
@@ -646,9 +749,36 @@ impl Database {
 
     /// Execute any statement.
     pub fn execute(&self, sql: &str) -> Result<QueryResult> {
-        let stmt = parse(sql)?;
         let ctx = self.default_ctx();
-        self.execute_with_ctx(&ctx, &stmt, sql)
+        self.execute_sql_ctx(&ctx, sql)
+    }
+
+    /// Parse and execute under `ctx`, assembling the statement span
+    /// (parse phase included) when spans are on, and counting the
+    /// statement and its outcome.
+    fn execute_sql_ctx(&self, ctx: &StatementCtx, sql: &str) -> Result<QueryResult> {
+        // Stamped before parse so every phase is a sub-interval of the
+        // statement total.
+        let mut state = ctx.cfg.spans.then(|| SpanState::new(ctx.session_id));
+        let parse_started = Instant::now();
+        let parsed = parse(sql);
+        if let Some(s) = &mut state {
+            s.push(PhaseSpan::new(
+                Phase::Parse,
+                parse_started.elapsed().as_micros() as u64,
+            ));
+        }
+        let result = match parsed {
+            Ok(stmt) => self.execute_with_ctx(ctx, &stmt, sql, state.as_mut()),
+            Err(e) => Err(e),
+        };
+        self.record_ctx(ctx, |m| {
+            m.statements.inc();
+            if result.is_err() {
+                m.statement_errors.inc();
+            }
+        });
+        result
     }
 
     /// Run a SELECT and return its rows.
@@ -754,7 +884,7 @@ impl Database {
     fn plan_sql_ctx(&self, ctx: &StatementCtx, sql: &str) -> Result<(LogicalPlan, PhysicalPlan)> {
         match parse(sql)? {
             Statement::Select(sel) => {
-                let logical = self.bind_checked(ctx, &sel)?;
+                let logical = self.bind_checked(ctx, &sel, None)?;
                 let physical = self.optimize_full(ctx, &logical, false)?.0;
                 Ok((logical, physical))
             }
@@ -845,6 +975,7 @@ impl Database {
         optimize_us: u64,
         execute_us: u64,
         io: &IoSnapshot,
+        span: Option<StatementSpan>,
     ) {
         if self.metrics.is_none() {
             return;
@@ -860,6 +991,7 @@ impl Database {
         let _r = lockorder::acquire(lockorder::OBS);
         self.query_log.record(QueryLogEntry {
             sql: sql.to_string(),
+            session_id: ctx.session_id,
             plan_digest: physical.digest_hex(),
             est_rows: physical.est_rows,
             actual_rows,
@@ -868,6 +1000,7 @@ impl Database {
             pages_read: io.reads,
             pages_written: io.writes,
             slow: false, // stamped by QueryLog::record against its threshold
+            span,
         });
     }
 
@@ -886,6 +1019,8 @@ impl Database {
         snap.pool_evictions = pool.evictions;
         snap.pool_retries = pool.retries;
         snap.pool_corruptions = pool.corruptions;
+        snap.pool_miss_io_us = self.pool.miss_io_histogram();
+        snap.pool_load_wait_us = self.pool.load_wait_histogram();
         let io = self.disk.snapshot();
         snap.disk_reads = io.reads;
         snap.disk_writes = io.writes;
@@ -901,6 +1036,8 @@ impl Database {
             snap.checkpoints = w.checkpoints;
             snap.recoveries = w.recoveries;
             snap.recovery_replayed_records = w.replayed_records;
+            snap.wal_coalesced_syncs = w.coalesced_syncs;
+            snap.wal_sync_wait_us = wal.sync_wait_histogram();
         }
         snap
     }
@@ -927,7 +1064,7 @@ impl Database {
         let ctx = self.default_ctx();
         match parse(sql)? {
             Statement::Select(sel) => {
-                let logical = self.bind_checked(&ctx, &sel)?;
+                let logical = self.bind_checked(&ctx, &sel, None)?;
                 let (plan, trace, _) = self.optimize_full(&ctx, &logical, true)?;
                 let trace = trace
                     .ok_or_else(|| EvoptError::Internal("trace requested but absent".into()))?;
@@ -981,8 +1118,7 @@ impl Database {
     /// the whole batch, serialized with other writers like any statement.
     pub fn insert_tuples(&self, table: &str, tuples: &[Tuple]) -> Result<usize> {
         let pending = {
-            let _c = lockorder::acquire(lockorder::COMMIT);
-            let _guard = self.commit_lock.lock();
+            let (_c, _guard) = self.lock_commit(None);
             let info = self.catalog.table(table)?;
             for t in tuples {
                 self.insert_one(&info, t)?;
@@ -1058,22 +1194,55 @@ impl Database {
         ctx: &StatementCtx,
         stmt: &Statement,
         sql: &str,
+        mut span: Option<&mut SpanState>,
     ) -> Result<QueryResult> {
         if Self::is_write(stmt) {
+            let commit_started = Instant::now();
+            let wal_before = self.wal.as_ref().map(|w| w.stats());
             let (result, pending) = {
-                let _c = lockorder::acquire(lockorder::COMMIT);
-                let _guard = self.commit_lock.lock();
+                let (_c, _guard) = self.lock_commit(Some(ctx));
                 let result = self.apply_write(ctx, stmt)?;
                 let pending = self.wal_commit_locked()?;
                 (result, pending)
             };
             self.wal_sync(pending)?;
+            if let Some(s) = span.as_deref_mut() {
+                let mut phase =
+                    PhaseSpan::new(Phase::Commit, commit_started.elapsed().as_micros() as u64);
+                if let (Some(before), Some(wal)) = (wal_before, self.wal.as_ref()) {
+                    // Deltas are approximate under concurrency (the WAL
+                    // counters are instance-wide), exact when this writer
+                    // is alone.
+                    let after = wal.stats();
+                    phase = phase
+                        .counter(
+                            "wal_records",
+                            after.records_written.saturating_sub(before.records_written),
+                        )
+                        .counter(
+                            "wal_bytes",
+                            after.bytes_written.saturating_sub(before.bytes_written),
+                        );
+                }
+                s.push(phase);
+                s.finish();
+            }
             return Ok(result);
         }
         match stmt {
             Statement::Select(sel) => {
-                let logical = self.bind_checked(ctx, sel)?;
-                let (physical, _, optimize_us) = self.optimize_full(ctx, &logical, false)?;
+                let logical = self.bind_checked(ctx, sel, span.as_deref_mut())?;
+                let (physical, search_trace, optimize_us) =
+                    self.optimize_full(ctx, &logical, false)?;
+                if let Some(s) = span.as_deref_mut() {
+                    let mut phase = PhaseSpan::new(Phase::Optimize, optimize_us);
+                    if let Some(t) = &search_trace {
+                        phase = phase
+                            .counter("considered", t.considered)
+                            .counter("pruned", t.pruned);
+                    }
+                    s.push(phase);
+                }
                 let governor = ctx.cfg.governor;
                 let pool_before = self.pool.stats();
                 let io_before = self.disk.snapshot();
@@ -1101,6 +1270,18 @@ impl Database {
                 let (rows, metrics) = outcome?;
                 let pool_delta = self.pool.stats().since(&pool_before);
                 let io_delta = self.disk.snapshot().since(&io_before);
+                let finished_span = span.as_deref_mut().map(|s| {
+                    s.push(
+                        PhaseSpan::new(Phase::Execute, execute_us)
+                            .counter("rows", rows.len() as u64)
+                            .counter("pool_hits", pool_delta.hits)
+                            .counter("pool_misses", pool_delta.misses)
+                            .counter("pages_read", io_delta.reads)
+                            .counter("pages_written", io_delta.writes),
+                    );
+                    s.finish();
+                    s.span.clone()
+                });
                 self.finish_select(
                     ctx,
                     sql,
@@ -1109,6 +1290,7 @@ impl Database {
                     optimize_us,
                     execute_us,
                     &io_delta,
+                    finished_span,
                 );
                 self.record_ctx(ctx, |m| {
                     m.pool_hits.add(pool_delta.hits);
@@ -1132,9 +1314,18 @@ impl Database {
                 inner,
             } => match &**inner {
                 Statement::Select(sel) => {
-                    let logical = self.bind_checked(ctx, sel)?;
+                    let logical = self.bind_checked(ctx, sel, span.as_deref_mut())?;
                     let (physical, search_trace, optimize_us) =
                         self.optimize_full(ctx, &logical, *trace)?;
+                    if let Some(s) = span.as_deref_mut() {
+                        let mut phase = PhaseSpan::new(Phase::Optimize, optimize_us);
+                        if let Some(t) = &search_trace {
+                            phase = phase
+                                .counter("considered", t.considered)
+                                .counter("pruned", t.pruned);
+                        }
+                        s.push(phase);
+                    }
                     let mut text = format!(
                         "== logical ==\n{}== physical ({}) ==\n{}",
                         logical.display_indent(),
@@ -1150,8 +1341,10 @@ impl Database {
                         text.push_str(&self.render_verify(ctx, &logical, &physical));
                     }
                     if *analyze {
+                        let exec_started = Instant::now();
                         let (rows, metrics) =
                             run_collect_instrumented(&physical, &self.exec_env(ctx))?;
+                        let execute_us = exec_started.elapsed().as_micros() as u64;
                         text.push_str(&format!(
                             "== measured ==\n{}rows: {}\npage reads: {}\npage writes: {}\n\
                              plan digest: {}\noptimize time: {optimize_us}µs\n",
@@ -1161,6 +1354,19 @@ impl Database {
                             metrics.disk_writes,
                             physical.digest_hex()
                         ));
+                        if let Some(s) = span {
+                            let batches =
+                                metrics.operators.first().map(|o| o.next_calls).unwrap_or(0);
+                            s.push(
+                                PhaseSpan::new(Phase::Execute, execute_us)
+                                    .counter("rows", rows.len() as u64)
+                                    .counter("batches", batches)
+                                    .counter("pool_hits", metrics.pool_hits)
+                                    .counter("pool_misses", metrics.pool_misses),
+                            );
+                            s.finish();
+                            text.push_str(&format!("== phases ==\n{}", s.span.render_table()));
+                        }
                     }
                     Ok(QueryResult::Explained(text))
                 }
@@ -1373,8 +1579,12 @@ impl Database {
     }
 
     /// `SHOW QUERY LOG`: recent queries, newest first, as a rows result.
+    /// `session_id` attributes each entry to the session that ran it
+    /// (0 = the database-level implicit session); `phases` is the
+    /// statement span's compact rendering, empty when spans were off.
     fn render_query_log(&self) -> QueryResult {
         let schema = Schema::new(vec![
+            Column::new("session_id", DataType::Int),
             Column::new("sql", DataType::Str),
             Column::new("plan_digest", DataType::Str),
             Column::new("est_rows", DataType::Float),
@@ -1385,6 +1595,7 @@ impl Database {
             Column::new("pages_read", DataType::Int),
             Column::new("pages_written", DataType::Int),
             Column::new("slow", DataType::Bool),
+            Column::new("phases", DataType::Str),
         ]);
         let _r = lockorder::acquire(lockorder::OBS);
         let rows = self
@@ -1393,6 +1604,7 @@ impl Database {
             .into_iter()
             .map(|e| {
                 Tuple::new(vec![
+                    Value::Int(e.session_id as i64),
                     Value::Str(e.sql.clone()),
                     Value::Str(e.plan_digest.clone()),
                     Value::Float(e.est_rows),
@@ -1403,6 +1615,7 @@ impl Database {
                     Value::Int(e.pages_read as i64),
                     Value::Int(e.pages_written as i64),
                     Value::Bool(e.slow),
+                    Value::Str(e.span.as_ref().map(|s| s.compact()).unwrap_or_default()),
                 ])
             })
             .collect();
@@ -1531,19 +1744,24 @@ impl Session {
         self.update(|c| c.columnar = on);
     }
 
+    /// Toggle statement-span recording for this session.
+    pub fn set_spans(&self, on: bool) {
+        self.update(|c| c.spans = on);
+    }
+
     fn ctx(&self) -> StatementCtx {
         StatementCtx {
             cfg: self.config(),
             catalog: self.db.read_snapshot(),
+            session_id: self.id,
             session_metrics: self.metrics.clone(),
         }
     }
 
     /// Execute any statement in this session.
     pub fn execute(&self, sql: &str) -> Result<QueryResult> {
-        let stmt = parse(sql)?;
         let ctx = self.ctx();
-        self.db.execute_with_ctx(&ctx, &stmt, sql)
+        self.db.execute_sql_ctx(&ctx, sql)
     }
 
     /// Run a SELECT and return its rows.
@@ -1577,6 +1795,21 @@ impl Session {
             Some(m) => m.snapshot(),
             None => EngineMetrics::default().snapshot(),
         }
+    }
+
+    /// Prometheus text exposition for a scrape arriving through this
+    /// session: the instance-wide families from
+    /// [`Database::metrics_text`] followed by this session's own
+    /// counters rendered with a `session="<id>"` label, so a server
+    /// scrape can attribute per-client work.
+    pub fn metrics_text(&self) -> String {
+        let mut out = self.db.metrics_text();
+        out.push_str(
+            &self
+                .metrics_snapshot()
+                .to_prometheus_labeled(&format!("session=\"{}\"", self.id)),
+        );
+        out
     }
 }
 

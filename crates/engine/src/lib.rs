@@ -34,7 +34,8 @@ pub use evopt_catalog::{AnalyzeConfig, HistogramKind};
 pub use evopt_core::{CostModel, Strategy};
 pub use evopt_exec::{CancellationToken, GovernorConfig, OperatorMetrics, QueryMetrics};
 pub use evopt_obs::{
-    EngineMetrics, HistogramSnapshot, MetricsSnapshot, QueryLog, QueryLogEntry, SearchTrace,
+    EngineMetrics, HistogramSnapshot, MetricsSnapshot, Phase, PhaseSpan, QueryLog, QueryLogEntry,
+    SearchTrace, StatementSpan,
 };
 pub use evopt_storage::{
     CrashingBackend, DiskBackend, DiskManager, FaultConfig, FaultInjector, FaultReport, IoSnapshot,

@@ -1,6 +1,6 @@
 //! # evopt-obs
 //!
-//! The observability substrate for evopt, three independent pieces:
+//! The observability substrate for evopt, four independent pieces:
 //!
 //! * [`trace`] — a bounded, interior-mutable [`trace::TraceSink`] the join
 //!   enumerators record *search* events into (plan considered, pruned and
@@ -13,8 +13,13 @@
 //!   `Database::metrics_text()` dump;
 //! * [`query_log`] — a ring buffer of per-query [`query_log::QueryLogEntry`]
 //!   records (SQL, plan digest, est/actual rows, q-error, optimize/execute
-//!   wall time, page I/O) with a slow-query threshold, surfaced as the
-//!   virtual statement `SHOW QUERY LOG`.
+//!   wall time, page I/O, session attribution, phase span) with a
+//!   slow-query threshold, surfaced as the virtual statement
+//!   `SHOW QUERY LOG`;
+//! * [`span`] — the hierarchical [`span::StatementSpan`] phase trace
+//!   (parse → bind → optimize → verify → execute → commit) the engine
+//!   assembles per statement and `EXPLAIN ANALYZE` renders as a
+//!   phase-breakdown table.
 //!
 //! This crate deliberately depends on nothing above `evopt-common`'s level
 //! (in fact on nothing but the vendored `parking_lot`): trace events carry
@@ -25,10 +30,15 @@
 
 pub mod metrics;
 pub mod query_log;
+pub mod span;
 pub mod trace;
 
-pub use metrics::{Counter, EngineMetrics, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot};
+pub use metrics::{
+    Counter, EngineMetrics, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, TIME_BUCKETS_US,
+    WAIT_BUCKETS_US,
+};
 pub use query_log::{QueryLog, QueryLogEntry, DEFAULT_QUERY_LOG_CAP, DEFAULT_SLOW_QUERY_US};
+pub use span::{Phase, PhaseSpan, StatementSpan};
 pub use trace::{PruneReason, SearchTrace, TraceEvent, TraceSink, DEFAULT_TRACE_EVENTS};
 
 /// The process-wide [`EngineMetrics`] aggregate. Every `Database` records

@@ -46,6 +46,15 @@ pub const TIME_BUCKETS_US: &[u64] = &[
     1_000_000,
 ];
 
+/// Upper bounds (µs) for *contention* histograms: lock and I/O waits are
+/// usually well under 50µs (uncontended lock acquisition is tens of
+/// nanoseconds), so these start at 1µs to resolve the uncontended mass
+/// from the tail the commit lock and WAL sync produce under load.
+pub const WAIT_BUCKETS_US: &[u64] = &[
+    1, 5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000,
+    1_000_000,
+];
+
 /// A fixed-bucket histogram: one atomic per bucket plus sum and count.
 #[derive(Debug)]
 pub struct Histogram {
@@ -85,6 +94,26 @@ impl Histogram {
             count: self.count.load(Relaxed),
         }
     }
+
+    /// Run `f`, observing its wall time in µs. This is the timed-wrapper
+    /// discipline for contention sites: the wait *is* the closure, so a
+    /// call site cannot acquire without stamping.
+    pub fn time<T>(&self, f: impl FnOnce() -> T) -> T {
+        let start = std::time::Instant::now();
+        let out = f();
+        self.observe(start.elapsed().as_micros() as u64);
+        out
+    }
+
+    /// Like [`Histogram::time`], but skips the clock reads entirely when
+    /// `enabled` is false (metrics off must cost nothing).
+    pub fn time_if<T>(&self, enabled: bool, f: impl FnOnce() -> T) -> T {
+        if enabled {
+            self.time(f)
+        } else {
+            f()
+        }
+    }
 }
 
 impl Default for Histogram {
@@ -111,7 +140,9 @@ impl HistogramSnapshot {
         }
     }
 
-    fn render_prometheus(&self, name: &str, out: &mut String) {
+    /// Prometheus rendering with an extra label set (e.g. `session="3"`)
+    /// merged into every series; empty `labels` renders bare series.
+    pub fn render_prometheus_labeled(&self, name: &str, labels: &str, out: &mut String) {
         out.push_str(&format!("# TYPE {name} histogram\n"));
         let mut cumulative = 0u64;
         for (i, c) in self.counts.iter().enumerate() {
@@ -120,10 +151,21 @@ impl HistogramSnapshot {
                 Some(b) => b.to_string(),
                 None => "+Inf".to_string(),
             };
-            out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+            if labels.is_empty() {
+                out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+            } else {
+                out.push_str(&format!(
+                    "{name}_bucket{{le=\"{le}\",{labels}}} {cumulative}\n"
+                ));
+            }
         }
-        out.push_str(&format!("{name}_sum {}\n", self.sum));
-        out.push_str(&format!("{name}_count {}\n", self.count));
+        let suffix = if labels.is_empty() {
+            String::new()
+        } else {
+            format!("{{{labels}}}")
+        };
+        out.push_str(&format!("{name}_sum{suffix} {}\n", self.sum));
+        out.push_str(&format!("{name}_count{suffix} {}\n", self.count));
     }
 }
 
@@ -136,7 +178,7 @@ impl HistogramSnapshot {
 /// `metrics_snapshot()` overwrites those with live buffer-pool totals —
 /// authoritative, and inclusive of DDL/ANALYZE traffic — while the global
 /// aggregate reports the accumulated deltas across every database.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct EngineMetrics {
     // -- storage (query-path deltas; see type docs) -------------------------
     pub pool_hits: Counter,
@@ -166,12 +208,77 @@ pub struct EngineMetrics {
     pub governor_kills: Counter,
     pub faults_injected: Counter,
     pub silent_corruptions: Counter,
+    /// Statements executed (all kinds, not just SELECT).
+    pub statements: Counter,
+    /// Statements that returned an error.
+    pub statement_errors: Counter,
     // -- durability (WAL; zero when durability is off) ----------------------
     pub wal_records_written: Counter,
     pub wal_bytes: Counter,
     pub checkpoints: Counter,
     pub recoveries: Counter,
     pub recovery_replayed_records: Counter,
+    /// Syncs a committer skipped because a group-commit peer already
+    /// durably covered its LSN.
+    pub wal_coalesced_syncs: Counter,
+    // -- contention (PR 8's wait points, timed at the lockorder sites) ------
+    /// Wall time a writer spent waiting to acquire the commit lock.
+    pub commit_lock_wait_us: Histogram,
+    /// Wall time `Wal::sync_through` spent making an LSN durable
+    /// (including waits coalesced behind a peer's in-flight fsync).
+    pub wal_sync_wait_us: Histogram,
+    /// Physical read + verify latency on a buffer-pool miss (the
+    /// off-lock single-flight I/O).
+    pub pool_miss_io_us: Histogram,
+    /// Wall time a pool reader spent waiting on another thread's
+    /// in-flight load of the same page (single-flight wait).
+    pub pool_load_wait_us: Histogram,
+    /// Wall time to acquire a frozen read snapshot (cache hit or rebuild).
+    pub snapshot_acquire_us: Histogram,
+}
+
+impl Default for EngineMetrics {
+    fn default() -> Self {
+        EngineMetrics {
+            pool_hits: Counter::default(),
+            pool_misses: Counter::default(),
+            pool_evictions: Counter::default(),
+            pool_retries: Counter::default(),
+            pool_corruptions: Counter::default(),
+            disk_reads: Counter::default(),
+            disk_writes: Counter::default(),
+            optimize_calls: Counter::default(),
+            plans_considered: Counter::default(),
+            plans_pruned: Counter::default(),
+            optimize_time_us: Histogram::default(),
+            plans_verified: Counter::default(),
+            verify_failures: Counter::default(),
+            lints_flagged: Counter::default(),
+            exec_batches: Counter::default(),
+            exec_rows: Counter::default(),
+            exec_spills: Counter::default(),
+            execute_time_us: Histogram::default(),
+            queries: Counter::default(),
+            slow_queries: Counter::default(),
+            governor_kills: Counter::default(),
+            faults_injected: Counter::default(),
+            silent_corruptions: Counter::default(),
+            statements: Counter::default(),
+            statement_errors: Counter::default(),
+            wal_records_written: Counter::default(),
+            wal_bytes: Counter::default(),
+            checkpoints: Counter::default(),
+            recoveries: Counter::default(),
+            recovery_replayed_records: Counter::default(),
+            wal_coalesced_syncs: Counter::default(),
+            // Contention waits resolve sub-50µs mass: finer bounds.
+            commit_lock_wait_us: Histogram::new(WAIT_BUCKETS_US),
+            wal_sync_wait_us: Histogram::new(WAIT_BUCKETS_US),
+            pool_miss_io_us: Histogram::new(WAIT_BUCKETS_US),
+            pool_load_wait_us: Histogram::new(WAIT_BUCKETS_US),
+            snapshot_acquire_us: Histogram::new(WAIT_BUCKETS_US),
+        }
+    }
 }
 
 impl EngineMetrics {
@@ -200,11 +307,19 @@ impl EngineMetrics {
             governor_kills: self.governor_kills.get(),
             faults_injected: self.faults_injected.get(),
             silent_corruptions: self.silent_corruptions.get(),
+            statements: self.statements.get(),
+            statement_errors: self.statement_errors.get(),
             wal_records_written: self.wal_records_written.get(),
             wal_bytes: self.wal_bytes.get(),
             checkpoints: self.checkpoints.get(),
             recoveries: self.recoveries.get(),
             recovery_replayed_records: self.recovery_replayed_records.get(),
+            wal_coalesced_syncs: self.wal_coalesced_syncs.get(),
+            commit_lock_wait_us: self.commit_lock_wait_us.snapshot(),
+            wal_sync_wait_us: self.wal_sync_wait_us.snapshot(),
+            pool_miss_io_us: self.pool_miss_io_us.snapshot(),
+            pool_load_wait_us: self.pool_load_wait_us.snapshot(),
+            snapshot_acquire_us: self.snapshot_acquire_us.snapshot(),
         }
     }
 }
@@ -236,11 +351,19 @@ pub struct MetricsSnapshot {
     pub governor_kills: u64,
     pub faults_injected: u64,
     pub silent_corruptions: u64,
+    pub statements: u64,
+    pub statement_errors: u64,
     pub wal_records_written: u64,
     pub wal_bytes: u64,
     pub checkpoints: u64,
     pub recoveries: u64,
     pub recovery_replayed_records: u64,
+    pub wal_coalesced_syncs: u64,
+    pub commit_lock_wait_us: HistogramSnapshot,
+    pub wal_sync_wait_us: HistogramSnapshot,
+    pub pool_miss_io_us: HistogramSnapshot,
+    pub pool_load_wait_us: HistogramSnapshot,
+    pub snapshot_acquire_us: HistogramSnapshot,
 }
 
 impl MetricsSnapshot {
@@ -256,6 +379,13 @@ impl MetricsSnapshot {
 
     /// Prometheus text exposition of every metric, `evopt_`-prefixed.
     pub fn to_prometheus(&self) -> String {
+        self.to_prometheus_labeled("")
+    }
+
+    /// Prometheus text exposition with an extra label set merged into
+    /// every series (e.g. `session="3"` for a per-session registry dump).
+    /// Empty `labels` renders bare series.
+    pub fn to_prometheus_labeled(&self, labels: &str) -> String {
         let mut out = String::new();
         let counters = [
             ("evopt_pool_hits_total", self.pool_hits),
@@ -279,6 +409,8 @@ impl MetricsSnapshot {
             ("evopt_governor_kills_total", self.governor_kills),
             ("evopt_faults_injected_total", self.faults_injected),
             ("evopt_silent_corruptions_total", self.silent_corruptions),
+            ("evopt_statements_total", self.statements),
+            ("evopt_statement_errors_total", self.statement_errors),
             ("evopt_wal_records_written_total", self.wal_records_written),
             ("evopt_wal_bytes_total", self.wal_bytes),
             ("evopt_checkpoints_total", self.checkpoints),
@@ -287,14 +419,30 @@ impl MetricsSnapshot {
                 "evopt_recovery_replayed_records_total",
                 self.recovery_replayed_records,
             ),
+            ("evopt_wal_coalesced_syncs_total", self.wal_coalesced_syncs),
         ];
+        let suffix = if labels.is_empty() {
+            String::new()
+        } else {
+            format!("{{{labels}}}")
+        };
         for (name, v) in counters {
-            out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+            out.push_str(&format!("# TYPE {name} counter\n{name}{suffix} {v}\n"));
         }
-        self.optimize_time_us
-            .render_prometheus("evopt_optimize_time_us", &mut out);
-        self.execute_time_us
-            .render_prometheus("evopt_execute_time_us", &mut out);
+        // Contention families render unconditionally so a scraper sees
+        // the series exist (at zero) before the first contended wait.
+        let histograms: [(&str, &HistogramSnapshot); 7] = [
+            ("evopt_optimize_time_us", &self.optimize_time_us),
+            ("evopt_execute_time_us", &self.execute_time_us),
+            ("evopt_commit_lock_wait_us", &self.commit_lock_wait_us),
+            ("evopt_wal_sync_wait_us", &self.wal_sync_wait_us),
+            ("evopt_pool_miss_io_us", &self.pool_miss_io_us),
+            ("evopt_pool_load_wait_us", &self.pool_load_wait_us),
+            ("evopt_snapshot_acquire_us", &self.snapshot_acquire_us),
+        ];
+        for (name, h) in histograms {
+            h.render_prometheus_labeled(name, labels, &mut out);
+        }
         out
     }
 }
@@ -347,6 +495,80 @@ mod tests {
         // Buckets are cumulative: the le="100" bucket already holds the 80µs
         // observation.
         assert!(text.contains("evopt_optimize_time_us_bucket{le=\"100\"} 1"));
+    }
+
+    #[test]
+    fn histogram_is_monotone_under_concurrent_observers() {
+        use std::sync::Arc;
+        let h = Arc::new(Histogram::new(WAIT_BUCKETS_US));
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..5_000u64 {
+                        h.observe(t * 100 + i % 97);
+                    }
+                })
+            })
+            .collect();
+        // Read while the writers race: count must only grow. (Bucket sums
+        // may transiently lag `count` — bucket and count are separate
+        // relaxed atomics — but must never exceed it by the end.)
+        let mut last = 0u64;
+        for _ in 0..1_000 {
+            let s = h.snapshot();
+            assert!(s.count >= last, "count went backwards");
+            last = s.count;
+            std::thread::yield_now();
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 20_000);
+        assert_eq!(s.counts.iter().sum::<u64>(), 20_000);
+        // Prometheus cumulative rendering ends at the total count.
+        let mut out = String::new();
+        s.render_prometheus_labeled("t_us", "", &mut out);
+        assert!(out.contains("t_us_bucket{le=\"+Inf\"} 20000"), "{out}");
+        assert!(out.contains("t_us_count 20000"), "{out}");
+    }
+
+    #[test]
+    fn labeled_rendering_merges_label_sets() {
+        let h = Histogram::new(&[10]);
+        h.observe(3);
+        let mut out = String::new();
+        h.snapshot()
+            .render_prometheus_labeled("t_us", "session=\"7\"", &mut out);
+        assert!(
+            out.contains("t_us_bucket{le=\"10\",session=\"7\"} 1"),
+            "{out}"
+        );
+        assert!(
+            out.contains("t_us_bucket{le=\"+Inf\",session=\"7\"} 1"),
+            "{out}"
+        );
+        assert!(out.contains("t_us_sum{session=\"7\"} 3"), "{out}");
+        assert!(out.contains("t_us_count{session=\"7\"} 1"), "{out}");
+    }
+
+    #[test]
+    fn contention_families_render_even_when_empty() {
+        let text = EngineMetrics::default().snapshot().to_prometheus();
+        for family in [
+            "evopt_commit_lock_wait_us",
+            "evopt_wal_sync_wait_us",
+            "evopt_pool_miss_io_us",
+            "evopt_pool_load_wait_us",
+            "evopt_snapshot_acquire_us",
+        ] {
+            assert!(
+                text.contains(&format!("# TYPE {family} histogram")),
+                "missing {family}"
+            );
+            assert!(text.contains(&format!("{family}_count 0")), "{family}");
+        }
     }
 
     #[test]

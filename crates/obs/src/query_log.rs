@@ -10,6 +10,8 @@ use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
 use parking_lot::Mutex;
 
+use crate::span::StatementSpan;
+
 /// Default ring capacity.
 pub const DEFAULT_QUERY_LOG_CAP: usize = 128;
 /// Default slow-query threshold: 250ms.
@@ -19,6 +21,10 @@ pub const DEFAULT_SLOW_QUERY_US: u64 = 250_000;
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryLogEntry {
     pub sql: String,
+    /// Session that ran the query (0 = the implicit default session), so
+    /// a multi-session server's slow-query log attributes each entry to
+    /// one client.
+    pub session_id: u64,
     /// Hex digest of the chosen physical plan's shape.
     pub plan_digest: String,
     /// Optimizer's root cardinality estimate.
@@ -31,6 +37,8 @@ pub struct QueryLogEntry {
     pub pages_written: u64,
     /// Set by [`QueryLog::record`] against the configured threshold.
     pub slow: bool,
+    /// Phase breakdown, when span recording was on for the statement.
+    pub span: Option<StatementSpan>,
 }
 
 impl QueryLogEntry {
@@ -114,6 +122,7 @@ mod tests {
     fn entry(sql: &str, exec_us: u64) -> QueryLogEntry {
         QueryLogEntry {
             sql: sql.into(),
+            session_id: 0,
             plan_digest: "deadbeef".into(),
             est_rows: 10.0,
             actual_rows: 40,
@@ -122,6 +131,7 @@ mod tests {
             pages_read: 2,
             pages_written: 0,
             slow: false,
+            span: None,
         }
     }
 

@@ -1,0 +1,243 @@
+//! Hierarchical statement spans: where did this statement's time go?
+//!
+//! A [`StatementSpan`] is the per-statement trace the engine assembles as
+//! a statement moves through its lifecycle — parse → bind → optimize →
+//! verify → execute → commit. Each [`PhaseSpan`] carries the phase's wall
+//! time plus a small bag of attached counters (rows, batches, pool
+//! hits/misses, WAL bytes…) captured as deltas over that phase.
+//!
+//! Phases are disjoint, sequential intervals measured against one
+//! monotonic clock, so the sum of phase wall times is ≤ the statement's
+//! total wall time by construction — the acceptance check `EXPLAIN
+//! ANALYZE` renders relies on exactly that invariant.
+//!
+//! Like the search trace, spans are purely observational: the engine
+//! builds them off the hot path (one `Vec` push per phase), and the span
+//! differential suite proves recording them changes no plan digest and
+//! no result row.
+
+use std::fmt::Write as _;
+
+/// One lifecycle phase of a statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// SQL text → AST.
+    Parse,
+    /// AST → checked logical plan (name resolution + type checking).
+    Bind,
+    /// Logical plan → chosen physical plan (join enumeration, costing).
+    Optimize,
+    /// Static plan verification (rule sweep over the chosen plan).
+    Verify,
+    /// Operator-tree drain: batches pulled, rows returned.
+    Execute,
+    /// Write path: commit-lock critical section + WAL append + sync.
+    Commit,
+}
+
+impl Phase {
+    /// Lowercase label used in tables and the query log.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Parse => "parse",
+            Phase::Bind => "bind",
+            Phase::Optimize => "optimize",
+            Phase::Verify => "verify",
+            Phase::Execute => "execute",
+            Phase::Commit => "commit",
+        }
+    }
+
+    /// All phases in lifecycle order.
+    pub const ALL: [Phase; 6] = [
+        Phase::Parse,
+        Phase::Bind,
+        Phase::Optimize,
+        Phase::Verify,
+        Phase::Execute,
+        Phase::Commit,
+    ];
+}
+
+/// One timed phase with its attached counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSpan {
+    pub phase: Phase,
+    pub wall_us: u64,
+    /// Counters captured as deltas over this phase, e.g. `("rows", 40)`.
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+impl PhaseSpan {
+    pub fn new(phase: Phase, wall_us: u64) -> Self {
+        PhaseSpan {
+            phase,
+            wall_us,
+            counters: Vec::new(),
+        }
+    }
+
+    /// Attach a counter; zero values are kept (an explicit zero is
+    /// information: "execute touched no pages").
+    pub fn counter(mut self, name: &'static str, value: u64) -> Self {
+        self.counters.push((name, value));
+        self
+    }
+}
+
+/// The per-statement trace: session attribution plus the phase sequence.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StatementSpan {
+    /// Session that ran the statement (0 = the database's implicit
+    /// default session).
+    pub session_id: u64,
+    /// Phases in the order they ran. A phase that did not apply to this
+    /// statement (e.g. `commit` for a SELECT) is simply absent.
+    pub phases: Vec<PhaseSpan>,
+    /// Total statement wall time, measured over one enclosing interval.
+    pub total_us: u64,
+}
+
+impl StatementSpan {
+    pub fn new(session_id: u64) -> Self {
+        StatementSpan {
+            session_id,
+            phases: Vec::new(),
+            total_us: 0,
+        }
+    }
+
+    /// Append a finished phase.
+    pub fn push(&mut self, phase: PhaseSpan) {
+        self.phases.push(phase);
+    }
+
+    /// Sum of phase wall times. Phases are disjoint sequential intervals,
+    /// so this is ≤ [`StatementSpan::total_us`] up to clock granularity.
+    pub fn phase_sum_us(&self) -> u64 {
+        self.phases.iter().map(|p| p.wall_us).sum()
+    }
+
+    /// Wall time of one phase, if it ran.
+    pub fn phase_us(&self, phase: Phase) -> Option<u64> {
+        self.phases
+            .iter()
+            .find(|p| p.phase == phase)
+            .map(|p| p.wall_us)
+    }
+
+    /// Compact single-line rendering for the query log:
+    /// `parse=12µs bind=40µs optimize=310µs execute=1204µs`.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            let _ = write!(out, "{}={}µs", p.phase.label(), p.wall_us);
+        }
+        out
+    }
+
+    /// Render the phase-breakdown table `EXPLAIN ANALYZE` prints:
+    ///
+    /// ```text
+    /// phase     wall_us    %  counters
+    /// parse          12  0.3
+    /// optimize      310  7.4  considered=42 pruned=17
+    /// execute     1_204 92.0  rows=40 batches=3 pool_hits=12
+    /// total       1_526       (phases 1_526µs)
+    /// ```
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str("phase      wall_us      %  counters\n");
+        let total = self.total_us.max(1);
+        for p in &self.phases {
+            let pct = p.wall_us as f64 * 100.0 / total as f64;
+            let counters = p
+                .counters
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            let _ = writeln!(
+                out,
+                "{:<9} {:>8} {:>5.1}  {}",
+                p.phase.label(),
+                p.wall_us,
+                pct,
+                counters
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:<9} {:>8}        (phases {}µs)",
+            "total",
+            self.total_us,
+            self.phase_sum_us()
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_labels_cover_lifecycle_order() {
+        let labels: Vec<&str> = Phase::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(
+            labels,
+            ["parse", "bind", "optimize", "verify", "execute", "commit"]
+        );
+    }
+
+    #[test]
+    fn phase_sum_and_lookup() {
+        let mut span = StatementSpan::new(3);
+        span.push(PhaseSpan::new(Phase::Parse, 10));
+        span.push(PhaseSpan::new(Phase::Optimize, 300).counter("considered", 42));
+        span.push(
+            PhaseSpan::new(Phase::Execute, 1_000)
+                .counter("rows", 40)
+                .counter("batches", 3),
+        );
+        span.total_us = 1_320;
+        assert_eq!(span.phase_sum_us(), 1_310);
+        assert!(span.phase_sum_us() <= span.total_us);
+        assert_eq!(span.phase_us(Phase::Optimize), Some(300));
+        assert_eq!(span.phase_us(Phase::Commit), None);
+        assert_eq!(span.session_id, 3);
+    }
+
+    #[test]
+    fn compact_renders_in_order() {
+        let mut span = StatementSpan::new(0);
+        span.push(PhaseSpan::new(Phase::Parse, 12));
+        span.push(PhaseSpan::new(Phase::Execute, 1_204));
+        assert_eq!(span.compact(), "parse=12µs execute=1204µs");
+    }
+
+    #[test]
+    fn table_contains_every_phase_and_total() {
+        let mut span = StatementSpan::new(0);
+        span.push(PhaseSpan::new(Phase::Parse, 5));
+        span.push(PhaseSpan::new(Phase::Commit, 95).counter("wal_bytes", 512));
+        span.total_us = 100;
+        let table = span.render_table();
+        assert!(table.contains("parse"));
+        assert!(table.contains("commit"));
+        assert!(table.contains("wal_bytes=512"));
+        assert!(table.contains("total"));
+        assert!(table.contains("(phases 100µs)"));
+    }
+
+    #[test]
+    fn empty_span_renders_total_only() {
+        let span = StatementSpan::new(0);
+        let table = span.render_table();
+        assert!(table.contains("total"));
+        assert_eq!(span.phase_sum_us(), 0);
+    }
+}

@@ -17,11 +17,13 @@
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod client;
+pub mod metrics;
 pub mod protocol;
 mod render;
 pub mod repl;
 pub mod server;
 
 pub use client::Client;
+pub use metrics::ServerMetrics;
 pub use protocol::{read_frame, write_frame, Response, MAX_FRAME};
 pub use server::{parse_strategy, respond, serve, ServerConfig, ServerHandle};

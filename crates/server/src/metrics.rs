@@ -1,0 +1,82 @@
+//! Server-side observability: what the listener and connection loops see,
+//! as distinct from what the engine sees. One [`ServerMetrics`] per
+//! [`crate::serve`] call, shared by the accept thread and every
+//! connection thread; rendered as `evopt_server_*` Prometheus families at
+//! the front of a `METRICS` / `\metrics` scrape.
+
+use evopt_obs::{Counter, Gauge};
+
+/// Counters and gauges for one listening server.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Connections currently holding a session slot.
+    pub active_sessions: Gauge,
+    /// Connections accepted and given a session (refused ones excluded).
+    pub connections: Counter,
+    /// Connections refused because every session slot was taken.
+    pub connections_refused: Counter,
+    /// Request frames read across all connections.
+    pub frames: Counter,
+    /// Bytes read off the wire (payload + 4-byte length prefix).
+    pub bytes_in: Counter,
+    /// Bytes written to the wire (payload + 4-byte length prefix).
+    pub bytes_out: Counter,
+}
+
+impl ServerMetrics {
+    /// Prometheus text exposition of every `evopt_server_*` family.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# TYPE evopt_server_active_sessions gauge\n");
+        out.push_str(&format!(
+            "evopt_server_active_sessions {}\n",
+            self.active_sessions.get()
+        ));
+        for (name, v) in [
+            ("evopt_server_connections_total", self.connections.get()),
+            (
+                "evopt_server_connections_refused_total",
+                self.connections_refused.get(),
+            ),
+            ("evopt_server_frames_total", self.frames.get()),
+            ("evopt_server_bytes_in_total", self.bytes_in.get()),
+            ("evopt_server_bytes_out_total", self.bytes_out.get()),
+        ] {
+            out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_family_renders_with_a_type_line() {
+        let m = ServerMetrics::default();
+        m.active_sessions.set(3);
+        m.connections.add(7);
+        m.connections_refused.inc();
+        m.frames.add(42);
+        m.bytes_in.add(1000);
+        m.bytes_out.add(2000);
+        let text = m.render_prometheus();
+        for family in [
+            "evopt_server_active_sessions",
+            "evopt_server_connections_total",
+            "evopt_server_connections_refused_total",
+            "evopt_server_frames_total",
+            "evopt_server_bytes_in_total",
+            "evopt_server_bytes_out_total",
+        ] {
+            assert!(
+                text.contains(&format!("# TYPE {family} ")),
+                "missing TYPE line for {family}"
+            );
+        }
+        assert!(text.contains("evopt_server_active_sessions 3\n"));
+        assert!(text.contains("evopt_server_connections_total 7\n"));
+        assert!(text.contains("evopt_server_frames_total 42\n"));
+    }
+}

@@ -1,9 +1,10 @@
 //! The wire protocol: length-prefixed frames over a byte stream.
 //!
 //! Every frame is a 4-byte little-endian payload length followed by the
-//! payload. Client → server payloads are UTF-8 statement text (SQL or a
-//! `\`-prefixed meta command). Server → client payloads carry a one-byte
-//! tag followed by UTF-8 text:
+//! payload. Client → server payloads are UTF-8 statement text (SQL, a
+//! `\`-prefixed meta command, or the bare word `METRICS` — a scrape
+//! request answered with Prometheus text). Server → client payloads carry
+//! a one-byte tag followed by UTF-8 text:
 //!
 //! | tag | meaning |
 //! |-----|---------|

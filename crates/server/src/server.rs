@@ -9,6 +9,7 @@ use evopt_common::{EvoptError, Result};
 use evopt_core::Strategy;
 use evopt_engine::{Database, Session};
 
+use crate::metrics::ServerMetrics;
 use crate::protocol::{read_frame, write_frame, Response};
 use crate::render;
 
@@ -34,12 +35,19 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
+    metrics: Arc<ServerMetrics>,
 }
 
 impl ServerHandle {
     /// The bound address (useful with a `:0` ephemeral-port bind).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// This server's connection counters — the same numbers a `METRICS`
+    /// scrape renders as `evopt_server_*` families.
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
     }
 
     /// Stop accepting, wake the listener, and join the accept thread.
@@ -74,9 +82,11 @@ pub fn serve(db: Arc<Database>, addr: &str, config: ServerConfig) -> Result<Serv
         .local_addr()
         .map_err(|e| EvoptError::Io(e.to_string()))?;
     let shutdown = Arc::new(AtomicBool::new(false));
+    let metrics = Arc::new(ServerMetrics::default());
     let max = config.max_sessions.max(1);
     let accept = std::thread::spawn({
         let shutdown = Arc::clone(&shutdown);
+        let metrics = Arc::clone(&metrics);
         let active = Arc::new(AtomicUsize::new(0));
         move || loop {
             let stream = match listener.accept() {
@@ -99,16 +109,23 @@ pub fn serve(db: Arc<Database>, addr: &str, config: ServerConfig) -> Result<Serv
                 })
                 .is_ok();
             if !claimed {
+                metrics.connections_refused.inc();
                 let mut stream = stream;
                 let refuse = Response::Bye(format!("server at capacity ({max} sessions)"));
                 let _ = write_frame(&mut stream, &refuse.encode());
                 continue;
             }
+            metrics.connections.inc();
+            metrics
+                .active_sessions
+                .set(active.load(Ordering::SeqCst) as u64);
             let session = db.session();
             let active = Arc::clone(&active);
+            let metrics = Arc::clone(&metrics);
             std::thread::spawn(move || {
-                serve_conn(&session, stream);
-                active.fetch_sub(1, Ordering::SeqCst);
+                serve_conn(&session, stream, &metrics);
+                let remaining = active.fetch_sub(1, Ordering::SeqCst) - 1;
+                metrics.active_sessions.set(remaining as u64);
             });
         }
     });
@@ -116,24 +133,29 @@ pub fn serve(db: Arc<Database>, addr: &str, config: ServerConfig) -> Result<Serv
         addr,
         shutdown,
         accept: Some(accept),
+        metrics,
     })
 }
 
 /// One connection's request loop: read a statement frame, execute it on
 /// this connection's session, write the tagged response. Exits on client
 /// disconnect, any write failure, or a `Bye` (quit or protocol error).
-fn serve_conn(session: &Session, mut stream: TcpStream) {
+fn serve_conn(session: &Session, mut stream: TcpStream, metrics: &ServerMetrics) {
     loop {
         let payload = match read_frame(&mut stream) {
             Ok(p) => p,
             Err(_) => return, // disconnect or protocol violation
         };
+        metrics.frames.inc();
+        metrics.bytes_in.add(payload.len() as u64 + 4);
         let response = match std::str::from_utf8(&payload) {
-            Ok(text) => respond(session, text),
+            Ok(text) => respond_on(session, text, Some(metrics)),
             Err(_) => Response::Error("request is not UTF-8".into()),
         };
         let bye = matches!(response, Response::Bye(_));
-        if write_frame(&mut stream, &response.encode()).is_err() || bye {
+        let encoded = response.encode();
+        metrics.bytes_out.add(encoded.len() as u64 + 4);
+        if write_frame(&mut stream, &encoded).is_err() || bye {
             return;
         }
     }
@@ -141,19 +163,43 @@ fn serve_conn(session: &Session, mut stream: TcpStream) {
 
 /// Execute one line of input — SQL or a `\` meta command — on a session
 /// and produce the wire response. Shared by the server and the local REPL
-/// so both speak identically.
+/// so both speak identically. (The REPL has no listener, so its scrapes
+/// carry engine + session families only; see [`respond_on`].)
 pub fn respond(session: &Session, line: &str) -> Response {
+    respond_on(session, line, None)
+}
+
+/// [`respond`] with an optional listener: when serving a connection the
+/// `METRICS` frame / `\metrics` command prepends the `evopt_server_*`
+/// families to the engine + session scrape.
+fn respond_on(session: &Session, line: &str, server: Option<&ServerMetrics>) -> Response {
     let trimmed = line.trim();
     if trimmed.is_empty() {
         return Response::Result(String::new());
     }
+    // Bare `METRICS` frame: the scrape entry point for tooling that isn't
+    // a SQL client (a Prometheus exporter sidecar sends exactly this).
+    if trimmed == "METRICS" {
+        return metrics_response(session, server);
+    }
     if let Some(meta) = trimmed.strip_prefix('\\') {
-        return meta_command(session, meta);
+        return meta_command(session, meta, server);
     }
     match session.execute(trimmed) {
         Ok(result) => Response::Result(render::render(&result)),
         Err(e) => Response::Error(e.to_string()),
     }
+}
+
+/// One scrape: server families (when serving), then the instance-wide
+/// engine families, then this session's counters labeled `session="id"`.
+fn metrics_response(session: &Session, server: Option<&ServerMetrics>) -> Response {
+    let mut text = match server {
+        Some(m) => m.render_prometheus(),
+        None => String::new(),
+    };
+    text.push_str(&session.metrics_text());
+    Response::Result(text)
 }
 
 const HELP: &str = "  SQL:   CREATE TABLE / CREATE [UNIQUE|CLUSTERED] INDEX / INSERT /\n\
@@ -162,10 +208,10 @@ const HELP: &str = "  SQL:   CREATE TABLE / CREATE [UNIQUE|CLUSTERED] INDEX / IN
      \x20 \\tables             list tables, row counts, indexes\n\
      \x20 \\strategy <name>    system-r | bushy-dp | dpccp | greedy |\n\
      \x20                     goo | quickpick | syntactic\n\
-     \x20 \\metrics            engine metrics (Prometheus text)\n\
+     \x20 \\metrics            server + engine + session metrics (Prometheus text)\n\
      \x20 \\q                  quit";
 
-fn meta_command(session: &Session, cmd: &str) -> Response {
+fn meta_command(session: &Session, cmd: &str, server: Option<&ServerMetrics>) -> Response {
     let mut parts = cmd.split_whitespace();
     match parts.next().unwrap_or("") {
         "q" | "quit" | "exit" => Response::Bye("goodbye".into()),
@@ -191,7 +237,7 @@ fn meta_command(session: &Session, cmd: &str) -> Response {
             }
             None => Response::Error("unknown strategy (see \\help)".into()),
         },
-        "metrics" => Response::Result(session.database().metrics_text()),
+        "metrics" => metrics_response(session, server),
         other => Response::Error(format!("unknown command '\\{other}' (see \\help)")),
     }
 }

@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use evopt_engine::Database;
+use evopt_engine::{Database, DatabaseConfig, Durability};
 use evopt_server::{serve, Client, Response, ServerConfig};
 
 fn served(max_sessions: usize) -> (Arc<Database>, evopt_server::ServerHandle) {
@@ -120,6 +120,74 @@ fn meta_commands_work_over_the_wire() {
         Response::Bye(_) => {}
         other => panic!("{other:?}"),
     }
+}
+
+#[test]
+fn metrics_frame_scrapes_prometheus_over_the_wire() {
+    // A WAL-configured engine so the durability families carry real
+    // observations, served over a real socket.
+    let db = Arc::new(Database::new(DatabaseConfig {
+        durability: Durability::Wal,
+        ..Default::default()
+    }));
+    let handle = serve(Arc::clone(&db), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut c = Client::connect(handle.addr()).unwrap();
+    expect_result(c.request("CREATE TABLE w (x INT NOT NULL)").unwrap());
+    expect_result(c.request("INSERT INTO w VALUES (1), (2), (3)").unwrap());
+    expect_result(c.request("SELECT COUNT(*) FROM w").unwrap());
+    // The bare METRICS frame is the scrape entry point.
+    let text = expect_result(c.request("METRICS").unwrap());
+    for family in [
+        // Server families lead the scrape.
+        "evopt_server_active_sessions 1",
+        "evopt_server_connections_total 1",
+        "evopt_server_frames_total ",
+        "evopt_server_bytes_in_total ",
+        "evopt_server_bytes_out_total ",
+        // Engine contention histograms over the wire.
+        "evopt_commit_lock_wait_us_bucket{le=\"+Inf\"}",
+        "evopt_wal_sync_wait_us_count ",
+        "evopt_pool_miss_io_us_bucket",
+        // Per-session series labeled with this connection's session.
+        "evopt_statements_total{session=",
+    ] {
+        assert!(
+            text.contains(family),
+            "missing {family:?} in scrape:\n{text}"
+        );
+    }
+    // The write ran on this connection: its commit was timed.
+    let commit_count = text
+        .lines()
+        .find(|l| l.starts_with("evopt_commit_lock_wait_us_count "))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse::<u64>().ok())
+        .expect("commit wait count in scrape");
+    assert!(commit_count >= 2, "CREATE + INSERT both commit: {text}");
+    // `\metrics` is the same scrape.
+    let meta = expect_result(c.request("\\metrics").unwrap());
+    assert!(meta.contains("evopt_server_frames_total "), "{meta}");
+}
+
+#[test]
+fn refused_connections_are_counted() {
+    let (_db, handle) = served(1);
+    let mut first = Client::connect(handle.addr()).unwrap();
+    expect_result(first.request("\\help").unwrap());
+    let mut second = Client::connect(handle.addr()).unwrap();
+    let _ = second.request("\\help"); // refused with Bye (or reset)
+                                      // The refusal is counted on the server side regardless of what the
+                                      // client managed to read.
+    let mut seen = 0;
+    for _ in 0..50 {
+        seen = handle.metrics().connections_refused.get();
+        if seen >= 1 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    assert_eq!(seen, 1, "exactly one refused connection");
+    assert_eq!(handle.metrics().connections.get(), 1);
 }
 
 #[test]

@@ -251,6 +251,14 @@ pub struct BufferPool {
     checksums: Mutex<HashMap<PageId, u32>>,
     /// Durability veto over dirty-page flushes (see [`FlushGate`]).
     gate: Mutex<Option<Arc<dyn FlushGate>>>,
+    /// Physical read + verify latency on a miss (the off-lock I/O).
+    /// Recorded unconditionally, like the hit/miss counters: a miss
+    /// already pays a disk read, so two clock reads are noise. The hit
+    /// path records nothing.
+    miss_io_us: evopt_obs::Histogram,
+    /// Wall time a fetcher spent waiting on another thread's in-flight
+    /// load of the same page (the single-flight spin/sleep loop).
+    load_wait_us: evopt_obs::Histogram,
 }
 
 impl BufferPool {
@@ -286,6 +294,8 @@ impl BufferPool {
             corruptions: AtomicU64::new(0),
             checksums: Mutex::new(HashMap::new()),
             gate: Mutex::new(None),
+            miss_io_us: evopt_obs::Histogram::new(evopt_obs::WAIT_BUCKETS_US),
+            load_wait_us: evopt_obs::Histogram::new(evopt_obs::WAIT_BUCKETS_US),
         })
     }
 
@@ -321,6 +331,17 @@ impl BufferPool {
     pub fn hit_stats(&self) -> (u64, u64) {
         let s = self.stats();
         (s.hits, s.misses)
+    }
+
+    /// Latency of the off-lock physical read on a miss (µs).
+    pub fn miss_io_histogram(&self) -> evopt_obs::HistogramSnapshot {
+        self.miss_io_us.snapshot()
+    }
+
+    /// Single-flight wait latency: time fetchers spent parked behind
+    /// another thread's in-flight load of the same page (µs).
+    pub fn load_wait_histogram(&self) -> evopt_obs::HistogramSnapshot {
+        self.load_wait_us.snapshot()
     }
 
     /// Lock-free snapshot of the hit/miss/retry counters.
@@ -402,11 +423,17 @@ impl BufferPool {
     /// the loader and then take the hit path (one physical read total).
     pub fn fetch(self: &Arc<Self>, page_id: PageId) -> Result<PageGuard> {
         let mut spins = 0u32;
+        // Lazily stamped on the first wait iteration, so the common case
+        // (hit, or uncontended miss) never reads the clock here.
+        let mut wait_start: Option<std::time::Instant> = None;
         let frame = loop {
             {
                 let _r = lockorder::acquire(lockorder::POOL);
                 let mut inner = self.inner.lock();
                 if let Some(&frame) = inner.table.get(&page_id) {
+                    if let Some(t0) = wait_start {
+                        self.load_wait_us.observe(t0.elapsed().as_micros() as u64);
+                    }
                     self.hits.fetch_add(1, Ordering::Relaxed);
                     inner.frames[frame].pin_count += 1;
                     inner.policy.set_evictable(frame, false);
@@ -424,6 +451,9 @@ impl BufferPool {
                     // Claimed: we are this page's loader. Reserve a frame
                     // under the same lock, so an exhausted pool fails
                     // here — before any disk traffic.
+                    if let Some(t0) = wait_start {
+                        self.load_wait_us.observe(t0.elapsed().as_micros() as u64);
+                    }
                     match self.acquire_frame(&mut inner) {
                         Ok(f) => break f,
                         Err(e) => {
@@ -436,6 +466,9 @@ impl BufferPool {
                 // re-check (it will appear in the table, or its loader
                 // failed and we claim the load ourselves).
             }
+            if wait_start.is_none() {
+                wait_start = Some(std::time::Instant::now());
+            }
             spins += 1;
             if spins < 16 {
                 std::thread::yield_now();
@@ -447,7 +480,9 @@ impl BufferPool {
         // proceed. Nobody touches the reserved frame (not free, not in the
         // table) or loads this page (claimed in `loading`) meanwhile.
         let mut buf = Box::new([0u8; PAGE_SIZE]);
-        let read = self.read_page_verified(page_id, &mut buf);
+        let read = self
+            .miss_io_us
+            .time(|| self.read_page_verified(page_id, &mut buf));
 
         let _r = lockorder::acquire(lockorder::POOL);
         let mut inner = self.inner.lock();

@@ -267,6 +267,11 @@ pub struct Wal {
     /// Highest LSN known durable on disk.
     synced_lsn: AtomicU64,
     coalesced_syncs: AtomicU64,
+    /// Wall time per [`Wal::sync_through`] call. Bimodal by design: the
+    /// coalesced fast path (a sibling's fsync already covered our LSN)
+    /// lands in the 1µs bucket, a physical flush+sync in the tail — the
+    /// split *is* the group-commit win, made visible.
+    sync_wait_us: evopt_obs::Histogram,
     records_written: AtomicU64,
     bytes_written: AtomicU64,
     commits: AtomicU64,
@@ -321,6 +326,7 @@ impl Wal {
             unsynced: Mutex::new(HashMap::new()),
             synced_lsn: AtomicU64::new(0),
             coalesced_syncs: AtomicU64::new(0),
+            sync_wait_us: evopt_obs::Histogram::new(evopt_obs::WAIT_BUCKETS_US),
             records_written: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
             commits: AtomicU64::new(0),
@@ -454,6 +460,7 @@ impl Wal {
             unsynced: Mutex::new(HashMap::new()),
             synced_lsn: AtomicU64::new(max_lsn),
             coalesced_syncs: AtomicU64::new(0),
+            sync_wait_us: evopt_obs::Histogram::new(evopt_obs::WAIT_BUCKETS_US),
             records_written: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
             commits: AtomicU64::new(0),
@@ -616,6 +623,13 @@ impl Wal {
     /// commit is *uncertain*: not acknowledged, but recovery may still
     /// replay it if the sync partially landed.
     pub fn sync_through(&self, lsn: Lsn) -> Result<()> {
+        // The timed wrapper covers the whole call — coalesced fast path
+        // and physical sync alike — so the histogram's bimodal shape
+        // shows how often group commit spares a session the fsync.
+        self.sync_wait_us.time(|| self.sync_through_inner(lsn))
+    }
+
+    fn sync_through_inner(&self, lsn: Lsn) -> Result<()> {
         if self.synced_lsn.load(Ordering::SeqCst) >= lsn {
             self.coalesced_syncs.fetch_add(1, Ordering::Relaxed);
             return Ok(());
@@ -809,6 +823,12 @@ impl Wal {
             replayed_records: self.replayed_records.load(Ordering::Relaxed),
             coalesced_syncs: self.coalesced_syncs.load(Ordering::Relaxed),
         }
+    }
+
+    /// Per-call [`Wal::sync_through`] latency (µs), coalesced fast path
+    /// included.
+    pub fn sync_wait_histogram(&self) -> evopt_obs::HistogramSnapshot {
+        self.sync_wait_us.snapshot()
     }
 
     /// Number of dirty pages currently gated (not yet logged). Zero

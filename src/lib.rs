@@ -60,7 +60,7 @@ pub use evopt_core::{CostModel, Optimizer, OptimizerConfig, Strategy};
 pub use evopt_engine::{
     AnalyzeConfig, CancellationToken, CrashingBackend, Database, DatabaseConfig, DiskBackend,
     DiskManager, Durability, EngineMetrics, FaultConfig, FaultInjector, FaultReport,
-    GovernorConfig, HistogramKind, IoSnapshot, MetricsSnapshot, OperatorMetrics, PolicyKind,
-    PoolSnapshot, QueryLog, QueryLogEntry, QueryMetrics, QueryResult, RecoveryInfo, SearchTrace,
-    Session, SessionConfig, TracedQuery, Wal, WalStats,
+    GovernorConfig, HistogramKind, IoSnapshot, MetricsSnapshot, OperatorMetrics, Phase, PhaseSpan,
+    PolicyKind, PoolSnapshot, QueryLog, QueryLogEntry, QueryMetrics, QueryResult, RecoveryInfo,
+    SearchTrace, Session, SessionConfig, StatementSpan, TracedQuery, Wal, WalStats,
 };

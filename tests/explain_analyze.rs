@@ -73,6 +73,46 @@ fn explain_analyze_output_shape() {
 }
 
 #[test]
+fn explain_analyze_renders_phase_table() {
+    let db = fixture();
+    let text = db
+        .explain_analyze("SELECT e.id, d.name FROM emp e JOIN dept d ON e.dept_id = d.id")
+        .unwrap();
+    assert!(text.contains("== phases =="), "{text}");
+    for phase in ["parse", "bind", "optimize", "execute", "total"] {
+        assert!(text.contains(phase), "missing phase {phase:?} in:\n{text}");
+    }
+    // The total line restates the phase sum: parse it back out and check
+    // the invariant the span guarantees by construction.
+    let total_line = text
+        .lines()
+        .find(|l| l.starts_with("total"))
+        .expect("total line");
+    let total_us: u64 = total_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|w| w.parse().ok())
+        .expect("total wall_us");
+    let phase_sum: u64 = total_line
+        .split("(phases ")
+        .nth(1)
+        .and_then(|w| {
+            w.trim_end()
+                .trim_end_matches(')')
+                .trim_end_matches("µs")
+                .parse()
+                .ok()
+        })
+        .expect("phase sum");
+    assert!(
+        phase_sum <= total_us,
+        "phase sum {phase_sum} exceeds total {total_us}:\n{text}"
+    );
+    // Execute-phase counters ride along.
+    assert!(text.contains("rows="), "{text}");
+}
+
+#[test]
 fn explain_analyze_digest_matches_plan_sql() {
     let db = fixture();
     let sql = "SELECT e.id, d.name FROM emp e JOIN dept d ON e.dept_id = d.id";
