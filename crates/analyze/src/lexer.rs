@@ -1,0 +1,272 @@
+//! A minimal Rust lexer: just enough to strip comments, strings and
+//! lifetimes so the scanner can pattern-match token sequences without a
+//! full grammar. Comments are discarded — except ones containing the
+//! `lockorder: leaf` annotation, which surface as a [`Tok::LeafMark`]
+//! token so the scanner can attach the exemption to the preceding field.
+
+/// The marker a leaf-lock field declaration carries in a trailing comment.
+pub const LEAF_MARK: &str = "lockorder: leaf";
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal (decimal or hex; suffix and `_` separators dropped).
+    Num(u64),
+    /// Any other significant character (`{`, `}`, `(`, `.`, `:`, ...).
+    Punct(char),
+    /// A comment containing [`LEAF_MARK`].
+    LeafMark,
+}
+
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+/// Tokenize `src`. Never fails: unrecognized bytes become [`Tok::Punct`],
+/// unterminated literals run to end-of-file — garbage in, fewer tokens
+/// out, which is the right failure mode for a lint that must not crash
+/// on any tree it is pointed at.
+pub fn lex(src: &str) -> Vec<Token> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                if src[start..i].contains(LEAF_MARK) {
+                    out.push(Token {
+                        tok: Tok::LeafMark,
+                        line,
+                    });
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let start = i;
+                let mut depth = 1u32;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                if src[start..i].contains(LEAF_MARK) {
+                    out.push(Token {
+                        tok: Tok::LeafMark,
+                        line,
+                    });
+                }
+            }
+            b'"' => i = skip_string(b, i, &mut line),
+            b'\'' => {
+                // Lifetime (`'a`) vs char literal (`'x'`, `'\n'`).
+                let next = b.get(i + 1).copied().unwrap_or(0);
+                let after = b.get(i + 2).copied().unwrap_or(0);
+                if (next.is_ascii_alphabetic() || next == b'_') && after != b'\'' {
+                    i += 2;
+                    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                } else {
+                    i += 1; // opening quote
+                    if i < b.len() && b[i] == b'\\' {
+                        i += 2; // escape + escaped char
+                        while i < b.len() && b[i] != b'\'' {
+                            i += 1; // \u{...} payload
+                        }
+                    } else if i < b.len() {
+                        i += 1; // the char itself
+                    }
+                    if i < b.len() && b[i] == b'\'' {
+                        i += 1;
+                    }
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut v: u64 = 0;
+                if c == b'0' && b.get(i + 1) == Some(&b'x') {
+                    i += 2;
+                    while i < b.len() && (b[i].is_ascii_hexdigit() || b[i] == b'_') {
+                        if b[i] != b'_' {
+                            v = v.wrapping_mul(16)
+                                + (b[i] as char).to_digit(16).unwrap_or(0) as u64;
+                        }
+                        i += 1;
+                    }
+                } else {
+                    while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+                        if b[i] != b'_' {
+                            v = v.wrapping_mul(10) + (b[i] - b'0') as u64;
+                        }
+                        i += 1;
+                    }
+                }
+                // Drop any type suffix (u16, usize, f64, ...).
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.push(Token {
+                    tok: Tok::Num(v),
+                    line,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                let ident = &src[start..i];
+                // Raw / byte string openers lex as part of the literal.
+                let next = b.get(i).copied().unwrap_or(0);
+                if (ident == "r" || ident == "br") && (next == b'"' || next == b'#') {
+                    i = skip_raw_string(b, i, &mut line);
+                } else if ident == "b" && next == b'"' {
+                    i = skip_string(b, i, &mut line);
+                } else {
+                    out.push(Token {
+                        tok: Tok::Ident(ident.to_string()),
+                        line,
+                    });
+                }
+            }
+            other => {
+                out.push(Token {
+                    tok: Tok::Punct(other as char),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Skip a `"..."` literal starting at the opening quote; returns the index
+/// after the closing quote.
+fn skip_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    i += 1; // opening quote
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skip an `r"..."` / `r#"..."#` literal starting at the first `#` or `"`;
+/// returns the index after the closing delimiter.
+fn skip_raw_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    let mut hashes = 0usize;
+    while i < b.len() && b[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i < b.len() && b[i] == b'"' {
+        i += 1;
+    }
+    while i < b.len() {
+        if b[i] == b'\n' {
+            *line += 1;
+            i += 1;
+        } else if b[i] == b'"'
+            && b[i + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&c| c == b'#')
+                .count()
+                == hashes
+        {
+            return i + 1 + hashes;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_stripped() {
+        let src = r##"
+            // a lock() in a comment
+            let x = "self.y.lock()"; /* self.z.lock() */
+            let r = r#"self.w.lock()"#;
+            call();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"call".to_string()));
+        assert!(!ids.iter().any(|s| s == "y" || s == "z" || s == "w"));
+    }
+
+    #[test]
+    fn leaf_mark_survives_lexing() {
+        let toks = lex("data: Arc<RwLock<P>>, // lockorder: leaf\nnext: u32,");
+        assert!(toks.iter().any(|t| t.tok == Tok::LeafMark));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let ids = idents("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert_eq!(
+            ids,
+            vec!["fn", "f", "x", "str", "str", "x"]
+                .into_iter()
+                .map(String::from)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn numbers_parse_with_suffix_and_separators() {
+        let toks = lex("const A: u16 = 1_024u16; const B: u64 = 0x10;");
+        let nums: Vec<u64> = toks
+            .iter()
+            .filter_map(|t| match t.tok {
+                Tok::Num(n) => Some(n),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, vec![1024, 16]);
+    }
+}

@@ -1,0 +1,158 @@
+//! `evopt-analyze` — static concurrency analyzer for the evopt workspace.
+//!
+//! Parses the Rust source of every crate with a purpose-built scanner (no
+//! syn, no rustc — the build environment is hermetically vendored and this
+//! crate is deliberately dependency-free), extracts a function-level call
+//! graph plus every lock-acquisition site, and verifies the concurrency
+//! rules A1–A4 described in DESIGN.md §13:
+//!
+//! * **A1** — every reachable nested acquisition respects the rank order
+//!   declared in `crates/common/src/lockorder.rs`;
+//! * **A2** — no unranked raw lock acquisition in engine/storage/server;
+//! * **A3** — no `DiskBackend` I/O reachable while a lock of rank ≤ `POOL`
+//!   is held;
+//! * **A4** — every contention-histogram family the rank table declares
+//!   has a real timed acquisition site.
+//!
+//! Findings are deterministic and carry stable fingerprints; a committed
+//! baseline (`crates/analyze/baseline.txt`) lets by-design findings pass
+//! while any *new* finding fails CI.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+pub mod analysis;
+pub mod lexer;
+pub mod ranks;
+pub mod report;
+pub mod scan;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+pub use analysis::{Finding, Rule};
+
+/// Everything one run produces.
+pub struct Outcome {
+    pub findings: Vec<Finding>,
+    /// Findings whose fingerprint is NOT in the baseline — these fail CI.
+    pub new: Vec<Finding>,
+    /// Baseline entries that no longer match any finding (stale; reported,
+    /// not fatal — prune them when convenient).
+    pub stale: Vec<String>,
+    pub baseline: Vec<String>,
+}
+
+/// Analyze the workspace rooted at `root` (the directory containing
+/// `crates/`). `baseline` is the list of accepted fingerprints.
+pub fn run(root: &Path, baseline: Vec<String>) -> Result<Outcome, String> {
+    let lockorder_path = root.join("crates/common/src/lockorder.rs");
+    let lockorder_src = fs::read_to_string(&lockorder_path)
+        .map_err(|e| format!("cannot read {}: {e}", lockorder_path.display()))?;
+    let table = ranks::parse_rank_table(&lockorder_src);
+    if table.consts.is_empty() {
+        return Err(format!(
+            "no rank constants parsed from {} — wrong --root?",
+            lockorder_path.display()
+        ));
+    }
+
+    let mut out = scan::ScanOutput::default();
+    for (crate_name, file) in source_files(root)? {
+        let src = fs::read_to_string(&file)
+            .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        scan::scan_file(&rel, &crate_name, &lexer::lex(&src), &mut out);
+    }
+
+    let findings = analysis::analyze(&out, &table, "crates/common/src/lockorder.rs");
+    let new: Vec<Finding> = findings
+        .iter()
+        .filter(|f| !baseline.iter().any(|b| b == &f.fingerprint))
+        .cloned()
+        .collect();
+    let stale: Vec<String> = baseline
+        .iter()
+        .filter(|b| !findings.iter().any(|f| &f.fingerprint == *b))
+        .cloned()
+        .collect();
+    Ok(Outcome {
+        findings,
+        new,
+        stale,
+        baseline,
+    })
+}
+
+/// Every `.rs` file under `crates/*/src`, excluding this crate itself.
+/// Returned sorted for deterministic scan order.
+fn source_files(root: &Path) -> Result<Vec<(String, PathBuf)>, String> {
+    let crates_dir = root.join("crates");
+    let mut out = Vec::new();
+    let entries = fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?;
+    for entry in entries.flatten() {
+        let crate_dir = entry.path();
+        let Some(name) = crate_dir.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        // The analyzer's own sources mention every pattern it detects
+        // (in blocklists, tests, fixtures) and must not be scanned.
+        if name == "analyze" || !crate_dir.is_dir() {
+            continue;
+        }
+        let src = crate_dir.join("src");
+        if src.is_dir() {
+            collect_rs(&src, name, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect_rs(
+    dir: &Path,
+    crate_name: &str,
+    out: &mut Vec<(String, PathBuf)>,
+) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries.flatten() {
+        let p = entry.path();
+        if p.is_dir() {
+            collect_rs(&p, crate_name, out)?;
+        } else if p.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push((crate_name.to_string(), p));
+        }
+    }
+    Ok(())
+}
+
+/// Parse a baseline file: one fingerprint per line, `#` comments and blank
+/// lines ignored.
+pub fn parse_baseline(src: &str) -> Vec<String> {
+    src.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect()
+}
+
+/// Render a baseline file from findings (used by `--update-baseline`).
+pub fn render_baseline(findings: &[Finding]) -> String {
+    let mut out = String::from(
+        "# evopt-analyze baseline: accepted (by-design) findings, one fingerprint per line.\n\
+         # Regenerate with `cargo run -p evopt-analyze -- --update-baseline`.\n\
+         # A finding NOT listed here fails CI; entries matching nothing are reported as stale.\n",
+    );
+    for f in findings {
+        out.push_str("# ");
+        out.push_str(&f.detail);
+        out.push('\n');
+        out.push_str(&f.fingerprint);
+        out.push('\n');
+    }
+    out
+}

@@ -1,0 +1,100 @@
+//! CLI for the static concurrency analyzer.
+//!
+//! ```text
+//! cargo run -p evopt-analyze [--root DIR] [--baseline FILE] [--json FILE]
+//!                            [--update-baseline]
+//! ```
+//!
+//! Exit codes: 0 — clean (no findings outside the baseline); 1 — new
+//! findings; 2 — usage or I/O error.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("evopt-analyze: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn real_main() -> Result<ExitCode, String> {
+    let mut root = PathBuf::from(".");
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut json_path: Option<PathBuf> = None;
+    let mut update_baseline = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = PathBuf::from(take(&mut args, "--root")?),
+            "--baseline" => baseline_path = Some(PathBuf::from(take(&mut args, "--baseline")?)),
+            "--json" => json_path = Some(PathBuf::from(take(&mut args, "--json")?)),
+            "--update-baseline" => update_baseline = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: evopt-analyze [--root DIR] [--baseline FILE] [--json FILE] \
+                     [--update-baseline]"
+                );
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+
+    // Default baseline: crates/analyze/baseline.txt under the root, if it
+    // exists (fixture trees deliberately have none).
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("crates/analyze/baseline.txt"));
+    let baseline = match fs::read_to_string(&baseline_path) {
+        Ok(src) => evopt_analyze::parse_baseline(&src),
+        Err(_) => Vec::new(),
+    };
+
+    let outcome = evopt_analyze::run(&root, baseline)?;
+
+    if update_baseline {
+        let rendered = evopt_analyze::render_baseline(&outcome.findings);
+        fs::write(&baseline_path, rendered)
+            .map_err(|e| format!("cannot write {}: {e}", baseline_path.display()))?;
+        println!(
+            "evopt-analyze: wrote {} fingerprint(s) to {}",
+            outcome.findings.len(),
+            baseline_path.display()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    print!(
+        "{}",
+        evopt_analyze::report::text(&outcome.findings, &outcome.baseline)
+    );
+    for s in &outcome.stale {
+        println!("evopt-analyze: stale baseline entry (no longer matches): {s}");
+    }
+    if let Some(p) = json_path {
+        let j = evopt_analyze::report::json(&outcome.findings, &outcome.baseline, &outcome.stale);
+        fs::write(&p, j).map_err(|e| format!("cannot write {}: {e}", p.display()))?;
+    }
+
+    if outcome.new.is_empty() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!(
+            "evopt-analyze: {} NEW finding(s) — fix them or (only for by-design cases) \
+             add the fingerprints to {}",
+            outcome.new.len(),
+            baseline_path.display()
+        );
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn take(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    args.next().ok_or_else(|| format!("{flag} needs a value"))
+}

@@ -1,0 +1,178 @@
+//! Parse the machine-readable rank table out of
+//! `crates/common/src/lockorder.rs`.
+//!
+//! Two independent sources are extracted and cross-checked by rule A1:
+//!
+//! * the **doc table** — `//! | 40 `POOL` | ... | `evopt_...` |` rows,
+//!   which also map ranks to the contention-histogram families rule A4
+//!   verifies;
+//! * the **constants** — `pub const POOL: u16 = 40;` items, the values the
+//!   debug-build runtime enforcement actually uses.
+//!
+//! A self-test in `tests/mutation.rs` round-trips the constant parse
+//! against `evopt_common::lockorder::all_ranks()`, so the analyzer can
+//! never silently drift from the enforced hierarchy.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{lex, Tok};
+
+/// One `//! | <rank> `NAME` | <description> | <histograms> |` table row.
+#[derive(Debug, Clone)]
+pub struct RankRow {
+    pub name: String,
+    pub rank: u16,
+    /// Histogram families (backticked `evopt_*` idents in the third
+    /// column); empty for `—`.
+    pub histograms: Vec<String>,
+    pub line: u32,
+}
+
+/// The parsed rank table.
+#[derive(Debug, Default)]
+pub struct RankTable {
+    /// From the `pub const` items: name → rank.
+    pub consts: BTreeMap<String, u16>,
+    /// From the doc table, in file order.
+    pub rows: Vec<RankRow>,
+}
+
+impl RankTable {
+    /// Rank value for `name`, if declared as a constant.
+    pub fn rank_of(&self, name: &str) -> Option<u16> {
+        self.consts.get(name).copied()
+    }
+}
+
+/// Parse `lockorder.rs` source into a [`RankTable`].
+pub fn parse_rank_table(src: &str) -> RankTable {
+    let mut table = RankTable::default();
+
+    // Doc-table rows: line-based, since the lexer drops comments.
+    for (idx, raw) in src.lines().enumerate() {
+        let line = idx as u32 + 1;
+        let Some(rest) = raw.trim_start().strip_prefix("//!") else {
+            continue;
+        };
+        let rest = rest.trim();
+        if !rest.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = rest.trim_matches('|').split('|').collect();
+        if cells.len() < 2 {
+            continue;
+        }
+        // First cell must be `<rank> `NAME``; the header and separator
+        // rows fail this shape and fall through.
+        let first = cells[0].trim();
+        let Some((num_part, name_part)) = first.split_once('`') else {
+            continue;
+        };
+        let Ok(rank) = num_part.trim().parse::<u16>() else {
+            continue;
+        };
+        let Some((name, _)) = name_part.split_once('`') else {
+            continue;
+        };
+        let histograms = cells.get(2).map(|c| backticked(c)).unwrap_or_default();
+        table.rows.push(RankRow {
+            name: name.trim().to_string(),
+            rank,
+            histograms,
+            line,
+        });
+    }
+
+    // Constants: `pub const NAME : u16 = <num> ;` token pattern.
+    let toks = lex(src);
+    let mut i = 0usize;
+    while i + 6 < toks.len() {
+        let window = &toks[i..i + 7];
+        let matched = matches!(
+            (
+                &window[0].tok,
+                &window[1].tok,
+                &window[2].tok,
+                &window[3].tok,
+                &window[4].tok,
+                &window[5].tok,
+                &window[6].tok,
+            ),
+            (
+                Tok::Ident(pub_kw),
+                Tok::Ident(const_kw),
+                Tok::Ident(_),
+                Tok::Punct(':'),
+                Tok::Ident(ty),
+                Tok::Punct('='),
+                Tok::Num(_),
+            ) if pub_kw == "pub" && const_kw == "const" && ty == "u16"
+        );
+        if matched {
+            if let (Tok::Ident(name), Tok::Num(v)) = (&window[2].tok, &window[6].tok) {
+                table.consts.insert(name.clone(), *v as u16);
+            }
+            i += 7;
+        } else {
+            i += 1;
+        }
+    }
+
+    table
+}
+
+/// Every `` `ident` `` span in `cell`.
+fn backticked(cell: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = cell;
+    while let Some((_, after)) = rest.split_once('`') {
+        let Some((name, tail)) = after.split_once('`') else {
+            break;
+        };
+        out.push(name.trim().to_string());
+        rest = tail;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+//! | rank | lock | contention histogram |
+//! |------|------|----------------------|
+//! | 10 `COMMIT`  | commit lock | `evopt_commit_lock_wait_us` |
+//! | 40 `POOL`    | pool | `evopt_pool_miss_io_us`, `evopt_pool_load_wait_us` |
+//! | 60 `OBS`     | obs | — |
+
+/// Commit.
+pub const COMMIT: u16 = 10;
+/// Pool.
+pub const POOL: u16 = 40;
+/// Obs.
+pub const OBS: u16 = 60;
+";
+
+    #[test]
+    fn rows_and_consts_parse() {
+        let t = parse_rank_table(SAMPLE);
+        assert_eq!(t.rows.len(), 3);
+        assert_eq!(t.rows[0].name, "COMMIT");
+        assert_eq!(t.rows[0].rank, 10);
+        assert_eq!(t.rows[0].histograms, vec!["evopt_commit_lock_wait_us"]);
+        assert_eq!(
+            t.rows[1].histograms,
+            vec!["evopt_pool_miss_io_us", "evopt_pool_load_wait_us"]
+        );
+        assert!(t.rows[2].histograms.is_empty());
+        assert_eq!(t.rank_of("POOL"), Some(40));
+        assert_eq!(t.consts.len(), 3);
+    }
+
+    #[test]
+    fn header_and_separator_rows_are_ignored() {
+        let t = parse_rank_table("//! | rank | lock |\n//! |---|---|\n");
+        assert!(t.rows.is_empty());
+    }
+}

@@ -1,0 +1,149 @@
+//! Deterministic report rendering: a human-readable text report and a
+//! hand-rolled JSON document (the crate is dependency-free by design, so
+//! no serde).
+
+use std::fmt::Write as _;
+
+use crate::analysis::Finding;
+
+/// Render the text report. `new` marks fingerprints not covered by the
+/// baseline.
+pub fn text(findings: &[Finding], baseline: &[String]) -> String {
+    let mut out = String::new();
+    if findings.is_empty() {
+        out.push_str("evopt-analyze: no findings\n");
+        return out;
+    }
+    let mut new = 0usize;
+    for f in findings {
+        let known = baseline.iter().any(|b| b == &f.fingerprint);
+        if !known {
+            new += 1;
+        }
+        let marker = if known { "baseline" } else { "NEW" };
+        let _ = writeln!(
+            out,
+            "[{}] {} {}:{} {} — {}",
+            f.rule.id(),
+            marker,
+            f.file,
+            f.line,
+            f.fn_key,
+            f.detail
+        );
+        if !f.path.is_empty() {
+            let _ = writeln!(out, "         via {}", f.path.join(" → "));
+        }
+        let _ = writeln!(out, "         fingerprint: {}", f.fingerprint);
+    }
+    let _ = writeln!(
+        out,
+        "evopt-analyze: {} finding(s), {} new, {} baselined",
+        findings.len(),
+        new,
+        findings.len() - new
+    );
+    out
+}
+
+/// Render the JSON report.
+pub fn json(findings: &[Finding], baseline: &[String], stale: &[String]) -> String {
+    let mut out = String::from("{\n  \"findings\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        let known = baseline.iter().any(|b| b == &f.fingerprint);
+        let _ = write!(
+            out,
+            "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"function\": {}, \
+             \"detail\": {}, \"path\": [{}], \"fingerprint\": {}, \"baselined\": {}}}",
+            escape(f.rule.id()),
+            escape(&f.file),
+            f.line,
+            escape(&f.fn_key),
+            escape(&f.detail),
+            f.path
+                .iter()
+                .map(|p| escape(p))
+                .collect::<Vec<_>>()
+                .join(", "),
+            escape(&f.fingerprint),
+            known
+        );
+        out.push_str(if i + 1 < findings.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n  \"stale_baseline\": [");
+    for (i, s) in stale.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&escape(s));
+    }
+    let new = findings
+        .iter()
+        .filter(|f| !baseline.iter().any(|b| b == &f.fingerprint))
+        .count();
+    let _ = write!(
+        out,
+        "],\n  \"total\": {},\n  \"new\": {}\n}}\n",
+        findings.len(),
+        new
+    );
+    out
+}
+
+/// Minimal JSON string escaping.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{Finding, Rule};
+
+    fn sample() -> Vec<Finding> {
+        vec![Finding {
+            rule: Rule::A3,
+            fn_key: "storage::BufferPool::fetch".into(),
+            file: "crates/storage/src/buffer.rs".into(),
+            line: 42,
+            detail: "io under \"POOL\"".into(),
+            path: vec!["a".into(), "b".into()],
+            fingerprint: "A3|storage::BufferPool::fetch|POOL|read_page".into(),
+        }]
+    }
+
+    #[test]
+    fn text_marks_new_vs_baseline() {
+        let f = sample();
+        let t = text(&f, &[]);
+        assert!(t.contains("[A3] NEW"));
+        let t = text(&f, &[f[0].fingerprint.clone()]);
+        assert!(t.contains("[A3] baseline"));
+        assert!(t.contains("1 finding(s), 0 new, 1 baselined"));
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let f = sample();
+        let j = json(&f, &[], &["gone".into()]);
+        assert!(j.contains("\\\"POOL\\\""));
+        assert!(j.contains("\"new\": 1"));
+        assert!(j.contains("\"stale_baseline\": [\"gone\"]"));
+    }
+}

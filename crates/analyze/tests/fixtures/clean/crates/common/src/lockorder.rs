@@ -1,0 +1,10 @@
+//! Clean-fixture rank table: every declared histogram family has a timed
+//! site, every const has a row. The clean tree must produce ZERO findings.
+//!
+//! | rank | lock | contention histogram |
+//! |------|------|----------------------|
+//! | 10 `COMMIT` | commit lock | `evopt_commit_lock_wait_us` |
+//! | 40 `POOL`   | pool frame table | — |
+
+pub const COMMIT: u16 = 10;
+pub const POOL: u16 = 40;

@@ -1,0 +1,24 @@
+//! Clean engine fixture: an escaping commit guard with its declared
+//! contention histogram, and an ascending acquisition under it.
+
+pub struct Db {
+    commit_lock: Mutex<()>,
+    commit_lock_wait_us: Hist,
+}
+
+impl Db {
+    /// Ranked, timed commit-lock acquisition (covers the
+    /// `evopt_commit_lock_wait_us` family the table declares).
+    pub fn lock_commit(&self) -> (lockorder::RankGuard, MutexGuard<'_, ()>) {
+        let rank = lockorder::acquire(lockorder::COMMIT);
+        let guard = self.commit_lock_wait_us.time(|| self.commit_lock.lock());
+        (rank, guard)
+    }
+
+    /// Holding COMMIT (10) and then acquiring POOL (40) ascends the
+    /// hierarchy: no finding.
+    pub fn commit(&self) {
+        let (_rank, _guard) = self.lock_commit();
+        let _p = lockorder::acquire(lockorder::POOL);
+    }
+}

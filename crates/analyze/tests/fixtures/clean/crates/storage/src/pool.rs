@@ -1,0 +1,31 @@
+//! Clean storage fixture: ranked locking, properly scoped guards, a leaf
+//! latch legitimately held across disk I/O (the flush-path shape the
+//! narrow leaf rule deliberately permits).
+
+pub struct Pool {
+    frames: Mutex<Vec<u32>>,
+    latch: RwLock<Page>, // lockorder: leaf
+    disk: Disk,
+}
+
+impl Pool {
+    /// The frame-table lock is released (block scope) before the I/O; the
+    /// leaf latch may be held across it.
+    pub fn flush(&self) {
+        {
+            let _r = lockorder::acquire(lockorder::POOL);
+            let _f = self.frames.lock();
+        }
+        let page = self.latch.read();
+        self.disk.write_page(0, &page);
+    }
+
+    /// Early release via `drop` is also respected.
+    pub fn stats(&self) -> usize {
+        let r = lockorder::acquire(lockorder::POOL);
+        let n = self.frames.lock().len();
+        drop(r);
+        self.disk.sync();
+        n
+    }
+}

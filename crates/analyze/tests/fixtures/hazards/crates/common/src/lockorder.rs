@@ -1,0 +1,22 @@
+//! Seeded-hazard fixture rank table (a shrunken copy of the real one).
+//!
+//! | rank | lock | contention histogram |
+//! |------|------|----------------------|
+//! | 10 `COMMIT`    | commit lock | — |
+//! | 30 `WAL_STATE` | wal append state | `evopt_wal_sync_wait_us` |
+//! | 40 `POOL`      | pool frame table | `evopt_pool_miss_io_us` |
+//! | 60 `OBS`       | observability | — |
+//!
+//! Hazard H13 lives here: `evopt_wal_sync_wait_us` is declared above but
+//! no function in this tree both records it and acquires `WAL_STATE`
+//! (expected finding: A4). `evopt_pool_miss_io_us` IS covered (by
+//! `Pool::fetch`), proving A4 stays quiet for instrumented families.
+
+pub const COMMIT: u16 = 10;
+pub const WAL_STATE: u16 = 30;
+pub const POOL: u16 = 40;
+pub const OBS: u16 = 60;
+
+/// Hazard H7: a constant with no row in the doc table (expected finding:
+/// A1 table drift).
+pub const EXTRA: u16 = 55;

@@ -1,0 +1,49 @@
+//! Seeded engine-layer hazards: call-graph (transitive) inversions, an
+//! escaping-guard inversion, and an undeclared rank.
+
+pub struct Db {
+    commit_lock: Mutex<()>,
+}
+
+impl Db {
+    /// Escaping guard, mirroring `Database::lock_commit`: the COMMIT rank
+    /// lives on the *caller's* stack until end of scope.
+    pub fn lock_commit(&self) -> (lockorder::RankGuard, MutexGuard<'_, ()>) {
+        let rank = lockorder::acquire(lockorder::COMMIT);
+        (rank, self.commit_lock.lock())
+    }
+
+    /// Hazard H5: escaping-guard inversion — takes POOL (40), then calls
+    /// `lock_commit`, which acquires COMMIT (10).
+    pub fn h5_escaping_inversion(&self) {
+        let _p = lockorder::acquire(lockorder::POOL);
+        let _c = self.lock_commit();
+    }
+
+    /// Hazard H3: transitive inversion, depth 2 — holds OBS (60) while
+    /// `Pool::fetch` acquires POOL (40).
+    pub fn h3_transitive_two(&self, pool: &Pool) {
+        let _o = lockorder::acquire(lockorder::OBS);
+        pool.fetch();
+    }
+
+    fn step_two(&self) {
+        let _c = lockorder::acquire(lockorder::COMMIT);
+    }
+
+    fn step_one(&self) {
+        self.step_two();
+    }
+
+    /// Hazard H4: transitive inversion, depth 3 — holds WAL_STATE (30)
+    /// while `step_one` → `step_two` acquires COMMIT (10).
+    pub fn h4_transitive_three(&self) {
+        let _w = lockorder::acquire(lockorder::WAL_STATE);
+        self.step_one();
+    }
+
+    /// Hazard H6: acquiring a rank name the table does not declare.
+    pub fn h6_unknown_rank(&self) {
+        let _m = lockorder::acquire(lockorder::MYSTERY);
+    }
+}

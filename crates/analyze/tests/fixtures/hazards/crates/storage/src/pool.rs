@@ -1,0 +1,68 @@
+//! Seeded storage-layer hazards. Each `hN_*` function plants exactly one
+//! violation; `tests/mutation.rs` asserts every one is killed by its
+//! owning rule.
+
+pub struct Pool {
+    inner: Mutex<Inner>,
+    latch: RwLock<Page>, // lockorder: leaf
+    raw: Mutex<u32>,
+    rawrw: RwLock<u32>,
+    disk: Disk,
+    miss_io_us: Hist,
+}
+
+impl Pool {
+    /// Well-behaved fetch: ranked, and times the `evopt_pool_miss_io_us`
+    /// family the table declares — keeps rule A4 quiet for POOL.
+    pub fn fetch(&self) {
+        let _r = lockorder::acquire(lockorder::POOL);
+        let _g = self.inner.lock();
+        self.miss_io_us.observe(1);
+    }
+
+    /// Hazard H1: direct inversion — POOL (40) then COMMIT (10).
+    pub fn h1_direct_inversion(&self) {
+        let _a = lockorder::acquire(lockorder::POOL);
+        let _b = lockorder::acquire(lockorder::COMMIT);
+    }
+
+    /// Hazard H2: same-rank reacquisition (self-deadlock precondition).
+    pub fn h2_same_rank(&self) {
+        let _a = lockorder::acquire(lockorder::POOL);
+        let _b = lockorder::acquire(lockorder::POOL);
+    }
+
+    /// Hazard H8: raw mutex acquisition with no ranked acquire in scope.
+    pub fn h8_raw_mutex(&self) {
+        let _g = self.raw.lock();
+    }
+
+    /// Hazard H9: raw rwlock write with no ranked acquire in scope.
+    pub fn h9_raw_rwlock(&self) {
+        let _g = self.rawrw.write();
+    }
+
+    /// Hazard H10: ranked acquisition inside a leaf lock's hold region —
+    /// a false `// lockorder: leaf` claim.
+    pub fn h10_rank_under_leaf(&self) {
+        let _page = self.latch.write();
+        let _r = lockorder::acquire(lockorder::OBS);
+    }
+
+    /// Hazard H11: direct disk I/O while holding POOL.
+    pub fn h11_io_under_pool(&self) {
+        let _r = lockorder::acquire(lockorder::POOL);
+        self.disk.write_page(0, &[0u8; 8]);
+    }
+
+    /// H12 helper: the I/O lives one call away.
+    fn writeback(&self) {
+        self.disk.read_page(0);
+    }
+
+    /// Hazard H12: disk I/O reachable through a callee while holding POOL.
+    pub fn h12_io_transitive(&self) {
+        let _r = lockorder::acquire(lockorder::POOL);
+        self.writeback();
+    }
+}

@@ -1,0 +1,191 @@
+//! Mutation harness for the static concurrency analyzer.
+//!
+//! * `hazards_all_killed` — every seeded hazard in
+//!   `tests/fixtures/hazards/` is reported by its owning rule (100% kill
+//!   rate), and nothing else is (no false positives on the fixture).
+//! * `clean_tree_zero_findings` — the well-behaved fixture produces no
+//!   findings at all.
+//! * `real_tree_no_new_findings` — the actual workspace analyzed against
+//!   the committed baseline has zero NEW findings. This is the same gate
+//!   CI runs via `cargo run -p evopt-analyze`, wired into `cargo test` so
+//!   tier-1 catches regressions too.
+//! * `rank_table_roundtrip` — the rank table parsed from
+//!   `lockorder.rs` *source* matches `lockorder::all_ranks()`, the list
+//!   the debug-build runtime enforcement uses, and the doc table matches
+//!   the constants. The analyzer can never silently drift from the
+//!   enforced hierarchy.
+
+use std::path::{Path, PathBuf};
+
+fn fixture_root(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn hazards_all_killed() {
+    let out = evopt_analyze::run(&fixture_root("hazards"), Vec::new()).unwrap();
+    let fingerprints: Vec<&str> = out
+        .findings
+        .iter()
+        .map(|f| f.fingerprint.as_str())
+        .collect();
+
+    let expected: &[(&str, &str)] = &[
+        (
+            "H1 direct inversion",
+            "A1|storage::Pool::h1_direct_inversion|COMMIT<=POOL",
+        ),
+        (
+            "H2 same-rank reacquisition",
+            "A1|storage::Pool::h2_same_rank|POOL<=POOL",
+        ),
+        (
+            "H3 transitive depth-2",
+            "A1|engine::Db::h3_transitive_two|POOL<=OBS",
+        ),
+        (
+            "H4 transitive depth-3",
+            "A1|engine::Db::h4_transitive_three|COMMIT<=WAL_STATE",
+        ),
+        (
+            "H5 escaping-guard inversion",
+            "A1|engine::Db::h5_escaping_inversion|COMMIT<=POOL",
+        ),
+        (
+            "H6 undeclared rank",
+            "A1|engine::Db::h6_unknown_rank|unknown:MYSTERY",
+        ),
+        ("H7 const without table row", "A1|-|drift-const:EXTRA"),
+        ("H8 raw mutex", "A2|storage::Pool::h8_raw_mutex|raw.lock"),
+        (
+            "H9 raw rwlock",
+            "A2|storage::Pool::h9_raw_rwlock|rawrw.write",
+        ),
+        (
+            "H10 rank under leaf",
+            "A2|storage::Pool::h10_rank_under_leaf|leaf:latch+OBS",
+        ),
+        (
+            "H11 direct I/O under POOL",
+            "A3|storage::Pool::h11_io_under_pool|POOL|write_page",
+        ),
+        (
+            "H12 transitive I/O under POOL",
+            "A3|storage::Pool::h12_io_transitive|POOL|read_page",
+        ),
+        (
+            "H13 untimed histogram family",
+            "A4|-|WAL_STATE|evopt_wal_sync_wait_us",
+        ),
+    ];
+
+    for (hazard, fp) in expected {
+        assert!(
+            fingerprints.contains(fp),
+            "{hazard} was NOT killed (missing fingerprint {fp}); reported: {fingerprints:#?}"
+        );
+    }
+    assert_eq!(
+        out.findings.len(),
+        expected.len(),
+        "unexpected extra findings on the hazard fixture: {fingerprints:#?}"
+    );
+    // With an empty baseline, every finding must be flagged as new.
+    assert_eq!(out.new.len(), expected.len());
+}
+
+#[test]
+fn clean_tree_zero_findings() {
+    let out = evopt_analyze::run(&fixture_root("clean"), Vec::new()).unwrap();
+    let fingerprints: Vec<&str> = out
+        .findings
+        .iter()
+        .map(|f| f.fingerprint.as_str())
+        .collect();
+    assert!(
+        out.findings.is_empty(),
+        "clean fixture should produce no findings, got: {fingerprints:#?}"
+    );
+}
+
+#[test]
+fn real_tree_no_new_findings() {
+    let root = workspace_root();
+    let baseline_src = std::fs::read_to_string(root.join("crates/analyze/baseline.txt"))
+        .expect("committed baseline must exist");
+    let baseline = evopt_analyze::parse_baseline(&baseline_src);
+    assert!(
+        !baseline.is_empty(),
+        "baseline should carry the by-design findings"
+    );
+
+    let out = evopt_analyze::run(&root, baseline).unwrap();
+    let new: Vec<&str> = out.new.iter().map(|f| f.fingerprint.as_str()).collect();
+    assert!(
+        out.new.is_empty(),
+        "NEW concurrency findings (fix them, or baseline only if by-design): {new:#?}\n{}",
+        evopt_analyze::report::text(&out.findings, &out.baseline)
+    );
+    let stale: Vec<&str> = out.stale.iter().map(String::as_str).collect();
+    assert!(
+        out.stale.is_empty(),
+        "stale baseline entries — prune them from crates/analyze/baseline.txt: {stale:#?}"
+    );
+    // Sanity: the by-design findings are still being detected at all (an
+    // analyzer that suddenly reports nothing is broken, not perfect).
+    assert!(
+        !out.findings.is_empty(),
+        "expected the baselined by-design findings to still be reported"
+    );
+}
+
+#[test]
+fn rank_table_roundtrip() {
+    let src = std::fs::read_to_string(workspace_root().join("crates/common/src/lockorder.rs"))
+        .expect("lockorder.rs must exist");
+    let table = evopt_analyze::ranks::parse_rank_table(&src);
+
+    let runtime = evopt_common::lockorder::all_ranks();
+    assert_eq!(
+        table.consts.len(),
+        runtime.len(),
+        "parsed constants disagree with lockorder::all_ranks() in count"
+    );
+    for (name, rank) in runtime {
+        assert_eq!(
+            table.rank_of(name),
+            Some(*rank),
+            "constant `{name}` parsed differently from its runtime value"
+        );
+        let row = table
+            .rows
+            .iter()
+            .find(|r| r.name == *name)
+            .unwrap_or_else(|| panic!("rank `{name}` has no machine-readable doc-table row"));
+        assert_eq!(row.rank, *rank, "doc-table rank for `{name}` drifted");
+    }
+    assert_eq!(table.rows.len(), runtime.len());
+
+    // The families rule A4 verifies are exactly the instrumented waits.
+    let families: Vec<&str> = table
+        .rows
+        .iter()
+        .flat_map(|r| r.histograms.iter().map(String::as_str))
+        .collect();
+    assert_eq!(
+        families,
+        [
+            "evopt_commit_lock_wait_us",
+            "evopt_snapshot_acquire_us",
+            "evopt_wal_sync_wait_us",
+            "evopt_pool_miss_io_us",
+            "evopt_pool_load_wait_us",
+        ]
+    );
+}

@@ -11,7 +11,15 @@
 //! times waits at that rank's acquisition site, where one exists
 //! (DESIGN.md §12.3) — the timed wrapper lives next to the
 //! `lockorder::acquire` call, so the rank table doubles as the map of
-//! instrumented wait points:
+//! instrumented wait points.
+//!
+//! **This table is machine-readable.** `evopt-analyze` (DESIGN.md §13)
+//! parses the `| rank `NAME` | … |` rows plus the `pub const` items
+//! below as the source of truth for its whole-workspace lock-graph
+//! verification: an `acquire` of a name missing here, a const without a
+//! table row, or a histogram family with no timed acquisition site are
+//! all findings. Keep the row format intact when adding a rank, and
+//! keep the constants in sync (a self-test asserts the round-trip).
 //!
 //! | rank | lock | contention histogram |
 //! |------|------|----------------------|
@@ -21,8 +29,10 @@
 //! | 20 `CATALOG_MAP`   | catalog table namespace | — |
 //! | 21 `CATALOG_NAMES` | catalog index namespace | — |
 //! | 25 `TABLE_META`    | per-table index list / stats slots | — |
-//! | 30 `WAL_STATE`     | WAL append state (tail buffer, LSNs) | `evopt_wal_sync_wait_us` (sync path) |
-//! | 40 `POOL`          | buffer-pool frame table | `evopt_pool_miss_io_us`, `evopt_pool_load_wait_us` (miss/single-flight paths) |
+//! | 30 `WAL_STATE`     | WAL append state (tail buffer, LSNs) | `evopt_wal_sync_wait_us` |
+//! | 32 `BTREE_WRITE`   | per-index coarse writer lock (insert/delete) | — |
+//! | 33 `HEAP_META`     | per-heap tail pointer and row/page counts | — |
+//! | 40 `POOL`          | buffer-pool frame table | `evopt_pool_miss_io_us`, `evopt_pool_load_wait_us` |
 //! | 41 `POOL_CHECKSUM` | buffer-pool page-checksum map | — |
 //! | 42 `POOL_GATE`     | buffer-pool flush-gate slot | — |
 //! | 50 `WAL_GATE`      | WAL unlogged-page set (no-steal gate) | — |
@@ -36,8 +46,13 @@
 //! acyclic even though the two layers call into each other.
 //!
 //! Page latches (the per-frame `RwLock<PageData>`) are leaf locks: nothing
-//! is acquired while one is held except a disk call, so they are exempt
-//! from ranking.
+//! *ranked* is acquired while one is held, so they are exempt from
+//! ranking. (Disk I/O under a page latch is fine and deliberate — the
+//! flush paths read a latched frame while writing it back.) A leaf lock's
+//! field declaration carries a `// lockorder: leaf` annotation, which
+//! `evopt-analyze` both honours (no unranked-acquisition finding) and
+//! polices (a `lockorder::acquire` inside a leaf's hold region is a
+//! finding — a false leaf claim doesn't survive CI).
 //!
 //! Enforcement is debug-only and costs one thread-local compare per
 //! acquisition; release builds compile [`acquire`] to a no-op.
@@ -58,6 +73,10 @@ pub const CATALOG_NAMES: u16 = 21;
 pub const TABLE_META: u16 = 25;
 /// WAL append state.
 pub const WAL_STATE: u16 = 30;
+/// Per-index coarse writer lock (B-tree insert/delete serialization).
+pub const BTREE_WRITE: u16 = 32;
+/// Per-heap-file metadata (tail page pointer, row/page counts).
+pub const HEAP_META: u16 = 33;
 /// Buffer-pool frame table.
 pub const POOL: u16 = 40;
 /// Buffer-pool checksum map.
@@ -70,6 +89,32 @@ pub const WAL_GATE: u16 = 50;
 pub const WAL_UNSYNCED: u16 = 51;
 /// Observability structures (query log ring).
 pub const OBS: u16 = 60;
+
+/// Every rank in the hierarchy as `(const name, rank)` pairs, in
+/// ascending rank order. This is the runtime half of the machine-readable
+/// rank table: `evopt-analyze` parses the doc table + constants from this
+/// file's *source*, and a self-test asserts that parse round-trips
+/// against this list — so the analyzer can never silently drift from the
+/// hierarchy the debug-build enforcement uses.
+pub fn all_ranks() -> &'static [(&'static str, u16)] {
+    &[
+        ("COMMIT", COMMIT),
+        ("CONFIG", CONFIG),
+        ("SNAPSHOT_CACHE", SNAPSHOT_CACHE),
+        ("CATALOG_MAP", CATALOG_MAP),
+        ("CATALOG_NAMES", CATALOG_NAMES),
+        ("TABLE_META", TABLE_META),
+        ("WAL_STATE", WAL_STATE),
+        ("BTREE_WRITE", BTREE_WRITE),
+        ("HEAP_META", HEAP_META),
+        ("POOL", POOL),
+        ("POOL_CHECKSUM", POOL_CHECKSUM),
+        ("POOL_GATE", POOL_GATE),
+        ("WAL_GATE", WAL_GATE),
+        ("WAL_UNSYNCED", WAL_UNSYNCED),
+        ("OBS", OBS),
+    ]
+}
 
 #[cfg(debug_assertions)]
 thread_local! {

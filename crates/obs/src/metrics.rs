@@ -140,6 +140,38 @@ impl HistogramSnapshot {
         }
     }
 
+    /// Upper bound of the smallest bucket whose cumulative count reaches
+    /// fraction `q` (0..=1) of all observations: the bucketed quantile
+    /// estimate a fixed-bucket histogram can give. `None` when empty;
+    /// `f64::INFINITY` when the quantile lands in the overflow bucket.
+    pub fn quantile_bound(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                return Some(match self.bounds.get(i) {
+                    Some(b) => *b as f64,
+                    None => f64::INFINITY,
+                });
+            }
+        }
+        Some(f64::INFINITY)
+    }
+
+    /// Upper bound of the highest non-empty bucket (`f64::INFINITY` for
+    /// the overflow bucket); `None` when the histogram is empty.
+    pub fn max_bound(&self) -> Option<f64> {
+        let last = self.counts.iter().rposition(|&c| c > 0)?;
+        Some(match self.bounds.get(last) {
+            Some(b) => *b as f64,
+            None => f64::INFINITY,
+        })
+    }
+
     /// Prometheus rendering with an extra label set (e.g. `session="3"`)
     /// merged into every series; empty `labels` renders bare series.
     pub fn render_prometheus_labeled(&self, name: &str, labels: &str, out: &mut String) {
@@ -474,6 +506,28 @@ mod tests {
         assert_eq!(s.count, 4);
         assert_eq!(s.sum, 1_065);
         assert!((s.mean() - 266.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_and_max_bounds() {
+        let h = Histogram::new(&[10, 100]);
+        let empty = h.snapshot();
+        assert_eq!(empty.quantile_bound(0.5), None);
+        assert_eq!(empty.max_bound(), None);
+
+        h.observe(5);
+        h.observe(8);
+        h.observe(50);
+        let s = h.snapshot();
+        // 2 of 3 observations are ≤10: the median bound is 10.
+        assert_eq!(s.quantile_bound(0.5), Some(10.0));
+        assert_eq!(s.quantile_bound(1.0), Some(100.0));
+        assert_eq!(s.max_bound(), Some(100.0));
+
+        h.observe(1_000); // overflow bucket
+        let s = h.snapshot();
+        assert_eq!(s.max_bound(), Some(f64::INFINITY));
+        assert_eq!(s.quantile_bound(1.0), Some(f64::INFINITY));
     }
 
     #[test]

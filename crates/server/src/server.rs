@@ -182,6 +182,11 @@ fn respond_on(session: &Session, line: &str, server: Option<&ServerMetrics>) -> 
     if trimmed == "METRICS" {
         return metrics_response(session, server);
     }
+    // Bare `TOPWAITS` frame: the contention summary for tooling (same
+    // rendering as `\top-waits`).
+    if trimmed == "TOPWAITS" {
+        return top_waits_response(session);
+    }
     if let Some(meta) = trimmed.strip_prefix('\\') {
         return meta_command(session, meta, server);
     }
@@ -202,6 +207,43 @@ fn metrics_response(session: &Session, server: Option<&ServerMetrics>) -> Respon
     Response::Result(text)
 }
 
+/// Render the instance-wide contention histograms (the wait points the
+/// rank table in `crates/common/src/lockorder.rs` declares), ranked by
+/// total wait time. Quantile columns are bucket upper bounds — the best a
+/// fixed-bucket histogram can report.
+fn top_waits_response(session: &Session) -> Response {
+    let snap = session.database().metrics_snapshot();
+    let mut families = [
+        ("evopt_commit_lock_wait_us", snap.commit_lock_wait_us),
+        ("evopt_wal_sync_wait_us", snap.wal_sync_wait_us),
+        ("evopt_pool_miss_io_us", snap.pool_miss_io_us),
+        ("evopt_pool_load_wait_us", snap.pool_load_wait_us),
+        ("evopt_snapshot_acquire_us", snap.snapshot_acquire_us),
+    ];
+    families.sort_by(|a, b| b.1.sum.cmp(&a.1.sum).then(a.0.cmp(b.0)));
+
+    let bound = |b: Option<f64>| match b {
+        None => "-".to_string(),
+        Some(v) if v.is_infinite() => "+Inf".to_string(),
+        Some(v) => format!("<={v:.0}"),
+    };
+    let mut out = format!(
+        "  {:<28} {:>8} {:>12} {:>9} {:>9}\n",
+        "family", "waits", "total_us", "p50_us", "max_us"
+    );
+    for (name, h) in &families {
+        out.push_str(&format!(
+            "  {:<28} {:>8} {:>12} {:>9} {:>9}\n",
+            name,
+            h.count,
+            h.sum,
+            bound(h.quantile_bound(0.5)),
+            bound(h.max_bound()),
+        ));
+    }
+    Response::Result(out.trim_end().to_string())
+}
+
 const HELP: &str = "  SQL:   CREATE TABLE / CREATE [UNIQUE|CLUSTERED] INDEX / INSERT /\n\
      \x20        SELECT / DELETE / UPDATE / ANALYZE / DROP TABLE /\n\
      \x20        EXPLAIN [ANALYZE] SELECT ...   (terminate with ';')\n\
@@ -209,6 +251,7 @@ const HELP: &str = "  SQL:   CREATE TABLE / CREATE [UNIQUE|CLUSTERED] INDEX / IN
      \x20 \\strategy <name>    system-r | bushy-dp | dpccp | greedy |\n\
      \x20                     goo | quickpick | syntactic\n\
      \x20 \\metrics            server + engine + session metrics (Prometheus text)\n\
+     \x20 \\top-waits          contention histograms ranked by total wait\n\
      \x20 \\q                  quit";
 
 fn meta_command(session: &Session, cmd: &str, server: Option<&ServerMetrics>) -> Response {
@@ -238,6 +281,7 @@ fn meta_command(session: &Session, cmd: &str, server: Option<&ServerMetrics>) ->
             None => Response::Error("unknown strategy (see \\help)".into()),
         },
         "metrics" => metrics_response(session, server),
+        "top-waits" => top_waits_response(session),
         other => Response::Error(format!("unknown command '\\{other}' (see \\help)")),
     }
 }

@@ -215,3 +215,55 @@ fn quit_frees_the_session_slot() {
     }
     assert!(ok, "slot was never released after quit");
 }
+
+#[test]
+fn top_waits_renders_contention_histograms_over_the_wire() {
+    let (_db, handle) = served(4);
+    let mut c = Client::connect(handle.addr()).unwrap();
+    expect_result(c.request("CREATE TABLE w (x INT)").unwrap());
+    for i in 0..5 {
+        expect_result(c.request(&format!("INSERT INTO w VALUES ({i})")).unwrap());
+    }
+    expect_result(c.request("SELECT COUNT(*) FROM w").unwrap());
+
+    // The meta command and the bare frame render identically.
+    for query in ["\\top-waits", "TOPWAITS"] {
+        let text = expect_result(c.request(query).unwrap());
+        assert!(text.contains("family"), "{text}");
+        for family in [
+            "evopt_commit_lock_wait_us",
+            "evopt_wal_sync_wait_us",
+            "evopt_pool_miss_io_us",
+            "evopt_pool_load_wait_us",
+            "evopt_snapshot_acquire_us",
+        ] {
+            assert!(text.contains(family), "missing {family} in:\n{text}");
+        }
+        // Six writes took the commit lock, so that family has waits and
+        // real p50/max bucket bounds (not the empty-histogram dash).
+        let commit_row = text
+            .lines()
+            .find(|l| l.contains("evopt_commit_lock_wait_us"))
+            .unwrap();
+        let cols: Vec<&str> = commit_row.split_whitespace().collect();
+        let waits: u64 = cols[1].parse().unwrap();
+        assert!(waits >= 6, "expected >=6 commit-lock waits, got {waits}");
+        assert_ne!(cols[3], "-", "p50 should be a bucket bound: {commit_row}");
+        assert_ne!(cols[4], "-", "max should be a bucket bound: {commit_row}");
+    }
+
+    // Rows are sorted by total wait, descending.
+    let text = expect_result(c.request("\\top-waits").unwrap());
+    let totals: Vec<u64> = text
+        .lines()
+        .skip(1)
+        .map(|l| l.split_whitespace().nth(2).unwrap().parse().unwrap())
+        .collect();
+    assert_eq!(totals.len(), 5);
+    let mut sorted = totals.clone();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    assert_eq!(
+        totals, sorted,
+        "rows must be sorted by total_us desc:\n{text}"
+    );
+}

@@ -21,7 +21,7 @@
 use std::ops::Bound;
 use std::sync::Arc;
 
-use evopt_common::{EvoptError, Result, Tuple, Value};
+use evopt_common::{lockorder, EvoptError, Result, Tuple, Value};
 use parking_lot::Mutex;
 
 use crate::buffer::BufferPool;
@@ -227,7 +227,9 @@ impl Meta {
 pub struct BTreeIndex {
     pool: Arc<BufferPool>,
     meta_page: PageId,
-    /// Serialises writers; readers are safe against the page-level state.
+    /// Rank [`lockorder::BTREE_WRITE`]: serialises writers (held across
+    /// page fetches at rank POOL); readers are safe against the
+    /// page-level state.
     write_lock: Mutex<()>,
 }
 
@@ -326,6 +328,7 @@ impl BTreeIndex {
                 "b-tree key exceeds {MAX_KEY_BYTES} bytes"
             )));
         }
+        let _r = lockorder::acquire(lockorder::BTREE_WRITE);
         let _w = self.write_lock.lock();
         let mut meta = self.read_meta()?;
         let composite = Key {
@@ -427,6 +430,7 @@ impl BTreeIndex {
     /// Remove the exact `(key, rid)` entry. Returns whether it was present.
     /// Lazy deletion: nodes are never merged or rebalanced.
     pub fn delete(&self, key: &Value, rid: Rid) -> Result<bool> {
+        let _r = lockorder::acquire(lockorder::BTREE_WRITE);
         let _w = self.write_lock.lock();
         let mut meta = self.read_meta()?;
         let target = Key {

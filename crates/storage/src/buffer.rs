@@ -161,7 +161,20 @@ struct Frame {
     page_id: Option<PageId>,
     pin_count: u32,
     dirty: Arc<AtomicBool>,
-    data: Arc<RwLock<PageData>>,
+    data: Arc<RwLock<PageData>>, // lockorder: leaf
+}
+
+/// A frame reserved for an incoming page (see [`BufferPool::reserve_frame`]).
+/// `Flush` carries a dirty victim whose write-back is still owed; the
+/// frame is unusable until [`BufferPool::settle_reservation`] performs it
+/// off the pool lock.
+enum Reserved {
+    Clean(usize),
+    Flush {
+        victim: usize,
+        old_id: PageId,
+        data: Arc<RwLock<PageData>>,
+    },
 }
 
 struct Inner {
@@ -426,7 +439,7 @@ impl BufferPool {
         // Lazily stamped on the first wait iteration, so the common case
         // (hit, or uncontended miss) never reads the clock here.
         let mut wait_start: Option<std::time::Instant> = None;
-        let frame = loop {
+        let reserved = loop {
             {
                 let _r = lockorder::acquire(lockorder::POOL);
                 let mut inner = self.inner.lock();
@@ -454,8 +467,8 @@ impl BufferPool {
                     if let Some(t0) = wait_start {
                         self.load_wait_us.observe(t0.elapsed().as_micros() as u64);
                     }
-                    match self.acquire_frame(&mut inner) {
-                        Ok(f) => break f,
+                    match self.reserve_frame(&mut inner) {
+                        Ok(r) => break r,
                         Err(e) => {
                             inner.loading.remove(&page_id);
                             return Err(e);
@@ -474,6 +487,16 @@ impl BufferPool {
                 std::thread::yield_now();
             } else {
                 std::thread::sleep(std::time::Duration::from_micros(50));
+            }
+        };
+        // If the victim was dirty, its write-back happens here — after the
+        // pool lock is released.
+        let frame = match self.settle_reservation(reserved) {
+            Ok(f) => f,
+            Err(e) => {
+                let _r = lockorder::acquire(lockorder::POOL);
+                self.inner.lock().loading.remove(&page_id);
+                return Err(e);
             }
         };
         // The physical read, off-lock: concurrent misses on other pages
@@ -521,9 +544,17 @@ impl BufferPool {
     /// or flush.
     pub fn new_page(self: &Arc<Self>) -> Result<PageGuard> {
         let page_id = self.disk.allocate_page();
+        let reserved = {
+            let _r = lockorder::acquire(lockorder::POOL);
+            let mut inner = self.inner.lock();
+            self.reserve_frame(&mut inner)?
+        };
+        // Dirty-victim write-back runs off-lock; nobody else can reach the
+        // fresh `page_id` yet (the id was just allocated), so no
+        // single-flight claim is needed for it.
+        let frame = self.settle_reservation(reserved)?;
         let _r = lockorder::acquire(lockorder::POOL);
         let mut inner = self.inner.lock();
-        let frame = self.acquire_frame(&mut inner)?;
         {
             let f = &mut inner.frames[frame];
             f.data.write().fill(0);
@@ -549,9 +580,15 @@ impl BufferPool {
     /// Find a frame for a new resident page: a free frame, else evict.
     /// Dirty frames the [`FlushGate`] vetoes are passed over — they must
     /// stay resident until the WAL logs them at commit.
-    fn acquire_frame(&self, inner: &mut Inner) -> Result<usize> {
+    ///
+    /// A dirty victim is **not** written back here (the pool lock is
+    /// held): it is detached from the table, its id claimed in `loading`
+    /// so concurrent fetchers of the evicted page park instead of reading
+    /// stale bytes, and the write-back deferred to
+    /// [`BufferPool::settle_reservation`], which runs off-lock.
+    fn reserve_frame(&self, inner: &mut Inner) -> Result<Reserved> {
         if let Some(f) = inner.free.pop() {
-            return Ok(f);
+            return Ok(Reserved::Clean(f));
         }
         let gate = self.flush_gate();
         let mut gated = Vec::new();
@@ -584,24 +621,58 @@ impl BufferPool {
         let old_id = inner.frames[victim]
             .page_id
             .ok_or_else(|| EvoptError::Internal("evicted frame has no page id".into()))?;
-        if inner.frames[victim].dirty.swap(false, Ordering::Relaxed) {
-            let flushed = {
-                let data = inner.frames[victim].data.read();
-                self.write_page_checksummed(old_id, &data)
-            };
-            if let Err(e) = flushed {
-                // The victim's bytes never reached disk: restore its dirty
-                // flag and evictability so no data is silently dropped and
-                // the pool stays consistent.
-                inner.frames[victim].dirty.store(true, Ordering::Relaxed);
-                inner.policy.set_evictable(victim, true);
-                return Err(e);
-            }
-        }
         inner.table.remove(&old_id);
         inner.frames[victim].page_id = None;
-        self.evictions.fetch_add(1, Ordering::Relaxed);
-        Ok(victim)
+        if inner.frames[victim].dirty.swap(false, Ordering::Relaxed) {
+            inner.loading.insert(old_id);
+            Ok(Reserved::Flush {
+                victim,
+                old_id,
+                data: Arc::clone(&inner.frames[victim].data),
+            })
+        } else {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            Ok(Reserved::Clean(victim))
+        }
+    }
+
+    /// Complete a frame reservation. A dirty victim's bytes reach disk
+    /// here, **without** the pool lock held — the frame is unreachable
+    /// meanwhile (out of the table, out of the policy, not on the free
+    /// list, pin count zero) and fetchers of the evicted page wait on its
+    /// `loading` claim. On write failure the victim is restored intact
+    /// (resident, dirty, evictable) so no data is silently dropped.
+    fn settle_reservation(&self, reserved: Reserved) -> Result<usize> {
+        match reserved {
+            Reserved::Clean(frame) => Ok(frame),
+            Reserved::Flush {
+                victim,
+                old_id,
+                data,
+            } => {
+                let flushed = {
+                    let d = data.read();
+                    self.write_page_checksummed(old_id, &d)
+                };
+                let _r = lockorder::acquire(lockorder::POOL);
+                let mut inner = self.inner.lock();
+                inner.loading.remove(&old_id);
+                match flushed {
+                    Ok(()) => {
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                        Ok(victim)
+                    }
+                    Err(e) => {
+                        let f = &mut inner.frames[victim];
+                        f.page_id = Some(old_id);
+                        f.dirty.store(true, Ordering::Relaxed);
+                        inner.table.insert(old_id, victim);
+                        inner.policy.set_evictable(victim, true);
+                        Err(e)
+                    }
+                }
+            }
+        }
     }
 
     fn unpin(&self, frame: usize) {
@@ -619,35 +690,23 @@ impl BufferPool {
     /// the cache cold. Experiment harness hook: guarantees the next query's
     /// reads are physical. Pinned frames — and dirty frames the
     /// [`FlushGate`] vetoes — are left in place.
+    ///
+    /// Two passes: [`BufferPool::flush_all`] writes every dirty flushable
+    /// page back (off-lock), then one pool-lock pass drops the now-clean
+    /// unpinned frames. A frame re-dirtied between the passes is left
+    /// resident rather than evicted unflushed.
     pub fn evict_all(&self) -> Result<()> {
-        let gate = self.flush_gate();
+        self.flush_all()?;
         let _r = lockorder::acquire(lockorder::POOL);
         let mut inner = self.inner.lock();
         for frame in 0..inner.frames.len() {
-            let (page_id, dirty) = {
+            let page_id = {
                 let f = &inner.frames[frame];
                 match f.page_id {
-                    Some(id) if f.pin_count == 0 => {
-                        if f.dirty.load(Ordering::Relaxed)
-                            && gate.as_ref().is_some_and(|g| !g.can_flush(id))
-                        {
-                            continue;
-                        }
-                        (id, f.dirty.swap(false, Ordering::Relaxed))
-                    }
+                    Some(id) if f.pin_count == 0 && !f.dirty.load(Ordering::Relaxed) => id,
                     _ => continue,
                 }
             };
-            if dirty {
-                let flushed = {
-                    let data = inner.frames[frame].data.read();
-                    self.write_page_checksummed(page_id, &data)
-                };
-                if let Err(e) = flushed {
-                    inner.frames[frame].dirty.store(true, Ordering::Relaxed);
-                    return Err(e);
-                }
-            }
             inner.table.remove(&page_id);
             inner.frames[frame].page_id = None;
             inner.policy.set_evictable(frame, false);
@@ -659,28 +718,63 @@ impl BufferPool {
     /// Write every dirty resident page back to disk. Pages the
     /// [`FlushGate`] vetoes (dirty but not yet logged) stay dirty in the
     /// pool; they reach disk after the next commit logs them.
+    ///
+    /// The physical writes run **off** the pool lock: one locked pass
+    /// selects the dirty flushable pages and pins them (so they stay
+    /// resident), the writes happen lock-free against the per-frame page
+    /// latches, and a final locked pass unpins. Fetches of unrelated pages
+    /// proceed during the I/O.
     pub fn flush_all(&self) -> Result<()> {
+        // Frame index, page, its latch, and its dirty flag — everything the
+        // off-lock write pass needs from the locked selection pass.
+        type FlushWork = Vec<(usize, PageId, Arc<RwLock<PageData>>, Arc<AtomicBool>)>;
         let gate = self.flush_gate();
-        let _r = lockorder::acquire(lockorder::POOL);
-        let inner = self.inner.lock();
-        for f in &inner.frames {
-            if let Some(id) = f.page_id {
+        let mut work: FlushWork = Vec::new();
+        {
+            let _r = lockorder::acquire(lockorder::POOL);
+            let mut inner = self.inner.lock();
+            for frame in 0..inner.frames.len() {
+                let Some(id) = inner.frames[frame].page_id else {
+                    continue;
+                };
                 if gate.as_ref().is_some_and(|g| !g.can_flush(id)) {
                     continue;
                 }
-                if f.dirty.swap(false, Ordering::Relaxed) {
-                    let flushed = {
-                        let data = f.data.read();
-                        self.write_page_checksummed(id, &data)
-                    };
-                    if let Err(e) = flushed {
-                        f.dirty.store(true, Ordering::Relaxed);
-                        return Err(e);
-                    }
+                if inner.frames[frame].dirty.swap(false, Ordering::Relaxed) {
+                    inner.frames[frame].pin_count += 1;
+                    inner.policy.set_evictable(frame, false);
+                    let f = &inner.frames[frame];
+                    work.push((frame, id, Arc::clone(&f.data), Arc::clone(&f.dirty)));
                 }
             }
         }
-        Ok(())
+        let mut result = Ok(());
+        for (i, (_, id, data, _)) in work.iter().enumerate() {
+            let flushed = {
+                let d = data.read();
+                self.write_page_checksummed(*id, &d)
+            };
+            if let Err(e) = flushed {
+                // Nothing from here on reached disk: restore the dirty
+                // flags (including the failed page's) so no data is
+                // silently dropped.
+                for (_, _, _, d) in &work[i..] {
+                    d.store(true, Ordering::Relaxed);
+                }
+                result = Err(e);
+                break;
+            }
+        }
+        let _r = lockorder::acquire(lockorder::POOL);
+        let mut inner = self.inner.lock();
+        for &(frame, ..) in &work {
+            let f = &mut inner.frames[frame];
+            f.pin_count -= 1;
+            if f.pin_count == 0 {
+                inner.policy.set_evictable(frame, true);
+            }
+        }
+        result
     }
 
     /// Stamp `lsn` into a resident page's LSN trailer and return a copy of
@@ -712,7 +806,7 @@ pub struct PageGuard {
     frame: usize,
     page_id: PageId,
     dirty: Arc<AtomicBool>,
-    data: Arc<RwLock<PageData>>,
+    data: Arc<RwLock<PageData>>, // lockorder: leaf
 }
 
 impl std::fmt::Debug for PageGuard {

@@ -107,7 +107,7 @@ pub trait DiskBackend: Send + Sync {
 /// Thread-safe; the page store sits behind a mutex (coarse, but the engine
 /// issues single page ops, never holds the lock across work).
 pub struct DiskManager {
-    pages: Mutex<Vec<Option<Box<PageData>>>>,
+    pages: Mutex<Vec<Option<Box<PageData>>>>, // lockorder: leaf
     reads: AtomicU64,
     writes: AtomicU64,
     allocations: AtomicU64,

@@ -158,19 +158,19 @@ pub struct FaultInjector {
     inner: Arc<dyn DiskBackend>,
     cfg: FaultConfig,
     enabled: AtomicBool,
-    rng: Mutex<SplitMix64>,
+    rng: Mutex<SplitMix64>, // lockorder: leaf
     /// Pages whose next read passes clean (a transient read fault or a
     /// read-side bit flip just fired), so bounded retry always converges.
-    skip_next_read: Mutex<HashSet<PageId>>,
+    skip_next_read: Mutex<HashSet<PageId>>, // lockorder: leaf
     /// Pages whose next write passes clean.
-    skip_next_write: Mutex<HashSet<PageId>>,
+    skip_next_write: Mutex<HashSet<PageId>>, // lockorder: leaf
     /// Whether the next sync passes clean (a sync fault just fired).
     skip_next_sync: AtomicBool,
     /// Permanently unreadable pages.
-    dead: Mutex<HashSet<PageId>>,
+    dead: Mutex<HashSet<PageId>>, // lockorder: leaf
     /// Pages whose persisted bytes were silently damaged and not yet
     /// overwritten by a later clean write.
-    corrupted: Mutex<HashSet<PageId>>,
+    corrupted: Mutex<HashSet<PageId>>, // lockorder: leaf
     transient_read_errors: AtomicU64,
     transient_write_errors: AtomicU64,
     permanent_read_errors: AtomicU64,

@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use evopt_common::{EvoptError, Result, Tuple};
+use evopt_common::{lockorder, EvoptError, Result, Tuple};
 use parking_lot::Mutex;
 
 use crate::buffer::{BufferPool, PageGuard};
@@ -25,6 +25,8 @@ struct HeapMeta {
 pub struct HeapFile {
     pool: Arc<BufferPool>,
     first_page: PageId,
+    /// Rank [`lockorder::HEAP_META`]: held across the tail-page fetch and
+    /// fresh-page allocation on the insert path (both rank POOL, above).
     meta: Mutex<HeapMeta>,
 }
 
@@ -80,17 +82,20 @@ impl HeapFile {
 
     /// Number of pages in the chain — the `P(R)` of the cost model.
     pub fn page_count(&self) -> u64 {
+        let _r = lockorder::acquire(lockorder::HEAP_META);
         self.meta.lock().page_count
     }
 
     /// Number of live tuples — the `|R|` of the cost model.
     pub fn tuple_count(&self) -> u64 {
+        let _r = lockorder::acquire(lockorder::HEAP_META);
         self.meta.lock().tuple_count
     }
 
     /// Append a tuple, returning its record id.
     pub fn insert(&self, tuple: &Tuple) -> Result<Rid> {
         let record = tuple.encode();
+        let _r = lockorder::acquire(lockorder::HEAP_META);
         let mut meta = self.meta.lock();
         let tail = self.pool.fetch(meta.last_page)?;
         {
@@ -138,11 +143,17 @@ impl HeapFile {
     /// Tombstone the tuple at `rid`. Returns whether it was live.
     pub fn delete(&self, rid: Rid) -> Result<bool> {
         let guard = self.pool.fetch(rid.page)?;
-        let mut bytes = guard.write();
-        let mut page = SlottedPage::new(&mut bytes);
-        let was_live = page.get(rid.slot)?.is_some();
+        let was_live = {
+            let mut bytes = guard.write();
+            let mut page = SlottedPage::new(&mut bytes);
+            let was_live = page.get(rid.slot)?.is_some();
+            if was_live {
+                page.delete(rid.slot)?;
+            }
+            was_live
+        };
         if was_live {
-            page.delete(rid.slot)?;
+            let _r = lockorder::acquire(lockorder::HEAP_META);
             self.meta.lock().tuple_count -= 1;
         }
         Ok(was_live)

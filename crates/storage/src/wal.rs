@@ -334,11 +334,10 @@ impl Wal {
             recoveries: AtomicU64::new(0),
             replayed_records: AtomicU64::new(0),
         };
-        {
-            let state = wal.state.lock();
-            wal.write_page_verified(first, &state.tail_buf)?;
-            wal.write_master(&state)?;
-        }
+        // `wal` is exclusively owned here — no lock needed; the initial
+        // master mirrors the state constructed above.
+        wal.write_page_verified(first, &[0u8; PAGE_SIZE])?;
+        wal.write_master(first, 0, 1)?;
         wal.sync_retry()?;
         Ok(Arc::new(wal))
     }
@@ -494,6 +493,7 @@ impl Wal {
                 }
                 WalRecord::Checkpoint { lsn, catalog: c } => {
                     catalog = c.clone();
+                    let _rs = lockorder::acquire(lockorder::WAL_STATE);
                     let mut state = wal.state.lock();
                     state.checkpoint_lsn = (*lsn).max(state.checkpoint_lsn);
                 }
@@ -505,16 +505,21 @@ impl Wal {
         // the committed prefix, zero the stream after it, and cut the
         // chain so stale continuation pages are orphaned rather than
         // rescanned. Idempotent — a crash here just repeats the work.
+        let (tail, used) = {
+            let _rs = lockorder::acquire(lockorder::WAL_STATE);
+            let state = wal.state.lock();
+            (state.tail_page, state.tail_used)
+        };
+        // Recovery is single-threaded: the truncation I/O runs off the
+        // state lock, which is retaken only to install the rebuilt tail.
+        let mut buf = Box::new([0u8; PAGE_SIZE]);
+        read_page_retry(&wal.disk, tail, &mut buf)?;
+        buf[..LOG_PAGE_HDR].copy_from_slice(&NO_NEXT.to_le_bytes());
+        buf[LOG_PAGE_HDR + used..].fill(0);
+        wal.write_page_verified(tail, &buf)?;
         {
-            let mut state = wal.state.lock();
-            let tail = state.tail_page;
-            let used = state.tail_used;
-            let mut buf = Box::new([0u8; PAGE_SIZE]);
-            read_page_retry(&wal.disk, tail, &mut buf)?;
-            buf[..LOG_PAGE_HDR].copy_from_slice(&NO_NEXT.to_le_bytes());
-            buf[LOG_PAGE_HDR + used..].fill(0);
-            wal.write_page_verified(tail, &buf)?;
-            state.tail_buf = buf;
+            let _rs = lockorder::acquire(lockorder::WAL_STATE);
+            wal.state.lock().tail_buf = buf;
         }
         wal.sync_retry()?;
 
@@ -788,7 +793,7 @@ impl Wal {
         //    sides of the switch converge.
         state.scan_start = cp_page;
         state.checkpoint_lsn = lsn;
-        self.write_master(&state)?;
+        self.write_master(state.scan_start, state.checkpoint_lsn, state.next_lsn)?;
         self.sync_retry()?;
 
         // 5. Release the old chain (everything strictly before cp_page).
@@ -943,14 +948,14 @@ impl Wal {
 
     // ---- master page ----------------------------------------------------
 
-    fn write_master(&self, state: &WalState) -> Result<()> {
+    fn write_master(&self, scan_start: PageId, checkpoint_lsn: Lsn, next_lsn: Lsn) -> Result<()> {
         let mut buf = Box::new([0u8; PAGE_SIZE]);
         buf[0..8].copy_from_slice(&MASTER_MAGIC.to_le_bytes());
         buf[8..12].copy_from_slice(&MASTER_VERSION.to_le_bytes());
         buf[12..16].copy_from_slice(&0u32.to_le_bytes());
-        buf[16..24].copy_from_slice(&state.scan_start.to_le_bytes());
-        buf[24..32].copy_from_slice(&state.checkpoint_lsn.to_le_bytes());
-        buf[32..40].copy_from_slice(&state.next_lsn.to_le_bytes());
+        buf[16..24].copy_from_slice(&scan_start.to_le_bytes());
+        buf[24..32].copy_from_slice(&checkpoint_lsn.to_le_bytes());
+        buf[32..40].copy_from_slice(&next_lsn.to_le_bytes());
         let crc = crc32(&buf[..MASTER_LEN - 4]);
         buf[MASTER_LEN - 4..MASTER_LEN].copy_from_slice(&crc.to_le_bytes());
         self.write_page_verified(WAL_MASTER_PAGE, &buf)

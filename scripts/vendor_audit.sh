@@ -48,6 +48,19 @@ if [ -n "$unknown" ]; then
     fail=1
 fi
 
+# -- 3. the static analyzer stays dependency-free ----------------------------
+# evopt-analyze parses Rust with its own purpose-built scanner; its
+# [dependencies] section must remain empty so the tool can never grow a
+# parser dependency (syn, rustc) the hermetic build can't provide.
+# (dev-dependencies are fine — the tests link evopt-common for the
+# rank-table round-trip.)
+analyze_deps=$(awk '/^\[dependencies\]/{f=1;next} /^\[/{f=0} f && NF && $0 !~ /^#/' crates/analyze/Cargo.toml)
+if [ -n "$analyze_deps" ]; then
+    echo "vendor_audit: evopt-analyze must stay dependency-free; found:" >&2
+    echo "$analyze_deps" >&2
+    fail=1
+fi
+
 if [ "$fail" -ne 0 ]; then
     exit 1
 fi
